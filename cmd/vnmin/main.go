@@ -1,0 +1,132 @@
+// Command vnmin determines the minimum number of virtual networks for
+// a coherence protocol and generates the message→VN mapping — the Go
+// counterpart of the paper artifact's `python3 main.py <protocol>`.
+//
+// Usage:
+//
+//	vnmin [flags] <protocol>
+//	vnmin -list
+//
+// <protocol> is a built-in name (MSI_blocking_cache, CHI, …; see
+// -list) or a JSON protocol file (when -file is set).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"minvn/internal/analysis"
+	"minvn/internal/protocol"
+	"minvn/internal/protocols"
+	"minvn/internal/vnassign"
+)
+
+func main() {
+	var (
+		list      = flag.Bool("list", false, "list built-in protocols and exit")
+		fromFile  = flag.Bool("file", false, "treat the argument as a JSON protocol file")
+		tables    = flag.Bool("tables", false, "print the controller transition tables (Figs. 1-2 style)")
+		relations = flag.Bool("relations", false, "print the causes/stalls/waits relations")
+		textbook  = flag.Bool("textbook", false, "also print the conventional-wisdom VN count")
+		export    = flag.String("export", "", "write the protocol as JSON to this file and exit")
+		sepData   = flag.Bool("separate-data", false, "designer constraint: keep data and control responses on different VNs")
+		enumerate = flag.Int("enumerate", 0, "list up to N distinct minimal assignments")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("Built-in protocols:")
+		for _, n := range protocols.Names() {
+			fmt.Println(" ", n)
+		}
+		return
+	}
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: vnmin [flags] <protocol> (see -list)")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	p, err := loadProtocol(flag.Arg(0), *fromFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vnmin:", err)
+		os.Exit(1)
+	}
+
+	if *export != "" {
+		data, err := protocol.Encode(p)
+		if err == nil {
+			err = os.WriteFile(*export, data, 0o644)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vnmin:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *export)
+		return
+	}
+
+	if *tables {
+		fmt.Println(protocol.FormatProtocol(p))
+	}
+
+	r := analysis.Analyze(p)
+	if *relations {
+		fmt.Printf("causes: %v\n", r.Causes)
+		fmt.Printf("stalls: %v\n", r.Stalls)
+		fmt.Printf("waits:  %v\n", r.Waits)
+		fmt.Printf("stallable messages: %s\n\n", strings.Join(r.Stallable, ", "))
+	}
+
+	a := vnassign.AssignFromAnalysis(r)
+	if *sepData && a.Class == vnassign.Class3 {
+		ca, err := vnassign.AssignConstrained(r, vnassign.SeparateDataFromControl(p))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vnmin:", err)
+			os.Exit(1)
+		}
+		a = ca
+	}
+	switch a.Class {
+	case vnassign.Class2:
+		// Match the artifact's wording for Class 2 protocols.
+		fmt.Printf("%s: The protocol is a Class 2 protocol, Program Exit!\n", p.Name)
+		fmt.Printf("  waits cycle: %s\n", strings.Join(a.WaitsCycle, " -> "))
+	default:
+		fmt.Printf("%s: %s\n", p.Name, a.Class)
+		fmt.Printf("  minimum VNs: %d\n", a.NumVNs)
+		for i, g := range a.VNGroups() {
+			fmt.Printf("  VN%d = {%s}\n", i, strings.Join(g, ", "))
+		}
+		if len(a.ConflictPairs) > 0 {
+			fmt.Printf("  conflict pairs: %v\n", a.ConflictPairs)
+		}
+	}
+
+	if *enumerate > 0 && a.Class == vnassign.Class3 {
+		all := vnassign.EnumerateAssignments(r, *enumerate)
+		fmt.Printf("  %d distinct minimal assignment(s):\n", len(all))
+		for i, e := range all {
+			fmt.Printf("   %2d. %s\n", i+1, vnassign.GroupsString(e))
+		}
+	}
+
+	if *textbook {
+		tb := vnassign.Textbook(r)
+		fmt.Printf("  textbook (conventional wisdom): %d VNs via chain %s\n",
+			tb.NumVNs, strings.Join(tb.Chain, " -> "))
+	}
+}
+
+func loadProtocol(arg string, fromFile bool) (*protocol.Protocol, error) {
+	if fromFile {
+		data, err := os.ReadFile(arg)
+		if err != nil {
+			return nil, err
+		}
+		return protocol.Decode(data)
+	}
+	return protocols.Load(arg)
+}

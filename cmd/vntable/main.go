@@ -1,0 +1,199 @@
+// Command vntable regenerates the paper's Table I end to end: for
+// every protocol configuration it runs the static VN-assignment
+// algorithm (classification + minimum VN count) and, optionally, the
+// model-checking verification of the corresponding experiment —
+// deadlock hunts for the Class 2 cells (experiments 2 and 6), bounded
+// no-deadlock runs under the minimal assignment for the Class 3 cells
+// (experiments 4 and 5). Cells (1) and (3) are not model checked,
+// matching the paper's artifact ("protocols in categories (1) and (3)
+// of Table I do not need to be evaluated").
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"text/tabwriter"
+
+	"minvn/internal/analysis"
+	"minvn/internal/machine"
+	"minvn/internal/mc"
+	"minvn/internal/protocol"
+	"minvn/internal/protocols"
+	"minvn/internal/vnassign"
+)
+
+type row struct {
+	experiment string
+	cell       string
+	protos     []string
+	expect     string
+	mcMode     string // "deadlock", "verify", or "" (not model checked)
+}
+
+var tableI = []row{
+	{"(1)", "dir never blocks / cache never blocks",
+		[]string{"MOSI_nonblocking_cache", "MOESI_nonblocking_cache"}, "1 VN", ""},
+	{"(2)", "dir never blocks / cache sometimes blocks",
+		[]string{"MOSI_blocking_cache", "MOESI_blocking_cache"}, "deadlocks with 3 VNs", "deadlock"},
+	{"(3)", "dir always blocks / cache never blocks",
+		nil, "irrelevant", ""},
+	{"(4)", "dir always blocks (CHI)",
+		[]string{"CHI"}, "2 VN", "verify"},
+	{"(5)", "dir sometimes blocks / cache never blocks",
+		[]string{"MSI_nonblocking_cache", "MESI_nonblocking_cache"}, "2 VN", "verify"},
+	{"(6)", "dir sometimes blocks / cache sometimes blocks",
+		[]string{"MSI_blocking_cache", "MESI_blocking_cache"}, "deadlocks with 3 VNs", "deadlock"},
+}
+
+// extensionRows are protocols beyond the paper's Table I that slot
+// into its cells (enabled with -extensions).
+var extensionRows = []row{
+	{"(4*)", "dir always blocks (TileLink / completion-MSI)",
+		[]string{"TileLink", "MSI_completion"}, "2 VN (extension)", "verify"},
+	{"(5**)", "dir sometimes blocks (CXL.cache flavor)",
+		[]string{"CXL_cache"}, "2 VN (extension)", "verify"},
+	{"(5*)", "dir sometimes blocks (MESIF)",
+		[]string{"MESIF_nonblocking_cache"}, "2 VN (extension)", "verify"},
+	{"(6*)", "dir sometimes blocks / blocking cache (MESIF)",
+		[]string{"MESIF_blocking_cache"}, "deadlocks with 3 VNs (extension)", "deadlock"},
+}
+
+func main() {
+	var (
+		runMC     = flag.Bool("mc", false, "also run the model-checking verification per cell")
+		maxStates = flag.Int("max-states", 300_000, "state limit per model-checking run")
+		ext       = flag.Bool("extensions", false, "include the extension protocols (MESIF, TileLink, MSI_completion)")
+		caches    = flag.Int("caches", 3, "caches for model checking")
+		dirs      = flag.Int("dirs", 2, "directories for model checking")
+		addrs     = flag.Int("addrs", 2, "addresses for model checking")
+	)
+	flag.Parse()
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "exp\tconfiguration\tprotocol\tstatic result\ttextbook\texpected (paper)\tmodel checking")
+	fmt.Fprintln(w, "---\t-------------\t--------\t-------------\t--------\t----------------\t--------------")
+
+	rows := tableI
+	if *ext {
+		rows = append(append([]row{}, tableI...), extensionRows...)
+	}
+	exitCode := 0
+	for _, r := range rows {
+		if len(r.protos) == 0 {
+			fmt.Fprintf(w, "%s\t%s\t-\t%s\t-\t%s\t-\n", r.experiment, r.cell, "irrelevant", r.expect)
+			continue
+		}
+		for _, name := range r.protos {
+			p := protocols.MustLoad(name)
+			res := analysis.Analyze(p)
+			a := vnassign.AssignFromAnalysis(res)
+			tb := vnassign.Textbook(res)
+
+			var static string
+			switch a.Class {
+			case vnassign.Class2:
+				static = "Class 2 (no finite assignment)"
+			default:
+				static = fmt.Sprintf("%d VN", a.NumVNs)
+			}
+
+			mcCol := "-"
+			if *runMC && r.mcMode != "" {
+				out, ok := runModelCheck(p, a, r.mcMode, *caches, *dirs, *addrs, *maxStates)
+				mcCol = out
+				if !ok {
+					exitCode = 1
+				}
+			}
+			fmt.Fprintf(w, "%s\t%s\t%s\t%s\t%d VN\t%s\t%s\n",
+				r.experiment, r.cell, name, static, tb.NumVNs, r.expect, mcCol)
+		}
+	}
+	w.Flush()
+	os.Exit(exitCode)
+}
+
+// runModelCheck verifies one cell. For "deadlock" cells, every message
+// gets its own VN and the search must find a deadlock anyway (the
+// Class 2 signature); the search is seeded with the Fig. 3 ownership
+// prefix and, for the never-blocking-directory protocols, restricted
+// to loads and stores (see DESIGN.md). For "verify" cells the
+// computed minimal assignment must show no deadlock up to the bound.
+func runModelCheck(p *protocol.Protocol, a *vnassign.Assignment, mode string,
+	caches, dirs, addrs, maxStates int) (string, bool) {
+
+	cfg := machine.Config{
+		Protocol: p, Caches: caches, Dirs: dirs, Addrs: addrs,
+	}
+	opts := mc.Options{MaxStates: maxStates, DisableTraces: true}
+
+	switch mode {
+	case "deadlock":
+		cfg.VN, cfg.NumVNs = machine.PerMessageVN(p)
+		if strings.HasPrefix(p.Name, "MOSI") || strings.HasPrefix(p.Name, "MOESI") {
+			cfg.CoreEvents = []protocol.CoreEvent{protocol.Load, protocol.Store}
+		}
+		opts.Strategy = mc.DFS
+	case "verify":
+		cfg.VN, cfg.NumVNs = a.VN, a.NumVNs
+		opts.Strategy = mc.BFS
+	}
+	sys, err := machine.New(cfg)
+	if err != nil {
+		return "error: " + err.Error(), false
+	}
+
+	var model mc.Model = sys
+	if mode == "deadlock" {
+		seed, err := ownershipSeed(sys, caches, dirs, addrs)
+		if err != nil {
+			return "seeding error: " + err.Error(), false
+		}
+		model = &machine.Seeded{System: sys, Seeds: [][]byte{seed}}
+	}
+	res := mc.Check(model, opts)
+
+	switch mode {
+	case "deadlock":
+		if res.Outcome == mc.Deadlock {
+			return fmt.Sprintf("DEADLOCK found (%d states, depth %d)", res.States, res.MaxDepth), true
+		}
+		return fmt.Sprintf("no deadlock within bound (%v)", res), false
+	default:
+		if res.Outcome == mc.Complete {
+			return fmt.Sprintf("no deadlock, complete (%d states)", res.States), true
+		}
+		if res.Outcome == mc.Bounded {
+			return fmt.Sprintf("no deadlock to depth %d (%d states, bounded)", res.MaxDepth, res.States), true
+		}
+		return res.String() + " " + res.Message, false
+	}
+}
+
+// ownershipSeed establishes the Fig. 3 starting point: caches 0 and 1
+// own addresses 0 and 1 in the modified state.
+func ownershipSeed(sys *machine.System, caches, dirs, addrs int) ([]byte, error) {
+	sc := machine.NewScenario(sys)
+	n := 2
+	if caches < n {
+		n = caches
+	}
+	if addrs < n {
+		n = addrs
+	}
+	for i := 0; i < n; i++ {
+		home := caches + i%dirs
+		if err := sc.Core(i, i, protocol.Store); err != nil {
+			return nil, err
+		}
+		if err := sc.Handle(home, "GetM", i); err != nil {
+			return nil, err
+		}
+		if err := sc.Handle(i, "Data", i); err != nil {
+			return nil, err
+		}
+	}
+	return sc.State(), nil
+}

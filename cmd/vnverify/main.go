@@ -1,0 +1,216 @@
+// Command vnverify model checks a coherence protocol under a chosen
+// VN assignment on the paper's ICN model — the Go counterpart of the
+// artifact's run_*_murphi.sh scripts. It reports one of the three
+// outcomes of the paper's appendix H: deadlock, bounded-no-deadlock,
+// or complete-no-deadlock.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"minvn/internal/machine"
+	"minvn/internal/mc"
+	"minvn/internal/protocol"
+	"minvn/internal/protocols"
+	"minvn/internal/vnassign"
+)
+
+func main() {
+	var (
+		fromFile  = flag.Bool("file", false, "treat the argument as a JSON protocol file")
+		vnMode    = flag.String("vn", "minimal", "VN assignment: minimal | permsg | uniform | type")
+		caches    = flag.Int("caches", 3, "number of caches (paper: 3)")
+		dirs      = flag.Int("dirs", 2, "number of directories (paper: 2)")
+		addrs     = flag.Int("addrs", 2, "number of addresses (paper: 2)")
+		strategy  = flag.String("strategy", "bfs", "search order: bfs | dfs")
+		maxStates = flag.Int("max-states", 2_000_000, "bounded model checking: state limit (0 = none)")
+		maxDepth  = flag.Int("max-depth", 0, "bounded model checking: depth limit (0 = none)")
+		gcap      = flag.Int("gcap", 0, "global buffer capacity (0 = paper default: never blocks sends)")
+		lcap      = flag.Int("lcap", 0, "endpoint input FIFO capacity (0 = paper default)")
+		p2p       = flag.Int("p2p", -1, "point-to-point ordered mode with mapping variant 0-3 (-1 = unordered)")
+		noRepl    = flag.Bool("no-repl", false, "restrict the workload to loads and stores")
+		noSym     = flag.Bool("no-symmetry", false, "disable cache symmetry reduction")
+		workers   = flag.Int("workers", 1, "parallel BFS workers (0 = GOMAXPROCS; BFS only)")
+		walk      = flag.Int("walk", 0, "instead of exhaustive checking, run N random-workload walks")
+		walkSteps = flag.Int("walk-steps", 5000, "steps per random walk")
+		invar     = flag.Bool("invariants", false, "check SWMR/bookkeeping invariants on every state")
+		trace     = flag.Bool("trace", false, "print the counterexample trace on deadlock/violation")
+		seedOwned = flag.Bool("seed-owned", false, "seed the search with caches 0 and 1 owning addresses 0 and 1")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: vnverify [flags] <protocol>")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	p, err := loadProtocol(flag.Arg(0), *fromFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vnverify:", err)
+		os.Exit(1)
+	}
+
+	var vn map[string]int
+	var numVNs int
+	switch *vnMode {
+	case "minimal":
+		a := vnassign.Assign(p)
+		if a.Class != vnassign.Class3 {
+			fmt.Printf("%s is %s — no finite per-name assignment exists; "+
+				"use -vn permsg to exhibit the deadlock\n", p.Name, a.Class)
+			os.Exit(1)
+		}
+		vn, numVNs = a.VN, a.NumVNs
+	case "permsg":
+		vn, numVNs = machine.PerMessageVN(p)
+	case "uniform":
+		vn, numVNs = machine.UniformVN(p)
+	case "type":
+		vn, numVNs = machine.TypeVN(p, true)
+	default:
+		fmt.Fprintf(os.Stderr, "vnverify: unknown -vn mode %q\n", *vnMode)
+		os.Exit(2)
+	}
+
+	cfg := machine.Config{
+		Protocol: p, Caches: *caches, Dirs: *dirs, Addrs: *addrs,
+		VN: vn, NumVNs: numVNs,
+		GlobalCap: *gcap, LocalCap: *lcap,
+		NoSymmetry: *noSym,
+		Invariants: *invar,
+	}
+	if *p2p >= 0 {
+		cfg.PointToPoint = true
+		cfg.P2PVariant = *p2p
+	}
+	if *noRepl {
+		cfg.CoreEvents = []protocol.CoreEvent{protocol.Load, protocol.Store}
+	}
+	sys, err := machine.New(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vnverify:", err)
+		os.Exit(1)
+	}
+
+	if *walk > 0 {
+		bad := 0
+		for s := 0; s < *walk; s++ {
+			res := sys.Walk(int64(s), *walkSteps)
+			fmt.Printf("walk seed %d: %v\n", s, res)
+			if res.Deadlocked || res.Violation != nil {
+				bad++
+			}
+		}
+		if bad > 0 {
+			fmt.Printf("%d of %d walks wedged or violated\n", bad, *walk)
+			os.Exit(1)
+		}
+		return
+	}
+
+	var model mc.Model = sys
+	if *seedOwned {
+		seed, err := ownedSeed(sys, *caches, *dirs, *addrs)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vnverify: seeding:", err)
+			os.Exit(1)
+		}
+		model = &machine.Seeded{System: sys, Seeds: [][]byte{seed}}
+	}
+
+	opts := mc.Options{
+		MaxStates:     *maxStates,
+		MaxDepth:      *maxDepth,
+		DisableTraces: !*trace,
+	}
+	if strings.EqualFold(*strategy, "dfs") {
+		opts.Strategy = mc.DFS
+	}
+
+	fmt.Printf("model checking %s: %d caches, %d dirs, %d addrs, %d VNs (%s), %v\n",
+		p.Name, *caches, *dirs, *addrs, numVNs, *vnMode, opts.Strategy)
+	var res mc.Result
+	if *workers != 1 && opts.Strategy == mc.BFS {
+		res = mc.CheckParallel(model, opts, *workers)
+	} else {
+		res = mc.Check(model, opts)
+	}
+	fmt.Println(res)
+	if res.Message != "" {
+		fmt.Println(res.Message)
+	}
+	if *trace && len(res.Trace) > 0 {
+		last := res.Trace[len(res.Trace)-1]
+		fmt.Println("\nsequence chart (controller states per endpoint, (+n) = queued messages):")
+		fmt.Print(sys.SequenceChart(res.Trace, 24))
+		fmt.Println("\nfinal state:")
+		fmt.Print(sys.Describe(last))
+		if res.Outcome == mc.Deadlock {
+			fmt.Println("\nexplanation:")
+			fmt.Print(sys.Explain(last))
+		}
+	}
+	if res.Outcome == mc.Deadlock || res.Outcome == mc.Violation {
+		os.Exit(1)
+	}
+}
+
+// ownedSeed drives the system into the Fig. 3 starting point: cache i
+// owns address i in the modified state, for i < min(caches, addrs).
+func ownedSeed(sys *machine.System, caches, dirs, addrs int) ([]byte, error) {
+	sc := machine.NewScenario(sys)
+	n := caches
+	if addrs < n {
+		n = addrs
+	}
+	if n > 2 {
+		n = 2
+	}
+	// The ownership prefix uses each protocol family's write-request
+	// vocabulary.
+	dataName, getM := "Data", "GetM"
+	store := protocol.Store
+	switch sys.Config().Protocol.Name {
+	case "CHI":
+		dataName, getM = "CompData", "ReadUnique"
+	case "TileLink":
+		dataName, getM = "GrantUnique", "AcquireUnique"
+	}
+	for i := 0; i < n; i++ {
+		home := caches + i%dirs
+		if err := sc.Core(i, i, store); err != nil {
+			return nil, err
+		}
+		if err := sc.Handle(home, getM, i); err != nil {
+			return nil, err
+		}
+		if err := sc.Handle(i, dataName, i); err != nil {
+			return nil, err
+		}
+		switch sys.Config().Protocol.Name {
+		case "CHI":
+			if err := sc.Handle(home, "CompAck", i); err != nil {
+				return nil, err
+			}
+		case "TileLink":
+			if err := sc.Handle(home, "GrantAck", i); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return sc.State(), nil
+}
+
+func loadProtocol(arg string, fromFile bool) (*protocol.Protocol, error) {
+	if fromFile {
+		data, err := os.ReadFile(arg)
+		if err != nil {
+			return nil, err
+		}
+		return protocol.Decode(data)
+	}
+	return protocols.Load(arg)
+}

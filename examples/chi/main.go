@@ -1,0 +1,76 @@
+// CHI deep dive: reproduce the paper's Fig. 5 / §VII-C analysis of the
+// AMBA CHI protocol — the causes chain of Eq. 7, the waits relation
+// showing that only requests block at the home node, and the headline
+// result that two virtual networks suffice where the specification
+// mandates four (REQ, SNP, RSP, DAT).
+//
+//	go run ./examples/chi
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"minvn/internal/analysis"
+	"minvn/internal/machine"
+	"minvn/internal/mc"
+	"minvn/internal/protocols"
+	"minvn/internal/vnassign"
+)
+
+func main() {
+	p, err := protocols.Load("CHI")
+	if err != nil {
+		log.Fatal(err)
+	}
+	r := analysis.Analyze(p)
+
+	// Eq. 7: CleanUnique causes Inv causes Inv-Ack causes Resp causes
+	// Comp (paper naming; our messages are CleanUnique, Inv, SnpResp,
+	// Comp, CompAck).
+	fmt.Println("== Fig. 5: the CleanUnique transaction ==")
+	chain := []string{"CleanUnique", "Inv", "SnpResp", "Comp", "CompAck"}
+	for i := 0; i+1 < len(chain); i++ {
+		status := "MISSING"
+		if r.Causes.Has(chain[i], chain[i+1]) {
+			status = "ok"
+		}
+		fmt.Printf("  %-12s --causes--> %-12s %s\n", chain[i], chain[i+1], status)
+	}
+	fmt.Println()
+
+	// "ReadShared waits {Inv, Inv-Ack, Resp, Comp}": the home blocks
+	// the later request until the earlier transaction completes.
+	fmt.Println("== waits: requests wait only for snoops, responses, data ==")
+	for _, req := range []string{"ReadShared", "ReadUnique", "CleanUnique"} {
+		fmt.Printf("  %-12s waits for {%s}\n", req, strings.Join(r.Waits.Image(req), ", "))
+	}
+	fmt.Println()
+
+	// The headline: 2 VNs, not the 4 the specification mandates.
+	a := vnassign.AssignFromAnalysis(r)
+	tb := vnassign.Textbook(r)
+	fmt.Println("== VN requirement ==")
+	fmt.Printf("  CHI specification mandates:  4 VNs (REQ, SNP, RSP, DAT)\n")
+	fmt.Printf("  textbook chain here derives: %d VNs (%s)\n",
+		tb.NumVNs, strings.Join(tb.Chain, " -> "))
+	fmt.Printf("  minimum per our algorithm:   %d VNs\n", a.NumVNs)
+	for i, group := range a.VNGroups() {
+		fmt.Printf("    VN%d = {%s}\n", i, strings.Join(group, ", "))
+	}
+	fmt.Println()
+
+	// Back it up with model checking on a small instance (complete
+	// exploration; the paper's full 3-cache/2-dir configuration is
+	// reachable through cmd/vnverify with a larger budget).
+	fmt.Println("== model checking the 2-VN assignment ==")
+	sys, err := machine.New(machine.Config{
+		Protocol: p, Caches: 2, Dirs: 1, Addrs: 1,
+		VN: a.VN, NumVNs: a.NumVNs})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res := mc.Check(sys, mc.Options{MaxStates: 2_000_000, DisableTraces: true})
+	fmt.Printf("  2 caches, 1 home, 1 address: %v\n", res)
+}

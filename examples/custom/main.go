@@ -1,0 +1,123 @@
+// Custom protocol: define a new coherence protocol with the builder
+// API, analyze it, and model check it — the workflow a protocol
+// designer would follow with this library ("when new protocol
+// specifications are designed, our analysis provides the minimum VNs
+// needed to avoid deadlocks", paper §VI-C).
+//
+// The protocol is a deliberately simple valid/invalid ownership
+// protocol ("VI"): one block owner at a time, a blocking home, no data
+// sharing. Despite its four-message chain, one request VN plus one
+// response VN suffice.
+//
+//	go run ./examples/custom
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"minvn/internal/analysis"
+	"minvn/internal/machine"
+	"minvn/internal/mc"
+	"minvn/internal/protocol"
+	"minvn/internal/vnassign"
+)
+
+// buildVI defines the protocol: caches hold a block in V(alid) or not
+// at all; the home pulls the block back with a Recall before granting
+// it to the next requestor; every grant is acknowledged.
+func buildVI() *protocol.Protocol {
+	b := protocol.NewBuilder("VI")
+
+	b.Message("GetV", protocol.Request) // acquire the block
+	b.Message("PutV", protocol.Request, // release the block
+		protocol.WithQual(protocol.QualOwnership))
+	b.Message("Recall", protocol.FwdRequest)  // home pulls the block back
+	b.Message("Grant", protocol.DataResponse) // home grants ownership
+	b.Message("RecallAck", protocol.DataResponse)
+	b.Message("PutAck", protocol.CtrlResponse)
+	b.Message("GrantAck", protocol.CtrlResponse) // completion to the home
+
+	c := b.Cache("I")
+	c.Stable("I", "V")
+	c.Transient("IV", "VI_P")
+	c.On("I", protocol.CoreEv(protocol.Load)).Send("GetV", protocol.ToDir).Goto("IV")
+	c.On("I", protocol.CoreEv(protocol.Store)).Send("GetV", protocol.ToDir).Goto("IV")
+	// A Recall can race our release; answer it from I without data.
+	c.On("I", protocol.MsgEv("Recall")).Send("RecallAck", protocol.ToDir).Stay()
+	c.StallOn("IV", protocol.CoreEv(protocol.Load), protocol.CoreEv(protocol.Store),
+		protocol.CoreEv(protocol.Replacement))
+	c.On("IV", protocol.MsgEv("Grant")).Send("GrantAck", protocol.ToDir).Goto("V")
+	// A Recall from a pre-release era can trail into our new request.
+	c.On("IV", protocol.MsgEv("Recall")).Send("RecallAck", protocol.ToDir).Stay()
+	c.Hit("V", protocol.CoreEv(protocol.Load))
+	c.Hit("V", protocol.CoreEv(protocol.Store))
+	c.On("V", protocol.CoreEv(protocol.Replacement)).Send("PutV", protocol.ToDir).Goto("VI_P")
+	c.On("V", protocol.MsgEv("Recall")).Send("RecallAck", protocol.ToDir).Goto("I")
+	c.StallOn("VI_P", protocol.CoreEv(protocol.Load), protocol.CoreEv(protocol.Store),
+		protocol.CoreEv(protocol.Replacement))
+	c.On("VI_P", protocol.MsgEv("Recall")).Send("RecallAck", protocol.ToDir).Stay()
+	c.On("VI_P", protocol.MsgEv("PutAck")).Goto("I")
+
+	d := b.Dir("Idle")
+	d.Stable("Idle", "Owned")
+	d.Transient("Recalling", "Granting")
+	d.On("Idle", protocol.MsgEv("GetV")).
+		Send("Grant", protocol.ToReq).Do(protocol.ASetOwnerToReq).Goto("Granting")
+	d.On("Idle", protocol.MsgQualEv("PutV", protocol.QFromNonOwner)).
+		Send("PutAck", protocol.ToReq).Stay()
+	d.On("Owned", protocol.MsgEv("GetV")).
+		Send("Recall", protocol.ToOwner).Do(protocol.AClearOwner).Goto("Recalling")
+	d.On("Owned", protocol.MsgQualEv("PutV", protocol.QFromOwner)).
+		Do(protocol.AClearOwner).Send("PutAck", protocol.ToReq).Goto("Idle")
+	d.On("Owned", protocol.MsgQualEv("PutV", protocol.QFromNonOwner)).
+		Send("PutAck", protocol.ToReq).Stay()
+	// The home blocks while a transaction is in flight. A PutV from
+	// the new owner can overtake its own GrantAck; it stalls until the
+	// grant transaction retires.
+	d.StallOn("Recalling", protocol.MsgEv("GetV"))
+	d.StallOn("Granting", protocol.MsgEv("GetV"))
+	d.StallOn("Granting", protocol.MsgQualEv("PutV", protocol.QFromOwner))
+	d.On("Recalling", protocol.MsgQualEv("PutV", protocol.QFromNonOwner)).
+		Send("PutAck", protocol.ToReq).Stay()
+	d.On("Granting", protocol.MsgQualEv("PutV", protocol.QFromNonOwner)).
+		Send("PutAck", protocol.ToReq).Stay()
+	d.On("Recalling", protocol.MsgEv("RecallAck")).
+		Send("Grant", protocol.ToReq).Do(protocol.ASetOwnerToReq).Goto("Granting")
+	d.On("Granting", protocol.MsgEv("GrantAck")).Goto("Owned")
+
+	return b.MustBuild()
+}
+
+func main() {
+	p := buildVI()
+	fmt.Println(protocol.FormatProtocol(p))
+
+	r := analysis.Analyze(p)
+	fmt.Println("waits:", r.Waits)
+
+	a := vnassign.AssignFromAnalysis(r)
+	tb := vnassign.Textbook(r)
+	fmt.Printf("\nclassification: %s\n", a.Class)
+	fmt.Printf("minimum VNs: %d (textbook would say %d via %s)\n",
+		a.NumVNs, tb.NumVNs, strings.Join(tb.Chain, " -> "))
+	for i, g := range a.VNGroups() {
+		fmt.Printf("  VN%d = {%s}\n", i, strings.Join(g, ", "))
+	}
+
+	if a.Class != vnassign.Class3 {
+		log.Fatal("VI should be Class 3")
+	}
+	sys, err := machine.New(machine.Config{
+		Protocol: p, Caches: 2, Dirs: 1, Addrs: 1,
+		VN: a.VN, NumVNs: a.NumVNs})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res := mc.Check(sys, mc.Options{MaxStates: 2_000_000, DisableTraces: true})
+	fmt.Printf("\nmodel checking the assignment (2 caches, 1 home, 1 address): %v\n", res)
+	if res.Message != "" {
+		fmt.Println(res.Message)
+	}
+}

@@ -1,0 +1,69 @@
+// Industrial specifications: compare what each spec (or the textbook
+// rule applied to it) provisions against the true minimum the paper's
+// algorithm computes — CHI's four channels, TileLink's five, and a
+// completion-ordered MSI. All need exactly two VNs, and their minimal
+// assignments survive complete model checking.
+//
+//	go run ./examples/industrial
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"minvn"
+	"minvn/internal/vnassign"
+)
+
+func main() {
+	rows := []struct {
+		proto      string
+		prescribed string
+	}{
+		{"CHI", "4 VNs (REQ, SNP, RSP, DAT)"},
+		{"TileLink", "5 channels (A, B, C, D, E)"},
+		{"CXL_cache", "6 channels (D2H/H2D Req, Rsp, Data)"},
+		{"MSI_completion", "4 classes (req, fwd, resp, completion)"},
+	}
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "protocol\tspec / textbook provisions\tminimum\tverified")
+	fmt.Fprintln(w, "--------\t--------------------------\t-------\t--------")
+	for _, row := range rows {
+		p, err := minvn.LoadProtocol(row.proto)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res := minvn.Minimize(p)
+		if res.Class != minvn.Class3 {
+			log.Fatalf("%s: unexpected class %v", row.proto, res.Class)
+		}
+		ver, err := minvn.Verify(p, minvn.VerifyConfig{
+			Caches: 2, Dirs: 1, Addrs: 1, MaxStates: 2_000_000,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		status := fmt.Sprintf("complete, %d states", ver.States)
+		if !ver.Complete {
+			status = fmt.Sprintf("bounded, %d states", ver.States)
+		}
+		if ver.Deadlock || ver.Violation != "" {
+			status = "FAILED: " + ver.Violation
+		}
+		fmt.Fprintf(w, "%s\t%s\t%d VNs (textbook: %d)\t%s\n",
+			row.proto, row.prescribed, res.NumVNs, res.Textbook, status)
+	}
+	w.Flush()
+
+	// Show one mapping in full.
+	p, _ := minvn.LoadProtocol("TileLink")
+	res := minvn.Minimize(p)
+	fmt.Println("\nTileLink minimal mapping:")
+	fmt.Println(" ", vnassign.GroupsString(res.Assignment))
+	fmt.Println("\nThe five TileLink channels (and CHI's four) are a priority and")
+	fmt.Println("flow-control discipline; for deadlock freedom alone, isolating")
+	fmt.Println("requests from everything else suffices (paper §VI-C.3).")
+}

@@ -1,0 +1,3 @@
+module minvn
+
+go 1.22

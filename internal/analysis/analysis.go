@@ -1,0 +1,254 @@
+// Package analysis computes the paper's static relations over a
+// protocol's message names (paper §IV):
+//
+//   - causes:  m1 → m2 when m1 can appear before m2 in one coherence
+//     transaction (§IV-A/B). Extracted from the transition tables: a
+//     controller that sends m2 while processing m1 contributes the
+//     edge, and a deferred response (ToSaved) is attributed to the
+//     forwarded request that was recorded, not to the message whose
+//     reception finally triggered the send.
+//   - stalls:  m0 → m1 when a controller that entered a transient
+//     state because of m0's transaction can stall m1 (§IV-C/D). m0 is
+//     a "transaction root" of the transient state: the message whose
+//     reception moved the controller there, or the request the
+//     controller itself issued when it left a stable state.
+//   - waits = stalls⁻¹ ; causes⁺ (Eq. 3).
+//
+// The queues relation (§IV-E) depends on the VN assignment and is
+// computed by QueuesUnder.
+package analysis
+
+import (
+	"sort"
+
+	"minvn/internal/protocol"
+	"minvn/internal/relation"
+)
+
+// Result bundles the static relations of a protocol.
+type Result struct {
+	Protocol *protocol.Protocol
+	Causes   *relation.Relation
+	Stalls   *relation.Relation
+	Waits    *relation.Relation
+	// Stallable lists the message names that some controller can
+	// stall, sorted. Only these can block a virtual network.
+	Stallable []string
+	// Roots maps each controller's transient states to their
+	// transaction roots, for diagnostics ([controllerKind][state]).
+	Roots map[protocol.ControllerKind]map[string][]string
+}
+
+// Analyze computes the static relations for p.
+func Analyze(p *protocol.Protocol) *Result {
+	r := &Result{
+		Protocol: p,
+		Causes:   computeCauses(p),
+		Roots:    make(map[protocol.ControllerKind]map[string][]string),
+	}
+	r.Stalls = relation.New()
+	for _, c := range p.Controllers() {
+		roots := transientRoots(c)
+		r.Roots[c.Kind] = roots
+		for key, t := range c.Transitions {
+			if !t.Stall || key.Event.IsCore() {
+				continue
+			}
+			for _, root := range roots[key.State] {
+				r.Stalls.Add(root, key.Event.Msg)
+			}
+		}
+	}
+
+	// waits = stalls⁻¹ ; causes⁺  (Eq. 3).
+	r.Waits = r.Stalls.Inverse().Compose(r.Causes.TransitiveClosure())
+
+	stallSet := make(map[string]bool)
+	for _, pr := range r.Stalls.Pairs() {
+		stallSet[pr.To] = true
+	}
+	for m := range stallSet {
+		r.Stallable = append(r.Stallable, m)
+	}
+	sort.Strings(r.Stallable)
+	return r
+}
+
+// computeCauses extracts the causes relation from the tables. For
+// every controller transition triggered by receiving message m that
+// sends m', we add m → m' (§IV-B: "when a message is sent to a
+// controller, we again trace the sequence of messages for every state
+// that the controller could be in" — iterating over all states is
+// exactly that conservative trace). Core-event transitions introduce
+// transaction roots (requests) and contribute no incoming edge.
+//
+// Deferred responses are the exception: a send to ToSaved answers a
+// forwarded request recorded earlier by ARecordSaved, so the edge is
+// attributed to every message that can be recorded, and no edge is
+// added from the message whose reception triggered the send.
+func computeCauses(p *protocol.Protocol) *relation.Relation {
+	causes := relation.New()
+	for _, c := range p.Controllers() {
+		// Messages that can be recorded into the saved register.
+		var recorded []string
+		for key, t := range c.Transitions {
+			if key.Event.IsCore() {
+				continue
+			}
+			for _, a := range t.Actions {
+				if a.Kind == protocol.ARecordSaved {
+					recorded = append(recorded, key.Event.Msg)
+				}
+			}
+		}
+		sort.Strings(recorded)
+
+		for key, t := range c.Transitions {
+			deferred := false
+			for _, a := range t.Actions {
+				if a.Kind == protocol.ASend && a.To == protocol.ToSaved {
+					deferred = true
+					break
+				}
+			}
+			for _, a := range t.Actions {
+				if a.Kind != protocol.ASend {
+					continue
+				}
+				if deferred {
+					// A deferral-completion transition answers the
+					// recorded forwarded request: all of its sends
+					// belong to that transaction. We conservatively
+					// keep the edge from the triggering message too
+					// (footnote 3: over-approximation is safe).
+					for _, m := range recorded {
+						causes.Add(m, a.Msg)
+					}
+				}
+				if !key.Event.IsCore() && a.To != protocol.ToSaved {
+					causes.Add(key.Event.Msg, a.Msg)
+				}
+			}
+		}
+	}
+	return causes
+}
+
+// transientRoots computes, for every transient state of c, the set of
+// messages that can root the transaction the controller is processing
+// while in that state: the message received on entry from a stable
+// state, the request sent on entry from a stable state (core-event
+// entries), or — transitively — the roots of the transient state the
+// controller came from (§IV-D).
+func transientRoots(c *protocol.Controller) map[string][]string {
+	rootSets := make(map[string]map[string]bool)
+	for name, st := range c.States {
+		if st.Transient {
+			rootSets[name] = make(map[string]bool)
+		}
+	}
+
+	// Seed: entries from stable states.
+	for key, t := range c.Transitions {
+		if t.Stall || t.Next == "" {
+			continue
+		}
+		from, to := c.States[key.State], c.States[t.Next]
+		if from == nil || to == nil || from.Transient || !to.Transient {
+			continue
+		}
+		if key.Event.IsCore() {
+			for _, m := range t.Sends() {
+				rootSets[t.Next][m] = true
+			}
+		} else {
+			rootSets[t.Next][key.Event.Msg] = true
+		}
+	}
+
+	// Propagate through transient-to-transient transitions until a
+	// fixpoint: the ongoing transaction is unchanged.
+	for changed := true; changed; {
+		changed = false
+		for key, t := range c.Transitions {
+			if t.Stall || t.Next == "" {
+				continue
+			}
+			from, to := c.States[key.State], c.States[t.Next]
+			if from == nil || to == nil || !from.Transient || !to.Transient {
+				continue
+			}
+			for m := range rootSets[key.State] {
+				if !rootSets[t.Next][m] {
+					rootSets[t.Next][m] = true
+					changed = true
+				}
+			}
+		}
+	}
+
+	out := make(map[string][]string, len(rootSets))
+	for state, set := range rootSets {
+		ms := make([]string, 0, len(set))
+		for m := range set {
+			ms = append(ms, m)
+		}
+		sort.Strings(ms)
+		out[state] = ms
+	}
+	return out
+}
+
+// QueuesUnder computes the queues relation (§IV-E) for a given VN
+// assignment: m2 → m1 when m2 can be queued behind a stalled m1, i.e.
+// m1 is stallable and both map to the same VN. The paper's
+// conservative ICN assumption means any same-VN message can queue
+// behind any other, including a message behind another instance of its
+// own name (that self-pair is what makes Class 2 protocols
+// unsalvageable).
+func QueuesUnder(r *Result, vn map[string]int) *relation.Relation {
+	q := relation.New()
+	for _, m1 := range r.Stallable {
+		for _, m2 := range r.Protocol.MessageNames() {
+			if vn[m2] == vn[m1] {
+				q.Add(m2, m1)
+			}
+		}
+	}
+	return q
+}
+
+// SingleVN returns the all-zero VN assignment over p's messages — the
+// starting point of the paper's algorithm ("for this initial
+// computation, we assume one VN").
+func SingleVN(p *protocol.Protocol) map[string]int {
+	vn := make(map[string]int, len(p.Messages))
+	for _, m := range p.MessageNames() {
+		vn[m] = 0
+	}
+	return vn
+}
+
+// UniqueVNs returns the assignment giving every message its own VN —
+// used when checking for protocol deadlocks (§V-A) and Class-2
+// inevitability (§V-E).
+func UniqueVNs(p *protocol.Protocol) map[string]int {
+	vn := make(map[string]int, len(p.Messages))
+	for i, m := range p.MessageNames() {
+		vn[m] = i
+	}
+	return vn
+}
+
+// DeadlockFree evaluates the paper's sufficient condition (Eq. 4)
+// under a VN assignment: acyclic(waits ; (waits ∪ queues)*). It
+// returns true when no cycle exists, plus a witness cycle otherwise.
+func DeadlockFree(r *Result, vn map[string]int) (bool, []string) {
+	queues := QueuesUnder(r, vn)
+	union := r.Waits.Union(queues)
+	combined := r.Waits.Compose(union.ReflexiveTransitiveClosure(r.Protocol.MessageNames()))
+	if w := combined.CycleWitness(); w != nil {
+		return false, w
+	}
+	return true, nil
+}

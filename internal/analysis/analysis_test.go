@@ -1,0 +1,151 @@
+package analysis
+
+import (
+	"testing"
+
+	"minvn/internal/protocols"
+)
+
+// TestMSICausesMatchesPaper checks the causes edges the paper derives
+// from Figs. 1–2 (§IV-A/B): GetS→Data (Eq. 1), GetS→Fwd-GetS→Data
+// (Eq. 2), and the write/eviction chains.
+func TestMSICausesMatchesPaper(t *testing.T) {
+	r := Analyze(protocols.MustLoad("MSI_blocking_cache"))
+	want := [][2]string{
+		{"GetS", "Data"},
+		{"GetS", "Fwd-GetS"},
+		{"Fwd-GetS", "Data"},
+		{"GetM", "Data"},
+		{"GetM", "Fwd-GetM"},
+		{"GetM", "Inv"},
+		{"Fwd-GetM", "Data"},
+		{"Inv", "Inv-Ack"},
+		{"PutS", "Put-Ack"},
+		{"PutM", "Put-Ack"},
+		// Race-handling extensions beyond the paper's figure: bounced
+		// forwards and the directory's memory-data fallback.
+		{"Fwd-GetS", "NackFwdS"},
+		{"Fwd-GetM", "NackFwdM"},
+		{"NackFwdS", "Data"},
+		{"NackFwdM", "Data"},
+		{"PutM", "Put-AckWait"},
+	}
+	for _, w := range want {
+		if !r.Causes.Has(w[0], w[1]) {
+			t.Errorf("causes missing %s -> %s", w[0], w[1])
+		}
+	}
+	if r.Causes.Size() != len(want) {
+		t.Errorf("causes has %d pairs, want %d: %v", r.Causes.Size(), len(want), r.Causes)
+	}
+}
+
+// TestMSIWaitsMatchesPaper checks §IV-C: "GetM waits Fwd-GetS, GetM
+// waits Data" — from the directory stalling GetM in S_D after a GetS.
+func TestMSIWaitsMatchesPaper(t *testing.T) {
+	for _, name := range []string{"MSI_blocking_cache", "MSI_nonblocking_cache"} {
+		r := Analyze(protocols.MustLoad(name))
+		for _, m1 := range []string{"GetS", "GetM"} {
+			for _, m2 := range []string{"Fwd-GetS", "Data"} {
+				if !r.Waits.Has(m1, m2) {
+					t.Errorf("%s: waits missing %s -> %s", name, m1, m2)
+				}
+			}
+		}
+		if !r.Stalls.Has("GetS", "GetM") {
+			t.Errorf("%s: stalls missing GetS -> GetM (S_D)", name)
+		}
+	}
+}
+
+// TestMSIBlockingHasWaitsCycle checks §V-E-b: the Fig. 1 cache stalls
+// Fwd-GetM, and "a Fwd-GetM waits for another Fwd-GetM" — the cycle
+// that makes MSI-with-blocking-cache a Class 2 protocol.
+func TestMSIBlockingHasWaitsCycle(t *testing.T) {
+	r := Analyze(protocols.MustLoad("MSI_blocking_cache"))
+	if !r.Waits.Has("Fwd-GetM", "Fwd-GetM") {
+		t.Fatalf("waits missing the Fwd-GetM self-loop; waits = %v", r.Waits)
+	}
+	if !r.Waits.HasCycle() {
+		t.Fatal("expected a cycle in waits for the blocking-cache MSI")
+	}
+}
+
+// TestMSINonblockingWaitsAcyclic: with the non-blocking cache, only
+// the directory stalls (requests in S_D); requests wait only for
+// forwarded requests and responses, so waits is acyclic (§VI-C.3).
+func TestMSINonblockingWaitsAcyclic(t *testing.T) {
+	r := Analyze(protocols.MustLoad("MSI_nonblocking_cache"))
+	if r.Waits.HasCycle() {
+		t.Fatalf("waits should be acyclic; witness %v in waits = %v",
+			r.Waits.CycleWitness(), r.Waits)
+	}
+	// Only requests are stallable.
+	for _, m := range r.Stallable {
+		if m != "GetS" && m != "GetM" {
+			t.Errorf("unexpected stallable message %q", m)
+		}
+	}
+}
+
+// TestMSIRoots sanity-checks the transaction-root computation.
+func TestMSIRoots(t *testing.T) {
+	p := protocols.MustLoad("MSI_blocking_cache")
+	r := Analyze(p)
+	cacheRoots := r.Roots[p.Cache.Kind]
+	dirRoots := r.Roots[p.Dir.Kind]
+
+	checks := []struct {
+		roots map[string][]string
+		state string
+		want  []string
+	}{
+		{cacheRoots, "IS_D", []string{"GetS"}},
+		{cacheRoots, "IM_AD", []string{"GetM"}},
+		{cacheRoots, "IM_A", []string{"GetM"}},
+		{cacheRoots, "SM_AD", []string{"GetM"}},
+		{cacheRoots, "MI_A", []string{"PutM"}},
+		// SI_A is entered by a PutS from S, but also from MI_A when a
+		// Fwd-GetS downgrades an eviction in flight — its pending
+		// transaction can be rooted at either request.
+		{cacheRoots, "SI_A", []string{"PutM", "PutS"}},
+		{dirRoots, "S_D", []string{"GetS"}},
+	}
+	for _, c := range checks {
+		got := c.roots[c.state]
+		if len(got) != len(c.want) {
+			t.Errorf("roots(%s) = %v, want %v", c.state, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("roots(%s) = %v, want %v", c.state, got, c.want)
+				break
+			}
+		}
+	}
+}
+
+// TestDeadlockFreeConditions exercises Eq. 4 end to end: the
+// non-blocking MSI is deadlock-free with the paper's 2-VN split but
+// not with a single VN; the blocking MSI is not deadlock-free even
+// with unique VNs (Class 2).
+func TestDeadlockFreeConditions(t *testing.T) {
+	nb := Analyze(protocols.MustLoad("MSI_nonblocking_cache"))
+
+	if ok, _ := DeadlockFree(nb, SingleVN(nb.Protocol)); ok {
+		t.Error("non-blocking MSI with one VN should violate Eq. 4")
+	}
+	twoVN := SingleVN(nb.Protocol)
+	for _, m := range nb.Protocol.MessagesOfType(0) { // requests
+		twoVN[m] = 1
+	}
+	if ok, cyc := DeadlockFree(nb, twoVN); !ok {
+		t.Errorf("non-blocking MSI with requests isolated should satisfy Eq. 4; cycle %v", cyc)
+	}
+
+	bl := Analyze(protocols.MustLoad("MSI_blocking_cache"))
+	if ok, _ := DeadlockFree(bl, UniqueVNs(bl.Protocol)); ok {
+		t.Error("blocking MSI should violate Eq. 4 even with unique VNs")
+	}
+}

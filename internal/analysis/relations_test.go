@@ -1,0 +1,150 @@
+package analysis
+
+import (
+	"testing"
+
+	"minvn/internal/protocol"
+	"minvn/internal/protocols"
+)
+
+// TestQueuesUnder: the conservative queues relation pairs every
+// message with every stallable message on the same VN, including a
+// stallable message with itself.
+func TestQueuesUnder(t *testing.T) {
+	r := Analyze(protocols.MustLoad("MSI_nonblocking_cache"))
+	p := r.Protocol
+
+	single := QueuesUnder(r, SingleVN(p))
+	// GetS and GetM are the stallable messages; everything queues
+	// behind them with one VN.
+	for _, stalled := range []string{"GetS", "GetM"} {
+		for _, m := range p.MessageNames() {
+			if !single.Has(m, stalled) {
+				t.Errorf("single VN: %s should queue behind %s", m, stalled)
+			}
+		}
+	}
+	if !single.Has("GetM", "GetM") {
+		t.Error("self queueing (same name, different address) missing")
+	}
+	if single.Has("GetS", "Data") {
+		t.Error("Data is not stallable; nothing queues 'behind' it in the relation")
+	}
+
+	// With unique VNs only the self pairs remain.
+	unique := QueuesUnder(r, UniqueVNs(p))
+	if !unique.Has("GetM", "GetM") || unique.Has("Data", "GetM") {
+		t.Errorf("unique VNs queues wrong: %v", unique)
+	}
+}
+
+// TestSingleAndUniqueVN helpers.
+func TestVNHelpers(t *testing.T) {
+	p := protocols.MustLoad("MSI_blocking_cache")
+	s := SingleVN(p)
+	u := UniqueVNs(p)
+	if len(s) != len(p.Messages) || len(u) != len(p.Messages) {
+		t.Fatal("helper maps wrong size")
+	}
+	seen := map[int]bool{}
+	for _, v := range s {
+		if v != 0 {
+			t.Fatal("SingleVN assigned nonzero")
+		}
+	}
+	for _, v := range u {
+		if seen[v] {
+			t.Fatal("UniqueVNs reused a VN")
+		}
+		seen[v] = true
+	}
+}
+
+// TestDeferredSendAttribution: in the non-blocking MSI, the deferred
+// response to a recorded Fwd-GetM is attributed to the forward, so
+// Fwd-GetM causes Data even though the send fires while processing a
+// Data or Inv-Ack.
+func TestDeferredSendAttribution(t *testing.T) {
+	r := Analyze(protocols.MustLoad("MSI_nonblocking_cache"))
+	if !r.Causes.Has("Fwd-GetM", "Data") {
+		t.Error("deferred response not attributed to Fwd-GetM")
+	}
+	if !r.Causes.Has("Fwd-GetS", "Data") {
+		t.Error("deferred response not attributed to Fwd-GetS")
+	}
+}
+
+// TestMOSIRootsIncludeUpgrade: OM_AC is rooted at the owner's Upgrade.
+func TestMOSIRootsIncludeUpgrade(t *testing.T) {
+	p := protocols.MustLoad("MOSI_blocking_cache")
+	r := Analyze(p)
+	roots := r.Roots[protocol.CacheCtrl]["OM_AC"]
+	found := false
+	for _, m := range roots {
+		if m == "Upgrade" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("roots(OM_AC) = %v, want Upgrade", roots)
+	}
+}
+
+// TestCHIStallRootsAreRequests: every CHI busy state is rooted only at
+// requests, which is why waits maps requests to non-requests only.
+func TestCHIStallRootsAreRequests(t *testing.T) {
+	p := protocols.MustLoad("CHI")
+	r := Analyze(p)
+	reqs := map[string]bool{}
+	for _, m := range p.MessagesOfType(protocol.Request) {
+		reqs[m] = true
+	}
+	for state, roots := range r.Roots[protocol.DirCtrl] {
+		for _, m := range roots {
+			if !reqs[m] {
+				t.Errorf("home state %s rooted at non-request %s", state, m)
+			}
+		}
+	}
+}
+
+// TestStallableOnlyRequestsForClass3: §VI-C.3's characterization — in
+// the practical protocols only requests can stall.
+func TestStallableOnlyRequestsForClass3(t *testing.T) {
+	for _, name := range []string{"MSI_nonblocking_cache", "MESI_nonblocking_cache", "CHI"} {
+		r := Analyze(protocols.MustLoad(name))
+		p := r.Protocol
+		for _, m := range r.Stallable {
+			if p.Messages[m].Type != protocol.Request {
+				t.Errorf("%s: non-request %s is stallable", name, m)
+			}
+		}
+	}
+}
+
+// TestBlockingCachesStallForwards: §VI-C.2's harmful pattern shows up
+// as forwarded requests in the stallable set.
+func TestBlockingCachesStallForwards(t *testing.T) {
+	for _, name := range []string{"MSI_blocking_cache", "MOESI_blocking_cache"} {
+		r := Analyze(protocols.MustLoad(name))
+		found := false
+		for _, m := range r.Stallable {
+			if r.Protocol.Messages[m].Type == protocol.FwdRequest {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s: no stallable forwarded request", name)
+		}
+	}
+}
+
+// TestWaitsIsStallsInverseComposedWithCausesPlus re-checks Eq. 3
+// explicitly against a manual computation.
+func TestWaitsIsStallsInverseComposedWithCausesPlus(t *testing.T) {
+	r := Analyze(protocols.MustLoad("MESI_blocking_cache"))
+	manual := r.Stalls.Inverse().Compose(r.Causes.TransitiveClosure())
+	if !manual.Equal(r.Waits) {
+		t.Fatalf("waits deviates from Eq. 3:\n got %v\nwant %v", r.Waits, manual)
+	}
+}

@@ -1,0 +1,208 @@
+package graph
+
+import "sort"
+
+// Undirected is a simple undirected graph over string nodes (the
+// "conflict graph" of paper §VI.A-c). Self-edges are rejected by
+// construction in the caller; AddEdge on equal endpoints panics to
+// surface the programming error (the paper proves the conflict graph
+// has no self-edges).
+type Undirected struct {
+	nodes map[string]bool
+	adj   map[string]map[string]bool
+}
+
+// NewUndirected returns an empty undirected graph.
+func NewUndirected() *Undirected {
+	return &Undirected{
+		nodes: make(map[string]bool),
+		adj:   make(map[string]map[string]bool),
+	}
+}
+
+// AddNode ensures n is a node.
+func (g *Undirected) AddNode(n string) { g.nodes[n] = true }
+
+// AddEdge inserts the undirected edge {a, b}.
+func (g *Undirected) AddEdge(a, b string) {
+	if a == b {
+		panic("graph: self-edge in conflict graph")
+	}
+	g.AddNode(a)
+	g.AddNode(b)
+	if g.adj[a] == nil {
+		g.adj[a] = make(map[string]bool)
+	}
+	if g.adj[b] == nil {
+		g.adj[b] = make(map[string]bool)
+	}
+	g.adj[a][b] = true
+	g.adj[b][a] = true
+}
+
+// HasEdge reports whether {a, b} is an edge.
+func (g *Undirected) HasEdge(a, b string) bool { return g.adj[a][b] }
+
+// Nodes returns all nodes, sorted.
+func (g *Undirected) Nodes() []string {
+	out := make([]string, 0, len(g.nodes))
+	for n := range g.nodes {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// NumNodes returns the node count.
+func (g *Undirected) NumNodes() int { return len(g.nodes) }
+
+// NumEdges returns the edge count.
+func (g *Undirected) NumEdges() int {
+	n := 0
+	for _, m := range g.adj {
+		n += len(m)
+	}
+	return n / 2
+}
+
+// Neighbors returns the neighbors of n, sorted.
+func (g *Undirected) Neighbors(n string) []string {
+	m := g.adj[n]
+	out := make([]string, 0, len(m))
+	for v := range m {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Degree returns the number of neighbors of n.
+func (g *Undirected) Degree(n string) int { return len(g.adj[n]) }
+
+// ExactColoringLimit is the largest node count for which ColorMinimal
+// runs the exact branch-and-bound search; bigger graphs fall back to
+// DSATUR. Conflict graphs derived from protocols have a handful of
+// nodes.
+const ExactColoringLimit = 24
+
+// Coloring maps each node to a color in [0, NumColors).
+type Coloring struct {
+	Colors    map[string]int
+	NumColors int
+	// Exact reports whether NumColors is the true chromatic number.
+	Exact bool
+}
+
+// ColorMinimal computes a minimum proper coloring: exact
+// branch-and-bound (seeded and bounded by DSATUR) for graphs up to
+// ExactColoringLimit nodes, DSATUR alone beyond.
+func ColorMinimal(g *Undirected) Coloring {
+	if g.NumNodes() == 0 {
+		return Coloring{Colors: map[string]int{}, NumColors: 0, Exact: true}
+	}
+	upper := colorDSATUR(g)
+	if g.NumNodes() > ExactColoringLimit {
+		upper.Exact = false
+		return upper
+	}
+	for k := 1; k < upper.NumColors; k++ {
+		if c, ok := colorWithK(g, k); ok {
+			return Coloring{Colors: c, NumColors: k, Exact: true}
+		}
+	}
+	upper.Exact = true
+	return upper
+}
+
+// colorDSATUR is the classic saturation-degree greedy coloring.
+func colorDSATUR(g *Undirected) Coloring {
+	colors := make(map[string]int, g.NumNodes())
+	satur := make(map[string]map[int]bool, g.NumNodes())
+	for _, n := range g.Nodes() {
+		satur[n] = make(map[int]bool)
+	}
+	numColors := 0
+	for len(colors) < g.NumNodes() {
+		// Pick uncolored node with max saturation, ties by degree then name.
+		best := ""
+		for _, n := range g.Nodes() {
+			if _, done := colors[n]; done {
+				continue
+			}
+			if best == "" {
+				best = n
+				continue
+			}
+			sn, sb := len(satur[n]), len(satur[best])
+			if sn > sb || (sn == sb && g.Degree(n) > g.Degree(best)) {
+				best = n
+			}
+		}
+		c := 0
+		for satur[best][c] {
+			c++
+		}
+		colors[best] = c
+		if c+1 > numColors {
+			numColors = c + 1
+		}
+		for _, nb := range g.Neighbors(best) {
+			satur[nb][c] = true
+		}
+	}
+	return Coloring{Colors: colors, NumColors: numColors}
+}
+
+// colorWithK attempts a proper coloring with exactly k colors via
+// backtracking over nodes in decreasing-degree order, with symmetry
+// breaking (a node may use at most one color beyond those already
+// introduced).
+func colorWithK(g *Undirected, k int) (map[string]int, bool) {
+	nodes := g.Nodes()
+	sort.Slice(nodes, func(i, j int) bool {
+		di, dj := g.Degree(nodes[i]), g.Degree(nodes[j])
+		if di != dj {
+			return di > dj
+		}
+		return nodes[i] < nodes[j]
+	})
+	colors := make(map[string]int, len(nodes))
+
+	var assign func(i, used int) bool
+	assign = func(i, used int) bool {
+		if i == len(nodes) {
+			return true
+		}
+		n := nodes[i]
+		limit := used + 1
+		if limit > k {
+			limit = k
+		}
+		for c := 0; c < limit; c++ {
+			ok := true
+			for _, nb := range g.Neighbors(n) {
+				if cc, set := colors[nb]; set && cc == c {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			colors[n] = c
+			nextUsed := used
+			if c == used {
+				nextUsed++
+			}
+			if assign(i+1, nextUsed) {
+				return true
+			}
+			delete(colors, n)
+		}
+		return false
+	}
+	if assign(0, 0) {
+		return colors, true
+	}
+	return nil, false
+}

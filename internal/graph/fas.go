@@ -1,0 +1,283 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ExactFASLimit is the largest strongly connected component size for
+// which MinFeedbackArcSet uses the exact dynamic program. Beyond it the
+// Eades–Lin–Smyth heuristic with local search is used. 2^18 masks keep
+// the DP in tens of milliseconds; protocol graphs are far smaller
+// (paper §VI-B: ~10¹ nodes).
+const ExactFASLimit = 18
+
+// FASResult is the outcome of a feedback-arc-set computation.
+type FASResult struct {
+	// Edges whose removal makes the graph acyclic.
+	Edges []Edge
+	// TotalWeight is the summed weight of Edges.
+	TotalWeight int64
+	// Exact reports whether every component was solved exactly.
+	Exact bool
+}
+
+// MinFeedbackArcSet computes a minimum-weight feedback arc set of g.
+// Self-loop edges are always part of the result (no ordering can make
+// them forward). Each strongly connected component is solved
+// independently: exactly (Held–Karp style DP over vertex orderings) if
+// it has at most ExactFASLimit nodes, heuristically otherwise.
+func MinFeedbackArcSet(g *Digraph) FASResult {
+	return minFAS(g, true)
+}
+
+// HeuristicFeedbackArcSet computes a feedback arc set using only the
+// Eades–Lin–Smyth heuristic plus local search, regardless of component
+// size. It exists so benchmarks can compare it against the exact DP.
+func HeuristicFeedbackArcSet(g *Digraph) FASResult {
+	return minFAS(g, false)
+}
+
+func minFAS(g *Digraph, exactIfSmall bool) FASResult {
+	var res FASResult
+	res.Exact = true
+
+	// Self-loops are unconditionally feedback arcs.
+	work := NewDigraph()
+	for n := range g.nodes {
+		work.AddNode(n)
+	}
+	for _, e := range g.Edges() {
+		if e.From == e.To {
+			res.Edges = append(res.Edges, e)
+			res.TotalWeight += e.Weight
+		} else {
+			work.AddEdge(e.From, e.To, e.Weight)
+		}
+	}
+
+	for _, comp := range work.NontrivialSCCs() {
+		keep := make(map[string]bool, len(comp))
+		for _, n := range comp {
+			keep[n] = true
+		}
+		sub := work.Subgraph(keep)
+		var order []string
+		if exactIfSmall && len(comp) <= ExactFASLimit {
+			order = exactMinOrder(sub)
+		} else {
+			order = elsOrder(sub)
+			order = localSearchOrder(sub, order)
+			res.Exact = false
+		}
+		pos := make(map[string]int, len(order))
+		for i, n := range order {
+			pos[n] = i
+		}
+		for _, e := range sub.Edges() {
+			if pos[e.From] > pos[e.To] {
+				res.Edges = append(res.Edges, e)
+				res.TotalWeight += e.Weight
+			}
+		}
+	}
+	sort.Slice(res.Edges, func(i, j int) bool {
+		if res.Edges[i].From != res.Edges[j].From {
+			return res.Edges[i].From < res.Edges[j].From
+		}
+		return res.Edges[i].To < res.Edges[j].To
+	})
+	return res
+}
+
+// exactMinOrder returns a vertex ordering of sub minimizing the total
+// weight of backward edges, via DP over subsets: dp[mask] is the
+// minimum backward weight achievable when the vertices in mask form
+// the prefix of the order. Appending v after prefix mask turns every
+// edge v→u (u in mask) into a backward edge.
+func exactMinOrder(sub *Digraph) []string {
+	nodes := sub.Nodes()
+	n := len(nodes)
+	if n > 63 {
+		panic(fmt.Sprintf("graph: exactMinOrder called with %d nodes", n))
+	}
+	idx := make(map[string]int, n)
+	for i, name := range nodes {
+		idx[name] = i
+	}
+	// w[v][u]: weight of edge v→u, 0 if absent.
+	w := make([][]int64, n)
+	for i := range w {
+		w[i] = make([]int64, n)
+	}
+	for _, e := range sub.Edges() {
+		w[idx[e.From]][idx[e.To]] = e.Weight
+	}
+
+	size := 1 << n
+	const inf = int64(1) << 62
+	dp := make([]int64, size)
+	choice := make([]int8, size)
+	for i := 1; i < size; i++ {
+		dp[i] = inf
+	}
+	for mask := 0; mask < size; mask++ {
+		if dp[mask] == inf {
+			continue
+		}
+		for v := 0; v < n; v++ {
+			bit := 1 << v
+			if mask&bit != 0 {
+				continue
+			}
+			cost := dp[mask]
+			for u := 0; u < n; u++ {
+				if mask&(1<<u) != 0 {
+					cost += w[v][u]
+				}
+			}
+			if cost < dp[mask|bit] {
+				dp[mask|bit] = cost
+				choice[mask|bit] = int8(v)
+			}
+		}
+	}
+
+	order := make([]string, n)
+	mask := size - 1
+	for i := n - 1; i >= 0; i-- {
+		v := int(choice[mask])
+		order[i] = nodes[v]
+		mask &^= 1 << v
+	}
+	return order
+}
+
+// elsOrder is the Eades–Lin–Smyth GR heuristic adapted to weights:
+// repeatedly peel sinks to the back, sources to the front, and
+// otherwise move the vertex maximizing (out-weight − in-weight) to the
+// front.
+func elsOrder(sub *Digraph) []string {
+	remaining := make(map[string]bool)
+	for _, n := range sub.Nodes() {
+		remaining[n] = true
+	}
+	outW := make(map[string]int64)
+	inW := make(map[string]int64)
+	outDeg := make(map[string]int)
+	inDeg := make(map[string]int)
+	for _, e := range sub.Edges() {
+		outW[e.From] += e.Weight
+		inW[e.To] += e.Weight
+		outDeg[e.From]++
+		inDeg[e.To]++
+	}
+	remove := func(v string) {
+		for _, e := range sub.Edges() {
+			if e.From == v && remaining[e.To] {
+				inW[e.To] -= e.Weight
+				inDeg[e.To]--
+			}
+			if e.To == v && remaining[e.From] {
+				outW[e.From] -= e.Weight
+				outDeg[e.From]--
+			}
+		}
+		delete(remaining, v)
+	}
+	sortedRemaining := func() []string {
+		out := make([]string, 0, len(remaining))
+		for n := range remaining {
+			out = append(out, n)
+		}
+		sort.Strings(out)
+		return out
+	}
+
+	var front, back []string
+	for len(remaining) > 0 {
+		progress := true
+		for progress {
+			progress = false
+			for _, v := range sortedRemaining() {
+				if outDeg[v] == 0 { // sink
+					back = append(back, v)
+					remove(v)
+					progress = true
+				}
+			}
+			for _, v := range sortedRemaining() {
+				if !remaining[v] {
+					continue
+				}
+				if inDeg[v] == 0 { // source
+					front = append(front, v)
+					remove(v)
+					progress = true
+				}
+			}
+		}
+		if len(remaining) == 0 {
+			break
+		}
+		best := ""
+		var bestScore int64
+		for _, v := range sortedRemaining() {
+			score := outW[v] - inW[v]
+			if best == "" || score > bestScore {
+				best, bestScore = v, score
+			}
+		}
+		front = append(front, best)
+		remove(best)
+	}
+	// back was collected back-to-front.
+	for i, j := 0, len(back)-1; i < j; i, j = i+1, j-1 {
+		back[i], back[j] = back[j], back[i]
+	}
+	return append(front, back...)
+}
+
+// localSearchOrder improves an ordering by repeatedly relocating single
+// vertices to their best position until a fixpoint (or an iteration
+// cap, to bound worst-case time).
+func localSearchOrder(sub *Digraph, order []string) []string {
+	cur := append([]string(nil), order...)
+	cost := func(ord []string) int64 {
+		pos := make(map[string]int, len(ord))
+		for i, n := range ord {
+			pos[n] = i
+		}
+		var c int64
+		for _, e := range sub.Edges() {
+			if pos[e.From] > pos[e.To] {
+				c += e.Weight
+			}
+		}
+		return c
+	}
+	bestCost := cost(cur)
+	for iter := 0; iter < 50; iter++ {
+		improved := false
+		for i := 0; i < len(cur); i++ {
+			vi := cur[i]
+			rem := make([]string, 0, len(cur)-1)
+			rem = append(rem, cur[:i]...)
+			rem = append(rem, cur[i+1:]...)
+			for j := 0; j <= len(rem); j++ {
+				cand := make([]string, 0, len(cur))
+				cand = append(cand, rem[:j]...)
+				cand = append(cand, vi)
+				cand = append(cand, rem[j:]...)
+				if c := cost(cand); c < bestCost {
+					cur, bestCost = cand, c
+					improved = true
+				}
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return cur
+}

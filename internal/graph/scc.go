@@ -1,0 +1,72 @@
+package graph
+
+import "sort"
+
+// SCCs returns the strongly connected components of g using Tarjan's
+// algorithm. Components are returned in reverse topological order of
+// the condensation (callees before callers), each with its members
+// sorted; the outer slice order is deterministic.
+func (g *Digraph) SCCs() [][]string {
+	index := make(map[string]int)
+	low := make(map[string]int)
+	onStack := make(map[string]bool)
+	var stack []string
+	next := 0
+	var comps [][]string
+
+	var strongconnect func(v string)
+	strongconnect = func(v string) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+
+		for _, w := range g.Succ(v) {
+			if _, seen := index[w]; !seen {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] {
+				if index[w] < low[v] {
+					low[v] = index[w]
+				}
+			}
+		}
+
+		if low[v] == index[v] {
+			var comp []string
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				comp = append(comp, w)
+				if w == v {
+					break
+				}
+			}
+			sort.Strings(comp)
+			comps = append(comps, comp)
+		}
+	}
+
+	for _, v := range g.Nodes() {
+		if _, seen := index[v]; !seen {
+			strongconnect(v)
+		}
+	}
+	return comps
+}
+
+// NontrivialSCCs returns only the components that can contain a cycle:
+// those with more than one node, or a single node with a self-loop.
+func (g *Digraph) NontrivialSCCs() [][]string {
+	var out [][]string
+	for _, comp := range g.SCCs() {
+		if len(comp) > 1 || g.HasEdge(comp[0], comp[0]) {
+			out = append(out, comp)
+		}
+	}
+	return out
+}

@@ -1,0 +1,73 @@
+package icn
+
+import "testing"
+
+// TestUniformP2PVariants: the four static mappings are well-formed and
+// pairwise distinct for systems big enough to distinguish them (the
+// paper model checks "every possible static mapping"; these are the
+// representative family the harness sweeps).
+func TestUniformP2PVariants(t *testing.T) {
+	const endpoints = 5
+	maps := make([][][]uint8, 4)
+	for v := 0; v < 4; v++ {
+		maps[v] = UniformP2P(endpoints, v)
+		cfg := Config{
+			NumVNs: 1, Endpoints: endpoints, GlobalCap: 2, LocalCap: 2,
+			PointToPoint: true, P2P: maps[v],
+		}
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("variant %d invalid: %v", v, err)
+		}
+	}
+	for a := 0; a < 4; a++ {
+		for b := a + 1; b < 4; b++ {
+			if equalP2P(maps[a], maps[b]) {
+				t.Errorf("variants %d and %d coincide", a, b)
+			}
+		}
+	}
+	// Variant 0 routes everything through one buffer: strict global
+	// FIFO order.
+	for s := range maps[0] {
+		for d := range maps[0][s] {
+			if maps[0][s][d] != 0 {
+				t.Fatalf("variant 0 not all-zero")
+			}
+		}
+	}
+}
+
+func equalP2P(a, b [][]uint8) bool {
+	for i := range a {
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestP2PPreservesPairOrder: with a point-to-point mapping, two
+// messages between the same endpoints always share a buffer and hence
+// arrive in order.
+func TestP2PPreservesPairOrder(t *testing.T) {
+	cfg := Config{
+		NumVNs: 1, Endpoints: 3, GlobalCap: 4, LocalCap: 4,
+		PointToPoint: true, P2P: UniformP2P(3, 3),
+	}
+	s := NewState(cfg)
+	first := Message{Name: 1, Src: 0, Dst: 2}
+	second := Message{Name: 2, Src: 0, Dst: 2}
+	bufs := cfg.BufferChoices(0, 2)
+	if len(bufs) != 1 {
+		t.Fatalf("p2p pair has %d buffer choices", len(bufs))
+	}
+	s.Send(0, bufs[0], first)
+	s.Send(0, bufs[0], second)
+	s.Deliver(0, bufs[0])
+	s.Deliver(0, bufs[0])
+	if h, _ := s.Head(2, 0); h.Name != 1 {
+		t.Fatal("pair order violated under p2p mapping")
+	}
+}

@@ -1,0 +1,90 @@
+package machine
+
+import (
+	"strings"
+	"testing"
+
+	"minvn/internal/protocols"
+)
+
+// TestConfigValidation: New rejects malformed configurations with
+// actionable errors.
+func TestConfigValidation(t *testing.T) {
+	p := protocols.MustLoad("MSI_blocking_cache")
+	vn, n := UniformVN(p)
+	base := Config{Protocol: p, Caches: 2, Dirs: 1, Addrs: 1, VN: vn, NumVNs: n}
+
+	cases := []struct {
+		name   string
+		mutate func(c Config) Config
+		want   string
+	}{
+		{"no protocol", func(c Config) Config { c.Protocol = nil; return c }, "no protocol"},
+		{"zero caches", func(c Config) Config { c.Caches = 0; return c }, "caches"},
+		{"too many caches", func(c Config) Config { c.Caches = 9; return c }, "caches"},
+		{"zero dirs", func(c Config) Config { c.Dirs = 0; return c }, "directory"},
+		{"idle dirs", func(c Config) Config { c.Dirs = 2; c.Addrs = 1; return c }, "idle"},
+		{"zero VNs", func(c Config) Config { c.NumVNs = 0; return c }, "NumVNs"},
+		{"missing mapping", func(c Config) Config {
+			m := map[string]int{"GetS": 0}
+			c.VN = m
+			return c
+		}, "no VN assignment"},
+		{"out of range VN", func(c Config) Config {
+			m := map[string]int{}
+			for k := range vn {
+				m[k] = 5
+			}
+			c.VN = m
+			return c
+		}, "outside"},
+		{"oversize buffers", func(c Config) Config { c.GlobalCap = 10_000; return c }, "capacities"},
+	}
+	for _, tc := range cases {
+		if _, err := New(tc.mutate(base)); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want mention of %q", tc.name, err, tc.want)
+		}
+	}
+
+	if _, err := New(base); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+}
+
+// TestDefaultCapacitiesFollowFootnote5.
+func TestDefaultCapacitiesFollowFootnote5(t *testing.T) {
+	p := protocols.MustLoad("MSI_blocking_cache")
+	vn, n := UniformVN(p)
+	sys, err := New(Config{Protocol: p, Caches: 3, Dirs: 2, Addrs: 2, VN: vn, NumVNs: n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := 5 // endpoints
+	if got, want := sys.Config().GlobalCap, 2*e*(e-1); got != want {
+		t.Errorf("GlobalCap = %d, want %d", got, want)
+	}
+	if got, want := sys.Config().LocalCap, 2*(e-1); got != want {
+		t.Errorf("LocalCap = %d, want %d", got, want)
+	}
+}
+
+// TestDescribeAndQuiescent on the initial state.
+func TestDescribeInitial(t *testing.T) {
+	p := protocols.MustLoad("CHI")
+	vn, n := UniformVN(p)
+	sys, err := New(Config{Protocol: p, Caches: 2, Dirs: 1, Addrs: 1, VN: vn, NumVNs: n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	init := sys.Initial()[0]
+	if !sys.Quiescent(init) {
+		t.Error("initial state should be quiescent")
+	}
+	desc := sys.Describe(init)
+	if !strings.Contains(desc, "cache 0") || !strings.Contains(desc, "dir(a0)") {
+		t.Errorf("describe incomplete:\n%s", desc)
+	}
+	if sys.InFlight(init) != 0 {
+		t.Error("messages in flight at reset")
+	}
+}

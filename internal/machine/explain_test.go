@@ -1,0 +1,104 @@
+package machine
+
+import (
+	"strings"
+	"testing"
+
+	"minvn/internal/mc"
+	"minvn/internal/protocol"
+	"minvn/internal/protocols"
+)
+
+// TestExplainFig3Deadlock: the explanation of the Fig. 3 wedged state
+// names the crosswise Fwd-GetM stalls and the Class 2 same-name
+// collision.
+func TestExplainFig3Deadlock(t *testing.T) {
+	sys := newSys(t, "MSI_blocking_cache", 3, 2, 2, "permsg")
+	state := buildFig3(t, sys)
+
+	ex := sys.Explain(state)
+	if len(ex.Blocked) != 2 {
+		t.Fatalf("blocked heads = %d, want 2\n%s", len(ex.Blocked), ex)
+	}
+	for _, h := range ex.Blocked {
+		if h.Msg != "Fwd-GetM" || h.State != "IM_AD" {
+			t.Errorf("unexpected blocked head %+v", h)
+		}
+		if len(h.QueuedBehind) != 1 || h.QueuedBehind[0].Msg != "Fwd-GetM" {
+			t.Errorf("expected a Fwd-GetM queued behind, got %+v", h.QueuedBehind)
+		}
+	}
+	hint := strings.Join(ex.CycleHint, ",")
+	if !strings.Contains(hint, "Fwd-GetM") {
+		t.Errorf("cycle hint %q misses Fwd-GetM", hint)
+	}
+	if !strings.Contains(ex.String(), "stalled") {
+		t.Error("narrative missing")
+	}
+}
+
+// buildFig3 drives the scenario into the Fig. 3 wedged state.
+func buildFig3(t *testing.T, sys *System) []byte {
+	t.Helper()
+	const dirX, dirY, X, Y = 3, 4, 0, 1
+	sc := NewScenario(sys)
+	steps := []func() error{
+		func() error { return sc.Core(0, X, protocol.Store) },
+		func() error { return sc.Handle(dirX, "GetM", X) },
+		func() error { return sc.Handle(0, "Data", X) },
+		func() error { return sc.Core(1, Y, protocol.Store) },
+		func() error { return sc.Handle(dirY, "GetM", Y) },
+		func() error { return sc.Handle(1, "Data", Y) },
+		func() error { return sc.Core(0, Y, protocol.Store) },
+		func() error { return sc.HandleVia(dirY, "GetM", Y, 0) },
+		func() error { return sc.Core(1, X, protocol.Store) },
+		func() error { return sc.HandleVia(dirX, "GetM", X, 0) },
+		func() error { return sc.Core(2, Y, protocol.Store) },
+		func() error { return sc.HandleVia(dirY, "GetM", Y, 1) },
+		func() error { return sc.Core(2, X, protocol.Store) },
+		func() error { return sc.HandleVia(dirX, "GetM", X, 1) },
+		func() error { return sc.DeliverTo("Fwd-GetM", Y, 0) },
+		func() error { return sc.DeliverTo("Fwd-GetM", X, 1) },
+		func() error { return sc.DeliverTo("Fwd-GetM", Y, 1) },
+		func() error { return sc.DeliverTo("Fwd-GetM", X, 0) },
+	}
+	for i, f := range steps {
+		if err := f(); err != nil {
+			t.Fatalf("fig3 step %d: %v", i, err)
+		}
+	}
+	return sc.State()
+}
+
+// TestExplainCleanState: nothing blocked, no transients.
+func TestExplainCleanState(t *testing.T) {
+	sys := newSys(t, "MSI_blocking_cache", 2, 1, 1, "permsg")
+	ex := sys.Explain(sys.Initial()[0])
+	if len(ex.Blocked) != 0 || len(ex.PendingTransients) != 0 || len(ex.CycleHint) != 0 {
+		t.Fatalf("initial state explanation not clean: %s", ex)
+	}
+}
+
+// TestSequenceChart renders a deadlock counterexample.
+func TestSequenceChart(t *testing.T) {
+	p := protocols.MustLoad("MSI_class1")
+	vn, n := PerMessageVN(p)
+	sys, err := New(Config{Protocol: p, Caches: 2, Dirs: 1, Addrs: 1, VN: vn, NumVNs: n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := mc.Check(sys, mc.Options{Strategy: mc.BFS, MaxStates: 500_000})
+	if res.Outcome != mc.Deadlock {
+		t.Fatalf("expected deadlock, got %v", res)
+	}
+	chart := sys.SequenceChart(res.Trace, 12)
+	if !strings.Contains(chart, "C0") || !strings.Contains(chart, "D0") {
+		t.Fatalf("chart header missing:\n%s", chart)
+	}
+	if !strings.Contains(chart, "elided") && len(res.Trace) > 12 {
+		t.Error("long trace not elided")
+	}
+	if !strings.Contains(chart, "SM_A") {
+		t.Errorf("deadlock states not visible:\n%s", chart)
+	}
+}

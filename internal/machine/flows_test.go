@@ -1,0 +1,360 @@
+package machine
+
+import (
+	"testing"
+
+	"minvn/internal/protocol"
+)
+
+// Transaction walkthroughs per protocol family: drive the canonical
+// flows of each table through the scenario driver and check the
+// resulting stable states. These validate the transcriptions
+// transition by transition, complementing the exhaustive model checks.
+
+type flow struct {
+	desc string
+	f    func(sc *Scenario) error
+}
+
+func runFlow(t *testing.T, sys *System, flows []flow) *Scenario {
+	t.Helper()
+	sc := NewScenario(sys)
+	for _, fl := range flows {
+		if err := fl.f(sc); err != nil {
+			t.Fatalf("%s: %v\nlog:\n%s", fl.desc, err, sc.FormatLog())
+		}
+	}
+	return sc
+}
+
+// TestMESIExclusiveGrantAndSilentUpgrade: a lone reader gets E; its
+// store upgrades silently; a second reader makes the owner supply data
+// and both settle in S.
+func TestMESIExclusiveGrantAndSilentUpgrade(t *testing.T) {
+	sys := newSys(t, "MESI_nonblocking_cache", 2, 1, 1, "permsg")
+	dir := 2
+	sc := runFlow(t, sys, []flow{
+		{"C0 loads", func(s *Scenario) error { return s.Core(0, 0, protocol.Load) }},
+		{"dir grants exclusive", func(s *Scenario) error { return s.Handle(dir, "GetS", 0) }},
+		{"C0 takes Data-E", func(s *Scenario) error { return s.Handle(0, "Data-E", 0) }},
+	})
+	if got := sys.CacheState(sc.State(), 0, 0); got != "E" {
+		t.Fatalf("cache 0 in %s, want E", got)
+	}
+	if got := sys.DirState(sc.State(), 0); got != "EorM" {
+		t.Fatalf("dir in %s, want EorM", got)
+	}
+
+	// Silent E→M upgrade.
+	if err := sc.Core(0, 0, protocol.Store); err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.CacheState(sc.State(), 0, 0); got != "M" {
+		t.Fatalf("cache 0 in %s after store, want M", got)
+	}
+
+	// Second reader: dir forwards, owner supplies data to both reader
+	// and directory.
+	for _, fl := range []flow{
+		{"C1 loads", func(s *Scenario) error { return s.Core(1, 0, protocol.Load) }},
+		{"dir forwards to owner", func(s *Scenario) error { return s.Handle(dir, "GetS", 0) }},
+		{"owner serves Fwd-GetS", func(s *Scenario) error { return s.Handle(0, "Fwd-GetS", 0) }},
+		{"C1 takes data", func(s *Scenario) error { return s.Handle(1, "Data", 0) }},
+		{"dir takes data", func(s *Scenario) error { return s.Handle(dir, "Data", 0) }},
+	} {
+		if err := fl.f(sc); err != nil {
+			t.Fatalf("%s: %v\nlog:\n%s", fl.desc, err, sc.FormatLog())
+		}
+	}
+	for c := 0; c < 2; c++ {
+		if got := sys.CacheState(sc.State(), c, 0); got != "S" {
+			t.Fatalf("cache %d in %s, want S", c, got)
+		}
+	}
+	if got := sys.DirState(sc.State(), 0); got != "S" {
+		t.Fatalf("dir in %s, want S", got)
+	}
+	if !sys.Quiescent(sc.State()) {
+		t.Fatalf("not quiescent:\n%s", sc.Describe())
+	}
+}
+
+// TestMOSIOwnerServesReader: the defining MOSI behaviour — a GetS to a
+// modified block leaves the dirty data with the owner (M→O) and the
+// directory never blocks.
+func TestMOSIOwnerServesReader(t *testing.T) {
+	sys := newSys(t, "MOSI_nonblocking_cache", 2, 1, 1, "permsg")
+	dir := 2
+	sc := runFlow(t, sys, []flow{
+		{"C0 stores", func(s *Scenario) error { return s.Core(0, 0, protocol.Store) }},
+		{"dir grants M", func(s *Scenario) error { return s.Handle(dir, "GetM", 0) }},
+		{"C0 takes data", func(s *Scenario) error { return s.Handle(0, "Data", 0) }},
+		{"C1 loads", func(s *Scenario) error { return s.Core(1, 0, protocol.Load) }},
+		{"dir forwards (stays unblocked)", func(s *Scenario) error { return s.Handle(dir, "GetS", 0) }},
+		{"owner serves from M", func(s *Scenario) error { return s.Handle(0, "Fwd-GetS", 0) }},
+		{"C1 takes data", func(s *Scenario) error { return s.Handle(1, "Data", 0) }},
+	})
+	if got := sys.CacheState(sc.State(), 0, 0); got != "O" {
+		t.Fatalf("owner in %s, want O", got)
+	}
+	if got := sys.CacheState(sc.State(), 1, 0); got != "S" {
+		t.Fatalf("reader in %s, want S", got)
+	}
+	if got := sys.DirState(sc.State(), 0); got != "O" {
+		t.Fatalf("dir in %s, want O", got)
+	}
+	if !sys.Quiescent(sc.State()) {
+		t.Fatalf("not quiescent:\n%s", sc.Describe())
+	}
+}
+
+// TestMOSIOwnerUpgrade: O + store goes through AckCount + Inv-Acks.
+func TestMOSIOwnerUpgrade(t *testing.T) {
+	sys := newSys(t, "MOSI_nonblocking_cache", 2, 1, 1, "permsg")
+	dir := 2
+	sc := runFlow(t, sys, []flow{
+		// Build O(owner C0) + sharer C1.
+		{"C0 stores", func(s *Scenario) error { return s.Core(0, 0, protocol.Store) }},
+		{"dir grants M", func(s *Scenario) error { return s.Handle(dir, "GetM", 0) }},
+		{"C0 takes data", func(s *Scenario) error { return s.Handle(0, "Data", 0) }},
+		{"C1 loads", func(s *Scenario) error { return s.Core(1, 0, protocol.Load) }},
+		{"dir forwards", func(s *Scenario) error { return s.Handle(dir, "GetS", 0) }},
+		{"owner serves", func(s *Scenario) error { return s.Handle(0, "Fwd-GetS", 0) }},
+		{"C1 takes data", func(s *Scenario) error { return s.Handle(1, "Data", 0) }},
+		// Owner upgrades: AckCount carries 1, C1 gets Inv.
+		{"owner stores again", func(s *Scenario) error { return s.Core(0, 0, protocol.Store) }},
+		{"dir counts acks + invalidates", func(s *Scenario) error { return s.Handle(dir, "Upgrade", 0) }},
+		{"C1 invalidates", func(s *Scenario) error { return s.Handle(1, "Inv", 0) }},
+		{"owner takes AckCount", func(s *Scenario) error { return s.Handle(0, "AckCount", 0) }},
+		{"owner takes Inv-Ack", func(s *Scenario) error { return s.Handle(0, "Inv-Ack", 0) }},
+	})
+	if got := sys.CacheState(sc.State(), 0, 0); got != "M" {
+		t.Fatalf("owner in %s, want M\n%s", got, sc.Describe())
+	}
+	if got := sys.CacheState(sc.State(), 1, 0); got != "I" {
+		t.Fatalf("sharer in %s, want I", got)
+	}
+	if !sys.Quiescent(sc.State()) {
+		t.Fatalf("not quiescent:\n%s", sc.Describe())
+	}
+}
+
+// TestCHICompletionFlow: every CHI transaction parks the home in a
+// busy state until CompAck.
+func TestCHICompletionFlow(t *testing.T) {
+	sys := newSys(t, "CHI", 2, 1, 1, "permsg")
+	home := 2
+	sc := NewScenario(sys)
+	if err := sc.Core(0, 0, protocol.Load); err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.Handle(home, "ReadShared", 0); err != nil {
+		t.Fatal(err)
+	}
+	// The home must now be blocked waiting for CompAck.
+	if got := sys.DirState(sc.State(), 0); got != "BusyUAck" {
+		t.Fatalf("home in %s, want BusyUAck (exclusive read grant)", got)
+	}
+	if err := sc.Handle(0, "CompData_UC", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.Handle(home, "CompAck", 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.DirState(sc.State(), 0); got != "UNIQ" {
+		t.Fatalf("home in %s, want UNIQ", got)
+	}
+	if got := sys.CacheState(sc.State(), 0, 0); got != "UC" {
+		t.Fatalf("cache in %s, want UC", got)
+	}
+
+	// CleanUnique upgrade by the other cache, which is Invalid: the
+	// paper's Fig. 5 I→UCE full-write flow.
+	steps := []flow{
+		{"C1 stores from I", func(s *Scenario) error { return s.Core(1, 0, protocol.Store) }},
+		{"home snoops owner", func(s *Scenario) error { return s.Handle(home, "ReadUnique", 0) }},
+		{"owner yields data", func(s *Scenario) error { return s.Handle(0, "SnpUnique", 0) }},
+		{"home collects + grants", func(s *Scenario) error { return s.Handle(home, "SnpRespData", 0) }},
+		{"C1 completes", func(s *Scenario) error { return s.Handle(1, "CompData", 0) }},
+		{"home retires on CompAck", func(s *Scenario) error { return s.Handle(home, "CompAck", 0) }},
+	}
+	for _, st := range steps {
+		if err := st.f(sc); err != nil {
+			t.Fatalf("%s: %v\n%s", st.desc, err, sc.Describe())
+		}
+	}
+	if got := sys.CacheState(sc.State(), 1, 0); got != "UD" {
+		t.Fatalf("writer in %s, want UD", got)
+	}
+	if got := sys.CacheState(sc.State(), 0, 0); got != "I" {
+		t.Fatalf("old owner in %s, want I", got)
+	}
+	if !sys.Quiescent(sc.State()) {
+		t.Fatalf("not quiescent:\n%s", sc.Describe())
+	}
+}
+
+// TestCHIHomeBlocksConcurrentRequest: the "directory always blocks"
+// property in action — a second request stalls at the home until the
+// first transaction's CompAck.
+func TestCHIHomeBlocksConcurrentRequest(t *testing.T) {
+	sys := newSys(t, "CHI", 2, 1, 1, "permsg")
+	home := 2
+	sc := NewScenario(sys)
+	must := func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(sc.Core(0, 0, protocol.Load))
+	must(sc.Handle(home, "ReadShared", 0))
+	// Second request arrives while the home is busy.
+	must(sc.Core(1, 0, protocol.Load))
+	must(sc.DeliverTo("ReadShared", 0, home))
+	if stalled := sc.StalledHeads(); len(stalled) != 1 {
+		t.Fatalf("expected the second ReadShared stalled at the home, got %v", stalled)
+	}
+	// Completing the first transaction unblocks it.
+	must(sc.Handle(0, "CompData_UC", 0))
+	must(sc.Handle(home, "CompAck", 0))
+	must(sc.Process(home, "ReadShared", 0))
+	if got := sys.DirState(sc.State(), 0); got == "UNIQ" {
+		t.Fatalf("home still UNIQ after processing second read")
+	}
+}
+
+// TestMSIPutAckWaitRace drives the eviction race the Put-AckWait
+// handshake exists for: the directory acks a non-owner PutM, the
+// evictor keeps the data and serves the owed forward from MIW_A.
+func TestMSIPutAckWaitRace(t *testing.T) {
+	sys := newSys(t, "MSI_blocking_cache", 2, 1, 1, "permsg")
+	dir := 2
+	sc := NewScenario(sys)
+	must := func(err error) {
+		if err != nil {
+			t.Fatalf("%v\nlog:\n%s\nstate:\n%s", err, sc.FormatLog(), sc.Describe())
+		}
+	}
+	// C0 owns the block, starts evicting.
+	must(sc.Core(0, 0, protocol.Store))
+	must(sc.Handle(dir, "GetM", 0))
+	must(sc.Handle(0, "Data", 0))
+	must(sc.Core(0, 0, protocol.Replacement))
+	// C1's write is ordered first at the directory: Fwd-GetM heads to
+	// C0 (but stays in flight).
+	must(sc.Core(1, 0, protocol.Store))
+	must(sc.Handle(dir, "GetM", 0))
+	// The PutM now reaches the directory as a non-owner: Put-AckWait.
+	must(sc.Handle(dir, "PutM", 0))
+	must(sc.Handle(0, "Put-AckWait", 0))
+	if got := sys.CacheState(sc.State(), 0, 0); got != "MIW_A" {
+		t.Fatalf("evictor in %s, want MIW_A", got)
+	}
+	// The owed forward arrives; the evictor serves it and retires.
+	must(sc.Handle(0, "Fwd-GetM", 0))
+	if got := sys.CacheState(sc.State(), 0, 0); got != "I" {
+		t.Fatalf("evictor in %s, want I", got)
+	}
+	must(sc.Handle(1, "Data", 0))
+	if got := sys.CacheState(sc.State(), 1, 0); got != "M" {
+		t.Fatalf("writer in %s, want M", got)
+	}
+	if !sys.Quiescent(sc.State()) {
+		t.Fatalf("not quiescent:\n%s", sc.Describe())
+	}
+}
+
+// TestMESIFForwardChain: the F designation hops from reader to reader
+// with the home blocking only for the receipt handshake, and the
+// F-holder (not memory) supplies the data.
+func TestMESIFForwardChain(t *testing.T) {
+	sys := newSys(t, "MESIF_nonblocking_cache", 3, 1, 1, "permsg")
+	dir := 3
+	sc := NewScenario(sys)
+	must := func(desc string, err error) {
+		if err != nil {
+			t.Fatalf("%s: %v\nlog:\n%s\nstate:\n%s", desc, err, sc.FormatLog(), sc.Describe())
+		}
+	}
+
+	// C0 reads an idle block: exclusive grant.
+	must("C0 loads", sc.Core(0, 0, protocol.Load))
+	must("home grants E", sc.Handle(dir, "GetS", 0))
+	must("C0 takes Data-E", sc.Handle(0, "Data-E", 0))
+	if got := sys.CacheState(sc.State(), 0, 0); got != "E" {
+		t.Fatalf("C0 in %s, want E", got)
+	}
+
+	// C1 reads: the exclusive owner downgrades, C1 becomes the
+	// F-holder, the home collects the (clean) write-back in F_D.
+	must("C1 loads", sc.Core(1, 0, protocol.Load))
+	must("home forwards to owner", sc.Handle(dir, "GetS", 0))
+	must("owner serves", sc.Handle(0, "Fwd-GetS", 0))
+	must("C1 takes Data-FX", sc.Handle(1, "Data-FX", 0))
+	must("home takes write-back", sc.Handle(dir, "Data", 0))
+	if got := sys.CacheState(sc.State(), 1, 0); got != "F" {
+		t.Fatalf("C1 in %s, want F", got)
+	}
+	if got := sys.DirState(sc.State(), 0); got != "F" {
+		t.Fatalf("home in %s, want F", got)
+	}
+
+	// C2 reads: the F-holder answers and the designation hops to C2
+	// once the receipt confirmation lands.
+	must("C2 loads", sc.Core(2, 0, protocol.Load))
+	must("home forwards along the F chain", sc.Handle(dir, "GetS", 0))
+	must("holder serves Data-F", sc.Handle(1, "Fwd-GetSF", 0))
+	must("C2 takes Data-F", sc.Handle(2, "Data-F", 0))
+	must("home unblocks on FwdDone", sc.Handle(dir, "FwdDone", 0))
+	if got := sys.CacheState(sc.State(), 2, 0); got != "F" {
+		t.Fatalf("C2 in %s, want F", got)
+	}
+	if got := sys.CacheState(sc.State(), 1, 0); got != "S" {
+		t.Fatalf("C1 in %s, want S", got)
+	}
+	if got := sys.DirState(sc.State(), 0); got != "F" {
+		t.Fatalf("home in %s, want F", got)
+	}
+	if !sys.Quiescent(sc.State()) {
+		t.Fatalf("not quiescent:\n%s", sc.Describe())
+	}
+}
+
+// TestTileLinkAcquireProbeGrant: the five-channel transaction shape —
+// Acquire, Probe, ProbeAckData, Grant, GrantAck.
+func TestTileLinkAcquireProbeGrant(t *testing.T) {
+	sys := newSys(t, "TileLink", 2, 1, 1, "permsg")
+	home := 2
+	sc := NewScenario(sys)
+	must := func(desc string, err error) {
+		if err != nil {
+			t.Fatalf("%s: %v\nstate:\n%s", desc, err, sc.Describe())
+		}
+	}
+	must("C0 acquires tip", sc.Core(0, 0, protocol.Store))
+	must("home grants", sc.Handle(home, "AcquireUnique", 0))
+	must("C0 takes grant", sc.Handle(0, "GrantUnique", 0))
+	must("home retires on GrantAck", sc.Handle(home, "GrantAck", 0))
+	if got := sys.DirState(sc.State(), 0); got != "Tip" {
+		t.Fatalf("home in %s, want Tip", got)
+	}
+
+	must("C1 acquires shared", sc.Core(1, 0, protocol.Load))
+	must("home probes the tip", sc.Handle(home, "AcquireShared", 0))
+	must("tip yields data", sc.Handle(0, "ProbeShared", 0))
+	must("home grants from probe data", sc.Handle(home, "ProbeAckData", 0))
+	must("C1 takes grant", sc.Handle(1, "GrantShared", 0))
+	must("home retires", sc.Handle(home, "GrantAck", 0))
+	if got := sys.CacheState(sc.State(), 0, 0); got != "B" {
+		t.Fatalf("old tip in %s, want B", got)
+	}
+	if got := sys.CacheState(sc.State(), 1, 0); got != "B" {
+		t.Fatalf("reader in %s, want B", got)
+	}
+	if got := sys.DirState(sc.State(), 0); got != "Branches" {
+		t.Fatalf("home in %s, want Branches", got)
+	}
+	if !sys.Quiescent(sc.State()) {
+		t.Fatalf("not quiescent:\n%s", sc.Describe())
+	}
+}

@@ -1,0 +1,226 @@
+package machine
+
+import (
+	"testing"
+
+	"minvn/internal/protocol"
+	"minvn/internal/protocols"
+)
+
+func newSys(t *testing.T, proto string, caches, dirs, addrs int, vnMode string) *System {
+	t.Helper()
+	p := protocols.MustLoad(proto)
+	var vn map[string]int
+	var n int
+	switch vnMode {
+	case "uniform":
+		vn, n = UniformVN(p)
+	case "permsg":
+		vn, n = PerMessageVN(p)
+	case "type":
+		vn, n = TypeVN(p, true)
+	default:
+		t.Fatalf("unknown vn mode %q", vnMode)
+	}
+	sys, err := New(Config{
+		Protocol: p, Caches: caches, Dirs: dirs, Addrs: addrs,
+		VN: vn, NumVNs: n,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+// TestReadTransaction drives GetS → Data → S end to end.
+func TestReadTransaction(t *testing.T) {
+	sys := newSys(t, "MSI_blocking_cache", 2, 1, 1, "permsg")
+	sc := NewScenario(sys)
+	dir := 2 // endpoint id of the only directory
+
+	if err := sc.Core(0, 0, protocol.Load); err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.CacheState(sc.State(), 0, 0); got != "IS_D" {
+		t.Fatalf("cache 0 in %s, want IS_D", got)
+	}
+	if err := sc.Handle(dir, "GetS", 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.DirState(sc.State(), 0); got != "S" {
+		t.Fatalf("dir in %s, want S", got)
+	}
+	if err := sc.Handle(0, "Data", 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.CacheState(sc.State(), 0, 0); got != "S" {
+		t.Fatalf("cache 0 in %s, want S", got)
+	}
+	if !sys.Quiescent(sc.State()) {
+		t.Fatalf("expected quiescent state:\n%s", sc.Describe())
+	}
+}
+
+// TestWriteWithInvalidation drives the three-hop write: C0 takes S,
+// C1 writes, C0 is invalidated, the Inv-Ack completes C1's store.
+func TestWriteWithInvalidation(t *testing.T) {
+	sys := newSys(t, "MSI_blocking_cache", 2, 1, 1, "permsg")
+	sc := NewScenario(sys)
+	dir := 2
+
+	steps := []func() error{
+		func() error { return sc.Core(0, 0, protocol.Load) },
+		func() error { return sc.Handle(dir, "GetS", 0) },
+		func() error { return sc.Handle(0, "Data", 0) },
+		func() error { return sc.Core(1, 0, protocol.Store) },
+		func() error { return sc.Handle(dir, "GetM", 0) },
+		func() error { return sc.Handle(0, "Inv", 0) },
+		func() error { return sc.Handle(1, "Data", 0) },
+		func() error { return sc.Handle(1, "Inv-Ack", 0) },
+	}
+	for i, s := range steps {
+		if err := s(); err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+	}
+	if got := sys.CacheState(sc.State(), 1, 0); got != "M" {
+		t.Fatalf("cache 1 in %s, want M\n%s", got, sc.Describe())
+	}
+	if got := sys.CacheState(sc.State(), 0, 0); got != "I" {
+		t.Fatalf("cache 0 in %s, want I", got)
+	}
+	if !sys.Quiescent(sc.State()) {
+		t.Fatalf("expected quiescent state:\n%s", sc.Describe())
+	}
+}
+
+// TestEviction drives M → PutM → Put-Ack → I.
+func TestEviction(t *testing.T) {
+	sys := newSys(t, "MSI_blocking_cache", 2, 1, 1, "permsg")
+	sc := NewScenario(sys)
+	dir := 2
+
+	steps := []func() error{
+		func() error { return sc.Core(0, 0, protocol.Store) },
+		func() error { return sc.Handle(dir, "GetM", 0) },
+		func() error { return sc.Handle(0, "Data", 0) },
+		func() error { return sc.Core(0, 0, protocol.Replacement) },
+		func() error { return sc.Handle(dir, "PutM", 0) },
+		func() error { return sc.Handle(0, "Put-Ack", 0) },
+	}
+	for i, s := range steps {
+		if err := s(); err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+	}
+	if got := sys.CacheState(sc.State(), 0, 0); got != "I" {
+		t.Fatalf("cache 0 in %s, want I", got)
+	}
+	if got := sys.DirState(sc.State(), 0); got != "I" {
+		t.Fatalf("dir in %s, want I", got)
+	}
+}
+
+// TestFig3Deadlock replays the paper's Fig. 3 execution: three caches,
+// two directories, two addresses, MSI with a blocking cache, every
+// message on its own VN — and the system still wedges, the Class 2
+// signature.
+func TestFig3Deadlock(t *testing.T) {
+	sys := newSys(t, "MSI_blocking_cache", 3, 2, 2, "permsg")
+	sc := NewScenario(sys)
+	const (
+		dirX = 3 // home of address 0 ("X")
+		dirY = 4 // home of address 1 ("Y")
+		X    = 0
+		Y    = 1
+	)
+
+	steps := []struct {
+		desc string
+		f    func() error
+	}{
+		// Setup: C0 owns X in M, C1 owns Y in M.
+		{"C0 stores X", func() error { return sc.Core(0, X, protocol.Store) }},
+		{"dirX handles GetM", func() error { return sc.Handle(dirX, "GetM", X) }},
+		{"C0 gets data", func() error { return sc.Handle(0, "Data", X) }},
+		{"C1 stores Y", func() error { return sc.Core(1, Y, protocol.Store) }},
+		{"dirY handles GetM", func() error { return sc.Handle(dirY, "GetM", Y) }},
+		{"C1 gets data", func() error { return sc.Handle(1, "Data", Y) }},
+
+		// Time 1: C0 requests Y, C1 requests X; the directories
+		// forward to the current owners. These first-generation
+		// forwards ride global buffer 0 and are "delayed until time
+		// 4" (Fig. 3).
+		{"C0 stores Y", func() error { return sc.Core(0, Y, protocol.Store) }},
+		{"dirY handles C0.GetM", func() error { return sc.HandleVia(dirY, "GetM", Y, 0) }},
+		{"C1 stores X", func() error { return sc.Core(1, X, protocol.Store) }},
+		{"dirX handles C1.GetM", func() error { return sc.HandleVia(dirX, "GetM", X, 0) }},
+
+		// Time 2: C2 requests both blocks; the new Fwd-GetMs go to
+		// the *pending* owners C0 (for Y) and C1 (for X) through
+		// global buffer 1, overtaking the first generation.
+		{"C2 stores Y", func() error { return sc.Core(2, Y, protocol.Store) }},
+		{"dirY handles C2.GetM", func() error { return sc.HandleVia(dirY, "GetM", Y, 1) }},
+		{"C2 stores X", func() error { return sc.Core(2, X, protocol.Store) }},
+		{"dirX handles C2.GetM", func() error { return sc.HandleVia(dirX, "GetM", X, 1) }},
+
+		// Time 3: the second-generation forwards arrive first and
+		// stall (C0 is in IM_AD for Y; C1 in IM_AD for X).
+		{"Fwd-GetM(Y) reaches C0", func() error { return sc.DeliverTo("Fwd-GetM", Y, 0) }},
+		{"Fwd-GetM(X) reaches C1", func() error { return sc.DeliverTo("Fwd-GetM", X, 1) }},
+
+		// Time 4: the first-generation forwards queue behind them.
+		{"Fwd-GetM(Y) queues at C1", func() error { return sc.DeliverTo("Fwd-GetM", Y, 1) }},
+		{"Fwd-GetM(X) queues at C0", func() error { return sc.DeliverTo("Fwd-GetM", X, 0) }},
+	}
+	for _, s := range steps {
+		if err := s.f(); err != nil {
+			t.Fatalf("%s: %v", s.desc, err)
+		}
+	}
+
+	stalled := sc.StalledHeads()
+	if len(stalled) < 2 {
+		t.Fatalf("expected both caches to be stalled, got %v\nstate:\n%s", stalled, sc.Describe())
+	}
+	stuck, err := sc.Stuck()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stuck {
+		return // fully wedged already
+	}
+	// C2 can still issue core events on a fully saturated system; the
+	// essential deadlock is the crosswise stall, which model checking
+	// (TestMSIModelCheckDeadlock) confirms reaches a total deadlock.
+	if len(stalled) != 2 {
+		t.Fatalf("want exactly the two crosswise stalls, got %v", stalled)
+	}
+}
+
+// TestCanonicalizeSymmetry: swapping two caches' roles must yield the
+// same canonical state.
+func TestCanonicalizeSymmetry(t *testing.T) {
+	sys := newSys(t, "MSI_blocking_cache", 2, 1, 1, "uniform")
+
+	run := func(cache int) []byte {
+		sc := NewScenario(sys)
+		if err := sc.Core(cache, 0, protocol.Store); err != nil {
+			t.Fatal(err)
+		}
+		if err := sc.Handle(2, "GetM", 0); err != nil {
+			t.Fatal(err)
+		}
+		if err := sc.Handle(cache, "Data", 0); err != nil {
+			t.Fatal(err)
+		}
+		return sc.State()
+	}
+	a, b := run(0), run(1)
+	if string(a) == string(b) {
+		t.Fatal("states with different cache roles should differ before canonicalization")
+	}
+	if string(sys.Canonicalize(a)) != string(sys.Canonicalize(b)) {
+		t.Fatal("canonical forms should coincide")
+	}
+}

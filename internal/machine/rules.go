@@ -1,0 +1,515 @@
+package machine
+
+import (
+	"errors"
+	"fmt"
+
+	"minvn/internal/icn"
+	"minvn/internal/protocol"
+)
+
+// RuleKind discriminates the three rule families of the transition
+// system.
+type RuleKind int
+
+const (
+	// RuleCore: a cache issues a processor event for an address.
+	RuleCore RuleKind = iota
+	// RuleDeliver: the head of a global buffer moves to its
+	// destination's input FIFO.
+	RuleDeliver
+	// RuleProcess: an endpoint consumes the head of one of its input
+	// FIFOs.
+	RuleProcess
+)
+
+// Rule identifies one deterministic transition. Plan selects, for each
+// message the firing sends (in action order), which global buffer
+// receives it; plans are enumerated by Rules so that the model checker
+// explores every insertion choice of the ICN model.
+type Rule struct {
+	Kind RuleKind
+
+	// RuleCore fields.
+	Cache int
+	Addr  int
+	Core  protocol.CoreEvent
+
+	// RuleDeliver fields.
+	VN  int
+	Buf int
+
+	// RuleProcess fields.
+	Endpoint int
+	PVN      int
+
+	Plan []int
+}
+
+// String renders a rule compactly for traces and scenario matching.
+func (r Rule) String() string {
+	switch r.Kind {
+	case RuleCore:
+		return fmt.Sprintf("core c%d a%d %s plan=%v", r.Cache, r.Addr, r.Core, r.Plan)
+	case RuleDeliver:
+		return fmt.Sprintf("deliver vn%d buf%d", r.VN, r.Buf)
+	default:
+		return fmt.Sprintf("process ep%d vn%d plan=%v", r.Endpoint, r.PVN, r.Plan)
+	}
+}
+
+// errBlocked marks a rule (or plan) that is disabled in the current
+// state — not an error, just an absent transition.
+var errBlocked = errors.New("blocked")
+
+// violation builds an invariant-violation error.
+func violation(format string, args ...any) error {
+	return fmt.Errorf("invariant violation: "+format, args...)
+}
+
+// firing is the controller-side effect of a transition, before network
+// insertion: next is the mutated state with the trigger consumed, outs
+// the messages to insert.
+type firing struct {
+	next *state
+	outs []icn.Message
+}
+
+// resolveEvent computes the qualified reception event for message m at
+// endpoint ep (paper §II's table columns such as "Data from Dir
+// (ack>0)" or "PutM from Owner").
+func (s *System) resolveEvent(st *state, ep int, m icn.Message) protocol.Event {
+	spec := s.msgs[m.Name]
+	name := s.msgNames[m.Name]
+	addr := int(m.Addr)
+	switch spec.Qual {
+	case protocol.QualDataSource:
+		var acks int8
+		if s.isCache(ep) {
+			acks = st.cache[ep][addr].acks
+		} else {
+			acks = st.dir[addr].acks
+		}
+		if int(acks)+int(m.Acks) == 0 {
+			return protocol.MsgQualEv(name, protocol.QAckZero)
+		}
+		return protocol.MsgQualEv(name, protocol.QAckPositive)
+	case protocol.QualAckUnit:
+		var acks int8
+		if s.isCache(ep) {
+			acks = st.cache[ep][addr].acks
+		} else {
+			acks = st.dir[addr].acks
+		}
+		if acks == 1 {
+			return protocol.MsgQualEv(name, protocol.QLastAck)
+		}
+		return protocol.MsgQualEv(name, protocol.QNotLastAck)
+	case protocol.QualOwnership:
+		e := st.dir[addr]
+		if e.owner != 0 && e.owner-1 == m.Src {
+			return protocol.MsgQualEv(name, protocol.QFromOwner)
+		}
+		return protocol.MsgQualEv(name, protocol.QFromNonOwner)
+	case protocol.QualLastSharer:
+		e := st.dir[addr]
+		if countSharersExcept(e.sharers, m.Req, s.cfg.Caches) == 0 {
+			return protocol.MsgQualEv(name, protocol.QLastSharer)
+		}
+		return protocol.MsgQualEv(name, protocol.QNotLastSharer)
+	default:
+		return protocol.MsgEv(name)
+	}
+}
+
+// lookup finds the transition for ev in the given controller state,
+// falling back to the unqualified column.
+func lookup(c *protocol.Controller, stateName string, ev protocol.Event) *protocol.Transition {
+	if t := c.Lookup(stateName, ev); t != nil {
+		return t
+	}
+	if !ev.IsCore() && ev.Qual != protocol.QNone {
+		return c.Lookup(stateName, protocol.MsgEv(ev.Msg))
+	}
+	return nil
+}
+
+// execute applies a transition at endpoint ep for addr. trigger is the
+// consumed message (nil for core events); requestor is the requestor
+// id for new messages. The trigger must already have been popped from
+// its FIFO by the caller. Returns the out-messages in action order.
+func (s *System) execute(st *state, ep, addr int, t *protocol.Transition,
+	trigger *icn.Message, requestor uint8) (firing, error) {
+
+	f := firing{next: st}
+	var ctrl *protocol.Controller
+	if s.isCache(ep) {
+		ctrl = s.p.Cache
+	} else {
+		ctrl = s.p.Dir
+	}
+
+	// Automatic ack arithmetic at reception (paper §II tables'
+	// "ack--"/"ack+=" semantics).
+	if trigger != nil {
+		spec := s.msgs[trigger.Name]
+		switch spec.Qual {
+		case protocol.QualDataSource:
+			if s.isCache(ep) {
+				st.cache[ep][addr].acks += trigger.Acks
+			} else {
+				st.dir[addr].acks += trigger.Acks
+			}
+		case protocol.QualAckUnit:
+			if s.isCache(ep) {
+				st.cache[ep][addr].acks--
+			} else {
+				st.dir[addr].acks--
+			}
+		}
+	}
+
+	for _, a := range t.Actions {
+		switch a.Kind {
+		case protocol.ASend:
+			msgSpec, ok := s.p.Messages[a.Msg]
+			if !ok {
+				return f, violation("endpoint %d sends undeclared message %q", ep, a.Msg)
+			}
+			var dsts []int
+			de := &st.dir[addr]
+			switch a.To {
+			case protocol.ToDir:
+				dsts = []int{s.home(addr)}
+			case protocol.ToReq:
+				dsts = []int{int(requestor)}
+			case protocol.ToOwner:
+				if de.owner == 0 {
+					return f, violation("directory for a%d sends %s to missing owner", addr, a.Msg)
+				}
+				dsts = []int{int(de.owner - 1)}
+			case protocol.ToSharers:
+				for _, c := range sharersExcept(de.sharers, requestor, s.cfg.Caches) {
+					dsts = append(dsts, c)
+				}
+			case protocol.ToSaved:
+				ce := &st.cache[ep][addr]
+				if ce.saved == 0 {
+					return f, violation("cache %d a%d sends %s to empty saved register", ep, addr, a.Msg)
+				}
+				dsts = []int{int(ce.saved - 1)}
+			default:
+				return f, violation("unknown destination %v", a.To)
+			}
+			var acks int8
+			switch {
+			case a.WithAcks:
+				acks = int8(countSharersExcept(de.sharers, requestor, s.cfg.Caches))
+			case a.To == protocol.ToSaved && msgSpec.Ack == protocol.AckCarrier:
+				acks = st.cache[ep][addr].savedAcks
+			case a.Inherit && trigger != nil:
+				acks = trigger.Acks
+			}
+			req := requestor
+			if a.To == protocol.ToSaved || a.ReqSaved {
+				// The deferred response answers the recorded
+				// requestor's transaction.
+				ce := &st.cache[ep][addr]
+				if ce.saved == 0 {
+					return f, violation("cache %d a%d sends %s with empty saved register", ep, addr, a.Msg)
+				}
+				req = ce.saved - 1
+			}
+			for _, d := range dsts {
+				if d == ep {
+					return f, violation("endpoint %d sends %s to itself", ep, a.Msg)
+				}
+				f.outs = append(f.outs, icn.Message{
+					Name: s.msgIdx[a.Msg],
+					Addr: uint8(addr),
+					Src:  uint8(ep),
+					Req:  req,
+					Dst:  uint8(d),
+					Acks: acks,
+				})
+			}
+			if a.To == protocol.ToSaved || a.ReqSaved {
+				st.cache[ep][addr].saved = 0
+				st.cache[ep][addr].savedAcks = 0
+			}
+
+		case protocol.ARecordSaved:
+			if !s.isCache(ep) || trigger == nil {
+				return f, violation("RecordSaved outside cache message processing")
+			}
+			ce := &st.cache[ep][addr]
+			if ce.saved != 0 {
+				return f, violation("cache %d a%d defers a second forward (%s) with one saved register",
+					ep, addr, s.msgNames[trigger.Name])
+			}
+			ce.saved = trigger.Req + 1
+			ce.savedAcks = trigger.Acks
+
+		case protocol.ASetOwnerToReq:
+			st.dir[addr].owner = requestor + 1
+		case protocol.AClearOwner:
+			st.dir[addr].owner = 0
+		case protocol.AAddReqToSharers:
+			st.dir[addr].sharers |= 1 << uint(requestor)
+		case protocol.AAddOwnerToSharers:
+			de := &st.dir[addr]
+			if de.owner == 0 {
+				return f, violation("AddOwnerToSharers with no owner (a%d)", addr)
+			}
+			if int(de.owner-1) >= s.cfg.Caches {
+				return f, violation("owner %d is not a cache (a%d)", de.owner-1, addr)
+			}
+			de.sharers |= 1 << uint(de.owner-1)
+		case protocol.ARemoveReqFromSharers:
+			st.dir[addr].sharers &^= 1 << uint(requestor)
+		case protocol.AClearSharers:
+			st.dir[addr].sharers = 0
+		case protocol.AExpectAcks:
+			st.dir[addr].acks += int8(countSharersExcept(st.dir[addr].sharers, requestor, s.cfg.Caches))
+		case protocol.ACopyToMem:
+			// Memory contents are not modeled; deadlock behaviour is
+			// unaffected.
+		default:
+			return f, violation("unknown action kind %v", a.Kind)
+		}
+	}
+
+	if t.Next != "" {
+		if s.isCache(ep) {
+			idx, ok := s.cacheStateIdx[t.Next]
+			if !ok {
+				return f, violation("cache next state %q undeclared", t.Next)
+			}
+			st.cache[ep][addr].state = idx
+		} else {
+			idx, ok := s.dirStateIdx[t.Next]
+			if !ok {
+				return f, violation("directory next state %q undeclared", t.Next)
+			}
+			st.dir[addr].state = idx
+		}
+	}
+	_ = ctrl
+	return f, nil
+}
+
+// planChoices returns, for each out-message, the allowed global
+// buffers.
+func (s *System) planChoices(outs []icn.Message) [][]int {
+	choices := make([][]int, len(outs))
+	for i, m := range outs {
+		choices[i] = s.net.BufferChoices(m.Src, m.Dst)
+	}
+	return choices
+}
+
+// enumeratePlans expands the cartesian product of per-message buffer
+// choices.
+func enumeratePlans(choices [][]int) [][]int {
+	plans := [][]int{nil}
+	for _, cs := range choices {
+		var next [][]int
+		for _, p := range plans {
+			for _, c := range cs {
+				np := make([]int, len(p)+1)
+				copy(np, p)
+				np[len(p)] = c
+				next = append(next, np)
+			}
+		}
+		plans = next
+	}
+	return plans
+}
+
+// insert places the out-messages per plan, or errBlocked if any chosen
+// buffer lacks room.
+func (s *System) insert(st *state, outs []icn.Message, plan []int) error {
+	if len(plan) != len(outs) {
+		return violation("plan length %d for %d messages", len(plan), len(outs))
+	}
+	for i, m := range outs {
+		vn := s.vnOf[m.Name]
+		if !st.net.CanSend(s.net, vn, plan[i]) {
+			return errBlocked
+		}
+		st.net.Send(vn, plan[i], m)
+	}
+	return nil
+}
+
+// applyCore fires a core event; returns errBlocked when disabled.
+func (s *System) applyCore(st *state, r Rule) (*state, error) {
+	entry := st.cache[r.Cache][r.Addr]
+	stateName := s.cacheStates[entry.state]
+	t := lookup(s.p.Cache, stateName, protocol.CoreEv(r.Core))
+	if t == nil || t.Stall {
+		return nil, errBlocked
+	}
+	next := st.clone()
+	f, err := s.execute(next, r.Cache, r.Addr, t, nil, uint8(r.Cache))
+	if err != nil {
+		return nil, err
+	}
+	if err := s.insert(f.next, f.outs, r.Plan); err != nil {
+		return nil, err
+	}
+	return f.next, nil
+}
+
+// applyDeliver moves a global-buffer head to its destination FIFO.
+func (s *System) applyDeliver(st *state, r Rule) (*state, error) {
+	if !st.net.CanDeliver(s.net, r.VN, r.Buf) {
+		return nil, errBlocked
+	}
+	next := st.clone()
+	next.net.Deliver(r.VN, r.Buf)
+	return next, nil
+}
+
+// applyProcess consumes the head of an endpoint's input FIFO.
+func (s *System) applyProcess(st *state, r Rule) (*state, error) {
+	m, ok := st.net.Head(r.Endpoint, r.PVN)
+	if !ok {
+		return nil, errBlocked
+	}
+	addr := int(m.Addr)
+	var ctrl *protocol.Controller
+	var stateName string
+	if s.isCache(r.Endpoint) {
+		ctrl = s.p.Cache
+		stateName = s.cacheStates[st.cache[r.Endpoint][addr].state]
+	} else {
+		ctrl = s.p.Dir
+		stateName = s.dirStates[st.dir[addr].state]
+		if s.home(addr) != r.Endpoint {
+			return nil, violation("message for a%d delivered to wrong directory ep%d", addr, r.Endpoint)
+		}
+	}
+	ev := s.resolveEvent(st, r.Endpoint, m)
+	t := lookup(ctrl, stateName, ev)
+	if t == nil {
+		return nil, violation("%s ep%d in state %s has no transition for %s",
+			ctrl.Kind, r.Endpoint, stateName, ev)
+	}
+	if t.Stall {
+		return nil, errBlocked
+	}
+	next := st.clone()
+	popped := next.net.PopLocal(r.Endpoint, r.PVN)
+	f, err := s.execute(next, r.Endpoint, addr, t, &popped, popped.Req)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.insert(f.next, f.outs, r.Plan); err != nil {
+		return nil, err
+	}
+	return f.next, nil
+}
+
+// emitPlans clones the executed firing once per feasible buffer plan
+// and emits the completed successor.
+func (s *System) emitPlans(f firing, mk func(plan []int) Rule, emit func(Rule, *state)) {
+	plans := enumeratePlans(s.planChoices(f.outs))
+	for i, plan := range plans {
+		cand := f.next
+		if i < len(plans)-1 {
+			cand = f.next.clone()
+		}
+		if err := s.insert(cand, f.outs, plan); err != nil {
+			continue // errBlocked: this plan's buffer is full
+		}
+		emit(mk(plan), cand)
+	}
+}
+
+// rules enumerates every enabled rule in st, invoking emit with the
+// rule and its successor. A non-nil return aborts with an invariant
+// violation. Each transition executes once; per-plan successors are
+// clones of the executed state with the sends inserted.
+func (s *System) rules(st *state, emit func(Rule, *state)) error {
+	// Core events.
+	coreEvents := s.cfg.CoreEvents
+	if coreEvents == nil {
+		coreEvents = protocol.CoreEvents
+	}
+	for c := 0; c < s.cfg.Caches; c++ {
+		for a := 0; a < s.cfg.Addrs; a++ {
+			stateName := s.cacheStates[st.cache[c][a].state]
+			for _, core := range coreEvents {
+				t := lookup(s.p.Cache, stateName, protocol.CoreEv(core))
+				if t == nil || t.Stall {
+					continue
+				}
+				f, err := s.execute(st.clone(), c, a, t, nil, uint8(c))
+				if err != nil {
+					return err
+				}
+				core := core
+				s.emitPlans(f, func(plan []int) Rule {
+					return Rule{Kind: RuleCore, Cache: c, Addr: a, Core: core, Plan: plan}
+				}, emit)
+			}
+		}
+	}
+
+	// Deliveries.
+	for vn := 0; vn < s.net.NumVNs; vn++ {
+		for buf := 0; buf < 2; buf++ {
+			r := Rule{Kind: RuleDeliver, VN: vn, Buf: buf}
+			next, err := s.applyDeliver(st, r)
+			if err == errBlocked {
+				continue
+			}
+			if err != nil {
+				return err
+			}
+			emit(r, next)
+		}
+	}
+
+	// Processing.
+	for ep := 0; ep < s.endpoints; ep++ {
+		for vn := 0; vn < s.net.NumVNs; vn++ {
+			m, ok := st.net.Head(ep, vn)
+			if !ok {
+				continue
+			}
+			addr := int(m.Addr)
+			var ctrl *protocol.Controller
+			var stateName string
+			if s.isCache(ep) {
+				ctrl = s.p.Cache
+				stateName = s.cacheStates[st.cache[ep][addr].state]
+			} else {
+				ctrl = s.p.Dir
+				stateName = s.dirStates[st.dir[addr].state]
+			}
+			ev := s.resolveEvent(st, ep, m)
+			t := lookup(ctrl, stateName, ev)
+			if t == nil {
+				return violation("%s ep%d in state %s has no transition for %s",
+					ctrl.Kind, ep, stateName, ev)
+			}
+			if t.Stall {
+				continue
+			}
+			next := st.clone()
+			popped := next.net.PopLocal(ep, vn)
+			f, err := s.execute(next, ep, addr, t, &popped, popped.Req)
+			if err != nil {
+				return err
+			}
+			ep, vn := ep, vn
+			s.emitPlans(f, func(plan []int) Rule {
+				return Rule{Kind: RuleProcess, Endpoint: ep, PVN: vn, Plan: plan}
+			}, emit)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,221 @@
+package machine
+
+import (
+	"strings"
+	"testing"
+
+	"minvn/internal/mc"
+	"minvn/internal/protocol"
+	"minvn/internal/protocols"
+	"minvn/internal/vnassign"
+)
+
+// ownershipSeed establishes the Fig. 3 prefix: caches 0 and 1 own
+// addresses 0 and 1 in M.
+func ownershipSeed(t *testing.T, sys *System, caches, dirs int) []byte {
+	t.Helper()
+	sc := NewScenario(sys)
+	for i := 0; i < 2; i++ {
+		home := caches + i%dirs
+		if err := sc.Core(i, i, protocol.Store); err != nil {
+			t.Fatal(err)
+		}
+		if err := sc.Handle(home, "GetM", i); err != nil {
+			t.Fatal(err)
+		}
+		if err := sc.Handle(i, "Data", i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return sc.State()
+}
+
+// TestClass2DeadlocksUnderPerMessageVNs is the model-checked half of
+// Table I's cells (2) and (6): the blocking-cache protocols deadlock
+// even when every message name has its own virtual network.
+func TestClass2DeadlocksUnderPerMessageVNs(t *testing.T) {
+	for _, proto := range []string{
+		"MSI_blocking_cache", "MESI_blocking_cache", "MESIF_blocking_cache",
+		"MOSI_blocking_cache", "MOESI_blocking_cache",
+	} {
+		proto := proto
+		t.Run(proto, func(t *testing.T) {
+			p := protocols.MustLoad(proto)
+			vn, n := PerMessageVN(p)
+			cfg := Config{
+				Protocol: p, Caches: 3, Dirs: 2, Addrs: 2,
+				VN: vn, NumVNs: n}
+			if strings.HasPrefix(proto, "MO") {
+				// Never-blocking directories let forwards pile up
+				// past the single saved register during evictions;
+				// the deadlock needs only loads and stores (see
+				// DESIGN.md).
+				cfg.CoreEvents = []protocol.CoreEvent{protocol.Load, protocol.Store}
+			}
+			sys, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			seed := ownershipSeed(t, sys, 3, 2)
+			res := mc.Check(&Seeded{System: sys, Seeds: [][]byte{seed}},
+				mc.Options{Strategy: mc.DFS, MaxStates: 600_000, DisableTraces: true})
+			if res.Outcome != mc.Deadlock {
+				t.Fatalf("expected deadlock, got %v (%s)", res, res.Message)
+			}
+		})
+	}
+}
+
+// TestClass3MinimalAssignmentVerifies is the model-checked half of
+// cells (4) and (5): under the computed minimal assignment, small
+// instances explore completely with no deadlock and no undefined
+// transition.
+func TestClass3MinimalAssignmentVerifies(t *testing.T) {
+	for _, proto := range []string{
+		"MSI_nonblocking_cache", "MESI_nonblocking_cache",
+		"MESIF_nonblocking_cache", "CHI", "TileLink", "MSI_completion", "CXL_cache",
+	} {
+		proto := proto
+		t.Run(proto, func(t *testing.T) {
+			p := protocols.MustLoad(proto)
+			a := vnassign.Assign(p)
+			if a.Class != vnassign.Class3 {
+				t.Fatalf("not Class 3: %v", a.Class)
+			}
+			sys, err := New(Config{
+				Protocol: p, Caches: 2, Dirs: 1, Addrs: 1,
+				VN: a.VN, NumVNs: a.NumVNs})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res := mc.Check(sys, mc.Options{MaxStates: 2_000_000, DisableTraces: true})
+			if res.Outcome != mc.Complete {
+				t.Fatalf("expected complete, got %v: %s", res, res.Message)
+			}
+		})
+	}
+}
+
+// TestClass3SingleVNDeadlocks: the same protocols wedge when
+// everything shares one VN — the queues relation the minimal
+// assignment exists to break.
+func TestClass3SingleVNDeadlocks(t *testing.T) {
+	for _, proto := range []string{"MSI_nonblocking_cache", "CHI", "TileLink"} {
+		proto := proto
+		t.Run(proto, func(t *testing.T) {
+			p := protocols.MustLoad(proto)
+			vn, n := UniformVN(p)
+			sys, err := New(Config{
+				Protocol: p, Caches: 3, Dirs: 1, Addrs: 2,
+				VN: vn, NumVNs: n})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res := mc.Check(sys, mc.Options{Strategy: mc.DFS, MaxStates: 600_000, DisableTraces: true})
+			if res.Outcome != mc.Deadlock {
+				t.Fatalf("expected deadlock with 1 VN, got %v (%s)", res, res.Message)
+			}
+		})
+	}
+}
+
+// TestClass1ProtocolDeadlock: the §V-A protocol (Inv stalled in
+// SM_AD) deadlocks with ONE address and per-message VNs — the paper's
+// definition of a protocol deadlock.
+func TestClass1ProtocolDeadlock(t *testing.T) {
+	p := protocols.MustLoad("MSI_class1")
+	vn, n := PerMessageVN(p)
+	sys, err := New(Config{
+		Protocol: p, Caches: 2, Dirs: 1, Addrs: 1,
+		VN: vn, NumVNs: n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := mc.Check(sys, mc.Options{Strategy: mc.DFS, MaxStates: 600_000, DisableTraces: true})
+	if res.Outcome != mc.Deadlock {
+		t.Fatalf("expected protocol deadlock, got %v (%s)", res, res.Message)
+	}
+}
+
+// TestBaseMSINoProtocolDeadlock: under the same single-address
+// configuration the unmodified MSI does NOT deadlock — confirming the
+// deadlock above is the protocol bug, not an artifact of the model.
+func TestBaseMSINoProtocolDeadlock(t *testing.T) {
+	p := protocols.MustLoad("MSI_blocking_cache")
+	vn, n := PerMessageVN(p)
+	sys, err := New(Config{
+		Protocol: p, Caches: 2, Dirs: 1, Addrs: 1,
+		VN: vn, NumVNs: n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := mc.Check(sys, mc.Options{MaxStates: 2_000_000, DisableTraces: true})
+	if res.Outcome != mc.Complete {
+		t.Fatalf("expected complete with one address, got %v: %s", res, res.Message)
+	}
+}
+
+// TestPointToPointOrderingAlsoVerifies: the minimal assignment also
+// survives every static point-to-point mapping variant (paper
+// §VII-A.1's ordered mode).
+func TestPointToPointOrderingAlsoVerifies(t *testing.T) {
+	p := protocols.MustLoad("MSI_nonblocking_cache")
+	a := vnassign.Assign(p)
+	for variant := 0; variant < 4; variant++ {
+		sys, err := New(Config{
+			Protocol: p, Caches: 2, Dirs: 1, Addrs: 1,
+			VN: a.VN, NumVNs: a.NumVNs, PointToPoint: true, P2PVariant: variant,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := mc.Check(sys, mc.Options{MaxStates: 2_000_000, DisableTraces: true})
+		if res.Outcome != mc.Complete {
+			t.Fatalf("variant %d: %v: %s", variant, res, res.Message)
+		}
+	}
+}
+
+// TestSymmetryReductionSoundness: with and without cache symmetry
+// reduction the verdicts agree, and reduction shrinks the state count.
+func TestSymmetryReductionSoundness(t *testing.T) {
+	p := protocols.MustLoad("MSI_nonblocking_cache")
+	a := vnassign.Assign(p)
+	run := func(noSym bool) mc.Result {
+		sys, err := New(Config{
+			Protocol: p, Caches: 2, Dirs: 1, Addrs: 1,
+			VN: a.VN, NumVNs: a.NumVNs, NoSymmetry: noSym,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return mc.Check(sys, mc.Options{MaxStates: 2_000_000, DisableTraces: true})
+	}
+	with, without := run(false), run(true)
+	if with.Outcome != mc.Complete || without.Outcome != mc.Complete {
+		t.Fatalf("outcomes: %v / %v", with, without)
+	}
+	if with.States >= without.States {
+		t.Fatalf("symmetry reduction did not reduce states: %d vs %d",
+			with.States, without.States)
+	}
+}
+
+// TestParallelCheckOnSystem: the System's Successors is safe for the
+// parallel BFS engine (run under -race in CI) and produces identical
+// results.
+func TestParallelCheckOnSystem(t *testing.T) {
+	p := protocols.MustLoad("CHI")
+	a := vnassign.Assign(p)
+	sys, err := New(Config{
+		Protocol: p, Caches: 2, Dirs: 1, Addrs: 1,
+		VN: a.VN, NumVNs: a.NumVNs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := mc.Check(sys, mc.Options{DisableTraces: true})
+	par := mc.CheckParallel(sys, mc.Options{DisableTraces: true}, 4)
+	if seq.Outcome != mc.Complete || par.Outcome != seq.Outcome || par.States != seq.States {
+		t.Fatalf("sequential %v vs parallel %v", seq, par)
+	}
+}

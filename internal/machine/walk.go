@@ -1,0 +1,85 @@
+package machine
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// RandomWalk drives the system with a pseudo-random workload: at every
+// step one enabled rule is chosen uniformly and applied. It is the
+// quick smoke-test and throughput-measurement counterpart of
+// exhaustive model checking — the "run a workload over the protocol"
+// tool — and doubles as a cheap deadlock probe: a walk that wedges has
+// found a real deadlock (though a clean walk proves nothing).
+type WalkResult struct {
+	Steps      int  // rules applied
+	Deadlocked bool // reached a state with no enabled rules, not quiescent
+	Quiesced   bool // the protocol drained and the walk hit the step budget idle
+	// RuleMix counts applied rules by kind.
+	RuleMix map[RuleKind]int
+	// Violation carries an invariant/undefined-transition error, if hit.
+	Violation error
+	// Final is the last state reached.
+	Final []byte
+}
+
+// Walk runs up to maxSteps random steps from the initial state.
+func (s *System) Walk(seed int64, maxSteps int) WalkResult {
+	return s.WalkFrom(s.Initial()[0], seed, maxSteps)
+}
+
+// WalkFrom runs a random walk from a given encoded state.
+func (s *System) WalkFrom(start []byte, seed int64, maxSteps int) WalkResult {
+	rng := rand.New(rand.NewSource(seed))
+	res := WalkResult{RuleMix: make(map[RuleKind]int), Final: start}
+
+	cur := start
+	for res.Steps < maxSteps {
+		st := s.decode(cur)
+		if err := s.checkInvariants(st); err != nil {
+			res.Violation = err
+			break
+		}
+		type cand struct {
+			r    Rule
+			next *state
+		}
+		var cands []cand
+		err := s.rules(st, func(r Rule, next *state) {
+			cands = append(cands, cand{r, next})
+		})
+		if err != nil {
+			res.Violation = err
+			break
+		}
+		if len(cands) == 0 {
+			if s.Quiescent(cur) {
+				res.Quiesced = true
+			} else {
+				res.Deadlocked = true
+			}
+			break
+		}
+		pick := cands[rng.Intn(len(cands))]
+		res.RuleMix[pick.r.Kind]++
+		cur = s.encode(pick.next)
+		res.Steps++
+	}
+	res.Final = cur
+	return res
+}
+
+// String summarizes a walk.
+func (r WalkResult) String() string {
+	status := "budget exhausted"
+	switch {
+	case r.Violation != nil:
+		status = "VIOLATION: " + r.Violation.Error()
+	case r.Deadlocked:
+		status = "DEADLOCK"
+	case r.Quiesced:
+		status = "quiesced"
+	}
+	return fmt.Sprintf("%d steps (%d core, %d deliver, %d process): %s",
+		r.Steps, r.RuleMix[RuleCore], r.RuleMix[RuleDeliver], r.RuleMix[RuleProcess], status)
+}

@@ -1,0 +1,35 @@
+package mc
+
+import "testing"
+
+// BenchmarkCheckThroughput measures raw search overhead (state
+// bookkeeping, dedup, queue discipline) on a synthetic branching model
+// with cheap successor computation.
+func BenchmarkCheckThroughput(b *testing.B) {
+	for _, strat := range []Strategy{BFS, DFS} {
+		b.Run(strat.String(), func(b *testing.B) {
+			m := &counter{n: 50_000, branch: true, quiet: 49_999, bad: -1, errAt: -1}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res := Check(m, Options{Strategy: strat, DisableTraces: true})
+				if res.Outcome != Complete {
+					b.Fatal(res)
+				}
+			}
+			b.ReportMetric(50_000, "states")
+		})
+	}
+}
+
+// BenchmarkCheckWithTraces quantifies the cost of keeping parent
+// states for counterexamples.
+func BenchmarkCheckWithTraces(b *testing.B) {
+	m := &counter{n: 50_000, branch: true, quiet: 49_999, bad: -1, errAt: -1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := Check(m, Options{})
+		if res.Outcome != Complete {
+			b.Fatal(res)
+		}
+	}
+}

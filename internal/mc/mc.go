@@ -1,0 +1,243 @@
+// Package mc is an explicit-state model checker in the style of Murphi
+// (paper §VII): it enumerates the reachable states of a guarded-rule
+// transition system, detecting deadlocks (non-quiescent states with no
+// enabled rule) and invariant violations, with breadth-first or
+// depth-first exploration, bounded model checking (state and depth
+// limits), optional symmetry reduction via a canonicalization hook,
+// and counterexample trace reconstruction.
+package mc
+
+import (
+	"fmt"
+	"time"
+)
+
+// Model is an explicit-state transition system over opaque encoded
+// states. Implementations must produce deterministic encodings: two
+// equal states must encode to equal byte strings.
+type Model interface {
+	// Initial returns the initial states.
+	Initial() [][]byte
+	// Successors returns all successor states of state. A non-nil
+	// error reports an invariant violation in (or when leaving) this
+	// state, aborting the search.
+	Successors(state []byte) ([][]byte, error)
+	// Quiescent reports whether a state with no successors is an
+	// acceptable terminal state rather than a deadlock.
+	Quiescent(state []byte) bool
+	// Describe renders a state for counterexample traces.
+	Describe(state []byte) string
+}
+
+// Canonicalizer is an optional Model extension: states are deduplicated
+// by their canonical form (symmetry reduction). Canonicalize must be
+// idempotent and preserve all properties the search checks.
+type Canonicalizer interface {
+	Canonicalize(state []byte) []byte
+}
+
+// Strategy selects the exploration order.
+type Strategy int
+
+const (
+	// BFS explores breadth-first: counterexamples are minimal-depth,
+	// and bounded runs cover all states up to the bound (the paper's
+	// bounded model checking, §VII).
+	BFS Strategy = iota
+	// DFS explores depth-first: typically finds deep deadlocks with
+	// far fewer stored states.
+	DFS
+)
+
+func (s Strategy) String() string {
+	if s == DFS {
+		return "DFS"
+	}
+	return "BFS"
+}
+
+// Options bounds and configures a search. The zero value means BFS
+// with no bounds and traces enabled.
+type Options struct {
+	Strategy  Strategy
+	MaxStates int // stop after storing this many states (0 = unbounded)
+	MaxDepth  int // do not explore beyond this depth (0 = unbounded)
+	// DisableTraces saves the parent table's memory when
+	// counterexamples are not needed.
+	DisableTraces bool
+}
+
+// Outcome classifies a search result, mirroring the three result
+// types of the paper's appendix H.
+type Outcome int
+
+const (
+	// Complete: the reachable state space was exhausted with no
+	// deadlock or violation.
+	Complete Outcome = iota
+	// Bounded: a limit was hit first; no deadlock or violation found
+	// up to the bound.
+	Bounded
+	// Deadlock: a non-quiescent state with no successors was found.
+	Deadlock
+	// Violation: Successors reported an invariant violation.
+	Violation
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case Complete:
+		return "complete, no deadlock"
+	case Bounded:
+		return "bounded, no deadlock up to bound"
+	case Deadlock:
+		return "DEADLOCK"
+	case Violation:
+		return "INVARIANT VIOLATION"
+	default:
+		return fmt.Sprintf("Outcome(%d)", int(o))
+	}
+}
+
+// Result reports a finished search.
+type Result struct {
+	Outcome  Outcome
+	States   int      // distinct states stored
+	Rules    int      // transitions fired (successor computations)
+	MaxDepth int      // deepest level reached
+	Message  string   // violation description, if any
+	Trace    [][]byte // initial → bad state (when traces enabled)
+	Duration time.Duration
+}
+
+func (r Result) String() string {
+	return fmt.Sprintf("%s (%d states, %d transitions, depth %d, %v)",
+		r.Outcome, r.States, r.Rules, r.MaxDepth, r.Duration.Round(time.Millisecond))
+}
+
+// node is one stored state.
+type node struct {
+	state  []byte
+	parent int32
+	depth  int32
+}
+
+// Check explores the reachable states of m under opts.
+func Check(m Model, opts Options) Result {
+	start := time.Now()
+	canon, _ := m.(Canonicalizer)
+	key := func(s []byte) string {
+		if canon != nil {
+			return string(canon.Canonicalize(s))
+		}
+		return string(s)
+	}
+
+	var (
+		nodes []node
+		seen  = make(map[string]int32)
+		res   Result
+	)
+	push := func(s []byte, parent int32, depth int32) (int32, bool) {
+		k := key(s)
+		if id, ok := seen[k]; ok {
+			return id, false
+		}
+		id := int32(len(nodes))
+		n := node{parent: parent, depth: depth}
+		if !opts.DisableTraces {
+			n.state = s
+		}
+		nodes = append(nodes, n)
+		seen[k] = id
+		if int(depth) > res.MaxDepth {
+			res.MaxDepth = int(depth)
+		}
+		return id, true
+	}
+
+	trace := func(id int32, last []byte) [][]byte {
+		if opts.DisableTraces {
+			return [][]byte{last}
+		}
+		var rev [][]byte
+		for cur := id; cur >= 0; cur = nodes[cur].parent {
+			rev = append(rev, nodes[cur].state)
+		}
+		out := make([][]byte, 0, len(rev))
+		for i := len(rev) - 1; i >= 0; i-- {
+			out = append(out, rev[i])
+		}
+		return out
+	}
+
+	finish := func(outcome Outcome) Result {
+		res.Outcome = outcome
+		res.States = len(nodes)
+		res.Duration = time.Since(start)
+		return res
+	}
+
+	// The work list carries the state alongside its id so expansion
+	// works whether or not node states are retained for traces. BFS
+	// pops from the front, DFS from the back.
+	type work struct {
+		id    int32
+		state []byte
+	}
+	var queue []work
+	for _, s := range m.Initial() {
+		if id, fresh := push(s, -1, 0); fresh {
+			queue = append(queue, work{id, s})
+		}
+	}
+	bounded := false
+
+	for len(queue) > 0 {
+		var w work
+		if opts.Strategy == DFS {
+			w = queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+		} else {
+			w = queue[0]
+			queue = queue[1:]
+		}
+		depth := nodes[w.id].depth
+
+		if opts.MaxDepth > 0 && int(depth) >= opts.MaxDepth {
+			bounded = true
+			continue
+		}
+
+		succs, err := m.Successors(w.state)
+		res.Rules++
+		if err != nil {
+			res.Message = err.Error()
+			res.Trace = trace(w.id, w.state)
+			return finish(Violation)
+		}
+		if len(succs) == 0 && !m.Quiescent(w.state) {
+			res.Message = "no enabled rule in non-quiescent state"
+			res.Trace = trace(w.id, w.state)
+			return finish(Deadlock)
+		}
+		for _, s := range succs {
+			id, fresh := push(s, w.id, depth+1)
+			if !fresh {
+				continue
+			}
+			queue = append(queue, work{id, s})
+			if opts.MaxStates > 0 && len(nodes) >= opts.MaxStates {
+				bounded = true
+				// Drain: stop enqueueing further work.
+				queue = queue[:0]
+				break
+			}
+		}
+	}
+
+	if bounded {
+		return finish(Bounded)
+	}
+	return finish(Complete)
+}

@@ -1,0 +1,180 @@
+package mc
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Parallel breadth-first search: each BFS level is expanded by a pool
+// of workers (Successors calls dominate the cost), then merged
+// single-threaded in frontier order. The merge order makes the search
+// fully deterministic: states, depths, counterexamples, and outcomes
+// are identical for any worker count, including 1.
+//
+// Only BFS parallelizes this way — depth-first order is inherently
+// sequential — so Options.Workers is ignored for DFS.
+
+// expansion is one frontier entry's successor set (or terminal info).
+type expansion struct {
+	succs    [][]byte
+	err      error
+	deadlock bool
+}
+
+// CheckParallel runs Check with level-parallel BFS when opts.Workers
+// exceeds 1 (0 picks GOMAXPROCS). DFS falls back to the sequential
+// engine.
+func CheckParallel(m Model, opts Options, workers int) Result {
+	if opts.Strategy == DFS {
+		return Check(m, opts)
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers == 1 {
+		return Check(m, opts)
+	}
+
+	start := time.Now()
+	canon, _ := m.(Canonicalizer)
+	key := func(s []byte) string {
+		if canon != nil {
+			return string(canon.Canonicalize(s))
+		}
+		return string(s)
+	}
+
+	var (
+		nodes []node
+		seen  = make(map[string]int32)
+		res   Result
+	)
+	push := func(s []byte, parent int32, depth int32) (int32, bool) {
+		k := key(s)
+		if id, ok := seen[k]; ok {
+			return id, false
+		}
+		id := int32(len(nodes))
+		n := node{parent: parent, depth: depth}
+		if !opts.DisableTraces {
+			n.state = s
+		}
+		nodes = append(nodes, n)
+		seen[k] = id
+		if int(depth) > res.MaxDepth {
+			res.MaxDepth = int(depth)
+		}
+		return id, true
+	}
+	trace := func(id int32, last []byte) [][]byte {
+		if opts.DisableTraces {
+			return [][]byte{last}
+		}
+		var rev [][]byte
+		for cur := id; cur >= 0; cur = nodes[cur].parent {
+			rev = append(rev, nodes[cur].state)
+		}
+		out := make([][]byte, 0, len(rev))
+		for i := len(rev) - 1; i >= 0; i-- {
+			out = append(out, rev[i])
+		}
+		return out
+	}
+	finish := func(o Outcome) Result {
+		res.Outcome = o
+		res.States = len(nodes)
+		res.Duration = time.Since(start)
+		return res
+	}
+
+	type work struct {
+		id    int32
+		state []byte
+	}
+	var frontier []work
+	for _, s := range m.Initial() {
+		if id, fresh := push(s, -1, 0); fresh {
+			frontier = append(frontier, work{id, s})
+		}
+	}
+
+	bounded := false
+	depth := int32(0)
+	for len(frontier) > 0 {
+		if opts.MaxDepth > 0 && int(depth) >= opts.MaxDepth {
+			bounded = true
+			break
+		}
+
+		// Expand the level in parallel.
+		exps := make([]expansion, len(frontier))
+		var wg sync.WaitGroup
+		chunk := (len(frontier) + workers - 1) / workers
+		for w := 0; w < workers; w++ {
+			lo := w * chunk
+			if lo >= len(frontier) {
+				break
+			}
+			hi := lo + chunk
+			if hi > len(frontier) {
+				hi = len(frontier)
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				for i := lo; i < hi; i++ {
+					succs, err := m.Successors(frontier[i].state)
+					if err != nil {
+						exps[i] = expansion{err: err}
+						continue
+					}
+					exps[i] = expansion{
+						succs:    succs,
+						deadlock: len(succs) == 0 && !m.Quiescent(frontier[i].state),
+					}
+				}
+			}(lo, hi)
+		}
+		wg.Wait()
+		res.Rules += len(frontier)
+
+		// Merge in frontier order for determinism.
+		var next []work
+		for i, e := range exps {
+			if e.err != nil {
+				res.Message = e.err.Error()
+				res.Trace = trace(frontier[i].id, frontier[i].state)
+				return finish(Violation)
+			}
+			if e.deadlock {
+				res.Message = "no enabled rule in non-quiescent state"
+				res.Trace = trace(frontier[i].id, frontier[i].state)
+				return finish(Deadlock)
+			}
+			for _, s := range e.succs {
+				id, fresh := push(s, frontier[i].id, depth+1)
+				if !fresh {
+					continue
+				}
+				next = append(next, work{id, s})
+				if opts.MaxStates > 0 && len(nodes) >= opts.MaxStates {
+					bounded = true
+					next = next[:0]
+					goto drained
+				}
+			}
+		}
+	drained:
+		if bounded {
+			break
+		}
+		frontier = next
+		depth++
+	}
+
+	if bounded {
+		return finish(Bounded)
+	}
+	return finish(Complete)
+}

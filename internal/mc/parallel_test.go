@@ -1,0 +1,90 @@
+package mc
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestParallelMatchesSequential: outcome, state count, and depth are
+// identical for any worker count.
+func TestParallelMatchesSequential(t *testing.T) {
+	models := map[string]*counter{
+		"complete":  {n: 5000, branch: true, quiet: 4999, bad: -1, errAt: -1},
+		"deadlock":  {n: 5000, branch: true, quiet: -1, bad: 4999, errAt: -1},
+		"violation": {n: 5000, branch: true, quiet: -1, bad: -1, errAt: 3000},
+	}
+	for name, m := range models {
+		seq := Check(m, Options{})
+		for _, workers := range []int{2, 4, 8} {
+			par := CheckParallel(m, Options{}, workers)
+			if par.Outcome != seq.Outcome || par.States != seq.States || par.MaxDepth != seq.MaxDepth {
+				t.Errorf("%s workers=%d: %v vs sequential %v", name, workers, par, seq)
+			}
+			if len(par.Trace) != len(seq.Trace) {
+				t.Errorf("%s workers=%d: trace %d vs %d", name, workers, len(par.Trace), len(seq.Trace))
+			}
+			for i := range par.Trace {
+				if string(par.Trace[i]) != string(seq.Trace[i]) {
+					t.Errorf("%s workers=%d: trace diverges at %d", name, workers, i)
+					break
+				}
+			}
+		}
+	}
+}
+
+// TestParallelBounded: bounds are respected.
+func TestParallelBounded(t *testing.T) {
+	m := &counter{n: 100000, branch: true, quiet: -1, bad: -1, errAt: -1}
+	res := CheckParallel(m, Options{MaxStates: 500}, 4)
+	if res.Outcome != Bounded || res.States > 501 {
+		t.Fatalf("res = %v", res)
+	}
+	res = CheckParallel(m, Options{MaxDepth: 10}, 4)
+	if res.Outcome != Bounded || res.MaxDepth > 10 {
+		t.Fatalf("depth-bounded res = %v", res)
+	}
+}
+
+// TestParallelDFSFallsBack: DFS ignores the worker count.
+func TestParallelDFSFallsBack(t *testing.T) {
+	m := &counter{n: 300, quiet: -1, bad: 299, errAt: -1}
+	res := CheckParallel(m, Options{Strategy: DFS}, 8)
+	if res.Outcome != Deadlock {
+		t.Fatalf("res = %v", res)
+	}
+}
+
+// wideModel fans out to many states per level so the workers have
+// something to chew on.
+type wideModel struct{ levels, width int }
+
+func (w *wideModel) enc(l, i int) []byte { return []byte(fmt.Sprintf("%04d:%06d", l, i)) }
+func (w *wideModel) Initial() [][]byte   { return [][]byte{w.enc(0, 0)} }
+func (w *wideModel) Successors(s []byte) ([][]byte, error) {
+	var l, i int
+	fmt.Sscanf(string(s), "%04d:%06d", &l, &i)
+	if l+1 >= w.levels {
+		return nil, nil
+	}
+	out := make([][]byte, 0, 3)
+	for k := 0; k < 3; k++ {
+		out = append(out, w.enc(l+1, (i*3+k)%w.width))
+	}
+	return out, nil
+}
+func (w *wideModel) Quiescent(s []byte) bool {
+	var l, i int
+	fmt.Sscanf(string(s), "%04d:%06d", &l, &i)
+	return l+1 >= w.levels
+}
+func (w *wideModel) Describe(s []byte) string { return string(s) }
+
+func TestParallelWideModel(t *testing.T) {
+	m := &wideModel{levels: 40, width: 5000}
+	seq := Check(m, Options{DisableTraces: true})
+	par := CheckParallel(m, Options{DisableTraces: true}, 4)
+	if seq.Outcome != Complete || par.Outcome != Complete || seq.States != par.States {
+		t.Fatalf("seq %v vs par %v", seq, par)
+	}
+}

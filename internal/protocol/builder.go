@@ -1,0 +1,244 @@
+package protocol
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Builder assembles a Protocol with a fluent API. Errors encountered
+// while authoring are accumulated and reported by Build, so table
+// definitions stay readable:
+//
+//	b := protocol.NewBuilder("MSI")
+//	b.Message("GetS", protocol.Request)
+//	c := b.Cache("I")
+//	c.Stable("I", "S", "M")
+//	c.Transient("IS_D")
+//	c.On("I", protocol.CoreEv(protocol.Load)).
+//	    Send("GetS", protocol.ToDir).Goto("IS_D")
+//	c.StallOn("IS_D", protocol.MsgEv("Inv"))
+//	p, err := b.Build()
+type Builder struct {
+	p    *Protocol
+	errs []error
+}
+
+// NewBuilder returns a builder for a protocol with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{
+		p: &Protocol{
+			Name:     name,
+			Messages: make(map[string]*Message),
+		},
+	}
+}
+
+// MsgOption customizes a declared message.
+type MsgOption func(*Message)
+
+// WithAckRole sets the message's ack-counting role.
+func WithAckRole(r AckRole) MsgOption { return func(m *Message) { m.Ack = r } }
+
+// WithQual sets the message's qualifier dimension.
+func WithQual(k QualKind) MsgOption { return func(m *Message) { m.Qual = k } }
+
+// Message declares a static message name.
+func (b *Builder) Message(name string, t MsgType, opts ...MsgOption) {
+	if _, dup := b.p.Messages[name]; dup {
+		b.errs = append(b.errs, fmt.Errorf("message %q declared twice", name))
+		return
+	}
+	m := &Message{Name: name, Type: t}
+	for _, o := range opts {
+		o(m)
+	}
+	b.p.Messages[name] = m
+	b.p.msgOrder = append(b.p.msgOrder, name)
+}
+
+// Cache returns the cache-controller builder, creating the controller
+// with the given initial state on first call.
+func (b *Builder) Cache(initial string) *ControllerBuilder {
+	if b.p.Cache == nil {
+		b.p.Cache = newController(CacheCtrl, initial)
+	}
+	return &ControllerBuilder{b: b, c: b.p.Cache}
+}
+
+// Dir returns the directory-controller builder, creating the
+// controller with the given initial state on first call.
+func (b *Builder) Dir(initial string) *ControllerBuilder {
+	if b.p.Dir == nil {
+		b.p.Dir = newController(DirCtrl, initial)
+	}
+	return &ControllerBuilder{b: b, c: b.p.Dir}
+}
+
+func newController(kind ControllerKind, initial string) *Controller {
+	return &Controller{
+		Kind:        kind,
+		Initial:     initial,
+		States:      make(map[string]*State),
+		Transitions: make(map[TransKey]*Transition),
+	}
+}
+
+// Build validates the accumulated specification and returns the
+// protocol, or the combined authoring/validation errors.
+func (b *Builder) Build() (*Protocol, error) {
+	if b.p.Cache == nil {
+		b.errs = append(b.errs, errors.New("no cache controller defined"))
+	}
+	if b.p.Dir == nil {
+		b.errs = append(b.errs, errors.New("no directory controller defined"))
+	}
+	if len(b.errs) == 0 {
+		if err := Validate(b.p); err != nil {
+			b.errs = append(b.errs, err)
+		}
+	}
+	if len(b.errs) > 0 {
+		return nil, errors.Join(b.errs...)
+	}
+	return b.p, nil
+}
+
+// MustBuild is Build panicking on error; the built-in protocol
+// definitions use it since they are validated by tests.
+func (b *Builder) MustBuild() *Protocol {
+	p, err := b.Build()
+	if err != nil {
+		panic(fmt.Sprintf("protocol %q: %v", b.p.Name, err))
+	}
+	return p
+}
+
+// ControllerBuilder authors one controller's table.
+type ControllerBuilder struct {
+	b *Builder
+	c *Controller
+}
+
+// Stable declares stable states (table rows) in order.
+func (cb *ControllerBuilder) Stable(names ...string) *ControllerBuilder {
+	for _, n := range names {
+		cb.addState(n, false)
+	}
+	return cb
+}
+
+// Transient declares transient states (table rows) in order.
+func (cb *ControllerBuilder) Transient(names ...string) *ControllerBuilder {
+	for _, n := range names {
+		cb.addState(n, true)
+	}
+	return cb
+}
+
+func (cb *ControllerBuilder) addState(name string, transient bool) {
+	if _, dup := cb.c.States[name]; dup {
+		cb.b.errs = append(cb.b.errs,
+			fmt.Errorf("%s state %q declared twice", cb.c.Kind, name))
+		return
+	}
+	cb.c.States[name] = &State{Name: name, Transient: transient}
+	cb.c.stateOrder = append(cb.c.stateOrder, name)
+}
+
+// Columns declares the table's column order for printing; optional.
+func (cb *ControllerBuilder) Columns(evs ...Event) *ControllerBuilder {
+	cb.c.eventOrder = append(cb.c.eventOrder, evs...)
+	return cb
+}
+
+// On starts defining the cell (state, ev); finish with Goto, Stay, or
+// further chained actions.
+func (cb *ControllerBuilder) On(state string, ev Event) *CellBuilder {
+	t := &Transition{}
+	cb.setCell(state, ev, t)
+	return &CellBuilder{cb: cb, t: t}
+}
+
+// StallOn marks the cell (state, ev) as a stall: the message blocks
+// the head of its virtual network's input queue (paper §II-E).
+func (cb *ControllerBuilder) StallOn(state string, evs ...Event) *ControllerBuilder {
+	for _, ev := range evs {
+		cb.setCell(state, ev, &Transition{Stall: true})
+	}
+	return cb
+}
+
+// Hit defines a silent local transition (e.g. a load hit): no actions,
+// no state change.
+func (cb *ControllerBuilder) Hit(state string, ev Event) *ControllerBuilder {
+	cb.setCell(state, ev, &Transition{})
+	return cb
+}
+
+func (cb *ControllerBuilder) setCell(state string, ev Event, t *Transition) {
+	key := TransKey{state, ev}
+	if _, dup := cb.c.Transitions[key]; dup {
+		cb.b.errs = append(cb.b.errs,
+			fmt.Errorf("%s cell (%s, %s) defined twice", cb.c.Kind, state, ev))
+		return
+	}
+	cb.c.Transitions[key] = t
+	// Track column order on first sight if Columns was not used.
+	seen := false
+	for _, e := range cb.c.eventOrder {
+		if e == ev {
+			seen = true
+			break
+		}
+	}
+	if !seen {
+		cb.c.eventOrder = append(cb.c.eventOrder, ev)
+	}
+}
+
+// CellBuilder accumulates actions for one cell.
+type CellBuilder struct {
+	cb *ControllerBuilder
+	t  *Transition
+}
+
+// Send appends a send action.
+func (x *CellBuilder) Send(msg string, to Dest) *CellBuilder {
+	x.t.Actions = append(x.t.Actions, Action{Kind: ASend, Msg: msg, To: to})
+	return x
+}
+
+// SendWithAcks appends a send action whose message carries an ack
+// count of |sharers \ {requestor}| (directory only).
+func (x *CellBuilder) SendWithAcks(msg string, to Dest) *CellBuilder {
+	x.t.Actions = append(x.t.Actions, Action{Kind: ASend, Msg: msg, To: to, WithAcks: true})
+	return x
+}
+
+// SendInherit appends a send action whose message copies the ack count
+// of the message being processed.
+func (x *CellBuilder) SendInherit(msg string, to Dest) *CellBuilder {
+	x.t.Actions = append(x.t.Actions, Action{Kind: ASend, Msg: msg, To: to, Inherit: true})
+	return x
+}
+
+// SendReqSaved appends a send action whose message carries the
+// requestor recorded by ARecordSaved (clearing the register).
+func (x *CellBuilder) SendReqSaved(msg string, to Dest) *CellBuilder {
+	x.t.Actions = append(x.t.Actions, Action{Kind: ASend, Msg: msg, To: to, ReqSaved: true})
+	return x
+}
+
+// Do appends a bookkeeping action.
+func (x *CellBuilder) Do(kind ActionKind) *CellBuilder {
+	x.t.Actions = append(x.t.Actions, Action{Kind: kind})
+	return x
+}
+
+// Goto sets the next state, ending the cell.
+func (x *CellBuilder) Goto(state string) {
+	x.t.Next = state
+}
+
+// Stay ends the cell without a state change.
+func (x *CellBuilder) Stay() {}

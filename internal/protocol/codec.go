@@ -1,0 +1,248 @@
+package protocol
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// The JSON codec lets users define protocols in files and feed them to
+// cmd/vnmin / cmd/vnverify without writing Go. The schema mirrors the
+// builder API; Decode re-runs the same validation as Build.
+
+type jsonProtocol struct {
+	Name     string          `json:"name"`
+	Messages []jsonMessage   `json:"messages"`
+	Cache    *jsonController `json:"cache"`
+	Dir      *jsonController `json:"directory"`
+}
+
+type jsonMessage struct {
+	Name string `json:"name"`
+	Type string `json:"type"`           // request | fwd | data | ctrl
+	Ack  string `json:"ack,omitempty"`  // carrier | unit
+	Qual string `json:"qual,omitempty"` // datasource | ackunit | ownership | lastsharer
+}
+
+type jsonController struct {
+	Initial     string           `json:"initial"`
+	Stable      []string         `json:"stable"`
+	Transient   []string         `json:"transient,omitempty"`
+	Transitions []jsonTransition `json:"transitions"`
+}
+
+type jsonTransition struct {
+	State string       `json:"state"`
+	On    string       `json:"on"`             // core event or message name
+	Qual  string       `json:"qual,omitempty"` // qualifier name
+	Stall bool         `json:"stall,omitempty"`
+	Next  string       `json:"next,omitempty"`
+	Do    []jsonAction `json:"do,omitempty"`
+}
+
+type jsonAction struct {
+	Action   string `json:"action"`        // send | setOwnerToReq | ...
+	Msg      string `json:"msg,omitempty"` // for send
+	To       string `json:"to,omitempty"`  // dir | req | owner | sharers
+	WithAcks bool   `json:"withAcks,omitempty"`
+	Inherit  bool   `json:"inheritAcks,omitempty"`
+	ReqSaved bool   `json:"reqSaved,omitempty"`
+}
+
+var msgTypeByName = map[string]MsgType{
+	"request": Request, "fwd": FwdRequest, "data": DataResponse, "ctrl": CtrlResponse,
+}
+
+var msgTypeJSONName = map[MsgType]string{
+	Request: "request", FwdRequest: "fwd", DataResponse: "data", CtrlResponse: "ctrl",
+}
+
+var qualByName = map[string]Qualifier{
+	"": QNone, "ack=0": QAckZero, "ack>0": QAckPositive,
+	"from-owner": QFromOwner, "from-nonowner": QFromNonOwner,
+	"last-ack": QLastAck, "ack": QNotLastAck,
+	"last-sharer": QLastSharer, "non-last-sharer": QNotLastSharer,
+}
+
+var qualKindByName = map[string]QualKind{
+	"": QualNone, "datasource": QualDataSource, "ackunit": QualAckUnit,
+	"ownership": QualOwnership, "lastsharer": QualLastSharer,
+}
+
+var qualKindJSONName = map[QualKind]string{
+	QualNone: "", QualDataSource: "datasource", QualAckUnit: "ackunit",
+	QualOwnership: "ownership", QualLastSharer: "lastsharer",
+}
+
+var destByName = map[string]Dest{
+	"dir": ToDir, "req": ToReq, "owner": ToOwner, "sharers": ToSharers, "saved": ToSaved,
+}
+
+var destJSONName = map[Dest]string{
+	ToDir: "dir", ToReq: "req", ToOwner: "owner", ToSharers: "sharers", ToSaved: "saved",
+}
+
+var actionByName = map[string]ActionKind{
+	"send": ASend, "setOwnerToReq": ASetOwnerToReq, "clearOwner": AClearOwner,
+	"addReqToSharers": AAddReqToSharers, "addOwnerToSharers": AAddOwnerToSharers,
+	"removeReqFromSharers": ARemoveReqFromSharers, "clearSharers": AClearSharers,
+	"copyToMem": ACopyToMem, "recordSaved": ARecordSaved, "expectAcks": AExpectAcks,
+}
+
+var actionJSONName = func() map[ActionKind]string {
+	m := make(map[ActionKind]string, len(actionByName))
+	for n, k := range actionByName {
+		m[k] = n
+	}
+	return m
+}()
+
+// Encode serializes a protocol to indented JSON.
+func Encode(p *Protocol) ([]byte, error) {
+	jp := jsonProtocol{Name: p.Name}
+	for _, name := range p.MessageNames() {
+		m := p.Messages[name]
+		jm := jsonMessage{Name: name, Type: msgTypeJSONName[m.Type], Qual: qualKindJSONName[m.Qual]}
+		switch m.Ack {
+		case AckCarrier:
+			jm.Ack = "carrier"
+		case AckUnit:
+			jm.Ack = "unit"
+		}
+		jp.Messages = append(jp.Messages, jm)
+	}
+	var encodeCtrl func(c *Controller) *jsonController
+	encodeCtrl = func(c *Controller) *jsonController {
+		jc := &jsonController{Initial: c.Initial}
+		for _, s := range c.StateNames() {
+			if c.States[s].Transient {
+				jc.Transient = append(jc.Transient, s)
+			} else {
+				jc.Stable = append(jc.Stable, s)
+			}
+		}
+		for _, s := range c.StateNames() {
+			for _, ev := range c.EventOrder() {
+				t := c.Lookup(s, ev)
+				if t == nil {
+					continue
+				}
+				jt := jsonTransition{State: s, Stall: t.Stall, Next: t.Next}
+				if ev.IsCore() {
+					jt.On = string(ev.Core)
+				} else {
+					jt.On = ev.Msg
+					jt.Qual = ev.Qual.String()
+				}
+				for _, a := range t.Actions {
+					ja := jsonAction{Action: actionJSONName[a.Kind]}
+					if a.Kind == ASend {
+						ja.Msg = a.Msg
+						ja.To = destJSONName[a.To]
+						ja.WithAcks = a.WithAcks
+						ja.Inherit = a.Inherit
+						ja.ReqSaved = a.ReqSaved
+					}
+					jt.Do = append(jt.Do, ja)
+				}
+				jc.Transitions = append(jc.Transitions, jt)
+			}
+		}
+		return jc
+	}
+	jp.Cache = encodeCtrl(p.Cache)
+	jp.Dir = encodeCtrl(p.Dir)
+	return json.MarshalIndent(jp, "", "  ")
+}
+
+// Decode parses a JSON protocol definition and validates it.
+func Decode(data []byte) (*Protocol, error) {
+	var jp jsonProtocol
+	if err := json.Unmarshal(data, &jp); err != nil {
+		return nil, fmt.Errorf("protocol: parse: %w", err)
+	}
+	b := NewBuilder(jp.Name)
+	for _, jm := range jp.Messages {
+		t, ok := msgTypeByName[jm.Type]
+		if !ok {
+			return nil, fmt.Errorf("protocol: message %q: unknown type %q", jm.Name, jm.Type)
+		}
+		var opts []MsgOption
+		switch jm.Ack {
+		case "":
+		case "carrier":
+			opts = append(opts, WithAckRole(AckCarrier))
+		case "unit":
+			opts = append(opts, WithAckRole(AckUnit))
+		default:
+			return nil, fmt.Errorf("protocol: message %q: unknown ack role %q", jm.Name, jm.Ack)
+		}
+		if jm.Qual != "" {
+			k, ok := qualKindByName[jm.Qual]
+			if !ok {
+				return nil, fmt.Errorf("protocol: message %q: unknown qual kind %q", jm.Name, jm.Qual)
+			}
+			opts = append(opts, WithQual(k))
+		}
+		b.Message(jm.Name, t, opts...)
+	}
+
+	decodeCtrl := func(jc *jsonController, cb *ControllerBuilder) error {
+		cb.Stable(jc.Stable...)
+		cb.Transient(jc.Transient...)
+		for _, jt := range jc.Transitions {
+			var ev Event
+			switch CoreEvent(jt.On) {
+			case Load, Store, Replacement:
+				ev = CoreEv(CoreEvent(jt.On))
+			default:
+				q, ok := qualByName[jt.Qual]
+				if !ok {
+					return fmt.Errorf("protocol: transition (%s,%s): unknown qualifier %q", jt.State, jt.On, jt.Qual)
+				}
+				ev = MsgQualEv(jt.On, q)
+			}
+			if jt.Stall {
+				cb.StallOn(jt.State, ev)
+				continue
+			}
+			cell := cb.On(jt.State, ev)
+			for _, ja := range jt.Do {
+				kind, ok := actionByName[ja.Action]
+				if !ok {
+					return fmt.Errorf("protocol: transition (%s,%s): unknown action %q", jt.State, jt.On, ja.Action)
+				}
+				if kind == ASend {
+					to, ok := destByName[ja.To]
+					if !ok {
+						return fmt.Errorf("protocol: transition (%s,%s): unknown destination %q", jt.State, jt.On, ja.To)
+					}
+					switch {
+					case ja.WithAcks:
+						cell.SendWithAcks(ja.Msg, to)
+					case ja.Inherit:
+						cell.SendInherit(ja.Msg, to)
+					case ja.ReqSaved:
+						cell.SendReqSaved(ja.Msg, to)
+					default:
+						cell.Send(ja.Msg, to)
+					}
+				} else {
+					cell.Do(kind)
+				}
+			}
+			cell.Goto(jt.Next)
+		}
+		return nil
+	}
+
+	if jp.Cache == nil || jp.Dir == nil {
+		return nil, fmt.Errorf("protocol: both cache and directory controllers are required")
+	}
+	if err := decodeCtrl(jp.Cache, b.Cache(jp.Cache.Initial)); err != nil {
+		return nil, err
+	}
+	if err := decodeCtrl(jp.Dir, b.Dir(jp.Dir.Initial)); err != nil {
+		return nil, err
+	}
+	return b.Build()
+}

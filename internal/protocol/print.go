@@ -1,0 +1,106 @@
+package protocol
+
+import (
+	"fmt"
+	"strings"
+)
+
+// CellString renders a transition in the Primer's compact cell
+// notation: "stall", "hit" (empty action, no state change), action
+// list, and "/NextState" suffix on a state change.
+func CellString(t *Transition) string {
+	if t == nil {
+		return ""
+	}
+	if t.Stall {
+		return "stall"
+	}
+	var parts []string
+	for _, a := range t.Actions {
+		parts = append(parts, a.String())
+	}
+	body := strings.Join(parts, "; ")
+	switch {
+	case body == "" && t.Next == "":
+		return "hit"
+	case body == "":
+		return "-/" + t.Next
+	case t.Next == "":
+		return body
+	default:
+		return body + "/" + t.Next
+	}
+}
+
+// FormatController renders a controller's transition table as ASCII,
+// reproducing the shape of the paper's Figs. 1–2.
+func FormatController(c *Controller) string {
+	events := c.EventOrder()
+	headers := make([]string, 1, len(events)+1)
+	headers[0] = strings.ToUpper(c.Kind.String()[:1]) + c.Kind.String()[1:]
+	for _, ev := range events {
+		headers = append(headers, ev.String())
+	}
+
+	rows := [][]string{headers}
+	for _, st := range c.StateNames() {
+		row := make([]string, 1, len(events)+1)
+		row[0] = st
+		for _, ev := range events {
+			row = append(row, CellString(c.Lookup(st, ev)))
+		}
+		rows = append(rows, row)
+	}
+
+	widths := make([]int, len(headers))
+	for _, row := range rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+
+	var b strings.Builder
+	for ri, row := range rows {
+		for i, cell := range row {
+			if i > 0 {
+				b.WriteString(" | ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+		if ri == 0 {
+			for i, w := range widths {
+				if i > 0 {
+					b.WriteString("-+-")
+				}
+				b.WriteString(strings.Repeat("-", w))
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// FormatProtocol renders both controller tables plus the message
+// declarations.
+func FormatProtocol(p *Protocol) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Protocol %s\n\nMessages:\n", p.Name)
+	for _, name := range p.MessageNames() {
+		m := p.Messages[name]
+		fmt.Fprintf(&b, "  %-16s %s", name, m.Type)
+		if m.Ack != AckNone {
+			if m.Ack == AckCarrier {
+				b.WriteString(", ack carrier")
+			} else {
+				b.WriteString(", ack unit")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "\nCache controller (initial %s):\n%s", p.Cache.Initial, FormatController(p.Cache))
+	fmt.Fprintf(&b, "\nDirectory controller (initial %s):\n%s", p.Dir.Initial, FormatController(p.Dir))
+	return b.String()
+}

@@ -1,0 +1,214 @@
+package protocol
+
+import (
+	"strings"
+	"testing"
+)
+
+// tiny builds a minimal valid protocol: one request, one response.
+func tiny() *Builder {
+	b := NewBuilder("tiny")
+	b.Message("Req", Request)
+	b.Message("Resp", DataResponse)
+	c := b.Cache("I")
+	c.Stable("I", "V")
+	c.Transient("IV")
+	c.On("I", CoreEv(Load)).Send("Req", ToDir).Goto("IV")
+	c.On("IV", MsgEv("Resp")).Goto("V")
+	c.StallOn("IV", CoreEv(Store))
+	d := b.Dir("ID")
+	d.Stable("ID")
+	d.On("ID", MsgEv("Req")).Send("Resp", ToReq).Stay()
+	return b
+}
+
+func TestBuilderHappyPath(t *testing.T) {
+	p, err := tiny().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "tiny" || len(p.Messages) != 2 {
+		t.Fatalf("unexpected protocol %+v", p)
+	}
+	tr := p.Cache.Lookup("I", CoreEv(Load))
+	if tr == nil || tr.Next != "IV" || len(tr.Sends()) != 1 {
+		t.Fatalf("lookup wrong: %+v", tr)
+	}
+	if got := p.MessagesOfType(Request); len(got) != 1 || got[0] != "Req" {
+		t.Fatalf("MessagesOfType = %v", got)
+	}
+}
+
+func TestBuilderDuplicateMessage(t *testing.T) {
+	b := tiny()
+	b.Message("Req", Request)
+	if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "declared twice") {
+		t.Fatalf("expected duplicate-message error, got %v", err)
+	}
+}
+
+func TestBuilderDuplicateCell(t *testing.T) {
+	b := tiny()
+	b.Cache("I").On("I", CoreEv(Load)).Goto("V")
+	if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "defined twice") {
+		t.Fatalf("expected duplicate-cell error, got %v", err)
+	}
+}
+
+func TestValidateUndeclaredState(t *testing.T) {
+	b := tiny()
+	b.Cache("I").On("V", CoreEv(Load)).Goto("Nowhere")
+	if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "Nowhere") {
+		t.Fatalf("expected undeclared-state error, got %v", err)
+	}
+}
+
+func TestValidateUndeclaredMessage(t *testing.T) {
+	b := tiny()
+	b.Cache("I").On("V", MsgEv("Ghost")).Stay()
+	if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "Ghost") {
+		t.Fatalf("expected undeclared-message error, got %v", err)
+	}
+}
+
+func TestValidateStallInStableState(t *testing.T) {
+	b := tiny()
+	b.Cache("I").StallOn("V", MsgEv("Resp"))
+	if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "stable state") {
+		t.Fatalf("expected stable-stall error, got %v", err)
+	}
+}
+
+func TestValidateNeverSentMessage(t *testing.T) {
+	b := tiny()
+	b.Message("Orphan", CtrlResponse)
+	b.Cache("I").On("V", MsgEv("Orphan")).Stay() // received but never sent
+	if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "never sent") {
+		t.Fatalf("expected never-sent error, got %v", err)
+	}
+}
+
+func TestValidateTransientInitial(t *testing.T) {
+	b := NewBuilder("bad")
+	b.Message("Req", Request)
+	b.Message("Resp", DataResponse)
+	c := b.Cache("IV")
+	c.Transient("IV")
+	c.On("IV", MsgEv("Resp")).Send("Req", ToDir).Stay()
+	d := b.Dir("ID")
+	d.Stable("ID")
+	d.On("ID", MsgEv("Req")).Send("Resp", ToReq).Stay()
+	if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "transient") {
+		t.Fatalf("expected transient-initial error, got %v", err)
+	}
+}
+
+func TestValidateQualifierMismatch(t *testing.T) {
+	b := tiny()
+	// Resp declares no qualifier kind but is used with a qualifier.
+	b.Cache("I").On("V", MsgQualEv("Resp", QLastAck)).Stay()
+	if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "qualifier") {
+		t.Fatalf("expected qualifier error, got %v", err)
+	}
+}
+
+func TestValidateDirOnlyDestinations(t *testing.T) {
+	b := tiny()
+	b.Cache("I").On("V", MsgEv("Resp")).Send("Resp", ToOwner).Stay()
+	if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "directory") {
+		t.Fatalf("expected dir-only-dest error, got %v", err)
+	}
+}
+
+func TestEventString(t *testing.T) {
+	if got := CoreEv(Load).String(); got != "Load" {
+		t.Errorf("core event = %q", got)
+	}
+	if got := MsgEv("Data").String(); got != "Data" {
+		t.Errorf("msg event = %q", got)
+	}
+	if got := MsgQualEv("Data", QAckPositive).String(); got != "Data(ack>0)" {
+		t.Errorf("qualified event = %q", got)
+	}
+}
+
+func TestCellString(t *testing.T) {
+	cases := []struct {
+		t    *Transition
+		want string
+	}{
+		{nil, ""},
+		{&Transition{Stall: true}, "stall"},
+		{&Transition{}, "hit"},
+		{&Transition{Next: "M"}, "-/M"},
+		{&Transition{Actions: []Action{{Kind: ASend, Msg: "GetS", To: ToDir}}, Next: "IS_D"},
+			"send GetS to Dir/IS_D"},
+	}
+	for _, c := range cases {
+		if got := CellString(c.t); got != c.want {
+			t.Errorf("CellString(%+v) = %q, want %q", c.t, got, c.want)
+		}
+	}
+}
+
+func TestFormatController(t *testing.T) {
+	p, err := tiny().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := FormatController(p.Cache)
+	for _, want := range []string{"Load", "IV", "stall", "send Req to Dir/IV"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+	full := FormatProtocol(p)
+	if !strings.Contains(full, "Directory controller") || !strings.Contains(full, "Req") {
+		t.Errorf("protocol format incomplete:\n%s", full)
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	p, err := tiny().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := Encode(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := Decode(data)
+	if err != nil {
+		t.Fatalf("decode: %v\n%s", err, data)
+	}
+	if q.Name != p.Name || len(q.Messages) != len(p.Messages) {
+		t.Fatal("round trip lost data")
+	}
+	// Transition tables must survive the trip.
+	for key, tr := range p.Cache.Transitions {
+		got := q.Cache.Transitions[key]
+		if got == nil {
+			t.Fatalf("lost transition %v", key)
+		}
+		if got.Stall != tr.Stall || got.Next != tr.Next || len(got.Actions) != len(tr.Actions) {
+			t.Fatalf("transition %v mismatch: %+v vs %+v", key, got, tr)
+		}
+	}
+	// Re-encoding must be deterministic.
+	data2, err := Encode(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != string(data2) {
+		t.Fatal("encoding not canonical")
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := Decode([]byte("{not json")); err == nil {
+		t.Fatal("expected parse error")
+	}
+	if _, err := Decode([]byte(`{"name":"x","messages":[{"name":"m","type":"wat"}]}`)); err == nil {
+		t.Fatal("expected unknown-type error")
+	}
+}

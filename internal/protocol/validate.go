@@ -1,0 +1,151 @@
+package protocol
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Validate checks the structural well-formedness of a protocol:
+// declared states and messages, consistent qualifiers, sensible stalls.
+// It does not judge deadlock freedom — that is the job of the analysis
+// and model-checking packages (a deliberately deadlocking protocol is
+// still a valid specification).
+func Validate(p *Protocol) error {
+	var errs []error
+	report := func(format string, args ...any) {
+		errs = append(errs, fmt.Errorf(format, args...))
+	}
+
+	if p.Name == "" {
+		report("protocol has no name")
+	}
+	if len(p.Messages) == 0 {
+		report("protocol declares no messages")
+	}
+
+	for _, c := range p.Controllers() {
+		if c == nil {
+			continue
+		}
+		st, ok := c.States[c.Initial]
+		if !ok {
+			report("%s initial state %q not declared", c.Kind, c.Initial)
+		} else if st.Transient {
+			report("%s initial state %q is transient", c.Kind, c.Initial)
+		}
+
+		for key, t := range c.Transitions {
+			cell := fmt.Sprintf("%s cell (%s, %s)", c.Kind, key.State, key.Event)
+			if _, ok := c.States[key.State]; !ok {
+				report("%s: state not declared", cell)
+				continue
+			}
+			ev := key.Event
+			if ev.IsCore() {
+				if c.Kind == DirCtrl {
+					report("%s: directories do not receive core events", cell)
+				}
+				switch ev.Core {
+				case Load, Store, Replacement:
+				default:
+					report("%s: unknown core event %q", cell, ev.Core)
+				}
+			} else {
+				m, ok := p.Messages[ev.Msg]
+				if !ok {
+					report("%s: message %q not declared", cell, ev.Msg)
+				} else if ev.Qual != QNone {
+					legal := false
+					for _, q := range m.Qual.Qualifiers() {
+						if q == ev.Qual {
+							legal = true
+							break
+						}
+					}
+					if !legal {
+						report("%s: qualifier %q not produced by message %q (kind %d)",
+							cell, ev.Qual, ev.Msg, m.Qual)
+					}
+				}
+			}
+
+			if t.Stall {
+				if ev.IsCore() {
+					// A "stall" on a core event just means the core
+					// retries; it never blocks a queue. Authors write
+					// it for table fidelity; it is legal.
+					continue
+				}
+				if st, ok := c.States[key.State]; ok && !st.Transient {
+					report("%s: message stall in stable state (no pending transaction to wait for)", cell)
+				}
+				if len(t.Actions) > 0 || t.Next != "" {
+					report("%s: stall cell must not have actions or a next state", cell)
+				}
+				continue
+			}
+
+			if t.Next != "" {
+				if _, ok := c.States[t.Next]; !ok {
+					report("%s: next state %q not declared", cell, t.Next)
+				}
+			}
+			for _, a := range t.Actions {
+				if a.Kind == ASend {
+					if _, ok := p.Messages[a.Msg]; !ok {
+						report("%s: sends undeclared message %q", cell, a.Msg)
+					}
+					if a.WithAcks && c.Kind != DirCtrl {
+						report("%s: WithAcks send outside directory", cell)
+					}
+					if (a.To == ToOwner || a.To == ToSharers) && c.Kind != DirCtrl {
+						report("%s: destination %s only resolvable at directory", cell, a.To)
+					}
+					if a.To == ToSaved && c.Kind != CacheCtrl {
+						report("%s: destination %s only resolvable at cache", cell, a.To)
+					}
+					if a.ReqSaved && c.Kind != CacheCtrl {
+						report("%s: ReqSaved send outside cache", cell)
+					}
+				} else {
+					switch {
+					case a.Kind == ACopyToMem:
+						// Legal in both controllers.
+					case a.Kind == ARecordSaved && c.Kind != CacheCtrl:
+						report("%s: %s is a cache action", cell, a.Kind)
+					case a.Kind != ARecordSaved && c.Kind != DirCtrl:
+						report("%s: bookkeeping action %s outside directory", cell, a.Kind)
+					}
+				}
+			}
+		}
+	}
+
+	// Every declared message must be sent somewhere and received
+	// somewhere, otherwise the spec is suspicious (typo'd name).
+	sent := make(map[string]bool)
+	received := make(map[string]bool)
+	for _, c := range p.Controllers() {
+		if c == nil {
+			continue
+		}
+		for key, t := range c.Transitions {
+			if !key.Event.IsCore() {
+				received[key.Event.Msg] = true
+			}
+			for _, s := range t.Sends() {
+				sent[s] = true
+			}
+		}
+	}
+	for _, name := range p.MessageNames() {
+		if !sent[name] {
+			report("message %q is never sent", name)
+		}
+		if !received[name] {
+			report("message %q is never received", name)
+		}
+	}
+
+	return errors.Join(errs...)
+}

@@ -1,0 +1,31 @@
+package protocols
+
+import (
+	"minvn/internal/protocol"
+)
+
+func init() {
+	register("MSI_class1", buildClass1)
+}
+
+// buildClass1 is the paper's Class 1 example (§V-A): take the MSI
+// protocol of Figs. 1–2 and make the cache stall an incoming Inv in
+// SM_AD instead of acknowledging it. Two caches upgrading S→M then
+// deadlock on one address — Cache 2's Inv waits for Cache 1's data,
+// which waits for Cache 1's Fwd-GetM, which is stalled behind the
+// Inv-Ack Cache 2 will never send. No VN assignment can help; this is
+// a protocol deadlock, detectable by model checking with a single
+// address and per-message VNs.
+func buildClass1() *protocol.Protocol {
+	p := buildMSI(true)
+	p.Name = "MSI_class1"
+
+	// Replace (SM_AD, Inv) — "Send Inv-Ack to Req / IM_AD" — with a
+	// stall, exactly the hypothetical modification of §V-A.
+	key := protocol.TransKey{State: "SM_AD", Event: protocol.MsgEv("Inv")}
+	if _, ok := p.Cache.Transitions[key]; !ok {
+		panic("protocols: MSI cache lost its (SM_AD, Inv) cell")
+	}
+	p.Cache.Transitions[key] = &protocol.Transition{Stall: true}
+	return p
+}

@@ -1,0 +1,247 @@
+package protocols
+
+import (
+	"minvn/internal/protocol"
+)
+
+func init() {
+	register("CXL_cache", buildCXL)
+}
+
+// buildCXL is a table formalization in the flavor of the CXL.cache
+// device-coherence protocol — the remaining industrial specification
+// the paper names ("CHI, CXL, and Tilelink all prescribe VNs", §I).
+// CXL.cache organizes traffic into six channels (three per direction):
+// D2H Request, D2H Response, D2H Data, and H2D Request (snoops),
+// H2D Response (GO — "global observation" grants), H2D Data.
+//
+// The shape follows the CXL.cache transaction flows: a device request
+// (RdShared / RdOwn / CleanEvict / DirtyEvict) reaches the host, which
+// snoops other device caches (SnpData / SnpInv), collects their
+// responses (RspHitSE / RspIHitI control responses, RspData for dirty
+// lines), and completes the requestor with a GO message (with data for
+// reads). The host serializes transactions per line while snooping
+// (its "Busy" states), but unlike CHI there is no requestor completion
+// message: GO retires the transaction at the host immediately — CXL's
+// home is "sometimes blocking", like MSI/MESI's directory, and the
+// protocol needs two VNs where the specification provisions six
+// channels (the textbook chain gives three: request → snoop →
+// response; CXL has no requestor→host completion).
+//
+// Device caches never stall: snoops are answered in every state, and
+// the eviction/snoop races use the same GO-Wait handshake as our MSI
+// family's Put-AckWait.
+func buildCXL() *protocol.Protocol {
+	b := protocol.NewBuilder("CXL_cache")
+
+	// D2H requests.
+	b.Message("RdShared", protocol.Request)
+	b.Message("RdOwn", protocol.Request, protocol.WithQual(protocol.QualLastSharer))
+	b.Message("CleanEvict", protocol.Request, protocol.WithQual(protocol.QualOwnership))
+	b.Message("DirtyEvict", protocol.Request, protocol.WithQual(protocol.QualOwnership))
+	// H2D requests (snoops).
+	b.Message("SnpData", protocol.FwdRequest) // demote to shared, supply data
+	b.Message("SnpInv", protocol.FwdRequest)  // invalidate (sharers; counted)
+	b.Message("SnpOwn", protocol.FwdRequest)  // invalidate the owner, supply data
+	// D2H responses.
+	b.Message("RspData", protocol.DataResponse)
+	b.Message("RspI", protocol.CtrlResponse,
+		protocol.WithAckRole(protocol.AckUnit), protocol.WithQual(protocol.QualAckUnit))
+	// H2D responses.
+	b.Message("GO_Data", protocol.DataResponse)    // read grant with data
+	b.Message("GO_Data_E", protocol.DataResponse)  // exclusive read grant
+	b.Message("GO_I", protocol.CtrlResponse)       // eviction retired
+	b.Message("GO_WaitSnp", protocol.CtrlResponse) // eviction retired, one snoop owed
+
+	cxlDevice(b)
+	cxlHost(b)
+	return b.MustBuild()
+}
+
+// cxlDevice: device cache with MESI states (I, S, E, M; E upgrades to
+// M silently).
+func cxlDevice(b *protocol.Builder) {
+	c := b.Cache("I")
+	c.Stable("I", "S", "E", "M")
+	c.Transient("IS_G", "IS_G_I", "IM_G", "SM_G", "MI_G", "EI_G", "MIW_G", "SI_G", "II_G",
+		// Deferral states: a snoop reached us while our own grant was
+		// still in flight (we are already the recorded owner); the
+		// response is sent when the grant lands. Suffix _S: demote to
+		// shared afterwards; _II: invalidate.
+		"IS_G_S", "IS_G_II", "IM_G_S", "IM_G_II", "SM_G_S", "SM_G_II")
+
+	// Row I: late racers answered without data.
+	c.On("I", load).Send("RdShared", protocol.ToDir).Goto("IS_G")
+	c.On("I", store).Send("RdOwn", protocol.ToDir).Goto("IM_G")
+	c.On("I", msg("SnpInv")).Send("RspI", protocol.ToDir).Stay()
+	c.On("I", msg("SnpData")).Send("RspI", protocol.ToDir).Stay()
+	c.On("I", msg("SnpOwn")).Send("RspI", protocol.ToDir).Stay()
+
+	// Row IS_G: read pending. The host is busy on our line until GO,
+	// so only late snoops can arrive.
+	c.StallOn("IS_G", load, store, repl)
+	c.On("IS_G", msg("GO_Data")).Goto("S")
+	c.On("IS_G", msg("GO_Data_E")).Goto("E")
+	c.On("IS_G", msg("SnpInv")).Send("RspI", protocol.ToDir).Goto("IS_G_I")
+	c.On("IS_G", msg("SnpData")).Do(protocol.ARecordSaved).Goto("IS_G_S")
+	c.On("IS_G", msg("SnpOwn")).Do(protocol.ARecordSaved).Goto("IS_G_II")
+	c.StallOn("IS_G_I", load, store, repl)
+	c.On("IS_G_I", msg("GO_Data")).Goto("I")
+	c.On("IS_G_I", msg("GO_Data_E")).Goto("E")
+	c.On("IS_G_I", msg("SnpInv")).Send("RspI", protocol.ToDir).Stay()
+
+	// Row IM_G: write pending; a late SnpInv from a pre-eviction era
+	// is acknowledged without data, and a snoop against our pending
+	// ownership is deferred to grant time.
+	c.StallOn("IM_G", load, store, repl)
+	c.On("IM_G", msg("GO_Data")).Goto("M")
+	c.On("IM_G", msg("SnpInv")).Send("RspI", protocol.ToDir).Stay()
+	c.On("IM_G", msg("SnpData")).Do(protocol.ARecordSaved).Goto("IM_G_S")
+	c.On("IM_G", msg("SnpOwn")).Do(protocol.ARecordSaved).Goto("IM_G_II")
+
+	// Row S.
+	c.Hit("S", load)
+	c.On("S", store).Send("RdOwn", protocol.ToDir).Goto("SM_G")
+	c.On("S", repl).Send("CleanEvict", protocol.ToDir).Goto("SI_G")
+	c.On("S", msg("SnpInv")).Send("RspI", protocol.ToDir).Goto("I")
+
+	// Row SM_G: upgrade pending; the winning writer's SnpInv demotes
+	// us to a full-write wait (the host converts the grant to data).
+	c.Hit("SM_G", load)
+	c.StallOn("SM_G", store, repl)
+	c.On("SM_G", msg("GO_Data")).Goto("M")
+	c.On("SM_G", msg("SnpInv")).Send("RspI", protocol.ToDir).Goto("IM_G")
+	c.On("SM_G", msg("SnpData")).Do(protocol.ARecordSaved).Goto("SM_G_S")
+	c.On("SM_G", msg("SnpOwn")).Do(protocol.ARecordSaved).Goto("SM_G_II")
+
+	// Deferral completions: the grant lands, the held snoop is
+	// answered toward the host (which is blocked in BusyRd/BusyOwn).
+	for _, pt := range []struct {
+		st, grant, final string
+	}{
+		{"IS_G_S", "GO_Data_E", "S"},
+		{"IS_G_II", "GO_Data_E", "I"},
+		{"IM_G_S", "GO_Data", "S"},
+		{"IM_G_II", "GO_Data", "I"},
+		{"SM_G_S", "GO_Data", "S"},
+		{"SM_G_II", "GO_Data", "I"},
+	} {
+		c.StallOn(pt.st, load, store, repl)
+		c.On(pt.st, msg(pt.grant)).SendReqSaved("RspData", protocol.ToDir).Goto(pt.final)
+		c.On(pt.st, msg("SnpInv")).Send("RspI", protocol.ToDir).Stay()
+	}
+
+	// Row E: exclusive clean, silent upgrade.
+	c.Hit("E", load)
+	c.On("E", store).Goto("M")
+	c.On("E", repl).Send("CleanEvict", protocol.ToDir).Goto("EI_G")
+	c.On("E", msg("SnpData")).Send("RspData", protocol.ToDir).Goto("S")
+	c.On("E", msg("SnpOwn")).Send("RspData", protocol.ToDir).Goto("I")
+
+	// Row M.
+	c.Hit("M", load)
+	c.Hit("M", store)
+	c.On("M", repl).Send("DirtyEvict", protocol.ToDir).Goto("MI_G")
+	c.On("M", msg("SnpData")).Send("RspData", protocol.ToDir).Goto("S")
+	c.On("M", msg("SnpOwn")).Send("RspData", protocol.ToDir).Goto("I")
+
+	// Rows MI_G / EI_G: owner evictions; racing snoops are served from
+	// the held data, and a GO_WaitSnp parks us until the owed snoop.
+	for _, st := range []string{"MI_G", "EI_G"} {
+		c.StallOn(st, load, store, repl)
+		c.On(st, msg("SnpData")).Send("RspData", protocol.ToDir).Goto("SI_G")
+		c.On(st, msg("SnpOwn")).Send("RspData", protocol.ToDir).Goto("II_G")
+		c.On(st, msg("GO_I")).Goto("I")
+		c.On(st, msg("GO_WaitSnp")).Goto("MIW_G")
+	}
+	c.StallOn("MIW_G", load, store, repl)
+	c.On("MIW_G", msg("SnpData")).Send("RspData", protocol.ToDir).Goto("I")
+	c.On("MIW_G", msg("SnpOwn")).Send("RspData", protocol.ToDir).Goto("I")
+
+	// Row SI_G.
+	c.StallOn("SI_G", load, store, repl)
+	c.On("SI_G", msg("SnpInv")).Send("RspI", protocol.ToDir).Goto("II_G")
+	c.On("SI_G", msg("GO_I")).Goto("I")
+	c.On("SI_G", msg("GO_WaitSnp")).Goto("I")
+
+	// Row II_G.
+	c.StallOn("II_G", load, store, repl)
+	c.On("II_G", msg("GO_I")).Goto("I")
+	c.On("II_G", msg("GO_WaitSnp")).Goto("I")
+}
+
+// cxlHost: the host home agent. Blocks per line while snooping
+// ("sometimes blocking"); GO retires transactions immediately.
+func cxlHost(b *protocol.Builder) {
+	d := b.Dir("I")
+	d.Stable("I", "S", "EorM")
+	d.Transient("BusyRd", "BusyOwn", "BusyInv")
+
+	roLast := msgQ("RdOwn", protocol.QLastSharer)
+	roMore := msgQ("RdOwn", protocol.QNotLastSharer)
+	ceO := msgQ("CleanEvict", protocol.QFromOwner)
+	ceNO := msgQ("CleanEvict", protocol.QFromNonOwner)
+	deO := msgQ("DirtyEvict", protocol.QFromOwner)
+	deNO := msgQ("DirtyEvict", protocol.QFromNonOwner)
+	rspI := msgQ("RspI", protocol.QNotLastAck)
+	rspILast := msgQ("RspI", protocol.QLastAck)
+
+	// Row I.
+	d.On("I", msg("RdShared")).
+		Send("GO_Data_E", protocol.ToReq).Do(protocol.ASetOwnerToReq).Goto("EorM")
+	d.On("I", roLast).
+		Send("GO_Data", protocol.ToReq).Do(protocol.ASetOwnerToReq).Goto("EorM")
+	d.On("I", ceNO).Send("GO_I", protocol.ToReq).Stay()
+	d.On("I", deNO).Send("GO_I", protocol.ToReq).Stay()
+
+	// Row S.
+	d.On("S", msg("RdShared")).
+		Send("GO_Data", protocol.ToReq).Do(protocol.AAddReqToSharers).Stay()
+	d.On("S", roLast).
+		Send("GO_Data", protocol.ToReq).
+		Do(protocol.AClearSharers).Do(protocol.ASetOwnerToReq).Goto("EorM")
+	d.On("S", roMore).
+		Do(protocol.AExpectAcks).
+		Send("SnpInv", protocol.ToSharers).
+		Do(protocol.AClearSharers).Do(protocol.ASetOwnerToReq).Goto("BusyInv")
+	d.On("S", ceNO).
+		Do(protocol.ARemoveReqFromSharers).Send("GO_I", protocol.ToReq).Stay()
+	d.On("S", deNO).
+		Do(protocol.ACopyToMem).
+		Do(protocol.ARemoveReqFromSharers).Send("GO_I", protocol.ToReq).Stay()
+
+	// Row EorM: a device owns the line.
+	d.On("EorM", msg("RdShared")).
+		Send("SnpData", protocol.ToOwner).
+		Do(protocol.AAddReqToSharers).Do(protocol.AAddOwnerToSharers).
+		Do(protocol.AClearOwner).Goto("BusyRd")
+	d.On("EorM", roLast).
+		Send("SnpOwn", protocol.ToOwner).
+		Do(protocol.AClearOwner).Do(protocol.ASetOwnerToReq).Goto("BusyOwn")
+	d.On("EorM", ceO).
+		Do(protocol.AClearOwner).Send("GO_I", protocol.ToReq).Goto("I")
+	d.On("EorM", deO).
+		Do(protocol.ACopyToMem).Do(protocol.AClearOwner).
+		Send("GO_I", protocol.ToReq).Goto("I")
+	// A non-owner eviction means a snoop is still heading to the
+	// evictor: the GO tells it to wait for (and serve) that snoop.
+	d.On("EorM", ceNO).
+		Do(protocol.ARemoveReqFromSharers).Send("GO_WaitSnp", protocol.ToReq).Stay()
+	d.On("EorM", deNO).
+		Do(protocol.ACopyToMem).
+		Do(protocol.ARemoveReqFromSharers).Send("GO_WaitSnp", protocol.ToReq).Stay()
+
+	// Busy rows: requests stall while a snoop round is in flight.
+	allReqs := []protocol.Event{
+		msg("RdShared"), roLast, roMore, ceO, ceNO, deO, deNO,
+	}
+	for _, st := range []string{"BusyRd", "BusyOwn", "BusyInv"} {
+		d.StallOn(st, allReqs...)
+	}
+	d.On("BusyRd", msg("RspData")).
+		Do(protocol.ACopyToMem).Send("GO_Data", protocol.ToReq).Goto("S")
+	d.On("BusyOwn", msg("RspData")).
+		Do(protocol.ACopyToMem).Send("GO_Data", protocol.ToReq).Goto("EorM")
+	d.On("BusyInv", rspI).Stay()
+	d.On("BusyInv", rspILast).Send("GO_Data", protocol.ToReq).Goto("EorM")
+}

@@ -1,0 +1,323 @@
+package protocols
+
+import (
+	"minvn/internal/protocol"
+)
+
+func init() {
+	register("MESI_blocking_cache", func() *protocol.Protocol { return buildMESI(true) })
+	register("MESI_nonblocking_cache", func() *protocol.Protocol { return buildMESI(false) })
+}
+
+// buildMESI transcribes the Primer's MESI directory protocol (its
+// §8.3): MSI plus an E(xclusive) state. The directory grants E on a
+// GetS to an idle block by responding with exclusive data (Data-E) and
+// recording the requestor as owner; because the E→M upgrade is silent,
+// the directory tracks a combined EorM owner state. As in MSI, the
+// directory "sometimes blocks": it stalls requests in S_D while an
+// owner's data is in flight.
+//
+// In MESI a cache can receive forwarded requests even in IS_D (it may
+// already be the recorded owner while its exclusive data is still in
+// flight), so the blocking variant stalls forwards there too, and the
+// non-blocking variant gains IS_D deferral states.
+func buildMESI(blockingCache bool) *protocol.Protocol {
+	name := "MESI_nonblocking_cache"
+	if blockingCache {
+		name = "MESI_blocking_cache"
+	}
+	b := protocol.NewBuilder(name)
+
+	b.Message("GetS", protocol.Request)
+	b.Message("GetM", protocol.Request)
+	b.Message("PutS", protocol.Request, protocol.WithQual(protocol.QualLastSharer))
+	b.Message("PutM", protocol.Request, protocol.WithQual(protocol.QualOwnership))
+	b.Message("PutE", protocol.Request, protocol.WithQual(protocol.QualOwnership))
+	b.Message("Fwd-GetS", protocol.FwdRequest)
+	b.Message("Fwd-GetM", protocol.FwdRequest)
+	b.Message("Inv", protocol.FwdRequest)
+	b.Message("Put-Ack", protocol.CtrlResponse)
+	b.Message("Data", protocol.DataResponse,
+		protocol.WithAckRole(protocol.AckCarrier), protocol.WithQual(protocol.QualDataSource))
+	b.Message("Data-E", protocol.DataResponse)
+	b.Message("Inv-Ack", protocol.CtrlResponse,
+		protocol.WithAckRole(protocol.AckUnit), protocol.WithQual(protocol.QualAckUnit))
+	// Forward nacks: see the MSI definition for the race they close.
+	b.Message("NackFwdS", protocol.CtrlResponse)
+	b.Message("NackFwdM", protocol.CtrlResponse,
+		protocol.WithAckRole(protocol.AckCarrier))
+	// Put-AckWait: see the MSI definition; it also covers PutE here.
+	b.Message("Put-AckWait", protocol.CtrlResponse)
+
+	mesiCache(b, blockingCache)
+	mesiDir(b)
+	return b.MustBuild()
+}
+
+func mesiCache(b *protocol.Builder, blocking bool) {
+	c := b.Cache("I")
+	c.Stable("I", "S", "E", "M")
+	c.Transient("IS_D", "IS_D_I", "IM_AD", "IM_A", "SM_AD", "SM_A",
+		"MI_A", "EI_A", "MIW_A", "SI_A", "II_A")
+	if !blocking {
+		c.Transient("IS_D_S", "IS_D_II",
+			"IM_AD_S", "IM_AD_I", "IM_A_S", "IM_A_I",
+			"SM_AD_S", "SM_AD_I", "SM_A_S", "SM_A_I")
+	}
+
+	dataZero := msgQ("Data", protocol.QAckZero)
+	dataPos := msgQ("Data", protocol.QAckPositive)
+	ack := msgQ("Inv-Ack", protocol.QNotLastAck)
+	lastAck := msgQ("Inv-Ack", protocol.QLastAck)
+
+	// Row I, including answers for late racing messages.
+	c.On("I", load).Send("GetS", protocol.ToDir).Goto("IS_D")
+	c.On("I", store).Send("GetM", protocol.ToDir).Goto("IM_AD")
+	c.On("I", msg("Inv")).Send("Inv-Ack", protocol.ToReq).Stay()
+	c.On("I", msg("Fwd-GetS")).Send("NackFwdS", protocol.ToDir).Stay()
+	c.On("I", msg("Fwd-GetM")).SendInherit("NackFwdM", protocol.ToDir).Stay()
+
+	// Row IS_D: awaiting Data (directory was S) or Data-E (directory
+	// was I and made us the owner — which also exposes us to
+	// forwarded requests before our data arrives).
+	c.StallOn("IS_D", load, store, repl)
+	c.On("IS_D", dataZero).Goto("S")
+	c.On("IS_D", msg("Data-E")).Goto("E")
+	// Invs are acknowledged immediately in both variants (see the MSI
+	// table for why stalling them creates a protocol deadlock). If the
+	// Inv was a late racer and our grant is exclusive, the grant still
+	// stands.
+	c.On("IS_D", msg("Inv")).Send("Inv-Ack", protocol.ToReq).Goto("IS_D_I")
+	c.StallOn("IS_D_I", load, store, repl)
+	c.On("IS_D_I", dataZero).Goto("I")
+	c.On("IS_D_I", msg("Data-E")).Goto("E")
+	c.On("IS_D_I", msg("Inv")).Send("Inv-Ack", protocol.ToReq).Stay()
+	// A forward can also arrive after the late Inv was acknowledged
+	// (we may be the recorded owner of a pending exclusive grant).
+	if blocking {
+		c.StallOn("IS_D", msg("Fwd-GetS"), msg("Fwd-GetM"))
+		c.StallOn("IS_D_I", msg("Fwd-GetS"), msg("Fwd-GetM"))
+	} else {
+		c.On("IS_D", msg("Fwd-GetS")).Do(protocol.ARecordSaved).Goto("IS_D_S")
+		c.On("IS_D", msg("Fwd-GetM")).Do(protocol.ARecordSaved).Goto("IS_D_II")
+		c.On("IS_D_I", msg("Fwd-GetS")).Do(protocol.ARecordSaved).Goto("IS_D_S")
+		c.On("IS_D_I", msg("Fwd-GetM")).Do(protocol.ARecordSaved).Goto("IS_D_II")
+		// Deferred Fwd-GetS against our pending exclusive grant: when
+		// Data-E lands, feed the reader and the directory, settle in S.
+		c.StallOn("IS_D_S", load, store, repl)
+		c.On("IS_D_S", msg("Data-E")).
+			Send("Data", protocol.ToSaved).Send("Data", protocol.ToDir).Goto("S")
+		// Deferred Fwd-GetM: pass ownership as soon as data lands.
+		c.StallOn("IS_D_II", load, store, repl)
+		c.On("IS_D_II", msg("Data-E")).Send("Data", protocol.ToSaved).Goto("I")
+	}
+
+	// Rows IM_AD / IM_A; Invs here are late racers, acknowledged
+	// without data.
+	c.StallOn("IM_AD", load, store, repl)
+	c.On("IM_AD", dataZero).Goto("M")
+	c.On("IM_AD", dataPos).Goto("IM_A")
+	c.On("IM_AD", ack).Stay()
+	c.On("IM_AD", msg("Inv")).Send("Inv-Ack", protocol.ToReq).Stay()
+	c.StallOn("IM_A", load, store, repl)
+	c.On("IM_A", ack).Stay()
+	c.On("IM_A", lastAck).Goto("M")
+	c.On("IM_A", msg("Inv")).Send("Inv-Ack", protocol.ToReq).Stay()
+
+	// Row S.
+	c.Hit("S", load)
+	c.On("S", store).Send("GetM", protocol.ToDir).Goto("SM_AD")
+	c.On("S", repl).Send("PutS", protocol.ToDir).Goto("SI_A")
+	c.On("S", msg("Inv")).Send("Inv-Ack", protocol.ToReq).Goto("I")
+
+	// Rows SM_AD / SM_A.
+	c.Hit("SM_AD", load)
+	c.StallOn("SM_AD", store, repl)
+	c.On("SM_AD", msg("Inv")).Send("Inv-Ack", protocol.ToReq).Goto("IM_AD")
+	c.On("SM_AD", dataZero).Goto("M")
+	c.On("SM_AD", dataPos).Goto("SM_A")
+	c.On("SM_AD", ack).Stay()
+	c.Hit("SM_A", load)
+	c.StallOn("SM_A", store, repl)
+	c.On("SM_A", ack).Stay()
+	c.On("SM_A", lastAck).Goto("M")
+
+	// Forwarded requests in write-pending states: stall or defer.
+	type defer2 struct{ from, toS, toI string }
+	for _, d := range []defer2{
+		{"IM_AD", "IM_AD_S", "IM_AD_I"},
+		{"IM_A", "IM_A_S", "IM_A_I"},
+		{"SM_AD", "SM_AD_S", "SM_AD_I"},
+		{"SM_A", "SM_A_S", "SM_A_I"},
+	} {
+		if blocking {
+			c.StallOn(d.from, msg("Fwd-GetS"), msg("Fwd-GetM"))
+			continue
+		}
+		c.On(d.from, msg("Fwd-GetS")).Do(protocol.ARecordSaved).Goto(d.toS)
+		c.On(d.from, msg("Fwd-GetM")).Do(protocol.ARecordSaved).Goto(d.toI)
+	}
+	if !blocking {
+		loadHit := map[string]bool{
+			"SM_AD_S": true, "SM_AD_I": true, "SM_A_S": true, "SM_A_I": true,
+		}
+		for _, st := range []string{
+			"IM_AD_S", "IM_AD_I", "IM_A_S", "IM_A_I",
+			"SM_AD_S", "SM_AD_I", "SM_A_S", "SM_A_I",
+		} {
+			if loadHit[st] {
+				c.Hit(st, load)
+				c.StallOn(st, store, repl)
+			} else {
+				c.StallOn(st, load, store, repl)
+			}
+			c.On(st, ack).Stay()
+			if !loadHit[st] { // I-rooted deferrals can see late Invs
+				c.On(st, msg("Inv")).Send("Inv-Ack", protocol.ToReq).Stay()
+			}
+		}
+		// An Inv in an S-rooted deferral state demotes it to the
+		// corresponding I-rooted one, exactly as SM_AD + Inv → IM_AD
+		// in Fig. 1 (the deferred forward is unaffected).
+		c.On("SM_AD_S", msg("Inv")).Send("Inv-Ack", protocol.ToReq).Goto("IM_AD_S")
+		c.On("SM_AD_I", msg("Inv")).Send("Inv-Ack", protocol.ToReq).Goto("IM_AD_I")
+		c.On("IM_AD_S", dataZero).
+			Send("Data", protocol.ToSaved).Send("Data", protocol.ToDir).Goto("S")
+		c.On("IM_AD_S", dataPos).Goto("IM_A_S")
+		c.On("IM_A_S", lastAck).
+			Send("Data", protocol.ToSaved).Send("Data", protocol.ToDir).Goto("S")
+		c.On("SM_AD_S", dataZero).
+			Send("Data", protocol.ToSaved).Send("Data", protocol.ToDir).Goto("S")
+		c.On("SM_AD_S", dataPos).Goto("SM_A_S")
+		c.On("SM_A_S", lastAck).
+			Send("Data", protocol.ToSaved).Send("Data", protocol.ToDir).Goto("S")
+		c.On("IM_AD_I", dataZero).Send("Data", protocol.ToSaved).Goto("I")
+		c.On("IM_AD_I", dataPos).Goto("IM_A_I")
+		c.On("IM_A_I", lastAck).Send("Data", protocol.ToSaved).Goto("I")
+		c.On("SM_AD_I", dataZero).Send("Data", protocol.ToSaved).Goto("I")
+		c.On("SM_AD_I", dataPos).Goto("SM_A_I")
+		c.On("SM_A_I", lastAck).Send("Data", protocol.ToSaved).Goto("I")
+	}
+
+	// Row E: exclusive clean. Stores hit silently (E→M).
+	c.Hit("E", load)
+	c.On("E", store).Goto("M")
+	c.On("E", repl).Send("PutE", protocol.ToDir).Goto("EI_A")
+	c.On("E", msg("Fwd-GetS")).
+		Send("Data", protocol.ToReq).Send("Data", protocol.ToDir).Goto("S")
+	c.On("E", msg("Fwd-GetM")).Send("Data", protocol.ToReq).Goto("I")
+
+	// Row M.
+	c.Hit("M", load)
+	c.Hit("M", store)
+	c.On("M", repl).Send("PutM", protocol.ToDir).Goto("MI_A")
+	c.On("M", msg("Fwd-GetS")).
+		Send("Data", protocol.ToReq).Send("Data", protocol.ToDir).Goto("S")
+	c.On("M", msg("Fwd-GetM")).Send("Data", protocol.ToReq).Goto("I")
+
+	// Rows MI_A / EI_A: evictions with ownership still recorded. A
+	// Put-AckWait sends both into MIW_A to serve the owed forward
+	// from their (still valid) data.
+	for _, st := range []string{"MI_A", "EI_A"} {
+		c.StallOn(st, load, store, repl)
+		c.On(st, msg("Fwd-GetS")).
+			Send("Data", protocol.ToReq).Send("Data", protocol.ToDir).Goto("SI_A")
+		c.On(st, msg("Fwd-GetM")).Send("Data", protocol.ToReq).Goto("II_A")
+		c.On(st, msg("Put-Ack")).Goto("I")
+		c.On(st, msg("Put-AckWait")).Goto("MIW_A")
+	}
+
+	// Row MIW_A: acknowledged eviction with one forward owed.
+	c.StallOn("MIW_A", load, store, repl)
+	c.On("MIW_A", msg("Fwd-GetS")).
+		Send("Data", protocol.ToReq).Send("Data", protocol.ToDir).Goto("I")
+	c.On("MIW_A", msg("Fwd-GetM")).Send("Data", protocol.ToReq).Goto("I")
+
+	// Row SI_A.
+	c.StallOn("SI_A", load, store, repl)
+	c.On("SI_A", msg("Inv")).Send("Inv-Ack", protocol.ToReq).Goto("II_A")
+	c.On("SI_A", msg("Put-Ack")).Goto("I")
+	c.On("SI_A", msg("Put-AckWait")).Goto("I")
+
+	// Row II_A.
+	c.StallOn("II_A", load, store, repl)
+	c.On("II_A", msg("Put-Ack")).Goto("I")
+	c.On("II_A", msg("Put-AckWait")).Goto("I")
+}
+
+func mesiDir(b *protocol.Builder) {
+	d := b.Dir("I")
+	d.Stable("I", "S", "EorM")
+	d.Transient("S_D")
+
+	putSNL := msgQ("PutS", protocol.QNotLastSharer)
+	putSL := msgQ("PutS", protocol.QLastSharer)
+	putMO := msgQ("PutM", protocol.QFromOwner)
+	putMNO := msgQ("PutM", protocol.QFromNonOwner)
+	putEO := msgQ("PutE", protocol.QFromOwner)
+	putENO := msgQ("PutE", protocol.QFromNonOwner)
+	dataZero := msgQ("Data", protocol.QAckZero)
+
+	// Row I: a GetS grants exclusivity.
+	d.On("I", msg("GetS")).
+		Send("Data-E", protocol.ToReq).Do(protocol.ASetOwnerToReq).Goto("EorM")
+	d.On("I", msg("GetM")).
+		SendWithAcks("Data", protocol.ToReq).Do(protocol.ASetOwnerToReq).Goto("EorM")
+	d.On("I", putSNL).Send("Put-Ack", protocol.ToReq).Stay()
+	d.On("I", putSL).Send("Put-Ack", protocol.ToReq).Stay()
+	d.On("I", putMNO).Send("Put-Ack", protocol.ToReq).Stay()
+	d.On("I", putENO).Send("Put-Ack", protocol.ToReq).Stay()
+
+	// Row S.
+	d.On("S", msg("GetS")).
+		Send("Data", protocol.ToReq).Do(protocol.AAddReqToSharers).Stay()
+	d.On("S", msg("GetM")).
+		SendWithAcks("Data", protocol.ToReq).
+		Send("Inv", protocol.ToSharers).
+		Do(protocol.AClearSharers).Do(protocol.ASetOwnerToReq).Goto("EorM")
+	d.On("S", putSNL).
+		Do(protocol.ARemoveReqFromSharers).Send("Put-Ack", protocol.ToReq).Stay()
+	d.On("S", putSL).
+		Do(protocol.ARemoveReqFromSharers).Send("Put-Ack", protocol.ToReq).Goto("I")
+	d.On("S", putMNO).
+		Do(protocol.ARemoveReqFromSharers).Send("Put-Ack", protocol.ToReq).Stay()
+	d.On("S", putENO).
+		Do(protocol.ARemoveReqFromSharers).Send("Put-Ack", protocol.ToReq).Stay()
+
+	// Row EorM: some cache owns the block in E or M.
+	d.On("EorM", msg("GetS")).
+		Send("Fwd-GetS", protocol.ToOwner).
+		Do(protocol.AAddReqToSharers).Do(protocol.AAddOwnerToSharers).
+		Do(protocol.AClearOwner).Goto("S_D")
+	d.On("EorM", msg("GetM")).
+		Send("Fwd-GetM", protocol.ToOwner).Do(protocol.ASetOwnerToReq).Stay()
+	d.On("EorM", putSNL).Send("Put-Ack", protocol.ToReq).Stay()
+	d.On("EorM", putSL).Send("Put-Ack", protocol.ToReq).Stay()
+	d.On("EorM", putMO).
+		Do(protocol.ACopyToMem).Do(protocol.AClearOwner).
+		Send("Put-Ack", protocol.ToReq).Goto("I")
+	d.On("EorM", putMNO).
+		Do(protocol.ACopyToMem).Do(protocol.ARemoveReqFromSharers).
+		Send("Put-AckWait", protocol.ToReq).Stay()
+	d.On("EorM", putEO).
+		Do(protocol.AClearOwner).Send("Put-Ack", protocol.ToReq).Goto("I")
+	d.On("EorM", putENO).
+		Do(protocol.ARemoveReqFromSharers).
+		Send("Put-AckWait", protocol.ToReq).Stay()
+	d.On("EorM", msg("NackFwdM")).SendInherit("Data", protocol.ToReq).Stay()
+
+	// Row S_D: blocked on the owner's data.
+	d.StallOn("S_D", msg("GetS"), msg("GetM"))
+	d.On("S_D", putSNL).
+		Do(protocol.ARemoveReqFromSharers).Send("Put-Ack", protocol.ToReq).Stay()
+	d.On("S_D", putSL).
+		Do(protocol.ARemoveReqFromSharers).Send("Put-Ack", protocol.ToReq).Stay()
+	d.On("S_D", putMNO).
+		Do(protocol.ACopyToMem).
+		Do(protocol.ARemoveReqFromSharers).Send("Put-AckWait", protocol.ToReq).Stay()
+	d.On("S_D", putENO).
+		Do(protocol.ARemoveReqFromSharers).Send("Put-AckWait", protocol.ToReq).Stay()
+	d.On("S_D", dataZero).Do(protocol.ACopyToMem).Goto("S")
+	d.On("S_D", msg("NackFwdS")).Send("Data", protocol.ToReq).Goto("S")
+	d.On("S_D", msg("NackFwdM")).SendInherit("Data", protocol.ToReq).Stay()
+}

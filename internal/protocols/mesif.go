@@ -1,0 +1,441 @@
+package protocols
+
+import (
+	"minvn/internal/protocol"
+)
+
+func init() {
+	register("MESIF_blocking_cache", func() *protocol.Protocol { return buildMESIF(true) })
+	register("MESIF_nonblocking_cache", func() *protocol.Protocol { return buildMESIF(false) })
+}
+
+// buildMESIF extends MESI with the F(orward) state — the remaining
+// member of the paper's "MOESIF family" (§II). One clean sharer, the
+// F-holder, answers read requests instead of memory: the directory's
+// F state records the holder in the owner pointer (and, by discipline,
+// in the sharer set), forwards each GetS to it, and immediately hands
+// the F designation to the newest reader — with no directory
+// transient, because clean data needs no write-back. Dirty M/E blocks
+// still drain through a blocking F_D transient as in MESI, so the
+// directory "sometimes blocks" and the protocol lands in the same
+// Table I column as MSI/MESI: Class 2 with a blocking cache, two VNs
+// with a non-blocking one.
+func buildMESIF(blockingCache bool) *protocol.Protocol {
+	name := "MESIF_nonblocking_cache"
+	if blockingCache {
+		name = "MESIF_blocking_cache"
+	}
+	b := protocol.NewBuilder(name)
+
+	// GetS carries the ownership qualifier so the home can detect a
+	// stale forward designation: a GetS *from the recorded owner*
+	// means that owner dropped its F grant (use-once after an Inv)
+	// and must be re-served from memory instead of forwarded to
+	// itself.
+	b.Message("GetS", protocol.Request, protocol.WithQual(protocol.QualOwnership))
+	b.Message("GetM", protocol.Request, protocol.WithQual(protocol.QualOwnership))
+	b.Message("PutS", protocol.Request, protocol.WithQual(protocol.QualLastSharer))
+	b.Message("PutM", protocol.Request, protocol.WithQual(protocol.QualOwnership))
+	b.Message("PutE", protocol.Request, protocol.WithQual(protocol.QualOwnership))
+	b.Message("PutF", protocol.Request, protocol.WithQual(protocol.QualOwnership))
+	b.Message("Fwd-GetS", protocol.FwdRequest)
+	// Fwd-GetSF is the F-chain read forward: served from a clean
+	// holder, no memory write-back expected — unlike Fwd-GetS, whose
+	// server must also refresh the directory (waiting in F_D). The
+	// split lets a deferring cache know at completion time whether to
+	// send the directory copy.
+	b.Message("Fwd-GetSF", protocol.FwdRequest)
+	b.Message("Fwd-GetM", protocol.FwdRequest)
+	b.Message("Inv", protocol.FwdRequest)
+	b.Message("Put-Ack", protocol.CtrlResponse)
+	b.Message("Put-AckWait", protocol.CtrlResponse)
+	b.Message("Data", protocol.DataResponse,
+		protocol.WithAckRole(protocol.AckCarrier), protocol.WithQual(protocol.QualDataSource))
+	b.Message("Data-E", protocol.DataResponse)
+	// Data-F grants the forward designation via an F_F transfer and
+	// must be receipt-confirmed with FwdDone; Data-FX grants the same
+	// designation on paths where the home is not blocked on the
+	// transfer (F_D write-back grants, memory re-grants) and needs no
+	// confirmation.
+	b.Message("Data-F", protocol.DataResponse)
+	b.Message("Data-FX", protocol.DataResponse)
+	b.Message("Inv-Ack", protocol.CtrlResponse,
+		protocol.WithAckRole(protocol.AckUnit), protocol.WithQual(protocol.QualAckUnit))
+	// FwdDone tells the home an F-chain forward has been served, so
+	// it can stop blocking (state F_F). Without this handshake the
+	// holder's own upgrade can overtake the forward and leave a
+	// stale F designation in flight.
+	// FwdDone is the designate's receipt confirmation for a Data-F
+	// grant: the home blocks in F_F until the new holder actually has
+	// the data, so no later invalidation can overtake the grant.
+	b.Message("FwdDone", protocol.CtrlResponse)
+	b.Message("NackFwdS", protocol.CtrlResponse)
+	b.Message("NackFwdM", protocol.CtrlResponse,
+		protocol.WithAckRole(protocol.AckCarrier))
+
+	mesifCache(b, blockingCache)
+	mesifDir(b)
+	return b.MustBuild()
+}
+
+func mesifCache(b *protocol.Builder, blocking bool) {
+	c := b.Cache("I")
+	c.Stable("I", "S", "F", "E", "M")
+	c.Transient("IS_D", "IS_D_I", "IM_AD", "IM_A", "SM_AD", "SM_A",
+		"MI_A", "EI_A", "FI_A", "MIW_A", "FIW_A", "SI_A", "II_A")
+	if !blocking {
+		c.Transient("IS_D_F", "IS_D_II",
+			"IM_AD_S", "IM_AD_I", "IM_A_S", "IM_A_I",
+			"SM_AD_S", "SM_AD_I", "SM_A_S", "SM_A_I")
+	}
+
+	dataZero := msgQ("Data", protocol.QAckZero)
+	dataPos := msgQ("Data", protocol.QAckPositive)
+	ack := msgQ("Inv-Ack", protocol.QNotLastAck)
+	lastAck := msgQ("Inv-Ack", protocol.QLastAck)
+
+	// Row I, with the standard late-racer answers.
+	c.On("I", load).Send("GetS", protocol.ToDir).Goto("IS_D")
+	c.On("I", store).Send("GetM", protocol.ToDir).Goto("IM_AD")
+	c.On("I", msg("Inv")).Send("Inv-Ack", protocol.ToReq).Stay()
+	c.On("I", msg("Fwd-GetS")).Send("NackFwdS", protocol.ToDir).Stay()
+	c.On("I", msg("Fwd-GetSF")).Send("NackFwdS", protocol.ToDir).Stay()
+	c.On("I", msg("Fwd-GetM")).SendInherit("NackFwdM", protocol.ToDir).Stay()
+
+	// Row IS_D: the grant may be plain (S), exclusive (E), or the
+	// forward designation (F). As F- or E-designate we can already be
+	// the target of forwarded reads and writes.
+	c.StallOn("IS_D", load, store, repl)
+	c.On("IS_D", dataZero).Goto("S")
+	c.On("IS_D", msg("Data-E")).Goto("E")
+	c.On("IS_D", msg("Data-F")).Send("FwdDone", protocol.ToDir).Goto("F")
+	c.On("IS_D", msg("Data-FX")).Goto("F")
+	c.On("IS_D", msg("Inv")).Send("Inv-Ack", protocol.ToReq).Goto("IS_D_I")
+	c.StallOn("IS_D_I", load, store, repl)
+	c.On("IS_D_I", dataZero).Goto("I")
+	// An exclusive grant can only be crossed by a *late* Inv, so it
+	// stands; a forward-designation grant may have been invalidated by
+	// the current writer — consume it once and drop to I (the home's
+	// nack path recovers the designation if the Inv was in fact late).
+	c.On("IS_D_I", msg("Data-E")).Goto("E")
+	// An unconfirmed grant crossed by an Inv: the writer that sent
+	// the Inv already owns the line at the home; use once and drop.
+	c.On("IS_D_I", msg("Data-FX")).Goto("I")
+	// A confirmed grant can only be crossed by a *late* Inv (the home
+	// blocks current-era writers in F_F until our receipt), so it
+	// stands.
+	c.On("IS_D_I", msg("Data-F")).Send("FwdDone", protocol.ToDir).Goto("F")
+	c.On("IS_D_I", msg("Inv")).Send("Inv-Ack", protocol.ToReq).Stay()
+	if blocking {
+		c.StallOn("IS_D", msg("Fwd-GetS"), msg("Fwd-GetSF"), msg("Fwd-GetM"))
+		c.StallOn("IS_D_I", msg("Fwd-GetS"), msg("Fwd-GetSF"), msg("Fwd-GetM"))
+	} else {
+		c.On("IS_D", msg("Fwd-GetS")).Do(protocol.ARecordSaved).Goto("IS_D_F")
+		c.On("IS_D", msg("Fwd-GetSF")).Send("NackFwdS", protocol.ToDir).Stay()
+		c.On("IS_D", msg("Fwd-GetM")).Do(protocol.ARecordSaved).Goto("IS_D_II")
+		c.On("IS_D_I", msg("Fwd-GetS")).Do(protocol.ARecordSaved).Goto("IS_D_F")
+		c.On("IS_D_I", msg("Fwd-GetSF")).Send("NackFwdS", protocol.ToDir).Stay()
+		c.On("IS_D_I", msg("Fwd-GetM")).Do(protocol.ARecordSaved).Goto("IS_D_II")
+		// Deferred read against our pending grant: pass the forward
+		// designation along the F chain; a dirty/exclusive grant also
+		// refreshes the directory (which waits in F_D).
+		c.StallOn("IS_D_F", load, store, repl)
+		c.On("IS_D_F", msg("Data-E")).
+			Send("Data-FX", protocol.ToSaved).Send("Data", protocol.ToDir).Goto("S")
+		// Deferred write: pass ownership when the grant lands.
+		c.StallOn("IS_D_II", load, store, repl)
+		c.On("IS_D_II", msg("Data-E")).Send("Data", protocol.ToSaved).Goto("I")
+	}
+
+	// Rows IM_AD / IM_A.
+	c.StallOn("IM_AD", load, store, repl)
+	c.On("IM_AD", dataZero).Goto("M")
+	c.On("IM_AD", dataPos).Goto("IM_A")
+	c.On("IM_AD", ack).Stay()
+	c.On("IM_AD", msg("Inv")).Send("Inv-Ack", protocol.ToReq).Stay()
+	// An F-chain forward reaching an I-rooted writer targets a stale
+	// designation (we dropped the grant before re-requesting); bounce
+	// it to the home, which serves the reader from clean memory.
+	c.On("IM_AD", msg("Fwd-GetSF")).Send("NackFwdS", protocol.ToDir).Stay()
+	c.StallOn("IM_A", load, store, repl)
+	c.On("IM_A", ack).Stay()
+	c.On("IM_A", lastAck).Goto("M")
+	c.On("IM_A", msg("Inv")).Send("Inv-Ack", protocol.ToReq).Stay()
+	c.On("IM_A", msg("Fwd-GetSF")).Send("NackFwdS", protocol.ToDir).Stay()
+
+	// Row S.
+	c.Hit("S", load)
+	c.On("S", store).Send("GetM", protocol.ToDir).Goto("SM_AD")
+	c.On("S", repl).Send("PutS", protocol.ToDir).Goto("SI_A")
+	c.On("S", msg("Inv")).Send("Inv-Ack", protocol.ToReq).Goto("I")
+
+	// Row F: the forward holder. Reads are served directly with the
+	// designation passed to the requestor; stores upgrade through the
+	// ordinary GetM path (the directory knows we hold valid data but
+	// resends it for simplicity); invalidations hit us like any sharer.
+	c.Hit("F", load)
+	c.On("F", store).Send("GetM", protocol.ToDir).Goto("SM_AD")
+	c.On("F", repl).Send("PutF", protocol.ToDir).Goto("FI_A")
+	c.On("F", msg("Fwd-GetSF")).Send("Data-F", protocol.ToReq).Goto("S")
+	c.On("F", msg("Inv")).Send("Inv-Ack", protocol.ToReq).Goto("I")
+
+	// Rows SM_AD / SM_A (shared by S- and F-initiated upgrades).
+	c.Hit("SM_AD", load)
+	c.StallOn("SM_AD", store, repl)
+	c.On("SM_AD", msg("Inv")).Send("Inv-Ack", protocol.ToReq).Goto("IM_AD")
+	c.On("SM_AD", dataZero).Goto("M")
+	c.On("SM_AD", dataPos).Goto("SM_A")
+	c.On("SM_AD", ack).Stay()
+	c.Hit("SM_A", load)
+	c.StallOn("SM_A", store, repl)
+	c.On("SM_A", ack).Stay()
+	c.On("SM_A", lastAck).Goto("M")
+
+	// A pending upgrader still holds valid clean data, and the F_F
+	// handshake guarantees no invalidation can precede an F-chain
+	// forward — so Fwd-GetSF is served immediately (deferring it would
+	// deadlock against our own stalled GetM). Dirty-read and write
+	// forwards stall (blocking variant) or defer, exactly as in MESI.
+	for _, st := range []string{"SM_AD", "SM_A"} {
+		c.On(st, msg("Fwd-GetSF")).Send("Data-F", protocol.ToReq).Stay()
+	}
+	type defer2 struct{ from, toS, toI string }
+	for _, d := range []defer2{
+		{"IM_AD", "IM_AD_S", "IM_AD_I"},
+		{"IM_A", "IM_A_S", "IM_A_I"},
+		{"SM_AD", "SM_AD_S", "SM_AD_I"},
+		{"SM_A", "SM_A_S", "SM_A_I"},
+	} {
+		if blocking {
+			c.StallOn(d.from, msg("Fwd-GetS"), msg("Fwd-GetM"))
+			continue
+		}
+		c.On(d.from, msg("Fwd-GetS")).Do(protocol.ARecordSaved).Goto(d.toS)
+		c.On(d.from, msg("Fwd-GetM")).Do(protocol.ARecordSaved).Goto(d.toI)
+	}
+	if !blocking {
+		loadHit := map[string]bool{
+			"SM_AD_S": true, "SM_AD_I": true, "SM_A_S": true, "SM_A_I": true,
+		}
+		for _, st := range []string{
+			"IM_AD_S", "IM_AD_I", "IM_A_S", "IM_A_I",
+			"SM_AD_S", "SM_AD_I", "SM_A_S", "SM_A_I",
+		} {
+			if loadHit[st] {
+				c.Hit(st, load)
+				c.StallOn(st, store, repl)
+			} else {
+				c.StallOn(st, load, store, repl)
+			}
+			c.On(st, ack).Stay()
+			if !loadHit[st] {
+				c.On(st, msg("Inv")).Send("Inv-Ack", protocol.ToReq).Stay()
+				c.On(st, msg("Fwd-GetSF")).Send("NackFwdS", protocol.ToDir).Stay()
+			}
+		}
+		c.On("SM_AD_S", msg("Inv")).Send("Inv-Ack", protocol.ToReq).Goto("IM_AD_S")
+		c.On("SM_AD_I", msg("Inv")).Send("Inv-Ack", protocol.ToReq).Goto("IM_AD_I")
+		// Completion with a deferred read: the new reader takes the F
+		// designation, the directory (in F_D) takes the dirty data.
+		for _, pt := range []struct{ ad, a string }{
+			{"IM_AD_S", "IM_A_S"}, {"SM_AD_S", "SM_A_S"},
+		} {
+			c.On(pt.ad, dataZero).
+				Send("Data-FX", protocol.ToSaved).Send("Data", protocol.ToDir).Goto("S")
+			c.On(pt.ad, dataPos).Goto(pt.a)
+			c.On(pt.a, lastAck).
+				Send("Data-FX", protocol.ToSaved).Send("Data", protocol.ToDir).Goto("S")
+		}
+		// Completion with a deferred write: pass ownership.
+		for _, pt := range []struct{ ad, a string }{
+			{"IM_AD_I", "IM_A_I"}, {"SM_AD_I", "SM_A_I"},
+		} {
+			c.On(pt.ad, dataZero).Send("Data", protocol.ToSaved).Goto("I")
+			c.On(pt.ad, dataPos).Goto(pt.a)
+			c.On(pt.a, lastAck).Send("Data", protocol.ToSaved).Goto("I")
+		}
+	}
+
+	// Row E.
+	c.Hit("E", load)
+	c.On("E", store).Goto("M")
+	c.On("E", repl).Send("PutE", protocol.ToDir).Goto("EI_A")
+	c.On("E", msg("Fwd-GetS")).
+		Send("Data-FX", protocol.ToReq).Send("Data", protocol.ToDir).Goto("S")
+	c.On("E", msg("Fwd-GetM")).Send("Data", protocol.ToReq).Goto("I")
+
+	// Row M.
+	c.Hit("M", load)
+	c.Hit("M", store)
+	c.On("M", repl).Send("PutM", protocol.ToDir).Goto("MI_A")
+	c.On("M", msg("Fwd-GetS")).
+		Send("Data-FX", protocol.ToReq).Send("Data", protocol.ToDir).Goto("S")
+	c.On("M", msg("Fwd-GetM")).Send("Data", protocol.ToReq).Goto("I")
+
+	// Rows MI_A / EI_A: dirty/exclusive evictions.
+	for _, st := range []string{"MI_A", "EI_A"} {
+		c.StallOn(st, load, store, repl)
+		c.On(st, msg("Fwd-GetS")).
+			Send("Data-FX", protocol.ToReq).Send("Data", protocol.ToDir).Goto("SI_A")
+		c.On(st, msg("Fwd-GetM")).Send("Data", protocol.ToReq).Goto("II_A")
+		c.On(st, msg("Put-Ack")).Goto("I")
+		c.On(st, msg("Put-AckWait")).Goto("MIW_A")
+	}
+	c.StallOn("MIW_A", load, store, repl)
+	c.On("MIW_A", msg("Fwd-GetS")).
+		Send("Data-FX", protocol.ToReq).Send("Data", protocol.ToDir).Goto("I")
+	c.On("MIW_A", msg("Fwd-GetM")).Send("Data", protocol.ToReq).Goto("I")
+
+	// Row FI_A: clean F eviction; we can still serve reads from the
+	// held data and answer invalidations.
+	c.StallOn("FI_A", load, store, repl)
+	c.On("FI_A", msg("Fwd-GetSF")).Send("Data-F", protocol.ToReq).Goto("SI_A")
+	c.On("FI_A", msg("Inv")).Send("Inv-Ack", protocol.ToReq).Goto("II_A")
+	c.On("FI_A", msg("Put-Ack")).Goto("I")
+	c.On("FI_A", msg("Put-AckWait")).Goto("FIW_A")
+	c.StallOn("FIW_A", load, store, repl)
+	c.On("FIW_A", msg("Fwd-GetSF")).Send("Data-F", protocol.ToReq).Goto("I")
+	c.On("FIW_A", msg("Inv")).Send("Inv-Ack", protocol.ToReq).Goto("I")
+
+	// Row SI_A.
+	c.StallOn("SI_A", load, store, repl)
+	c.On("SI_A", msg("Inv")).Send("Inv-Ack", protocol.ToReq).Goto("II_A")
+	c.On("SI_A", msg("Put-Ack")).Goto("I")
+	c.On("SI_A", msg("Put-AckWait")).Goto("I")
+
+	// Row II_A.
+	c.StallOn("II_A", load, store, repl)
+	c.On("II_A", msg("Put-Ack")).Goto("I")
+	c.On("II_A", msg("Put-AckWait")).Goto("I")
+}
+
+func mesifDir(b *protocol.Builder) {
+	d := b.Dir("I")
+	d.Stable("I", "S", "F", "EorM")
+	d.Transient("F_D", "F_F")
+
+	getSO := msgQ("GetS", protocol.QFromOwner)
+	getSNO := msgQ("GetS", protocol.QFromNonOwner)
+	getMO := msgQ("GetM", protocol.QFromOwner)
+	getMNO := msgQ("GetM", protocol.QFromNonOwner)
+	putSNL := msgQ("PutS", protocol.QNotLastSharer)
+	putSL := msgQ("PutS", protocol.QLastSharer)
+	putMO := msgQ("PutM", protocol.QFromOwner)
+	putMNO := msgQ("PutM", protocol.QFromNonOwner)
+	putEO := msgQ("PutE", protocol.QFromOwner)
+	putENO := msgQ("PutE", protocol.QFromNonOwner)
+	putFO := msgQ("PutF", protocol.QFromOwner)
+	putFNO := msgQ("PutF", protocol.QFromNonOwner)
+	dataZero := msgQ("Data", protocol.QAckZero)
+
+	removeAck := func(state string, evs ...protocol.Event) {
+		for _, ev := range evs {
+			d.On(state, ev).
+				Do(protocol.ARemoveReqFromSharers).Send("Put-Ack", protocol.ToReq).Stay()
+		}
+	}
+
+	// Row I.
+	d.On("I", getSNO).
+		Send("Data-E", protocol.ToReq).Do(protocol.ASetOwnerToReq).Goto("EorM")
+	d.On("I", getMNO).
+		SendWithAcks("Data", protocol.ToReq).Do(protocol.ASetOwnerToReq).Goto("EorM")
+	removeAck("I", putSNL, putSL, putMNO, putENO, putFNO)
+
+	// Row S: plain sharers, no forward holder (the F designation was
+	// lost to an eviction); memory serves reads.
+	d.On("S", getSNO).
+		Send("Data", protocol.ToReq).Do(protocol.AAddReqToSharers).Stay()
+	d.On("S", getMNO).
+		SendWithAcks("Data", protocol.ToReq).
+		Send("Inv", protocol.ToSharers).
+		Do(protocol.AClearSharers).Do(protocol.ASetOwnerToReq).Goto("EorM")
+	d.On("S", putSL).
+		Do(protocol.ARemoveReqFromSharers).Send("Put-Ack", protocol.ToReq).Goto("I")
+	removeAck("S", putSNL, putMNO, putENO, putFNO)
+	d.On("S", msg("NackFwdS")).Send("Data", protocol.ToReq).Stay()
+
+	// Row F: a forward holder exists (owner pointer; also a sharer).
+	// Reads chain the designation to the newest requestor with no
+	// directory transient; writes invalidate everyone from memory's
+	// clean copy.
+	d.On("F", getSNO).
+		Send("Fwd-GetSF", protocol.ToOwner).
+		Do(protocol.AAddReqToSharers).Do(protocol.ASetOwnerToReq).Goto("F_F")
+	// The recorded holder asking to read again dropped its grant;
+	// re-serve it from the clean memory copy.
+	d.On("F", getSO).
+		Send("Data-FX", protocol.ToReq).Do(protocol.AAddReqToSharers).Stay()
+	d.On("F", getMNO).
+		SendWithAcks("Data", protocol.ToReq).
+		Send("Inv", protocol.ToSharers).
+		Do(protocol.AClearSharers).Do(protocol.ASetOwnerToReq).Goto("EorM")
+	d.On("F", getMO).
+		SendWithAcks("Data", protocol.ToReq).
+		Send("Inv", protocol.ToSharers).
+		Do(protocol.AClearSharers).Goto("EorM")
+	d.On("F", putFO).
+		Do(protocol.ARemoveReqFromSharers).Do(protocol.AClearOwner).
+		Send("Put-Ack", protocol.ToReq).Goto("S")
+	// A non-owner PutF in state F means the designation already moved
+	// on via a Fwd-GetS that may still be heading to the evictor.
+	d.On("F", putFNO).
+		Do(protocol.ARemoveReqFromSharers).Send("Put-AckWait", protocol.ToReq).Stay()
+	d.On("F", putMNO).
+		Do(protocol.ACopyToMem).Do(protocol.ARemoveReqFromSharers).
+		Send("Put-AckWait", protocol.ToReq).Stay()
+	d.On("F", putENO).
+		Do(protocol.ARemoveReqFromSharers).Send("Put-AckWait", protocol.ToReq).Stay()
+	removeAck("F", putSNL, putSL)
+	d.On("F", msg("NackFwdS")).Send("Data-FX", protocol.ToReq).Stay()
+
+	// Row EorM.
+	d.On("EorM", getSNO).
+		Send("Fwd-GetS", protocol.ToOwner).
+		Do(protocol.AAddReqToSharers).Do(protocol.AAddOwnerToSharers).
+		Do(protocol.ASetOwnerToReq).Goto("F_D")
+	d.On("EorM", getMNO).
+		SendWithAcks("Fwd-GetM", protocol.ToOwner).Do(protocol.ASetOwnerToReq).Stay()
+	d.On("EorM", putMO).
+		Do(protocol.ACopyToMem).Do(protocol.AClearOwner).
+		Send("Put-Ack", protocol.ToReq).Goto("I")
+	d.On("EorM", putMNO).
+		Do(protocol.ACopyToMem).Do(protocol.ARemoveReqFromSharers).
+		Send("Put-AckWait", protocol.ToReq).Stay()
+	d.On("EorM", putEO).
+		Do(protocol.AClearOwner).Send("Put-Ack", protocol.ToReq).Goto("I")
+	d.On("EorM", putENO).
+		Do(protocol.ARemoveReqFromSharers).Send("Put-AckWait", protocol.ToReq).Stay()
+	removeAck("EorM", putSNL, putSL, putFNO)
+	d.On("EorM", msg("NackFwdM")).SendInherit("Data", protocol.ToReq).Stay()
+
+	// Row F_F: an F-chain forward is in flight; requests block until
+	// the holder confirms service (or the bounce is served from the
+	// clean memory copy).
+	d.StallOn("F_F", getSO, getSNO, getMO, getMNO, putFO)
+	d.On("F_F", msg("FwdDone")).Goto("F")
+	d.On("F_F", msg("NackFwdS")).Send("Data-F", protocol.ToReq).Stay()
+	d.On("F_F", putFNO).
+		Do(protocol.ARemoveReqFromSharers).Send("Put-AckWait", protocol.ToReq).Stay()
+	d.On("F_F", putMNO).
+		Do(protocol.ACopyToMem).Do(protocol.ARemoveReqFromSharers).
+		Send("Put-AckWait", protocol.ToReq).Stay()
+	d.On("F_F", putENO).
+		Do(protocol.ARemoveReqFromSharers).Send("Put-AckWait", protocol.ToReq).Stay()
+	removeAck("F_F", putSNL, putSL)
+
+	// Row F_D: dirty data on its way to memory; requests block here —
+	// the "sometimes blocking" of this directory. That includes a PutF
+	// from the new designate, who may take its Data-F and evict before
+	// the old owner's write-back reaches memory.
+	d.StallOn("F_D", getSO, getSNO, getMO, getMNO, putFO)
+	d.On("F_D", dataZero).Do(protocol.ACopyToMem).Goto("F")
+	d.On("F_D", putMNO).
+		Do(protocol.ACopyToMem).Do(protocol.ARemoveReqFromSharers).
+		Send("Put-AckWait", protocol.ToReq).Stay()
+	d.On("F_D", putENO).
+		Do(protocol.ARemoveReqFromSharers).Send("Put-AckWait", protocol.ToReq).Stay()
+	removeAck("F_D", putSNL, putSL, putFNO)
+	d.On("F_D", msg("NackFwdS")).Send("Data-FX", protocol.ToReq).Goto("F")
+	d.On("F_D", msg("NackFwdM")).SendInherit("Data", protocol.ToReq).Stay()
+}

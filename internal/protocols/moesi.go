@@ -1,0 +1,370 @@
+package protocols
+
+import (
+	"minvn/internal/protocol"
+)
+
+func init() {
+	register("MOESI_blocking_cache", func() *protocol.Protocol { return buildMOESI(true) })
+	register("MOESI_nonblocking_cache", func() *protocol.Protocol { return buildMOESI(false) })
+}
+
+// buildMOESI combines the MESI and MOSI protocols, as the paper does
+// ("the MOESI protocol was derived from the MESI and MOSI protocols",
+// §VII-B): exclusive grants on GetS-to-idle like MESI, and a
+// completely non-blocking directory thanks to the O state like MOSI.
+// The directory has no transient states at all.
+//
+// As in MESI, a cache can be the recorded owner while still in IS_D
+// (exclusive data in flight), so forwarded requests can reach it
+// there; the blocking variant stalls them (Class 2), the non-blocking
+// variant defers them (1 VN).
+func buildMOESI(blockingCache bool) *protocol.Protocol {
+	name := "MOESI_nonblocking_cache"
+	if blockingCache {
+		name = "MOESI_blocking_cache"
+	}
+	b := protocol.NewBuilder(name)
+
+	b.Message("GetS", protocol.Request)
+	b.Message("GetM", protocol.Request, protocol.WithQual(protocol.QualOwnership))
+	// Upgrade is the owner's O→M write request. It is distinct from
+	// GetM so the directory can detect a lost upgrade race (the
+	// sender is no longer the owner) and convert it into a full
+	// data-carrying write on the sender's behalf.
+	b.Message("Upgrade", protocol.Request, protocol.WithQual(protocol.QualOwnership))
+	b.Message("PutS", protocol.Request, protocol.WithQual(protocol.QualLastSharer))
+	b.Message("PutM", protocol.Request, protocol.WithQual(protocol.QualOwnership))
+	b.Message("PutO", protocol.Request, protocol.WithQual(protocol.QualOwnership))
+	b.Message("PutE", protocol.Request, protocol.WithQual(protocol.QualOwnership))
+	b.Message("Fwd-GetS", protocol.FwdRequest)
+	b.Message("Fwd-GetM", protocol.FwdRequest,
+		protocol.WithAckRole(protocol.AckCarrier))
+	b.Message("Inv", protocol.FwdRequest)
+	b.Message("Put-Ack", protocol.CtrlResponse)
+	b.Message("Data", protocol.DataResponse,
+		protocol.WithAckRole(protocol.AckCarrier), protocol.WithQual(protocol.QualDataSource))
+	b.Message("Data-E", protocol.DataResponse)
+	b.Message("AckCount", protocol.CtrlResponse,
+		protocol.WithAckRole(protocol.AckCarrier), protocol.WithQual(protocol.QualDataSource))
+	b.Message("Inv-Ack", protocol.CtrlResponse,
+		protocol.WithAckRole(protocol.AckUnit), protocol.WithQual(protocol.QualAckUnit))
+	// Forward nacks: see the MSI definition for the race they close.
+	b.Message("NackFwdS", protocol.CtrlResponse)
+	b.Message("NackFwdM", protocol.CtrlResponse,
+		protocol.WithAckRole(protocol.AckCarrier))
+
+	moesiCache(b, blockingCache)
+	moesiDir(b)
+	return b.MustBuild()
+}
+
+func moesiCache(b *protocol.Builder, blocking bool) {
+	c := b.Cache("I")
+	c.Stable("I", "S", "E", "O", "M")
+	c.Transient("IS_D", "IS_D_I", "IM_AD", "IM_A", "SM_AD", "SM_A",
+		"OM_AC", "OM_A", "MI_A", "EI_A", "OI_A", "SI_A", "II_A")
+	if !blocking {
+		c.Transient("IS_D_O", "IS_D_II",
+			"IM_AD_O", "IM_AD_I", "IM_A_O", "IM_A_I",
+			"SM_AD_O", "SM_AD_I", "SM_A_O", "SM_A_I",
+			"OM_A_O", "OM_A_I")
+	}
+
+	dataZero := msgQ("Data", protocol.QAckZero)
+	dataPos := msgQ("Data", protocol.QAckPositive)
+	ackZero := msgQ("AckCount", protocol.QAckZero)
+	ackPos := msgQ("AckCount", protocol.QAckPositive)
+	ack := msgQ("Inv-Ack", protocol.QNotLastAck)
+	lastAck := msgQ("Inv-Ack", protocol.QLastAck)
+
+	// Row I, including answers for late racing messages.
+	c.On("I", load).Send("GetS", protocol.ToDir).Goto("IS_D")
+	c.On("I", store).Send("GetM", protocol.ToDir).Goto("IM_AD")
+	c.On("I", msg("Inv")).Send("Inv-Ack", protocol.ToReq).Stay()
+	c.On("I", msg("Fwd-GetS")).Send("NackFwdS", protocol.ToDir).Stay()
+	c.On("I", msg("Fwd-GetM")).SendInherit("NackFwdM", protocol.ToDir).Stay()
+
+	// Row IS_D: Data (directory was S/O), Data-E (directory was I and
+	// made us owner), a racing Inv, or — since we may already be the
+	// recorded owner — a forwarded request.
+	c.StallOn("IS_D", load, store, repl)
+	c.On("IS_D", dataZero).Goto("S")
+	c.On("IS_D", msg("Data-E")).Goto("E")
+	// Invs are acknowledged immediately in both variants (see the MSI
+	// table for why stalling them creates a protocol deadlock).
+	c.On("IS_D", msg("Inv")).Send("Inv-Ack", protocol.ToReq).Goto("IS_D_I")
+	c.StallOn("IS_D_I", load, store, repl)
+	c.On("IS_D_I", dataZero).Goto("I")
+	c.On("IS_D_I", msg("Data-E")).Goto("E")
+	c.On("IS_D_I", msg("Inv")).Send("Inv-Ack", protocol.ToReq).Stay()
+	// A forward can also arrive after the late Inv was acknowledged
+	// (we may be the recorded owner of a pending exclusive grant).
+	if blocking {
+		c.StallOn("IS_D", msg("Fwd-GetS"), msg("Fwd-GetM"))
+		c.StallOn("IS_D_I", msg("Fwd-GetS"), msg("Fwd-GetM"))
+	} else {
+		c.On("IS_D", msg("Fwd-GetS")).Do(protocol.ARecordSaved).Goto("IS_D_O")
+		c.On("IS_D", msg("Fwd-GetM")).Do(protocol.ARecordSaved).Goto("IS_D_II")
+		c.On("IS_D_I", msg("Fwd-GetS")).Do(protocol.ARecordSaved).Goto("IS_D_O")
+		c.On("IS_D_I", msg("Fwd-GetM")).Do(protocol.ARecordSaved).Goto("IS_D_II")
+		c.StallOn("IS_D_O", load, store, repl)
+		c.On("IS_D_O", msg("Data-E")).Send("Data", protocol.ToSaved).Goto("O")
+		c.StallOn("IS_D_II", load, store, repl)
+		c.On("IS_D_II", msg("Data-E")).Send("Data", protocol.ToSaved).Goto("I")
+	}
+
+	// Rows IM_AD / IM_A; Invs here are late racers, acknowledged
+	// without data.
+	c.StallOn("IM_AD", load, store, repl)
+	c.On("IM_AD", dataZero).Goto("M")
+	c.On("IM_AD", dataPos).Goto("IM_A")
+	c.On("IM_AD", ack).Stay()
+	c.On("IM_AD", msg("Inv")).Send("Inv-Ack", protocol.ToReq).Stay()
+	c.StallOn("IM_A", load, store, repl)
+	c.On("IM_A", ack).Stay()
+	c.On("IM_A", lastAck).Goto("M")
+	c.On("IM_A", msg("Inv")).Send("Inv-Ack", protocol.ToReq).Stay()
+
+	// Row S.
+	c.Hit("S", load)
+	c.On("S", store).Send("GetM", protocol.ToDir).Goto("SM_AD")
+	c.On("S", repl).Send("PutS", protocol.ToDir).Goto("SI_A")
+	c.On("S", msg("Inv")).Send("Inv-Ack", protocol.ToReq).Goto("I")
+
+	// Rows SM_AD / SM_A.
+	c.Hit("SM_AD", load)
+	c.StallOn("SM_AD", store, repl)
+	c.On("SM_AD", msg("Inv")).Send("Inv-Ack", protocol.ToReq).Goto("IM_AD")
+	c.On("SM_AD", dataZero).Goto("M")
+	c.On("SM_AD", dataPos).Goto("SM_A")
+	c.On("SM_AD", ack).Stay()
+	c.Hit("SM_A", load)
+	c.StallOn("SM_A", store, repl)
+	c.On("SM_A", ack).Stay()
+	c.On("SM_A", lastAck).Goto("M")
+
+	// Row E: exclusive clean; silent upgrade on store.
+	c.Hit("E", load)
+	c.On("E", store).Goto("M")
+	c.On("E", repl).Send("PutE", protocol.ToDir).Goto("EI_A")
+	c.On("E", msg("Fwd-GetS")).Send("Data", protocol.ToReq).Goto("O")
+	c.On("E", msg("Fwd-GetM")).SendInherit("Data", protocol.ToReq).Goto("I")
+
+	// Row O.
+	c.Hit("O", load)
+	c.On("O", store).Send("Upgrade", protocol.ToDir).Goto("OM_AC")
+	c.On("O", repl).Send("PutO", protocol.ToDir).Goto("OI_A")
+	c.On("O", msg("Fwd-GetS")).Send("Data", protocol.ToReq).Stay()
+	c.On("O", msg("Fwd-GetM")).SendInherit("Data", protocol.ToReq).Goto("I")
+
+	// Rows OM_AC / OM_A: upgrade from O; the directory answers with an
+	// AckCount (we already hold the data) and invalidates the sharers.
+	// While the upgrade is unordered (OM_AC), forwards are served
+	// immediately from the owned data: a Fwd-GetS reader is ordered
+	// before our store, and a Fwd-GetM means our upgrade lost the
+	// race — surrender ownership and fall back to a full write
+	// (IM_AD; the directory converts the lost Upgrade to a
+	// data-carrying response). Deferring here instead would
+	// cross-deadlock two pending writers.
+	c.Hit("OM_AC", load)
+	c.StallOn("OM_AC", store, repl)
+	c.On("OM_AC", ackZero).Goto("M")
+	c.On("OM_AC", ackPos).Goto("OM_A")
+	c.On("OM_AC", ack).Stay()
+	if blocking {
+		c.StallOn("OM_AC", msg("Fwd-GetS"), msg("Fwd-GetM"))
+	} else {
+		c.On("OM_AC", msg("Fwd-GetS")).Send("Data", protocol.ToReq).Stay()
+		c.On("OM_AC", msg("Fwd-GetM")).SendInherit("Data", protocol.ToReq).Goto("IM_AD")
+	}
+	c.Hit("OM_A", load)
+	c.StallOn("OM_A", store, repl)
+	c.On("OM_A", ack).Stay()
+	c.On("OM_A", lastAck).Goto("M")
+
+	// Forwarded requests during pending writes: stall or defer.
+	type defer2 struct{ from, toO, toI string }
+	for _, d := range []defer2{
+		{"IM_AD", "IM_AD_O", "IM_AD_I"},
+		{"IM_A", "IM_A_O", "IM_A_I"},
+		{"SM_AD", "SM_AD_O", "SM_AD_I"},
+		{"SM_A", "SM_A_O", "SM_A_I"},
+		{"OM_A", "OM_A_O", "OM_A_I"},
+	} {
+		if blocking {
+			c.StallOn(d.from, msg("Fwd-GetS"), msg("Fwd-GetM"))
+			continue
+		}
+		c.On(d.from, msg("Fwd-GetS")).Do(protocol.ARecordSaved).Goto(d.toO)
+		c.On(d.from, msg("Fwd-GetM")).Do(protocol.ARecordSaved).Goto(d.toI)
+	}
+	if !blocking {
+		loadHit := map[string]bool{
+			"SM_AD_O": true, "SM_AD_I": true, "SM_A_O": true, "SM_A_I": true,
+			"OM_A_O": true, "OM_A_I": true,
+		}
+		type path struct{ ad, a, final string }
+		serve := func(pths []path, carrier, carrierPos protocol.Event) {
+			for _, pt := range pths {
+				for _, st := range []string{pt.ad, pt.a} {
+					if loadHit[st] {
+						c.Hit(st, load)
+						c.StallOn(st, store, repl)
+					} else {
+						c.StallOn(st, load, store, repl)
+					}
+					c.On(st, ack).Stay()
+				}
+				c.On(pt.ad, carrier).Send("Data", protocol.ToSaved).Goto(pt.final)
+				c.On(pt.ad, carrierPos).Goto(pt.a)
+				c.On(pt.a, lastAck).Send("Data", protocol.ToSaved).Goto(pt.final)
+			}
+		}
+		// An Inv in an S-rooted deferral state demotes it to the
+		// corresponding I-rooted one (the deferred forward rides along).
+		c.On("SM_AD_O", msg("Inv")).Send("Inv-Ack", protocol.ToReq).Goto("IM_AD_O")
+		c.On("SM_AD_I", msg("Inv")).Send("Inv-Ack", protocol.ToReq).Goto("IM_AD_I")
+		serve([]path{
+			{"IM_AD_O", "IM_A_O", "O"},
+			{"IM_AD_I", "IM_A_I", "I"},
+			{"SM_AD_O", "SM_A_O", "O"},
+			{"SM_AD_I", "SM_A_I", "I"},
+		}, dataZero, dataPos)
+		// OM_A_O / OM_A_I: the AckCount was consumed back in OM_A, so
+		// only the remaining Inv-Acks are outstanding.
+		for _, pt := range []struct{ st, final string }{
+			{"OM_A_O", "O"}, {"OM_A_I", "I"},
+		} {
+			c.Hit(pt.st, load)
+			c.StallOn(pt.st, store, repl)
+			c.On(pt.st, ack).Stay()
+			c.On(pt.st, lastAck).Send("Data", protocol.ToSaved).Goto(pt.final)
+		}
+	}
+
+	// Row M.
+	c.Hit("M", load)
+	c.Hit("M", store)
+	c.On("M", repl).Send("PutM", protocol.ToDir).Goto("MI_A")
+	c.On("M", msg("Fwd-GetS")).Send("Data", protocol.ToReq).Goto("O")
+	c.On("M", msg("Fwd-GetM")).SendInherit("Data", protocol.ToReq).Goto("I")
+
+	// Rows MI_A / EI_A.
+	for _, st := range []string{"MI_A", "EI_A"} {
+		c.StallOn(st, load, store, repl)
+		c.On(st, msg("Fwd-GetS")).Send("Data", protocol.ToReq).Goto("OI_A")
+		c.On(st, msg("Fwd-GetM")).SendInherit("Data", protocol.ToReq).Goto("II_A")
+		c.On(st, msg("Put-Ack")).Goto("I")
+	}
+
+	// Row OI_A.
+	c.StallOn("OI_A", load, store, repl)
+	c.On("OI_A", msg("Fwd-GetS")).Send("Data", protocol.ToReq).Stay()
+	c.On("OI_A", msg("Fwd-GetM")).SendInherit("Data", protocol.ToReq).Goto("II_A")
+	c.On("OI_A", msg("Put-Ack")).Goto("I")
+
+	// Row SI_A.
+	c.StallOn("SI_A", load, store, repl)
+	c.On("SI_A", msg("Inv")).Send("Inv-Ack", protocol.ToReq).Goto("II_A")
+	c.On("SI_A", msg("Put-Ack")).Goto("I")
+
+	// Row II_A.
+	c.StallOn("II_A", load, store, repl)
+	c.On("II_A", msg("Put-Ack")).Goto("I")
+}
+
+// moesiDir never blocks: the O state absorbs M→S downgrades and
+// sufficient per-block state tracks everything else.
+func moesiDir(b *protocol.Builder) {
+	d := b.Dir("I")
+	d.Stable("I", "S", "EorM", "O")
+
+	getMNO := msgQ("GetM", protocol.QFromNonOwner)
+	upgO := msgQ("Upgrade", protocol.QFromOwner)
+	upgNO := msgQ("Upgrade", protocol.QFromNonOwner)
+	putSNL := msgQ("PutS", protocol.QNotLastSharer)
+	putSL := msgQ("PutS", protocol.QLastSharer)
+	putMO := msgQ("PutM", protocol.QFromOwner)
+	putMNO := msgQ("PutM", protocol.QFromNonOwner)
+	putOO := msgQ("PutO", protocol.QFromOwner)
+	putONO := msgQ("PutO", protocol.QFromNonOwner)
+	putEO := msgQ("PutE", protocol.QFromOwner)
+	putENO := msgQ("PutE", protocol.QFromNonOwner)
+
+	ackPut := func(state string, evs ...protocol.Event) {
+		for _, ev := range evs {
+			d.On(state, ev).
+				Do(protocol.ARemoveReqFromSharers).Send("Put-Ack", protocol.ToReq).Stay()
+		}
+	}
+
+	// Row I.
+	d.On("I", msg("GetS")).
+		Send("Data-E", protocol.ToReq).Do(protocol.ASetOwnerToReq).Goto("EorM")
+	d.On("I", getMNO).
+		SendWithAcks("Data", protocol.ToReq).Do(protocol.ASetOwnerToReq).Goto("EorM")
+	d.On("I", upgNO).
+		SendWithAcks("Data", protocol.ToReq).Do(protocol.ASetOwnerToReq).Goto("EorM")
+	ackPut("I", putSNL, putSL, putMNO, putONO, putENO)
+
+	// Row S.
+	d.On("S", msg("GetS")).
+		Send("Data", protocol.ToReq).Do(protocol.AAddReqToSharers).Stay()
+	d.On("S", getMNO).
+		SendWithAcks("Data", protocol.ToReq).
+		Send("Inv", protocol.ToSharers).
+		Do(protocol.AClearSharers).Do(protocol.ASetOwnerToReq).Goto("EorM")
+	d.On("S", upgNO).
+		SendWithAcks("Data", protocol.ToReq).
+		Send("Inv", protocol.ToSharers).
+		Do(protocol.AClearSharers).Do(protocol.ASetOwnerToReq).Goto("EorM")
+	d.On("S", putSL).
+		Do(protocol.ARemoveReqFromSharers).Send("Put-Ack", protocol.ToReq).Goto("I")
+	ackPut("S", putSNL, putMNO, putONO, putENO)
+	d.On("S", msg("NackFwdS")).Send("Data", protocol.ToReq).Stay()
+
+	// Row EorM.
+	d.On("EorM", msg("GetS")).
+		Send("Fwd-GetS", protocol.ToOwner).Do(protocol.AAddReqToSharers).Goto("O")
+	d.On("EorM", getMNO).
+		SendWithAcks("Fwd-GetM", protocol.ToOwner).Do(protocol.ASetOwnerToReq).Stay()
+	d.On("EorM", upgNO).
+		SendWithAcks("Fwd-GetM", protocol.ToOwner).Do(protocol.ASetOwnerToReq).Stay()
+	d.On("EorM", putMO).
+		Do(protocol.ACopyToMem).Do(protocol.AClearOwner).
+		Send("Put-Ack", protocol.ToReq).Goto("I")
+	d.On("EorM", putEO).
+		Do(protocol.AClearOwner).Send("Put-Ack", protocol.ToReq).Goto("I")
+	ackPut("EorM", putSNL, putSL, putMNO, putONO, putENO)
+	d.On("EorM", msg("NackFwdS")).Send("Data", protocol.ToReq).Stay()
+	d.On("EorM", msg("NackFwdM")).SendInherit("Data", protocol.ToReq).Stay()
+
+	// Row O.
+	d.On("O", msg("GetS")).
+		Send("Fwd-GetS", protocol.ToOwner).Do(protocol.AAddReqToSharers).Stay()
+	d.On("O", getMNO).
+		SendWithAcks("Fwd-GetM", protocol.ToOwner).
+		Send("Inv", protocol.ToSharers).
+		Do(protocol.AClearSharers).Do(protocol.ASetOwnerToReq).Goto("EorM")
+	d.On("O", upgO).
+		SendWithAcks("AckCount", protocol.ToReq).
+		Send("Inv", protocol.ToSharers).
+		Do(protocol.AClearSharers).Goto("EorM")
+	// Lost-race Upgrade from a non-owner: convert to a full write.
+	d.On("O", upgNO).
+		SendWithAcks("Fwd-GetM", protocol.ToOwner).
+		Send("Inv", protocol.ToSharers).
+		Do(protocol.AClearSharers).Do(protocol.ASetOwnerToReq).Goto("EorM")
+	d.On("O", putOO).
+		Do(protocol.ACopyToMem).Do(protocol.AClearOwner).
+		Send("Put-Ack", protocol.ToReq).Goto("S")
+	d.On("O", putMO).
+		Do(protocol.ACopyToMem).Do(protocol.AClearOwner).
+		Send("Put-Ack", protocol.ToReq).Goto("S")
+	d.On("O", putEO).
+		Do(protocol.AClearOwner).Send("Put-Ack", protocol.ToReq).Goto("S")
+	ackPut("O", putSNL, putSL, putMNO, putONO, putENO)
+	d.On("O", msg("NackFwdS")).Send("Data", protocol.ToReq).Stay()
+	d.On("O", msg("NackFwdM")).SendInherit("Data", protocol.ToReq).Stay()
+}

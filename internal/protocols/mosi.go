@@ -1,0 +1,365 @@
+package protocols
+
+import (
+	"minvn/internal/protocol"
+)
+
+func init() {
+	register("MOSI_blocking_cache", func() *protocol.Protocol { return buildMOSI(true) })
+	register("MOSI_nonblocking_cache", func() *protocol.Protocol { return buildMOSI(false) })
+}
+
+// buildMOSI transcribes a Primer-style MOSI directory protocol. The
+// O(wned) state is what makes the directory completely non-blocking
+// (paper §VII-B): when a GetS hits a modified block, the owner keeps
+// the dirty data in O and answers the reader directly, so the
+// directory never waits for a data write-back and has no transient
+// states at all.
+//
+// With a blocking cache (forwards stalled in write-pending transient
+// states) this is the paper's experiment (2): Class 2, deadlocks even
+// with three VNs. With a non-blocking cache nothing ever stalls a
+// message anywhere, which is experiment (1): one VN suffices.
+//
+// Because the directory never blocks, several forwarded requests can
+// pile up at one owner; the non-blocking cache's single
+// saved-requestor register handles one deferred forward, which is the
+// paper-faithful scope (the artifact does not model check experiment
+// (1); see DESIGN.md).
+func buildMOSI(blockingCache bool) *protocol.Protocol {
+	name := "MOSI_nonblocking_cache"
+	if blockingCache {
+		name = "MOSI_blocking_cache"
+	}
+	b := protocol.NewBuilder(name)
+
+	b.Message("GetS", protocol.Request)
+	b.Message("GetM", protocol.Request, protocol.WithQual(protocol.QualOwnership))
+	// Upgrade is the owner's O→M write request. It is distinct from
+	// GetM so the directory can detect a lost upgrade race (the
+	// sender is no longer the owner) and convert it into a full
+	// data-carrying write on the sender's behalf.
+	b.Message("Upgrade", protocol.Request, protocol.WithQual(protocol.QualOwnership))
+	b.Message("PutS", protocol.Request, protocol.WithQual(protocol.QualLastSharer))
+	b.Message("PutM", protocol.Request, protocol.WithQual(protocol.QualOwnership))
+	b.Message("PutO", protocol.Request, protocol.WithQual(protocol.QualOwnership))
+	b.Message("Fwd-GetS", protocol.FwdRequest)
+	b.Message("Fwd-GetM", protocol.FwdRequest,
+		protocol.WithAckRole(protocol.AckCarrier))
+	b.Message("Inv", protocol.FwdRequest)
+	b.Message("Put-Ack", protocol.CtrlResponse)
+	b.Message("Data", protocol.DataResponse,
+		protocol.WithAckRole(protocol.AckCarrier), protocol.WithQual(protocol.QualDataSource))
+	b.Message("AckCount", protocol.CtrlResponse,
+		protocol.WithAckRole(protocol.AckCarrier), protocol.WithQual(protocol.QualDataSource))
+	b.Message("Inv-Ack", protocol.CtrlResponse,
+		protocol.WithAckRole(protocol.AckUnit), protocol.WithQual(protocol.QualAckUnit))
+	// Forward nacks: see the MSI definition for the race they close.
+	b.Message("NackFwdS", protocol.CtrlResponse)
+	b.Message("NackFwdM", protocol.CtrlResponse,
+		protocol.WithAckRole(protocol.AckCarrier))
+
+	mosiCache(b, blockingCache)
+	mosiDir(b)
+	return b.MustBuild()
+}
+
+func mosiCache(b *protocol.Builder, blocking bool) {
+	c := b.Cache("I")
+	c.Stable("I", "S", "O", "M")
+	c.Transient("IS_D", "IS_D_I", "IM_AD", "IM_A", "SM_AD", "SM_A",
+		"OM_AC", "OM_A", "MI_A", "OI_A", "SI_A", "II_A")
+	if !blocking {
+		c.Transient(
+			"IM_AD_O", "IM_AD_I", "IM_A_O", "IM_A_I",
+			"SM_AD_O", "SM_AD_I", "SM_A_O", "SM_A_I",
+			"OM_A_O", "OM_A_I")
+	}
+
+	dataZero := msgQ("Data", protocol.QAckZero)
+	dataPos := msgQ("Data", protocol.QAckPositive)
+	ackZero := msgQ("AckCount", protocol.QAckZero)
+	ackPos := msgQ("AckCount", protocol.QAckPositive)
+	ack := msgQ("Inv-Ack", protocol.QNotLastAck)
+	lastAck := msgQ("Inv-Ack", protocol.QLastAck)
+
+	// Row I, including answers for late racing messages.
+	c.On("I", load).Send("GetS", protocol.ToDir).Goto("IS_D")
+	c.On("I", store).Send("GetM", protocol.ToDir).Goto("IM_AD")
+	c.On("I", msg("Inv")).Send("Inv-Ack", protocol.ToReq).Stay()
+	c.On("I", msg("Fwd-GetS")).Send("NackFwdS", protocol.ToDir).Stay()
+	c.On("I", msg("Fwd-GetM")).SendInherit("NackFwdM", protocol.ToDir).Stay()
+
+	// Row IS_D: a GetS requestor never becomes owner in MOSI, so only
+	// Data and (racing) Inv can arrive.
+	c.StallOn("IS_D", load, store, repl)
+	c.On("IS_D", dataZero).Goto("S")
+	// Invs are acknowledged immediately in both variants (see the MSI
+	// table for why stalling them creates a protocol deadlock).
+	c.On("IS_D", msg("Inv")).Send("Inv-Ack", protocol.ToReq).Goto("IS_D_I")
+	c.StallOn("IS_D_I", load, store, repl)
+	c.On("IS_D_I", dataZero).Goto("I")
+	c.On("IS_D_I", msg("Inv")).Send("Inv-Ack", protocol.ToReq).Stay()
+
+	// Rows IM_AD / IM_A; Invs here are late racers, acknowledged
+	// without data.
+	c.StallOn("IM_AD", load, store, repl)
+	c.On("IM_AD", dataZero).Goto("M")
+	c.On("IM_AD", dataPos).Goto("IM_A")
+	c.On("IM_AD", ack).Stay()
+	c.On("IM_AD", msg("Inv")).Send("Inv-Ack", protocol.ToReq).Stay()
+	c.StallOn("IM_A", load, store, repl)
+	c.On("IM_A", ack).Stay()
+	c.On("IM_A", lastAck).Goto("M")
+	c.On("IM_A", msg("Inv")).Send("Inv-Ack", protocol.ToReq).Stay()
+
+	// Row S.
+	c.Hit("S", load)
+	c.On("S", store).Send("GetM", protocol.ToDir).Goto("SM_AD")
+	c.On("S", repl).Send("PutS", protocol.ToDir).Goto("SI_A")
+	c.On("S", msg("Inv")).Send("Inv-Ack", protocol.ToReq).Goto("I")
+
+	// Rows SM_AD / SM_A.
+	c.Hit("SM_AD", load)
+	c.StallOn("SM_AD", store, repl)
+	c.On("SM_AD", msg("Inv")).Send("Inv-Ack", protocol.ToReq).Goto("IM_AD")
+	c.On("SM_AD", dataZero).Goto("M")
+	c.On("SM_AD", dataPos).Goto("SM_A")
+	c.On("SM_AD", ack).Stay()
+	c.Hit("SM_A", load)
+	c.StallOn("SM_A", store, repl)
+	c.On("SM_A", ack).Stay()
+	c.On("SM_A", lastAck).Goto("M")
+
+	// Row O: owned — dirty data, other caches may share.
+	c.Hit("O", load)
+	c.On("O", store).Send("Upgrade", protocol.ToDir).Goto("OM_AC")
+	c.On("O", repl).Send("PutO", protocol.ToDir).Goto("OI_A")
+	c.On("O", msg("Fwd-GetS")).Send("Data", protocol.ToReq).Stay()
+	c.On("O", msg("Fwd-GetM")).SendInherit("Data", protocol.ToReq).Goto("I")
+
+	// Rows OM_AC / OM_A: upgrade from O; the directory answers with an
+	// AckCount (we already hold the data) and invalidates the sharers.
+	// While the upgrade is unordered (OM_AC), forwards are served
+	// immediately from the owned data: a Fwd-GetS reader is ordered
+	// before our store, and a Fwd-GetM means our upgrade lost the
+	// race — surrender ownership and fall back to a full write
+	// (IM_AD; the directory converts the lost Upgrade to a
+	// data-carrying response). Deferring here instead would
+	// cross-deadlock two pending writers.
+	c.Hit("OM_AC", load)
+	c.StallOn("OM_AC", store, repl)
+	c.On("OM_AC", ackZero).Goto("M")
+	c.On("OM_AC", ackPos).Goto("OM_A")
+	c.On("OM_AC", ack).Stay()
+	if blocking {
+		c.StallOn("OM_AC", msg("Fwd-GetS"), msg("Fwd-GetM"))
+	} else {
+		c.On("OM_AC", msg("Fwd-GetS")).Send("Data", protocol.ToReq).Stay()
+		c.On("OM_AC", msg("Fwd-GetM")).SendInherit("Data", protocol.ToReq).Goto("IM_AD")
+	}
+	c.Hit("OM_A", load)
+	c.StallOn("OM_A", store, repl)
+	c.On("OM_A", ack).Stay()
+	c.On("OM_A", lastAck).Goto("M")
+
+	// Forwarded requests while a write is pending: stall or defer.
+	// The deferral suffix _O means "serve a reader on completion and
+	// stay owner"; _I means "pass ownership on completion".
+	type defer2 struct{ from, toO, toI string }
+	for _, d := range []defer2{
+		{"IM_AD", "IM_AD_O", "IM_AD_I"},
+		{"IM_A", "IM_A_O", "IM_A_I"},
+		{"SM_AD", "SM_AD_O", "SM_AD_I"},
+		{"SM_A", "SM_A_O", "SM_A_I"},
+		{"OM_A", "OM_A_O", "OM_A_I"},
+	} {
+		if blocking {
+			c.StallOn(d.from, msg("Fwd-GetS"), msg("Fwd-GetM"))
+			continue
+		}
+		c.On(d.from, msg("Fwd-GetS")).Do(protocol.ARecordSaved).Goto(d.toO)
+		c.On(d.from, msg("Fwd-GetM")).Do(protocol.ARecordSaved).Goto(d.toI)
+	}
+	if !blocking {
+		loadHit := map[string]bool{
+			"SM_AD_O": true, "SM_AD_I": true, "SM_A_O": true, "SM_A_I": true,
+			"OM_A_O": true, "OM_A_I": true,
+		}
+		type path struct{ ad, a, final string }
+		serve := func(pths []path, carrier protocol.Event, carrierPos protocol.Event) {
+			for _, pt := range pths {
+				for _, st := range []string{pt.ad, pt.a} {
+					if loadHit[st] {
+						c.Hit(st, load)
+						c.StallOn(st, store, repl)
+					} else {
+						c.StallOn(st, load, store, repl)
+					}
+					c.On(st, ack).Stay()
+				}
+				c.On(pt.ad, carrier).Send("Data", protocol.ToSaved).Goto(pt.final)
+				c.On(pt.ad, carrierPos).Goto(pt.a)
+				c.On(pt.a, lastAck).Send("Data", protocol.ToSaved).Goto(pt.final)
+			}
+		}
+		// An Inv in an S-rooted deferral state demotes it to the
+		// corresponding I-rooted one (the deferred forward rides along).
+		c.On("SM_AD_O", msg("Inv")).Send("Inv-Ack", protocol.ToReq).Goto("IM_AD_O")
+		c.On("SM_AD_I", msg("Inv")).Send("Inv-Ack", protocol.ToReq).Goto("IM_AD_I")
+		serve([]path{
+			{"IM_AD_O", "IM_A_O", "O"},
+			{"IM_AD_I", "IM_A_I", "I"},
+			{"SM_AD_O", "SM_A_O", "O"},
+			{"SM_AD_I", "SM_A_I", "I"},
+		}, dataZero, dataPos)
+		// OM_A_O / OM_A_I: the AckCount was consumed back in OM_A, so
+		// only the remaining Inv-Acks are outstanding.
+		for _, pt := range []struct{ st, final string }{
+			{"OM_A_O", "O"}, {"OM_A_I", "I"},
+		} {
+			c.Hit(pt.st, load)
+			c.StallOn(pt.st, store, repl)
+			c.On(pt.st, ack).Stay()
+			c.On(pt.st, lastAck).Send("Data", protocol.ToSaved).Goto(pt.final)
+		}
+	}
+
+	// Row M.
+	c.Hit("M", load)
+	c.Hit("M", store)
+	c.On("M", repl).Send("PutM", protocol.ToDir).Goto("MI_A")
+	c.On("M", msg("Fwd-GetS")).Send("Data", protocol.ToReq).Goto("O")
+	c.On("M", msg("Fwd-GetM")).SendInherit("Data", protocol.ToReq).Goto("I")
+
+	// Row MI_A: eviction of M in flight; a Fwd-GetS downgrades the
+	// eviction to an owned one (the directory will see our PutM while
+	// in O and still retire it).
+	c.StallOn("MI_A", load, store, repl)
+	c.On("MI_A", msg("Fwd-GetS")).Send("Data", protocol.ToReq).Goto("OI_A")
+	c.On("MI_A", msg("Fwd-GetM")).SendInherit("Data", protocol.ToReq).Goto("II_A")
+	c.On("MI_A", msg("Put-Ack")).Goto("I")
+
+	// Row OI_A.
+	c.StallOn("OI_A", load, store, repl)
+	c.On("OI_A", msg("Fwd-GetS")).Send("Data", protocol.ToReq).Stay()
+	c.On("OI_A", msg("Fwd-GetM")).SendInherit("Data", protocol.ToReq).Goto("II_A")
+	c.On("OI_A", msg("Put-Ack")).Goto("I")
+
+	// Row SI_A.
+	c.StallOn("SI_A", load, store, repl)
+	c.On("SI_A", msg("Inv")).Send("Inv-Ack", protocol.ToReq).Goto("II_A")
+	c.On("SI_A", msg("Put-Ack")).Goto("I")
+
+	// Row II_A.
+	c.StallOn("II_A", load, store, repl)
+	c.On("II_A", msg("Put-Ack")).Goto("I")
+}
+
+// mosiDir has no transient states: the directory never blocks.
+func mosiDir(b *protocol.Builder) {
+	d := b.Dir("I")
+	d.Stable("I", "S", "O", "M")
+
+	getMNO := msgQ("GetM", protocol.QFromNonOwner)
+	upgO := msgQ("Upgrade", protocol.QFromOwner)
+	upgNO := msgQ("Upgrade", protocol.QFromNonOwner)
+	putSNL := msgQ("PutS", protocol.QNotLastSharer)
+	putSL := msgQ("PutS", protocol.QLastSharer)
+	putMO := msgQ("PutM", protocol.QFromOwner)
+	putMNO := msgQ("PutM", protocol.QFromNonOwner)
+	putOO := msgQ("PutO", protocol.QFromOwner)
+	putONO := msgQ("PutO", protocol.QFromNonOwner)
+
+	// Row I.
+	d.On("I", msg("GetS")).
+		Send("Data", protocol.ToReq).Do(protocol.AAddReqToSharers).Goto("S")
+	d.On("I", getMNO).
+		SendWithAcks("Data", protocol.ToReq).Do(protocol.ASetOwnerToReq).Goto("M")
+	d.On("I", upgNO).
+		SendWithAcks("Data", protocol.ToReq).Do(protocol.ASetOwnerToReq).Goto("M")
+	d.On("I", putSNL).Send("Put-Ack", protocol.ToReq).Stay()
+	d.On("I", putSL).Send("Put-Ack", protocol.ToReq).Stay()
+	d.On("I", putMNO).Send("Put-Ack", protocol.ToReq).Stay()
+	d.On("I", putONO).Send("Put-Ack", protocol.ToReq).Stay()
+
+	// Row S.
+	d.On("S", msg("GetS")).
+		Send("Data", protocol.ToReq).Do(protocol.AAddReqToSharers).Stay()
+	d.On("S", getMNO).
+		SendWithAcks("Data", protocol.ToReq).
+		Send("Inv", protocol.ToSharers).
+		Do(protocol.AClearSharers).Do(protocol.ASetOwnerToReq).Goto("M")
+	d.On("S", upgNO).
+		SendWithAcks("Data", protocol.ToReq).
+		Send("Inv", protocol.ToSharers).
+		Do(protocol.AClearSharers).Do(protocol.ASetOwnerToReq).Goto("M")
+	d.On("S", putSNL).
+		Do(protocol.ARemoveReqFromSharers).Send("Put-Ack", protocol.ToReq).Stay()
+	d.On("S", putSL).
+		Do(protocol.ARemoveReqFromSharers).Send("Put-Ack", protocol.ToReq).Goto("I")
+	d.On("S", putMNO).
+		Do(protocol.ACopyToMem).
+		Do(protocol.ARemoveReqFromSharers).Send("Put-Ack", protocol.ToReq).Stay()
+	d.On("S", putONO).
+		Do(protocol.ACopyToMem).
+		Do(protocol.ARemoveReqFromSharers).Send("Put-Ack", protocol.ToReq).Stay()
+	d.On("S", msg("NackFwdS")).Send("Data", protocol.ToReq).Stay()
+
+	// Row O: owner plus possible sharers; never blocks.
+	d.On("O", msg("GetS")).
+		Send("Fwd-GetS", protocol.ToOwner).Do(protocol.AAddReqToSharers).Stay()
+	d.On("O", getMNO).
+		SendWithAcks("Fwd-GetM", protocol.ToOwner).
+		Send("Inv", protocol.ToSharers).
+		Do(protocol.AClearSharers).Do(protocol.ASetOwnerToReq).Goto("M")
+	d.On("O", upgO).
+		SendWithAcks("AckCount", protocol.ToReq).
+		Send("Inv", protocol.ToSharers).
+		Do(protocol.AClearSharers).Goto("M")
+	// A non-owner Upgrade lost the race to another write; convert it
+	// into a full GetM on the sender's behalf (it demoted itself to
+	// IM_AD when the winning Fwd-GetM reached it).
+	d.On("O", upgNO).
+		SendWithAcks("Fwd-GetM", protocol.ToOwner).
+		Send("Inv", protocol.ToSharers).
+		Do(protocol.AClearSharers).Do(protocol.ASetOwnerToReq).Goto("M")
+	d.On("O", putSNL).
+		Do(protocol.ARemoveReqFromSharers).Send("Put-Ack", protocol.ToReq).Stay()
+	d.On("O", putSL).
+		Do(protocol.ARemoveReqFromSharers).Send("Put-Ack", protocol.ToReq).Stay()
+	d.On("O", putOO).
+		Do(protocol.ACopyToMem).Do(protocol.AClearOwner).
+		Send("Put-Ack", protocol.ToReq).Goto("S")
+	d.On("O", putONO).
+		Do(protocol.ACopyToMem).
+		Do(protocol.ARemoveReqFromSharers).Send("Put-Ack", protocol.ToReq).Stay()
+	d.On("O", putMO).
+		Do(protocol.ACopyToMem).Do(protocol.AClearOwner).
+		Send("Put-Ack", protocol.ToReq).Goto("S")
+	d.On("O", putMNO).
+		Do(protocol.ACopyToMem).
+		Do(protocol.ARemoveReqFromSharers).Send("Put-Ack", protocol.ToReq).Stay()
+	d.On("O", msg("NackFwdS")).Send("Data", protocol.ToReq).Stay()
+	d.On("O", msg("NackFwdM")).SendInherit("Data", protocol.ToReq).Stay()
+
+	// Row M.
+	d.On("M", msg("GetS")).
+		Send("Fwd-GetS", protocol.ToOwner).Do(protocol.AAddReqToSharers).Goto("O")
+	d.On("M", getMNO).
+		SendWithAcks("Fwd-GetM", protocol.ToOwner).Do(protocol.ASetOwnerToReq).Stay()
+	d.On("M", upgNO).
+		SendWithAcks("Fwd-GetM", protocol.ToOwner).Do(protocol.ASetOwnerToReq).Stay()
+	d.On("M", putSNL).Send("Put-Ack", protocol.ToReq).Stay()
+	d.On("M", putSL).Send("Put-Ack", protocol.ToReq).Stay()
+	d.On("M", putMO).
+		Do(protocol.ACopyToMem).Do(protocol.AClearOwner).
+		Send("Put-Ack", protocol.ToReq).Goto("I")
+	d.On("M", putMNO).Do(protocol.ACopyToMem).Send("Put-Ack", protocol.ToReq).Stay()
+	d.On("M", putONO).Do(protocol.ACopyToMem).Send("Put-Ack", protocol.ToReq).Stay()
+	d.On("M", putOO).
+		Do(protocol.ACopyToMem).Do(protocol.AClearOwner).
+		Send("Put-Ack", protocol.ToReq).Goto("I")
+	d.On("M", msg("NackFwdS")).Send("Data", protocol.ToReq).Stay()
+	d.On("M", msg("NackFwdM")).SendInherit("Data", protocol.ToReq).Stay()
+}

@@ -1,0 +1,317 @@
+package protocols
+
+import (
+	"minvn/internal/protocol"
+)
+
+func init() {
+	register("MSI_blocking_cache", func() *protocol.Protocol { return buildMSI(true) })
+	register("MSI_nonblocking_cache", func() *protocol.Protocol { return buildMSI(false) })
+}
+
+// buildMSI transcribes the MSI directory protocol of the Primer
+// (paper Figs. 1 and 2). With blockingCache the cache stalls forwarded
+// requests (and invalidations) in transient states, exactly as in
+// Fig. 1 — the configuration the paper proves is Class 2. Without it,
+// the cache defers forwarded requests with a saved-requestor register
+// and answers them when its own transaction completes — the paper's
+// experiment (5) configuration, which needs exactly two VNs.
+//
+// The Primer's "Data from Dir (ack=0)" and "Data from Owner" columns
+// behave identically in every state, so they are merged into the
+// ack=0 qualifier here.
+func buildMSI(blockingCache bool) *protocol.Protocol {
+	name := "MSI_nonblocking_cache"
+	if blockingCache {
+		name = "MSI_blocking_cache"
+	}
+	b := protocol.NewBuilder(name)
+
+	b.Message("GetS", protocol.Request)
+	b.Message("GetM", protocol.Request)
+	b.Message("PutS", protocol.Request, protocol.WithQual(protocol.QualLastSharer))
+	b.Message("PutM", protocol.Request, protocol.WithQual(protocol.QualOwnership))
+	b.Message("Fwd-GetS", protocol.FwdRequest)
+	b.Message("Fwd-GetM", protocol.FwdRequest)
+	b.Message("Inv", protocol.FwdRequest)
+	b.Message("Put-Ack", protocol.CtrlResponse)
+	b.Message("Data", protocol.DataResponse,
+		protocol.WithAckRole(protocol.AckCarrier), protocol.WithQual(protocol.QualDataSource))
+	b.Message("Inv-Ack", protocol.CtrlResponse,
+		protocol.WithAckRole(protocol.AckUnit), protocol.WithQual(protocol.QualAckUnit))
+	// Forward nacks handle the unordered-network race in which a
+	// Put-Ack overtakes an in-flight forwarded request, so the forward
+	// reaches a cache that has already completed its eviction: the
+	// cache bounces the forward to the directory, which supplies the
+	// data from memory (made fresh by the eviction's PutM write-back).
+	// NackFwdM carries the forward's ack count through to the data.
+	b.Message("NackFwdS", protocol.CtrlResponse)
+	b.Message("NackFwdM", protocol.CtrlResponse,
+		protocol.WithAckRole(protocol.AckCarrier))
+	// Put-AckWait closes the other direction of the same race: the
+	// directory acknowledges a PutM from a cache that is no longer
+	// the recorded owner, which proves exactly one ownership-
+	// transferring forward was sent toward that cache. The evictor
+	// must keep its data and serve that forward before retiring
+	// (state MIW_A); if it already served it (it is in SI_A/II_A),
+	// the wait is already satisfied.
+	b.Message("Put-AckWait", protocol.CtrlResponse)
+
+	msiCache(b, blockingCache)
+	msiDir(b)
+	return b.MustBuild()
+}
+
+// msiCache builds the Fig. 1 cache controller. The non-blocking
+// variant replaces the stalls on Inv / Fwd-GetS / Fwd-GetM with
+// deferral states (suffix _S: will downgrade to S and feed the
+// directory; suffix _I: will pass ownership and invalidate).
+func msiCache(b *protocol.Builder, blocking bool) {
+	c := b.Cache("I")
+	c.Stable("I", "S", "M")
+	c.Transient("IS_D", "IS_D_I", "IM_AD", "IM_A", "SM_AD", "SM_A",
+		"MI_A", "MIW_A", "SI_A", "II_A")
+	if !blocking {
+		c.Transient(
+			"IM_AD_S", "IM_AD_I", "IM_A_S", "IM_A_I",
+			"SM_AD_S", "SM_AD_I", "SM_A_S", "SM_A_I")
+	}
+
+	dataZero := msgQ("Data", protocol.QAckZero)
+	dataPos := msgQ("Data", protocol.QAckPositive)
+	ack := msgQ("Inv-Ack", protocol.QNotLastAck)
+	lastAck := msgQ("Inv-Ack", protocol.QLastAck)
+
+	// Row I. Late messages from transactions that raced with our
+	// eviction are answered without data: invalidations are simply
+	// acknowledged, forwarded requests bounce back to the directory.
+	c.On("I", load).Send("GetS", protocol.ToDir).Goto("IS_D")
+	c.On("I", store).Send("GetM", protocol.ToDir).Goto("IM_AD")
+	c.On("I", msg("Inv")).Send("Inv-Ack", protocol.ToReq).Stay()
+	c.On("I", msg("Fwd-GetS")).Send("NackFwdS", protocol.ToDir).Stay()
+	c.On("I", msg("Fwd-GetM")).SendInherit("NackFwdM", protocol.ToDir).Stay()
+
+	// Row IS_D. Both variants acknowledge an Inv here immediately:
+	// stalling it (as the original Fig. 1 does) lets a late Inv from
+	// an eviction race close a pure-waits cycle on a single address —
+	// a protocol deadlock — and the paper assumes its experiment
+	// protocols are free of those (§V-A, §VII-B "we modified the
+	// controllers").
+	c.StallOn("IS_D", load, store, repl)
+	c.On("IS_D", dataZero).Goto("S")
+	c.On("IS_D", msg("Inv")).Send("Inv-Ack", protocol.ToReq).Goto("IS_D_I")
+	c.StallOn("IS_D_I", load, store, repl)
+	c.On("IS_D_I", dataZero).Goto("I")
+	// A second (late, racing) Inv can follow the first.
+	c.On("IS_D_I", msg("Inv")).Send("Inv-Ack", protocol.ToReq).Stay()
+
+	// Row IM_AD. An Inv here is always a late one from a transaction
+	// that raced our earlier eviction (we cannot be a current sharer
+	// in IM_AD): acknowledge it without data.
+	c.StallOn("IM_AD", load, store, repl)
+	c.On("IM_AD", dataZero).Goto("M")
+	c.On("IM_AD", dataPos).Goto("IM_A")
+	c.On("IM_AD", ack).Stay()
+	c.On("IM_AD", msg("Inv")).Send("Inv-Ack", protocol.ToReq).Stay()
+	// Row IM_A.
+	c.StallOn("IM_A", load, store, repl)
+	c.On("IM_A", ack).Stay()
+	c.On("IM_A", lastAck).Goto("M")
+	c.On("IM_A", msg("Inv")).Send("Inv-Ack", protocol.ToReq).Stay()
+
+	// Row S.
+	c.Hit("S", load)
+	c.On("S", store).Send("GetM", protocol.ToDir).Goto("SM_AD")
+	c.On("S", repl).Send("PutS", protocol.ToDir).Goto("SI_A")
+	c.On("S", msg("Inv")).Send("Inv-Ack", protocol.ToReq).Goto("I")
+
+	// Row SM_AD.
+	c.Hit("SM_AD", load)
+	c.StallOn("SM_AD", store, repl)
+	c.On("SM_AD", msg("Inv")).Send("Inv-Ack", protocol.ToReq).Goto("IM_AD")
+	c.On("SM_AD", dataZero).Goto("M")
+	c.On("SM_AD", dataPos).Goto("SM_A")
+	c.On("SM_AD", ack).Stay()
+	// Row SM_A.
+	c.Hit("SM_A", load)
+	c.StallOn("SM_A", store, repl)
+	c.On("SM_A", ack).Stay()
+	c.On("SM_A", lastAck).Goto("M")
+
+	// Forwarded requests in write-pending transient states: the
+	// blocking cache stalls them (Fig. 1); the non-blocking cache
+	// records the requestor and answers on completion.
+	type defer2 struct{ from, toS, toI string }
+	for _, d := range []defer2{
+		{"IM_AD", "IM_AD_S", "IM_AD_I"},
+		{"IM_A", "IM_A_S", "IM_A_I"},
+		{"SM_AD", "SM_AD_S", "SM_AD_I"},
+		{"SM_A", "SM_A_S", "SM_A_I"},
+	} {
+		if blocking {
+			c.StallOn(d.from, msg("Fwd-GetS"), msg("Fwd-GetM"))
+			continue
+		}
+		c.On(d.from, msg("Fwd-GetS")).Do(protocol.ARecordSaved).Goto(d.toS)
+		c.On(d.from, msg("Fwd-GetM")).Do(protocol.ARecordSaved).Goto(d.toI)
+	}
+	if !blocking {
+		loadHit := map[string]bool{
+			"SM_AD_S": true, "SM_AD_I": true, "SM_A_S": true, "SM_A_I": true,
+		}
+		for _, st := range []string{
+			"IM_AD_S", "IM_AD_I", "SM_AD_S", "SM_AD_I",
+			"IM_A_S", "IM_A_I", "SM_A_S", "SM_A_I",
+		} {
+			if loadHit[st] {
+				c.Hit(st, load)
+				c.StallOn(st, store, repl)
+			} else {
+				c.StallOn(st, load, store, repl)
+			}
+			c.On(st, ack).Stay()
+			// Late Invs from pre-eviction eras are acknowledged
+			// without data in the I-rooted deferral states.
+			if st == "IM_AD_S" || st == "IM_AD_I" || st == "IM_A_S" || st == "IM_A_I" {
+				c.On(st, msg("Inv")).Send("Inv-Ack", protocol.ToReq).Stay()
+			}
+		}
+		// An Inv in an S-rooted deferral state demotes it to the
+		// corresponding I-rooted one, exactly as SM_AD + Inv → IM_AD
+		// in Fig. 1 (the deferred forward is unaffected).
+		c.On("SM_AD_S", msg("Inv")).Send("Inv-Ack", protocol.ToReq).Goto("IM_AD_S")
+		c.On("SM_AD_I", msg("Inv")).Send("Inv-Ack", protocol.ToReq).Goto("IM_AD_I")
+		// Completion with a deferred Fwd-GetS: supply the new reader
+		// and refresh the directory (which is sitting in S_D).
+		c.On("IM_AD_S", dataZero).
+			Send("Data", protocol.ToSaved).Send("Data", protocol.ToDir).Goto("S")
+		c.On("IM_AD_S", dataPos).Goto("IM_A_S")
+		c.On("IM_A_S", lastAck).
+			Send("Data", protocol.ToSaved).Send("Data", protocol.ToDir).Goto("S")
+		c.On("SM_AD_S", dataZero).
+			Send("Data", protocol.ToSaved).Send("Data", protocol.ToDir).Goto("S")
+		c.On("SM_AD_S", dataPos).Goto("SM_A_S")
+		c.On("SM_A_S", lastAck).
+			Send("Data", protocol.ToSaved).Send("Data", protocol.ToDir).Goto("S")
+		// Completion with a deferred Fwd-GetM: pass ownership.
+		c.On("IM_AD_I", dataZero).Send("Data", protocol.ToSaved).Goto("I")
+		c.On("IM_AD_I", dataPos).Goto("IM_A_I")
+		c.On("IM_A_I", lastAck).Send("Data", protocol.ToSaved).Goto("I")
+		c.On("SM_AD_I", dataZero).Send("Data", protocol.ToSaved).Goto("I")
+		c.On("SM_AD_I", dataPos).Goto("SM_A_I")
+		c.On("SM_A_I", lastAck).Send("Data", protocol.ToSaved).Goto("I")
+	}
+
+	// Row M.
+	c.Hit("M", load)
+	c.Hit("M", store)
+	c.On("M", repl).Send("PutM", protocol.ToDir).Goto("MI_A")
+	c.On("M", msg("Fwd-GetS")).
+		Send("Data", protocol.ToReq).Send("Data", protocol.ToDir).Goto("S")
+	c.On("M", msg("Fwd-GetM")).Send("Data", protocol.ToReq).Goto("I")
+
+	// Row MI_A.
+	c.StallOn("MI_A", load, store, repl)
+	c.On("MI_A", msg("Fwd-GetS")).
+		Send("Data", protocol.ToReq).Send("Data", protocol.ToDir).Goto("SI_A")
+	c.On("MI_A", msg("Fwd-GetM")).Send("Data", protocol.ToReq).Goto("II_A")
+	c.On("MI_A", msg("Put-Ack")).Goto("I")
+	c.On("MI_A", msg("Put-AckWait")).Goto("MIW_A")
+
+	// Row MIW_A: the eviction is acknowledged but one forward is
+	// still owed; keep the data and serve it, then retire.
+	c.StallOn("MIW_A", load, store, repl)
+	c.On("MIW_A", msg("Fwd-GetS")).
+		Send("Data", protocol.ToReq).Send("Data", protocol.ToDir).Goto("I")
+	c.On("MIW_A", msg("Fwd-GetM")).Send("Data", protocol.ToReq).Goto("I")
+
+	// Row SI_A.
+	c.StallOn("SI_A", load, store, repl)
+	c.On("SI_A", msg("Inv")).Send("Inv-Ack", protocol.ToReq).Goto("II_A")
+	c.On("SI_A", msg("Put-Ack")).Goto("I")
+	// Put-AckWait here means the owed forward was the Fwd-GetS we
+	// already served on the way from MI_A; the wait is satisfied.
+	c.On("SI_A", msg("Put-AckWait")).Goto("I")
+
+	// Row II_A.
+	c.StallOn("II_A", load, store, repl)
+	c.On("II_A", msg("Put-Ack")).Goto("I")
+	c.On("II_A", msg("Put-AckWait")).Goto("I")
+}
+
+// msiDir builds the Fig. 2 directory controller. Identical in both
+// variants: the directory "sometimes blocks" — it stalls requests in
+// the transient state S_D while waiting for the owner's data.
+func msiDir(b *protocol.Builder) {
+	d := b.Dir("I")
+	d.Stable("I", "S", "M")
+	d.Transient("S_D")
+
+	putSNL := msgQ("PutS", protocol.QNotLastSharer)
+	putSL := msgQ("PutS", protocol.QLastSharer)
+	putMO := msgQ("PutM", protocol.QFromOwner)
+	putMNO := msgQ("PutM", protocol.QFromNonOwner)
+	dataZero := msgQ("Data", protocol.QAckZero)
+
+	// Row I.
+	d.On("I", msg("GetS")).
+		Send("Data", protocol.ToReq).Do(protocol.AAddReqToSharers).Goto("S")
+	d.On("I", msg("GetM")).
+		SendWithAcks("Data", protocol.ToReq).Do(protocol.ASetOwnerToReq).Goto("M")
+	d.On("I", putSNL).Send("Put-Ack", protocol.ToReq).Stay()
+	d.On("I", putSL).Send("Put-Ack", protocol.ToReq).Stay()
+	d.On("I", putMNO).Send("Put-Ack", protocol.ToReq).Stay()
+
+	// Row S.
+	d.On("S", msg("GetS")).
+		Send("Data", protocol.ToReq).Do(protocol.AAddReqToSharers).Stay()
+	d.On("S", msg("GetM")).
+		SendWithAcks("Data", protocol.ToReq).
+		Send("Inv", protocol.ToSharers).
+		Do(protocol.AClearSharers).Do(protocol.ASetOwnerToReq).Goto("M")
+	d.On("S", putSNL).
+		Do(protocol.ARemoveReqFromSharers).Send("Put-Ack", protocol.ToReq).Stay()
+	d.On("S", putSL).
+		Do(protocol.ARemoveReqFromSharers).Send("Put-Ack", protocol.ToReq).Goto("I")
+	d.On("S", putMNO).
+		Do(protocol.ARemoveReqFromSharers).Send("Put-Ack", protocol.ToReq).Stay()
+
+	// Row M.
+	d.On("M", msg("GetS")).
+		Send("Fwd-GetS", protocol.ToOwner).
+		Do(protocol.AAddReqToSharers).Do(protocol.AAddOwnerToSharers).
+		Do(protocol.AClearOwner).Goto("S_D")
+	d.On("M", msg("GetM")).
+		Send("Fwd-GetM", protocol.ToOwner).Do(protocol.ASetOwnerToReq).Stay()
+	d.On("M", putSNL).Send("Put-Ack", protocol.ToReq).Stay()
+	d.On("M", putSL).Send("Put-Ack", protocol.ToReq).Stay()
+	d.On("M", putMO).
+		Do(protocol.ACopyToMem).Do(protocol.AClearOwner).
+		Send("Put-Ack", protocol.ToReq).Goto("I")
+	// A PutM from a non-owner means an ownership-transferring
+	// Fwd-GetM toward the evictor is (or was) in flight; tell the
+	// evictor to wait for it.
+	d.On("M", putMNO).
+		Do(protocol.ACopyToMem).Do(protocol.ARemoveReqFromSharers).
+		Send("Put-AckWait", protocol.ToReq).Stay()
+	// A bounced Fwd-GetM: the old owner evicted; serve the requestor
+	// from memory (fresh, thanks to the copy on its PutM).
+	d.On("M", msg("NackFwdM")).SendInherit("Data", protocol.ToReq).Stay()
+
+	// Row S_D: the "sometimes blocking" of the directory.
+	d.StallOn("S_D", msg("GetS"), msg("GetM"))
+	d.On("S_D", putSNL).
+		Do(protocol.ARemoveReqFromSharers).Send("Put-Ack", protocol.ToReq).Stay()
+	d.On("S_D", putSL).
+		Do(protocol.ARemoveReqFromSharers).Send("Put-Ack", protocol.ToReq).Stay()
+	// In S_D the owed forward is the Fwd-GetS that created this
+	// transient (the evictor may or may not have served it yet).
+	d.On("S_D", putMNO).
+		Do(protocol.ACopyToMem).
+		Do(protocol.ARemoveReqFromSharers).Send("Put-AckWait", protocol.ToReq).Stay()
+	d.On("S_D", dataZero).Do(protocol.ACopyToMem).Goto("S")
+	// Bounced forwards while waiting for the owner's data: the owner
+	// has fully evicted, so memory is current — serve from it.
+	d.On("S_D", msg("NackFwdS")).Send("Data", protocol.ToReq).Goto("S")
+	d.On("S_D", msg("NackFwdM")).SendInherit("Data", protocol.ToReq).Stay()
+}

@@ -1,0 +1,246 @@
+package protocols
+
+import (
+	"minvn/internal/protocol"
+)
+
+func init() {
+	register("MSI_completion", buildMSICompletion)
+}
+
+// buildMSICompletion is the paper's §III "chain length four" example
+// rendered as a concrete protocol: an MSI variant in which every read
+// or write transaction ends with a completion message from the
+// requestor to the directory, and the directory blocks the address
+// until that completion arrives (transient states I_C, S_C, M_C).
+// The conventional rule therefore derives FOUR virtual networks
+// (request → forwarded request → response → completion), while the
+// minimum is two — the same gap the paper demonstrates for CHI, on a
+// textbook-sized protocol.
+//
+// The cache side never stalls messages: forwards are deferred exactly
+// as in the non-blocking MSI. Because the directory blocks until each
+// completion, the fan of concurrent races is far smaller than in plain
+// MSI and no Put-AckWait machinery is needed: evictions are also
+// completion-ordered.
+func buildMSICompletion() *protocol.Protocol {
+	b := protocol.NewBuilder("MSI_completion")
+
+	b.Message("GetS", protocol.Request)
+	b.Message("GetM", protocol.Request)
+	b.Message("PutM", protocol.Request, protocol.WithQual(protocol.QualOwnership))
+	b.Message("PutS", protocol.Request, protocol.WithQual(protocol.QualLastSharer))
+	b.Message("Fwd-GetS", protocol.FwdRequest)
+	b.Message("Fwd-GetM", protocol.FwdRequest)
+	b.Message("Inv", protocol.FwdRequest)
+	b.Message("Put-Ack", protocol.CtrlResponse)
+	b.Message("Data", protocol.DataResponse,
+		protocol.WithAckRole(protocol.AckCarrier), protocol.WithQual(protocol.QualDataSource))
+	b.Message("Inv-Ack", protocol.CtrlResponse,
+		protocol.WithAckRole(protocol.AckUnit), protocol.WithQual(protocol.QualAckUnit))
+	// Comp ends every transaction at the directory.
+	b.Message("Comp", protocol.CtrlResponse)
+
+	cmpCache(b)
+	cmpDir(b)
+	return b.MustBuild()
+}
+
+func cmpCache(b *protocol.Builder) {
+	c := b.Cache("I")
+	c.Stable("I", "S", "M")
+	c.Transient("IS_D", "IS_D_I", "IM_AD", "IM_A", "SM_AD", "SM_A",
+		"IM_AD_S", "IM_AD_I", "IM_A_S", "IM_A_I",
+		"SM_AD_S", "SM_AD_I", "SM_A_S", "SM_A_I",
+		"MI_A", "SI_A", "II_A")
+
+	dataZero := msgQ("Data", protocol.QAckZero)
+	dataPos := msgQ("Data", protocol.QAckPositive)
+	ack := msgQ("Inv-Ack", protocol.QNotLastAck)
+	lastAck := msgQ("Inv-Ack", protocol.QLastAck)
+
+	// Row I.
+	c.On("I", load).Send("GetS", protocol.ToDir).Goto("IS_D")
+	c.On("I", store).Send("GetM", protocol.ToDir).Goto("IM_AD")
+	c.On("I", msg("Inv")).Send("Inv-Ack", protocol.ToReq).Stay()
+
+	// Row IS_D: the read completes with a Comp to the directory.
+	c.StallOn("IS_D", load, store, repl)
+	c.On("IS_D", dataZero).Send("Comp", protocol.ToDir).Goto("S")
+	c.On("IS_D", msg("Inv")).Send("Inv-Ack", protocol.ToReq).Goto("IS_D_I")
+	c.StallOn("IS_D_I", load, store, repl)
+	c.On("IS_D_I", dataZero).Send("Comp", protocol.ToDir).Goto("I")
+	c.On("IS_D_I", msg("Inv")).Send("Inv-Ack", protocol.ToReq).Stay()
+
+	// Rows IM_AD / IM_A: writes complete with a Comp once data and all
+	// acks are in.
+	c.StallOn("IM_AD", load, store, repl)
+	c.On("IM_AD", dataZero).Send("Comp", protocol.ToDir).Goto("M")
+	c.On("IM_AD", dataPos).Goto("IM_A")
+	c.On("IM_AD", ack).Stay()
+	c.On("IM_AD", msg("Inv")).Send("Inv-Ack", protocol.ToReq).Stay()
+	c.StallOn("IM_A", load, store, repl)
+	c.On("IM_A", ack).Stay()
+	c.On("IM_A", lastAck).Send("Comp", protocol.ToDir).Goto("M")
+	c.On("IM_A", msg("Inv")).Send("Inv-Ack", protocol.ToReq).Stay()
+
+	// Row S.
+	c.Hit("S", load)
+	c.On("S", store).Send("GetM", protocol.ToDir).Goto("SM_AD")
+	c.On("S", repl).Send("PutS", protocol.ToDir).Goto("SI_A")
+	c.On("S", msg("Inv")).Send("Inv-Ack", protocol.ToReq).Goto("I")
+
+	// Rows SM_AD / SM_A.
+	c.Hit("SM_AD", load)
+	c.StallOn("SM_AD", store, repl)
+	c.On("SM_AD", msg("Inv")).Send("Inv-Ack", protocol.ToReq).Goto("IM_AD")
+	c.On("SM_AD", dataZero).Send("Comp", protocol.ToDir).Goto("M")
+	c.On("SM_AD", dataPos).Goto("SM_A")
+	c.On("SM_AD", ack).Stay()
+	c.Hit("SM_A", load)
+	c.StallOn("SM_A", store, repl)
+	c.On("SM_A", ack).Stay()
+	c.On("SM_A", lastAck).Send("Comp", protocol.ToDir).Goto("M")
+
+	// Forwarded requests while the write is pending are deferred and
+	// answered at completion time (the Comp rides along).
+	type defer2 struct{ from, toS, toI string }
+	for _, d := range []defer2{
+		{"IM_AD", "IM_AD_S", "IM_AD_I"},
+		{"IM_A", "IM_A_S", "IM_A_I"},
+		{"SM_AD", "SM_AD_S", "SM_AD_I"},
+		{"SM_A", "SM_A_S", "SM_A_I"},
+	} {
+		c.On(d.from, msg("Fwd-GetS")).Do(protocol.ARecordSaved).Goto(d.toS)
+		c.On(d.from, msg("Fwd-GetM")).Do(protocol.ARecordSaved).Goto(d.toI)
+	}
+	loadHit := map[string]bool{
+		"SM_AD_S": true, "SM_AD_I": true, "SM_A_S": true, "SM_A_I": true,
+	}
+	for _, st := range []string{
+		"IM_AD_S", "IM_AD_I", "IM_A_S", "IM_A_I",
+		"SM_AD_S", "SM_AD_I", "SM_A_S", "SM_A_I",
+	} {
+		if loadHit[st] {
+			c.Hit(st, load)
+			c.StallOn(st, store, repl)
+		} else {
+			c.StallOn(st, load, store, repl)
+			c.On(st, msg("Inv")).Send("Inv-Ack", protocol.ToReq).Stay()
+		}
+		c.On(st, ack).Stay()
+	}
+	c.On("SM_AD_S", msg("Inv")).Send("Inv-Ack", protocol.ToReq).Goto("IM_AD_S")
+	c.On("SM_AD_I", msg("Inv")).Send("Inv-Ack", protocol.ToReq).Goto("IM_AD_I")
+	for _, pt := range []struct{ ad, a string }{
+		{"IM_AD_S", "IM_A_S"}, {"SM_AD_S", "SM_A_S"},
+	} {
+		c.On(pt.ad, dataZero).
+			Send("Comp", protocol.ToDir).
+			Send("Data", protocol.ToSaved).Send("Data", protocol.ToDir).Goto("S")
+		c.On(pt.ad, dataPos).Goto(pt.a)
+		c.On(pt.a, lastAck).
+			Send("Comp", protocol.ToDir).
+			Send("Data", protocol.ToSaved).Send("Data", protocol.ToDir).Goto("S")
+	}
+	for _, pt := range []struct{ ad, a string }{
+		{"IM_AD_I", "IM_A_I"}, {"SM_AD_I", "SM_A_I"},
+	} {
+		c.On(pt.ad, dataZero).
+			Send("Comp", protocol.ToDir).Send("Data", protocol.ToSaved).Goto("I")
+		c.On(pt.ad, dataPos).Goto(pt.a)
+		c.On(pt.a, lastAck).
+			Send("Comp", protocol.ToDir).Send("Data", protocol.ToSaved).Goto("I")
+	}
+
+	// Row M.
+	c.Hit("M", load)
+	c.Hit("M", store)
+	c.On("M", repl).Send("PutM", protocol.ToDir).Goto("MI_A")
+	c.On("M", msg("Fwd-GetS")).
+		Send("Data", protocol.ToReq).Send("Data", protocol.ToDir).Goto("S")
+	c.On("M", msg("Fwd-GetM")).Send("Data", protocol.ToReq).Goto("I")
+
+	// Rows MI_A / SI_A / II_A: evictions are completion-ordered at the
+	// directory (no Put-AckWait needed — the directory blocks between
+	// transactions, so forwards cannot race eviction acks).
+	c.StallOn("MI_A", load, store, repl)
+	c.On("MI_A", msg("Fwd-GetS")).
+		Send("Data", protocol.ToReq).Send("Data", protocol.ToDir).Goto("SI_A")
+	c.On("MI_A", msg("Fwd-GetM")).Send("Data", protocol.ToReq).Goto("II_A")
+	c.On("MI_A", msg("Put-Ack")).Goto("I")
+	c.StallOn("SI_A", load, store, repl)
+	c.On("SI_A", msg("Inv")).Send("Inv-Ack", protocol.ToReq).Goto("II_A")
+	c.On("SI_A", msg("Put-Ack")).Goto("I")
+	c.StallOn("II_A", load, store, repl)
+	c.On("II_A", msg("Put-Ack")).Goto("I")
+}
+
+// cmpDir blocks each address from request acceptance until the current
+// transaction's completion arrives — the "directory always blocks"
+// column of Table I, with MSI's message vocabulary.
+func cmpDir(b *protocol.Builder) {
+	d := b.Dir("I")
+	d.Stable("I", "S", "M")
+	d.Transient("I_C", "S_C", "M_C", "SD_C")
+
+	putSNL := msgQ("PutS", protocol.QNotLastSharer)
+	putSL := msgQ("PutS", protocol.QLastSharer)
+	putMO := msgQ("PutM", protocol.QFromOwner)
+	putMNO := msgQ("PutM", protocol.QFromNonOwner)
+	dataZero := msgQ("Data", protocol.QAckZero)
+
+	allReqs := []protocol.Event{msg("GetS"), msg("GetM"), putSNL, putSL, putMO, putMNO}
+
+	// Row I.
+	d.On("I", msg("GetS")).
+		Send("Data", protocol.ToReq).Do(protocol.AAddReqToSharers).Goto("S_C")
+	d.On("I", msg("GetM")).
+		SendWithAcks("Data", protocol.ToReq).Do(protocol.ASetOwnerToReq).Goto("M_C")
+	d.On("I", putSNL).Send("Put-Ack", protocol.ToReq).Stay()
+	d.On("I", putSL).Send("Put-Ack", protocol.ToReq).Stay()
+	d.On("I", putMNO).Send("Put-Ack", protocol.ToReq).Stay()
+
+	// Row S.
+	d.On("S", msg("GetS")).
+		Send("Data", protocol.ToReq).Do(protocol.AAddReqToSharers).Goto("S_C")
+	d.On("S", msg("GetM")).
+		SendWithAcks("Data", protocol.ToReq).
+		Send("Inv", protocol.ToSharers).
+		Do(protocol.AClearSharers).Do(protocol.ASetOwnerToReq).Goto("M_C")
+	d.On("S", putSNL).
+		Do(protocol.ARemoveReqFromSharers).Send("Put-Ack", protocol.ToReq).Stay()
+	d.On("S", putSL).
+		Do(protocol.ARemoveReqFromSharers).Send("Put-Ack", protocol.ToReq).Goto("I")
+	d.On("S", putMNO).
+		Do(protocol.ARemoveReqFromSharers).Send("Put-Ack", protocol.ToReq).Stay()
+
+	// Row M.
+	d.On("M", msg("GetS")).
+		Send("Fwd-GetS", protocol.ToOwner).
+		Do(protocol.AAddReqToSharers).Do(protocol.AAddOwnerToSharers).
+		Do(protocol.AClearOwner).Goto("SD_C")
+	d.On("M", msg("GetM")).
+		Send("Fwd-GetM", protocol.ToOwner).Do(protocol.ASetOwnerToReq).Goto("M_C")
+	d.On("M", putSNL).Send("Put-Ack", protocol.ToReq).Stay()
+	d.On("M", putSL).Send("Put-Ack", protocol.ToReq).Stay()
+	d.On("M", putMO).
+		Do(protocol.ACopyToMem).Do(protocol.AClearOwner).
+		Send("Put-Ack", protocol.ToReq).Goto("I")
+	d.On("M", putMNO).Send("Put-Ack", protocol.ToReq).Stay()
+
+	// Busy rows: every request stalls until the completion.
+	for _, st := range []string{"I_C", "S_C", "M_C", "SD_C"} {
+		d.StallOn(st, allReqs...)
+	}
+	d.On("S_C", msg("Comp")).Goto("S")
+	d.On("M_C", msg("Comp")).Goto("M")
+	d.On("I_C", msg("Comp")).Goto("I")
+	// SD_C: a read hit a modified block; both the data write-back and
+	// the requestor's completion must arrive (in either order).
+	d.On("SD_C", dataZero).Do(protocol.ACopyToMem).Goto("S_C")
+	d.On("SD_C", msg("Comp")).Goto("S_D2")
+	d.Transient("S_D2")
+	d.StallOn("S_D2", allReqs...)
+	d.On("S_D2", dataZero).Do(protocol.ACopyToMem).Goto("S")
+}

@@ -1,0 +1,91 @@
+// Package protocols contains the built-in protocol specifications the
+// paper evaluates (Table I): MSI and MESI with blocking and
+// non-blocking caches (sometimes-blocking directory), MOSI and MOESI
+// with blocking and non-blocking caches (never-blocking directory), a
+// CHI-style formalization (always-blocking directory), and a contrived
+// Class-1 protocol with a genuine protocol deadlock.
+//
+// The tables are transcribed from Nagarajan et al., "A Primer on
+// Memory Consistency and Cache Coherence" (2nd ed.), with the
+// modifications described in paper §VII-B ("we modified the cache and
+// directory controllers to add/remove blocking on forwarded requests
+// and requests").
+package protocols
+
+import (
+	"fmt"
+	"sort"
+
+	"minvn/internal/protocol"
+)
+
+// Shorthand event constructors keep the table transcriptions close to
+// the figures.
+var (
+	load  = protocol.CoreEv(protocol.Load)
+	store = protocol.CoreEv(protocol.Store)
+	repl  = protocol.CoreEv(protocol.Replacement)
+)
+
+func msg(name string) protocol.Event { return protocol.MsgEv(name) }
+
+func msgQ(name string, q protocol.Qualifier) protocol.Event {
+	return protocol.MsgQualEv(name, q)
+}
+
+// builderFunc constructs one built-in protocol.
+type builderFunc func() *protocol.Protocol
+
+var registry = map[string]builderFunc{}
+
+// aliases maps convenience names to canonical registry names.
+var aliases = map[string]string{
+	"MSI":      "MSI_blocking_cache",
+	"MESI":     "MESI_blocking_cache",
+	"MOSI":     "MOSI_blocking_cache",
+	"MOESI":    "MOESI_blocking_cache",
+	"MSI-NB":   "MSI_nonblocking_cache",
+	"MESI-NB":  "MESI_nonblocking_cache",
+	"MOSI-NB":  "MOSI_nonblocking_cache",
+	"MOESI-NB": "MOESI_nonblocking_cache",
+}
+
+func register(name string, f builderFunc) {
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("protocols: %q registered twice", name))
+	}
+	registry[name] = f
+}
+
+// Names returns the canonical names of all built-in protocols, sorted.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Load returns a fresh copy of the named built-in protocol. Aliases
+// like "MSI" (for MSI_blocking_cache) are accepted.
+func Load(name string) (*protocol.Protocol, error) {
+	canonical := name
+	if a, ok := aliases[name]; ok {
+		canonical = a
+	}
+	f, ok := registry[canonical]
+	if !ok {
+		return nil, fmt.Errorf("protocols: unknown protocol %q (known: %v)", name, Names())
+	}
+	return f(), nil
+}
+
+// MustLoad is Load panicking on error, for tests and examples.
+func MustLoad(name string) *protocol.Protocol {
+	p, err := Load(name)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

@@ -1,0 +1,222 @@
+package protocols
+
+import (
+	"minvn/internal/protocol"
+)
+
+func init() {
+	register("TileLink", buildTileLink)
+}
+
+// buildTileLink is a table formalization of a TileLink-C–flavored
+// cached protocol — the third industrial specification the paper
+// names alongside CHI and CXL ("today's industrial strength
+// specifications such as CHI, CXL, and Tilelink all prescribe VNs for
+// avoiding coherence deadlocks", §I). TileLink prescribes five
+// priority-ordered channels:
+//
+//	A Acquire (requests)      cache → home
+//	B Probe   (forwarded)     home  → cache
+//	C ProbeAck / Release      cache → home
+//	D Grant / ReleaseAck      home  → cache
+//	E GrantAck (completion)   cache → home
+//
+// The protocol below follows the TileLink transaction structure: an
+// Acquire makes the home probe current holders, collect their
+// ProbeAcks (with data from a dirty owner), respond with a Grant, and
+// wait for the requestor's GrantAck before accepting the next
+// transaction; Release/ReleaseAck retire evictions, also serialized at
+// the home. Like CHI, the home "always blocks" and caches never stall
+// — so the minimum is TWO virtual networks (the five channels are a
+// priority discipline, not a deadlock requirement), with the textbook
+// chain giving four.
+func buildTileLink() *protocol.Protocol {
+	b := protocol.NewBuilder("TileLink")
+
+	// Channel A: requests.
+	b.Message("AcquireShared", protocol.Request)
+	// AcquireUnique needs the last-sharer qualifier: with no other
+	// branch to probe, the home grants directly (as in CHI).
+	b.Message("AcquireUnique", protocol.Request, protocol.WithQual(protocol.QualLastSharer))
+	// Channel C requests (evictions; data-carrying or clean).
+	b.Message("ReleaseData", protocol.Request, protocol.WithQual(protocol.QualOwnership))
+	b.Message("Release", protocol.Request, protocol.WithQual(protocol.QualOwnership))
+	// Channel B: probes.
+	b.Message("ProbeShared", protocol.FwdRequest)  // toB: demote to branch
+	b.Message("ProbeInvalid", protocol.FwdRequest) // toN: invalidate
+	// Channel C: probe responses (control or data).
+	b.Message("ProbeAck", protocol.CtrlResponse,
+		protocol.WithAckRole(protocol.AckUnit), protocol.WithQual(protocol.QualAckUnit))
+	// ProbeAckData is the tip's single response to a probe; it is not
+	// ack-counted (only branch invalidations are).
+	b.Message("ProbeAckData", protocol.DataResponse)
+	// Channel D: grants.
+	b.Message("GrantShared", protocol.DataResponse)
+	b.Message("GrantUnique", protocol.DataResponse)
+	b.Message("ReleaseAck", protocol.CtrlResponse)
+	// Channel E: completion.
+	b.Message("GrantAck", protocol.CtrlResponse)
+
+	tlCache(b)
+	tlHome(b)
+	return b.MustBuild()
+}
+
+// tlCache: TileLink tip/branch/none states — N (none), B (branch,
+// read-only), T (tip, read/write; dirty tracking folded in). Caches
+// never stall: probes are answered in every state that can see them.
+func tlCache(b *protocol.Builder) {
+	c := b.Cache("N")
+	c.Stable("N", "B", "T")
+	c.Transient("NB_G", "NT_G", "BT_G", "TN_R", "BN_R")
+
+	// Row N.
+	c.On("N", load).Send("AcquireShared", protocol.ToDir).Goto("NB_G")
+	c.On("N", store).Send("AcquireUnique", protocol.ToDir).Goto("NT_G")
+	// Late probes after our eviction retired: answer without data.
+	c.On("N", msg("ProbeShared")).Send("ProbeAck", protocol.ToDir).Stay()
+	c.On("N", msg("ProbeInvalid")).Send("ProbeAck", protocol.ToDir).Stay()
+
+	// Row NB_G: Acquire-to-branch pending. The home serializes
+	// transactions on GrantAck, so no probe can target us here.
+	c.StallOn("NB_G", load, store, repl)
+	c.On("NB_G", msg("GrantShared")).Send("GrantAck", protocol.ToDir).Goto("B")
+	c.On("NB_G", msg("GrantUnique")).Send("GrantAck", protocol.ToDir).Goto("T")
+
+	// Row NT_G: Acquire-to-tip pending. A probe from the transaction
+	// ordered ahead of ours can still arrive (we might hold B… no: we
+	// are N-rooted; only late probes) — answered dataless.
+	c.StallOn("NT_G", load, store, repl)
+	c.On("NT_G", msg("GrantUnique")).Send("GrantAck", protocol.ToDir).Goto("T")
+	c.On("NT_G", msg("ProbeShared")).Send("ProbeAck", protocol.ToDir).Stay()
+	c.On("NT_G", msg("ProbeInvalid")).Send("ProbeAck", protocol.ToDir).Stay()
+
+	// Row B.
+	c.Hit("B", load)
+	c.On("B", store).Send("AcquireUnique", protocol.ToDir).Goto("BT_G")
+	c.On("B", repl).Send("Release", protocol.ToDir).Goto("BN_R")
+	c.On("B", msg("ProbeInvalid")).Send("ProbeAck", protocol.ToDir).Goto("N")
+	c.On("B", msg("ProbeShared")).Send("ProbeAck", protocol.ToDir).Stay()
+
+	// Row BT_G: upgrade pending; an earlier transaction's probe can
+	// invalidate our branch meanwhile — the grant still completes the
+	// full write (TileLink grants carry data for upgrades).
+	c.Hit("BT_G", load)
+	c.StallOn("BT_G", store, repl)
+	c.On("BT_G", msg("ProbeInvalid")).Send("ProbeAck", protocol.ToDir).Goto("NT_G")
+	c.On("BT_G", msg("ProbeShared")).Send("ProbeAck", protocol.ToDir).Stay()
+	c.On("BT_G", msg("GrantUnique")).Send("GrantAck", protocol.ToDir).Goto("T")
+
+	// Row T: the tip.
+	c.Hit("T", load)
+	c.Hit("T", store)
+	c.On("T", repl).Send("ReleaseData", protocol.ToDir).Goto("TN_R")
+	c.On("T", msg("ProbeShared")).Send("ProbeAckData", protocol.ToDir).Goto("B")
+	c.On("T", msg("ProbeInvalid")).Send("ProbeAckData", protocol.ToDir).Goto("N")
+
+	// Row TN_R: dirty eviction in flight; a probe that raced ahead of
+	// the Release is answered from the held data exactly once — the
+	// responder then continues as a clean releaser (any later probe of
+	// this transaction's record is answered dataless from BN_R).
+	c.StallOn("TN_R", load, store, repl)
+	c.On("TN_R", msg("ProbeShared")).Send("ProbeAckData", protocol.ToDir).Goto("BN_R")
+	c.On("TN_R", msg("ProbeInvalid")).Send("ProbeAckData", protocol.ToDir).Goto("BN_R")
+	c.On("TN_R", msg("ReleaseAck")).Goto("N")
+
+	// Row BN_R: clean eviction in flight.
+	c.StallOn("BN_R", load, store, repl)
+	c.On("BN_R", msg("ProbeShared")).Send("ProbeAck", protocol.ToDir).Stay()
+	c.On("BN_R", msg("ProbeInvalid")).Send("ProbeAck", protocol.ToDir).Stay()
+	c.On("BN_R", msg("ReleaseAck")).Goto("N")
+}
+
+// tlHome: the home agent. Stable states track None / Branches / Tip;
+// every Acquire parks the home in a busy state until the requestor's
+// GrantAck, and Releases are acknowledged immediately but the
+// transaction they race with still completes first (probe responses
+// are collected by ack counting at the home, as in CHI).
+func tlHome(b *protocol.Builder) {
+	d := b.Dir("None")
+	d.Stable("None", "Branches", "Tip")
+	d.Transient(
+		"BusyGrantB", "BusyGrantT", // waiting for GrantAck
+		"BusyProbeB", "BusyProbeT", // waiting for the tip's probe response
+		"BusyInvAcks", // collecting branch invalidation acks
+	)
+
+	relDO := msgQ("ReleaseData", protocol.QFromOwner)
+	relDNO := msgQ("ReleaseData", protocol.QFromNonOwner)
+	relO := msgQ("Release", protocol.QFromOwner)
+	relNO := msgQ("Release", protocol.QFromNonOwner)
+	pAck := msgQ("ProbeAck", protocol.QNotLastAck)
+	pAckLast := msgQ("ProbeAck", protocol.QLastAck)
+
+	auLast := msgQ("AcquireUnique", protocol.QLastSharer)
+	auMore := msgQ("AcquireUnique", protocol.QNotLastSharer)
+	allReqs := []protocol.Event{
+		msg("AcquireShared"), auLast, auMore, relDO, relDNO, relO, relNO,
+	}
+
+	// Row None.
+	d.On("None", msg("AcquireShared")).
+		Send("GrantShared", protocol.ToReq).Do(protocol.AAddReqToSharers).Goto("BusyGrantB")
+	d.On("None", auLast).
+		Send("GrantUnique", protocol.ToReq).Do(protocol.ASetOwnerToReq).Goto("BusyGrantT")
+	d.On("None", relDNO).Send("ReleaseAck", protocol.ToReq).Stay()
+	d.On("None", relNO).Send("ReleaseAck", protocol.ToReq).Stay()
+
+	// Row Branches.
+	d.On("Branches", msg("AcquireShared")).
+		Send("GrantShared", protocol.ToReq).Do(protocol.AAddReqToSharers).Goto("BusyGrantB")
+	d.On("Branches", auMore).
+		Do(protocol.AExpectAcks).
+		Send("ProbeInvalid", protocol.ToSharers).
+		Do(protocol.AClearSharers).Do(protocol.ASetOwnerToReq).Goto("BusyInvAcks")
+	// The requestor is the only branch: grant directly.
+	d.On("Branches", auLast).
+		Send("GrantUnique", protocol.ToReq).
+		Do(protocol.AClearSharers).Do(protocol.ASetOwnerToReq).Goto("BusyGrantT")
+	d.On("Branches", relDNO).
+		Do(protocol.ARemoveReqFromSharers).Send("ReleaseAck", protocol.ToReq).Stay()
+	d.On("Branches", relNO).
+		Do(protocol.ARemoveReqFromSharers).Send("ReleaseAck", protocol.ToReq).Stay()
+
+	// Row Tip.
+	d.On("Tip", msg("AcquireShared")).
+		Send("ProbeShared", protocol.ToOwner).
+		Do(protocol.AAddOwnerToSharers).Do(protocol.AClearOwner).
+		Do(protocol.AAddReqToSharers).Goto("BusyProbeB")
+	d.On("Tip", auLast).
+		Send("ProbeInvalid", protocol.ToOwner).Do(protocol.AClearOwner).
+		Do(protocol.ASetOwnerToReq).Goto("BusyProbeT")
+	d.On("Tip", relDO).
+		Do(protocol.ACopyToMem).Do(protocol.AClearOwner).
+		Send("ReleaseAck", protocol.ToReq).Goto("None")
+	d.On("Tip", relDNO).Send("ReleaseAck", protocol.ToReq).Stay()
+	d.On("Tip", relNO).Send("ReleaseAck", protocol.ToReq).Stay()
+
+	// Busy rows: the home always blocks new requests mid-transaction.
+	for _, st := range []string{
+		"BusyGrantB", "BusyGrantT", "BusyProbeB", "BusyProbeT", "BusyInvAcks",
+	} {
+		d.StallOn(st, allReqs...)
+	}
+
+	// Probe responses: BusyProbe* expects exactly one ProbeAckData
+	// from the tip (a releasing tip answers from TN_R, still with
+	// data); BusyInvAcks counts the branches' dataless ProbeAcks via
+	// the counter seeded by AExpectAcks.
+	d.On("BusyProbeB", msg("ProbeAckData")).
+		Do(protocol.ACopyToMem).
+		Send("GrantShared", protocol.ToReq).Goto("BusyGrantB")
+	d.On("BusyProbeT", msg("ProbeAckData")).
+		Do(protocol.ACopyToMem).
+		Send("GrantUnique", protocol.ToReq).Goto("BusyGrantT")
+	d.On("BusyInvAcks", pAck).Stay()
+	d.On("BusyInvAcks", pAckLast).
+		Send("GrantUnique", protocol.ToReq).Goto("BusyGrantT")
+
+	// Grant acknowledgments retire transactions.
+	d.On("BusyGrantB", msg("GrantAck")).Goto("Branches")
+	d.On("BusyGrantT", msg("GrantAck")).Goto("Tip")
+}

@@ -1,0 +1,306 @@
+// Package relation implements finite binary relations over message names,
+// together with the operators the paper's formalism is built from:
+// union, inverse, composition, and (reflexive) transitive closure.
+//
+// A Relation is a set of ordered pairs (a, b) of strings. The analysis
+// packages use relations to represent "causes", "stalls", "waits", and
+// "queues" (paper §IV), and the deadlock condition of Eq. 4 is evaluated
+// with the operators defined here.
+package relation
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Pair is one ordered element (From, To) of a relation.
+type Pair struct {
+	From, To string
+}
+
+// Relation is a mutable finite binary relation over strings.
+// The zero value is not usable; call New.
+type Relation struct {
+	succ map[string]map[string]bool
+	size int
+}
+
+// New returns an empty relation.
+func New() *Relation {
+	return &Relation{succ: make(map[string]map[string]bool)}
+}
+
+// FromPairs builds a relation containing exactly the given pairs.
+func FromPairs(pairs ...Pair) *Relation {
+	r := New()
+	for _, p := range pairs {
+		r.Add(p.From, p.To)
+	}
+	return r
+}
+
+// Add inserts the pair (from, to). Adding an existing pair is a no-op.
+func (r *Relation) Add(from, to string) {
+	m, ok := r.succ[from]
+	if !ok {
+		m = make(map[string]bool)
+		r.succ[from] = m
+	}
+	if !m[to] {
+		m[to] = true
+		r.size++
+	}
+}
+
+// Has reports whether (from, to) is in the relation.
+func (r *Relation) Has(from, to string) bool {
+	return r.succ[from][to]
+}
+
+// Size returns the number of pairs.
+func (r *Relation) Size() int { return r.size }
+
+// IsEmpty reports whether the relation has no pairs.
+func (r *Relation) IsEmpty() bool { return r.size == 0 }
+
+// Image returns the successors of from in deterministic (sorted) order.
+func (r *Relation) Image(from string) []string {
+	m := r.succ[from]
+	if len(m) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(m))
+	for to := range m {
+		out = append(out, to)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Pairs returns all pairs in deterministic (sorted) order.
+func (r *Relation) Pairs() []Pair {
+	out := make([]Pair, 0, r.size)
+	for from, m := range r.succ {
+		for to := range m {
+			out = append(out, Pair{from, to})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].From != out[j].From {
+			return out[i].From < out[j].From
+		}
+		return out[i].To < out[j].To
+	})
+	return out
+}
+
+// Elements returns every string appearing on either side of a pair,
+// sorted.
+func (r *Relation) Elements() []string {
+	set := make(map[string]bool)
+	for from, m := range r.succ {
+		if len(m) > 0 {
+			set[from] = true
+		}
+		for to := range m {
+			set[to] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Clone returns a deep copy.
+func (r *Relation) Clone() *Relation {
+	c := New()
+	for from, m := range r.succ {
+		for to := range m {
+			c.Add(from, to)
+		}
+	}
+	return c
+}
+
+// Equal reports whether r and o contain the same pairs.
+func (r *Relation) Equal(o *Relation) bool {
+	if r.size != o.size {
+		return false
+	}
+	for from, m := range r.succ {
+		for to := range m {
+			if !o.Has(from, to) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Union returns a new relation r ∪ o.
+func (r *Relation) Union(o *Relation) *Relation {
+	u := r.Clone()
+	for from, m := range o.succ {
+		for to := range m {
+			u.Add(from, to)
+		}
+	}
+	return u
+}
+
+// Inverse returns the relation with every pair reversed (paper: stalls⁻¹).
+func (r *Relation) Inverse() *Relation {
+	inv := New()
+	for from, m := range r.succ {
+		for to := range m {
+			inv.Add(to, from)
+		}
+	}
+	return inv
+}
+
+// Compose returns r ; o = { (a, c) | ∃b: (a,b) ∈ r ∧ (b,c) ∈ o }.
+func (r *Relation) Compose(o *Relation) *Relation {
+	c := New()
+	for a, m := range r.succ {
+		for b := range m {
+			for cc := range o.succ[b] {
+				c.Add(a, cc)
+			}
+		}
+	}
+	return c
+}
+
+// TransitiveClosure returns r⁺, the smallest transitive relation
+// containing r.
+func (r *Relation) TransitiveClosure() *Relation {
+	tc := New()
+	// BFS from every source; the relations here are small (tens of
+	// message names), so repeated traversal is cheap and simple.
+	for from := range r.succ {
+		visited := make(map[string]bool)
+		queue := make([]string, 0, len(r.succ[from]))
+		for to := range r.succ[from] {
+			queue = append(queue, to)
+		}
+		for len(queue) > 0 {
+			n := queue[0]
+			queue = queue[1:]
+			if visited[n] {
+				continue
+			}
+			visited[n] = true
+			tc.Add(from, n)
+			for next := range r.succ[n] {
+				if !visited[next] {
+					queue = append(queue, next)
+				}
+			}
+		}
+	}
+	return tc
+}
+
+// ReflexiveTransitiveClosure returns r* over the given universe of
+// elements: r⁺ plus the identity pair for every element of universe and
+// every element appearing in r.
+func (r *Relation) ReflexiveTransitiveClosure(universe []string) *Relation {
+	rt := r.TransitiveClosure()
+	for _, e := range universe {
+		rt.Add(e, e)
+	}
+	for _, e := range r.Elements() {
+		rt.Add(e, e)
+	}
+	return rt
+}
+
+// HasCycle reports whether the relation, viewed as a directed graph,
+// contains a cycle (including self-loops).
+func (r *Relation) HasCycle() bool {
+	return r.CycleWitness() != nil
+}
+
+// CycleWitness returns the nodes of one cycle in order (the last node
+// has an edge back to the first), or nil if the relation is acyclic.
+// Self-loops yield a single-element witness.
+func (r *Relation) CycleWitness() []string {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make(map[string]int)
+	parent := make(map[string]string)
+	nodes := r.Elements()
+
+	var cycleStart, cycleEnd string
+	var dfs func(n string) bool
+	dfs = func(n string) bool {
+		color[n] = gray
+		for _, next := range r.Image(n) {
+			switch color[next] {
+			case white:
+				parent[next] = n
+				if dfs(next) {
+					return true
+				}
+			case gray:
+				cycleStart, cycleEnd = next, n
+				return true
+			}
+		}
+		color[n] = black
+		return false
+	}
+	for _, n := range nodes {
+		if color[n] == white && dfs(n) {
+			cycle := []string{cycleEnd}
+			for v := cycleEnd; v != cycleStart; v = parent[v] {
+				cycle = append(cycle, parent[v])
+			}
+			// Reverse so the witness reads in edge order.
+			for i, j := 0, len(cycle)-1; i < j; i, j = i+1, j-1 {
+				cycle[i], cycle[j] = cycle[j], cycle[i]
+			}
+			return cycle
+		}
+	}
+	return nil
+}
+
+// Restrict returns the sub-relation whose pairs have both endpoints in
+// keep.
+func (r *Relation) Restrict(keep map[string]bool) *Relation {
+	out := New()
+	for from, m := range r.succ {
+		if !keep[from] {
+			continue
+		}
+		for to := range m {
+			if keep[to] {
+				out.Add(from, to)
+			}
+		}
+	}
+	return out
+}
+
+// String renders the relation as "{a->b, c->d}" in deterministic order.
+func (r *Relation) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, p := range r.Pairs() {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s->%s", p.From, p.To)
+	}
+	b.WriteByte('}')
+	return b.String()
+}

@@ -1,0 +1,211 @@
+package relation
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAddHasSize(t *testing.T) {
+	r := New()
+	if !r.IsEmpty() {
+		t.Fatal("new relation should be empty")
+	}
+	r.Add("a", "b")
+	r.Add("a", "b") // duplicate
+	r.Add("b", "c")
+	if r.Size() != 2 {
+		t.Fatalf("size = %d, want 2", r.Size())
+	}
+	if !r.Has("a", "b") || !r.Has("b", "c") || r.Has("b", "a") {
+		t.Fatal("membership wrong")
+	}
+}
+
+func TestPairsDeterministic(t *testing.T) {
+	r := FromPairs(Pair{"c", "a"}, Pair{"a", "b"}, Pair{"a", "a"})
+	got := r.Pairs()
+	want := []Pair{{"a", "a"}, {"a", "b"}, {"c", "a"}}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestInverse(t *testing.T) {
+	r := FromPairs(Pair{"a", "b"}, Pair{"b", "c"})
+	inv := r.Inverse()
+	if !inv.Has("b", "a") || !inv.Has("c", "b") || inv.Size() != 2 {
+		t.Fatalf("inverse wrong: %v", inv)
+	}
+	if !inv.Inverse().Equal(r) {
+		t.Fatal("double inverse should be identity")
+	}
+}
+
+func TestCompose(t *testing.T) {
+	r := FromPairs(Pair{"a", "b"}, Pair{"a", "c"})
+	s := FromPairs(Pair{"b", "x"}, Pair{"c", "y"}, Pair{"z", "w"})
+	c := r.Compose(s)
+	want := FromPairs(Pair{"a", "x"}, Pair{"a", "y"})
+	if !c.Equal(want) {
+		t.Fatalf("compose = %v, want %v", c, want)
+	}
+}
+
+func TestTransitiveClosure(t *testing.T) {
+	r := FromPairs(Pair{"a", "b"}, Pair{"b", "c"}, Pair{"c", "d"})
+	tc := r.TransitiveClosure()
+	for _, p := range []Pair{{"a", "b"}, {"a", "c"}, {"a", "d"}, {"b", "d"}} {
+		if !tc.Has(p.From, p.To) {
+			t.Errorf("closure missing %v", p)
+		}
+	}
+	if tc.Has("d", "a") {
+		t.Error("closure has spurious pair")
+	}
+	// A cycle puts every node in relation with itself.
+	cyc := FromPairs(Pair{"a", "b"}, Pair{"b", "a"}).TransitiveClosure()
+	if !cyc.Has("a", "a") || !cyc.Has("b", "b") {
+		t.Error("cycle closure should include self-pairs")
+	}
+}
+
+func TestReflexiveTransitiveClosure(t *testing.T) {
+	r := FromPairs(Pair{"a", "b"})
+	rt := r.ReflexiveTransitiveClosure([]string{"a", "b", "z"})
+	for _, p := range []Pair{{"a", "a"}, {"b", "b"}, {"z", "z"}, {"a", "b"}} {
+		if !rt.Has(p.From, p.To) {
+			t.Errorf("r* missing %v", p)
+		}
+	}
+}
+
+func TestCycleWitness(t *testing.T) {
+	if w := FromPairs(Pair{"a", "b"}, Pair{"b", "c"}).CycleWitness(); w != nil {
+		t.Fatalf("acyclic relation returned witness %v", w)
+	}
+	r := FromPairs(Pair{"a", "b"}, Pair{"b", "c"}, Pair{"c", "a"}, Pair{"x", "a"})
+	w := r.CycleWitness()
+	if len(w) == 0 {
+		t.Fatal("expected a witness")
+	}
+	// Verify the witness is a real cycle.
+	for i := range w {
+		if !r.Has(w[i], w[(i+1)%len(w)]) {
+			t.Fatalf("witness %v has no edge %s->%s", w, w[i], w[(i+1)%len(w)])
+		}
+	}
+	// Self loop.
+	if w := FromPairs(Pair{"s", "s"}).CycleWitness(); len(w) != 1 || w[0] != "s" {
+		t.Fatalf("self-loop witness = %v", w)
+	}
+}
+
+func TestRestrict(t *testing.T) {
+	r := FromPairs(Pair{"a", "b"}, Pair{"b", "c"}, Pair{"c", "a"})
+	sub := r.Restrict(map[string]bool{"a": true, "b": true})
+	if !sub.Equal(FromPairs(Pair{"a", "b"})) {
+		t.Fatalf("restrict = %v", sub)
+	}
+}
+
+func TestUnionCloneEqual(t *testing.T) {
+	r := FromPairs(Pair{"a", "b"})
+	s := FromPairs(Pair{"b", "c"})
+	u := r.Union(s)
+	if !u.Has("a", "b") || !u.Has("b", "c") || u.Size() != 2 {
+		t.Fatalf("union wrong: %v", u)
+	}
+	// Union must not mutate operands.
+	if r.Size() != 1 || s.Size() != 1 {
+		t.Fatal("union mutated an operand")
+	}
+	c := u.Clone()
+	c.Add("x", "y")
+	if u.Has("x", "y") {
+		t.Fatal("clone shares storage with original")
+	}
+}
+
+// Property tests over small random relations.
+
+type pairList []Pair
+
+func fromBytes(data []byte) *Relation {
+	names := []string{"a", "b", "c", "d", "e"}
+	r := New()
+	for i := 0; i+1 < len(data); i += 2 {
+		r.Add(names[int(data[i])%len(names)], names[int(data[i+1])%len(names)])
+	}
+	return r
+}
+
+func TestPropClosureIdempotent(t *testing.T) {
+	f := func(data []byte) bool {
+		r := fromBytes(data)
+		tc := r.TransitiveClosure()
+		return tc.TransitiveClosure().Equal(tc)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropClosureContains(t *testing.T) {
+	f := func(data []byte) bool {
+		r := fromBytes(data)
+		tc := r.TransitiveClosure()
+		for _, p := range r.Pairs() {
+			if !tc.Has(p.From, p.To) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropInverseComposeDual(t *testing.T) {
+	// (r ; s)⁻¹ == s⁻¹ ; r⁻¹
+	f := func(d1, d2 []byte) bool {
+		r, s := fromBytes(d1), fromBytes(d2)
+		left := r.Compose(s).Inverse()
+		right := s.Inverse().Compose(r.Inverse())
+		return left.Equal(right)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropCycleWitnessSound(t *testing.T) {
+	f := func(data []byte) bool {
+		r := fromBytes(data)
+		w := r.CycleWitness()
+		if w == nil {
+			// Acyclic: the closure must have no self-pair.
+			tc := r.TransitiveClosure()
+			for _, e := range r.Elements() {
+				if tc.Has(e, e) {
+					return false
+				}
+			}
+			return true
+		}
+		for i := range w {
+			if !r.Has(w[i], w[(i+1)%len(w)]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,71 @@
+package vnassign
+
+import (
+	"testing"
+
+	"minvn/internal/analysis"
+	"minvn/internal/protocol"
+	"minvn/internal/protocols"
+)
+
+// TestConstrainedCHIDataControl: forcing CHI's data responses apart
+// from its control responses yields 3 VNs (requests / data / control),
+// still deadlock-free, still fewer than the spec's 4.
+func TestConstrainedCHIDataControl(t *testing.T) {
+	p := protocols.MustLoad("CHI")
+	r := analysis.Analyze(p)
+	a, err := AssignConstrained(r, SeparateDataFromControl(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumVNs != 3 {
+		t.Fatalf("constrained CHI VNs = %d, want 3 (%s)", a.NumVNs, a)
+	}
+	for _, d := range p.MessagesOfType(protocol.DataResponse) {
+		for _, c := range p.MessagesOfType(protocol.CtrlResponse) {
+			if a.VN[d] == a.VN[c] {
+				t.Errorf("constraint violated: %s and %s share VN %d", d, c, a.VN[d])
+			}
+		}
+	}
+	if ok, cyc := analysis.DeadlockFree(r, a.VN); !ok {
+		t.Fatalf("constrained assignment violates Eq. 4: %v", cyc)
+	}
+}
+
+// TestConstrainedNoConstraintsMatchesAssign.
+func TestConstrainedNoConstraintsMatchesAssign(t *testing.T) {
+	r := analysis.Analyze(protocols.MustLoad("MSI_nonblocking_cache"))
+	base := AssignFromAnalysis(r)
+	a, err := AssignConstrained(r, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumVNs != base.NumVNs {
+		t.Fatalf("unconstrained path diverged: %d vs %d", a.NumVNs, base.NumVNs)
+	}
+}
+
+// TestConstrainedErrors.
+func TestConstrainedErrors(t *testing.T) {
+	r := analysis.Analyze(protocols.MustLoad("MSI_nonblocking_cache"))
+	if _, err := AssignConstrained(r, []Constraint{{"GetS", "Ghost"}}); err == nil {
+		t.Error("unknown message accepted")
+	}
+	if _, err := AssignConstrained(r, []Constraint{{"GetS", "GetS"}}); err == nil {
+		t.Error("self-constraint accepted")
+	}
+}
+
+// TestConstrainedClass2Unchanged: constraints cannot rescue a Class 2
+// protocol.
+func TestConstrainedClass2Unchanged(t *testing.T) {
+	r := analysis.Analyze(protocols.MustLoad("MSI_blocking_cache"))
+	a, err := AssignConstrained(r, []Constraint{{"GetS", "GetM"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Class != Class2 {
+		t.Fatalf("class = %v", a.Class)
+	}
+}

@@ -1,0 +1,61 @@
+package vnassign
+
+import (
+	"testing"
+
+	"minvn/internal/analysis"
+	"minvn/internal/protocols"
+)
+
+// TestEnumerateAssignments: every enumerated assignment is minimal,
+// deadlock-free, and distinct as a partition; the canonical Assign
+// result's partition appears among them.
+func TestEnumerateAssignments(t *testing.T) {
+	for _, proto := range []string{"MSI_nonblocking_cache", "CHI", "MSI_completion"} {
+		r := analysis.Analyze(protocols.MustLoad(proto))
+		base := AssignFromAnalysis(r)
+		all := EnumerateAssignments(r, 64)
+		if len(all) == 0 {
+			t.Fatalf("%s: no assignments enumerated", proto)
+		}
+		seen := map[string]bool{}
+		foundBase := false
+		baseKey := assignmentKey(r, base.VN)
+		for _, a := range all {
+			if a.NumVNs != base.NumVNs {
+				t.Errorf("%s: enumerated %d VNs, want %d", proto, a.NumVNs, base.NumVNs)
+			}
+			if ok, cyc := analysis.DeadlockFree(r, a.VN); !ok {
+				t.Errorf("%s: enumerated assignment violates Eq. 4 (%v)", proto, cyc)
+			}
+			key := assignmentKey(r, a.VN)
+			if seen[key] {
+				t.Errorf("%s: duplicate partition %s", proto, key)
+			}
+			seen[key] = true
+			if key == baseKey {
+				foundBase = true
+			}
+		}
+		if !foundBase {
+			t.Errorf("%s: canonical assignment missing from enumeration", proto)
+		}
+		t.Logf("%s: %d distinct minimal assignments", proto, len(all))
+	}
+}
+
+// TestEnumerateClass2Nil.
+func TestEnumerateClass2Nil(t *testing.T) {
+	r := analysis.Analyze(protocols.MustLoad("MSI_blocking_cache"))
+	if got := EnumerateAssignments(r, 8); got != nil {
+		t.Fatalf("Class 2 enumeration returned %d assignments", len(got))
+	}
+}
+
+// TestEnumerateLimit.
+func TestEnumerateLimit(t *testing.T) {
+	r := analysis.Analyze(protocols.MustLoad("CHI"))
+	if got := EnumerateAssignments(r, 1); len(got) != 1 {
+		t.Fatalf("limit ignored: %d", len(got))
+	}
+}

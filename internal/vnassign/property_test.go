@@ -1,0 +1,259 @@
+package vnassign
+
+import (
+	"math/rand"
+	"testing"
+
+	"minvn/internal/analysis"
+	"minvn/internal/protocol"
+)
+
+// randomProtocol generates a small structurally-valid protocol with a
+// request/forward/response skeleton and randomized stalls — enough
+// variety to exercise every path of the assignment pipeline, including
+// Class 2 verdicts and multi-VN colorings.
+func randomProtocol(r *rand.Rand) *protocol.Protocol {
+	b := protocol.NewBuilder("random")
+
+	nReq := 1 + r.Intn(3)
+	nFwd := 1 + r.Intn(2)
+	nResp := 1 + r.Intn(3)
+	reqs := make([]string, nReq)
+	fwds := make([]string, nFwd)
+	resps := make([]string, nResp)
+	for i := range reqs {
+		reqs[i] = "Req" + string(rune('A'+i))
+		b.Message(reqs[i], protocol.Request)
+	}
+	for i := range fwds {
+		fwds[i] = "Fwd" + string(rune('A'+i))
+		b.Message(fwds[i], protocol.FwdRequest)
+	}
+	for i := range resps {
+		t := protocol.DataResponse
+		if i%2 == 1 {
+			t = protocol.CtrlResponse
+		}
+		resps[i] = "Resp" + string(rune('A'+i))
+		b.Message(resps[i], t)
+	}
+	pick := func(xs []string) string { return xs[r.Intn(len(xs))] }
+
+	// Cache: stable I/V; one pending state per request.
+	c := b.Cache("I")
+	c.Stable("I", "V")
+	pendings := make([]string, nReq)
+	for i := range reqs {
+		pendings[i] = "P" + string(rune('A'+i))
+	}
+	c.Transient(pendings...)
+	for i, req := range reqs {
+		ev := protocol.CoreEv(protocol.Load)
+		if i == 1 {
+			ev = protocol.CoreEv(protocol.Store)
+		}
+		if i == 2 {
+			ev = protocol.CoreEv(protocol.Replacement)
+		}
+		if i >= 1 {
+			c.On("V", ev).Send(req, protocol.ToDir).Goto(pendings[i])
+		} else {
+			c.On("I", ev).Send(req, protocol.ToDir).Goto(pendings[i])
+		}
+	}
+	// Every pending state accepts every response (to V), and either
+	// stalls or answers each forward.
+	for _, p := range pendings {
+		for _, resp := range resps {
+			c.On(p, protocol.MsgEv(resp)).Goto("V")
+		}
+		for _, fwd := range fwds {
+			if r.Intn(2) == 0 {
+				c.StallOn(p, protocol.MsgEv(fwd))
+			} else {
+				c.On(p, protocol.MsgEv(fwd)).Send(pick(resps), protocol.ToReq).Stay()
+			}
+		}
+	}
+	// Stable V answers forwards.
+	for _, fwd := range fwds {
+		c.On("V", protocol.MsgEv(fwd)).Send(pick(resps), protocol.ToReq).Goto("I")
+	}
+
+	// Directory: stable Idle, one busy state; requests trigger a
+	// forward or a response; busy stalls a random subset of requests.
+	d := b.Dir("Idle")
+	d.Stable("Idle")
+	d.Transient("Busy")
+	for i, req := range reqs {
+		cell := d.On("Idle", protocol.MsgEv(req))
+		if i%2 == 0 {
+			cell.Send(pick(fwds), protocol.ToReq).Goto("Busy")
+		} else {
+			cell.Send(pick(resps), protocol.ToReq).Stay()
+		}
+	}
+	for _, resp := range resps {
+		d.On("Busy", protocol.MsgEv(resp)).Goto("Idle")
+	}
+	stalled := false
+	for _, req := range reqs {
+		if r.Intn(2) == 0 {
+			d.StallOn("Busy", protocol.MsgEv(req))
+			stalled = true
+		} else {
+			d.On("Busy", protocol.MsgEv(req)).Send(pick(resps), protocol.ToReq).Stay()
+		}
+	}
+	_ = stalled
+
+	p, err := b.Build()
+	if err != nil {
+		// Some random combinations violate structural rules (e.g. a
+		// response never received); signal by returning nil.
+		return nil
+	}
+	return p
+}
+
+// TestPropertyPipelineSoundness: across many random protocols, the
+// algorithm's promises hold:
+//   - a Class 3 verdict comes with an assignment satisfying Eq. 4;
+//   - a Class 2 verdict coincides with a cycle in waits;
+//   - the VN count never exceeds the message count and is minimal in
+//     the weak sense that using one fewer color among the conflictors
+//     would violate some recorded conflict pair;
+//   - re-running is deterministic.
+func TestPropertyPipelineSoundness(t *testing.T) {
+	r := rand.New(rand.NewSource(2024))
+	built, class3 := 0, 0
+	for i := 0; i < 400; i++ {
+		p := randomProtocol(r)
+		if p == nil {
+			continue
+		}
+		built++
+		res := analysis.Analyze(p)
+		a := AssignFromAnalysis(res)
+
+		switch a.Class {
+		case Class3:
+			class3++
+			ok, cycle := analysis.DeadlockFree(res, a.VN)
+			if !ok {
+				t.Fatalf("iter %d: Class 3 assignment violates Eq. 4 (cycle %v)\nprotocol:\n%s",
+					i, cycle, protocol.FormatProtocol(p))
+			}
+			if a.NumVNs < 1 || a.NumVNs > len(p.Messages) {
+				t.Fatalf("iter %d: NumVNs = %d out of range", i, a.NumVNs)
+			}
+			for _, m := range p.MessageNames() {
+				if v, ok := a.VN[m]; !ok || v < 0 || v >= a.NumVNs {
+					t.Fatalf("iter %d: message %s mapped to %d of %d", i, m, v, a.NumVNs)
+				}
+			}
+			// Every recorded conflict pair must be separated.
+			for _, pr := range a.ConflictPairs {
+				if a.VN[pr[0]] == a.VN[pr[1]] {
+					t.Fatalf("iter %d: conflict pair %v shares VN %d", i, pr, a.VN[pr[0]])
+				}
+			}
+		case Class2:
+			if !res.Waits.HasCycle() {
+				t.Fatalf("iter %d: Class 2 verdict but waits is acyclic:\n%s",
+					i, protocol.FormatProtocol(p))
+			}
+			// Sanity: even unique VNs fail Eq. 4.
+			if ok, _ := analysis.DeadlockFree(res, analysis.UniqueVNs(p)); ok {
+				t.Fatalf("iter %d: Class 2 but unique VNs satisfy Eq. 4", i)
+			}
+		default:
+			t.Fatalf("iter %d: unexpected class %v", i, a.Class)
+		}
+
+		// Determinism.
+		b2 := AssignFromAnalysis(res)
+		if b2.Class != a.Class || b2.NumVNs != a.NumVNs {
+			t.Fatalf("iter %d: nondeterministic result", i)
+		}
+		for m, v := range a.VN {
+			if b2.VN[m] != v {
+				t.Fatalf("iter %d: nondeterministic mapping for %s", i, m)
+			}
+		}
+	}
+	if built < 100 || class3 < 20 {
+		t.Fatalf("generator too weak: %d built, %d Class 3", built, class3)
+	}
+}
+
+// TestPropertyMinimality: removing a color must break some conflict —
+// i.e., the conflict graph genuinely needs NumVNs colors (checked by
+// brute force for small conflict graphs).
+func TestPropertyMinimality(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	checked := 0
+	for i := 0; i < 300 && checked < 60; i++ {
+		p := randomProtocol(r)
+		if p == nil {
+			continue
+		}
+		a := Assign(p)
+		if a.Class != Class3 || a.NumVNs < 2 || len(a.ConflictPairs) == 0 {
+			continue
+		}
+		checked++
+		// Collect conflict-graph nodes.
+		nodes := map[string]bool{}
+		for _, pr := range a.ConflictPairs {
+			nodes[pr[0]] = true
+			nodes[pr[1]] = true
+		}
+		if len(nodes) > 12 {
+			continue
+		}
+		var names []string
+		for n := range nodes {
+			names = append(names, n)
+		}
+		if colorableWith(names, a.ConflictPairs, a.NumVNs-1) {
+			t.Fatalf("iter %d: conflict graph colorable with %d < %d colors; pairs %v",
+				i, a.NumVNs-1, a.NumVNs, a.ConflictPairs)
+		}
+	}
+	if checked < 10 {
+		t.Skipf("only %d multi-VN instances generated", checked)
+	}
+}
+
+// colorableWith brute-forces a proper k-coloring.
+func colorableWith(nodes []string, pairs [][2]string, k int) bool {
+	if k <= 0 {
+		return len(pairs) == 0
+	}
+	colors := make(map[string]int, len(nodes))
+	var rec func(i int) bool
+	rec = func(i int) bool {
+		if i == len(nodes) {
+			return true
+		}
+		for c := 0; c < k; c++ {
+			colors[nodes[i]] = c
+			ok := true
+			for _, pr := range pairs {
+				ca, aok := colors[pr[0]]
+				cb, bok := colors[pr[1]]
+				if aok && bok && ca == cb {
+					ok = false
+					break
+				}
+			}
+			if ok && rec(i+1) {
+				return true
+			}
+		}
+		delete(colors, nodes[i])
+		return false
+	}
+	return rec(0)
+}

@@ -1,0 +1,122 @@
+package vnassign
+
+import (
+	"sort"
+
+	"minvn/internal/analysis"
+	"minvn/internal/protocol"
+)
+
+// TextbookResult is the conventional-wisdom answer the paper refutes
+// (§I, §III): group messages into classes (requests, forwarded
+// requests, responses, and — for protocols that end transactions with
+// a completion message — completions), and provision one VN per class
+// along the longest chain of message dependencies.
+type TextbookResult struct {
+	// NumVNs is the longest class chain.
+	NumVNs int
+	// Chain is a message sequence realizing it.
+	Chain []string
+	// ClassOf maps each message to its textbook class name.
+	ClassOf map[string]string
+}
+
+// textbookClass returns the coarse message class used by the
+// conventional rule. Completions are control messages a cache sends to
+// the directory upon receiving a response (the "chain length four"
+// case of §III).
+func textbookClasses(p *protocol.Protocol) map[string]string {
+	completions := make(map[string]bool)
+	responses := make(map[string]bool)
+	for _, m := range p.MessageNames() {
+		if p.Messages[m].Type.IsResponse() {
+			responses[m] = true
+		}
+	}
+	for key, t := range p.Cache.Transitions {
+		if key.Event.IsCore() || !responses[key.Event.Msg] {
+			continue
+		}
+		for _, a := range t.Actions {
+			if a.Kind == protocol.ASend && a.To == protocol.ToDir &&
+				p.Messages[a.Msg].Type == protocol.CtrlResponse {
+				completions[a.Msg] = true
+			}
+		}
+	}
+	out := make(map[string]string, len(p.Messages))
+	for _, m := range p.MessageNames() {
+		switch {
+		case completions[m]:
+			out[m] = "completion"
+		case p.Messages[m].Type == protocol.Request:
+			out[m] = "request"
+		case p.Messages[m].Type == protocol.FwdRequest:
+			out[m] = "forwarded"
+		default:
+			out[m] = "response"
+		}
+	}
+	return out
+}
+
+// Textbook computes the conventional-wisdom VN count for a protocol:
+// the number of distinct message classes along the longest chain of
+// the causes relation. For the Primer's directory protocols this is 3
+// (request → forwarded → response); for completion-based protocols
+// like CHI it is 4 — matching the four VNs (REQ, SNP, RSP, DAT) the
+// CHI specification mandates.
+func Textbook(r *analysis.Result) TextbookResult {
+	p := r.Protocol
+	classOf := textbookClasses(p)
+
+	// Longest class chain via DFS with an on-path guard (causes is
+	// acyclic for every protocol here, but a cycle must not hang us).
+	type best struct {
+		len   int
+		chain []string
+	}
+	memo := make(map[string]best)
+	onPath := make(map[string]bool)
+	var dfs func(m string) best
+	dfs = func(m string) best {
+		if b, ok := memo[m]; ok {
+			return b
+		}
+		if onPath[m] {
+			return best{len: 1, chain: []string{m}}
+		}
+		onPath[m] = true
+		b := best{len: 1, chain: []string{m}}
+		for _, s := range r.Causes.Image(m) {
+			sb := dfs(s)
+			// A class change extends the chain; staying within the
+			// class keeps the count (m merely prefixes the chain).
+			cand := sb.len
+			if classOf[s] != classOf[m] {
+				cand++
+			}
+			if cand > b.len {
+				b = best{len: cand, chain: append([]string{m}, sb.chain...)}
+			}
+		}
+		onPath[m] = false
+		memo[m] = b
+		return b
+	}
+
+	var res TextbookResult
+	res.ClassOf = classOf
+	starts := p.MessagesOfType(protocol.Request)
+	sort.Strings(starts)
+	for _, m := range starts {
+		if b := dfs(m); b.len > res.NumVNs {
+			res.NumVNs = b.len
+			res.Chain = b.chain
+		}
+	}
+	if res.NumVNs == 0 {
+		res.NumVNs = 1
+	}
+	return res
+}

@@ -1,0 +1,438 @@
+// Package vnassign implements the paper's central algorithm (§VI.A):
+// given a protocol, determine the minimum number of virtual networks
+// required to provably avoid deadlock and generate the mapping from
+// message names to VNs.
+//
+// The algorithm reduces the problem to graph problems: build the
+// dependency graph of Eq. 5 (assuming a single VN, so any message can
+// queue behind any stallable message), weight edges per Eq. 6 so that
+// pure-waits edges are unbreakable, compute a minimum feedback arc
+// set, translate the removed edges back to the queues pairs that
+// realized them, and minimally color the resulting conflict graph.
+// The number of colors is the number of VNs.
+//
+// A protocol whose waits relation is cyclic cannot be saved by any
+// per-message-name VN assignment (§V-E); these are Class 2 protocols
+// and the algorithm reports them instead of an assignment. As an
+// engineering hardening beyond the paper, the final assignment is
+// re-checked against Eq. 4 and refined with extra conflict edges if a
+// cycle survives; for every protocol in this repository the loop
+// never iterates (the tests assert this), but it makes the tool sound
+// by construction.
+package vnassign
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"minvn/internal/analysis"
+	"minvn/internal/graph"
+	"minvn/internal/protocol"
+	"minvn/internal/relation"
+)
+
+// Class is the paper's protocol classification (§I, §VI-C).
+type Class int
+
+const (
+	// ClassUnknown: not yet determined (zero value).
+	ClassUnknown Class = iota
+	// Class1: protocol deadlock — a cycle in dynamic waiting exists
+	// even with one address and per-message VNs. Detected by model
+	// checking (package mc), never by this static algorithm.
+	Class1
+	// Class2: inevitable VN deadlock — waits is cyclic, so a deadlock
+	// exists even with every message name on its own VN.
+	Class2
+	// Class3: practical — a constant number of VNs (1 or 2) suffices.
+	Class3
+)
+
+func (c Class) String() string {
+	switch c {
+	case Class1:
+		return "Class 1 (protocol deadlock)"
+	case Class2:
+		return "Class 2 (inevitable VN deadlock)"
+	case Class3:
+		return "Class 3 (constant VNs suffice)"
+	default:
+		return "unclassified"
+	}
+}
+
+// Assignment is the algorithm's result.
+type Assignment struct {
+	Protocol *protocol.Protocol
+	Analysis *analysis.Result
+	Class    Class
+
+	// NumVNs and VN are set for Class 3 protocols.
+	NumVNs int
+	VN     map[string]int
+
+	// WaitsCycle witnesses Class 2 (a cycle in waits).
+	WaitsCycle []string
+
+	// Diagnostics of the reduction.
+	Graph         *graph.Digraph // Eq. 5 dependency graph
+	FAS           []graph.Edge   // chosen feedback arc set
+	ConflictPairs [][2]string    // queues pairs entering the conflict graph
+	Exact         bool           // FAS and coloring both solved exactly
+	Refinements   int            // verify-and-refine iterations (0 = paper algorithm sufficed)
+}
+
+// VNGroups returns, for a Class 3 assignment, the message names per
+// VN in declaration order.
+func (a *Assignment) VNGroups() [][]string {
+	if a.VN == nil {
+		return nil
+	}
+	groups := make([][]string, a.NumVNs)
+	for _, m := range a.Protocol.MessageNames() {
+		v := a.VN[m]
+		groups[v] = append(groups[v], m)
+	}
+	return groups
+}
+
+// String renders a human-readable summary.
+func (a *Assignment) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %s", a.Protocol.Name, a.Class)
+	switch a.Class {
+	case Class2:
+		fmt.Fprintf(&b, "; waits cycle: %s", strings.Join(a.WaitsCycle, " -> "))
+	case Class3:
+		fmt.Fprintf(&b, "; %d VN(s)", a.NumVNs)
+		for i, g := range a.VNGroups() {
+			fmt.Fprintf(&b, "; VN%d = {%s}", i, strings.Join(g, ", "))
+		}
+	}
+	return b.String()
+}
+
+// Assign runs the full pipeline on a protocol.
+func Assign(p *protocol.Protocol) *Assignment {
+	return AssignFromAnalysis(analysis.Analyze(p))
+}
+
+// AssignFromAnalysis runs the algorithm on precomputed relations.
+func AssignFromAnalysis(r *analysis.Result) *Assignment {
+	a := &Assignment{Protocol: r.Protocol, Analysis: r, Exact: true}
+
+	// A protocol with no stalls has an empty waits relation: no
+	// message ever waits, so nothing can deadlock — one VN (§VI-C.3,
+	// Table I cell 1).
+	if r.Waits.IsEmpty() {
+		a.Class = Class3
+		a.NumVNs = 1
+		a.VN = analysis.SingleVN(r.Protocol)
+		a.Graph = graph.NewDigraph()
+		return a
+	}
+
+	dep := buildDependencyGraph(r)
+	a.Graph = dep.g
+
+	fas := graph.MinFeedbackArcSet(dep.g)
+	a.FAS = fas.Edges
+	a.Exact = fas.Exact
+
+	// Eq. 6: an unbreakable (pure-waits) edge in the feedback arc set
+	// means waits itself is cyclic — Class 2.
+	for _, e := range fas.Edges {
+		if dep.unbreakable(e.From, e.To) {
+			a.Class = Class2
+			a.WaitsCycle = r.Waits.CycleWitness()
+			return a
+		}
+	}
+	// Consistency: the direct check must agree (asserted by tests).
+	if w := r.Waits.CycleWitness(); w != nil {
+		a.Class = Class2
+		a.WaitsCycle = w
+		return a
+	}
+
+	// Translate removed edges to their queues pairs and color.
+	conflict := graph.NewUndirected()
+	for _, e := range fas.Edges {
+		for _, q := range dep.qs(e.From, e.To) {
+			a.ConflictPairs = append(a.ConflictPairs, q)
+			conflict.AddEdge(q[0], q[1])
+		}
+	}
+	a.ConflictPairs = dedupePairs(a.ConflictPairs)
+
+	coloring := graph.ColorMinimal(conflict)
+	if !coloring.Exact {
+		a.Exact = false
+	}
+	a.NumVNs = coloring.NumColors
+	if a.NumVNs == 0 {
+		a.NumVNs = 1
+	}
+	a.VN = completeAssignment(r.Protocol, coloring.Colors, a.NumVNs)
+
+	// Verify-and-refine: re-check Eq. 4 under the concrete assignment
+	// and add conflict edges until it holds (hardening; no built-in
+	// protocol needs it).
+	for iter := 0; iter < len(r.Protocol.Messages)+1; iter++ {
+		ok, cycle := analysis.DeadlockFree(r, a.VN)
+		if ok {
+			a.Class = Class3
+			return a
+		}
+		a.Refinements++
+		added := false
+		queues := analysis.QueuesUnder(r, a.VN)
+		for i, from := range cycle {
+			to := cycle[(i+1)%len(cycle)]
+			if queues.Has(from, to) && from != to && !conflict.HasEdge(from, to) {
+				conflict.AddEdge(from, to)
+				a.ConflictPairs = append(a.ConflictPairs, [2]string{from, to})
+				added = true
+			}
+		}
+		if !added {
+			// Every queues pair on the cycle is a self-pair or already
+			// separated: no per-name assignment can break it.
+			a.Class = Class2
+			a.WaitsCycle = cycle
+			return a
+		}
+		coloring = graph.ColorMinimal(conflict)
+		a.NumVNs = coloring.NumColors
+		a.VN = completeAssignment(r.Protocol, coloring.Colors, a.NumVNs)
+		a.ConflictPairs = dedupePairs(a.ConflictPairs)
+	}
+	// Refinement failed to converge; declare Class 2 conservatively.
+	a.Class = Class2
+	a.WaitsCycle = r.Protocol.MessageNames()
+	return a
+}
+
+func sortPairs(ps [][2]string) {
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i][0] != ps[j][0] {
+			return ps[i][0] < ps[j][0]
+		}
+		return ps[i][1] < ps[j][1]
+	})
+}
+
+// dedupePairs sorts and removes duplicates (the same queues pair is
+// often discovered through many dependency-graph edges).
+func dedupePairs(ps [][2]string) [][2]string {
+	sortPairs(ps)
+	out := ps[:0]
+	for i, p := range ps {
+		if i == 0 || p != ps[i-1] {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// completeAssignment extends a partial coloring to all messages. The
+// uncolored messages cannot cause VN deadlocks (paper §VI.A-c), so any
+// placement is sound; for presentation we co-locate them with colored
+// messages of the same type (requests with requests, responses with
+// responses), matching how the paper reports its assignments
+// (VN1 = requests, VN2 = everything else).
+func completeAssignment(p *protocol.Protocol, colors map[string]int, numVNs int) map[string]int {
+	vn := make(map[string]int, len(p.Messages))
+	// Majority color per message type among colored messages.
+	typeVotes := make(map[protocol.MsgType]map[int]int)
+	respVotes := make(map[int]int)
+	for m, c := range colors {
+		t := p.Messages[m].Type
+		if typeVotes[t] == nil {
+			typeVotes[t] = make(map[int]int)
+		}
+		typeVotes[t][c]++
+		if t != protocol.Request {
+			respVotes[c]++
+		}
+	}
+	majority := func(votes map[int]int) (int, bool) {
+		best, bestN, ok := 0, 0, false
+		for c := 0; c < numVNs; c++ {
+			if n := votes[c]; n > bestN {
+				best, bestN, ok = c, n, true
+			}
+		}
+		return best, ok
+	}
+	for _, m := range p.MessageNames() {
+		if c, done := colors[m]; done {
+			vn[m] = c
+			continue
+		}
+		t := p.Messages[m].Type
+		if c, ok := majority(typeVotes[t]); ok {
+			vn[m] = c
+			continue
+		}
+		if t != protocol.Request {
+			if c, ok := majority(respVotes); ok {
+				vn[m] = c
+				continue
+			}
+		}
+		vn[m] = 0
+	}
+	return vn
+}
+
+// depGraph carries the Eq. 5 graph plus the bookkeeping needed to
+// translate feedback arcs back to protocol relations.
+type depGraph struct {
+	g *graph.Digraph
+	// unbreak marks edges realizable by a pure-waits path (those are
+	// exactly the pairs of the transitive closure of waits).
+	unbreak map[[2]string]bool
+	// qsByEdge records, per edge, the queues pairs found on minimal
+	// realizing paths.
+	qsByEdge map[[2]string][][2]string
+}
+
+func (d *depGraph) unbreakable(from, to string) bool {
+	return d.unbreak[[2]string{from, to}]
+}
+
+func (d *depGraph) qs(from, to string) [][2]string {
+	return d.qsByEdge[[2]string{from, to}]
+}
+
+// unbreakableWeight implements Eq. 6's 2^|V|+1 for pure-waits edges,
+// capped to avoid overflow; any sum of breakable edges stays below a
+// single unbreakable edge for |V| within the cap.
+func unbreakableWeight(numNodes int) int64 {
+	if numNodes > 60 {
+		numNodes = 60
+	}
+	return (int64(1) << numNodes) + 1
+}
+
+// buildDependencyGraph constructs Eq. 5 under the single-VN queues
+// relation: for each source a, BFS whose first step follows waits and
+// whose later steps follow waits ∪ queues. Every reachable b yields an
+// edge (a, b); queues-only edges on shortest paths are recorded as
+// qs(a→b). Self-loop queues edges never lie on a shortest path, so the
+// recorded pairs never relate a message to itself (§VI.A-c).
+func buildDependencyGraph(r *analysis.Result) *depGraph {
+	p := r.Protocol
+	queues := analysis.QueuesUnder(r, analysis.SingleVN(p))
+	union := r.Waits.Union(queues)
+	waitsPlus := r.Waits.TransitiveClosure()
+
+	d := &depGraph{
+		g:        graph.NewDigraph(),
+		unbreak:  make(map[[2]string]bool),
+		qsByEdge: make(map[[2]string][][2]string),
+	}
+	msgs := p.MessageNames()
+	for _, m := range msgs {
+		d.g.AddNode(m)
+	}
+	big := unbreakableWeight(len(msgs))
+
+	// queuesOnly identifies edges of the union that cannot be
+	// realized as waits — only those are breakable by VN separation.
+	queuesOnly := func(x, y string) bool {
+		return queues.Has(x, y) && !r.Waits.Has(x, y)
+	}
+
+	for _, a := range msgs {
+		first := r.Waits.Image(a)
+		if len(first) == 0 {
+			continue
+		}
+		// BFS distances; the virtual source reaches `first` at depth 1.
+		dist := map[string]int{}
+		frontier := []string{}
+		for _, b := range first {
+			dist[b] = 1
+			frontier = append(frontier, b)
+		}
+		for len(frontier) > 0 {
+			var next []string
+			for _, x := range frontier {
+				for _, y := range union.Image(x) {
+					if _, seen := dist[y]; !seen {
+						dist[y] = dist[x] + 1
+						next = append(next, y)
+					}
+				}
+			}
+			frontier = next
+		}
+		// qs accumulation over the shortest-path DAG, in distance
+		// order: qsAt(y) = ∪ over shortest preds x of qsAt(x) plus
+		// the edge (x,y) when it is queues-only. First-step edges are
+		// waits by construction and contribute nothing.
+		byDist := make([]string, 0, len(dist))
+		for b := range dist {
+			byDist = append(byDist, b)
+		}
+		sort.Slice(byDist, func(i, j int) bool {
+			if dist[byDist[i]] != dist[byDist[j]] {
+				return dist[byDist[i]] < dist[byDist[j]]
+			}
+			return byDist[i] < byDist[j]
+		})
+		qsAt := make(map[string]map[[2]string]bool, len(dist))
+		for _, b := range byDist {
+			set := make(map[[2]string]bool)
+			if dist[b] > 1 {
+				for _, x := range byDist {
+					if dist[x] != dist[b]-1 || !union.Has(x, b) {
+						continue
+					}
+					for pr := range qsAt[x] {
+						set[pr] = true
+					}
+					if queuesOnly(x, b) {
+						set[[2]string{x, b}] = true
+					}
+				}
+			}
+			qsAt[b] = set
+		}
+
+		for _, b := range byDist {
+			key := [2]string{a, b}
+			if waitsPlus.Has(a, b) {
+				d.unbreak[key] = true
+				d.g.AddEdge(a, b, big)
+				continue
+			}
+			var pairs [][2]string
+			for pr := range qsAt[b] {
+				pairs = append(pairs, pr)
+			}
+			sortPairs(pairs)
+			d.qsByEdge[key] = pairs
+			d.g.AddEdge(a, b, 1)
+		}
+	}
+	return d
+}
+
+// Eq4Holds re-exports the deadlock-freedom check for callers that
+// have an Assignment in hand.
+func Eq4Holds(a *Assignment) bool {
+	if a.VN == nil {
+		return false
+	}
+	ok, _ := analysis.DeadlockFree(a.Analysis, a.VN)
+	return ok
+}
+
+// WaitsClosure exposes waits⁺ for diagnostics and tests.
+func WaitsClosure(r *analysis.Result) *relation.Relation {
+	return r.Waits.TransitiveClosure()
+}
