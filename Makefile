@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: build test race vet fmt check bench table
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/mc/...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
+
+check: build vet fmt test
+
+# Model-checker throughput at the paper config (3 caches, 2 dirs,
+# 2 addrs): states/sec and peak states for MSI/MESI/MOESI.
+bench:
+	$(GO) run ./cmd/vnbench -out BENCH_mc.json
+
+table:
+	$(GO) run ./cmd/vntable -extensions

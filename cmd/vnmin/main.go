@@ -18,6 +18,7 @@ import (
 	"strings"
 
 	"minvn/internal/analysis"
+	"minvn/internal/obs"
 	"minvn/internal/protocol"
 	"minvn/internal/protocols"
 	"minvn/internal/vnassign"
@@ -33,8 +34,21 @@ func main() {
 		export    = flag.String("export", "", "write the protocol as JSON to this file and exit")
 		sepData   = flag.Bool("separate-data", false, "designer constraint: keep data and control responses on different VNs")
 		enumerate = flag.Int("enumerate", 0, "list up to N distinct minimal assignments")
+
+		progress  = flag.Bool("progress", false, "print per-stage pipeline timings to stderr")
+		statsJSON = flag.String("stats-json", "", "write a machine-readable JSON run artifact to this file")
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		addr, err := obs.ServePprof(*pprofAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vnmin: pprof:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "pprof: http://%s/debug/pprof/\n", addr)
+	}
 
 	if *list {
 		fmt.Println("Built-in protocols:")
@@ -72,7 +86,8 @@ func main() {
 		fmt.Println(protocol.FormatProtocol(p))
 	}
 
-	r := analysis.Analyze(p)
+	tl := &obs.Timeline{}
+	r := analysis.AnalyzeObserved(p, tl)
 	if *relations {
 		fmt.Printf("causes: %v\n", r.Causes)
 		fmt.Printf("stalls: %v\n", r.Stalls)
@@ -80,7 +95,7 @@ func main() {
 		fmt.Printf("stallable messages: %s\n\n", strings.Join(r.Stallable, ", "))
 	}
 
-	a := vnassign.AssignFromAnalysis(r)
+	a := vnassign.AssignFromAnalysisObserved(r, tl)
 	if *sepData && a.Class == vnassign.Class3 {
 		ca, err := vnassign.AssignConstrained(r, vnassign.SeparateDataFromControl(p))
 		if err != nil {
@@ -117,6 +132,39 @@ func main() {
 		tb := vnassign.Textbook(r)
 		fmt.Printf("  textbook (conventional wisdom): %d VNs via chain %s\n",
 			tb.NumVNs, strings.Join(tb.Chain, " -> "))
+	}
+
+	if *progress {
+		for _, st := range tl.Stages() {
+			fmt.Fprintf(os.Stderr, "stage %-20s %8.3fms\n", st.Name, st.Seconds*1e3)
+		}
+	}
+	if *statsJSON != "" {
+		art := obs.NewArtifact("vnmin")
+		art.Params["protocol"] = p.Name
+		art.Params["separate_data"] = *sepData
+		art.Stages = tl.Stages()
+		switch a.Class {
+		case vnassign.Class2:
+			art.Outcome = "class2"
+			art.Metrics = map[string]any{"waits_cycle": a.WaitsCycle}
+		default:
+			art.Outcome = "class3"
+			art.Metrics = map[string]any{
+				"num_vns":        a.NumVNs,
+				"vn":             a.VN,
+				"vn_groups":      a.VNGroups(),
+				"exact":          a.Exact,
+				"refinements":    a.Refinements,
+				"conflict_pairs": len(a.ConflictPairs),
+				"textbook_vns":   vnassign.Textbook(r).NumVNs,
+			}
+		}
+		if err := art.WriteFile(*statsJSON); err != nil {
+			fmt.Fprintln(os.Stderr, "vnmin: stats-json:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *statsJSON)
 	}
 }
 

@@ -19,6 +19,7 @@ import (
 	"minvn/internal/analysis"
 	"minvn/internal/machine"
 	"minvn/internal/mc"
+	"minvn/internal/obs"
 	"minvn/internal/protocol"
 	"minvn/internal/protocols"
 	"minvn/internal/vnassign"
@@ -68,8 +69,21 @@ func main() {
 		caches    = flag.Int("caches", 3, "caches for model checking")
 		dirs      = flag.Int("dirs", 2, "directories for model checking")
 		addrs     = flag.Int("addrs", 2, "addresses for model checking")
+
+		progress  = flag.Bool("progress", false, "print live model-checking progress to stderr")
+		statsJSON = flag.String("stats-json", "", "write a machine-readable JSON table artifact to this file")
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		addr, err := obs.ServePprof(*pprofAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vntable: pprof:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "pprof: http://%s/debug/pprof/\n", addr)
+	}
 
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "exp\tconfiguration\tprotocol\tstatic result\ttextbook\texpected (paper)\tmodel checking")
@@ -80,6 +94,7 @@ func main() {
 		rows = append(append([]row{}, tableI...), extensionRows...)
 	}
 	exitCode := 0
+	var artRows []map[string]any
 	for _, r := range rows {
 		if len(r.protos) == 0 {
 			fmt.Fprintf(w, "%s\t%s\t-\t%s\t-\t%s\t-\n", r.experiment, r.cell, "irrelevant", r.expect)
@@ -99,19 +114,56 @@ func main() {
 				static = fmt.Sprintf("%d VN", a.NumVNs)
 			}
 
+			ar := map[string]any{
+				"experiment":   r.experiment,
+				"protocol":     name,
+				"class":        a.Class.String(),
+				"static":       static,
+				"textbook_vns": tb.NumVNs,
+				"expected":     r.expect,
+			}
+			if a.Class == vnassign.Class3 {
+				ar["num_vns"] = a.NumVNs
+			}
 			mcCol := "-"
 			if *runMC && r.mcMode != "" {
-				out, ok := runModelCheck(p, a, r.mcMode, *caches, *dirs, *addrs, *maxStates)
+				out, ok, mcRes := runModelCheck(p, a, r.mcMode,
+					*caches, *dirs, *addrs, *maxStates, *progress)
 				mcCol = out
 				if !ok {
 					exitCode = 1
 				}
+				ar["mc"] = out
+				ar["mc_ok"] = ok
+				ar["mc_outcome"] = mcRes.Outcome.Tag()
+				ar["mc_stats"] = mcRes.Stats
 			}
+			artRows = append(artRows, ar)
 			fmt.Fprintf(w, "%s\t%s\t%s\t%s\t%d VN\t%s\t%s\n",
 				r.experiment, r.cell, name, static, tb.NumVNs, r.expect, mcCol)
 		}
 	}
 	w.Flush()
+
+	if *statsJSON != "" {
+		art := obs.NewArtifact("vntable")
+		art.Params["mc"] = *runMC
+		art.Params["extensions"] = *ext
+		art.Params["max_states"] = *maxStates
+		art.Params["caches"] = *caches
+		art.Params["dirs"] = *dirs
+		art.Params["addrs"] = *addrs
+		art.Outcome = "ok"
+		if exitCode != 0 {
+			art.Outcome = "mismatch"
+		}
+		art.Metrics = map[string]any{"rows": artRows}
+		if err := art.WriteFile(*statsJSON); err != nil {
+			fmt.Fprintln(os.Stderr, "vntable: stats-json:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *statsJSON)
+	}
 	os.Exit(exitCode)
 }
 
@@ -122,12 +174,17 @@ func main() {
 // to loads and stores (see DESIGN.md). For "verify" cells the
 // computed minimal assignment must show no deadlock up to the bound.
 func runModelCheck(p *protocol.Protocol, a *vnassign.Assignment, mode string,
-	caches, dirs, addrs, maxStates int) (string, bool) {
+	caches, dirs, addrs, maxStates int, progress bool) (string, bool, mc.Result) {
 
 	cfg := machine.Config{
 		Protocol: p, Caches: caches, Dirs: dirs, Addrs: addrs,
 	}
 	opts := mc.Options{MaxStates: maxStates, DisableTraces: true}
+	if progress {
+		opts.Progress = func(s mc.Snapshot) {
+			fmt.Fprintf(os.Stderr, "[%s] %s\n", p.Name, s)
+		}
+	}
 
 	switch mode {
 	case "deadlock":
@@ -142,14 +199,14 @@ func runModelCheck(p *protocol.Protocol, a *vnassign.Assignment, mode string,
 	}
 	sys, err := machine.New(cfg)
 	if err != nil {
-		return "error: " + err.Error(), false
+		return "error: " + err.Error(), false, mc.Result{}
 	}
 
 	var model mc.Model = sys
 	if mode == "deadlock" {
 		seed, err := ownershipSeed(sys, caches, dirs, addrs)
 		if err != nil {
-			return "seeding error: " + err.Error(), false
+			return "seeding error: " + err.Error(), false, mc.Result{}
 		}
 		model = &machine.Seeded{System: sys, Seeds: [][]byte{seed}}
 	}
@@ -158,17 +215,17 @@ func runModelCheck(p *protocol.Protocol, a *vnassign.Assignment, mode string,
 	switch mode {
 	case "deadlock":
 		if res.Outcome == mc.Deadlock {
-			return fmt.Sprintf("DEADLOCK found (%d states, depth %d)", res.States, res.MaxDepth), true
+			return fmt.Sprintf("DEADLOCK found (%d states, depth %d)", res.States, res.MaxDepth), true, res
 		}
-		return fmt.Sprintf("no deadlock within bound (%v)", res), false
+		return fmt.Sprintf("no deadlock within bound (%v)", res), false, res
 	default:
 		if res.Outcome == mc.Complete {
-			return fmt.Sprintf("no deadlock, complete (%d states)", res.States), true
+			return fmt.Sprintf("no deadlock, complete (%d states)", res.States), true, res
 		}
 		if res.Outcome == mc.Bounded {
-			return fmt.Sprintf("no deadlock to depth %d (%d states, bounded)", res.MaxDepth, res.States), true
+			return fmt.Sprintf("no deadlock to depth %d (%d states, bounded)", res.MaxDepth, res.States), true, res
 		}
-		return res.String() + " " + res.Message, false
+		return res.String() + " " + res.Message, false, res
 	}
 }
 

@@ -10,9 +10,11 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"minvn/internal/machine"
 	"minvn/internal/mc"
+	"minvn/internal/obs"
 	"minvn/internal/protocol"
 	"minvn/internal/protocols"
 	"minvn/internal/vnassign"
@@ -39,6 +41,12 @@ func main() {
 		invar     = flag.Bool("invariants", false, "check SWMR/bookkeeping invariants on every state")
 		trace     = flag.Bool("trace", false, "print the counterexample trace on deadlock/violation")
 		seedOwned = flag.Bool("seed-owned", false, "seed the search with caches 0 and 1 owning addresses 0 and 1")
+
+		progress      = flag.Bool("progress", false, "print live search progress to stderr")
+		progressEvery = flag.Int("progress-every", 50_000, "progress snapshot every N stored states")
+		progressSec   = flag.Duration("progress-interval", 5*time.Second, "progress snapshot every wall-clock interval (0 = count-only)")
+		statsJSON     = flag.String("stats-json", "", "write a machine-readable JSON run artifact to this file")
+		pprofAddr     = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -47,17 +55,27 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *pprofAddr != "" {
+		addr, err := obs.ServePprof(*pprofAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vnverify: pprof:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "pprof: http://%s/debug/pprof/\n", addr)
+	}
+
 	p, err := loadProtocol(flag.Arg(0), *fromFile)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "vnverify:", err)
 		os.Exit(1)
 	}
 
+	tl := &obs.Timeline{}
 	var vn map[string]int
 	var numVNs int
 	switch *vnMode {
 	case "minimal":
-		a := vnassign.Assign(p)
+		a := vnassign.AssignObserved(p, tl)
 		if a.Class != vnassign.Class3 {
 			fmt.Printf("%s is %s — no finite per-name assignment exists; "+
 				"use -vn permsg to exhibit the deadlock\n", p.Name, a.Class)
@@ -104,6 +122,19 @@ func main() {
 				bad++
 			}
 		}
+		if *statsJSON != "" {
+			art := runArtifact(p.Name, *vnMode, numVNs, vn, cfg, mc.Options{}, 0)
+			art.Outcome = "walks-ok"
+			if bad > 0 {
+				art.Outcome = "walks-wedged"
+			}
+			art.Metrics = map[string]any{"walks": *walk, "walk_steps": *walkSteps, "bad": bad}
+			art.Stages = tl.Stages()
+			if err := art.WriteFile(*statsJSON); err != nil {
+				fmt.Fprintln(os.Stderr, "vnverify: stats-json:", err)
+				os.Exit(1)
+			}
+		}
 		if bad > 0 {
 			fmt.Printf("%d of %d walks wedged or violated\n", bad, *walk)
 			os.Exit(1)
@@ -129,18 +160,39 @@ func main() {
 	if strings.EqualFold(*strategy, "dfs") {
 		opts.Strategy = mc.DFS
 	}
+	if *progress {
+		opts.Progress = func(s mc.Snapshot) { fmt.Fprintln(os.Stderr, s) }
+		opts.ProgressEvery = *progressEvery
+		opts.ProgressInterval = *progressSec
+	}
 
 	fmt.Printf("model checking %s: %d caches, %d dirs, %d addrs, %d VNs (%s), %v\n",
 		p.Name, *caches, *dirs, *addrs, numVNs, *vnMode, opts.Strategy)
 	var res mc.Result
+	stop := tl.Start("mc/check")
 	if *workers != 1 && opts.Strategy == mc.BFS {
 		res = mc.CheckParallel(model, opts, *workers)
 	} else {
 		res = mc.Check(model, opts)
 	}
+	stop()
 	fmt.Println(res)
 	if res.Message != "" {
 		fmt.Println(res.Message)
+	}
+	if *statsJSON != "" {
+		art := runArtifact(p.Name, *vnMode, numVNs, vn, cfg, opts, *workers)
+		art.Outcome = res.Outcome.Tag()
+		art.Metrics = res.Stats
+		art.Stages = tl.Stages()
+		if res.Message != "" {
+			art.Extra = map[string]any{"message": res.Message}
+		}
+		if err := art.WriteFile(*statsJSON); err != nil {
+			fmt.Fprintln(os.Stderr, "vnverify: stats-json:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *statsJSON)
 	}
 	if *trace && len(res.Trace) > 0 {
 		last := res.Trace[len(res.Trace)-1]
@@ -156,6 +208,31 @@ func main() {
 	if res.Outcome == mc.Deadlock || res.Outcome == mc.Violation {
 		os.Exit(1)
 	}
+}
+
+// runArtifact records the run configuration for the stats-json
+// artifact; the caller fills Outcome, Metrics, and Stages.
+func runArtifact(proto, vnMode string, numVNs int, vn map[string]int,
+	cfg machine.Config, opts mc.Options, workers int) *obs.Artifact {
+
+	art := obs.NewArtifact("vnverify")
+	art.Params["protocol"] = proto
+	art.Params["vn_mode"] = vnMode
+	art.Params["num_vns"] = numVNs
+	art.Params["vn"] = vn
+	art.Params["caches"] = cfg.Caches
+	art.Params["dirs"] = cfg.Dirs
+	art.Params["addrs"] = cfg.Addrs
+	art.Params["global_cap"] = cfg.GlobalCap
+	art.Params["local_cap"] = cfg.LocalCap
+	art.Params["point_to_point"] = cfg.PointToPoint
+	art.Params["symmetry"] = !cfg.NoSymmetry
+	art.Params["invariants"] = cfg.Invariants
+	art.Params["strategy"] = opts.Strategy.String()
+	art.Params["max_states"] = opts.MaxStates
+	art.Params["max_depth"] = opts.MaxDepth
+	art.Params["workers"] = workers
+	return art
 }
 
 // ownedSeed drives the system into the Fig. 3 starting point: cache i

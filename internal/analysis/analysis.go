@@ -21,6 +21,7 @@ package analysis
 import (
 	"sort"
 
+	"minvn/internal/obs"
 	"minvn/internal/protocol"
 	"minvn/internal/relation"
 )
@@ -41,36 +42,51 @@ type Result struct {
 
 // Analyze computes the static relations for p.
 func Analyze(p *protocol.Protocol) *Result {
+	return AnalyzeObserved(p, nil)
+}
+
+// AnalyzeObserved is Analyze with per-stage wall-clock telemetry: the
+// causes extraction, the stalls (transient-roots) computation, and the
+// waits closure each record a stage on tl. A nil timeline records
+// nothing.
+func AnalyzeObserved(p *protocol.Protocol, tl *obs.Timeline) *Result {
 	r := &Result{
 		Protocol: p,
-		Causes:   computeCauses(p),
 		Roots:    make(map[protocol.ControllerKind]map[string][]string),
 	}
-	r.Stalls = relation.New()
-	for _, c := range p.Controllers() {
-		roots := transientRoots(c)
-		r.Roots[c.Kind] = roots
-		for key, t := range c.Transitions {
-			if !t.Stall || key.Event.IsCore() {
-				continue
-			}
-			for _, root := range roots[key.State] {
-				r.Stalls.Add(root, key.Event.Msg)
+	tl.Time("analysis/causes", func() {
+		r.Causes = computeCauses(p)
+	})
+
+	tl.Time("analysis/stalls", func() {
+		r.Stalls = relation.New()
+		for _, c := range p.Controllers() {
+			roots := transientRoots(c)
+			r.Roots[c.Kind] = roots
+			for key, t := range c.Transitions {
+				if !t.Stall || key.Event.IsCore() {
+					continue
+				}
+				for _, root := range roots[key.State] {
+					r.Stalls.Add(root, key.Event.Msg)
+				}
 			}
 		}
-	}
+	})
 
-	// waits = stalls⁻¹ ; causes⁺  (Eq. 3).
-	r.Waits = r.Stalls.Inverse().Compose(r.Causes.TransitiveClosure())
+	tl.Time("analysis/waits", func() {
+		// waits = stalls⁻¹ ; causes⁺  (Eq. 3).
+		r.Waits = r.Stalls.Inverse().Compose(r.Causes.TransitiveClosure())
 
-	stallSet := make(map[string]bool)
-	for _, pr := range r.Stalls.Pairs() {
-		stallSet[pr.To] = true
-	}
-	for m := range stallSet {
-		r.Stallable = append(r.Stallable, m)
-	}
-	sort.Strings(r.Stallable)
+		stallSet := make(map[string]bool)
+		for _, pr := range r.Stalls.Pairs() {
+			stallSet[pr.To] = true
+		}
+		for m := range stallSet {
+			r.Stallable = append(r.Stallable, m)
+		}
+		sort.Strings(r.Stallable)
+	})
 	return r
 }
 

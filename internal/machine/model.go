@@ -35,6 +35,49 @@ func (s *System) Successors(raw []byte) ([][]byte, error) {
 	return out, nil
 }
 
+// SuccessorsNamed implements the model checker's optional NamedModel
+// extension: identical to Successors, plus a rule label per successor
+// so telemetry can attribute transitions to the guarded rule family
+// that fired. Labels aggregate the rule's enumeration parameters
+// (plan, endpoint ids) into the protocol-level identity that matters
+// for the paper's per-rule fire counts: the processor event for core
+// rules, the virtual network for deliveries, and the consumed message
+// name for processing rules.
+func (s *System) SuccessorsNamed(raw []byte) ([][]byte, []string, error) {
+	st := s.decode(raw)
+	if err := s.checkInvariants(st); err != nil {
+		return nil, nil, err
+	}
+	var out [][]byte
+	var labels []string
+	err := s.rules(st, func(r Rule, next *state) {
+		enc := s.encode(next)
+		if string(enc) != string(raw) {
+			out = append(out, enc)
+			labels = append(labels, s.ruleLabel(st, r))
+		}
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return out, labels, nil
+}
+
+// ruleLabel names a rule for telemetry attribution.
+func (s *System) ruleLabel(st *state, r Rule) string {
+	switch r.Kind {
+	case RuleCore:
+		return "core/" + string(r.Core)
+	case RuleDeliver:
+		return fmt.Sprintf("deliver/vn%d", r.VN)
+	default:
+		if m, ok := st.net.Head(r.Endpoint, r.PVN); ok {
+			return "process/" + s.msgNames[m.Name]
+		}
+		return "process/?"
+	}
+}
+
 // EnabledRules lists the enabled rules of a state, for the scenario
 // driver and diagnostics.
 func (s *System) EnabledRules(raw []byte) ([]Rule, error) {

@@ -36,6 +36,17 @@ type Canonicalizer interface {
 	Canonicalize(state []byte) []byte
 }
 
+// NamedModel is an optional Model extension providing rule-name
+// attribution: SuccessorsNamed behaves exactly like Successors but
+// also returns, for each successor, the name of the guarded rule that
+// produced it (rules[i] names the rule behind succs[i]). When a model
+// implements it, the checker accumulates per-rule firing counts into
+// the run's telemetry (Snapshot.RuleFirings) — the CMurphi-style
+// per-rule fire report the paper's experiments rely on.
+type NamedModel interface {
+	SuccessorsNamed(state []byte) (succs [][]byte, rules []string, err error)
+}
+
 // Strategy selects the exploration order.
 type Strategy int
 
@@ -56,8 +67,13 @@ func (s Strategy) String() string {
 	return "BFS"
 }
 
+// DefaultProgressEvery is the stored-state period used when a
+// Progress callback is set without any explicit threshold.
+const DefaultProgressEvery = 100_000
+
 // Options bounds and configures a search. The zero value means BFS
-// with no bounds and traces enabled.
+// with no bounds and traces enabled. Negative bounds are treated as 0
+// (unbounded).
 type Options struct {
 	Strategy  Strategy
 	MaxStates int // stop after storing this many states (0 = unbounded)
@@ -65,6 +81,31 @@ type Options struct {
 	// DisableTraces saves the parent table's memory when
 	// counterexamples are not needed.
 	DisableTraces bool
+	// Progress, when non-nil, receives live telemetry snapshots: after
+	// every ProgressEvery stored states, after every ProgressInterval
+	// of wall clock (whichever fires first), and once more with the
+	// final metrics (Final = true) when the search ends. When both
+	// thresholds are zero, ProgressEvery defaults to
+	// DefaultProgressEvery. The callback runs on the search goroutine
+	// (single-threaded, even under CheckParallel); keep it cheap.
+	Progress         func(Snapshot)
+	ProgressEvery    int
+	ProgressInterval time.Duration
+}
+
+// normalized clamps invalid bounds to "unbounded" and applies the
+// progress default, so both engines agree on Options semantics.
+func (o Options) normalized() Options {
+	if o.MaxStates < 0 {
+		o.MaxStates = 0
+	}
+	if o.MaxDepth < 0 {
+		o.MaxDepth = 0
+	}
+	if o.Progress != nil && o.ProgressEvery <= 0 && o.ProgressInterval <= 0 {
+		o.ProgressEvery = DefaultProgressEvery
+	}
+	return o
 }
 
 // Outcome classifies a search result, mirroring the three result
@@ -83,6 +124,23 @@ const (
 	// Violation: Successors reported an invariant violation.
 	Violation
 )
+
+// Tag returns a short stable identifier for machine-readable run
+// artifacts: "complete", "bounded", "deadlock", or "violation".
+func (o Outcome) Tag() string {
+	switch o {
+	case Complete:
+		return "complete"
+	case Bounded:
+		return "bounded"
+	case Deadlock:
+		return "deadlock"
+	case Violation:
+		return "violation"
+	default:
+		return fmt.Sprintf("outcome-%d", int(o))
+	}
+}
 
 func (o Outcome) String() string {
 	switch o {
@@ -108,6 +166,10 @@ type Result struct {
 	Message  string   // violation description, if any
 	Trace    [][]byte // initial → bad state (when traces enabled)
 	Duration time.Duration
+	// Stats is the final telemetry snapshot (Final = true): states/sec,
+	// dedup hit rate, depth histogram, per-rule firing counts (for
+	// NamedModels), and approximate memory footprint.
+	Stats Snapshot
 }
 
 func (r Result) String() string {
@@ -124,8 +186,11 @@ type node struct {
 
 // Check explores the reachable states of m under opts.
 func Check(m Model, opts Options) Result {
+	opts = opts.normalized()
 	start := time.Now()
 	canon, _ := m.(Canonicalizer)
+	named, _ := m.(NamedModel)
+	tr := newTracker(opts, start, named != nil)
 	key := func(s []byte) string {
 		if canon != nil {
 			return string(canon.Canonicalize(s))
@@ -141,8 +206,10 @@ func Check(m Model, opts Options) Result {
 	push := func(s []byte, parent int32, depth int32) (int32, bool) {
 		k := key(s)
 		if id, ok := seen[k]; ok {
+			tr.recordProbe(depth, false)
 			return id, false
 		}
+		tr.recordProbe(depth, true)
 		id := int32(len(nodes))
 		n := node{parent: parent, depth: depth}
 		if !opts.DisableTraces {
@@ -175,6 +242,7 @@ func Check(m Model, opts Options) Result {
 		res.Outcome = outcome
 		res.States = len(nodes)
 		res.Duration = time.Since(start)
+		res.Stats = tr.finish(res.States, res.MaxDepth, res.Rules)
 		return res
 	}
 
@@ -186,14 +254,26 @@ func Check(m Model, opts Options) Result {
 		state []byte
 	}
 	var queue []work
+	bounded := false
 	for _, s := range m.Initial() {
+		if opts.MaxStates > 0 && len(nodes) >= opts.MaxStates {
+			bounded = true
+			break
+		}
 		if id, fresh := push(s, -1, 0); fresh {
 			queue = append(queue, work{id, s})
 		}
 	}
-	bounded := false
 
 	for len(queue) > 0 {
+		// The store-size bound is checked before every expansion, so
+		// Result.States never exceeds MaxStates and always counts
+		// states actually stored — even when the bound trips
+		// mid-expansion and the remaining work list is abandoned.
+		if opts.MaxStates > 0 && len(nodes) >= opts.MaxStates {
+			bounded = true
+			break
+		}
 		var w work
 		if opts.Strategy == DFS {
 			w = queue[len(queue)-1]
@@ -209,7 +289,14 @@ func Check(m Model, opts Options) Result {
 			continue
 		}
 
-		succs, err := m.Successors(w.state)
+		var succs [][]byte
+		var ruleNames []string
+		var err error
+		if named != nil {
+			succs, ruleNames, err = named.SuccessorsNamed(w.state)
+		} else {
+			succs, err = m.Successors(w.state)
+		}
 		res.Rules++
 		if err != nil {
 			res.Message = err.Error()
@@ -221,7 +308,11 @@ func Check(m Model, opts Options) Result {
 			res.Trace = trace(w.id, w.state)
 			return finish(Deadlock)
 		}
-		for _, s := range succs {
+		tr.generated.Add(int64(len(succs)))
+		for i, s := range succs {
+			if named != nil {
+				tr.fire(ruleNames[i])
+			}
 			id, fresh := push(s, w.id, depth+1)
 			if !fresh {
 				continue
@@ -229,11 +320,10 @@ func Check(m Model, opts Options) Result {
 			queue = append(queue, work{id, s})
 			if opts.MaxStates > 0 && len(nodes) >= opts.MaxStates {
 				bounded = true
-				// Drain: stop enqueueing further work.
-				queue = queue[:0]
-				break
+				break // the pre-expansion check above ends the search
 			}
 		}
+		tr.maybeProgress(len(nodes), len(queue), res.MaxDepth, res.Rules)
 	}
 
 	if bounded {

@@ -18,6 +18,7 @@ import (
 // expansion is one frontier entry's successor set (or terminal info).
 type expansion struct {
 	succs    [][]byte
+	rules    []string // rule names per successor (NamedModels only)
 	err      error
 	deadlock bool
 }
@@ -26,6 +27,7 @@ type expansion struct {
 // exceeds 1 (0 picks GOMAXPROCS). DFS falls back to the sequential
 // engine.
 func CheckParallel(m Model, opts Options, workers int) Result {
+	opts = opts.normalized()
 	if opts.Strategy == DFS {
 		return Check(m, opts)
 	}
@@ -38,6 +40,8 @@ func CheckParallel(m Model, opts Options, workers int) Result {
 
 	start := time.Now()
 	canon, _ := m.(Canonicalizer)
+	named, _ := m.(NamedModel)
+	tr := newTracker(opts, start, named != nil)
 	key := func(s []byte) string {
 		if canon != nil {
 			return string(canon.Canonicalize(s))
@@ -53,8 +57,10 @@ func CheckParallel(m Model, opts Options, workers int) Result {
 	push := func(s []byte, parent int32, depth int32) (int32, bool) {
 		k := key(s)
 		if id, ok := seen[k]; ok {
+			tr.recordProbe(depth, false)
 			return id, false
 		}
+		tr.recordProbe(depth, true)
 		id := int32(len(nodes))
 		n := node{parent: parent, depth: depth}
 		if !opts.DisableTraces {
@@ -85,6 +91,7 @@ func CheckParallel(m Model, opts Options, workers int) Result {
 		res.Outcome = o
 		res.States = len(nodes)
 		res.Duration = time.Since(start)
+		res.Stats = tr.finish(res.States, res.MaxDepth, res.Rules)
 		return res
 	}
 
@@ -93,15 +100,25 @@ func CheckParallel(m Model, opts Options, workers int) Result {
 		state []byte
 	}
 	var frontier []work
+	bounded := false
 	for _, s := range m.Initial() {
+		if opts.MaxStates > 0 && len(nodes) >= opts.MaxStates {
+			bounded = true
+			break
+		}
 		if id, fresh := push(s, -1, 0); fresh {
 			frontier = append(frontier, work{id, s})
 		}
 	}
 
-	bounded := false
 	depth := int32(0)
-	for len(frontier) > 0 {
+	for len(frontier) > 0 && !bounded {
+		// Mirror the sequential engine's pre-expansion bound check so
+		// both report identical States when the bound trips.
+		if opts.MaxStates > 0 && len(nodes) >= opts.MaxStates {
+			bounded = true
+			break
+		}
 		if opts.MaxDepth > 0 && int(depth) >= opts.MaxDepth {
 			bounded = true
 			break
@@ -124,13 +141,24 @@ func CheckParallel(m Model, opts Options, workers int) Result {
 			go func(lo, hi int) {
 				defer wg.Done()
 				for i := lo; i < hi; i++ {
-					succs, err := m.Successors(frontier[i].state)
+					var succs [][]byte
+					var ruleNames []string
+					var err error
+					if named != nil {
+						succs, ruleNames, err = named.SuccessorsNamed(frontier[i].state)
+					} else {
+						succs, err = m.Successors(frontier[i].state)
+					}
 					if err != nil {
 						exps[i] = expansion{err: err}
 						continue
 					}
+					// generated is atomic: every worker adds to it
+					// while the level expands.
+					tr.generated.Add(int64(len(succs)))
 					exps[i] = expansion{
 						succs:    succs,
+						rules:    ruleNames,
 						deadlock: len(succs) == 0 && !m.Quiescent(frontier[i].state),
 					}
 				}
@@ -152,7 +180,10 @@ func CheckParallel(m Model, opts Options, workers int) Result {
 				res.Trace = trace(frontier[i].id, frontier[i].state)
 				return finish(Deadlock)
 			}
-			for _, s := range e.succs {
+			for j, s := range e.succs {
+				if named != nil {
+					tr.fire(e.rules[j])
+				}
 				id, fresh := push(s, frontier[i].id, depth+1)
 				if !fresh {
 					continue
@@ -160,10 +191,10 @@ func CheckParallel(m Model, opts Options, workers int) Result {
 				next = append(next, work{id, s})
 				if opts.MaxStates > 0 && len(nodes) >= opts.MaxStates {
 					bounded = true
-					next = next[:0]
 					goto drained
 				}
 			}
+			tr.maybeProgress(len(nodes), len(next), res.MaxDepth, res.Rules)
 		}
 	drained:
 		if bounded {

@@ -1,0 +1,114 @@
+package mc_test
+
+// Parity suite: the level-parallel engine must agree with the
+// sequential engine on every protocol configuration the repo's tests
+// exercise — same Outcome, same stored-state count, same depth — for
+// unbounded, state-bounded, and depth-bounded runs, with and without
+// traces, and with progress callbacks enabled (exercised under -race).
+
+import (
+	"testing"
+
+	"minvn/internal/machine"
+	"minvn/internal/mc"
+	"minvn/internal/protocols"
+	"minvn/internal/vnassign"
+)
+
+func paritySystem(t *testing.T, proto, vnMode string, caches, dirs, addrs int) *machine.System {
+	t.Helper()
+	p := protocols.MustLoad(proto)
+	var vn map[string]int
+	var n int
+	switch vnMode {
+	case "minimal":
+		a := vnassign.Assign(p)
+		if a.Class != vnassign.Class3 {
+			t.Fatalf("%s is %s", proto, a.Class)
+		}
+		vn, n = a.VN, a.NumVNs
+	case "permsg":
+		vn, n = machine.PerMessageVN(p)
+	case "uniform":
+		vn, n = machine.UniformVN(p)
+	default:
+		t.Fatalf("unknown vn mode %q", vnMode)
+	}
+	sys, err := machine.New(machine.Config{
+		Protocol: p, Caches: caches, Dirs: dirs, Addrs: addrs,
+		VN: vn, NumVNs: n,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestParallelParityProtocols(t *testing.T) {
+	cases := []struct {
+		name   string
+		proto  string
+		vnMode string
+		opts   mc.Options
+	}{
+		{"MSI-minimal-bounded", "MSI_nonblocking_cache", "minimal",
+			mc.Options{MaxStates: 4000, DisableTraces: true}},
+		{"MSI-minimal-traces", "MSI_nonblocking_cache", "minimal",
+			mc.Options{MaxStates: 2500}},
+		{"MESI-minimal-bounded", "MESI_nonblocking_cache", "minimal",
+			mc.Options{MaxStates: 4000, DisableTraces: true}},
+		{"MESI-uniform-depth", "MESI_nonblocking_cache", "uniform",
+			mc.Options{MaxDepth: 3, DisableTraces: true}},
+		{"MOESI-minimal-bounded", "MOESI_nonblocking_cache", "minimal",
+			mc.Options{MaxStates: 3000, DisableTraces: true}},
+		{"CHI-permsg-bounded", "CHI", "permsg",
+			mc.Options{MaxStates: 2000, DisableTraces: true}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			sys := paritySystem(t, tc.proto, tc.vnMode, 2, 1, 1)
+			seq := mc.Check(sys, tc.opts)
+
+			// The progress callback runs under CheckParallel's merge
+			// goroutine; -race verifies it never races with workers.
+			popts := tc.opts
+			snaps := 0
+			popts.Progress = func(mc.Snapshot) { snaps++ }
+			popts.ProgressEvery = 500
+			par := mc.CheckParallel(sys, popts, 4)
+
+			if seq.Outcome != par.Outcome {
+				t.Fatalf("outcome: seq %v vs par %v", seq.Outcome, par.Outcome)
+			}
+			if seq.States != par.States {
+				t.Fatalf("states: seq %d vs par %d", seq.States, par.States)
+			}
+			if seq.MaxDepth != par.MaxDepth {
+				t.Fatalf("depth: seq %d vs par %d", seq.MaxDepth, par.MaxDepth)
+			}
+			if snaps == 0 {
+				t.Fatal("parallel run delivered no progress snapshots")
+			}
+			if !par.Stats.Final || par.Stats.States != par.States {
+				t.Fatalf("parallel Stats inconsistent: %+v", par.Stats)
+			}
+		})
+	}
+}
+
+// TestParallelParityComplete exhausts a small state space so the
+// Complete outcome (not just bounded prefixes) is compared too.
+func TestParallelParityComplete(t *testing.T) {
+	sys := paritySystem(t, "MSI_nonblocking_cache", "minimal", 2, 1, 1)
+	opts := mc.Options{MaxStates: 2_000_000, DisableTraces: true}
+	seq := mc.Check(sys, opts)
+	par := mc.CheckParallel(sys, opts, 0) // 0 = GOMAXPROCS
+	if seq.Outcome != mc.Complete {
+		t.Fatalf("expected the 2-cache MSI space to be exhaustible, got %v", seq)
+	}
+	if seq.Outcome != par.Outcome || seq.States != par.States || seq.MaxDepth != par.MaxDepth {
+		t.Fatalf("seq %v vs par %v", seq, par)
+	}
+}

@@ -1,0 +1,186 @@
+package mc
+
+import (
+	"fmt"
+	"time"
+
+	"minvn/internal/obs"
+)
+
+// Snapshot is a point-in-time view of a running (or finished) search —
+// the Go counterpart of CMurphi's periodic progress reports. It is
+// fully serializable so CLI runs can persist it inside a JSON run
+// artifact (obs.Artifact).
+type Snapshot struct {
+	Strategy       string  `json:"strategy"`
+	ElapsedSeconds float64 `json:"elapsed_seconds"`
+	// States is the number of distinct states stored; Frontier the
+	// current work-list size (queue/stack for the sequential engine,
+	// accumulated next level for the parallel one).
+	States   int `json:"states"`
+	Frontier int `json:"frontier"`
+	MaxDepth int `json:"max_depth"`
+	// Expansions counts Successors calls; Generated the successor
+	// states they produced; DedupHits the generated (or initial)
+	// states that were already in the visited set. DedupHitRate is
+	// DedupHits over all visited-set probes.
+	Expansions   int64   `json:"expansions"`
+	Generated    int64   `json:"successors_generated"`
+	DedupHits    int64   `json:"dedup_hits"`
+	DedupHitRate float64 `json:"dedup_hit_rate"`
+	StatesPerSec float64 `json:"states_per_sec"`
+	// DepthHistogram[d] is the number of stored states at depth d.
+	DepthHistogram []int64 `json:"depth_histogram"`
+	// RuleFirings attributes generated successors to the guarded rule
+	// that produced them, when the model implements NamedModel.
+	RuleFirings map[string]int64 `json:"rule_firings,omitempty"`
+	// HeapBytes is the process's live heap at snapshot time — the
+	// search's approximate memory footprint.
+	HeapBytes uint64 `json:"heap_bytes"`
+	// Final marks the end-of-run snapshot stored in Result.Stats.
+	Final bool `json:"final"`
+}
+
+// String renders a one-line progress report.
+func (s Snapshot) String() string {
+	return fmt.Sprintf("[%8.2fs] %s: %d states (%.0f/s), frontier %d, depth %d, %d expansions, dedup %.1f%%, heap %s",
+		s.ElapsedSeconds, s.Strategy, s.States, s.StatesPerSec, s.Frontier,
+		s.MaxDepth, s.Expansions, 100*s.DedupHitRate, obs.FormatBytes(s.HeapBytes))
+}
+
+// Obs converts the snapshot to the generic obs form for Sink
+// consumers. Rule firings become "rule/<name>" counters.
+func (s Snapshot) Obs() obs.Snapshot {
+	c := map[string]int64{
+		"states":               int64(s.States),
+		"expansions":           s.Expansions,
+		"successors_generated": s.Generated,
+		"dedup_hits":           s.DedupHits,
+	}
+	for r, n := range s.RuleFirings {
+		c["rule/"+r] = n
+	}
+	g := map[string]int64{
+		"frontier":   int64(s.Frontier),
+		"max_depth":  int64(s.MaxDepth),
+		"heap_bytes": int64(s.HeapBytes),
+	}
+	return obs.Snapshot{Counters: c, Gauges: g}
+}
+
+// tracker accumulates search telemetry for both engines. The atomic
+// counters (obs.Counter) are the only fields touched concurrently:
+// CheckParallel's workers add to generated while expanding a level;
+// everything else — depth histogram, rule map, progress scheduling —
+// is only updated from the single-threaded push/merge path.
+type tracker struct {
+	opts       Options
+	strategy   Strategy
+	start      time.Time
+	probes     obs.Counter // visited-set probes (push attempts)
+	dedupHits  obs.Counter
+	generated  obs.Counter
+	depthHist  []int64
+	rules      map[string]int64 // nil unless the model is a NamedModel
+	nextStates int
+	nextTime   time.Time
+}
+
+func newTracker(opts Options, start time.Time, named bool) *tracker {
+	t := &tracker{opts: opts, strategy: opts.Strategy, start: start}
+	if named {
+		t.rules = make(map[string]int64)
+	}
+	if opts.Progress != nil {
+		if opts.ProgressEvery > 0 {
+			t.nextStates = opts.ProgressEvery
+		}
+		if opts.ProgressInterval > 0 {
+			t.nextTime = start.Add(opts.ProgressInterval)
+		}
+	}
+	return t
+}
+
+// recordProbe accounts one visited-set lookup; fresh means the state
+// was new and stored at the given depth.
+func (t *tracker) recordProbe(depth int32, fresh bool) {
+	t.probes.Inc()
+	if !fresh {
+		t.dedupHits.Inc()
+		return
+	}
+	for int(depth) >= len(t.depthHist) {
+		t.depthHist = append(t.depthHist, 0)
+	}
+	t.depthHist[depth]++
+}
+
+// fire records a rule firing (one generated successor) by name.
+func (t *tracker) fire(rule string) {
+	if t.rules != nil {
+		t.rules[rule]++
+	}
+}
+
+// maybeProgress emits a snapshot when a count or wall-clock threshold
+// has been crossed. Called from the single-threaded search loop.
+func (t *tracker) maybeProgress(states, frontier, maxDepth, expansions int) {
+	if t.opts.Progress == nil {
+		return
+	}
+	fire := false
+	if t.opts.ProgressEvery > 0 && states >= t.nextStates {
+		fire = true
+		t.nextStates = states - states%t.opts.ProgressEvery + t.opts.ProgressEvery
+	}
+	if t.opts.ProgressInterval > 0 {
+		if now := time.Now(); !now.Before(t.nextTime) {
+			fire = true
+			t.nextTime = now.Add(t.opts.ProgressInterval)
+		}
+	}
+	if fire {
+		t.opts.Progress(t.snapshot(states, frontier, maxDepth, expansions, false))
+	}
+}
+
+func (t *tracker) snapshot(states, frontier, maxDepth, expansions int, final bool) Snapshot {
+	elapsed := time.Since(t.start).Seconds()
+	s := Snapshot{
+		Strategy:       t.strategy.String(),
+		ElapsedSeconds: elapsed,
+		States:         states,
+		Frontier:       frontier,
+		MaxDepth:       maxDepth,
+		Expansions:     int64(expansions),
+		Generated:      t.generated.Load(),
+		DedupHits:      t.dedupHits.Load(),
+		DepthHistogram: append([]int64(nil), t.depthHist...),
+		HeapBytes:      obs.HeapBytes(),
+		Final:          final,
+	}
+	if p := t.probes.Load(); p > 0 {
+		s.DedupHitRate = float64(s.DedupHits) / float64(p)
+	}
+	if elapsed > 0 {
+		s.StatesPerSec = float64(states) / elapsed
+	}
+	if t.rules != nil {
+		s.RuleFirings = make(map[string]int64, len(t.rules))
+		for k, v := range t.rules {
+			s.RuleFirings[k] = v
+		}
+	}
+	return s
+}
+
+// finish builds the final snapshot and delivers it to the Progress
+// callback (Final = true) so observers always see the closing metrics.
+func (t *tracker) finish(states, maxDepth, expansions int) Snapshot {
+	s := t.snapshot(states, 0, maxDepth, expansions, true)
+	if t.opts.Progress != nil {
+		t.opts.Progress(s)
+	}
+	return s
+}

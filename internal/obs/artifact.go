@@ -1,0 +1,51 @@
+package obs
+
+import (
+	"encoding/json"
+	"os"
+	"time"
+)
+
+// Artifact is the machine-readable record of one tool run — the
+// format the EXPERIMENTS.md tables regenerate from. Params holds the
+// run configuration (protocol, VN mode, system size, bounds), Outcome
+// the verdict, Metrics the tool-specific metric payload (for the
+// model checker, the final mc.Snapshot), and Stages the pipeline
+// timings.
+type Artifact struct {
+	Tool    string         `json:"tool"`
+	Created string         `json:"created"` // RFC 3339
+	Params  map[string]any `json:"params,omitempty"`
+	Outcome string         `json:"outcome,omitempty"`
+	Metrics any            `json:"metrics,omitempty"`
+	Stages  []Stage        `json:"stages,omitempty"`
+	Extra   map[string]any `json:"extra,omitempty"`
+}
+
+// NewArtifact builds an artifact stamped with the current time.
+func NewArtifact(tool string) *Artifact {
+	return &Artifact{
+		Tool:    tool,
+		Created: time.Now().Format(time.RFC3339),
+		Params:  make(map[string]any),
+	}
+}
+
+// Encode renders the artifact as indented JSON with a trailing
+// newline.
+func (a *Artifact) Encode() ([]byte, error) {
+	data, err := json.MarshalIndent(a, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// WriteFile writes the artifact to path as indented JSON.
+func (a *Artifact) WriteFile(path string) error {
+	data, err := a.Encode()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}

@@ -1,0 +1,229 @@
+// Package obs is the repository's zero-dependency telemetry layer:
+// atomic counters and gauges, wall-clock stage timers, a serializable
+// Snapshot, and a Sink interface for delivering snapshots to consumers
+// (live progress printers, JSON artifact writers, tests).
+//
+// The package exists so that long explicit-state model-checking runs
+// (paper §VII: millions of states) and the static analysis pipeline
+// are observable while they run, and so that every CLI run can leave a
+// machine-readable artifact behind (see Artifact). Everything here is
+// standard library only; the hot-path primitives (Counter, Gauge) are
+// single atomic words so they are safe to hammer from the parallel
+// searcher's workers.
+package obs
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds d (d must be non-negative for the value to stay monotone).
+func (c *Counter) Add(d int64) { c.v.Add(d) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// Gauge is an atomically updated instantaneous value (frontier size,
+// heap bytes, ...).
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores x.
+func (g *Gauge) Set(x int64) { g.v.Store(x) }
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
+// Stage is one completed timed phase of a pipeline.
+type Stage struct {
+	Name    string  `json:"name"`
+	Seconds float64 `json:"seconds"`
+}
+
+// Timeline records named stage durations in completion order. A nil
+// *Timeline is valid and records nothing, so instrumented code can
+// accept an optional timeline without branching:
+//
+//	defer tl.Start("fas")()
+type Timeline struct {
+	mu     sync.Mutex
+	stages []Stage
+}
+
+// Start begins timing a stage and returns the function that ends it.
+func (t *Timeline) Start(name string) func() {
+	if t == nil {
+		return func() {}
+	}
+	start := time.Now()
+	return func() {
+		d := time.Since(start)
+		t.mu.Lock()
+		t.stages = append(t.stages, Stage{Name: name, Seconds: d.Seconds()})
+		t.mu.Unlock()
+	}
+}
+
+// Time runs fn as the named stage.
+func (t *Timeline) Time(name string, fn func()) {
+	stop := t.Start(name)
+	fn()
+	stop()
+}
+
+// Stages returns a copy of the completed stages.
+func (t *Timeline) Stages() []Stage {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Stage(nil), t.stages...)
+}
+
+// Total sums the recorded stage durations in seconds.
+func (t *Timeline) Total() float64 {
+	var sum float64
+	for _, s := range t.Stages() {
+		sum += s.Seconds
+	}
+	return sum
+}
+
+// Snapshot is a serializable point-in-time view of a metric set.
+type Snapshot struct {
+	Counters map[string]int64 `json:"counters,omitempty"`
+	Gauges   map[string]int64 `json:"gauges,omitempty"`
+	Stages   []Stage          `json:"stages,omitempty"`
+}
+
+// Sink consumes snapshots (a progress printer, a JSON-lines writer, a
+// test recorder).
+type Sink interface {
+	Emit(Snapshot)
+}
+
+// FuncSink adapts a function to the Sink interface.
+type FuncSink func(Snapshot)
+
+// Emit calls f.
+func (f FuncSink) Emit(s Snapshot) { f(s) }
+
+// MultiSink fans one snapshot out to several sinks.
+func MultiSink(sinks ...Sink) Sink {
+	return FuncSink(func(s Snapshot) {
+		for _, sk := range sinks {
+			if sk != nil {
+				sk.Emit(s)
+			}
+		}
+	})
+}
+
+// Registry is a named collection of counters and gauges plus a
+// timeline, snapshotted together. Counter and Gauge handles are
+// created on first use and stable thereafter, so hot paths can resolve
+// them once and update lock-free.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	timeline Timeline
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+	}
+}
+
+// Counter returns the named counter, creating it if needed.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it if needed.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Timeline returns the registry's stage timeline.
+func (r *Registry) Timeline() *Timeline { return &r.timeline }
+
+// Snapshot captures every counter, gauge, and completed stage.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	s := Snapshot{
+		Counters: make(map[string]int64, len(r.counters)),
+		Gauges:   make(map[string]int64, len(r.gauges)),
+	}
+	for name, c := range r.counters {
+		s.Counters[name] = c.Load()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Load()
+	}
+	r.mu.Unlock()
+	s.Stages = r.timeline.Stages()
+	return s
+}
+
+// HeapBytes reports the current live-heap allocation — the search's
+// approximate memory footprint. It calls runtime.ReadMemStats, which
+// briefly stops the world, so call it at snapshot granularity, not per
+// state.
+func HeapBytes() uint64 {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.HeapAlloc
+}
+
+// FormatBytes renders a byte count for humans (1.5 GiB, 23.4 MiB...).
+func FormatBytes(n uint64) string {
+	const unit = 1024
+	if n < unit {
+		return fmt.Sprintf("%d B", n)
+	}
+	div, exp := uint64(unit), 0
+	for v := n / unit; v >= unit; v /= unit {
+		div *= unit
+		exp++
+	}
+	return fmt.Sprintf("%.1f %ciB", float64(n)/float64(div), "KMGTPE"[exp])
+}
+
+// SortedNames returns the keys of a metric map in stable order, for
+// deterministic rendering.
+func SortedNames[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,173 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				c.Add(2)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Load(); got != 8*1000*3 {
+		t.Fatalf("counter = %d, want %d", got, 8*1000*3)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Set(42)
+	if g.Load() != 42 {
+		t.Fatalf("gauge = %d", g.Load())
+	}
+	g.Set(-7)
+	if g.Load() != -7 {
+		t.Fatalf("gauge = %d", g.Load())
+	}
+}
+
+func TestTimelineStages(t *testing.T) {
+	tl := &Timeline{}
+	tl.Time("a", func() { time.Sleep(time.Millisecond) })
+	stop := tl.Start("b")
+	stop()
+	stages := tl.Stages()
+	if len(stages) != 2 || stages[0].Name != "a" || stages[1].Name != "b" {
+		t.Fatalf("stages = %+v", stages)
+	}
+	if stages[0].Seconds <= 0 {
+		t.Fatalf("stage a has no duration: %+v", stages[0])
+	}
+	if tl.Total() < stages[0].Seconds {
+		t.Fatalf("total %v < stage a %v", tl.Total(), stages[0].Seconds)
+	}
+}
+
+func TestNilTimelineIsSafe(t *testing.T) {
+	var tl *Timeline
+	tl.Start("x")()
+	tl.Time("y", func() {})
+	if tl.Stages() != nil || tl.Total() != 0 {
+		t.Fatal("nil timeline recorded something")
+	}
+}
+
+func TestRegistrySnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("states").Add(10)
+	r.Counter("states").Inc() // same handle by name
+	r.Gauge("frontier").Set(3)
+	r.Timeline().Time("stage", func() {})
+
+	s := r.Snapshot()
+	if s.Counters["states"] != 11 {
+		t.Fatalf("states = %d", s.Counters["states"])
+	}
+	if s.Gauges["frontier"] != 3 {
+		t.Fatalf("frontier = %d", s.Gauges["frontier"])
+	}
+	if len(s.Stages) != 1 || s.Stages[0].Name != "stage" {
+		t.Fatalf("stages = %+v", s.Stages)
+	}
+
+	// The snapshot must be serializable and round-trip.
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Counters["states"] != 11 || back.Gauges["frontier"] != 3 {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+}
+
+func TestSinks(t *testing.T) {
+	var got []Snapshot
+	rec := FuncSink(func(s Snapshot) { got = append(got, s) })
+	sink := MultiSink(rec, nil, rec)
+	sink.Emit(Snapshot{Counters: map[string]int64{"x": 1}})
+	if len(got) != 2 || got[0].Counters["x"] != 1 {
+		t.Fatalf("got = %+v", got)
+	}
+}
+
+func TestArtifactWriteFile(t *testing.T) {
+	a := NewArtifact("test-tool")
+	a.Params["protocol"] = "MSI"
+	a.Outcome = "complete"
+	a.Metrics = map[string]any{"states": 123}
+	a.Stages = []Stage{{Name: "check", Seconds: 0.5}}
+
+	path := filepath.Join(t.TempDir(), "run.json")
+	if err := a.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back map[string]any
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back["tool"] != "test-tool" || back["outcome"] != "complete" {
+		t.Fatalf("artifact = %v", back)
+	}
+	if _, err := time.Parse(time.RFC3339, back["created"].(string)); err != nil {
+		t.Fatalf("created timestamp: %v", err)
+	}
+}
+
+func TestServePprof(t *testing.T) {
+	addr, err := ServePprof("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + addr + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+}
+
+func TestFormatBytes(t *testing.T) {
+	cases := map[uint64]string{
+		512:             "512 B",
+		2048:            "2.0 KiB",
+		3 * 1024 * 1024: "3.0 MiB",
+	}
+	for n, want := range cases {
+		if got := FormatBytes(n); got != want {
+			t.Errorf("FormatBytes(%d) = %q, want %q", n, got, want)
+		}
+	}
+}
+
+func TestSortedNames(t *testing.T) {
+	m := map[string]int64{"b": 1, "a": 2, "c": 3}
+	got := SortedNames(m)
+	if len(got) != 3 || got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Fatalf("got = %v", got)
+	}
+}

@@ -1,0 +1,33 @@
+package obs
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// ServePprof starts an HTTP server exposing the net/http/pprof
+// handlers under /debug/pprof/ on addr ("localhost:6060",
+// "127.0.0.1:0", ...) and returns the bound address. The listener is
+// opened synchronously so bind failures surface here; serving then
+// proceeds in a background goroutine for the life of the process —
+// the intended use is profiling a CLI run (`vnverify -pprof ...`), so
+// there is no shutdown path.
+//
+// A dedicated mux is used rather than http.DefaultServeMux so that
+// only the profiling endpoints are exposed.
+func ServePprof(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln)
+	return ln.Addr().String(), nil
+}

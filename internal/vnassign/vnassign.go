@@ -28,6 +28,7 @@ import (
 
 	"minvn/internal/analysis"
 	"minvn/internal/graph"
+	"minvn/internal/obs"
 	"minvn/internal/protocol"
 	"minvn/internal/relation"
 )
@@ -118,8 +119,23 @@ func Assign(p *protocol.Protocol) *Assignment {
 	return AssignFromAnalysis(analysis.Analyze(p))
 }
 
+// AssignObserved runs the full pipeline with per-stage telemetry on
+// tl: the static analysis stages plus the reduction stages below.
+func AssignObserved(p *protocol.Protocol, tl *obs.Timeline) *Assignment {
+	return AssignFromAnalysisObserved(analysis.AnalyzeObserved(p, tl), tl)
+}
+
 // AssignFromAnalysis runs the algorithm on precomputed relations.
 func AssignFromAnalysis(r *analysis.Result) *Assignment {
+	return AssignFromAnalysisObserved(r, nil)
+}
+
+// AssignFromAnalysisObserved is AssignFromAnalysis with per-stage
+// wall-clock telemetry: the Eq. 5 dependency-graph construction, the
+// minimum feedback arc set, the conflict-graph coloring, and the
+// verify-and-refine loop each record a stage on tl. A nil timeline
+// records nothing.
+func AssignFromAnalysisObserved(r *analysis.Result, tl *obs.Timeline) *Assignment {
 	a := &Assignment{Protocol: r.Protocol, Analysis: r, Exact: true}
 
 	// A protocol with no stalls has an empty waits relation: no
@@ -133,10 +149,16 @@ func AssignFromAnalysis(r *analysis.Result) *Assignment {
 		return a
 	}
 
-	dep := buildDependencyGraph(r)
+	var dep *depGraph
+	tl.Time("vnassign/depgraph", func() {
+		dep = buildDependencyGraph(r)
+	})
 	a.Graph = dep.g
 
-	fas := graph.MinFeedbackArcSet(dep.g)
+	var fas graph.FASResult
+	tl.Time("vnassign/fas", func() {
+		fas = graph.MinFeedbackArcSet(dep.g)
+	})
 	a.FAS = fas.Edges
 	a.Exact = fas.Exact
 
@@ -158,15 +180,18 @@ func AssignFromAnalysis(r *analysis.Result) *Assignment {
 
 	// Translate removed edges to their queues pairs and color.
 	conflict := graph.NewUndirected()
-	for _, e := range fas.Edges {
-		for _, q := range dep.qs(e.From, e.To) {
-			a.ConflictPairs = append(a.ConflictPairs, q)
-			conflict.AddEdge(q[0], q[1])
+	var coloring graph.Coloring
+	tl.Time("vnassign/coloring", func() {
+		for _, e := range fas.Edges {
+			for _, q := range dep.qs(e.From, e.To) {
+				a.ConflictPairs = append(a.ConflictPairs, q)
+				conflict.AddEdge(q[0], q[1])
+			}
 		}
-	}
-	a.ConflictPairs = dedupePairs(a.ConflictPairs)
+		a.ConflictPairs = dedupePairs(a.ConflictPairs)
 
-	coloring := graph.ColorMinimal(conflict)
+		coloring = graph.ColorMinimal(conflict)
+	})
 	if !coloring.Exact {
 		a.Exact = false
 	}
@@ -179,6 +204,7 @@ func AssignFromAnalysis(r *analysis.Result) *Assignment {
 	// Verify-and-refine: re-check Eq. 4 under the concrete assignment
 	// and add conflict edges until it holds (hardening; no built-in
 	// protocol needs it).
+	defer tl.Start("vnassign/refine")()
 	for iter := 0; iter < len(r.Protocol.Messages)+1; iter++ {
 		ok, cycle := analysis.DeadlockFree(r, a.VN)
 		if ok {
