@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt check bench table
+.PHONY: build test race vet fmt check bench bench-smoke table
 
 build:
 	$(GO) build ./...
@@ -20,9 +20,15 @@ fmt:
 check: build vet fmt test
 
 # Model-checker throughput at the paper config (3 caches, 2 dirs,
-# 2 addrs): states/sec and peak states for MSI/MESI/MOESI.
+# 2 addrs): states/sec, speedup, and heap footprint for MSI/MESI/MOESI
+# across the sequential, level-parallel, and pipelined engines.
 bench:
-	$(GO) run ./cmd/vnbench -out BENCH_mc.json
+	$(GO) run ./cmd/vnbench -workers 4 -out BENCH_mc.json
+
+# Small-bound version of bench for CI: exercises every engine end to
+# end and emits the artifact, without the full paper-scale state count.
+bench-smoke:
+	$(GO) run ./cmd/vnbench -workers 4 -max-states 20000 -out BENCH_mc.json
 
 table:
 	$(GO) run ./cmd/vntable -extensions

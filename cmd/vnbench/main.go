@@ -1,16 +1,20 @@
 // Command vnbench measures model-checker throughput at the paper's
 // experiment configuration (3 caches, 2 directories, 2 addresses,
-// §VII): for each benchmark protocol it runs a bounded search under
-// the computed minimal VN assignment and reports states/sec, peak
-// stored states, dedup hit rate, and depth reached, writing the whole
-// run as a JSON artifact (default BENCH_mc.json) so performance can
-// be tracked across commits.
+// §VII): for each benchmark protocol it runs the same bounded search
+// under the computed minimal VN assignment once per selected engine
+// and reports states/sec, peak stored states, dedup hit rate, depth
+// reached, and heap footprint side by side, writing the whole run as a
+// JSON artifact (default BENCH_mc.json) so performance can be tracked
+// across commits. The engines must agree on outcome, state count, and
+// depth — a disagreement is a checker bug and fails the run.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"strings"
 
 	"minvn/internal/machine"
 	"minvn/internal/mc"
@@ -26,9 +30,21 @@ func main() {
 		caches    = flag.Int("caches", 3, "number of caches (paper: 3)")
 		dirs      = flag.Int("dirs", 2, "number of directories (paper: 2)")
 		addrs     = flag.Int("addrs", 2, "number of addresses (paper: 2)")
-		workers   = flag.Int("workers", 1, "parallel BFS workers (1 = sequential engine)")
+		workers   = flag.Int("workers", 0, "workers for the parallel engines (0 = GOMAXPROCS)")
+		shards    = flag.Int("shards", 0, "visited-set shards for the pipeline engine (0 = default)")
+		engines   = flag.String("engines", "seq,levels,pipeline", "comma-separated engines to compare")
 	)
 	flag.Parse()
+
+	var engList []mc.Engine
+	for _, s := range strings.Split(*engines, ",") {
+		e, err := mc.ParseEngine(strings.TrimSpace(s))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vnbench:", err)
+			os.Exit(2)
+		}
+		engList = append(engList, e)
+	}
 
 	benchProtos := []string{
 		"MSI_nonblocking_cache",
@@ -45,7 +61,10 @@ func main() {
 	art.Params["dirs"] = *dirs
 	art.Params["addrs"] = *addrs
 	art.Params["workers"] = *workers
+	art.Params["shards"] = *shards
+	art.Params["engines"] = *engines
 
+	exitCode := 0
 	var runs []map[string]any
 	for _, name := range benchProtos {
 		p, err := protocols.Load(name)
@@ -68,34 +87,62 @@ func main() {
 			os.Exit(1)
 		}
 		opts := mc.Options{MaxStates: *maxStates, DisableTraces: true}
-		var res mc.Result
-		if *workers != 1 {
-			res = mc.CheckParallel(sys, opts, *workers)
-		} else {
-			res = mc.Check(sys, opts)
+
+		var baseline *mc.Result
+		for _, eng := range engList {
+			// Start every engine from a collected heap so HeapBytes
+			// reflects this run's live set, not the previous engine's
+			// garbage.
+			runtime.GC()
+			res := mc.CheckEngine(sys, opts, eng, *workers, *shards)
+
+			speedup := 1.0
+			if baseline == nil {
+				r := res
+				baseline = &r
+			} else {
+				if res.Outcome != baseline.Outcome || res.States != baseline.States ||
+					res.MaxDepth != baseline.MaxDepth {
+					fmt.Fprintf(os.Stderr,
+						"vnbench: %s: engine %v disagrees with %v: %v vs %v\n",
+						p.Name, eng, engList[0], res, *baseline)
+					exitCode = 1
+				}
+				if baseline.Stats.StatesPerSec > 0 {
+					speedup = res.Stats.StatesPerSec / baseline.Stats.StatesPerSec
+				}
+			}
+			fmt.Printf("%-26s %-9s %-10s %9d states  depth %3d  %8.0f states/s  %5.2fx  dedup %.1f%%  heap %4dMB  %v\n",
+				p.Name, eng, res.Outcome.Tag(), res.States, res.MaxDepth,
+				res.Stats.StatesPerSec, speedup, 100*res.Stats.DedupHitRate,
+				res.Stats.HeapBytes>>20, res.Duration.Round(1e6))
+			runs = append(runs, map[string]any{
+				"protocol":       p.Name,
+				"engine":         eng.String(),
+				"workers":        *workers,
+				"shards":         *shards,
+				"num_vns":        a.NumVNs,
+				"outcome":        res.Outcome.Tag(),
+				"states":         res.States,
+				"peak_states":    res.States,
+				"max_depth":      res.MaxDepth,
+				"states_per_sec": res.Stats.StatesPerSec,
+				"speedup":        speedup,
+				"dedup_hit_rate": res.Stats.DedupHitRate,
+				"heap_bytes":     res.Stats.HeapBytes,
+				"seconds":        res.Duration.Seconds(),
+			})
 		}
-		fmt.Printf("%-26s %-10s %9d states  depth %3d  %8.0f states/s  dedup %.1f%%  %v\n",
-			p.Name, res.Outcome.Tag(), res.States, res.MaxDepth,
-			res.Stats.StatesPerSec, 100*res.Stats.DedupHitRate,
-			res.Duration.Round(1e6))
-		runs = append(runs, map[string]any{
-			"protocol":       p.Name,
-			"num_vns":        a.NumVNs,
-			"outcome":        res.Outcome.Tag(),
-			"states":         res.States,
-			"peak_states":    res.States,
-			"max_depth":      res.MaxDepth,
-			"states_per_sec": res.Stats.StatesPerSec,
-			"dedup_hit_rate": res.Stats.DedupHitRate,
-			"heap_bytes":     res.Stats.HeapBytes,
-			"seconds":        res.Duration.Seconds(),
-		})
 	}
 	art.Outcome = "ok"
+	if exitCode != 0 {
+		art.Outcome = "engine-mismatch"
+	}
 	art.Metrics = map[string]any{"runs": runs}
 	if err := art.WriteFile(*out); err != nil {
 		fmt.Fprintln(os.Stderr, "vnbench:", err)
 		os.Exit(1)
 	}
 	fmt.Printf("wrote %s\n", *out)
+	os.Exit(exitCode)
 }

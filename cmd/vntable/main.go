@@ -69,12 +69,21 @@ func main() {
 		caches    = flag.Int("caches", 3, "caches for model checking")
 		dirs      = flag.Int("dirs", 2, "directories for model checking")
 		addrs     = flag.Int("addrs", 2, "addresses for model checking")
+		engine    = flag.String("engine", "auto", "search engine for BFS cells: auto | seq | levels | pipeline")
+		workers   = flag.Int("workers", 1, "parallel BFS workers (0 = GOMAXPROCS; deadlock cells use DFS and stay sequential)")
+		shards    = flag.Int("shards", 0, "visited-set shards for the pipeline engine (0 = default)")
 
 		progress  = flag.Bool("progress", false, "print live model-checking progress to stderr")
 		statsJSON = flag.String("stats-json", "", "write a machine-readable JSON table artifact to this file")
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
+
+	eng, err := mc.ParseEngine(*engine)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vntable:", err)
+		os.Exit(2)
+	}
 
 	if *pprofAddr != "" {
 		addr, err := obs.ServePprof(*pprofAddr)
@@ -128,7 +137,8 @@ func main() {
 			mcCol := "-"
 			if *runMC && r.mcMode != "" {
 				out, ok, mcRes := runModelCheck(p, a, r.mcMode,
-					*caches, *dirs, *addrs, *maxStates, *progress)
+					*caches, *dirs, *addrs, *maxStates, *progress,
+					eng, *workers, *shards)
 				mcCol = out
 				if !ok {
 					exitCode = 1
@@ -153,6 +163,9 @@ func main() {
 		art.Params["caches"] = *caches
 		art.Params["dirs"] = *dirs
 		art.Params["addrs"] = *addrs
+		art.Params["engine"] = eng.String()
+		art.Params["workers"] = *workers
+		art.Params["shards"] = *shards
 		art.Outcome = "ok"
 		if exitCode != 0 {
 			art.Outcome = "mismatch"
@@ -174,7 +187,8 @@ func main() {
 // to loads and stores (see DESIGN.md). For "verify" cells the
 // computed minimal assignment must show no deadlock up to the bound.
 func runModelCheck(p *protocol.Protocol, a *vnassign.Assignment, mode string,
-	caches, dirs, addrs, maxStates int, progress bool) (string, bool, mc.Result) {
+	caches, dirs, addrs, maxStates int, progress bool,
+	engine mc.Engine, workers, shards int) (string, bool, mc.Result) {
 
 	cfg := machine.Config{
 		Protocol: p, Caches: caches, Dirs: dirs, Addrs: addrs,
@@ -210,7 +224,9 @@ func runModelCheck(p *protocol.Protocol, a *vnassign.Assignment, mode string,
 		}
 		model = &machine.Seeded{System: sys, Seeds: [][]byte{seed}}
 	}
-	res := mc.Check(model, opts)
+	// Deadlock cells run DFS, which every engine hands to the
+	// sequential checker; verify cells honor the engine selection.
+	res := mc.CheckEngine(model, opts, engine, workers, shards)
 
 	switch mode {
 	case "deadlock":

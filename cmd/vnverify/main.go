@@ -35,7 +35,9 @@ func main() {
 		p2p       = flag.Int("p2p", -1, "point-to-point ordered mode with mapping variant 0-3 (-1 = unordered)")
 		noRepl    = flag.Bool("no-repl", false, "restrict the workload to loads and stores")
 		noSym     = flag.Bool("no-symmetry", false, "disable cache symmetry reduction")
+		engine    = flag.String("engine", "auto", "search engine: auto | seq | levels | pipeline (BFS only)")
 		workers   = flag.Int("workers", 1, "parallel BFS workers (0 = GOMAXPROCS; BFS only)")
+		shards    = flag.Int("shards", 0, "visited-set shards for the pipeline engine (0 = default)")
 		walk      = flag.Int("walk", 0, "instead of exhaustive checking, run N random-workload walks")
 		walkSteps = flag.Int("walk-steps", 5000, "steps per random walk")
 		invar     = flag.Bool("invariants", false, "check SWMR/bookkeeping invariants on every state")
@@ -52,6 +54,11 @@ func main() {
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: vnverify [flags] <protocol>")
 		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	eng, err := mc.ParseEngine(*engine)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vnverify:", err)
 		os.Exit(2)
 	}
 
@@ -168,13 +175,8 @@ func main() {
 
 	fmt.Printf("model checking %s: %d caches, %d dirs, %d addrs, %d VNs (%s), %v\n",
 		p.Name, *caches, *dirs, *addrs, numVNs, *vnMode, opts.Strategy)
-	var res mc.Result
 	stop := tl.Start("mc/check")
-	if *workers != 1 && opts.Strategy == mc.BFS {
-		res = mc.CheckParallel(model, opts, *workers)
-	} else {
-		res = mc.Check(model, opts)
-	}
+	res := mc.CheckEngine(model, opts, eng, *workers, *shards)
 	stop()
 	fmt.Println(res)
 	if res.Message != "" {
@@ -182,6 +184,8 @@ func main() {
 	}
 	if *statsJSON != "" {
 		art := runArtifact(p.Name, *vnMode, numVNs, vn, cfg, opts, *workers)
+		art.Params["engine"] = eng.String()
+		art.Params["shards"] = *shards
 		art.Outcome = res.Outcome.Tag()
 		art.Metrics = res.Stats
 		art.Stages = tl.Stages()

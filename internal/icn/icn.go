@@ -55,6 +55,12 @@ func (c Config) Validate() error {
 		return fmt.Errorf("icn: buffer capacities must be positive (global %d, local %d)",
 			c.GlobalCap, c.LocalCap)
 	}
+	// Encode writes each queue length as a single byte, so any capacity
+	// beyond 255 would silently corrupt encoded states.
+	if c.GlobalCap > 255 || c.LocalCap > 255 {
+		return fmt.Errorf("icn: buffer capacities beyond the byte-encoded limit of 255 (global %d, local %d)",
+			c.GlobalCap, c.LocalCap)
+	}
 	if c.PointToPoint {
 		if len(c.P2P) != c.Endpoints {
 			return fmt.Errorf("icn: point-to-point mapping has %d rows, want %d",
@@ -147,10 +153,11 @@ func (s *State) CanDeliver(cfg Config, vn, buf int) bool {
 
 // Deliver moves the head of global buffer buf of vn to its
 // destination's input FIFO; the caller must have checked CanDeliver.
+// The pop reslices rather than copying the tail (see PopLocal).
 func (s *State) Deliver(vn, buf int) Message {
 	q := s.Global[vn][buf]
 	m := q[0]
-	s.Global[vn][buf] = append([]Message(nil), q[1:]...)
+	s.Global[vn][buf] = q[1:]
 	s.Local[m.Dst][vn] = append(s.Local[m.Dst][vn], m)
 	return m
 }
@@ -165,10 +172,19 @@ func (s *State) Head(e, vn int) (Message, bool) {
 }
 
 // PopLocal removes the head of endpoint e's input FIFO for vn.
+//
+// Pops reslice (q = q[1:]) instead of reallocating the tail — an O(1)
+// operation in the model checker's hottest loop. This is safe because
+// every State uniquely owns its queues' backing arrays: Clone and
+// Decode always deep-copy, and nothing assigns a queue header across
+// States, so an in-place append after a pop can never scribble on a
+// sibling state. The popped head stays reachable until the queue's
+// array is dropped, which is bounded by the (tiny, capped) queue
+// length and the transient lifetime of decoded states.
 func (s *State) PopLocal(e, vn int) Message {
 	q := s.Local[e][vn]
 	m := q[0]
-	s.Local[e][vn] = append([]Message(nil), q[1:]...)
+	s.Local[e][vn] = q[1:]
 	return m
 }
 
@@ -242,30 +258,60 @@ func (s *State) Encode(dst []byte) []byte {
 }
 
 // Decode reads a state for cfg from src, returning the remaining
-// bytes.
-func Decode(cfg Config, src []byte) (*State, []byte) {
+// bytes. It validates every queue length against both the remaining
+// input and the configured capacity, so truncated or corrupt input
+// yields an error instead of a panic or an impossible state.
+func Decode(cfg Config, src []byte) (*State, []byte, error) {
 	s := NewState(cfg)
-	readQueue := func() []Message {
+	rest, err := DecodeInto(cfg, s, src)
+	if err != nil {
+		return nil, rest, err
+	}
+	return s, rest, nil
+}
+
+// DecodeInto decodes like Decode but fills dst, reusing its queues'
+// backing arrays — the allocation-free path for scratch states that
+// are decoded over and over (e.g. the canonicalizer's). dst must have
+// cfg's shape (NewState or a previous DecodeInto) and must not share
+// queue storage with any other State.
+func DecodeInto(cfg Config, dst *State, src []byte) ([]byte, error) {
+	readQueue := func(q []Message, capacity int) ([]Message, error) {
+		if len(src) < 1 {
+			return nil, fmt.Errorf("icn: truncated state: missing queue length")
+		}
 		n := int(src[0])
 		src = src[1:]
-		var q []Message
+		if n > capacity {
+			return nil, fmt.Errorf("icn: queue length %d exceeds capacity %d", n, capacity)
+		}
+		if len(src) < n*msgBytes {
+			return nil, fmt.Errorf("icn: truncated state: queue needs %d bytes, %d left",
+				n*msgBytes, len(src))
+		}
+		q = q[:0]
 		for i := 0; i < n; i++ {
 			q = append(q, decodeMsg(src))
 			src = src[msgBytes:]
 		}
-		return q
+		return q, nil
 	}
+	var err error
 	for vn := 0; vn < cfg.NumVNs; vn++ {
 		for b := 0; b < 2; b++ {
-			s.Global[vn][b] = readQueue()
+			if dst.Global[vn][b], err = readQueue(dst.Global[vn][b], cfg.GlobalCap); err != nil {
+				return src, err
+			}
 		}
 	}
 	for e := 0; e < cfg.Endpoints; e++ {
 		for vn := 0; vn < cfg.NumVNs; vn++ {
-			s.Local[e][vn] = readQueue()
+			if dst.Local[e][vn], err = readQueue(dst.Local[e][vn], cfg.LocalCap); err != nil {
+				return src, err
+			}
 		}
 	}
-	return s, src
+	return src, nil
 }
 
 // Format renders in-flight messages using a message-name table.

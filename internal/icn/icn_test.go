@@ -36,6 +36,46 @@ func TestValidate(t *testing.T) {
 	if p2p.Validate() == nil {
 		t.Error("invalid buffer index accepted")
 	}
+	big := cfg()
+	big.GlobalCap = 256
+	if big.Validate() == nil {
+		t.Error("GlobalCap beyond the byte-encoded limit accepted")
+	}
+	big = cfg()
+	big.LocalCap = 300
+	if big.Validate() == nil {
+		t.Error("LocalCap beyond the byte-encoded limit accepted")
+	}
+	big = cfg()
+	big.GlobalCap, big.LocalCap = 255, 255
+	if err := big.Validate(); err != nil {
+		t.Errorf("capacity 255 rejected: %v", err)
+	}
+}
+
+// TestDecodeRejectsCorruptInput: truncated or out-of-range inputs must
+// yield errors, never panics or impossible states.
+func TestDecodeRejectsCorruptInput(t *testing.T) {
+	c := cfg()
+	s := NewState(c)
+	s.Send(0, 0, Message{Name: 1, Dst: 1})
+	s.Send(0, 1, Message{Name: 2, Dst: 2})
+	enc := s.Encode(nil)
+
+	if _, _, err := Decode(c, nil); err == nil {
+		t.Error("empty input accepted")
+	}
+	for cut := 0; cut < len(enc); cut++ {
+		if _, _, err := Decode(c, enc[:cut]); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+	// A queue length beyond the configured capacity is corrupt even if
+	// enough bytes follow.
+	over := append([]byte{byte(c.GlobalCap + 1)}, make([]byte, 64)...)
+	if _, _, err := Decode(c, over); err == nil {
+		t.Error("queue length beyond capacity accepted")
+	}
 }
 
 func TestSendDeliverProcessFlow(t *testing.T) {
@@ -153,7 +193,10 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 	s.Send(1, 1, Message{Name: 2, Addr: 0, Src: 2, Req: 1, Dst: 0, Acks: -2})
 	s.Deliver(1, 1)
 	enc := s.Encode(nil)
-	dec, rest := Decode(c, enc)
+	dec, rest, err := Decode(c, enc)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(rest) != 0 {
 		t.Fatalf("%d trailing bytes", len(rest))
 	}
@@ -192,8 +235,8 @@ func TestPropEncodeDecode(t *testing.T) {
 			}
 		}
 		enc := s.Encode(nil)
-		dec, rest := Decode(c, enc)
-		return len(rest) == 0 && string(dec.Encode(nil)) == string(enc) &&
+		dec, rest, err := Decode(c, enc)
+		return err == nil && len(rest) == 0 && string(dec.Encode(nil)) == string(enc) &&
 			dec.InFlight() == s.InFlight()
 	}
 	if err := quick.Check(f, nil); err != nil {

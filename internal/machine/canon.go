@@ -1,0 +1,146 @@
+package machine
+
+import (
+	"minvn/internal/icn"
+)
+
+// Canonicalization is the hottest operation in a symmetry-reduced
+// search: every generated successor is re-encoded once per non-trivial
+// cache permutation (5 for the paper's 3-cache config) to find the
+// lexicographically smallest relabeling. The naive form — decode, then
+// clone+encode per permutation — allocates a dozen objects per
+// successor and dominated the checker's allocation profile. This file
+// keeps a pooled scratch (two reusable decoded states and two byte
+// buffers) per concurrent caller, so a Canonicalize call allocates at
+// most once: the final copy of a winning non-identity encoding.
+
+// canonScratch is the per-call reusable working set. It never escapes
+// Canonicalize; the pool makes it safe under the parallel engines'
+// concurrent Canonicalize calls.
+type canonScratch struct {
+	src  *state // decoded input
+	tmp  *state // relabeled candidate, rebuilt per permutation
+	buf  []byte // candidate encoding
+	best []byte // best non-identity encoding so far
+}
+
+// Canonicalize implements symmetry reduction: among all relabelings of
+// the (identical) caches, pick the lexicographically smallest
+// encoding. Directories are distinguished by their address ranges and
+// are not permuted. Equivalent to encoding applyPerm for every
+// permutation (the reference the tests compare against) but
+// allocation-free apart from the final copy.
+func (s *System) Canonicalize(raw []byte) []byte {
+	if len(s.perms) <= 1 {
+		return raw
+	}
+	sc := s.canonPool.Get().(*canonScratch)
+	if sc.src == nil {
+		sc.src = s.newState()
+		sc.tmp = s.newState()
+	}
+	s.decodeInto(sc.src, raw)
+	best := raw
+	changed := false
+	for _, perm := range s.perms[1:] { // perms[0] is identity
+		s.permuteInto(sc.tmp, sc.src, perm)
+		sc.buf = s.appendEncode(sc.buf[:0], sc.tmp)
+		if string(sc.buf) < string(best) {
+			// The candidate buffer becomes the best; swap so the next
+			// candidate doesn't overwrite it.
+			sc.best, sc.buf = sc.buf, sc.best
+			best = sc.best
+			changed = true
+		}
+	}
+	if changed {
+		// best aliases pooled scratch; copy before releasing it.
+		best = append([]byte(nil), best...)
+	}
+	s.canonPool.Put(sc)
+	return best
+}
+
+// decodeInto is decode into a reusable scratch state (same panics on
+// corrupt input; see decode).
+func (s *System) decodeInto(st *state, raw []byte) {
+	i := 0
+	for c := 0; c < s.cfg.Caches; c++ {
+		for a := 0; a < s.cfg.Addrs; a++ {
+			st.cache[c][a] = cacheEntry{raw[i], bInt8(raw[i+1]), raw[i+2], bInt8(raw[i+3])}
+			i += 4
+		}
+	}
+	for a := 0; a < s.cfg.Addrs; a++ {
+		st.dir[a] = dirEntry{raw[i], raw[i+1], raw[i+2], bInt8(raw[i+3])}
+		i += 4
+	}
+	rest, err := icn.DecodeInto(s.net, st.net, raw[i:])
+	if err != nil {
+		panic("machine: corrupt network state: " + err.Error())
+	}
+	if len(rest) != 0 {
+		panic("machine: trailing bytes after network state")
+	}
+}
+
+// permuteInto rewrites dst to be st relabeled under perm, reusing
+// dst's storage. dst and st must not share storage. Semantics match
+// applyPerm exactly.
+func (s *System) permuteInto(dst, st *state, perm []int) {
+	for c := range st.cache {
+		copy(dst.cache[perm[c]], st.cache[c])
+	}
+	for c := range dst.cache {
+		for a := range dst.cache[c] {
+			e := &dst.cache[c][a]
+			if e.saved != 0 {
+				e.saved = permuteEndpoint(perm, e.saved-1) + 1
+			}
+		}
+	}
+	copy(dst.dir, st.dir)
+	for a := range dst.dir {
+		e := &dst.dir[a]
+		if e.owner != 0 {
+			e.owner = permuteEndpoint(perm, e.owner-1) + 1
+		}
+		var sh uint8
+		for c := 0; c < s.cfg.Caches; c++ {
+			if e.sharers&(1<<uint(c)) != 0 {
+				sh |= 1 << uint(perm[c])
+			}
+		}
+		e.sharers = sh
+	}
+	permMsg := func(m icn.Message) icn.Message {
+		m.Src = permuteEndpoint(perm, m.Src)
+		m.Req = permuteEndpoint(perm, m.Req)
+		m.Dst = permuteEndpoint(perm, m.Dst)
+		return m
+	}
+	for vn := range st.net.Global {
+		for b := 0; b < 2; b++ {
+			q := append(dst.net.Global[vn][b][:0], st.net.Global[vn][b]...)
+			for i := range q {
+				q[i] = permMsg(q[i])
+			}
+			dst.net.Global[vn][b] = q
+		}
+	}
+	// Local FIFOs move with their endpoints: cache c's queues become
+	// cache perm[c]'s queues; directories are fixed points.
+	for e := range st.net.Local {
+		target := e
+		if e < len(perm) {
+			target = perm[e]
+		}
+		for vn := range st.net.Local[e] {
+			q := append(dst.net.Local[target][vn][:0], st.net.Local[e][vn]...)
+			for i := range q {
+				q[i] = permMsg(q[i])
+			}
+			dst.net.Local[target][vn] = q
+		}
+	}
+}

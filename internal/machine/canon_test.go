@@ -1,0 +1,101 @@
+package machine
+
+import (
+	"sync"
+	"testing"
+
+	"minvn/internal/protocols"
+)
+
+// referenceCanonicalize is the naive allocating form: the minimum of
+// encode(applyPerm(st, p)) over all cache permutations.
+func referenceCanonicalize(s *System, raw []byte) []byte {
+	if len(s.perms) <= 1 {
+		return raw
+	}
+	st := s.decode(raw)
+	best := raw
+	for _, perm := range s.perms[1:] {
+		cand := s.encode(s.applyPerm(st, perm))
+		if string(cand) < string(best) {
+			best = cand
+		}
+	}
+	return best
+}
+
+func canonSystem(t *testing.T) *System {
+	t.Helper()
+	p := protocols.MustLoad("MSI_nonblocking_cache")
+	vn, n := PerMessageVN(p)
+	sys, err := New(Config{Protocol: p, Caches: 3, Dirs: 2, Addrs: 2, VN: vn, NumVNs: n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+// TestCanonicalizeMatchesReference pins the pooled scratch
+// canonicalizer against the reference implementation on a spread of
+// reachable states, and checks idempotence.
+func TestCanonicalizeMatchesReference(t *testing.T) {
+	sys := canonSystem(t)
+	states := walkStates(sys, 400)
+	for i, raw := range states {
+		got := sys.Canonicalize(raw)
+		want := referenceCanonicalize(sys, raw)
+		if string(got) != string(want) {
+			t.Fatalf("state %d: canonical forms diverge\n got  %x\n want %x", i, got, want)
+		}
+		if again := sys.Canonicalize(got); string(again) != string(got) {
+			t.Fatalf("state %d: canonicalization not idempotent", i)
+		}
+	}
+}
+
+// TestCanonicalizeConcurrent exercises the scratch pool from many
+// goroutines (meaningful under -race).
+func TestCanonicalizeConcurrent(t *testing.T) {
+	sys := canonSystem(t)
+	states := walkStates(sys, 100)
+	want := make([][]byte, len(states))
+	for i, raw := range states {
+		want[i] = sys.Canonicalize(raw)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i, raw := range states {
+				if got := sys.Canonicalize(raw); string(got) != string(want[i]) {
+					t.Errorf("state %d: concurrent canonicalization diverged", i)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// walkStates collects distinct states along random walks, giving the
+// canonicalizer non-trivial network contents to chew on.
+func walkStates(sys *System, n int) [][]byte {
+	seen := map[string]bool{}
+	var out [][]byte
+	for seed := int64(0); len(out) < n && seed < 50; seed++ {
+		cur := sys.Initial()[0]
+		for step := 0; step < 40 && len(out) < n; step++ {
+			if !seen[string(cur)] {
+				seen[string(cur)] = true
+				out = append(out, cur)
+			}
+			succs, err := sys.Successors(cur)
+			if err != nil || len(succs) == 0 {
+				break
+			}
+			cur = succs[int(seed+int64(step*7))%len(succs)]
+		}
+	}
+	return out
+}

@@ -10,6 +10,7 @@ package machine
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"minvn/internal/icn"
 	"minvn/internal/protocol"
@@ -74,6 +75,9 @@ type System struct {
 	endpoints int
 	net       icn.Config
 	perms     [][]int // cache permutations for symmetry reduction
+	// canonPool recycles the canonicalizer's scratch states and
+	// buffers across (possibly concurrent) Canonicalize calls.
+	canonPool sync.Pool
 }
 
 // New validates cfg and builds a system.
@@ -151,6 +155,7 @@ func New(cfg Config) (*System, error) {
 	if !cfg.NoSymmetry {
 		s.perms = permutations(cfg.Caches)
 	}
+	s.canonPool.New = func() any { return &canonScratch{} }
 	return s, nil
 }
 
@@ -225,7 +230,13 @@ func bInt8(b byte) int8 { return int8(b - 128) }
 // and trace storage.
 func (s *System) encode(st *state) []byte {
 	size := len(st.cache)*s.cfg.Addrs*4 + s.cfg.Addrs*4
-	out := make([]byte, 0, size+64)
+	return s.appendEncode(make([]byte, 0, size+64), st)
+}
+
+// appendEncode appends st's encoding to out, reusing out's capacity —
+// the allocation-free form the canonicalizer and the parallel engines
+// lean on when scoring many candidate encodings per successor.
+func (s *System) appendEncode(out []byte, st *state) []byte {
 	for _, row := range st.cache {
 		for _, e := range row {
 			out = append(out, e.state, int8b(e.acks), e.saved, int8b(e.savedAcks))
@@ -237,13 +248,20 @@ func (s *System) encode(st *state) []byte {
 	return st.net.Encode(out)
 }
 
-// decode is the inverse of encode.
+// decode is the inverse of encode. It only ever sees bytes produced by
+// encode (model-checker states feed back into Successors), so a decode
+// failure is a programming bug, not an input condition — it panics with
+// the codec error rather than returning one through every caller.
 func (s *System) decode(raw []byte) *state {
 	st := &state{
 		cache: make([][]cacheEntry, s.cfg.Caches),
 		dir:   make([]dirEntry, s.cfg.Addrs),
 	}
 	i := 0
+	if len(raw) < (s.cfg.Caches+1)*s.cfg.Addrs*4 {
+		panic(fmt.Sprintf("machine: state truncated: %d bytes for %d controllers",
+			len(raw), s.cfg.Caches+1))
+	}
 	for c := 0; c < s.cfg.Caches; c++ {
 		st.cache[c] = make([]cacheEntry, s.cfg.Addrs)
 		for a := 0; a < s.cfg.Addrs; a++ {
@@ -255,7 +273,14 @@ func (s *System) decode(raw []byte) *state {
 		st.dir[a] = dirEntry{raw[i], raw[i+1], raw[i+2], bInt8(raw[i+3])}
 		i += 4
 	}
-	st.net, _ = icn.Decode(s.net, raw[i:])
+	net, rest, err := icn.Decode(s.net, raw[i:])
+	if err != nil {
+		panic(fmt.Sprintf("machine: corrupt network state: %v", err))
+	}
+	if len(rest) != 0 {
+		panic(fmt.Sprintf("machine: %d trailing bytes after network state", len(rest)))
+	}
+	st.net = net
 	return st
 }
 
@@ -291,24 +316,9 @@ func permuteEndpoint(perm []int, e uint8) uint8 {
 	return e
 }
 
-// Canonicalize implements symmetry reduction: among all relabelings of
-// the (identical) caches, pick the lexicographically smallest
-// encoding. Directories are distinguished by their address ranges and
-// are not permuted.
-func (s *System) Canonicalize(raw []byte) []byte {
-	if len(s.perms) <= 1 {
-		return raw
-	}
-	st := s.decode(raw)
-	best := raw
-	for _, perm := range s.perms[1:] { // perms[0] is identity
-		cand := s.encode(s.applyPerm(st, perm))
-		if string(cand) < string(best) {
-			best = cand
-		}
-	}
-	return best
-}
+// Canonicalize lives in canon.go (pooled, allocation-free scratch);
+// applyPerm below is its allocating reference implementation, kept for
+// the equivalence tests that pin the two against each other.
 
 func (s *System) applyPerm(st *state, perm []int) *state {
 	out := st.clone()

@@ -1,0 +1,70 @@
+package mc
+
+import "fmt"
+
+// Engine selects which search implementation runs a model. All engines
+// produce identical results on identical inputs; they differ only in
+// throughput and memory footprint, so the choice is an operational one.
+type Engine int
+
+const (
+	// EngineAuto picks sequential for one worker and pipelined
+	// otherwise.
+	EngineAuto Engine = iota
+	// EngineSeq is the sequential reference engine (Check).
+	EngineSeq
+	// EngineLevels is the level-barrier parallel engine
+	// (CheckParallel), kept as the parity oracle.
+	EngineLevels
+	// EnginePipeline is the pipelined parallel engine with the sharded
+	// fingerprint visited set (CheckPipelined).
+	EnginePipeline
+)
+
+func (e Engine) String() string {
+	switch e {
+	case EngineAuto:
+		return "auto"
+	case EngineSeq:
+		return "seq"
+	case EngineLevels:
+		return "levels"
+	case EnginePipeline:
+		return "pipeline"
+	}
+	return fmt.Sprintf("Engine(%d)", int(e))
+}
+
+// ParseEngine maps a CLI flag value to an Engine.
+func ParseEngine(s string) (Engine, error) {
+	switch s {
+	case "", "auto":
+		return EngineAuto, nil
+	case "seq", "sequential":
+		return EngineSeq, nil
+	case "levels", "parallel":
+		return EngineLevels, nil
+	case "pipeline", "pipelined":
+		return EnginePipeline, nil
+	}
+	return EngineAuto, fmt.Errorf("unknown engine %q (want auto, seq, levels, or pipeline)", s)
+}
+
+// CheckEngine dispatches to the selected engine. workers and shards
+// are ignored where they do not apply (workers by EngineSeq, shards by
+// everything but the pipeline). DFS always runs sequentially.
+func CheckEngine(m Model, opts Options, engine Engine, workers, shards int) Result {
+	switch engine {
+	case EngineSeq:
+		return Check(m, opts)
+	case EngineLevels:
+		return CheckParallel(m, opts, workers)
+	case EnginePipeline:
+		return CheckPipelined(m, opts, workers, shards)
+	default:
+		if workers == 1 {
+			return Check(m, opts)
+		}
+		return CheckPipelined(m, opts, workers, shards)
+	}
+}

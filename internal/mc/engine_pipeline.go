@@ -1,0 +1,349 @@
+package mc
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+)
+
+// Pipelined parallel breadth-first search.
+//
+// The level-parallel engine (parallel.go) stalls every worker at each
+// depth boundary: the whole frontier must finish expanding before the
+// single-threaded merge starts, and the merge must finish before the
+// next level begins. This engine removes the barrier. Workers pull
+// batches of stored-but-unexpanded states from a shared work channel
+// and run the expensive per-state work — Successors, canonicalization,
+// fingerprinting, and a read-only duplicate probe against the sharded
+// visited set — while a single merge loop consumes the expansion
+// results strictly in storage order through a reorder buffer. States
+// at depth d+1 are being expanded while depth-d results are still
+// merging, so expansion never waits on a depth boundary.
+//
+// Determinism: because successor computation is a pure function of the
+// state, farming it out does not change what the merge sees, and the
+// in-order merge performs exactly the sequential engine's loop —
+// same visited-set probe order, same storage order, same bound checks,
+// same first-violation-by-depth (BFS order is depth order, and the
+// merge order is BFS order, so whichever worker finds a bad state
+// first, the *reported* one is the one the sequential engine would
+// report). Outcome, States, Rules, MaxDepth, traces, and the telemetry
+// counters are bit-identical to Check for every model and bound,
+// including early-terminating runs. Speculative expansions past a
+// termination point are simply discarded.
+
+// pipelineBatch is the number of states per work/result message;
+// batching amortizes channel operations against Successors calls.
+const pipelineBatch = 16
+
+// pwork is one state handed to a worker for expansion.
+type pwork struct {
+	id    int32
+	state []byte
+}
+
+// psucc is one generated successor, pre-digested by a worker.
+type psucc struct {
+	state []byte // nil when the worker probe already proved it a duplicate
+	ckey  []byte // canonical bytes (aliases state without a Canonicalizer)
+	fp    uint64
+	rule  string // rule name (NamedModels only)
+	dup   bool
+}
+
+// pexp is one state's expansion result.
+type pexp struct {
+	id       int32
+	state    []byte // the expanded state, for traces on terminal outcomes
+	err      error
+	deadlock bool
+	succs    []psucc
+}
+
+// CheckPipelined runs Check's BFS with a pipelined worker pool and a
+// sharded fingerprint visited set. workers <= 0 picks GOMAXPROCS;
+// shards <= 0 picks DefaultShards. DFS and single-worker runs fall
+// back to the sequential engine (results are identical either way —
+// that is the point).
+func CheckPipelined(m Model, opts Options, workers, shards int) Result {
+	opts = opts.normalized()
+	if opts.Strategy == DFS {
+		return Check(m, opts)
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers == 1 {
+		return Check(m, opts)
+	}
+
+	start := time.Now()
+	canon, _ := m.(Canonicalizer)
+	named, _ := m.(NamedModel)
+	tr := newTracker(opts, start, named != nil)
+	set := newShardedSet(shards)
+
+	var (
+		nodes []node
+		res   Result
+	)
+
+	// push is the authoritative store, called only from the merge loop
+	// (this goroutine) in storage order — ids are assigned exactly as
+	// the sequential engine would assign them.
+	push := func(s, ckey []byte, fp uint64, parent, depth int32) (int32, bool) {
+		id := int32(len(nodes))
+		if got, fresh := set.insert(fp, ckey, id); !fresh {
+			tr.recordProbe(depth, false)
+			return got, false
+		}
+		tr.recordProbe(depth, true)
+		// The state is retained until dispatch (workers need it) and,
+		// when traces are enabled, for counterexample reconstruction.
+		nodes = append(nodes, node{state: s, parent: parent, depth: depth})
+		if int(depth) > res.MaxDepth {
+			res.MaxDepth = int(depth)
+		}
+		return id, true
+	}
+
+	trace := func(id int32, last []byte) [][]byte {
+		if opts.DisableTraces {
+			return [][]byte{last}
+		}
+		var rev [][]byte
+		for cur := id; cur >= 0; cur = nodes[cur].parent {
+			rev = append(rev, nodes[cur].state)
+		}
+		out := make([][]byte, 0, len(rev))
+		for i := len(rev) - 1; i >= 0; i-- {
+			out = append(out, rev[i])
+		}
+		return out
+	}
+
+	finish := func(o Outcome) Result {
+		res.Outcome = o
+		res.States = len(nodes)
+		res.Duration = time.Since(start)
+		res.Stats = tr.finish(res.States, res.MaxDepth, res.Rules)
+		return res
+	}
+
+	canonKey := func(s []byte) []byte {
+		if canon != nil {
+			return canon.Canonicalize(s)
+		}
+		return s
+	}
+
+	bounded := false
+	for _, s := range m.Initial() {
+		if opts.MaxStates > 0 && len(nodes) >= opts.MaxStates {
+			bounded = true
+			break
+		}
+		ck := canonKey(s)
+		push(s, ck, fingerprint(ck), -1, 0)
+	}
+
+	quit := make(chan struct{})
+	defer close(quit)
+	workCh := make(chan []pwork, workers)
+	resCh := make(chan []pexp, workers)
+
+	expandOne := func(w pwork) pexp {
+		var succs [][]byte
+		var ruleNames []string
+		var err error
+		if named != nil {
+			succs, ruleNames, err = named.SuccessorsNamed(w.state)
+		} else {
+			succs, err = m.Successors(w.state)
+		}
+		if err != nil {
+			return pexp{id: w.id, state: w.state, err: err}
+		}
+		e := pexp{
+			id:       w.id,
+			state:    w.state,
+			deadlock: len(succs) == 0 && !m.Quiescent(w.state),
+			succs:    make([]psucc, len(succs)),
+		}
+		for i, s := range succs {
+			var rule string
+			if named != nil {
+				rule = ruleNames[i]
+			}
+			ck := canonKey(s)
+			fp := fingerprint(ck)
+			// The set only grows, so a probe hit is conclusive: the
+			// merge need not ship or re-hash this state's bytes.
+			if _, hit := set.probe(fp, ck); hit {
+				e.succs[i] = psucc{fp: fp, rule: rule, dup: true}
+				continue
+			}
+			e.succs[i] = psucc{state: s, ckey: ck, fp: fp, rule: rule}
+		}
+		return e
+	}
+
+	for w := 0; w < workers; w++ {
+		go func() {
+			for {
+				select {
+				case <-quit:
+					return
+				case batch := <-workCh:
+					out := make([]pexp, 0, len(batch))
+					for _, w := range batch {
+						out = append(out, expandOne(w))
+					}
+					select {
+					case resCh <- out:
+					case <-quit:
+						return
+					}
+				}
+			}
+		}()
+	}
+
+	// maxWindow bounds how far dispatch may run ahead of the merge, so
+	// the reorder buffer (and the successor batches parked in it) stays
+	// a small multiple of the worker pool rather than the frontier.
+	maxWindow := workers * pipelineBatch * 4
+	if maxWindow < 64 {
+		maxWindow = 64
+	}
+
+	var (
+		reorder      = make(map[int32]pexp)
+		nextMerge    = 0 // next node id to merge, in storage order
+		nextDispatch = 0 // next node id to hand to a worker
+		outstanding  = 0 // dispatched states whose results have not arrived
+		popped       = 0 // merge-order counterpart of the sequential pop count
+		pending      []pwork
+	)
+
+	// nextBatch claims up to pipelineBatch dispatchable states.
+	// Depth-bounded states are skipped here and settled inline by the
+	// merge — the sequential engine never expands them either.
+	nextBatch := func() []pwork {
+		if nextDispatch-nextMerge >= maxWindow {
+			return nil
+		}
+		var batch []pwork
+		for nextDispatch < len(nodes) && len(batch) < pipelineBatch {
+			n := &nodes[nextDispatch]
+			if opts.MaxDepth > 0 && int(n.depth) >= opts.MaxDepth {
+				nextDispatch++
+				continue
+			}
+			batch = append(batch, pwork{id: int32(nextDispatch), state: n.state})
+			if opts.DisableTraces {
+				n.state = nil // ownership moves to the work item
+			}
+			nextDispatch++
+		}
+		return batch
+	}
+
+	for {
+		// Merge every result that is ready, strictly in storage order —
+		// this loop is the sequential engine's loop verbatim, with the
+		// expansion read from the reorder buffer instead of computed.
+		for nextMerge < len(nodes) {
+			if opts.MaxStates > 0 && len(nodes) >= opts.MaxStates {
+				bounded = true
+				return finish(Bounded)
+			}
+			id := int32(nextMerge)
+			depth := nodes[nextMerge].depth
+			if opts.MaxDepth > 0 && int(depth) >= opts.MaxDepth {
+				bounded = true
+				popped++
+				nextMerge++
+				continue
+			}
+			e, ok := reorder[id]
+			if !ok {
+				break // the expansion for the next id has not arrived yet
+			}
+			delete(reorder, id)
+			popped++
+			res.Rules++
+			if e.err != nil {
+				res.Message = e.err.Error()
+				res.Trace = trace(id, e.state)
+				return finish(Violation)
+			}
+			if e.deadlock {
+				res.Message = "no enabled rule in non-quiescent state"
+				res.Trace = trace(id, e.state)
+				return finish(Deadlock)
+			}
+			tr.generated.Add(int64(len(e.succs)))
+			for _, sc := range e.succs {
+				if named != nil {
+					tr.fire(sc.rule)
+				}
+				if sc.dup {
+					tr.recordProbe(depth+1, false)
+					continue
+				}
+				_, fresh := push(sc.state, sc.ckey, sc.fp, id, depth+1)
+				if !fresh {
+					continue
+				}
+				if opts.MaxStates > 0 && len(nodes) >= opts.MaxStates {
+					bounded = true
+					break // the pre-merge check above ends the search
+				}
+			}
+			nextMerge++
+			tr.maybeProgress(len(nodes), len(nodes)-popped, res.MaxDepth, res.Rules)
+		}
+
+		if nextMerge == len(nodes) {
+			// Everything stored has been merged; nothing can be in
+			// flight (in-flight ids are always unmerged).
+			break
+		}
+
+		if pending == nil {
+			if b := nextBatch(); len(b) > 0 {
+				pending = b
+			}
+		}
+		if pending != nil {
+			select {
+			case workCh <- pending:
+				outstanding += len(pending)
+				pending = nil
+			case rb := <-resCh:
+				outstanding -= len(rb)
+				for _, e := range rb {
+					reorder[e.id] = e
+				}
+			}
+		} else {
+			// The merge is blocked on an expansion that must already be
+			// in flight: everything before it was dispatched (no batch
+			// is claimable) and it is not in the reorder buffer.
+			if outstanding == 0 {
+				panic(fmt.Sprintf("mc: pipeline stalled at id %d with no work in flight", nextMerge))
+			}
+			rb := <-resCh
+			outstanding -= len(rb)
+			for _, e := range rb {
+				reorder[e.id] = e
+			}
+		}
+	}
+
+	if bounded {
+		return finish(Bounded)
+	}
+	return finish(Complete)
+}

@@ -6,11 +6,19 @@ import (
 	"time"
 )
 
-// Parallel breadth-first search: each BFS level is expanded by a pool
-// of workers (Successors calls dominate the cost), then merged
+// Level-parallel breadth-first search: each BFS level is expanded by a
+// pool of workers (Successors calls dominate the cost), then merged
 // single-threaded in frontier order. The merge order makes the search
 // fully deterministic: states, depths, counterexamples, and outcomes
 // are identical for any worker count, including 1.
+//
+// This engine is kept as the parity oracle for the pipelined engine
+// (engine_pipeline.go), which subsumes it for throughput: the
+// per-level barrier here idles the pool at every depth boundary, and
+// the map[string]int32 visited set pays a string header per stored
+// state. The three-way agreement Check == CheckParallel ==
+// CheckPipelined pinned by the parity tests is what lets any one
+// engine's bug surface as a diff instead of silently shipping.
 //
 // Only BFS parallelizes this way — depth-first order is inherently
 // sequential — so Options.Workers is ignored for DFS.
@@ -165,11 +173,15 @@ func CheckParallel(m Model, opts Options, workers int) Result {
 			}(lo, hi)
 		}
 		wg.Wait()
-		res.Rules += len(frontier)
 
-		// Merge in frontier order for determinism.
+		// Merge in frontier order for determinism. Rules counts per
+		// merged entry, not per level: when the merge stops early (a
+		// violation, deadlock, or state bound at entry i), the
+		// sequential engine would only have expanded entries 0..i, and
+		// the speculative expansions past that point must not count.
 		var next []work
 		for i, e := range exps {
+			res.Rules++
 			if e.err != nil {
 				res.Message = e.err.Error()
 				res.Trace = trace(frontier[i].id, frontier[i].state)

@@ -1,10 +1,13 @@
 package mc_test
 
-// Parity suite: the level-parallel engine must agree with the
-// sequential engine on every protocol configuration the repo's tests
-// exercise — same Outcome, same stored-state count, same depth — for
-// unbounded, state-bounded, and depth-bounded runs, with and without
-// traces, and with progress callbacks enabled (exercised under -race).
+// Parity suite: both parallel engines — the level-barrier oracle and
+// the pipelined engine — must agree with the sequential engine on
+// every protocol configuration the repo's tests exercise: same
+// Outcome, same stored-state count, same depth, same expansion (Rules)
+// count, for unbounded, state-bounded, and depth-bounded runs, with
+// and without traces, and with progress callbacks enabled (exercised
+// under -race). Rules equality matters on early-terminating runs in
+// particular: the level engine once charged whole levels up front.
 
 import (
 	"testing"
@@ -78,21 +81,30 @@ func TestParallelParityProtocols(t *testing.T) {
 			popts.Progress = func(mc.Snapshot) { snaps++ }
 			popts.ProgressEvery = 500
 			par := mc.CheckParallel(sys, popts, 4)
+			pip := mc.CheckPipelined(sys, popts, 4, 0)
 
-			if seq.Outcome != par.Outcome {
-				t.Fatalf("outcome: seq %v vs par %v", seq.Outcome, par.Outcome)
-			}
-			if seq.States != par.States {
-				t.Fatalf("states: seq %d vs par %d", seq.States, par.States)
-			}
-			if seq.MaxDepth != par.MaxDepth {
-				t.Fatalf("depth: seq %d vs par %d", seq.MaxDepth, par.MaxDepth)
+			for _, eng := range []struct {
+				name string
+				res  mc.Result
+			}{{"levels", par}, {"pipeline", pip}} {
+				if seq.Outcome != eng.res.Outcome {
+					t.Fatalf("%s outcome: seq %v vs %v", eng.name, seq.Outcome, eng.res.Outcome)
+				}
+				if seq.States != eng.res.States {
+					t.Fatalf("%s states: seq %d vs %d", eng.name, seq.States, eng.res.States)
+				}
+				if seq.MaxDepth != eng.res.MaxDepth {
+					t.Fatalf("%s depth: seq %d vs %d", eng.name, seq.MaxDepth, eng.res.MaxDepth)
+				}
+				if seq.Rules != eng.res.Rules {
+					t.Fatalf("%s rules: seq %d vs %d", eng.name, seq.Rules, eng.res.Rules)
+				}
+				if !eng.res.Stats.Final || eng.res.Stats.States != eng.res.States {
+					t.Fatalf("%s Stats inconsistent: %+v", eng.name, eng.res.Stats)
+				}
 			}
 			if snaps == 0 {
-				t.Fatal("parallel run delivered no progress snapshots")
-			}
-			if !par.Stats.Final || par.Stats.States != par.States {
-				t.Fatalf("parallel Stats inconsistent: %+v", par.Stats)
+				t.Fatal("parallel runs delivered no progress snapshots")
 			}
 		})
 	}
@@ -104,11 +116,56 @@ func TestParallelParityComplete(t *testing.T) {
 	sys := paritySystem(t, "MSI_nonblocking_cache", "minimal", 2, 1, 1)
 	opts := mc.Options{MaxStates: 2_000_000, DisableTraces: true}
 	seq := mc.Check(sys, opts)
-	par := mc.CheckParallel(sys, opts, 0) // 0 = GOMAXPROCS
+	par := mc.CheckParallel(sys, opts, 0)     // 0 = GOMAXPROCS
+	pip := mc.CheckPipelined(sys, opts, 0, 0) // 0 workers = GOMAXPROCS, 0 shards = default
 	if seq.Outcome != mc.Complete {
 		t.Fatalf("expected the 2-cache MSI space to be exhaustible, got %v", seq)
 	}
-	if seq.Outcome != par.Outcome || seq.States != par.States || seq.MaxDepth != par.MaxDepth {
+	if seq.Outcome != par.Outcome || seq.States != par.States || seq.MaxDepth != par.MaxDepth || seq.Rules != par.Rules {
 		t.Fatalf("seq %v vs par %v", seq, par)
+	}
+	if seq.Outcome != pip.Outcome || seq.States != pip.States || seq.MaxDepth != pip.MaxDepth || seq.Rules != pip.Rules {
+		t.Fatalf("seq %v vs pipeline %v", seq, pip)
+	}
+}
+
+// TestPipelineParityAllProtocols sweeps every built-in protocol under
+// the per-message assignment (valid for all of them) and requires the
+// pipelined engine to reproduce the sequential run exactly — the
+// reproducibility contract the engine advertises. Bounded prefixes
+// keep the sweep fast; the bound also exercises the early-termination
+// path on every protocol.
+func TestPipelineParityAllProtocols(t *testing.T) {
+	for _, name := range protocols.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			p := protocols.MustLoad(name)
+			vn, n := machine.PerMessageVN(p)
+			sys, err := machine.New(machine.Config{
+				Protocol: p, Caches: 2, Dirs: 1, Addrs: 1, VN: vn, NumVNs: n,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			opts := mc.Options{MaxStates: 1500}
+			seq := mc.Check(sys, opts)
+			pip := mc.CheckPipelined(sys, opts, 4, 8)
+			if seq.Outcome != pip.Outcome || seq.Message != pip.Message {
+				t.Fatalf("outcome: seq %v %q vs pipeline %v %q", seq.Outcome, seq.Message, pip.Outcome, pip.Message)
+			}
+			if seq.States != pip.States || seq.MaxDepth != pip.MaxDepth || seq.Rules != pip.Rules {
+				t.Fatalf("states/depth/rules: seq %d/%d/%d vs pipeline %d/%d/%d",
+					seq.States, seq.MaxDepth, seq.Rules, pip.States, pip.MaxDepth, pip.Rules)
+			}
+			if len(seq.Trace) != len(pip.Trace) {
+				t.Fatalf("trace length: seq %d vs pipeline %d", len(seq.Trace), len(pip.Trace))
+			}
+			for i := range seq.Trace {
+				if string(seq.Trace[i]) != string(pip.Trace[i]) {
+					t.Fatalf("trace diverges at step %d", i)
+				}
+			}
+		})
 	}
 }

@@ -1,0 +1,261 @@
+package mc
+
+import (
+	"fmt"
+	"testing"
+)
+
+// --- sharded visited set ---
+
+func TestShardedSetBasic(t *testing.T) {
+	s := newShardedSet(8)
+	keys := make([][]byte, 200)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("state-%03d", i))
+	}
+	for i, k := range keys {
+		fp := fingerprint(k)
+		if _, hit := s.probe(fp, k); hit {
+			t.Fatalf("key %d present before insert", i)
+		}
+		id, fresh := s.insert(fp, k, int32(i))
+		if !fresh || id != int32(i) {
+			t.Fatalf("insert %d: id=%d fresh=%v", i, id, fresh)
+		}
+	}
+	for i, k := range keys {
+		fp := fingerprint(k)
+		if id, hit := s.probe(fp, k); !hit || id != int32(i) {
+			t.Fatalf("probe %d: id=%d hit=%v", i, id, hit)
+		}
+		// Re-insert must return the original id and report a duplicate.
+		if id, fresh := s.insert(fp, k, int32(1000+i)); fresh || id != int32(i) {
+			t.Fatalf("re-insert %d: id=%d fresh=%v", i, id, fresh)
+		}
+	}
+	if entries, arena := s.stats(); entries != len(keys) || arena == 0 {
+		t.Fatalf("stats: entries=%d arena=%d", entries, arena)
+	}
+}
+
+// TestShardedSetCollisions forces distinct keys through one
+// fingerprint, so the collision chain (not the 64-bit hash) decides
+// membership.
+func TestShardedSetCollisions(t *testing.T) {
+	s := newShardedSet(4)
+	const fp = uint64(0xdeadbeefcafe)
+	keys := [][]byte{[]byte("alpha"), []byte("beta"), []byte("gamma"), []byte("")}
+	for i, k := range keys {
+		if id, fresh := s.insert(fp, k, int32(i)); !fresh || id != int32(i) {
+			t.Fatalf("colliding insert %d: id=%d fresh=%v", i, id, fresh)
+		}
+	}
+	for i, k := range keys {
+		if id, hit := s.probe(fp, k); !hit || id != int32(i) {
+			t.Fatalf("colliding probe %d: id=%d hit=%v", i, id, hit)
+		}
+		if id, fresh := s.insert(fp, k, 99); fresh || id != int32(i) {
+			t.Fatalf("colliding re-insert %d: id=%d fresh=%v", i, id, fresh)
+		}
+	}
+	if _, hit := s.probe(fp, []byte("delta")); hit {
+		t.Fatal("unrelated key matched a collision chain")
+	}
+}
+
+func TestShardedSetShardCount(t *testing.T) {
+	for _, tc := range []struct{ n, want int }{
+		{0, DefaultShards}, {-3, DefaultShards}, {1, 1}, {2, 2}, {3, 4},
+		{64, 64}, {100, 128}, {1 << 20, 1 << 16},
+	} {
+		if got := len(newShardedSet(tc.n).shards); got != tc.want {
+			t.Errorf("newShardedSet(%d): %d shards, want %d", tc.n, got, tc.want)
+		}
+	}
+}
+
+// --- pipelined engine vs sequential, synthetic models ---
+
+// comparePipeline runs both engines and requires full result parity:
+// outcome, message, states, depth, rules, trace, and the telemetry
+// counters the single-threaded merge reproduces exactly.
+func comparePipeline(t *testing.T, name string, m Model, opts Options, workers, shards int) {
+	t.Helper()
+	comparePipelineAgainst(t, name, Check(m, opts), m, opts, workers, shards)
+}
+
+// comparePipelineAgainst is comparePipeline with the sequential result
+// precomputed, so a matrix of pipeline configurations pays for the
+// reference run once.
+func comparePipelineAgainst(t *testing.T, name string, seq Result, m Model, opts Options, workers, shards int) {
+	t.Helper()
+	pip := CheckPipelined(m, opts, workers, shards)
+	if pip.Outcome != seq.Outcome || pip.Message != seq.Message {
+		t.Fatalf("%s: outcome %v %q vs sequential %v %q", name, pip.Outcome, pip.Message, seq.Outcome, seq.Message)
+	}
+	if pip.States != seq.States || pip.MaxDepth != seq.MaxDepth || pip.Rules != seq.Rules {
+		t.Fatalf("%s: states/depth/rules %d/%d/%d vs sequential %d/%d/%d",
+			name, pip.States, pip.MaxDepth, pip.Rules, seq.States, seq.MaxDepth, seq.Rules)
+	}
+	if len(pip.Trace) != len(seq.Trace) {
+		t.Fatalf("%s: trace length %d vs %d", name, len(pip.Trace), len(seq.Trace))
+	}
+	for i := range pip.Trace {
+		if string(pip.Trace[i]) != string(seq.Trace[i]) {
+			t.Fatalf("%s: trace diverges at step %d", name, i)
+		}
+	}
+	if pip.Stats.Expansions != seq.Stats.Expansions ||
+		pip.Stats.Generated != seq.Stats.Generated ||
+		pip.Stats.DedupHits != seq.Stats.DedupHits {
+		t.Fatalf("%s: stats %+v vs sequential %+v", name, pip.Stats, seq.Stats)
+	}
+}
+
+func TestPipelineMatchesSequential(t *testing.T) {
+	models := map[string]Model{
+		"complete":  &counter{n: 5000, branch: true, quiet: 4999, bad: -1, errAt: -1},
+		"deadlock":  &counter{n: 5000, branch: true, quiet: -1, bad: 4999, errAt: -1},
+		"violation": &counter{n: 5000, branch: true, quiet: -1, bad: -1, errAt: 3000},
+		"wide":      &wideModel{levels: 25, width: 1500},
+	}
+	for name, m := range models {
+		seqTraced := Check(m, Options{})
+		seqBare := Check(m, Options{DisableTraces: true})
+		for _, workers := range []int{2, 4, 8} {
+			// shards=1 funnels everything through one stripe; 0 is the
+			// DefaultShards fast path.
+			for _, shards := range []int{1, 0} {
+				tag := fmt.Sprintf("%s/w%d/s%d", name, workers, shards)
+				comparePipelineAgainst(t, tag, seqTraced, m, Options{}, workers, shards)
+				comparePipelineAgainst(t, tag+"/notrace", seqBare, m, Options{DisableTraces: true}, workers, shards)
+			}
+		}
+	}
+}
+
+// TestPipelineBounds covers every early-termination mode: the bound
+// checks live in the merge loop, so speculative worker expansions past
+// the stopping point must not perturb any reported number.
+func TestPipelineBounds(t *testing.T) {
+	m := &counter{n: 100000, branch: true, quiet: -1, bad: -1, errAt: -1}
+	for _, workers := range []int{2, 8} {
+		for _, maxStates := range []int{1, 17, 500, 4096} {
+			comparePipeline(t, fmt.Sprintf("states=%d/w%d", maxStates, workers),
+				m, Options{MaxStates: maxStates, DisableTraces: true}, workers, 0)
+		}
+		for _, maxDepth := range []int{1, 3, 10} {
+			comparePipeline(t, fmt.Sprintf("depth=%d/w%d", maxDepth, workers),
+				m, Options{MaxDepth: maxDepth, DisableTraces: true}, workers, 0)
+		}
+		comparePipeline(t, fmt.Sprintf("both/w%d", workers),
+			m, Options{MaxStates: 700, MaxDepth: 12}, workers, 0)
+	}
+	// A violation discovered near a state bound: whichever limit the
+	// sequential engine hits first, the pipeline must report the same.
+	v := &counter{n: 100000, branch: true, quiet: -1, bad: -1, errAt: 900}
+	comparePipeline(t, "violation-near-bound", v, Options{MaxStates: 1000}, 4, 0)
+	comparePipeline(t, "bound-before-violation", v, Options{MaxStates: 200}, 4, 0)
+}
+
+func TestPipelineDFSFallsBack(t *testing.T) {
+	m := &counter{n: 300, quiet: -1, bad: 299, errAt: -1}
+	res := CheckPipelined(m, Options{Strategy: DFS}, 8, 0)
+	if res.Outcome != Deadlock {
+		t.Fatalf("res = %v", res)
+	}
+}
+
+// TestPipelineRulesCountOnEarlyTermination pins the Rules counter the
+// level engine used to overcount: on a violation run, Rules is the
+// number of states actually expanded in BFS order, not the size of the
+// last frontier touched.
+func TestPipelineRulesCountOnEarlyTermination(t *testing.T) {
+	m := &counter{n: 5000, branch: true, quiet: -1, bad: -1, errAt: 3000}
+	seq := Check(m, Options{})
+	if seq.Outcome != Violation {
+		t.Fatalf("seq = %v", seq)
+	}
+	for _, workers := range []int{2, 4, 8} {
+		if lev := CheckParallel(m, Options{}, workers); lev.Rules != seq.Rules {
+			t.Errorf("levels workers=%d: Rules %d vs sequential %d", workers, lev.Rules, seq.Rules)
+		}
+		if pip := CheckPipelined(m, Options{}, workers, 0); pip.Rules != seq.Rules {
+			t.Errorf("pipeline workers=%d: Rules %d vs sequential %d", workers, pip.Rules, seq.Rules)
+		}
+	}
+}
+
+// TestPipelineProgress: the progress callback fires from the merge
+// goroutine with coherent snapshots (frontier accounting must match
+// the sequential queue-length definition).
+func TestPipelineProgress(t *testing.T) {
+	m := &counter{n: 20000, branch: true, quiet: 19999, bad: -1, errAt: -1}
+	snaps := 0
+	opts := Options{
+		DisableTraces: true,
+		ProgressEvery: 500,
+		Progress: func(s Snapshot) {
+			snaps++
+			if s.States < 0 || s.Frontier < 0 || s.Frontier > s.States {
+				t.Errorf("incoherent snapshot: %+v", s)
+			}
+		},
+	}
+	res := CheckPipelined(m, opts, 4, 0)
+	if res.Outcome != Complete {
+		t.Fatalf("res = %v", res)
+	}
+	if snaps == 0 {
+		t.Fatal("no progress snapshots delivered")
+	}
+}
+
+func TestCheckEngineDispatch(t *testing.T) {
+	m := &counter{n: 2000, branch: true, quiet: 1999, bad: -1, errAt: -1}
+	seq := Check(m, Options{})
+	for _, e := range []Engine{EngineAuto, EngineSeq, EngineLevels, EnginePipeline} {
+		res := CheckEngine(m, Options{}, e, 4, 0)
+		if res.Outcome != seq.Outcome || res.States != seq.States || res.Rules != seq.Rules {
+			t.Errorf("engine %v: %v vs sequential %v", e, res, seq)
+		}
+	}
+	if got := CheckEngine(m, Options{}, EngineAuto, 1, 0); got.States != seq.States {
+		t.Errorf("auto single-worker: %v", got)
+	}
+}
+
+func TestParseEngine(t *testing.T) {
+	for s, want := range map[string]Engine{
+		"": EngineAuto, "auto": EngineAuto, "seq": EngineSeq, "sequential": EngineSeq,
+		"levels": EngineLevels, "parallel": EngineLevels,
+		"pipeline": EnginePipeline, "pipelined": EnginePipeline,
+	} {
+		got, err := ParseEngine(s)
+		if err != nil || got != want {
+			t.Errorf("ParseEngine(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseEngine("bogus"); err == nil {
+		t.Error("ParseEngine accepted a bogus engine name")
+	}
+}
+
+// BenchmarkCheckPipelined measures the pipelined engine on the same
+// synthetic model as BenchmarkCheckThroughput, at several worker
+// counts, for side-by-side comparison.
+func BenchmarkCheckPipelined(b *testing.B) {
+	for _, workers := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			m := &counter{n: 50_000, branch: true, quiet: 49_999, bad: -1, errAt: -1}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res := CheckPipelined(m, Options{DisableTraces: true}, workers, 0)
+				if res.Outcome != Complete {
+					b.Fatal(res)
+				}
+			}
+			b.ReportMetric(50_000, "states")
+		})
+	}
+}

@@ -1,0 +1,147 @@
+package mc
+
+import (
+	"sync"
+)
+
+// The visited set is the model checker's dominant memory consumer: the
+// original engines keyed a single map[string]int32 by the full
+// canonical state bytes, paying a string header, map bucket, and hash
+// of the whole state per stored state — the storage pressure that
+// forces explicit-state tools onto big-memory servers. shardedSet
+// replaces it with N lock-striped shards keyed by a 64-bit FNV-1a
+// fingerprint. Each shard holds a compact map[uint64]int32 into an
+// entry arena, and keeps the full canonical bytes in one contiguous
+// per-shard byte arena used only to verify (and chain past) the rare
+// fingerprint collisions — correctness never rests on 64-bit hashes
+// alone.
+//
+// Concurrency contract: probe takes a read lock and may run from any
+// number of worker goroutines; insert takes a write lock and, in the
+// pipelined engine, is only ever called by the single merge goroutine.
+// Entries are never removed, so a successful probe is stable: a state
+// seen in the set stays in the set.
+
+// DefaultShards is the shard count the engines use when the caller
+// passes 0. Striping only has to out-provision the worker count; 64
+// keeps per-shard maps dense at paper-scale state counts.
+const DefaultShards = 64
+
+// fingerprint is FNV-1a over the canonical state bytes.
+func fingerprint(b []byte) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= prime64
+	}
+	return h
+}
+
+// setEntry is one stored state: its node id plus the location of its
+// canonical bytes in the shard arena, chained on fingerprint collision.
+type setEntry struct {
+	id   int32
+	next int32 // index of the next entry with the same fingerprint, -1 = none
+	off  uint32
+	n    uint32
+}
+
+type setShard struct {
+	mu      sync.RWMutex
+	m       map[uint64]int32 // fingerprint → index of chain head in entries
+	entries []setEntry
+	arena   []byte // canonical state bytes, contiguous
+}
+
+type shardedSet struct {
+	shards []setShard
+	mask   uint64
+}
+
+// newShardedSet builds a set with n shards, rounded up to a power of
+// two and clamped to [1, 1<<16]. n <= 0 selects DefaultShards.
+func newShardedSet(n int) *shardedSet {
+	if n <= 0 {
+		n = DefaultShards
+	}
+	if n > 1<<16 {
+		n = 1 << 16
+	}
+	size := 1
+	for size < n {
+		size <<= 1
+	}
+	s := &shardedSet{shards: make([]setShard, size), mask: uint64(size - 1)}
+	for i := range s.shards {
+		s.shards[i].m = make(map[uint64]int32)
+	}
+	return s
+}
+
+// shardFor picks the stripe. The shard index mixes in the high bits so
+// it stays independent of the map's use of the low bits.
+func (s *shardedSet) shardFor(fp uint64) *setShard {
+	return &s.shards[(fp^(fp>>32))&s.mask]
+}
+
+// probe reports whether key (with fingerprint fp) is already stored,
+// returning its node id. Read-only; safe from any goroutine.
+func (s *shardedSet) probe(fp uint64, key []byte) (int32, bool) {
+	sh := s.shardFor(fp)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	idx, ok := sh.m[fp]
+	for ok {
+		e := &sh.entries[idx]
+		if string(sh.arena[e.off:e.off+e.n]) == string(key) {
+			return e.id, true
+		}
+		idx = e.next
+		ok = idx >= 0
+	}
+	return 0, false
+}
+
+// insert stores key with node id unless an equal key is present,
+// returning the surviving id and whether the insert was fresh.
+func (s *shardedSet) insert(fp uint64, key []byte, id int32) (int32, bool) {
+	sh := s.shardFor(fp)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	head, collision := sh.m[fp]
+	idx, ok := head, collision
+	for ok {
+		e := &sh.entries[idx]
+		if string(sh.arena[e.off:e.off+e.n]) == string(key) {
+			return e.id, false
+		}
+		idx = e.next
+		ok = idx >= 0
+	}
+	off := uint32(len(sh.arena))
+	sh.arena = append(sh.arena, key...)
+	next := int32(-1)
+	if collision {
+		next = head
+	}
+	sh.entries = append(sh.entries, setEntry{id: id, next: next, off: off, n: uint32(len(key))})
+	sh.m[fp] = int32(len(sh.entries) - 1)
+	return id, true
+}
+
+// stats reports the stored entry count and the canonical-bytes arena
+// footprint across all shards, for telemetry.
+func (s *shardedSet) stats() (entries int, arenaBytes int) {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		entries += len(sh.entries)
+		arenaBytes += len(sh.arena)
+		sh.mu.RUnlock()
+	}
+	return entries, arenaBytes
+}
