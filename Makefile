@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt check bench bench-smoke table
+.PHONY: build test race vet fmt check bench bench-smoke fuzz-smoke table
 
 build:
 	$(GO) build ./...
@@ -29,6 +29,17 @@ bench:
 # end and emits the artifact, without the full paper-scale state count.
 bench-smoke:
 	$(GO) run ./cmd/vnbench -workers 4 -max-states 20000 -out BENCH_mc.json
+
+# Bounded differential-fuzzing pass for CI: a fixed-seed campaign of
+# generated protocols through the full analysis → assignment → model
+# checking stack on all three engines (~30s). Any oracle violation
+# (soundness, parity, or assignment) exits nonzero and leaves a shrunk
+# repro under vnfuzz-repros/.
+fuzz-smoke:
+	$(GO) run ./cmd/vnfuzz -self-test
+	$(GO) run ./cmd/vnfuzz -seed 1 -count 40 -max-states 20000 \
+		-engines seq,levels,pipeline -repro-dir vnfuzz-repros \
+		-stats-json FUZZ_smoke.json
 
 table:
 	$(GO) run ./cmd/vntable -extensions

@@ -33,6 +33,9 @@ func main() {
 		workers   = flag.Int("workers", 0, "workers for the parallel engines (0 = GOMAXPROCS)")
 		shards    = flag.Int("shards", 0, "visited-set shards for the pipeline engine (0 = default)")
 		engines   = flag.String("engines", "seq,levels,pipeline", "comma-separated engines to compare")
+		seed      = flag.Int64("seed", 1, "base seed for the random-walk smoke pass (-walks)")
+		walks     = flag.Int("walks", 0, "seeded random-workload walks per protocol before the engine comparison")
+		walkSteps = flag.Int("walk-steps", 2000, "steps per random walk")
 	)
 	flag.Parse()
 
@@ -63,6 +66,9 @@ func main() {
 	art.Params["workers"] = *workers
 	art.Params["shards"] = *shards
 	art.Params["engines"] = *engines
+	art.Params["seed"] = *seed
+	art.Params["walks"] = *walks
+	art.Params["walk_steps"] = *walkSteps
 
 	exitCode := 0
 	var runs []map[string]any
@@ -87,6 +93,21 @@ func main() {
 			os.Exit(1)
 		}
 		opts := mc.Options{MaxStates: *maxStates, DisableTraces: true}
+
+		// Seeded random-walk smoke pass: cheap wedge detection before
+		// the exhaustive engine comparison. The base seed is recorded
+		// in the artifact so any wedged walk replays exactly.
+		for wk := 0; wk < *walks; wk++ {
+			ws := *seed + int64(wk)
+			res := sys.Walk(ws, *walkSteps)
+			if res.Deadlocked || res.Violation != nil {
+				fmt.Fprintf(os.Stderr, "vnbench: %s: walk seed %d wedged: %v\n", p.Name, ws, res)
+				exitCode = 1
+				runs = append(runs, map[string]any{
+					"protocol": p.Name, "walk_seed": ws, "walk": res.String(),
+				})
+			}
+		}
 
 		var baseline *mc.Result
 		for _, eng := range engList {

@@ -1,0 +1,167 @@
+// Command vnfuzz runs the randomized differential-testing campaign of
+// internal/ptest: it generates well-formed random protocols (guided
+// mutation of the built-ins plus from-scratch synthesis), pushes each
+// one through analysis → Eq. 4 → minimum-VN assignment → model
+// checking with every engine, and fails on any of the three oracle
+// violations (soundness, parity, assignment). Violations are shrunk
+// to minimal repro protocols and written out as JSON artifacts plus
+// standalone Go test sources.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"minvn/internal/mc"
+	"minvn/internal/obs"
+	"minvn/internal/ptest"
+)
+
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("vnfuzz", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		seed       = fs.Int64("seed", 1, "campaign seed; every case derives a sub-seed from (seed, index)")
+		count      = fs.Int("count", 500, "number of generated protocols")
+		caches     = fs.Int("caches", 2, "caches per checked system")
+		dirs       = fs.Int("dirs", 1, "directories per checked system")
+		addrs      = fs.Int("addrs", 1, "addresses per checked system")
+		maxStates  = fs.Int("max-states", 50_000, "state bound per model-checking run")
+		engines    = fs.String("engines", "seq,levels,pipeline", "comma-separated engines to cross-check")
+		workers    = fs.Int("workers", 2, "workers for the parallel engines")
+		shards     = fs.Int("shards", 0, "visited-set shards for the pipeline engine (0 = default)")
+		mutateFrac = fs.Float64("mutate-frac", 0.5, "fraction of cases mutated from built-ins (rest synthesized)")
+		shrink     = fs.Bool("shrink", true, "delta-debug violations to minimal repros")
+		reproDir   = fs.String("repro-dir", "vnfuzz-repros", "directory for violation repro artifacts")
+		statsJSON  = fs.String("stats-json", "", "write a machine-readable campaign artifact to this file")
+		progress   = fs.Bool("progress", false, "print per-case progress to stderr")
+		stopOnViol = fs.Bool("stop-on-violation", false, "abort the campaign at the first oracle violation")
+		selfTest   = fs.Bool("self-test", false, "run the fault-injection self-test instead of a campaign")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	engs, err := parseEngines(*engines)
+	if err != nil {
+		fmt.Fprintln(stderr, "vnfuzz:", err)
+		return 2
+	}
+	opts := ptest.Options{
+		Caches: *caches, Dirs: *dirs, Addrs: *addrs,
+		MaxStates: *maxStates, Engines: engs,
+		Workers: *workers, Shards: *shards,
+	}
+
+	if *selfTest {
+		res, err := ptest.SelfTest(opts)
+		if err != nil {
+			fmt.Fprintln(stderr, "vnfuzz: self-test FAILED:", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "self-test ok: clean=%s injected=%s shrunk to %d transitions (%d removals, %d attempts)\n",
+			res.CleanVerdict, res.InjectedVerdict,
+			res.Shrunk.Spec.NumTransitions(), res.Shrunk.Removed, res.Shrunk.Attempts)
+		return 0
+	}
+
+	tl := &obs.Timeline{}
+	cfg := ptest.CampaignConfig{
+		Seed:            *seed,
+		Count:           *count,
+		Gen:             ptest.GenConfig{MutateFrac: *mutateFrac},
+		Opts:            opts,
+		Shrink:          *shrink,
+		StopOnViolation: *stopOnViol,
+	}
+	if *progress {
+		cfg.OnCase = func(i int, c *ptest.Case, r *ptest.CaseResult) {
+			line := fmt.Sprintf("case %4d/%d seed=%-20d %-28s %s", i+1, *count, c.Seed, c.Origin, r.Verdict)
+			if r.Verdict.IsViolation() {
+				line += " " + r.Detail
+			}
+			fmt.Fprintln(stderr, line)
+		}
+	}
+	stop := tl.Start("vnfuzz/campaign")
+	res := ptest.RunCampaign(cfg)
+	stop()
+	fmt.Fprintln(stdout, res.Summary())
+
+	var reproPaths []string
+	for _, v := range res.Violations {
+		fmt.Fprintf(stdout, "VIOLATION case %d (seed %d, %s): %s\n  %s\n",
+			v.Index, v.Case.Seed, v.Case.Origin, v.Result.Verdict, v.Result.Detail)
+		if v.Shrunk != nil && v.Shrunk.Proto != nil {
+			fmt.Fprintf(stdout, "  shrunk: %d transitions (%d removals, %d attempts)\n",
+				v.Shrunk.Spec.NumTransitions(), v.Shrunk.Removed, v.Shrunk.Attempts)
+		}
+		path, err := ptest.WriteRepro(*reproDir, *seed, v)
+		if err != nil {
+			fmt.Fprintln(stderr, "vnfuzz: writing repro:", err)
+			return 1
+		}
+		reproPaths = append(reproPaths, path)
+		fmt.Fprintf(stdout, "  repro: %s\n", path)
+	}
+
+	if *statsJSON != "" {
+		art := obs.NewArtifact("vnfuzz")
+		art.Params["seed"] = *seed
+		art.Params["count"] = *count
+		art.Params["caches"] = *caches
+		art.Params["dirs"] = *dirs
+		art.Params["addrs"] = *addrs
+		art.Params["max_states"] = *maxStates
+		art.Params["engines"] = *engines
+		art.Params["workers"] = *workers
+		art.Params["shards"] = *shards
+		art.Params["mutate_frac"] = *mutateFrac
+		art.Outcome = "clean"
+		if len(res.Violations) > 0 {
+			art.Outcome = "violations"
+		}
+		art.Metrics = map[string]any{
+			"cases":      res.Cases,
+			"by_verdict": res.ByVerdict,
+			"by_origin":  res.ByOrigin,
+			"violations": len(res.Violations),
+		}
+		art.Stages = tl.Stages()
+		if len(reproPaths) > 0 {
+			art.Extra = map[string]any{"repros": reproPaths}
+		}
+		if err := art.WriteFile(*statsJSON); err != nil {
+			fmt.Fprintln(stderr, "vnfuzz: stats-json:", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "wrote %s\n", *statsJSON)
+	}
+	if len(res.Violations) > 0 {
+		return 1
+	}
+	return 0
+}
+
+func parseEngines(s string) ([]mc.Engine, error) {
+	var out []mc.Engine
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		e, err := mc.ParseEngine(part)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, e)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no engines in %q", s)
+	}
+	return out, nil
+}

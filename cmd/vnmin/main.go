@@ -14,6 +14,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -24,49 +25,55 @@ import (
 	"minvn/internal/vnassign"
 )
 
-func main() {
-	var (
-		list      = flag.Bool("list", false, "list built-in protocols and exit")
-		fromFile  = flag.Bool("file", false, "treat the argument as a JSON protocol file")
-		tables    = flag.Bool("tables", false, "print the controller transition tables (Figs. 1-2 style)")
-		relations = flag.Bool("relations", false, "print the causes/stalls/waits relations")
-		textbook  = flag.Bool("textbook", false, "also print the conventional-wisdom VN count")
-		export    = flag.String("export", "", "write the protocol as JSON to this file and exit")
-		sepData   = flag.Bool("separate-data", false, "designer constraint: keep data and control responses on different VNs")
-		enumerate = flag.Int("enumerate", 0, "list up to N distinct minimal assignments")
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
 
-		progress  = flag.Bool("progress", false, "print per-stage pipeline timings to stderr")
-		statsJSON = flag.String("stats-json", "", "write a machine-readable JSON run artifact to this file")
-		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("vnmin", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		list      = fs.Bool("list", false, "list built-in protocols and exit")
+		fromFile  = fs.Bool("file", false, "treat the argument as a JSON protocol file")
+		tables    = fs.Bool("tables", false, "print the controller transition tables (Figs. 1-2 style)")
+		relations = fs.Bool("relations", false, "print the causes/stalls/waits relations")
+		textbook  = fs.Bool("textbook", false, "also print the conventional-wisdom VN count")
+		export    = fs.String("export", "", "write the protocol as JSON to this file and exit")
+		sepData   = fs.Bool("separate-data", false, "designer constraint: keep data and control responses on different VNs")
+		enumerate = fs.Int("enumerate", 0, "list up to N distinct minimal assignments")
+
+		progress  = fs.Bool("progress", false, "print per-stage pipeline timings to stderr")
+		statsJSON = fs.String("stats-json", "", "write a machine-readable JSON run artifact to this file")
+		pprofAddr = fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *pprofAddr != "" {
 		addr, err := obs.ServePprof(*pprofAddr)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "vnmin: pprof:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "vnmin: pprof:", err)
+			return 1
 		}
-		fmt.Fprintf(os.Stderr, "pprof: http://%s/debug/pprof/\n", addr)
+		fmt.Fprintf(stderr, "pprof: http://%s/debug/pprof/\n", addr)
 	}
 
 	if *list {
-		fmt.Println("Built-in protocols:")
+		fmt.Fprintln(stdout, "Built-in protocols:")
 		for _, n := range protocols.Names() {
-			fmt.Println(" ", n)
+			fmt.Fprintln(stdout, " ", n)
 		}
-		return
+		return 0
 	}
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: vnmin [flags] <protocol> (see -list)")
-		flag.PrintDefaults()
-		os.Exit(2)
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "usage: vnmin [flags] <protocol> (see -list)")
+		fs.PrintDefaults()
+		return 2
 	}
 
-	p, err := loadProtocol(flag.Arg(0), *fromFile)
+	p, err := loadProtocol(fs.Arg(0), *fromFile)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "vnmin:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "vnmin:", err)
+		return 1
 	}
 
 	if *export != "" {
@@ -75,68 +82,68 @@ func main() {
 			err = os.WriteFile(*export, data, 0o644)
 		}
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "vnmin:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "vnmin:", err)
+			return 1
 		}
-		fmt.Printf("wrote %s\n", *export)
-		return
+		fmt.Fprintf(stdout, "wrote %s\n", *export)
+		return 0
 	}
 
 	if *tables {
-		fmt.Println(protocol.FormatProtocol(p))
+		fmt.Fprintln(stdout, protocol.FormatProtocol(p))
 	}
 
 	tl := &obs.Timeline{}
 	r := analysis.AnalyzeObserved(p, tl)
 	if *relations {
-		fmt.Printf("causes: %v\n", r.Causes)
-		fmt.Printf("stalls: %v\n", r.Stalls)
-		fmt.Printf("waits:  %v\n", r.Waits)
-		fmt.Printf("stallable messages: %s\n\n", strings.Join(r.Stallable, ", "))
+		fmt.Fprintf(stdout, "causes: %v\n", r.Causes)
+		fmt.Fprintf(stdout, "stalls: %v\n", r.Stalls)
+		fmt.Fprintf(stdout, "waits:  %v\n", r.Waits)
+		fmt.Fprintf(stdout, "stallable messages: %s\n\n", strings.Join(r.Stallable, ", "))
 	}
 
 	a := vnassign.AssignFromAnalysisObserved(r, tl)
 	if *sepData && a.Class == vnassign.Class3 {
 		ca, err := vnassign.AssignConstrained(r, vnassign.SeparateDataFromControl(p))
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "vnmin:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "vnmin:", err)
+			return 1
 		}
 		a = ca
 	}
 	switch a.Class {
 	case vnassign.Class2:
 		// Match the artifact's wording for Class 2 protocols.
-		fmt.Printf("%s: The protocol is a Class 2 protocol, Program Exit!\n", p.Name)
-		fmt.Printf("  waits cycle: %s\n", strings.Join(a.WaitsCycle, " -> "))
+		fmt.Fprintf(stdout, "%s: The protocol is a Class 2 protocol, Program Exit!\n", p.Name)
+		fmt.Fprintf(stdout, "  waits cycle: %s\n", strings.Join(a.WaitsCycle, " -> "))
 	default:
-		fmt.Printf("%s: %s\n", p.Name, a.Class)
-		fmt.Printf("  minimum VNs: %d\n", a.NumVNs)
+		fmt.Fprintf(stdout, "%s: %s\n", p.Name, a.Class)
+		fmt.Fprintf(stdout, "  minimum VNs: %d\n", a.NumVNs)
 		for i, g := range a.VNGroups() {
-			fmt.Printf("  VN%d = {%s}\n", i, strings.Join(g, ", "))
+			fmt.Fprintf(stdout, "  VN%d = {%s}\n", i, strings.Join(g, ", "))
 		}
 		if len(a.ConflictPairs) > 0 {
-			fmt.Printf("  conflict pairs: %v\n", a.ConflictPairs)
+			fmt.Fprintf(stdout, "  conflict pairs: %v\n", a.ConflictPairs)
 		}
 	}
 
 	if *enumerate > 0 && a.Class == vnassign.Class3 {
 		all := vnassign.EnumerateAssignments(r, *enumerate)
-		fmt.Printf("  %d distinct minimal assignment(s):\n", len(all))
+		fmt.Fprintf(stdout, "  %d distinct minimal assignment(s):\n", len(all))
 		for i, e := range all {
-			fmt.Printf("   %2d. %s\n", i+1, vnassign.GroupsString(e))
+			fmt.Fprintf(stdout, "   %2d. %s\n", i+1, vnassign.GroupsString(e))
 		}
 	}
 
 	if *textbook {
 		tb := vnassign.Textbook(r)
-		fmt.Printf("  textbook (conventional wisdom): %d VNs via chain %s\n",
+		fmt.Fprintf(stdout, "  textbook (conventional wisdom): %d VNs via chain %s\n",
 			tb.NumVNs, strings.Join(tb.Chain, " -> "))
 	}
 
 	if *progress {
 		for _, st := range tl.Stages() {
-			fmt.Fprintf(os.Stderr, "stage %-20s %8.3fms\n", st.Name, st.Seconds*1e3)
+			fmt.Fprintf(stderr, "stage %-20s %8.3fms\n", st.Name, st.Seconds*1e3)
 		}
 	}
 	if *statsJSON != "" {
@@ -161,11 +168,12 @@ func main() {
 			}
 		}
 		if err := art.WriteFile(*statsJSON); err != nil {
-			fmt.Fprintln(os.Stderr, "vnmin: stats-json:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "vnmin: stats-json:", err)
+			return 1
 		}
-		fmt.Printf("wrote %s\n", *statsJSON)
+		fmt.Fprintf(stdout, "wrote %s\n", *statsJSON)
 	}
+	return 0
 }
 
 func loadProtocol(arg string, fromFile bool) (*protocol.Protocol, error) {

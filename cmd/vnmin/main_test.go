@@ -1,0 +1,65 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestGolden locks the CLI's static-analysis output on the built-in
+// protocols. Regenerate with: go test ./cmd/vnmin -run TestGolden -update
+func TestGolden(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"MSI_blocking_cache", []string{"MSI_blocking_cache"}},
+		{"MSI_nonblocking_cache", []string{"-relations", "-textbook", "MSI_nonblocking_cache"}},
+		{"MESI_nonblocking_cache", []string{"MESI_nonblocking_cache"}},
+		{"MOSI_blocking_cache", []string{"MOSI_blocking_cache"}},
+		{"CHI", []string{"-textbook", "CHI"}},
+		{"TileLink", []string{"TileLink"}},
+		{"MSI_completion", []string{"MSI_completion"}},
+		{"list", []string{"-list"}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			if code := run(tc.args, &stdout, &stderr); code != 0 {
+				t.Fatalf("run(%v) = %d, stderr: %s", tc.args, code, stderr.String())
+			}
+			golden := filepath.Join("testdata", tc.name+".golden")
+			if *update {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(golden, stdout.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update): %v", err)
+			}
+			if !bytes.Equal(stdout.Bytes(), want) {
+				t.Errorf("output changed; run with -update if intended.\n--- got ---\n%s--- want ---\n%s", stdout.String(), want)
+			}
+		})
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"no_such_protocol"}, &stdout, &stderr); code != 1 {
+		t.Errorf("unknown protocol: run = %d, want 1", code)
+	}
+	if code := run(nil, &stdout, &stderr); code != 2 {
+		t.Errorf("no args: run = %d, want 2", code)
+	}
+}

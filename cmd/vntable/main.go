@@ -12,6 +12,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"text/tabwriter"
@@ -61,40 +62,46 @@ var extensionRows = []row{
 		[]string{"MESIF_blocking_cache"}, "deadlocks with 3 VNs (extension)", "deadlock"},
 }
 
-func main() {
-	var (
-		runMC     = flag.Bool("mc", false, "also run the model-checking verification per cell")
-		maxStates = flag.Int("max-states", 300_000, "state limit per model-checking run")
-		ext       = flag.Bool("extensions", false, "include the extension protocols (MESIF, TileLink, MSI_completion)")
-		caches    = flag.Int("caches", 3, "caches for model checking")
-		dirs      = flag.Int("dirs", 2, "directories for model checking")
-		addrs     = flag.Int("addrs", 2, "addresses for model checking")
-		engine    = flag.String("engine", "auto", "search engine for BFS cells: auto | seq | levels | pipeline")
-		workers   = flag.Int("workers", 1, "parallel BFS workers (0 = GOMAXPROCS; deadlock cells use DFS and stay sequential)")
-		shards    = flag.Int("shards", 0, "visited-set shards for the pipeline engine (0 = default)")
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
 
-		progress  = flag.Bool("progress", false, "print live model-checking progress to stderr")
-		statsJSON = flag.String("stats-json", "", "write a machine-readable JSON table artifact to this file")
-		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("vntable", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		runMC     = fs.Bool("mc", false, "also run the model-checking verification per cell")
+		maxStates = fs.Int("max-states", 300_000, "state limit per model-checking run")
+		ext       = fs.Bool("extensions", false, "include the extension protocols (MESIF, TileLink, MSI_completion)")
+		caches    = fs.Int("caches", 3, "caches for model checking")
+		dirs      = fs.Int("dirs", 2, "directories for model checking")
+		addrs     = fs.Int("addrs", 2, "addresses for model checking")
+		engine    = fs.String("engine", "auto", "search engine for BFS cells: auto | seq | levels | pipeline")
+		workers   = fs.Int("workers", 1, "parallel BFS workers (0 = GOMAXPROCS; deadlock cells use DFS and stay sequential)")
+		shards    = fs.Int("shards", 0, "visited-set shards for the pipeline engine (0 = default)")
+
+		progress  = fs.Bool("progress", false, "print live model-checking progress to stderr")
+		statsJSON = fs.String("stats-json", "", "write a machine-readable JSON table artifact to this file")
+		pprofAddr = fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	eng, err := mc.ParseEngine(*engine)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "vntable:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "vntable:", err)
+		return 2
 	}
 
 	if *pprofAddr != "" {
 		addr, err := obs.ServePprof(*pprofAddr)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "vntable: pprof:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "vntable: pprof:", err)
+			return 1
 		}
-		fmt.Fprintf(os.Stderr, "pprof: http://%s/debug/pprof/\n", addr)
+		fmt.Fprintf(stderr, "pprof: http://%s/debug/pprof/\n", addr)
 	}
 
-	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	w := tabwriter.NewWriter(stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "exp\tconfiguration\tprotocol\tstatic result\ttextbook\texpected (paper)\tmodel checking")
 	fmt.Fprintln(w, "---\t-------------\t--------\t-------------\t--------\t----------------\t--------------")
 
@@ -138,7 +145,7 @@ func main() {
 			if *runMC && r.mcMode != "" {
 				out, ok, mcRes := runModelCheck(p, a, r.mcMode,
 					*caches, *dirs, *addrs, *maxStates, *progress,
-					eng, *workers, *shards)
+					eng, *workers, *shards, stderr)
 				mcCol = out
 				if !ok {
 					exitCode = 1
@@ -172,12 +179,12 @@ func main() {
 		}
 		art.Metrics = map[string]any{"rows": artRows}
 		if err := art.WriteFile(*statsJSON); err != nil {
-			fmt.Fprintln(os.Stderr, "vntable: stats-json:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "vntable: stats-json:", err)
+			return 1
 		}
-		fmt.Printf("wrote %s\n", *statsJSON)
+		fmt.Fprintf(stdout, "wrote %s\n", *statsJSON)
 	}
-	os.Exit(exitCode)
+	return exitCode
 }
 
 // runModelCheck verifies one cell. For "deadlock" cells, every message
@@ -188,7 +195,7 @@ func main() {
 // computed minimal assignment must show no deadlock up to the bound.
 func runModelCheck(p *protocol.Protocol, a *vnassign.Assignment, mode string,
 	caches, dirs, addrs, maxStates int, progress bool,
-	engine mc.Engine, workers, shards int) (string, bool, mc.Result) {
+	engine mc.Engine, workers, shards int, stderr io.Writer) (string, bool, mc.Result) {
 
 	cfg := machine.Config{
 		Protocol: p, Caches: caches, Dirs: dirs, Addrs: addrs,
@@ -196,7 +203,7 @@ func runModelCheck(p *protocol.Protocol, a *vnassign.Assignment, mode string,
 	opts := mc.Options{MaxStates: maxStates, DisableTraces: true}
 	if progress {
 		opts.Progress = func(s mc.Snapshot) {
-			fmt.Fprintf(os.Stderr, "[%s] %s\n", p.Name, s)
+			fmt.Fprintf(stderr, "[%s] %s\n", p.Name, s)
 		}
 	}
 

@@ -1,0 +1,97 @@
+package ptest
+
+import (
+	"fmt"
+
+	"minvn/internal/protocol"
+)
+
+// CampaignConfig drives a fixed-seed fuzzing campaign.
+type CampaignConfig struct {
+	Seed  int64
+	Count int
+	Gen   GenConfig
+	Opts  Options
+	// Shrink enables delta-debugging of violating cases (attempt
+	// budget per case: ShrinkBudget, default 2000).
+	Shrink       bool
+	ShrinkBudget int
+	// OnCase, when non-nil, observes every finished case in order.
+	OnCase func(i int, c *Case, r *CaseResult)
+	// StopOnViolation aborts the campaign at the first oracle
+	// violation instead of completing Count cases.
+	StopOnViolation bool
+}
+
+// Violation is one oracle violation found by a campaign, with its
+// shrunk repro when shrinking was enabled.
+type Violation struct {
+	Index  int
+	Case   *Case
+	Result *CaseResult
+	Shrunk *ShrinkResult // nil unless shrinking ran
+}
+
+// CampaignResult aggregates a campaign.
+type CampaignResult struct {
+	Cases      int
+	ByVerdict  map[string]int
+	ByOrigin   map[string]int
+	Violations []*Violation
+}
+
+// RunCampaign generates and differentially checks Count protocols.
+// Each case derives its own sub-seed from (Seed, index), so any single
+// case replays from its recorded sub-seed without re-running the
+// campaign prefix.
+func RunCampaign(cfg CampaignConfig) *CampaignResult {
+	if cfg.Count <= 0 {
+		cfg.Count = 100
+	}
+	gen := NewGenerator(cfg.Gen)
+	out := &CampaignResult{
+		ByVerdict: make(map[string]int),
+		ByOrigin:  make(map[string]int),
+	}
+	for i := 0; i < cfg.Count; i++ {
+		c := gen.Generate(caseSeed(cfg.Seed, i))
+		r := RunCase(c.Proto, cfg.Opts)
+		out.Cases++
+		out.ByVerdict[r.Verdict.String()]++
+		out.ByOrigin[c.Origin]++
+		if r.Verdict.IsViolation() {
+			v := &Violation{Index: i, Case: c, Result: r}
+			if cfg.Shrink {
+				want := r.Verdict
+				opts := cfg.Opts
+				v.Shrunk = Shrink(c.Spec, func(p *protocol.Protocol) bool {
+					return RunCase(p, opts).Verdict == want
+				}, cfg.ShrinkBudget)
+			}
+			out.Violations = append(out.Violations, v)
+			if cfg.OnCase != nil {
+				cfg.OnCase(i, c, r)
+			}
+			if cfg.StopOnViolation {
+				break
+			}
+			continue
+		}
+		if cfg.OnCase != nil {
+			cfg.OnCase(i, c, r)
+		}
+	}
+	return out
+}
+
+// Summary renders the verdict histogram.
+func (c *CampaignResult) Summary() string {
+	s := fmt.Sprintf("%d cases", c.Cases)
+	for _, k := range []string{"ok", "class1", "class2", "dyn-invalid", "inconclusive"} {
+		if n := c.ByVerdict[k]; n > 0 {
+			s += fmt.Sprintf(", %d %s", n, k)
+		}
+	}
+	s += fmt.Sprintf(", %d violation(s)", len(c.Violations))
+	return s
+}

@@ -1,0 +1,326 @@
+package ptest
+
+import (
+	"fmt"
+	"math/rand"
+
+	"minvn/internal/protocol"
+	"minvn/internal/protocols"
+)
+
+// GenConfig sizes the generator.
+type GenConfig struct {
+	// MaxChains bounds the request/response chains of a synthesized
+	// protocol (default 4). Each chain contributes a request, a
+	// response, and — when its directory transaction blocks — a
+	// completion message.
+	MaxChains int
+	// MaxStableStates bounds the synthesized cache's stable states
+	// (default 3).
+	MaxStableStates int
+	// MutateFrac is the fraction of cases produced by mutating a
+	// built-in protocol instead of synthesizing one (default 0.5).
+	MutateFrac float64
+	// MaxMutations bounds the mutation count per mutated case
+	// (default 4).
+	MaxMutations int
+}
+
+func (c GenConfig) normalized() GenConfig {
+	if c.MaxChains <= 0 {
+		c.MaxChains = 4
+	}
+	if c.MaxStableStates <= 0 {
+		c.MaxStableStates = 3
+	}
+	if c.MutateFrac < 0 || c.MutateFrac > 1 {
+		c.MutateFrac = 0.5
+	}
+	if c.MaxMutations <= 0 {
+		c.MaxMutations = 4
+	}
+	return c
+}
+
+// Case is one generated protocol: the editable spec, the built (and
+// therefore validated) protocol, the sub-seed that deterministically
+// reproduces it, and its origin ("synthesized" or "mutated:<name>").
+type Case struct {
+	Spec   *Spec
+	Proto  *protocol.Protocol
+	Seed   int64
+	Origin string
+}
+
+// Generator produces well-formed random protocols. It is deterministic
+// per seed: Generate(seed) always returns the same case.
+type Generator struct {
+	cfg      GenConfig
+	builtins []string
+}
+
+// NewGenerator returns a generator over the built-in protocol corpus.
+func NewGenerator(cfg GenConfig) *Generator {
+	return &Generator{cfg: cfg.normalized(), builtins: protocols.Names()}
+}
+
+// caseSeed decorrelates per-case streams from (campaign seed, index)
+// with a splitmix64 step, so neighbouring indices do not produce
+// correlated protocols.
+func caseSeed(seed int64, index int) int64 {
+	z := uint64(seed) + uint64(index)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}
+
+// Generate builds the case for one sub-seed. Mutation candidates that
+// fail validation are retried with fresh randomness and fall back to
+// synthesis, so the result is always a valid protocol.
+func (g *Generator) Generate(seed int64) *Case {
+	r := rand.New(rand.NewSource(seed))
+	if r.Float64() < g.cfg.MutateFrac {
+		base := g.builtins[r.Intn(len(g.builtins))]
+		for attempt := 0; attempt < 24; attempt++ {
+			spec := FromProtocol(protocols.MustLoad(base))
+			spec.Name = fmt.Sprintf("%s_mut_%d", base, seed&0xffff)
+			n := 1 + r.Intn(g.cfg.MaxMutations)
+			for i := 0; i < n; i++ {
+				mutateOnce(r, spec)
+			}
+			spec.normalize()
+			if p, err := spec.Build(); err == nil {
+				return &Case{Spec: spec, Proto: p, Seed: seed, Origin: "mutated:" + base}
+			}
+		}
+	}
+	spec := synthesize(r, g.cfg)
+	p, err := spec.Build()
+	if err != nil {
+		// Synthesis is correct by construction; a failure here is a
+		// generator bug and must be loud, not skipped.
+		panic(fmt.Sprintf("ptest: synthesized spec invalid (seed %d): %v", seed, err))
+	}
+	return &Case{Spec: spec, Proto: p, Seed: seed, Origin: "synthesized"}
+}
+
+// synthesize builds a random request/response protocol from scratch.
+// The shape mirrors the paper's protocol space: caches issue requests
+// from stable states and wait in per-chain transient states; the
+// directory answers, optionally entering a blocking transient state
+// that stalls a random subset of requests until the requestor's
+// completion arrives (CHI-style home orchestration). Random extra
+// cache stalls exercise the static analysis's conservatism: they add
+// waits edges for receptions that are dynamically unreachable.
+func synthesize(r *rand.Rand, cfg GenConfig) *Spec {
+	ns := 1 + r.Intn(cfg.MaxStableStates)
+	chains := 1 + r.Intn(cfg.MaxChains)
+	if max := ns * len(protocol.CoreEvents); chains > max {
+		chains = max
+	}
+	s := &Spec{Name: fmt.Sprintf("synth_%dx%d", ns, chains)}
+
+	stable := make([]string, ns)
+	for i := range stable {
+		stable[i] = fmt.Sprintf("S%d", i)
+	}
+	s.Cache.Initial = stable[0]
+	for _, name := range stable {
+		s.Cache.States = append(s.Cache.States, StateSpec{Name: name})
+	}
+	s.Dir.Initial = "H"
+	s.Dir.States = append(s.Dir.States, StateSpec{Name: "H"})
+
+	type chain struct {
+		req, rsp, cmp string // cmp == "" for non-blocking chains
+		wait          string
+	}
+	cs := make([]chain, chains)
+
+	// Assign distinct (stable state, core event) launch slots.
+	type slot struct {
+		state int
+		core  protocol.CoreEvent
+	}
+	var slots []slot
+	for st := 0; st < ns; st++ {
+		for _, core := range protocol.CoreEvents {
+			slots = append(slots, slot{st, core})
+		}
+	}
+	r.Shuffle(len(slots), func(i, j int) { slots[i], slots[j] = slots[j], slots[i] })
+
+	rspTypes := []protocol.MsgType{protocol.FwdRequest, protocol.DataResponse, protocol.CtrlResponse}
+	for i := range cs {
+		c := &cs[i]
+		c.req = fmt.Sprintf("Req%d", i)
+		c.rsp = fmt.Sprintf("Rsp%d", i)
+		c.wait = fmt.Sprintf("W%d", i)
+		s.Msgs = append(s.Msgs,
+			MsgSpec{Name: c.req, Type: protocol.Request},
+			MsgSpec{Name: c.rsp, Type: rspTypes[r.Intn(len(rspTypes))]})
+		s.Cache.States = append(s.Cache.States, StateSpec{Name: c.wait, Transient: true})
+		blocking := r.Float64() < 0.6
+		if blocking {
+			c.cmp = fmt.Sprintf("Cmp%d", i)
+			s.Msgs = append(s.Msgs, MsgSpec{Name: c.cmp, Type: protocol.Request})
+			s.Dir.States = append(s.Dir.States, StateSpec{Name: "B" + fmt.Sprint(i), Transient: true})
+		}
+	}
+
+	// Cache side: launch, wait, complete.
+	for i := range cs {
+		c := &cs[i]
+		sl := slots[i]
+		target := stable[r.Intn(ns)]
+		s.Trans = append(s.Trans, TransSpec{
+			Ctrl: protocol.CacheCtrl, State: stable[sl.state], Event: protocol.CoreEv(sl.core),
+			Actions: []protocol.Action{{Kind: protocol.ASend, Msg: c.req, To: protocol.ToDir}},
+			Next:    c.wait,
+		})
+		var acts []protocol.Action
+		if c.cmp != "" {
+			acts = append(acts, protocol.Action{Kind: protocol.ASend, Msg: c.cmp, To: protocol.ToDir})
+		}
+		s.Trans = append(s.Trans, TransSpec{
+			Ctrl: protocol.CacheCtrl, State: c.wait, Event: protocol.MsgEv(c.rsp),
+			Actions: acts, Next: target,
+		})
+		// Conservatism probe: a stall for a response that cannot
+		// actually arrive in this wait state.
+		if chains > 1 && r.Float64() < 0.4 {
+			j := r.Intn(chains)
+			if j != i {
+				s.Trans = append(s.Trans, TransSpec{
+					Ctrl: protocol.CacheCtrl, State: c.wait,
+					Event: protocol.MsgEv(cs[j].rsp), Stall: true,
+				})
+			}
+		}
+	}
+
+	// Directory side.
+	for i := range cs {
+		c := &cs[i]
+		next := ""
+		if c.cmp != "" {
+			next = "B" + fmt.Sprint(i)
+		}
+		s.Trans = append(s.Trans, TransSpec{
+			Ctrl: protocol.DirCtrl, State: "H", Event: protocol.MsgEv(c.req),
+			Actions: []protocol.Action{{Kind: protocol.ASend, Msg: c.rsp, To: protocol.ToReq}},
+			Next:    next,
+		})
+	}
+	// Late completions can reach H once a second requestor's
+	// transaction was answered from the blocking state.
+	for i := range cs {
+		if cs[i].cmp != "" {
+			s.Trans = append(s.Trans, TransSpec{
+				Ctrl: protocol.DirCtrl, State: "H", Event: protocol.MsgEv(cs[i].cmp),
+			})
+		}
+	}
+	for i := range cs {
+		if cs[i].cmp == "" {
+			continue
+		}
+		bst := "B" + fmt.Sprint(i)
+		for j := range cs {
+			stallIt := r.Float64() < 0.7
+			if stallIt {
+				s.Trans = append(s.Trans, TransSpec{
+					Ctrl: protocol.DirCtrl, State: bst, Event: protocol.MsgEv(cs[j].req), Stall: true,
+				})
+			} else {
+				s.Trans = append(s.Trans, TransSpec{
+					Ctrl: protocol.DirCtrl, State: bst, Event: protocol.MsgEv(cs[j].req),
+					Actions: []protocol.Action{{Kind: protocol.ASend, Msg: cs[j].rsp, To: protocol.ToReq}},
+				})
+			}
+		}
+		for j := range cs {
+			if cs[j].cmp == "" {
+				continue
+			}
+			next := ""
+			if j == i {
+				next = "H"
+			}
+			s.Trans = append(s.Trans, TransSpec{
+				Ctrl: protocol.DirCtrl, State: bst, Event: protocol.MsgEv(cs[j].cmp), Next: next,
+			})
+		}
+	}
+	return s
+}
+
+// mutateOnce applies one random structural edit. Edits may produce an
+// invalid table; the caller re-validates via Build and retries.
+func mutateOnce(r *rand.Rand, s *Spec) {
+	if len(s.Trans) == 0 {
+		return
+	}
+	switch r.Intn(6) {
+	case 0: // drop a transition
+		s.removeTransAt(r.Intn(len(s.Trans)))
+	case 1: // convert a message cell into a stall
+		i := r.Intn(len(s.Trans))
+		t := &s.Trans[i]
+		if !t.Event.IsCore() {
+			t.Stall, t.Actions, t.Next = true, nil, ""
+		}
+	case 2: // remove a stall (un-block a reception)
+		for off, n := r.Intn(len(s.Trans)), 0; n < len(s.Trans); n++ {
+			i := (off + n) % len(s.Trans)
+			if s.Trans[i].Stall {
+				s.removeTransAt(i)
+				break
+			}
+		}
+	case 3: // redirect a next-state
+		i := r.Intn(len(s.Trans))
+		t := &s.Trans[i]
+		states := s.Cache.States
+		if t.Ctrl == protocol.DirCtrl {
+			states = s.Dir.States
+		}
+		if !t.Stall && len(states) > 0 {
+			t.Next = states[r.Intn(len(states))].Name
+		}
+	case 4: // drop one action
+		i := r.Intn(len(s.Trans))
+		t := &s.Trans[i]
+		if len(t.Actions) > 0 {
+			j := r.Intn(len(t.Actions))
+			t.Actions = append(append([]protocol.Action(nil), t.Actions[:j]...), t.Actions[j+1:]...)
+		}
+	case 5: // add a stall for a random message in a transient state
+		var transients []TransSpec
+		for _, kind := range []protocol.ControllerKind{protocol.CacheCtrl, protocol.DirCtrl} {
+			cs := s.Cache
+			if kind == protocol.DirCtrl {
+				cs = s.Dir
+			}
+			for _, st := range cs.States {
+				if st.Transient {
+					transients = append(transients, TransSpec{Ctrl: kind, State: st.Name})
+				}
+			}
+		}
+		if len(transients) == 0 || len(s.Msgs) == 0 {
+			return
+		}
+		pick := transients[r.Intn(len(transients))]
+		msg := s.Msgs[r.Intn(len(s.Msgs))].Name
+		for _, t := range s.Trans {
+			if t.Ctrl == pick.Ctrl && t.State == pick.State && !t.Event.IsCore() &&
+				t.Event.Msg == msg && t.Event.Qual == protocol.QNone {
+				return // cell exists; Build would reject the duplicate
+			}
+		}
+		s.Trans = append(s.Trans, TransSpec{
+			Ctrl: pick.Ctrl, State: pick.State, Event: protocol.MsgEv(msg), Stall: true,
+		})
+	}
+}

@@ -1,0 +1,331 @@
+// Package ptest is the randomized differential-testing harness for
+// the whole analysis pipeline: it manufactures well-formed random
+// protocols (from-scratch synthesis plus guided mutation of the
+// built-ins), pushes each one through relation construction, the Eq. 4
+// acyclicity check, minimum-VN assignment, and model checking under
+// the assigned mapping with every search engine, and cross-validates
+// the static and dynamic answers against each other. Violations are
+// delta-debugged down to minimal repro protocols and emitted as
+// standalone artifacts.
+//
+// The three oracles (see RunCase):
+//
+//	soundness:  the analysis said deadlock-free (Eq. 4) under the
+//	            assignment, but the checker found a VN deadlock;
+//	parity:     the seq / levels / pipeline engines disagree on the
+//	            same input;
+//	assignment: the checker deadlocks under the k VNs the assignment
+//	            claimed sufficient.
+package ptest
+
+import (
+	"fmt"
+
+	"minvn/internal/protocol"
+)
+
+// MsgSpec mirrors protocol.Message in a mutable, value-typed form.
+type MsgSpec struct {
+	Name string
+	Type protocol.MsgType
+	Ack  protocol.AckRole
+	Qual protocol.QualKind
+}
+
+// StateSpec is one declared controller state.
+type StateSpec struct {
+	Name      string
+	Transient bool
+}
+
+// TransSpec is one table cell of either controller.
+type TransSpec struct {
+	Ctrl    protocol.ControllerKind
+	State   string
+	Event   protocol.Event
+	Stall   bool
+	Next    string
+	Actions []protocol.Action
+}
+
+// CtrlSpec is one controller's declaration (cells live in Spec.Trans).
+type CtrlSpec struct {
+	Initial string
+	States  []StateSpec
+	// Events preserves the source table's column order so a lifted
+	// protocol rebuilds byte-identically; stale entries (left behind
+	// by shrinking) are harmless and ignored by the builder.
+	Events []protocol.Event
+}
+
+// Spec is a fully mutable protocol description: the generator and the
+// shrinker edit Specs, and Build turns a Spec back into a validated
+// *protocol.Protocol through the ordinary builder (so every Spec that
+// builds has passed protocol.Validate).
+type Spec struct {
+	Name  string
+	Msgs  []MsgSpec
+	Cache CtrlSpec
+	Dir   CtrlSpec
+	Trans []TransSpec
+}
+
+// FromProtocol lifts a built protocol into an editable Spec, visiting
+// cells in the protocol's own deterministic table order.
+func FromProtocol(p *protocol.Protocol) *Spec {
+	s := &Spec{Name: p.Name}
+	for _, name := range p.MessageNames() {
+		m := p.Messages[name]
+		s.Msgs = append(s.Msgs, MsgSpec{Name: name, Type: m.Type, Ack: m.Ack, Qual: m.Qual})
+	}
+	lift := func(c *protocol.Controller, cs *CtrlSpec) {
+		cs.Initial = c.Initial
+		cs.Events = c.EventOrder()
+		for _, name := range c.StateNames() {
+			cs.States = append(cs.States, StateSpec{Name: name, Transient: c.States[name].Transient})
+		}
+		for _, st := range c.StateNames() {
+			for _, ev := range c.EventOrder() {
+				t := c.Lookup(st, ev)
+				if t == nil {
+					continue
+				}
+				s.Trans = append(s.Trans, TransSpec{
+					Ctrl:    c.Kind,
+					State:   st,
+					Event:   ev,
+					Stall:   t.Stall,
+					Next:    t.Next,
+					Actions: append([]protocol.Action(nil), t.Actions...),
+				})
+			}
+		}
+	}
+	lift(p.Cache, &s.Cache)
+	lift(p.Dir, &s.Dir)
+	return s
+}
+
+// Clone deep-copies the spec.
+func (s *Spec) Clone() *Spec {
+	out := &Spec{Name: s.Name}
+	out.Msgs = append([]MsgSpec(nil), s.Msgs...)
+	out.Cache = CtrlSpec{
+		Initial: s.Cache.Initial,
+		States:  append([]StateSpec(nil), s.Cache.States...),
+		Events:  append([]protocol.Event(nil), s.Cache.Events...),
+	}
+	out.Dir = CtrlSpec{
+		Initial: s.Dir.Initial,
+		States:  append([]StateSpec(nil), s.Dir.States...),
+		Events:  append([]protocol.Event(nil), s.Dir.Events...),
+	}
+	out.Trans = make([]TransSpec, len(s.Trans))
+	for i, t := range s.Trans {
+		t.Actions = append([]protocol.Action(nil), t.Actions...)
+		out.Trans[i] = t
+	}
+	return out
+}
+
+// NumTransitions counts table cells (stalls included) — the size
+// metric the shrinker minimizes and the self-test bounds.
+func (s *Spec) NumTransitions() int { return len(s.Trans) }
+
+// Build assembles and validates the protocol. Any structural problem
+// (orphaned message, undeclared state, stall with actions, …) comes
+// back as an error exactly as it would for a hand-written table.
+func (s *Spec) Build() (*protocol.Protocol, error) {
+	if len(s.Cache.States) == 0 || len(s.Dir.States) == 0 {
+		return nil, fmt.Errorf("ptest: spec %q has an empty controller", s.Name)
+	}
+	b := protocol.NewBuilder(s.Name)
+	for _, m := range s.Msgs {
+		var opts []protocol.MsgOption
+		if m.Ack != protocol.AckNone {
+			opts = append(opts, protocol.WithAckRole(m.Ack))
+		}
+		if m.Qual != protocol.QualNone {
+			opts = append(opts, protocol.WithQual(m.Qual))
+		}
+		b.Message(m.Name, m.Type, opts...)
+	}
+	declare := func(cb *protocol.ControllerBuilder, cs CtrlSpec) {
+		for _, st := range cs.States {
+			if st.Transient {
+				cb.Transient(st.Name)
+			} else {
+				cb.Stable(st.Name)
+			}
+		}
+	}
+	cache := b.Cache(s.Cache.Initial)
+	declare(cache, s.Cache)
+	cache.Columns(s.Cache.Events...)
+	dir := b.Dir(s.Dir.Initial)
+	declare(dir, s.Dir)
+	dir.Columns(s.Dir.Events...)
+
+	for _, t := range s.Trans {
+		cb := cache
+		if t.Ctrl == protocol.DirCtrl {
+			cb = dir
+		}
+		if t.Stall {
+			cb.StallOn(t.State, t.Event)
+			continue
+		}
+		cell := cb.On(t.State, t.Event)
+		for _, a := range t.Actions {
+			if a.Kind != protocol.ASend {
+				cell.Do(a.Kind)
+				continue
+			}
+			switch {
+			case a.WithAcks:
+				cell.SendWithAcks(a.Msg, a.To)
+			case a.Inherit:
+				cell.SendInherit(a.Msg, a.To)
+			case a.ReqSaved:
+				cell.SendReqSaved(a.Msg, a.To)
+			default:
+				cell.Send(a.Msg, a.To)
+			}
+		}
+		cell.Goto(t.Next)
+	}
+	return b.Build()
+}
+
+// hasMsg reports whether name is declared.
+func (s *Spec) hasMsg(name string) bool {
+	for _, m := range s.Msgs {
+		if m.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// removeTransAt deletes the i-th cell.
+func (s *Spec) removeTransAt(i int) {
+	s.Trans = append(s.Trans[:i], s.Trans[i+1:]...)
+}
+
+// dropMessage removes a message declaration along with every cell
+// receiving it and every send action naming it.
+func (s *Spec) dropMessage(name string) {
+	msgs := s.Msgs[:0]
+	for _, m := range s.Msgs {
+		if m.Name != name {
+			msgs = append(msgs, m)
+		}
+	}
+	s.Msgs = msgs
+	trans := s.Trans[:0]
+	for _, t := range s.Trans {
+		if !t.Event.IsCore() && t.Event.Msg == name {
+			continue
+		}
+		acts := t.Actions[:0]
+		for _, a := range t.Actions {
+			if a.Kind == protocol.ASend && a.Msg == name {
+				continue
+			}
+			acts = append(acts, a)
+		}
+		t.Actions = acts
+		trans = append(trans, t)
+	}
+	s.Trans = trans
+}
+
+// dropState removes a state from the given controller: its cells go
+// away and transitions targeting it become stay-transitions. The
+// initial state is never dropped (the caller guards, but be safe).
+func (s *Spec) dropState(kind protocol.ControllerKind, name string) {
+	cs := &s.Cache
+	if kind == protocol.DirCtrl {
+		cs = &s.Dir
+	}
+	if cs.Initial == name {
+		return
+	}
+	states := cs.States[:0]
+	for _, st := range cs.States {
+		if st.Name != name {
+			states = append(states, st)
+		}
+	}
+	cs.States = states
+	trans := s.Trans[:0]
+	for _, t := range s.Trans {
+		if t.Ctrl == kind && t.State == name {
+			continue
+		}
+		if t.Ctrl == kind && t.Next == name {
+			t.Next = ""
+		}
+		trans = append(trans, t)
+	}
+	s.Trans = trans
+}
+
+// normalize removes structure that Validate would reject anyway —
+// messages that are no longer both sent and received, and states with
+// no remaining references — iterating to a fixpoint so one removal's
+// cascade is fully applied. It is the bridge that lets the shrinker
+// delete a transition and have the orphaned vocabulary follow.
+func (s *Spec) normalize() {
+	for changed := true; changed; {
+		changed = false
+		sent := map[string]bool{}
+		received := map[string]bool{}
+		for _, t := range s.Trans {
+			if !t.Event.IsCore() {
+				received[t.Event.Msg] = true
+			}
+			for _, a := range t.Actions {
+				if a.Kind == protocol.ASend {
+					sent[a.Msg] = true
+				}
+			}
+		}
+		for _, m := range s.Msgs {
+			if !sent[m.Name] || !received[m.Name] {
+				s.dropMessage(m.Name)
+				changed = true
+				break
+			}
+		}
+		if changed {
+			continue
+		}
+		for _, kind := range []protocol.ControllerKind{protocol.CacheCtrl, protocol.DirCtrl} {
+			cs := s.Cache
+			if kind == protocol.DirCtrl {
+				cs = s.Dir
+			}
+			referenced := map[string]bool{cs.Initial: true}
+			for _, t := range s.Trans {
+				if t.Ctrl != kind {
+					continue
+				}
+				referenced[t.State] = true
+				if t.Next != "" {
+					referenced[t.Next] = true
+				}
+			}
+			for _, st := range cs.States {
+				if !referenced[st.Name] {
+					s.dropState(kind, st.Name)
+					changed = true
+					break
+				}
+			}
+			if changed {
+				break
+			}
+		}
+	}
+}
