@@ -5,8 +5,10 @@
 // and reports states/sec, peak stored states, dedup hit rate, depth
 // reached, and heap footprint side by side, writing the whole run as a
 // JSON artifact (default BENCH_mc.json) so performance can be tracked
-// across commits. The engines must agree on outcome, state count, and
-// depth — a disagreement is a checker bug and fails the run.
+// across commits. Every run also profiles per-VN queue occupancy; the
+// engines must agree on outcome, state count, depth, AND the full
+// occupancy aggregate — a disagreement is a checker bug and fails the
+// run.
 package main
 
 import (
@@ -16,12 +18,37 @@ import (
 	"runtime"
 	"strings"
 
+	"minvn/internal/cliflag"
+	"minvn/internal/icn"
 	"minvn/internal/machine"
 	"minvn/internal/mc"
 	"minvn/internal/obs"
 	"minvn/internal/protocols"
 	"minvn/internal/vnassign"
 )
+
+// occMeans computes the observation-weighted mean global-buffer and
+// endpoint-FIFO depths across all VNs.
+func occMeans(st *icn.OccupancyStats) (global, local float64) {
+	var gn, gsum, ln, lsum int64
+	for _, v := range st.PerVN {
+		for d, c := range v.GlobalHist {
+			gn += c
+			gsum += int64(d) * c
+		}
+		for d, c := range v.LocalHist {
+			ln += c
+			lsum += int64(d) * c
+		}
+	}
+	if gn > 0 {
+		global = float64(gsum) / float64(gn)
+	}
+	if ln > 0 {
+		local = float64(lsum) / float64(ln)
+	}
+	return global, local
+}
 
 func main() {
 	var (
@@ -37,7 +64,14 @@ func main() {
 		walks     = flag.Int("walks", 0, "seeded random-workload walks per protocol before the engine comparison")
 		walkSteps = flag.Int("walk-steps", 2000, "steps per random walk")
 	)
+	tel := cliflag.Register(flag.CommandLine,
+		cliflag.FlagStatsJSON|cliflag.FlagPprof|cliflag.FlagTrace)
 	flag.Parse()
+
+	if err := tel.StartPprof(os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "vnbench: pprof:", err)
+		os.Exit(1)
+	}
 
 	var engList []mc.Engine
 	for _, s := range strings.Split(*engines, ",") {
@@ -110,17 +144,23 @@ func main() {
 		}
 
 		var baseline *mc.Result
+		var baselineOcc *icn.OccupancyStats
 		for _, eng := range engList {
 			// Start every engine from a collected heap so HeapBytes
 			// reflects this run's live set, not the previous engine's
 			// garbage.
 			runtime.GC()
+			prof := sys.NewOccupancyProfiler()
+			opts.Observer = prof
+			opts.Trace = tel.Recorder()
 			res := mc.CheckEngine(sys, opts, eng, *workers, *shards)
+			occ := prof.Stats()
 
 			speedup := 1.0
 			if baseline == nil {
 				r := res
 				baseline = &r
+				baselineOcc = occ
 			} else {
 				if res.Outcome != baseline.Outcome || res.States != baseline.States ||
 					res.MaxDepth != baseline.MaxDepth {
@@ -129,30 +169,49 @@ func main() {
 						p.Name, eng, engList[0], res, *baseline)
 					exitCode = 1
 				}
+				if !occ.Equal(baselineOcc) {
+					fmt.Fprintf(os.Stderr,
+						"vnbench: %s: engine %v occupancy aggregate disagrees with %v\n",
+						p.Name, eng, engList[0])
+					exitCode = 1
+				}
 				if baseline.Stats.StatesPerSec > 0 {
 					speedup = res.Stats.StatesPerSec / baseline.Stats.StatesPerSec
 				}
 			}
-			fmt.Printf("%-26s %-9s %-10s %9d states  depth %3d  %8.0f states/s  %5.2fx  dedup %.1f%%  heap %4dMB  %v\n",
+			gMean, lMean := occMeans(occ)
+			fmt.Printf("%-26s %-9s %-10s %9d states  depth %3d  %8.0f states/s  %5.2fx  dedup %.1f%%  heap %4dMB  occ g%d/l%d  %v\n",
 				p.Name, eng, res.Outcome.Tag(), res.States, res.MaxDepth,
 				res.Stats.StatesPerSec, speedup, 100*res.Stats.DedupHitRate,
-				res.Stats.HeapBytes>>20, res.Duration.Round(1e6))
-			runs = append(runs, map[string]any{
-				"protocol":       p.Name,
-				"engine":         eng.String(),
-				"workers":        *workers,
-				"shards":         *shards,
-				"num_vns":        a.NumVNs,
-				"outcome":        res.Outcome.Tag(),
-				"states":         res.States,
-				"peak_states":    res.States,
-				"max_depth":      res.MaxDepth,
-				"states_per_sec": res.Stats.StatesPerSec,
-				"speedup":        speedup,
-				"dedup_hit_rate": res.Stats.DedupHitRate,
-				"heap_bytes":     res.Stats.HeapBytes,
-				"seconds":        res.Duration.Seconds(),
-			})
+				res.Stats.HeapBytes>>20, occ.GlobalHighWater, occ.LocalHighWater,
+				res.Duration.Round(1e6))
+			run := map[string]any{
+				"protocol":        p.Name,
+				"engine":          eng.String(),
+				"workers":         *workers,
+				"shards":          *shards,
+				"num_vns":         a.NumVNs,
+				"outcome":         res.Outcome.Tag(),
+				"states":          res.States,
+				"peak_states":     res.States,
+				"max_depth":       res.MaxDepth,
+				"states_per_sec":  res.Stats.StatesPerSec,
+				"speedup":         speedup,
+				"dedup_hit_rate":  res.Stats.DedupHitRate,
+				"heap_bytes":      res.Stats.HeapBytes,
+				"seconds":         res.Duration.Seconds(),
+				"occ_global_hwm":  occ.GlobalHighWater,
+				"occ_local_hwm":   occ.LocalHighWater,
+				"occ_global_mean": gMean,
+				"occ_local_mean":  lMean,
+			}
+			// The full per-VN histograms ride along once per protocol,
+			// on the baseline engine's row (the parity check guarantees
+			// the other engines' aggregates are identical).
+			if eng == engList[0] {
+				run["occupancy"] = occ
+			}
+			runs = append(runs, run)
 		}
 	}
 	art.Outcome = "ok"
@@ -160,10 +219,24 @@ func main() {
 		art.Outcome = "engine-mismatch"
 	}
 	art.Metrics = map[string]any{"runs": runs}
+	if err := tel.WriteTrace(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "vnbench: trace-out:", err)
+		os.Exit(1)
+	}
 	if err := art.WriteFile(*out); err != nil {
 		fmt.Fprintln(os.Stderr, "vnbench:", err)
 		os.Exit(1)
 	}
 	fmt.Printf("wrote %s\n", *out)
+	// -stats-json writes a second copy of the artifact, so pipelines
+	// that collect stats-json from every tool need not special-case the
+	// benchmark's -out.
+	if tel.StatsJSON != "" && tel.StatsJSON != *out {
+		if err := art.WriteFile(tel.StatsJSON); err != nil {
+			fmt.Fprintln(os.Stderr, "vnbench: stats-json:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", tel.StatsJSON)
+	}
 	os.Exit(exitCode)
 }

@@ -1,0 +1,125 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestGoldenMSIBlocking pins the full explanation of the MSI blocking
+// cache's Class 2 deadlock: the per-message hunt is a seeded sequential
+// DFS, so the counterexample — and therefore the report, including the
+// blocking cycle's messages, VNs, and queue positions — is
+// deterministic. Regenerate with:
+//
+//	go test ./cmd/vnexplain -run TestGolden -update
+func TestGoldenMSIBlocking(t *testing.T) {
+	dot := filepath.Join(t.TempDir(), "deadlock.dot")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-chart", "4", "-dot", dot, "MSI_blocking_cache"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("run = %d, stderr: %s", code, stderr.String())
+	}
+
+	// The dot path is temp-dir dependent; pin its content separately
+	// and strip the "wrote …" line from the golden body.
+	var kept []string
+	for _, line := range strings.Split(stdout.String(), "\n") {
+		if strings.HasPrefix(line, "wrote ") {
+			continue
+		}
+		kept = append(kept, line)
+	}
+	got := strings.Join(kept, "\n")
+
+	golden := filepath.Join("testdata", "msi_blocking.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		want, err := os.ReadFile(golden)
+		if err != nil {
+			t.Fatalf("missing golden file (run with -update): %v", err)
+		}
+		if got != string(want) {
+			t.Errorf("output changed; run with -update if intended.\n--- got ---\n%s--- want ---\n%s", got, want)
+		}
+	}
+
+	data, err := os.ReadFile(dot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"digraph deadlock", "\"Fwd-GetM\"", "color=red", "style=dashed", "queues C0.vn5"} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("dot output misses %q:\n%s", want, data)
+		}
+	}
+}
+
+// TestNoDeadlockExit: a Class 3 protocol under its minimal assignment
+// has no deadlock to explain; the command must say so and exit 1.
+func TestNoDeadlockExit(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-vn", "minimal", "-caches", "2", "-dirs", "1", "-addrs", "1",
+		"-seed-owned=false", "-max-states", "50000", "-strategy", "bfs",
+		"MSI_nonblocking_cache"}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("run = %d, want 1\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "no deadlock") {
+		t.Errorf("missing no-deadlock notice:\n%s", stdout.String())
+	}
+}
+
+// TestRunErrors covers flag and argument failures.
+func TestRunErrors(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"no_such_protocol"}, &stdout, &stderr); code != 1 {
+		t.Errorf("unknown protocol: run = %d, want 1", code)
+	}
+	if code := run(nil, &stdout, &stderr); code != 2 {
+		t.Errorf("no args: run = %d, want 2", code)
+	}
+	if code := run([]string{"-vn", "bogus", "MSI_blocking_cache"}, &stdout, &stderr); code != 2 {
+		t.Errorf("bad vn mode: run = %d, want 2", code)
+	}
+}
+
+// TestTraceAndStatsArtifacts: the shared telemetry flags produce a
+// Chrome trace and a JSON artifact alongside the explanation.
+func TestTraceAndStatsArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	traceOut := filepath.Join(dir, "trace.json")
+	statsOut := filepath.Join(dir, "stats.json")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-chart", "0", "-trace-out", traceOut, "-stats-json", statsOut,
+		"-occupancy", "MSI_blocking_cache"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("run = %d, stderr: %s", code, stderr.String())
+	}
+	for _, path := range []string{traceOut, statsOut} {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(data) == 0 {
+			t.Errorf("%s is empty", path)
+		}
+	}
+	stats, _ := os.ReadFile(statsOut)
+	for _, want := range []string{`"occupancy"`, `"report"`, `"deadlock"`} {
+		if !strings.Contains(string(stats), want) {
+			t.Errorf("stats artifact misses %s", want)
+		}
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"os"
 	"strings"
 
+	"minvn/internal/cliflag"
 	"minvn/internal/mc"
 	"minvn/internal/obs"
 	"minvn/internal/ptest"
@@ -37,13 +38,18 @@ func run(args []string, stdout, stderr *os.File) int {
 		mutateFrac = fs.Float64("mutate-frac", 0.5, "fraction of cases mutated from built-ins (rest synthesized)")
 		shrink     = fs.Bool("shrink", true, "delta-debug violations to minimal repros")
 		reproDir   = fs.String("repro-dir", "vnfuzz-repros", "directory for violation repro artifacts")
-		statsJSON  = fs.String("stats-json", "", "write a machine-readable campaign artifact to this file")
-		progress   = fs.Bool("progress", false, "print per-case progress to stderr")
 		stopOnViol = fs.Bool("stop-on-violation", false, "abort the campaign at the first oracle violation")
 		selfTest   = fs.Bool("self-test", false, "run the fault-injection self-test instead of a campaign")
 	)
+	tel := cliflag.Register(fs,
+		cliflag.FlagProgress|cliflag.FlagStatsJSON|cliflag.FlagPprof|cliflag.FlagTrace)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+
+	if err := tel.StartPprof(stderr); err != nil {
+		fmt.Fprintln(stderr, "vnfuzz: pprof:", err)
+		return 1
 	}
 
 	engs, err := parseEngines(*engines)
@@ -78,8 +84,16 @@ func run(args []string, stdout, stderr *os.File) int {
 		Shrink:          *shrink,
 		StopOnViolation: *stopOnViol,
 	}
-	if *progress {
+	// The campaign lane times the fuzzing loop itself: one instant per
+	// case, named by verdict. Lane is nil-safe, so the hook only needs
+	// installing when progress or tracing asked for it.
+	lane := tel.Recorder().Lane("campaign")
+	if tel.Progress || lane != nil {
 		cfg.OnCase = func(i int, c *ptest.Case, r *ptest.CaseResult) {
+			lane.InstantArg("case/"+r.Verdict.String(), "index", int64(i))
+			if !tel.Progress {
+				return
+			}
 			line := fmt.Sprintf("case %4d/%d seed=%-20d %-28s %s", i+1, *count, c.Seed, c.Origin, r.Verdict)
 			if r.Verdict.IsViolation() {
 				line += " " + r.Detail
@@ -109,7 +123,11 @@ func run(args []string, stdout, stderr *os.File) int {
 		fmt.Fprintf(stdout, "  repro: %s\n", path)
 	}
 
-	if *statsJSON != "" {
+	if err := tel.WriteTrace(stdout); err != nil {
+		fmt.Fprintln(stderr, "vnfuzz: trace-out:", err)
+		return 1
+	}
+	if tel.StatsJSON != "" {
 		art := obs.NewArtifact("vnfuzz")
 		art.Params["seed"] = *seed
 		art.Params["count"] = *count
@@ -135,11 +153,11 @@ func run(args []string, stdout, stderr *os.File) int {
 		if len(reproPaths) > 0 {
 			art.Extra = map[string]any{"repros": reproPaths}
 		}
-		if err := art.WriteFile(*statsJSON); err != nil {
+		if err := art.WriteFile(tel.StatsJSON); err != nil {
 			fmt.Fprintln(stderr, "vnfuzz: stats-json:", err)
 			return 1
 		}
-		fmt.Fprintf(stdout, "wrote %s\n", *statsJSON)
+		fmt.Fprintf(stdout, "wrote %s\n", tel.StatsJSON)
 	}
 	if len(res.Violations) > 0 {
 		return 1

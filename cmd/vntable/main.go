@@ -18,6 +18,7 @@ import (
 	"text/tabwriter"
 
 	"minvn/internal/analysis"
+	"minvn/internal/cliflag"
 	"minvn/internal/machine"
 	"minvn/internal/mc"
 	"minvn/internal/obs"
@@ -77,11 +78,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		engine    = fs.String("engine", "auto", "search engine for BFS cells: auto | seq | levels | pipeline")
 		workers   = fs.Int("workers", 1, "parallel BFS workers (0 = GOMAXPROCS; deadlock cells use DFS and stay sequential)")
 		shards    = fs.Int("shards", 0, "visited-set shards for the pipeline engine (0 = default)")
-
-		progress  = fs.Bool("progress", false, "print live model-checking progress to stderr")
-		statsJSON = fs.String("stats-json", "", "write a machine-readable JSON table artifact to this file")
-		pprofAddr = fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
+	tel := cliflag.Register(fs, cliflag.FlagProgress|cliflag.FlagStatsJSON|cliflag.FlagPprof|cliflag.FlagTrace)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -92,13 +90,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	if *pprofAddr != "" {
-		addr, err := obs.ServePprof(*pprofAddr)
-		if err != nil {
-			fmt.Fprintln(stderr, "vntable: pprof:", err)
-			return 1
-		}
-		fmt.Fprintf(stderr, "pprof: http://%s/debug/pprof/\n", addr)
+	if err := tel.StartPprof(stderr); err != nil {
+		fmt.Fprintln(stderr, "vntable: pprof:", err)
+		return 1
 	}
 
 	w := tabwriter.NewWriter(stdout, 2, 4, 2, ' ', 0)
@@ -144,7 +138,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			mcCol := "-"
 			if *runMC && r.mcMode != "" {
 				out, ok, mcRes := runModelCheck(p, a, r.mcMode,
-					*caches, *dirs, *addrs, *maxStates, *progress,
+					*caches, *dirs, *addrs, *maxStates, tel,
 					eng, *workers, *shards, stderr)
 				mcCol = out
 				if !ok {
@@ -162,7 +156,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	w.Flush()
 
-	if *statsJSON != "" {
+	if err := tel.WriteTrace(stdout); err != nil {
+		fmt.Fprintln(stderr, "vntable: trace-out:", err)
+		return 1
+	}
+	if tel.StatsJSON != "" {
 		art := obs.NewArtifact("vntable")
 		art.Params["mc"] = *runMC
 		art.Params["extensions"] = *ext
@@ -178,11 +176,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 			art.Outcome = "mismatch"
 		}
 		art.Metrics = map[string]any{"rows": artRows}
-		if err := art.WriteFile(*statsJSON); err != nil {
+		if err := art.WriteFile(tel.StatsJSON); err != nil {
 			fmt.Fprintln(stderr, "vntable: stats-json:", err)
 			return 1
 		}
-		fmt.Fprintf(stdout, "wrote %s\n", *statsJSON)
+		fmt.Fprintf(stdout, "wrote %s\n", tel.StatsJSON)
 	}
 	return exitCode
 }
@@ -194,18 +192,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 // to loads and stores (see DESIGN.md). For "verify" cells the
 // computed minimal assignment must show no deadlock up to the bound.
 func runModelCheck(p *protocol.Protocol, a *vnassign.Assignment, mode string,
-	caches, dirs, addrs, maxStates int, progress bool,
+	caches, dirs, addrs, maxStates int, tel *cliflag.Telemetry,
 	engine mc.Engine, workers, shards int, stderr io.Writer) (string, bool, mc.Result) {
 
 	cfg := machine.Config{
 		Protocol: p, Caches: caches, Dirs: dirs, Addrs: addrs,
 	}
 	opts := mc.Options{MaxStates: maxStates, DisableTraces: true}
-	if progress {
+	if tel.Progress {
 		opts.Progress = func(s mc.Snapshot) {
 			fmt.Fprintf(stderr, "[%s] %s\n", p.Name, s)
 		}
+		opts.ProgressEvery = tel.ProgressEvery
+		opts.ProgressInterval = tel.ProgressInterval
 	}
+	// All cells share one recorder; each run contributes its own lanes.
+	opts.Trace = tel.Recorder()
 
 	switch mode {
 	case "deadlock":

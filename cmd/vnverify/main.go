@@ -10,8 +10,8 @@ import (
 	"fmt"
 	"os"
 	"strings"
-	"time"
 
+	"minvn/internal/cliflag"
 	"minvn/internal/machine"
 	"minvn/internal/mc"
 	"minvn/internal/obs"
@@ -19,6 +19,14 @@ import (
 	"minvn/internal/protocols"
 	"minvn/internal/vnassign"
 )
+
+// capLabel renders a queue capacity, where 0 means unbounded.
+func capLabel(c int) string {
+	if c <= 0 {
+		return "∞"
+	}
+	return fmt.Sprint(c)
+}
 
 func main() {
 	var (
@@ -43,13 +51,8 @@ func main() {
 		invar     = flag.Bool("invariants", false, "check SWMR/bookkeeping invariants on every state")
 		trace     = flag.Bool("trace", false, "print the counterexample trace on deadlock/violation")
 		seedOwned = flag.Bool("seed-owned", false, "seed the search with caches 0 and 1 owning addresses 0 and 1")
-
-		progress      = flag.Bool("progress", false, "print live search progress to stderr")
-		progressEvery = flag.Int("progress-every", 50_000, "progress snapshot every N stored states")
-		progressSec   = flag.Duration("progress-interval", 5*time.Second, "progress snapshot every wall-clock interval (0 = count-only)")
-		statsJSON     = flag.String("stats-json", "", "write a machine-readable JSON run artifact to this file")
-		pprofAddr     = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
+	tel := cliflag.Register(flag.CommandLine, cliflag.FlagAll)
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: vnverify [flags] <protocol>")
@@ -62,13 +65,9 @@ func main() {
 		os.Exit(2)
 	}
 
-	if *pprofAddr != "" {
-		addr, err := obs.ServePprof(*pprofAddr)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "vnverify: pprof:", err)
-			os.Exit(1)
-		}
-		fmt.Fprintf(os.Stderr, "pprof: http://%s/debug/pprof/\n", addr)
+	if err := tel.StartPprof(os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "vnverify: pprof:", err)
+		os.Exit(1)
 	}
 
 	p, err := loadProtocol(flag.Arg(0), *fromFile)
@@ -129,7 +128,7 @@ func main() {
 				bad++
 			}
 		}
-		if *statsJSON != "" {
+		if tel.StatsJSON != "" {
 			art := runArtifact(p.Name, *vnMode, numVNs, vn, cfg, mc.Options{}, 0)
 			art.Outcome = "walks-ok"
 			if bad > 0 {
@@ -137,7 +136,7 @@ func main() {
 			}
 			art.Metrics = map[string]any{"walks": *walk, "walk_steps": *walkSteps, "bad": bad}
 			art.Stages = tl.Stages()
-			if err := art.WriteFile(*statsJSON); err != nil {
+			if err := art.WriteFile(tel.StatsJSON); err != nil {
 				fmt.Fprintln(os.Stderr, "vnverify: stats-json:", err)
 				os.Exit(1)
 			}
@@ -167,10 +166,11 @@ func main() {
 	if strings.EqualFold(*strategy, "dfs") {
 		opts.Strategy = mc.DFS
 	}
-	if *progress {
-		opts.Progress = func(s mc.Snapshot) { fmt.Fprintln(os.Stderr, s) }
-		opts.ProgressEvery = *progressEvery
-		opts.ProgressInterval = *progressSec
+	tel.Configure(&opts, os.Stderr)
+	var prof *machine.OccupancyProfiler
+	if tel.Occupancy {
+		prof = sys.NewOccupancyProfiler()
+		opts.Observer = prof
 	}
 
 	fmt.Printf("model checking %s: %d caches, %d dirs, %d addrs, %d VNs (%s), %v\n",
@@ -182,7 +182,18 @@ func main() {
 	if res.Message != "" {
 		fmt.Println(res.Message)
 	}
-	if *statsJSON != "" {
+	if err := tel.WriteTrace(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "vnverify: trace-out:", err)
+		os.Exit(1)
+	}
+	if prof != nil {
+		st := prof.Stats()
+		fmt.Printf("occupancy over %d states: global high water %d/%s, local high water %d/%s\n",
+			st.StatesObserved,
+			st.GlobalHighWater, capLabel(st.GlobalCap),
+			st.LocalHighWater, capLabel(st.LocalCap))
+	}
+	if tel.StatsJSON != "" {
 		art := runArtifact(p.Name, *vnMode, numVNs, vn, cfg, opts, *workers)
 		art.Params["engine"] = eng.String()
 		art.Params["shards"] = *shards
@@ -192,11 +203,17 @@ func main() {
 		if res.Message != "" {
 			art.Extra = map[string]any{"message": res.Message}
 		}
-		if err := art.WriteFile(*statsJSON); err != nil {
+		if prof != nil {
+			if art.Extra == nil {
+				art.Extra = map[string]any{}
+			}
+			art.Extra["occupancy"] = prof.Stats()
+		}
+		if err := art.WriteFile(tel.StatsJSON); err != nil {
 			fmt.Fprintln(os.Stderr, "vnverify: stats-json:", err)
 			os.Exit(1)
 		}
-		fmt.Printf("wrote %s\n", *statsJSON)
+		fmt.Printf("wrote %s\n", tel.StatsJSON)
 	}
 	if *trace && len(res.Trace) > 0 {
 		last := res.Trace[len(res.Trace)-1]

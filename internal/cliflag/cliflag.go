@@ -1,0 +1,138 @@
+// Package cliflag factors the telemetry flag set shared by the repo's
+// CLIs (vnverify, vntable, vnbench, vnfuzz, vnexplain): live progress,
+// JSON run artifacts, pprof, the flight recorder, and per-VN occupancy
+// profiling. Each command registers the subset it supports on its flag
+// set and gets one Telemetry value carrying the parsed knobs plus the
+// helpers that turn them into mc.Options wiring.
+package cliflag
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"time"
+
+	"minvn/internal/mc"
+	"minvn/internal/obs"
+	"minvn/internal/obs/trace"
+)
+
+// Flags selects which telemetry flags Register defines.
+type Flags uint
+
+const (
+	// FlagProgress defines -progress, -progress-every, and
+	// -progress-interval.
+	FlagProgress Flags = 1 << iota
+	// FlagStatsJSON defines -stats-json.
+	FlagStatsJSON
+	// FlagPprof defines -pprof.
+	FlagPprof
+	// FlagTrace defines -trace-out, -trace-lane-cap, and -trace-sample.
+	FlagTrace
+	// FlagOccupancy defines -occupancy.
+	FlagOccupancy
+
+	// FlagAll registers the whole set.
+	FlagAll = FlagProgress | FlagStatsJSON | FlagPprof | FlagTrace | FlagOccupancy
+)
+
+// Telemetry carries the parsed telemetry knobs for one command.
+type Telemetry struct {
+	Progress         bool
+	ProgressEvery    int
+	ProgressInterval time.Duration
+
+	StatsJSON string
+	PprofAddr string
+
+	TraceOut     string
+	TraceLaneCap int
+	TraceSample  int
+
+	Occupancy bool
+
+	rec *trace.Recorder
+}
+
+// Register defines the selected telemetry flags on fs and returns the
+// Telemetry they parse into.
+func Register(fs *flag.FlagSet, which Flags) *Telemetry {
+	t := &Telemetry{}
+	if which&FlagProgress != 0 {
+		fs.BoolVar(&t.Progress, "progress", false, "print live search progress to stderr")
+		fs.IntVar(&t.ProgressEvery, "progress-every", 50_000, "progress snapshot every N stored states")
+		fs.DurationVar(&t.ProgressInterval, "progress-interval", 5*time.Second, "progress snapshot every wall-clock interval (0 = count-only)")
+	}
+	if which&FlagStatsJSON != 0 {
+		fs.StringVar(&t.StatsJSON, "stats-json", "", "write a machine-readable JSON run artifact to this file")
+	}
+	if which&FlagPprof != 0 {
+		fs.StringVar(&t.PprofAddr, "pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	}
+	if which&FlagTrace != 0 {
+		fs.StringVar(&t.TraceOut, "trace-out", "", "record a flight-recorder trace of the run and write Chrome trace JSON (Perfetto-loadable) to this file")
+		fs.IntVar(&t.TraceLaneCap, "trace-lane-cap", 0, "events retained per trace lane (0 = default)")
+		fs.IntVar(&t.TraceSample, "trace-sample", 0, "record only every Nth span per lane (0 or 1 = all)")
+	}
+	if which&FlagOccupancy != 0 {
+		fs.BoolVar(&t.Occupancy, "occupancy", false, "aggregate per-VN queue-depth histograms across stored states")
+	}
+	return t
+}
+
+// StartPprof serves net/http/pprof when -pprof was given, announcing
+// the URL on stderr. A no-op otherwise.
+func (t *Telemetry) StartPprof(stderr io.Writer) error {
+	if t.PprofAddr == "" {
+		return nil
+	}
+	addr, err := obs.ServePprof(t.PprofAddr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "pprof: http://%s/debug/pprof/\n", addr)
+	return nil
+}
+
+// Configure wires progress reporting and the flight recorder into a
+// search's options. Occupancy observers depend on the model and stay
+// with the caller (see machine.System.NewOccupancyProfiler).
+func (t *Telemetry) Configure(opts *mc.Options, stderr io.Writer) {
+	if t.Progress {
+		opts.Progress = func(s mc.Snapshot) { fmt.Fprintln(stderr, s) }
+		opts.ProgressEvery = t.ProgressEvery
+		opts.ProgressInterval = t.ProgressInterval
+	}
+	if opts.Trace == nil {
+		opts.Trace = t.Recorder()
+	}
+}
+
+// Recorder lazily builds the flight recorder; nil unless -trace-out
+// was given, so it can be assigned into mc.Options unconditionally.
+func (t *Telemetry) Recorder() *trace.Recorder {
+	if t.TraceOut == "" {
+		return nil
+	}
+	if t.rec == nil {
+		t.rec = trace.New(trace.Config{
+			LaneCapacity: t.TraceLaneCap,
+			SampleEvery:  t.TraceSample,
+		})
+	}
+	return t.rec
+}
+
+// WriteTrace exports the recorded trace to -trace-out, announcing the
+// path on stdout. A no-op when tracing was never turned on.
+func (t *Telemetry) WriteTrace(stdout io.Writer) error {
+	if t.rec == nil {
+		return nil
+	}
+	if err := t.rec.WriteFile(t.TraceOut); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "wrote %s\n", t.TraceOut)
+	return nil
+}

@@ -1,0 +1,141 @@
+package cliflag
+
+import (
+	"bytes"
+	"flag"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"minvn/internal/mc"
+	"minvn/internal/obs/trace/tracetest"
+)
+
+// TestRegisterSubsets: each Flags bit defines exactly its own flags,
+// so a command that opts out of (say) occupancy never exposes the
+// flag.
+func TestRegisterSubsets(t *testing.T) {
+	cases := []struct {
+		which   Flags
+		defined []string
+		absent  []string
+	}{
+		{FlagProgress, []string{"progress", "progress-every", "progress-interval"}, []string{"stats-json", "pprof", "trace-out", "occupancy"}},
+		{FlagStatsJSON, []string{"stats-json"}, []string{"progress", "trace-out"}},
+		{FlagPprof, []string{"pprof"}, []string{"stats-json"}},
+		{FlagTrace, []string{"trace-out", "trace-lane-cap", "trace-sample"}, []string{"occupancy"}},
+		{FlagOccupancy, []string{"occupancy"}, []string{"trace-out"}},
+		{FlagAll, []string{"progress", "progress-every", "progress-interval", "stats-json", "pprof", "trace-out", "trace-lane-cap", "trace-sample", "occupancy"}, nil},
+	}
+	for _, tc := range cases {
+		fs := flag.NewFlagSet("test", flag.ContinueOnError)
+		Register(fs, tc.which)
+		for _, name := range tc.defined {
+			if fs.Lookup(name) == nil {
+				t.Errorf("Register(%b) missing -%s", tc.which, name)
+			}
+		}
+		for _, name := range tc.absent {
+			if fs.Lookup(name) != nil {
+				t.Errorf("Register(%b) unexpectedly defines -%s", tc.which, name)
+			}
+		}
+	}
+}
+
+func TestParseDefaultsAndValues(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	tel := Register(fs, FlagAll)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if tel.Progress || tel.ProgressEvery != 50_000 || tel.ProgressInterval != 5*time.Second {
+		t.Errorf("progress defaults: %+v", tel)
+	}
+	if tel.StatsJSON != "" || tel.PprofAddr != "" || tel.TraceOut != "" || tel.Occupancy {
+		t.Errorf("output defaults: %+v", tel)
+	}
+
+	fs = flag.NewFlagSet("test", flag.ContinueOnError)
+	tel = Register(fs, FlagAll)
+	err := fs.Parse([]string{"-progress", "-progress-every", "10", "-progress-interval", "1s",
+		"-stats-json", "s.json", "-trace-out", "t.json", "-trace-lane-cap", "32",
+		"-trace-sample", "4", "-occupancy"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tel.Progress || tel.ProgressEvery != 10 || tel.ProgressInterval != time.Second ||
+		tel.StatsJSON != "s.json" || tel.TraceOut != "t.json" ||
+		tel.TraceLaneCap != 32 || tel.TraceSample != 4 || !tel.Occupancy {
+		t.Errorf("parsed values: %+v", tel)
+	}
+}
+
+// TestConfigure: progress wiring only happens when asked for, and the
+// recorder is only built when -trace-out was given.
+func TestConfigure(t *testing.T) {
+	tel := &Telemetry{}
+	var opts mc.Options
+	tel.Configure(&opts, io.Discard)
+	if opts.Progress != nil || opts.Trace != nil {
+		t.Errorf("idle telemetry configured something: %+v", opts)
+	}
+	if tel.Recorder() != nil {
+		t.Error("Recorder without -trace-out should be nil")
+	}
+	if err := tel.WriteTrace(io.Discard); err != nil {
+		t.Errorf("WriteTrace without recorder: %v", err)
+	}
+
+	var buf bytes.Buffer
+	tel = &Telemetry{Progress: true, ProgressEvery: 7, ProgressInterval: time.Minute,
+		TraceOut: filepath.Join(t.TempDir(), "trace.json")}
+	opts = mc.Options{}
+	tel.Configure(&opts, &buf)
+	if opts.Progress == nil || opts.ProgressEvery != 7 || opts.ProgressInterval != time.Minute {
+		t.Errorf("progress not wired: %+v", opts)
+	}
+	opts.Progress(mc.Snapshot{States: 5})
+	if buf.Len() == 0 {
+		t.Error("progress callback wrote nothing")
+	}
+	if opts.Trace == nil || opts.Trace != tel.Recorder() {
+		t.Error("recorder not wired into options")
+	}
+	// A caller-supplied recorder wins over the flag-built one.
+	pre := mc.Options{Trace: opts.Trace}
+	tel.Configure(&pre, io.Discard)
+	if pre.Trace != opts.Trace {
+		t.Error("Configure replaced a caller-supplied recorder")
+	}
+}
+
+// TestWriteTrace runs a real checked search through the flag-built
+// recorder and validates the exported file as Chrome trace JSON.
+func TestWriteTrace(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.json")
+	tel := &Telemetry{TraceOut: path}
+	lane := tel.Recorder().Lane("test-lane")
+	sp := lane.Start("work")
+	sp.End()
+	lane.Instant("done")
+
+	var out bytes.Buffer
+	if err := tel.WriteTrace(&out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), path) {
+		t.Errorf("WriteTrace did not announce the path: %q", out.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := tracetest.Validate(t, data)
+	if len(tracetest.Named(events, "work")) == 0 {
+		t.Errorf("exported trace misses the recorded span")
+	}
+}

@@ -1,0 +1,191 @@
+package icn
+
+// Occupancy profiling: aggregate per-VN queue-depth distributions over
+// the states a model-checking run stores. The paper sizes virtual
+// networks so that its sufficient condition holds; these histograms are
+// the empirical counterpart — across every reachable (stored) state,
+// how deep do each VN's global buffers and endpoint input FIFOs
+// actually get, and how close do they come to the configured
+// capacities? Shallow occupancy under the computed minimal assignment
+// is the evidence that minimizing VNs does not trade deadlock freedom
+// for congestion.
+
+// VNOccupancy aggregates one virtual network's queue depths across all
+// observed states. Histogram index d counts observations of depth d:
+// GlobalHist counts one observation per global buffer per state (two
+// per state), LocalHist one per endpoint input FIFO per state.
+type VNOccupancy struct {
+	VN int `json:"vn"`
+	// Messages lists the message names assigned to this VN, when the
+	// observer knows the assignment (machine-level profilers fill it).
+	Messages []string `json:"messages,omitempty"`
+
+	GlobalHist []int64 `json:"global_depth_hist"`
+	LocalHist  []int64 `json:"local_depth_hist"`
+
+	// High-water marks: the deepest any global buffer / endpoint FIFO
+	// of this VN got in any observed state.
+	GlobalHighWater int `json:"global_high_water"`
+	LocalHighWater  int `json:"local_high_water"`
+}
+
+// meanDepth computes the observation-weighted mean of a depth
+// histogram.
+func meanDepth(hist []int64) float64 {
+	var n, sum int64
+	for d, c := range hist {
+		n += c
+		sum += int64(d) * c
+	}
+	if n == 0 {
+		return 0
+	}
+	return float64(sum) / float64(n)
+}
+
+// GlobalMeanDepth is the mean global-buffer depth across observations.
+func (v *VNOccupancy) GlobalMeanDepth() float64 { return meanDepth(v.GlobalHist) }
+
+// LocalMeanDepth is the mean endpoint-FIFO depth across observations.
+func (v *VNOccupancy) LocalMeanDepth() float64 { return meanDepth(v.LocalHist) }
+
+// OccupancyStats is the serializable aggregate over a whole run.
+type OccupancyStats struct {
+	// StatesObserved counts the states aggregated — for the model
+	// checker, the distinct stored states.
+	StatesObserved int64 `json:"states_observed"`
+	// GlobalCap and LocalCap record the configured capacities so the
+	// histograms can be read against their ceilings.
+	GlobalCap int `json:"global_cap"`
+	LocalCap  int `json:"local_cap"`
+
+	PerVN []VNOccupancy `json:"per_vn"`
+
+	// GlobalHighWater and LocalHighWater are the maxima over all VNs —
+	// the headline "how deep did any queue get" numbers.
+	GlobalHighWater int `json:"global_high_water"`
+	LocalHighWater  int `json:"local_high_water"`
+}
+
+// Equal reports whether two aggregates are identical — the engine
+// parity tests' comparison.
+func (o *OccupancyStats) Equal(p *OccupancyStats) bool {
+	if o == nil || p == nil {
+		return o == p
+	}
+	if o.StatesObserved != p.StatesObserved ||
+		o.GlobalCap != p.GlobalCap || o.LocalCap != p.LocalCap ||
+		o.GlobalHighWater != p.GlobalHighWater || o.LocalHighWater != p.LocalHighWater ||
+		len(o.PerVN) != len(p.PerVN) {
+		return false
+	}
+	histEq := func(a, b []int64) bool {
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	for i := range o.PerVN {
+		a, b := &o.PerVN[i], &p.PerVN[i]
+		if a.VN != b.VN || a.GlobalHighWater != b.GlobalHighWater ||
+			a.LocalHighWater != b.LocalHighWater ||
+			!histEq(a.GlobalHist, b.GlobalHist) || !histEq(a.LocalHist, b.LocalHist) {
+			return false
+		}
+	}
+	return true
+}
+
+// OccupancyProfiler accumulates OccupancyStats state by state. Not
+// safe for concurrent use; the model checker feeds it from its
+// single-threaded store path.
+type OccupancyProfiler struct {
+	cfg     Config
+	stats   OccupancyStats
+	scratch *State // reused decode target for ObserveEncoded
+}
+
+// NewOccupancyProfiler builds a profiler for states shaped by cfg.
+func NewOccupancyProfiler(cfg Config) *OccupancyProfiler {
+	p := &OccupancyProfiler{cfg: cfg, scratch: NewState(cfg)}
+	p.stats.GlobalCap = cfg.GlobalCap
+	p.stats.LocalCap = cfg.LocalCap
+	p.stats.PerVN = make([]VNOccupancy, cfg.NumVNs)
+	for vn := range p.stats.PerVN {
+		p.stats.PerVN[vn] = VNOccupancy{
+			VN: vn,
+			// Depth d needs hist slot d; preallocating cap+1 keeps the
+			// hot path free of growth checks.
+			GlobalHist: make([]int64, cfg.GlobalCap+1),
+			LocalHist:  make([]int64, cfg.LocalCap+1),
+		}
+	}
+	return p
+}
+
+// Observe aggregates one decoded state.
+func (p *OccupancyProfiler) Observe(s *State) {
+	p.stats.StatesObserved++
+	for vn := range s.Global {
+		v := &p.stats.PerVN[vn]
+		for b := 0; b < 2; b++ {
+			d := len(s.Global[vn][b])
+			v.GlobalHist[d]++
+			if d > v.GlobalHighWater {
+				v.GlobalHighWater = d
+				if d > p.stats.GlobalHighWater {
+					p.stats.GlobalHighWater = d
+				}
+			}
+		}
+	}
+	for e := range s.Local {
+		for vn := range s.Local[e] {
+			v := &p.stats.PerVN[vn]
+			d := len(s.Local[e][vn])
+			v.LocalHist[d]++
+			if d > v.LocalHighWater {
+				v.LocalHighWater = d
+				if d > p.stats.LocalHighWater {
+					p.stats.LocalHighWater = d
+				}
+			}
+		}
+	}
+}
+
+// ObserveEncoded decodes an encoded network state (as produced by
+// State.Encode) into the profiler's scratch state and aggregates it.
+func (p *OccupancyProfiler) ObserveEncoded(data []byte) error {
+	if _, err := DecodeInto(p.cfg, p.scratch, data); err != nil {
+		return err
+	}
+	p.Observe(p.scratch)
+	return nil
+}
+
+// Stats returns a deep copy of the aggregate so far, with trailing
+// all-zero histogram buckets beyond each VN's high-water mark trimmed
+// (the serialized form stays readable for large capacities).
+func (p *OccupancyProfiler) Stats() *OccupancyStats {
+	out := p.stats
+	out.PerVN = make([]VNOccupancy, len(p.stats.PerVN))
+	for i, v := range p.stats.PerVN {
+		c := v
+		c.Messages = append([]string(nil), v.Messages...)
+		c.GlobalHist = append([]int64(nil), v.GlobalHist[:v.GlobalHighWater+1]...)
+		c.LocalHist = append([]int64(nil), v.LocalHist[:v.LocalHighWater+1]...)
+		out.PerVN[i] = c
+	}
+	return &out
+}
+
+// SetMessages labels a VN with the message names assigned to it.
+func (p *OccupancyProfiler) SetMessages(vn int, names []string) {
+	p.stats.PerVN[vn].Messages = append([]string(nil), names...)
+}

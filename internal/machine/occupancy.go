@@ -1,0 +1,60 @@
+package machine
+
+import (
+	"fmt"
+	"sort"
+
+	"minvn/internal/icn"
+)
+
+// OccupancyProfiler adapts icn.OccupancyProfiler to the model
+// checker's state-observer hook: it slices the network portion out of
+// an encoded system state and aggregates its per-VN queue depths. One
+// profiler observes one run; feed it to mc.Options.Observer.
+//
+// Like System.decode, it only ever sees bytes the system itself
+// encoded, so a malformed state is a programming bug and panics rather
+// than returning an error through the checker's hot path.
+type OccupancyProfiler struct {
+	prof *icn.OccupancyProfiler
+	// ctrlBytes is the length of the controller-entry prefix that
+	// precedes the network encoding in every encoded state.
+	ctrlBytes int
+}
+
+// NewOccupancyProfiler builds a profiler for this system's states,
+// with each VN labeled by the message names assigned to it.
+func (s *System) NewOccupancyProfiler() *OccupancyProfiler {
+	p := &OccupancyProfiler{
+		prof:      icn.NewOccupancyProfiler(s.net),
+		ctrlBytes: (s.cfg.Caches + 1) * s.cfg.Addrs * 4,
+	}
+	byVN := make([][]string, s.cfg.NumVNs)
+	for name, vn := range s.cfg.VN {
+		byVN[vn] = append(byVN[vn], name)
+	}
+	for vn, names := range byVN {
+		sort.Strings(names)
+		p.prof.SetMessages(vn, names)
+	}
+	return p
+}
+
+// Observe implements mc.StateObserver for encoded system states.
+func (p *OccupancyProfiler) Observe(state []byte) {
+	if len(state) < p.ctrlBytes {
+		panic(fmt.Sprintf("machine: occupancy observer: state truncated to %d bytes (controllers need %d)",
+			len(state), p.ctrlBytes))
+	}
+	if err := p.prof.ObserveEncoded(state[p.ctrlBytes:]); err != nil {
+		panic(fmt.Sprintf("machine: occupancy observer: corrupt network state: %v", err))
+	}
+}
+
+// Summary implements the checker's optional summarizing-observer
+// extension: the occupancy aggregate is embedded in every mc.Snapshot.
+func (p *OccupancyProfiler) Summary() any { return p.prof.Stats() }
+
+// Stats returns the typed aggregate for direct consumers (CLIs,
+// parity tests).
+func (p *OccupancyProfiler) Stats() *icn.OccupancyStats { return p.prof.Stats() }

@@ -1,0 +1,280 @@
+package machine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"minvn/internal/relation"
+)
+
+// Deadlock reporting: tie the paper's static waits/queues relations to
+// one concrete wedged state. Explain (explain.go) narrates which queue
+// heads are stalled; DeadlockReport goes further and produces the
+// machine-readable picture the vnexplain CLI renders — every in-flight
+// message annotated with its VN and queue position, the active
+// blocking edges among the message names present, and the cycle that
+// closes the deadlock (the dynamic instance of an Eq. 4 witness).
+
+// InFlightMsg is one message occupying a queue of the wedged state.
+type InFlightMsg struct {
+	Msg  string `json:"msg"`
+	VN   int    `json:"vn"`
+	Addr int    `json:"addr"`
+	Src  int    `json:"src"`
+	// Queue names the FIFO holding the message: "C1.vn3" for cache 1's
+	// VN-3 input FIFO, "D0.vn2" for a directory's, "vn3.g0" for a
+	// global buffer. Pos is the position in that FIFO (0 = head).
+	Queue string `json:"queue"`
+	Pos   int    `json:"pos"`
+	// Stalled marks the head of an input FIFO whose delivery the
+	// receiving controller stalls.
+	Stalled bool `json:"stalled"`
+}
+
+// ReportEdge is one active blocking edge, in blocked-on direction:
+// From cannot make progress until To does.
+type ReportEdge struct {
+	// Kind is "waits" (From's transaction awaits a To, Eq. 3) or
+	// "queues" (From is queued behind a stalled To in the same FIFO).
+	Kind string `json:"kind"`
+	From string `json:"from"`
+	To   string `json:"to"`
+	// Where names the concrete FIFO for queues edges.
+	Where string `json:"where,omitempty"`
+}
+
+// DeadlockReport is the full annotation of a wedged state.
+type DeadlockReport struct {
+	Blocked  []BlockedHead `json:"blocked"`
+	Messages []InFlightMsg `json:"messages"`
+	Edges    []ReportEdge  `json:"edges"`
+	// Cycle is a blocking cycle over the active edges, in edge order
+	// (the last element is blocked on the first; a single element is a
+	// self-loop), or nil when the state is starved rather than
+	// cyclically blocked.
+	Cycle []string `json:"cycle,omitempty"`
+	// VN maps every message name appearing above to its virtual
+	// network under the run's assignment.
+	VN map[string]int `json:"vn"`
+}
+
+// epLabel names an endpoint the way SequenceChart does: C<n> for
+// caches, D<n> for directories.
+func (s *System) epLabel(ep int) string {
+	if s.isCache(ep) {
+		return fmt.Sprintf("C%d", ep)
+	}
+	return fmt.Sprintf("D%d", ep-s.cfg.Caches)
+}
+
+// DeadlockReport analyzes an encoded (wedged) state against the
+// protocol's static waits relation (analysis.Result.Waits). The report
+// is deterministic: messages are listed queue by queue, edges sorted.
+func (s *System) DeadlockReport(raw []byte, waits *relation.Relation) *DeadlockReport {
+	st := s.decode(raw)
+	ex := s.Explain(raw)
+	rep := &DeadlockReport{Blocked: ex.Blocked, VN: map[string]int{}}
+
+	// Stalled heads by (endpoint, VN), for annotating the message list.
+	stalledAt := map[[2]int]bool{}
+	stalledNames := map[string]bool{}
+	for _, h := range ex.Blocked {
+		stalledAt[[2]int{h.Endpoint, h.VN}] = true
+		stalledNames[h.Msg] = true
+	}
+
+	present := map[string]bool{}
+	note := func(m InFlightMsg) {
+		rep.Messages = append(rep.Messages, m)
+		present[m.Msg] = true
+		rep.VN[m.Msg] = m.VN
+	}
+	for ep := 0; ep < s.endpoints; ep++ {
+		for vn := 0; vn < s.net.NumVNs; vn++ {
+			q := st.net.Local[ep][vn]
+			queue := fmt.Sprintf("%s.vn%d", s.epLabel(ep), vn)
+			for pos, m := range q {
+				note(InFlightMsg{
+					Msg: s.msgNames[m.Name], VN: vn,
+					Addr: int(m.Addr), Src: int(m.Src),
+					Queue: queue, Pos: pos,
+					Stalled: pos == 0 && stalledAt[[2]int{ep, vn}],
+				})
+			}
+		}
+	}
+	for vn := 0; vn < s.net.NumVNs; vn++ {
+		for b := 0; b < 2; b++ {
+			queue := fmt.Sprintf("vn%d.g%d", vn, b)
+			for pos, m := range st.net.Global[vn][b] {
+				note(InFlightMsg{
+					Msg: s.msgNames[m.Name], VN: vn,
+					Addr: int(m.Addr), Src: int(m.Src),
+					Queue: queue, Pos: pos,
+				})
+			}
+		}
+	}
+
+	// Active edges. Queues edges come from the concrete FIFO contents:
+	// anything behind a stalled head is blocked on that head. Waits
+	// edges are the static relation restricted to the live conflict —
+	// a stalled name on the left, a name present in the state on the
+	// right (the awaited message classes that cannot be produced or
+	// consumed while the cycle stands).
+	active := relation.New()
+	for _, h := range ex.Blocked {
+		queue := fmt.Sprintf("%s.vn%d", s.epLabel(h.Endpoint), h.VN)
+		for _, qm := range h.QueuedBehind {
+			rep.Edges = append(rep.Edges, ReportEdge{
+				Kind: "queues", From: qm.Msg, To: h.Msg, Where: queue,
+			})
+			active.Add(qm.Msg, h.Msg)
+		}
+	}
+	for from := range stalledNames {
+		for _, to := range waits.Image(from) {
+			if !present[to] && !stalledNames[to] {
+				continue
+			}
+			rep.Edges = append(rep.Edges, ReportEdge{Kind: "waits", From: from, To: to})
+			active.Add(from, to)
+		}
+	}
+	sort.Slice(rep.Edges, func(i, j int) bool {
+		a, b := rep.Edges[i], rep.Edges[j]
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind // "queues" before "waits"
+		}
+		if a.From != b.From {
+			return a.From < b.From
+		}
+		if a.To != b.To {
+			return a.To < b.To
+		}
+		return a.Where < b.Where
+	})
+
+	rep.Cycle = active.CycleWitness()
+	return rep
+}
+
+// Positions lists where a message name sits in the wedged state, in
+// report order — the queue annotations the narrative prints.
+func (r *DeadlockReport) Positions(msg string) []InFlightMsg {
+	var out []InFlightMsg
+	for _, m := range r.Messages {
+		if m.Msg == msg {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// String renders the report as the vnexplain narrative.
+func (r *DeadlockReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "in-flight messages (%d):\n", len(r.Messages))
+	for _, m := range r.Messages {
+		mark := ""
+		if m.Stalled {
+			mark = "  << stalled head"
+		}
+		fmt.Fprintf(&b, "  %-12s VN%d  %s[%d]  a%d from ep%d%s\n",
+			m.Msg, m.VN, m.Queue, m.Pos, m.Addr, m.Src, mark)
+	}
+	if len(r.Edges) > 0 {
+		b.WriteString("active blocking edges:\n")
+		for _, e := range r.Edges {
+			where := ""
+			if e.Where != "" {
+				where = " in " + e.Where
+			}
+			fmt.Fprintf(&b, "  %s --%s--> %s%s\n", e.From, e.Kind, e.To, where)
+		}
+	}
+	if len(r.Cycle) > 0 {
+		parts := make([]string, 0, len(r.Cycle)+1)
+		for _, m := range r.Cycle {
+			parts = append(parts, fmt.Sprintf("%s (VN%d)", m, r.VN[m]))
+		}
+		parts = append(parts, parts[0]) // close the loop visually
+		fmt.Fprintf(&b, "blocking cycle: %s\n", strings.Join(parts, " -> "))
+		for _, m := range dedupStrings(r.Cycle) {
+			var locs []string
+			for _, p := range r.Positions(m) {
+				locs = append(locs, fmt.Sprintf("%s[%d]", p.Queue, p.Pos))
+			}
+			fmt.Fprintf(&b, "  %s occupies %s\n", m, strings.Join(locs, ", "))
+		}
+	} else {
+		b.WriteString("no blocking cycle among in-flight messages (starvation, not a queue cycle)\n")
+	}
+	return b.String()
+}
+
+// DOT renders the active blocking graph in Graphviz dot form: one node
+// per message name (labeled with its VN), queues edges dashed and
+// labeled with their FIFO, cycle participants in red.
+func (r *DeadlockReport) DOT() string {
+	onCycle := map[string]bool{}
+	for _, m := range r.Cycle {
+		onCycle[m] = true
+	}
+	cycleEdge := map[[2]string]bool{}
+	for i := range r.Cycle {
+		cycleEdge[[2]string{r.Cycle[i], r.Cycle[(i+1)%len(r.Cycle)]}] = true
+	}
+
+	names := map[string]bool{}
+	for _, e := range r.Edges {
+		names[e.From], names[e.To] = true, true
+	}
+	sorted := make([]string, 0, len(names))
+	for n := range names {
+		sorted = append(sorted, n)
+	}
+	sort.Strings(sorted)
+
+	var b strings.Builder
+	b.WriteString("digraph deadlock {\n")
+	b.WriteString("  rankdir=LR;\n")
+	b.WriteString("  node [shape=box];\n")
+	for _, n := range sorted {
+		attrs := fmt.Sprintf("label=\"%s\\nVN%d\"", n, r.VN[n])
+		if onCycle[n] {
+			attrs += ", color=red, fontcolor=red"
+		}
+		fmt.Fprintf(&b, "  %q [%s];\n", n, attrs)
+	}
+	for _, e := range r.Edges {
+		var attrs []string
+		if e.Kind == "queues" {
+			attrs = append(attrs, "style=dashed")
+		}
+		label := e.Kind
+		if e.Where != "" {
+			label += " " + e.Where
+		}
+		attrs = append(attrs, fmt.Sprintf("label=%q", label))
+		if cycleEdge[[2]string{e.From, e.To}] {
+			attrs = append(attrs, "color=red", "fontcolor=red")
+		}
+		fmt.Fprintf(&b, "  %q -> %q [%s];\n", e.From, e.To, strings.Join(attrs, ", "))
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func dedupStrings(in []string) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, s := range in {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	return out
+}

@@ -1,0 +1,99 @@
+package machine
+
+import (
+	"strings"
+	"testing"
+
+	"minvn/internal/analysis"
+	"minvn/internal/protocols"
+)
+
+// TestDeadlockReportFig3: the report of the Fig. 3 wedged state
+// annotates every in-flight Fwd-GetM with its VN and queue position,
+// derives the same-name queues edges, and closes the blocking cycle.
+func TestDeadlockReportFig3(t *testing.T) {
+	sys := newSys(t, "MSI_blocking_cache", 3, 2, 2, "permsg")
+	state := buildFig3(t, sys)
+	an := analysis.Analyze(protocols.MustLoad("MSI_blocking_cache"))
+
+	rep := sys.DeadlockReport(state, an.Waits)
+	if len(rep.Blocked) != 2 {
+		t.Fatalf("blocked heads = %d, want 2", len(rep.Blocked))
+	}
+
+	// Four Fwd-GetM in flight: two stalled heads, two queued behind.
+	fwd := rep.Positions("Fwd-GetM")
+	if len(fwd) != 4 {
+		t.Fatalf("Fwd-GetM instances = %d, want 4\n%s", len(fwd), rep)
+	}
+	stalled, queued := 0, 0
+	for _, m := range fwd {
+		if m.Stalled {
+			stalled++
+			if m.Pos != 0 {
+				t.Errorf("stalled head at pos %d: %+v", m.Pos, m)
+			}
+		} else if m.Pos == 1 {
+			queued++
+		}
+		if m.Queue == "" || !strings.Contains(m.Queue, ".vn") {
+			t.Errorf("message without a queue annotation: %+v", m)
+		}
+	}
+	if stalled != 2 || queued != 2 {
+		t.Fatalf("stalled/queued = %d/%d, want 2/2\n%s", stalled, queued, rep)
+	}
+
+	// Same-name queueing produces a Fwd-GetM self edge and therefore a
+	// self cycle — the Class 2 signature, now with concrete queues.
+	var sawQueues bool
+	for _, e := range rep.Edges {
+		if e.Kind == "queues" {
+			sawQueues = true
+			if e.From != "Fwd-GetM" || e.To != "Fwd-GetM" || e.Where == "" {
+				t.Errorf("unexpected queues edge %+v", e)
+			}
+		}
+	}
+	if !sawQueues {
+		t.Fatalf("no queues edges:\n%s", rep)
+	}
+	if len(rep.Cycle) == 0 {
+		t.Fatalf("no blocking cycle found:\n%s", rep)
+	}
+	cyc := strings.Join(rep.Cycle, ",")
+	if !strings.Contains(cyc, "Fwd-GetM") {
+		t.Fatalf("cycle %q misses Fwd-GetM", cyc)
+	}
+	if rep.VN["Fwd-GetM"] < 0 {
+		t.Fatalf("Fwd-GetM VN missing: %v", rep.VN)
+	}
+
+	out := rep.String()
+	for _, want := range []string{"stalled head", "blocking cycle:", "Fwd-GetM"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("narrative misses %q:\n%s", want, out)
+		}
+	}
+
+	dot := rep.DOT()
+	for _, want := range []string{"digraph deadlock", "\"Fwd-GetM\"", "color=red", "style=dashed"} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("dot output misses %q:\n%s", want, dot)
+		}
+	}
+}
+
+// TestDeadlockReportCleanState: an unblocked state yields no edges and
+// no cycle.
+func TestDeadlockReportCleanState(t *testing.T) {
+	sys := newSys(t, "MSI_blocking_cache", 2, 1, 1, "permsg")
+	an := analysis.Analyze(protocols.MustLoad("MSI_blocking_cache"))
+	rep := sys.DeadlockReport(sys.Initial()[0], an.Waits)
+	if len(rep.Messages) != 0 || len(rep.Edges) != 0 || rep.Cycle != nil {
+		t.Fatalf("initial-state report not clean:\n%s", rep)
+	}
+	if !strings.Contains(rep.String(), "starvation, not a queue cycle") {
+		t.Error("empty report narrative missing")
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"runtime"
 	"time"
+
+	"minvn/internal/obs/trace"
 )
 
 // Pipelined parallel breadth-first search.
@@ -80,7 +82,13 @@ func CheckPipelined(m Model, opts Options, workers, shards int) Result {
 	start := time.Now()
 	canon, _ := m.(Canonicalizer)
 	named, _ := m.(NamedModel)
+	lane := opts.Trace.Lane("merge")
 	tr := newTracker(opts, start, named != nil)
+	tr.lane = lane
+	wlanes := make([]*trace.Lane, workers)
+	for w := range wlanes {
+		wlanes[w] = opts.Trace.Lane(fmt.Sprintf("worker %d", w))
+	}
 	set := newShardedSet(shards)
 
 	var (
@@ -104,6 +112,9 @@ func CheckPipelined(m Model, opts Options, workers, shards int) Result {
 		if int(depth) > res.MaxDepth {
 			res.MaxDepth = int(depth)
 		}
+		if opts.Observer != nil {
+			opts.Observer.Observe(s)
+		}
 		return id, true
 	}
 
@@ -123,6 +134,7 @@ func CheckPipelined(m Model, opts Options, workers, shards int) Result {
 	}
 
 	finish := func(o Outcome) Result {
+		lane.InstantArg("outcome/"+o.Tag(), "states", int64(len(nodes)))
 		res.Outcome = o
 		res.States = len(nodes)
 		res.Duration = time.Since(start)
@@ -189,16 +201,19 @@ func CheckPipelined(m Model, opts Options, workers, shards int) Result {
 	}
 
 	for w := 0; w < workers; w++ {
+		wl := wlanes[w]
 		go func() {
 			for {
 				select {
 				case <-quit:
 					return
 				case batch := <-workCh:
+					sp := wl.Start("batch")
 					out := make([]pexp, 0, len(batch))
 					for _, w := range batch {
 						out = append(out, expandOne(w))
 					}
+					sp.EndArg("states", int64(len(batch)))
 					select {
 					case resCh <- out:
 					case <-quit:

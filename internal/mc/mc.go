@@ -10,6 +10,8 @@ package mc
 import (
 	"fmt"
 	"time"
+
+	"minvn/internal/obs/trace"
 )
 
 // Model is an explicit-state transition system over opaque encoded
@@ -71,6 +73,26 @@ func (s Strategy) String() string {
 // Progress callback is set without any explicit threshold.
 const DefaultProgressEvery = 100_000
 
+// StateObserver receives every freshly stored state, in storage order,
+// from the single-threaded store path of whichever engine runs the
+// search (implementations need not be thread-safe). Observers are
+// strictly passive: because all engines store the identical state set
+// in the identical order, an observer sees the same sequence no matter
+// which engine ran — the occupancy profiler (machine.OccupancyProfiler)
+// is the canonical implementation.
+type StateObserver interface {
+	Observe(state []byte)
+}
+
+// SummarizingObserver is an optional StateObserver extension: Summary
+// returns a serializable digest of everything observed so far, which
+// the checker embeds in every Snapshot (and therefore in Result.Stats
+// and JSON run artifacts).
+type SummarizingObserver interface {
+	StateObserver
+	Summary() any
+}
+
 // Options bounds and configures a search. The zero value means BFS
 // with no bounds and traces enabled. Negative bounds are treated as 0
 // (unbounded).
@@ -91,6 +113,15 @@ type Options struct {
 	Progress         func(Snapshot)
 	ProgressEvery    int
 	ProgressInterval time.Duration
+	// Trace, when non-nil, records the run into the flight recorder:
+	// expansion spans on per-worker lanes, merge activity, progress
+	// instants, and bound/termination events. Purely observational —
+	// outcome, states, depth, and traces are unchanged.
+	Trace *trace.Recorder
+	// Observer, when non-nil, receives every freshly stored state from
+	// the single-threaded store path (see StateObserver). Purely
+	// observational.
+	Observer StateObserver
 }
 
 // normalized clamps invalid bounds to "unbounded" and applies the
@@ -190,7 +221,9 @@ func Check(m Model, opts Options) Result {
 	start := time.Now()
 	canon, _ := m.(Canonicalizer)
 	named, _ := m.(NamedModel)
+	lane := opts.Trace.Lane("search (" + opts.Strategy.String() + ")")
 	tr := newTracker(opts, start, named != nil)
+	tr.lane = lane
 	key := func(s []byte) string {
 		if canon != nil {
 			return string(canon.Canonicalize(s))
@@ -220,6 +253,9 @@ func Check(m Model, opts Options) Result {
 		if int(depth) > res.MaxDepth {
 			res.MaxDepth = int(depth)
 		}
+		if opts.Observer != nil {
+			opts.Observer.Observe(s)
+		}
 		return id, true
 	}
 
@@ -239,6 +275,7 @@ func Check(m Model, opts Options) Result {
 	}
 
 	finish := func(outcome Outcome) Result {
+		lane.InstantArg("outcome/"+outcome.Tag(), "states", int64(len(nodes)))
 		res.Outcome = outcome
 		res.States = len(nodes)
 		res.Duration = time.Since(start)
@@ -292,11 +329,13 @@ func Check(m Model, opts Options) Result {
 		var succs [][]byte
 		var ruleNames []string
 		var err error
+		sp := lane.Start("expand")
 		if named != nil {
 			succs, ruleNames, err = named.SuccessorsNamed(w.state)
 		} else {
 			succs, err = m.Successors(w.state)
 		}
+		sp.EndArg("succs", int64(len(succs)))
 		res.Rules++
 		if err != nil {
 			res.Message = err.Error()

@@ -1,9 +1,12 @@
 package mc
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 	"time"
+
+	"minvn/internal/obs/trace"
 )
 
 // Level-parallel breadth-first search: each BFS level is expanded by a
@@ -49,7 +52,13 @@ func CheckParallel(m Model, opts Options, workers int) Result {
 	start := time.Now()
 	canon, _ := m.(Canonicalizer)
 	named, _ := m.(NamedModel)
+	lane := opts.Trace.Lane("merge")
 	tr := newTracker(opts, start, named != nil)
+	tr.lane = lane
+	wlanes := make([]*trace.Lane, workers)
+	for w := range wlanes {
+		wlanes[w] = opts.Trace.Lane(fmt.Sprintf("worker %d", w))
+	}
 	key := func(s []byte) string {
 		if canon != nil {
 			return string(canon.Canonicalize(s))
@@ -79,6 +88,9 @@ func CheckParallel(m Model, opts Options, workers int) Result {
 		if int(depth) > res.MaxDepth {
 			res.MaxDepth = int(depth)
 		}
+		if opts.Observer != nil {
+			opts.Observer.Observe(s)
+		}
 		return id, true
 	}
 	trace := func(id int32, last []byte) [][]byte {
@@ -96,6 +108,7 @@ func CheckParallel(m Model, opts Options, workers int) Result {
 		return out
 	}
 	finish := func(o Outcome) Result {
+		lane.InstantArg("outcome/"+o.Tag(), "states", int64(len(nodes)))
 		res.Outcome = o
 		res.States = len(nodes)
 		res.Duration = time.Since(start)
@@ -146,8 +159,10 @@ func CheckParallel(m Model, opts Options, workers int) Result {
 				hi = len(frontier)
 			}
 			wg.Add(1)
-			go func(lo, hi int) {
+			go func(w, lo, hi int) {
 				defer wg.Done()
+				sp := wlanes[w].Start("level-chunk")
+				defer func() { sp.EndArg("states", int64(hi-lo)) }()
 				for i := lo; i < hi; i++ {
 					var succs [][]byte
 					var ruleNames []string
@@ -170,7 +185,7 @@ func CheckParallel(m Model, opts Options, workers int) Result {
 						deadlock: len(succs) == 0 && !m.Quiescent(frontier[i].state),
 					}
 				}
-			}(lo, hi)
+			}(w, lo, hi)
 		}
 		wg.Wait()
 

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"minvn/internal/obs"
+	"minvn/internal/obs/trace"
 )
 
 // Snapshot is a point-in-time view of a running (or finished) search —
@@ -37,6 +38,11 @@ type Snapshot struct {
 	// HeapBytes is the process's live heap at snapshot time — the
 	// search's approximate memory footprint.
 	HeapBytes uint64 `json:"heap_bytes"`
+	// Occupancy is the state observer's summary at snapshot time, when
+	// Options.Observer implements SummarizingObserver — for the ICN
+	// occupancy profiler, an *icn.OccupancyStats with per-VN queue
+	// depth histograms and high-water marks.
+	Occupancy any `json:"occupancy,omitempty"`
 	// Final marks the end-of-run snapshot stored in Result.Stats.
 	Final bool `json:"final"`
 }
@@ -84,6 +90,9 @@ type tracker struct {
 	rules      map[string]int64 // nil unless the model is a NamedModel
 	nextStates int
 	nextTime   time.Time
+	// lane, when tracing, receives progress instants from the search
+	// goroutine; the engines set it to their main/merge lane.
+	lane *trace.Lane
 }
 
 func newTracker(opts Options, start time.Time, named bool) *tracker {
@@ -141,6 +150,7 @@ func (t *tracker) maybeProgress(states, frontier, maxDepth, expansions int) {
 		}
 	}
 	if fire {
+		t.lane.InstantArg("progress", "states", int64(states))
 		t.opts.Progress(t.snapshot(states, frontier, maxDepth, expansions, false))
 	}
 }
@@ -171,6 +181,9 @@ func (t *tracker) snapshot(states, frontier, maxDepth, expansions int, final boo
 		for k, v := range t.rules {
 			s.RuleFirings[k] = v
 		}
+	}
+	if so, ok := t.opts.Observer.(SummarizingObserver); ok {
+		s.Occupancy = so.Summary()
 	}
 	return s
 }

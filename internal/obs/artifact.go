@@ -13,21 +13,26 @@ import (
 // model checker, the final mc.Snapshot), and Stages the pipeline
 // timings.
 type Artifact struct {
-	Tool    string         `json:"tool"`
-	Created string         `json:"created"` // RFC 3339
-	Params  map[string]any `json:"params,omitempty"`
-	Outcome string         `json:"outcome,omitempty"`
-	Metrics any            `json:"metrics,omitempty"`
-	Stages  []Stage        `json:"stages,omitempty"`
-	Extra   map[string]any `json:"extra,omitempty"`
+	Tool    string `json:"tool"`
+	Created string `json:"created"` // RFC 3339
+	// Provenance pins the producing binary and host: git commit, Go
+	// version, GOMAXPROCS, CPU model and count.
+	Provenance Provenance     `json:"provenance"`
+	Params     map[string]any `json:"params,omitempty"`
+	Outcome    string         `json:"outcome,omitempty"`
+	Metrics    any            `json:"metrics,omitempty"`
+	Stages     []Stage        `json:"stages,omitempty"`
+	Extra      map[string]any `json:"extra,omitempty"`
 }
 
-// NewArtifact builds an artifact stamped with the current time.
+// NewArtifact builds an artifact stamped with the current time and the
+// producing binary's provenance.
 func NewArtifact(tool string) *Artifact {
 	return &Artifact{
-		Tool:    tool,
-		Created: time.Now().Format(time.RFC3339),
-		Params:  make(map[string]any),
+		Tool:       tool,
+		Created:    time.Now().Format(time.RFC3339),
+		Provenance: CollectProvenance(),
+		Params:     make(map[string]any),
 	}
 }
 

@@ -153,9 +153,17 @@ func TestServePprof(t *testing.T) {
 
 func TestFormatBytes(t *testing.T) {
 	cases := map[uint64]string{
+		0:               "0 B",
 		512:             "512 B",
+		1023:            "1023 B",
+		1024:            "1.0 KiB",
+		1536:            "1.5 KiB",
 		2048:            "2.0 KiB",
+		1024*1024 - 1:   "1024.0 KiB",
+		1024 * 1024:     "1.0 MiB",
 		3 * 1024 * 1024: "3.0 MiB",
+		1 << 30:         "1.0 GiB",
+		1 << 40:         "1.0 TiB",
 	}
 	for n, want := range cases {
 		if got := FormatBytes(n); got != want {
@@ -169,5 +177,96 @@ func TestSortedNames(t *testing.T) {
 	got := SortedNames(m)
 	if len(got) != 3 || got[0] != "a" || got[1] != "b" || got[2] != "c" {
 		t.Fatalf("got = %v", got)
+	}
+}
+
+// TestTimelineConcurrent overlaps Start/Time/Stages from several
+// goroutines; run under -race, this pins the Timeline's locking.
+func TestTimelineConcurrent(t *testing.T) {
+	tl := &Timeline{}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				if w%2 == 0 {
+					stop := tl.Start("start")
+					stop()
+				} else {
+					tl.Time("time", func() {})
+				}
+				_ = tl.Stages()
+				_ = tl.Total()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := len(tl.Stages()); got != 8*100 {
+		t.Fatalf("stages = %d, want %d", got, 8*100)
+	}
+}
+
+// TestRegistrySnapshotConcurrent hammers one registry with writers on
+// shared counter/gauge names while readers snapshot it; run under
+// -race, this pins the registry's synchronization. The final snapshot
+// must see every write.
+func TestRegistrySnapshotConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				r.Counter("states").Inc()
+				r.Gauge("frontier").Set(int64(i))
+				if i%50 == 0 {
+					s := r.Snapshot()
+					if s.Counters["states"] <= 0 {
+						t.Errorf("snapshot lost counter: %+v", s.Counters)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := r.Snapshot().Counters["states"]; got != 8*500 {
+		t.Fatalf("states = %d, want %d", got, 8*500)
+	}
+}
+
+// TestCollectProvenance checks the host facts every artifact embeds.
+// Git fields may legitimately be empty (test binaries are built
+// without VCS stamping), but the runtime facts always exist.
+func TestCollectProvenance(t *testing.T) {
+	p := CollectProvenance()
+	if p.GoVersion == "" {
+		t.Error("GoVersion empty")
+	}
+	if p.GOOS == "" || p.GOARCH == "" {
+		t.Errorf("GOOS/GOARCH empty: %q/%q", p.GOOS, p.GOARCH)
+	}
+	if p.GOMAXPROCS <= 0 || p.NumCPU <= 0 {
+		t.Errorf("GOMAXPROCS=%d NumCPU=%d", p.GOMAXPROCS, p.NumCPU)
+	}
+
+	// The artifact carries the provenance through serialization.
+	a := NewArtifact("prov-test")
+	data, err := a.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back map[string]any
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	prov, ok := back["provenance"].(map[string]any)
+	if !ok {
+		t.Fatalf("artifact has no provenance object: %s", data)
+	}
+	if prov["go_version"] != p.GoVersion {
+		t.Errorf("provenance go_version = %v, want %v", prov["go_version"], p.GoVersion)
 	}
 }

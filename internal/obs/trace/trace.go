@@ -1,0 +1,243 @@
+// Package trace is the repository's flight recorder: a low-overhead,
+// fixed-memory event tracer for long model-checking runs. Code under
+// instrumentation records span events (a named interval on a lane) and
+// instant events (a point in time) into per-lane ring buffers; when the
+// run ends, the recorder exports everything still in the rings as
+// Chrome trace-event JSON, loadable in Perfetto or chrome://tracing.
+//
+// Design constraints, in order:
+//
+//   - Zero cost when disabled: a nil *Recorder hands out nil *Lanes,
+//     and every method on a nil lane is a no-op, so instrumented code
+//     never branches on "is tracing on".
+//   - Bounded memory: each lane is a fixed-size ring; a multi-hour
+//     search keeps only the newest events per lane (flight-recorder
+//     semantics — the interesting part of a wedged run is its tail).
+//   - Cheap hot path: recording one event is a mutex acquire and a
+//     couple of word writes into a preallocated slot. A sampling knob
+//     thins span recording further (1-in-N per lane) for call sites
+//     that fire per explored state.
+//
+// Lanes map to Chrome trace "threads": give each goroutine (worker,
+// merge loop, main) its own lane and the viewer renders the pipeline's
+// concurrency directly.
+package trace
+
+import (
+	"sync"
+	"time"
+)
+
+// DefaultLaneCapacity is the per-lane ring size when Config leaves it
+// zero. At 48 bytes per event this keeps a lane under ~400 KiB.
+const DefaultLaneCapacity = 8192
+
+// Config shapes a Recorder.
+type Config struct {
+	// LaneCapacity is the ring size (events retained per lane);
+	// 0 means DefaultLaneCapacity.
+	LaneCapacity int
+	// SampleEvery records only every Nth span per lane (instants are
+	// always recorded — they are rare by construction). 0 and 1 both
+	// mean "record every span".
+	SampleEvery int
+}
+
+// kind discriminates ring slots.
+type kind uint8
+
+const (
+	kindSpan kind = iota
+	kindInstant
+)
+
+// event is one ring slot. Times are nanoseconds since the recorder
+// started; Dur is meaningful for spans only.
+type event struct {
+	name   string
+	argKey string
+	arg    int64
+	ts     int64
+	dur    int64
+	kind   kind
+}
+
+// Recorder owns the lanes of one run. Create with New; a nil Recorder
+// is valid and records nothing.
+type Recorder struct {
+	start   time.Time
+	laneCap int
+	sample  int
+
+	mu    sync.Mutex
+	lanes []*Lane
+}
+
+// New builds a recorder with the clock started.
+func New(cfg Config) *Recorder {
+	if cfg.LaneCapacity <= 0 {
+		cfg.LaneCapacity = DefaultLaneCapacity
+	}
+	if cfg.SampleEvery <= 0 {
+		cfg.SampleEvery = 1
+	}
+	return &Recorder{
+		start:   time.Now(),
+		laneCap: cfg.LaneCapacity,
+		sample:  cfg.SampleEvery,
+	}
+}
+
+// Lane returns a new lane with the given display name. Safe to call
+// from any goroutine; each returned lane should then be used by one
+// goroutine at a time (it is internally locked, so occasional sharing
+// is safe, just contended). On a nil recorder it returns nil, which is
+// itself a valid no-op lane.
+func (r *Recorder) Lane(name string) *Lane {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	l := &Lane{
+		rec:    r,
+		name:   name,
+		tid:    len(r.lanes) + 1,
+		buf:    make([]event, r.laneCap),
+		sample: r.sample,
+	}
+	r.lanes = append(r.lanes, l)
+	return l
+}
+
+// Lanes returns the lanes created so far (export order).
+func (r *Recorder) Lanes() []*Lane {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]*Lane(nil), r.lanes...)
+}
+
+// now is the event clock: nanoseconds since the recorder started.
+func (r *Recorder) now() int64 { return int64(time.Since(r.start)) }
+
+// Lane is one ring buffer of events — one Chrome trace "thread".
+type Lane struct {
+	rec  *Recorder
+	name string
+	tid  int
+
+	mu      sync.Mutex
+	buf     []event
+	n       uint64 // total events ever recorded; buf[n % len] is next
+	sample  int
+	spanSeq int // spans started, for sampling
+	dropped uint64
+}
+
+// Span is an in-progress interval; close it with End. The zero Span
+// (from a nil or sampled-out lane) is valid and End on it is a no-op.
+type Span struct {
+	l    *Lane
+	name string
+	t0   int64
+}
+
+// Start opens a span. Per the lane's sampling knob, only every Nth
+// span is recorded; sampled-out spans return the no-op zero Span.
+func (l *Lane) Start(name string) Span {
+	if l == nil {
+		return Span{}
+	}
+	l.mu.Lock()
+	l.spanSeq++
+	skip := l.sample > 1 && l.spanSeq%l.sample != 1
+	l.mu.Unlock()
+	if skip {
+		return Span{}
+	}
+	return Span{l: l, name: name, t0: l.rec.now()}
+}
+
+// End records the span into its lane's ring.
+func (s Span) End() { s.EndArg("", 0) }
+
+// EndArg records the span with one integer argument (e.g. batch size,
+// states merged) attached.
+func (s Span) EndArg(key string, val int64) {
+	l := s.l
+	if l == nil {
+		return
+	}
+	end := l.rec.now()
+	l.mu.Lock()
+	l.push(event{name: s.name, argKey: key, arg: val, ts: s.t0, dur: end - s.t0, kind: kindSpan})
+	l.mu.Unlock()
+}
+
+// Instant records a point event. Instants bypass sampling: they mark
+// rare, load-bearing moments (a bound tripping, a progress snapshot,
+// the terminal outcome).
+func (l *Lane) Instant(name string) { l.InstantArg(name, "", 0) }
+
+// InstantArg records a point event with one integer argument.
+func (l *Lane) InstantArg(name, key string, val int64) {
+	if l == nil {
+		return
+	}
+	ts := l.rec.now()
+	l.mu.Lock()
+	l.push(event{name: name, argKey: key, arg: val, ts: ts, kind: kindInstant})
+	l.mu.Unlock()
+}
+
+// push stores ev, overwriting the oldest slot when the ring is full.
+// Caller holds l.mu.
+func (l *Lane) push(ev event) {
+	if l.n >= uint64(len(l.buf)) {
+		l.dropped++
+	}
+	l.buf[l.n%uint64(len(l.buf))] = ev
+	l.n++
+}
+
+// Len reports how many events the lane currently retains.
+func (l *Lane) Len() int {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.n < uint64(len(l.buf)) {
+		return int(l.n)
+	}
+	return len(l.buf)
+}
+
+// Dropped reports how many events the ring has overwritten — nonzero
+// means the exported trace is the run's tail, not the whole run.
+func (l *Lane) Dropped() uint64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.dropped
+}
+
+// snapshot copies the retained events out in recording order.
+func (l *Lane) snapshot() []event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	size := uint64(len(l.buf))
+	if l.n <= size {
+		return append([]event(nil), l.buf[:l.n]...)
+	}
+	out := make([]event, 0, size)
+	for i := l.n - size; i < l.n; i++ {
+		out = append(out, l.buf[i%size])
+	}
+	return out
+}

@@ -1,0 +1,194 @@
+package trace_test
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"minvn/internal/obs/trace"
+	"minvn/internal/obs/trace/tracetest"
+)
+
+func export(t *testing.T, r *trace.Recorder) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := r.Export(&buf); err != nil {
+		t.Fatalf("export: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func TestSpanAndInstantExport(t *testing.T) {
+	r := trace.New(trace.Config{})
+	l := r.Lane("worker-0")
+	s := l.Start("expand")
+	l.Instant("progress")
+	s.EndArg("succs", 7)
+	l.InstantArg("bounded", "states", 42)
+
+	evs := tracetest.Validate(t, export(t, r))
+	byName := map[string]map[string]any{}
+	for _, ev := range evs {
+		byName[ev["name"].(string)] = ev
+	}
+	meta, ok := byName["thread_name"]
+	if !ok || meta["args"].(map[string]any)["name"] != "worker-0" {
+		t.Fatalf("missing thread_name metadata: %v", evs)
+	}
+	span, ok := byName["expand"]
+	if !ok || span["ph"] != "X" {
+		t.Fatalf("span not exported as complete event: %v", byName)
+	}
+	if _, ok := span["dur"].(float64); !ok {
+		t.Fatalf("span has no duration: %v", span)
+	}
+	if span["args"].(map[string]any)["succs"] != float64(7) {
+		t.Fatalf("span arg lost: %v", span)
+	}
+	if inst := byName["bounded"]; inst["ph"] != "i" || inst["s"] != "t" {
+		t.Fatalf("instant not exported as thread-scoped instant: %v", byName["bounded"])
+	}
+	// The instant was recorded while the span was open; the export
+	// must still order the lane by start time (span first).
+	var sawSpan bool
+	for _, ev := range evs {
+		switch ev["name"] {
+		case "expand":
+			sawSpan = true
+		case "progress":
+			if !sawSpan {
+				t.Fatal("instant inside span exported before the span's start")
+			}
+		}
+	}
+}
+
+func TestNilRecorderAndLaneAreNoOps(t *testing.T) {
+	var r *trace.Recorder
+	l := r.Lane("anything")
+	if l != nil {
+		t.Fatal("nil recorder handed out a non-nil lane")
+	}
+	s := l.Start("x")
+	s.End()
+	s.EndArg("k", 1)
+	l.Instant("y")
+	l.InstantArg("z", "k", 2)
+	if l.Len() != 0 || l.Dropped() != 0 {
+		t.Fatal("nil lane recorded something")
+	}
+	var buf bytes.Buffer
+	if err := r.Export(&buf); err != nil {
+		t.Fatalf("nil export: %v", err)
+	}
+	if evs := tracetest.Decode(t, buf.Bytes()); len(evs) != 0 {
+		t.Fatalf("nil recorder exported %d events", len(evs))
+	}
+}
+
+func TestRingOverwritesOldest(t *testing.T) {
+	r := trace.New(trace.Config{LaneCapacity: 4})
+	l := r.Lane("ring")
+	for i := 0; i < 10; i++ {
+		l.InstantArg("tick", "i", int64(i))
+	}
+	if l.Len() != 4 {
+		t.Fatalf("lane retains %d events, want 4", l.Len())
+	}
+	if l.Dropped() != 6 {
+		t.Fatalf("dropped = %d, want 6", l.Dropped())
+	}
+	evs := tracetest.Validate(t, export(t, r))
+	var ticks []int64
+	for _, ev := range tracetest.Named(evs, "tick") {
+		ticks = append(ticks, int64(ev["args"].(map[string]any)["i"].(float64)))
+	}
+	want := []int64{6, 7, 8, 9}
+	if len(ticks) != len(want) {
+		t.Fatalf("ticks = %v, want %v", ticks, want)
+	}
+	for i := range want {
+		if ticks[i] != want[i] {
+			t.Fatalf("ticks = %v, want %v (newest retained)", ticks, want)
+		}
+	}
+	if len(tracetest.Named(evs, "ring_dropped_oldest")) != 1 {
+		t.Fatalf("overflowed ring did not export a drop marker")
+	}
+}
+
+func TestSampling(t *testing.T) {
+	r := trace.New(trace.Config{SampleEvery: 10})
+	l := r.Lane("sampled")
+	for i := 0; i < 100; i++ {
+		l.Start("span").End()
+	}
+	if got := l.Len(); got != 10 {
+		t.Fatalf("sampled lane recorded %d spans, want 10", got)
+	}
+	// Instants bypass sampling: they mark rare events.
+	for i := 0; i < 5; i++ {
+		l.Instant("mark")
+	}
+	if got := l.Len(); got != 15 {
+		t.Fatalf("after instants lane has %d events, want 15", got)
+	}
+}
+
+func TestConcurrentLanes(t *testing.T) {
+	r := trace.New(trace.Config{LaneCapacity: 256})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			l := r.Lane("worker")
+			for i := 0; i < 500; i++ {
+				s := l.Start("op")
+				l.Instant("tick")
+				s.End()
+			}
+		}()
+	}
+	wg.Wait()
+	if len(r.Lanes()) != 8 {
+		t.Fatalf("lanes = %d, want 8", len(r.Lanes()))
+	}
+	tracetest.Validate(t, export(t, r))
+}
+
+func TestExportWhileRecording(t *testing.T) {
+	r := trace.New(trace.Config{LaneCapacity: 64})
+	l := r.Lane("live")
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 2000; i++ {
+			l.InstantArg("tick", "i", int64(i))
+		}
+	}()
+	for i := 0; i < 10; i++ {
+		var buf bytes.Buffer
+		if err := r.Export(&buf); err != nil {
+			t.Fatalf("concurrent export: %v", err)
+		}
+	}
+	<-done
+	tracetest.Validate(t, export(t, r))
+}
+
+func TestWriteFile(t *testing.T) {
+	r := trace.New(trace.Config{})
+	r.Lane("a").Instant("x")
+	path := filepath.Join(t.TempDir(), "trace.json")
+	if err := r.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracetest.Validate(t, data)
+}

@@ -1,0 +1,79 @@
+// Package tracetest validates exported Chrome trace-event documents in
+// tests — shared by the trace package's own tests and the integration
+// tests that export real model-checker runs.
+package tracetest
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// Decode parses an exported document's traceEvents array.
+func Decode(t *testing.T, data []byte) []map[string]any {
+	t.Helper()
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("exported trace is not valid JSON: %v", err)
+	}
+	if doc.TraceEvents == nil {
+		t.Fatalf("exported trace has no traceEvents array")
+	}
+	return doc.TraceEvents
+}
+
+// Validate checks the structural properties every trace consumer
+// relies on: the document parses as Chrome trace-event JSON, every
+// event has a name and phase, and within each lane (tid) the
+// non-metadata timestamps are monotone non-decreasing in document
+// order. It returns the decoded events for further assertions.
+func Validate(t *testing.T, data []byte) []map[string]any {
+	t.Helper()
+	evs := Decode(t, data)
+	lastTS := map[float64]float64{}
+	for i, ev := range evs {
+		ph, _ := ev["ph"].(string)
+		if ph == "" {
+			t.Fatalf("event %d has no phase: %v", i, ev)
+		}
+		if _, ok := ev["name"].(string); !ok {
+			t.Fatalf("event %d has no name: %v", i, ev)
+		}
+		if ph == "M" {
+			continue
+		}
+		tid, ok := ev["tid"].(float64)
+		if !ok {
+			t.Fatalf("event %d has no tid: %v", i, ev)
+		}
+		ts, ok := ev["ts"].(float64)
+		if !ok {
+			t.Fatalf("event %d has no ts: %v", i, ev)
+		}
+		if ts < 0 {
+			t.Fatalf("event %d has negative ts %v", i, ts)
+		}
+		if prev, seen := lastTS[tid]; seen && ts < prev {
+			t.Fatalf("event %d: lane %v timestamps not monotone: %v after %v", i, tid, ts, prev)
+		}
+		lastTS[tid] = ts
+		if ph == "X" {
+			if dur, ok := ev["dur"].(float64); !ok || dur < 0 {
+				t.Fatalf("event %d: complete event with missing or negative dur: %v", i, ev)
+			}
+		}
+	}
+	return evs
+}
+
+// Named filters the events with the given name.
+func Named(evs []map[string]any, name string) []map[string]any {
+	var out []map[string]any
+	for _, ev := range evs {
+		if ev["name"] == name {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
