@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt check bench bench-smoke fuzz-smoke table
+.PHONY: build test race vet fmt check bench bench-smoke fuzz-smoke table serve serve-smoke
 
 build:
 	$(GO) build ./...
@@ -43,3 +43,18 @@ fuzz-smoke:
 
 table:
 	$(GO) run ./cmd/vntable -extensions
+
+# Run the analysis service in the foreground (SIGINT/SIGTERM drains
+# gracefully and exits 0).
+serve:
+	$(GO) run ./cmd/vnserved -addr 127.0.0.1:8437
+
+# Serving-layer smoke: spin up an in-process server, oversubscribe it
+# with a burst of distinct verify jobs (asserting >=8 concurrent
+# in-flight jobs and 503 backpressure), then check analyze, cold/hot
+# cache byte-identity, and SSE event ordering. Artifacts:
+# BENCH_serve.json (load-gen numbers) + SERVE_stats.json (server
+# counters).
+serve-smoke:
+	$(GO) run ./cmd/vnbench -serve -serve-stats SERVE_stats.json \
+		-out BENCH_serve.json

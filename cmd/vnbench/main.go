@@ -63,6 +63,14 @@ func main() {
 		seed      = flag.Int64("seed", 1, "base seed for the random-walk smoke pass (-walks)")
 		walks     = flag.Int("walks", 0, "seeded random-workload walks per protocol before the engine comparison")
 		walkSteps = flag.Int("walk-steps", 2000, "steps per random walk")
+
+		serveMode      = flag.Bool("serve", false, "load-test the serving layer instead of benchmarking engines")
+		serveAddr      = flag.String("serve-addr", "", "existing vnserved base URL (empty = spin up in-process)")
+		serveWorkers   = flag.Int("serve-workers", 8, "in-process serving pool size")
+		serveBurst     = flag.Int("serve-burst", 0, "distinct verify jobs in the backpressure burst (0 = 3x pool+queue capacity)")
+		serveMaxStates = flag.Int("serve-max-states", 4000, "base per-job state bound for load-gen requests")
+		serveStats     = flag.String("serve-stats", "", "write the server's final /v1/stats document to this file")
+		serveProto     = flag.String("serve-protocol", "MSI_nonblocking_cache", "protocol the load-gen requests verify")
 	)
 	tel := cliflag.Register(flag.CommandLine,
 		cliflag.FlagStatsJSON|cliflag.FlagPprof|cliflag.FlagTrace)
@@ -71,6 +79,27 @@ func main() {
 	if err := tel.StartPprof(os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "vnbench: pprof:", err)
 		os.Exit(1)
+	}
+
+	if *serveMode {
+		burst := *serveBurst
+		if burst <= 0 {
+			burst = 3 * (*serveWorkers + 2**serveWorkers) // 3x pool + queue capacity
+		}
+		art := obs.NewArtifact("vnbench-serve")
+		art.Params["serve_addr"] = *serveAddr
+		art.Params["serve_workers"] = *serveWorkers
+		art.Params["serve_burst"] = burst
+		art.Params["serve_max_states"] = *serveMaxStates
+		art.Params["serve_protocol"] = *serveProto
+		os.Exit(runServe(serveBenchConfig{
+			addr:      *serveAddr,
+			workers:   *serveWorkers,
+			burst:     burst,
+			maxStates: *serveMaxStates,
+			statsOut:  *serveStats,
+			protocol:  *serveProto,
+		}, art, *out))
 	}
 
 	var engList []mc.Engine

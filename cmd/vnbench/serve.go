@@ -1,0 +1,250 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"minvn/internal/obs"
+	"minvn/internal/serve"
+	"minvn/internal/serve/client"
+)
+
+// serveBenchConfig carries the -serve* flags.
+type serveBenchConfig struct {
+	addr      string // external vnserved base URL; empty = in-process
+	workers   int    // in-process pool size
+	burst     int    // distinct verify jobs in the backpressure burst
+	maxStates int    // per-job state bound for load-gen requests
+	statsOut  string // write the final /v1/stats document here
+	protocol  string
+}
+
+// runServe drives the serving layer under load instead of
+// benchmarking the engines directly. In-process mode (no -serve-addr)
+// additionally proves the concurrency and backpressure contract
+// deterministically: a gate holds every admitted job at the start of
+// its run, the burst oversubscribes pool+queue so admission must
+// refuse at least one request with 503, and the pool's running
+// high-water mark must reach min(8, workers) before the gate opens.
+func runServe(cfg serveBenchConfig, art *obs.Artifact, out string) int {
+	ctx := context.Background()
+	base := cfg.addr
+	gate := make(chan struct{})
+	var srv *serve.Server
+
+	inProcess := base == ""
+	if inProcess {
+		srv = serve.New(serve.Config{
+			Workers:    cfg.workers,
+			QueueDepth: 2 * cfg.workers,
+			BeforeRun:  func() { <-gate },
+		})
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vnbench: serve:", err)
+			return 1
+		}
+		hs := &http.Server{Handler: srv.Handler()}
+		go hs.Serve(ln)
+		defer hs.Close()
+		defer srv.Close()
+		base = "http://" + ln.Addr().String()
+	} else {
+		close(gate) // external server: no hold, plain load generation
+	}
+
+	cl := client.New(base, nil)
+	if err := cl.Health(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "vnbench: serve: health:", err)
+		return 1
+	}
+
+	exit := 0
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "vnbench: serve: "+format+"\n", args...)
+		exit = 1
+	}
+	verifyReq := func(i int) serve.VerifyRequest {
+		// Distinct max_states per job gives every burst job its own
+		// cache key, so singleflight cannot collapse the load.
+		return serve.VerifyRequest{
+			Protocol: cfg.protocol,
+			Options:  serve.VerifyOptions{MaxStates: cfg.maxStates + i},
+		}
+	}
+
+	// Phase 1: backpressure burst. Submit cfg.burst distinct jobs
+	// without waiting; while the gate is closed the in-process pool
+	// can hold exactly workers + queueDepth of them, so an
+	// oversubscribed burst must see 503s.
+	start := time.Now()
+	var accepted []string
+	busy := 0
+	for i := 0; i < cfg.burst; i++ {
+		view, err := cl.Verify(ctx, verifyReq(i), false)
+		switch {
+		case err == nil:
+			accepted = append(accepted, view.ID)
+		case client.IsBusy(err):
+			busy++
+		default:
+			fail("submit %d: %v", i, err)
+			return exit
+		}
+	}
+
+	gateTarget := min(8, cfg.workers)
+	if inProcess {
+		// Wait for the pool to fill (every worker parked at the gate),
+		// then release the burst.
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			st, err := cl.Stats(ctx)
+			if err != nil {
+				fail("stats: %v", err)
+				return exit
+			}
+			if st.Running >= gateTarget {
+				break
+			}
+			if time.Now().After(deadline) {
+				fail("pool never reached %d concurrent running jobs (at %d)", gateTarget, st.Running)
+				return exit
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		close(gate)
+	}
+
+	for _, id := range accepted {
+		view, err := cl.WaitDone(ctx, id, 0)
+		if err != nil {
+			fail("wait %s: %v", id, err)
+			return exit
+		}
+		if view.Status != serve.StatusDone {
+			fail("job %s finished %s: %s", id, view.Status, view.Error)
+		}
+	}
+	burstDur := time.Since(start)
+
+	// Phase 2: the analyze endpoint, then cold/hot verify
+	// byte-identity — the same request twice; the second must be
+	// served from the cache, byte-identical.
+	an, err := cl.Analyze(ctx, serve.AnalyzeRequest{Protocol: cfg.protocol})
+	if err != nil {
+		fail("analyze: %v", err)
+		return exit
+	}
+	if an.Status != serve.StatusDone || len(an.Result) == 0 {
+		fail("analyze finished %s: %s", an.Status, an.Error)
+	}
+	hotReq := verifyReq(cfg.burst + 1)
+	cold, err := cl.Verify(ctx, hotReq, true)
+	if err != nil {
+		fail("cold verify: %v", err)
+		return exit
+	}
+	hot, err := cl.Verify(ctx, hotReq, true)
+	if err != nil {
+		fail("hot verify: %v", err)
+		return exit
+	}
+	if inProcess && cold.Cached {
+		fail("cold request was served from cache")
+	}
+	if !hot.Cached {
+		fail("hot request was not served from cache")
+	}
+	if !bytes.Equal(cold.Result, hot.Result) {
+		fail("cached result differs from the run that produced it")
+	}
+
+	// Phase 3: SSE stream of a fresh job — events must arrive in seq
+	// order and end with the terminal done event.
+	sseView, err := cl.Verify(ctx, verifyReq(cfg.burst+2), false)
+	if err != nil {
+		fail("sse submit: %v", err)
+		return exit
+	}
+	lastSeq, doneEvents := -1, 0
+	if err := cl.Events(ctx, sseView.ID, func(e serve.Event) {
+		if e.Seq != lastSeq+1 {
+			fail("sse seq jumped %d -> %d", lastSeq, e.Seq)
+		}
+		lastSeq = e.Seq
+		if e.Type == "done" {
+			doneEvents++
+		}
+	}); err != nil {
+		fail("sse stream: %v", err)
+	}
+	if doneEvents != 1 {
+		fail("sse stream delivered %d done events", doneEvents)
+	}
+
+	st, err := cl.Stats(ctx)
+	if err != nil {
+		fail("final stats: %v", err)
+		return exit
+	}
+	if inProcess {
+		if st.RunningHWM < gateTarget {
+			fail("running high-water mark %d, want >= %d", st.RunningHWM, gateTarget)
+		}
+		if busy == 0 {
+			fail("oversubscribed burst saw no 503 backpressure")
+		}
+	}
+
+	reqs := len(accepted)
+	reqPerSec := float64(reqs) / burstDur.Seconds()
+	hits := st.Counters["serve.cache_hits"]
+	misses := st.Counters["serve.cache_misses"]
+	hitRatio := 0.0
+	if hits+misses > 0 {
+		hitRatio = float64(hits) / float64(hits+misses)
+	}
+	fmt.Printf("serve %-24s burst %d jobs (%d accepted, %d busy) in %v  %6.1f req/s  hwm %d  cache %.0f%% (%d/%d)\n",
+		cfg.protocol, cfg.burst, reqs, busy, burstDur.Round(time.Millisecond),
+		reqPerSec, st.RunningHWM, 100*hitRatio, hits, hits+misses)
+
+	art.Metrics = map[string]any{"serve": map[string]any{
+		"base":             base,
+		"in_process":       inProcess,
+		"protocol":         cfg.protocol,
+		"burst":            cfg.burst,
+		"accepted":         reqs,
+		"rejected_busy":    busy,
+		"burst_seconds":    burstDur.Seconds(),
+		"requests_per_sec": reqPerSec,
+		"running_hwm":      st.RunningHWM,
+		"cache_hits":       hits,
+		"cache_misses":     misses,
+		"cache_hit_ratio":  hitRatio,
+		"stats":            st,
+	}}
+	art.Outcome = "ok"
+	if exit != 0 {
+		art.Outcome = "serve-assert-failed"
+	}
+	if cfg.statsOut != "" {
+		artStats := obs.NewArtifact("vnbench-serve-stats")
+		artStats.Outcome = art.Outcome
+		artStats.Metrics = st
+		if err := artStats.WriteFile(cfg.statsOut); err != nil {
+			fail("write %s: %v", cfg.statsOut, err)
+		}
+	}
+	if err := art.WriteFile(out); err != nil {
+		fmt.Fprintln(os.Stderr, "vnbench:", err)
+		return 1
+	}
+	fmt.Printf("wrote %s\n", out)
+	return exit
+}

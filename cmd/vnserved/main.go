@@ -1,0 +1,106 @@
+// Command vnserved runs the analysis-as-a-service daemon: the HTTP
+// API of internal/serve (analyze, verify, job status, SSE progress,
+// stats, metrics, pprof) over a bounded worker pool with a
+// content-addressed result cache.
+//
+// SIGINT/SIGTERM drains gracefully: admission stops (new submits get
+// 503), queued and running jobs finish (bounded by -drain-timeout,
+// after which they are hard-canceled through their contexts), and the
+// process exits 0. With -stats-json, the final server stats are
+// written as a JSON artifact on the way out — CI uses this to archive
+// what the smoke run did.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"minvn/internal/obs"
+	"minvn/internal/serve"
+)
+
+func main() {
+	fs := flag.NewFlagSet("vnserved", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:8437", "listen address")
+	workers := fs.Int("workers", 4, "concurrent checking jobs")
+	queueDepth := fs.Int("queue-depth", 16, "admission queue depth (beyond running jobs)")
+	cacheEntries := fs.Int("cache-entries", 256, "result cache capacity (-1 disables)")
+	maxStates := fs.Int("max-states", 2_000_000, "per-job stored-state cap (requests are clamped to it)")
+	defaultDeadline := fs.Duration("deadline", 2*time.Minute, "default per-job deadline")
+	maxDeadline := fs.Duration("max-deadline", 10*time.Minute, "largest per-job deadline a request may ask for")
+	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight jobs")
+	progressEvery := fs.Int("progress-every", 50_000, "SSE progress snapshot every N stored states")
+	statsJSON := fs.String("stats-json", "", "write final server stats as a JSON artifact to this file on shutdown")
+	fs.Parse(os.Args[1:])
+
+	if err := run(*addr, serve.Config{
+		Workers:         *workers,
+		QueueDepth:      *queueDepth,
+		CacheEntries:    *cacheEntries,
+		MaxStates:       *maxStates,
+		DefaultDeadline: *defaultDeadline,
+		MaxDeadline:     *maxDeadline,
+		ProgressEvery:   *progressEvery,
+	}, *drainTimeout, *statsJSON); err != nil {
+		fmt.Fprintln(os.Stderr, "vnserved:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, cfg serve.Config, drainTimeout time.Duration, statsJSON string) error {
+	srv := serve.New(cfg)
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	fmt.Fprintf(os.Stderr, "vnserved: listening on http://%s\n", ln.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	httpErr := make(chan error, 1)
+	go func() { httpErr <- hs.Serve(ln) }()
+
+	select {
+	case err := <-httpErr:
+		srv.Close()
+		return err
+	case <-ctx.Done():
+	}
+	stop()
+	fmt.Fprintln(os.Stderr, "vnserved: draining...")
+
+	drainCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	if err := srv.Drain(drainCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "vnserved: drain cut short: %v\n", err)
+	}
+	if err := hs.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintf(os.Stderr, "vnserved: http shutdown: %v\n", err)
+	}
+
+	if statsJSON != "" {
+		st := srv.Stats()
+		art := obs.NewArtifact("vnserved")
+		art.Params["addr"] = addr
+		art.Params["workers"] = st.Workers
+		art.Params["queue_depth"] = st.QueueDepth
+		art.Outcome = "drained"
+		art.Metrics = st
+		if err := art.WriteFile(statsJSON); err != nil {
+			return fmt.Errorf("write stats artifact: %w", err)
+		}
+	}
+	fmt.Fprintln(os.Stderr, "vnserved: stopped")
+	return nil
+}

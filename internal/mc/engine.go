@@ -1,6 +1,9 @@
 package mc
 
-import "fmt"
+import (
+	"context"
+	"fmt"
+)
 
 // Engine selects which search implementation runs a model. All engines
 // produce identical results on identical inputs; they differ only in
@@ -54,17 +57,22 @@ func ParseEngine(s string) (Engine, error) {
 // are ignored where they do not apply (workers by EngineSeq, shards by
 // everything but the pipeline). DFS always runs sequentially.
 func CheckEngine(m Model, opts Options, engine Engine, workers, shards int) Result {
+	return CheckEngineCtx(context.Background(), m, opts, engine, workers, shards)
+}
+
+// CheckEngineCtx is CheckEngine with cancellation (see CheckCtx).
+func CheckEngineCtx(ctx context.Context, m Model, opts Options, engine Engine, workers, shards int) Result {
 	switch engine {
 	case EngineSeq:
-		return Check(m, opts)
+		return CheckCtx(ctx, m, opts)
 	case EngineLevels:
-		return CheckParallel(m, opts, workers)
+		return CheckParallelCtx(ctx, m, opts, workers)
 	case EnginePipeline:
-		return CheckPipelined(m, opts, workers, shards)
+		return CheckPipelinedCtx(ctx, m, opts, workers, shards)
 	default:
 		if workers == 1 {
-			return Check(m, opts)
+			return CheckCtx(ctx, m, opts)
 		}
-		return CheckPipelined(m, opts, workers, shards)
+		return CheckPipelinedCtx(ctx, m, opts, workers, shards)
 	}
 }

@@ -1,6 +1,7 @@
 package mc
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"time"
@@ -68,15 +69,27 @@ type pexp struct {
 // back to the sequential engine (results are identical either way —
 // that is the point).
 func CheckPipelined(m Model, opts Options, workers, shards int) Result {
+	return CheckPipelinedCtx(context.Background(), m, opts, workers, shards)
+}
+
+// CheckPipelinedCtx is CheckPipelined with cancellation: the context
+// is polled in the merge loop at the same point as the MaxStates
+// bound and in the dispatch select, so a cancel stops the search
+// promptly with Outcome Canceled (the worker pool is torn down via
+// the quit channel as usual). A background context changes nothing.
+func CheckPipelinedCtx(ctx context.Context, m Model, opts Options, workers, shards int) Result {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	opts = opts.normalized()
 	if opts.Strategy == DFS {
-		return Check(m, opts)
+		return CheckCtx(ctx, m, opts)
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers == 1 {
-		return Check(m, opts)
+		return CheckCtx(ctx, m, opts)
 	}
 
 	start := time.Now()
@@ -269,6 +282,10 @@ func CheckPipelined(m Model, opts Options, workers, shards int) Result {
 		// this loop is the sequential engine's loop verbatim, with the
 		// expansion read from the reorder buffer instead of computed.
 		for nextMerge < len(nodes) {
+			if err := ctx.Err(); err != nil {
+				res.Message = err.Error()
+				return finish(Canceled)
+			}
 			if opts.MaxStates > 0 && len(nodes) >= opts.MaxStates {
 				bounded = true
 				return finish(Bounded)
@@ -341,6 +358,9 @@ func CheckPipelined(m Model, opts Options, workers, shards int) Result {
 				for _, e := range rb {
 					reorder[e.id] = e
 				}
+			case <-ctx.Done():
+				res.Message = ctx.Err().Error()
+				return finish(Canceled)
 			}
 		} else {
 			// The merge is blocked on an expansion that must already be
@@ -349,10 +369,15 @@ func CheckPipelined(m Model, opts Options, workers, shards int) Result {
 			if outstanding == 0 {
 				panic(fmt.Sprintf("mc: pipeline stalled at id %d with no work in flight", nextMerge))
 			}
-			rb := <-resCh
-			outstanding -= len(rb)
-			for _, e := range rb {
-				reorder[e.id] = e
+			select {
+			case rb := <-resCh:
+				outstanding -= len(rb)
+				for _, e := range rb {
+					reorder[e.id] = e
+				}
+			case <-ctx.Done():
+				res.Message = ctx.Err().Error()
+				return finish(Canceled)
 			}
 		}
 	}

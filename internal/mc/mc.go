@@ -8,6 +8,7 @@
 package mc
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -154,6 +155,11 @@ const (
 	Deadlock
 	// Violation: Successors reported an invariant violation.
 	Violation
+	// Canceled: the search's context was canceled (or its deadline
+	// expired) before any terminal verdict; no deadlock or violation
+	// was found in the states explored so far. Result.Message carries
+	// the context error.
+	Canceled
 )
 
 // Tag returns a short stable identifier for machine-readable run
@@ -168,6 +174,8 @@ func (o Outcome) Tag() string {
 		return "deadlock"
 	case Violation:
 		return "violation"
+	case Canceled:
+		return "canceled"
 	default:
 		return fmt.Sprintf("outcome-%d", int(o))
 	}
@@ -183,6 +191,8 @@ func (o Outcome) String() string {
 		return "DEADLOCK"
 	case Violation:
 		return "INVARIANT VIOLATION"
+	case Canceled:
+		return "canceled before completion"
 	default:
 		return fmt.Sprintf("Outcome(%d)", int(o))
 	}
@@ -217,6 +227,18 @@ type node struct {
 
 // Check explores the reachable states of m under opts.
 func Check(m Model, opts Options) Result {
+	return CheckCtx(context.Background(), m, opts)
+}
+
+// CheckCtx is Check with cancellation: the context is polled at the
+// same granularity as the MaxStates bound (once per expansion), so a
+// cancel or deadline stops the search promptly with Outcome Canceled.
+// A background (never-canceled) context changes nothing — the result
+// is bit-identical to Check's, which the parity suite pins.
+func CheckCtx(ctx context.Context, m Model, opts Options) Result {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	opts = opts.normalized()
 	start := time.Now()
 	canon, _ := m.(Canonicalizer)
@@ -303,10 +325,14 @@ func Check(m Model, opts Options) Result {
 	}
 
 	for len(queue) > 0 {
-		// The store-size bound is checked before every expansion, so
-		// Result.States never exceeds MaxStates and always counts
-		// states actually stored — even when the bound trips
-		// mid-expansion and the remaining work list is abandoned.
+		// Cancellation and the store-size bound are checked before
+		// every expansion, so Result.States never exceeds MaxStates and
+		// always counts states actually stored — even when the bound
+		// trips mid-expansion and the remaining work list is abandoned.
+		if err := ctx.Err(); err != nil {
+			res.Message = err.Error()
+			return finish(Canceled)
+		}
 		if opts.MaxStates > 0 && len(nodes) >= opts.MaxStates {
 			bounded = true
 			break

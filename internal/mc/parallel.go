@@ -1,6 +1,7 @@
 package mc
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -38,15 +39,26 @@ type expansion struct {
 // exceeds 1 (0 picks GOMAXPROCS). DFS falls back to the sequential
 // engine.
 func CheckParallel(m Model, opts Options, workers int) Result {
+	return CheckParallelCtx(context.Background(), m, opts, workers)
+}
+
+// CheckParallelCtx is CheckParallel with cancellation: the context is
+// polled before every level, by every worker between expansions, and
+// again before the merge, so a cancel stops the search promptly with
+// Outcome Canceled. A background context changes nothing.
+func CheckParallelCtx(ctx context.Context, m Model, opts Options, workers int) Result {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	opts = opts.normalized()
 	if opts.Strategy == DFS {
-		return Check(m, opts)
+		return CheckCtx(ctx, m, opts)
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers == 1 {
-		return Check(m, opts)
+		return CheckCtx(ctx, m, opts)
 	}
 
 	start := time.Now()
@@ -135,7 +147,12 @@ func CheckParallel(m Model, opts Options, workers int) Result {
 	depth := int32(0)
 	for len(frontier) > 0 && !bounded {
 		// Mirror the sequential engine's pre-expansion bound check so
-		// both report identical States when the bound trips.
+		// both report identical States when the bound trips. The
+		// cancellation poll sits at the same point.
+		if err := ctx.Err(); err != nil {
+			res.Message = err.Error()
+			return finish(Canceled)
+		}
 		if opts.MaxStates > 0 && len(nodes) >= opts.MaxStates {
 			bounded = true
 			break
@@ -164,6 +181,11 @@ func CheckParallel(m Model, opts Options, workers int) Result {
 				sp := wlanes[w].Start("level-chunk")
 				defer func() { sp.EndArg("states", int64(hi-lo)) }()
 				for i := lo; i < hi; i++ {
+					// Bail out mid-level on cancellation: the partial
+					// expansion slice is discarded below, never merged.
+					if ctx.Err() != nil {
+						return
+					}
 					var succs [][]byte
 					var ruleNames []string
 					var err error
@@ -188,6 +210,13 @@ func CheckParallel(m Model, opts Options, workers int) Result {
 			}(w, lo, hi)
 		}
 		wg.Wait()
+
+		// A cancel during expansion may have left exps partially
+		// filled; report Canceled rather than merging garbage.
+		if err := ctx.Err(); err != nil {
+			res.Message = err.Error()
+			return finish(Canceled)
+		}
 
 		// Merge in frontier order for determinism. Rules counts per
 		// merged entry, not per level: when the merge stops early (a

@@ -10,7 +10,9 @@ package mc_test
 // particular: the level engine once charged whole levels up front.
 
 import (
+	"context"
 	"testing"
+	"time"
 
 	"minvn/internal/machine"
 	"minvn/internal/mc"
@@ -126,6 +128,61 @@ func TestParallelParityComplete(t *testing.T) {
 	}
 	if seq.Outcome != pip.Outcome || seq.States != pip.States || seq.MaxDepth != pip.MaxDepth || seq.Rules != pip.Rules {
 		t.Fatalf("seq %v vs pipeline %v", seq, pip)
+	}
+}
+
+// TestContextParityProtocols pins that threading a background context
+// through the Ctx variants is invisible on a real protocol system —
+// same Outcome, States, Rules, and MaxDepth as the context-free calls
+// — and that a canceled context stops all three engines promptly with
+// the Canceled outcome.
+func TestContextParityProtocols(t *testing.T) {
+	sys := paritySystem(t, "MESI_nonblocking_cache", "minimal", 2, 1, 1)
+	opts := mc.Options{MaxStates: 4000, DisableTraces: true}
+	bg := context.Background()
+
+	seq := mc.Check(sys, opts)
+	for _, eng := range []struct {
+		name string
+		res  mc.Result
+	}{
+		{"seq-ctx", mc.CheckCtx(bg, sys, opts)},
+		{"levels-ctx", mc.CheckParallelCtx(bg, sys, opts, 4)},
+		{"pipeline-ctx", mc.CheckPipelinedCtx(bg, sys, opts, 4, 0)},
+		{"engine-ctx", mc.CheckEngineCtx(bg, sys, opts, mc.EnginePipeline, 4, 0)},
+	} {
+		if seq.Outcome != eng.res.Outcome || seq.States != eng.res.States ||
+			seq.Rules != eng.res.Rules || seq.MaxDepth != eng.res.MaxDepth {
+			t.Fatalf("%s with background ctx diverges: %v vs %v", eng.name, eng.res, seq)
+		}
+	}
+
+	// A canceled context stops every engine promptly: the unbounded
+	// 3-cache space is far larger than anything explorable in the few
+	// milliseconds before the cancel lands.
+	big := paritySystem(t, "MOESI_nonblocking_cache", "minimal", 3, 2, 2)
+	unbounded := mc.Options{DisableTraces: true}
+	for _, eng := range []struct {
+		name string
+		run  func(context.Context) mc.Result
+	}{
+		{"seq", func(ctx context.Context) mc.Result { return mc.CheckCtx(ctx, big, unbounded) }},
+		{"levels", func(ctx context.Context) mc.Result { return mc.CheckParallelCtx(ctx, big, unbounded, 4) }},
+		{"pipeline", func(ctx context.Context) mc.Result { return mc.CheckPipelinedCtx(ctx, big, unbounded, 4, 0) }},
+	} {
+		ctx, cancel := context.WithCancel(bg)
+		done := make(chan mc.Result, 1)
+		go func() { done <- eng.run(ctx) }()
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+		select {
+		case res := <-done:
+			if res.Outcome != mc.Canceled {
+				t.Fatalf("%s: outcome after cancel = %v, want Canceled", eng.name, res.Outcome)
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatalf("%s: engine did not stop after cancel", eng.name)
+		}
 	}
 }
 

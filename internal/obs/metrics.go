@@ -1,0 +1,48 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteMetricsText renders a snapshot in the Prometheus text
+// exposition format: one `# TYPE` line and one sample per metric,
+// names sanitized to the metric charset (dots become underscores),
+// deterministic order. It is deliberately minimal — enough for
+// `curl /metrics`, scrape jobs, and tests, with no client library.
+func WriteMetricsText(w io.Writer, s Snapshot) error {
+	emit := func(kind string, names []string, get func(string) int64) error {
+		for _, name := range names {
+			mn := metricName(name)
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n%s %d\n", mn, kind, mn, get(name)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := emit("counter", SortedNames(s.Counters), func(n string) int64 { return s.Counters[n] }); err != nil {
+		return err
+	}
+	return emit("gauge", SortedNames(s.Gauges), func(n string) int64 { return s.Gauges[n] })
+}
+
+// metricName maps a registry name onto the Prometheus metric charset
+// [a-zA-Z0-9_:].
+func metricName(name string) string {
+	var b strings.Builder
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+			b.WriteRune(r)
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}

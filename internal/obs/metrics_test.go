@@ -1,0 +1,46 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteMetricsText(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("serve.requests").Add(3)
+	r.Gauge("serve.running").Set(2)
+	r.Counter("a-b.c").Inc()
+
+	var b strings.Builder
+	if err := WriteMetricsText(&b, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	for _, w := range []string{
+		"# TYPE serve_requests counter\nserve_requests 3\n",
+		"# TYPE serve_running gauge\nserve_running 2\n",
+		"# TYPE a_b_c counter\na_b_c 1\n",
+	} {
+		if !strings.Contains(got, w) {
+			t.Errorf("exposition missing %q:\n%s", w, got)
+		}
+	}
+	// Counters render before gauges, each block sorted.
+	if strings.Index(got, "a_b_c") > strings.Index(got, "serve_running") {
+		t.Errorf("counters not rendered before gauges:\n%s", got)
+	}
+}
+
+func TestMetricName(t *testing.T) {
+	cases := map[string]string{
+		"serve.cache_hits": "serve_cache_hits",
+		"9lives":           "_9lives",
+		"ok:name":          "ok:name",
+		"sp ace":           "sp_ace",
+	}
+	for in, want := range cases {
+		if got := metricName(in); got != want {
+			t.Errorf("metricName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

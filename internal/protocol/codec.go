@@ -8,6 +8,42 @@ import (
 // The JSON codec lets users define protocols in files and feed them to
 // cmd/vnmin / cmd/vnverify without writing Go. The schema mirrors the
 // builder API; Decode re-runs the same validation as Build.
+//
+// Decode also accepts untrusted network input (the vnserved API), so
+// it enforces hard resource caps before doing any real work: a total
+// byte-size cap checked before json.Unmarshal (bounding allocation),
+// then per-section count caps checked before the builder runs. Cap
+// violations surface as *LimitError so servers can map them to 4xx
+// responses instead of treating them like malformed JSON.
+
+// Decode resource caps. Every real coherence protocol is orders of
+// magnitude below these; inputs above them are junk or abuse.
+const (
+	// MaxDecodeBytes caps the encoded protocol size Decode accepts.
+	MaxDecodeBytes = 1 << 20
+	// MaxMessages caps the message declarations per protocol.
+	MaxMessages = 256
+	// MaxStatesPerController caps stable+transient states per
+	// controller.
+	MaxStatesPerController = 512
+	// MaxTransitionsPerController caps transitions per controller.
+	MaxTransitionsPerController = 8192
+	// MaxActionsPerTransition caps the actions of one transition.
+	MaxActionsPerTransition = 64
+)
+
+// LimitError reports an input that exceeds one of Decode's resource
+// caps. Section names the capped quantity ("input bytes", "messages",
+// "cache states", "directory transitions", ...).
+type LimitError struct {
+	Section string
+	Count   int
+	Max     int
+}
+
+func (e *LimitError) Error() string {
+	return fmt.Sprintf("protocol: %s: %d exceeds the limit of %d", e.Section, e.Count, e.Max)
+}
 
 type jsonProtocol struct {
 	Name     string          `json:"name"`
@@ -154,11 +190,40 @@ func Encode(p *Protocol) ([]byte, error) {
 	return json.MarshalIndent(jp, "", "  ")
 }
 
-// Decode parses a JSON protocol definition and validates it.
+// Decode parses a JSON protocol definition and validates it. Inputs
+// exceeding the decode caps above are rejected with a *LimitError.
 func Decode(data []byte) (*Protocol, error) {
+	if len(data) > MaxDecodeBytes {
+		return nil, &LimitError{Section: "input bytes", Count: len(data), Max: MaxDecodeBytes}
+	}
 	var jp jsonProtocol
 	if err := json.Unmarshal(data, &jp); err != nil {
 		return nil, fmt.Errorf("protocol: parse: %w", err)
+	}
+	if len(jp.Messages) > MaxMessages {
+		return nil, &LimitError{Section: "messages", Count: len(jp.Messages), Max: MaxMessages}
+	}
+	for _, side := range []struct {
+		name string
+		jc   *jsonController
+	}{{"cache", jp.Cache}, {"directory", jp.Dir}} {
+		if side.jc == nil {
+			continue
+		}
+		if n := len(side.jc.Stable) + len(side.jc.Transient); n > MaxStatesPerController {
+			return nil, &LimitError{Section: side.name + " states", Count: n, Max: MaxStatesPerController}
+		}
+		if n := len(side.jc.Transitions); n > MaxTransitionsPerController {
+			return nil, &LimitError{Section: side.name + " transitions", Count: n, Max: MaxTransitionsPerController}
+		}
+		for _, jt := range side.jc.Transitions {
+			if len(jt.Do) > MaxActionsPerTransition {
+				return nil, &LimitError{
+					Section: fmt.Sprintf("%s transition (%s,%s) actions", side.name, jt.State, jt.On),
+					Count:   len(jt.Do), Max: MaxActionsPerTransition,
+				}
+			}
+		}
 	}
 	b := NewBuilder(jp.Name)
 	for _, jm := range jp.Messages {

@@ -1,0 +1,166 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func key(b byte) cacheKey {
+	var k cacheKey
+	k[0] = b
+	return k
+}
+
+func TestLRUCacheEviction(t *testing.T) {
+	c := newLRUCache(2)
+	c.add(key(1), []byte("one"), "job-1")
+	c.add(key(2), []byte("two"), "job-2")
+	// Touch 1 so 2 becomes the eviction victim.
+	if _, ok := c.get(key(1)); !ok {
+		t.Fatal("key 1 missing")
+	}
+	c.add(key(3), []byte("three"), "job-3")
+	if _, ok := c.get(key(2)); ok {
+		t.Error("key 2 survived past capacity despite being LRU")
+	}
+	if _, ok := c.get(key(1)); !ok {
+		t.Error("recently used key 1 was evicted")
+	}
+	if _, ok := c.get(key(3)); !ok {
+		t.Error("newest key 3 missing")
+	}
+	if c.len() != 2 {
+		t.Errorf("len = %d, want 2", c.len())
+	}
+}
+
+// TestLRUCacheFirstRunCanonical pins that re-adding a key keeps the
+// original bytes: the first completed run's result is canonical.
+func TestLRUCacheFirstRunCanonical(t *testing.T) {
+	c := newLRUCache(4)
+	c.add(key(1), []byte("first"), "job-1")
+	c.add(key(1), []byte("second"), "job-9")
+	ent, ok := c.get(key(1))
+	if !ok || string(ent.result) != "first" || ent.jobID != "job-1" {
+		t.Fatalf("entry = %+v, want the first run's bytes", ent)
+	}
+	if c.len() != 1 {
+		t.Errorf("len = %d, want 1", c.len())
+	}
+}
+
+func TestLRUCacheDisabled(t *testing.T) {
+	c := newLRUCache(-1)
+	c.add(key(1), []byte("x"), "job-1")
+	if _, ok := c.get(key(1)); ok {
+		t.Error("disabled cache stored an entry")
+	}
+}
+
+// TestVerifyKeyIgnoresPerfKnobs pins the cache-key contract: engine,
+// workers, shards, and the deadline never affect the key, while every
+// result-affecting option does.
+func TestVerifyKeyIgnoresPerfKnobs(t *testing.T) {
+	const cap = 1_000_000
+	base := VerifyRequest{Protocol: "MSI_nonblocking_cache",
+		Options: VerifyOptions{MaxStates: 5000}}
+	keyOf := func(t *testing.T, req VerifyRequest) cacheKey {
+		t.Helper()
+		task, err := prepareVerify(req, cap, 0)
+		if err != nil {
+			t.Fatalf("prepareVerify: %v", err)
+		}
+		return task.key
+	}
+	k0 := keyOf(t, base)
+
+	same := base
+	same.Options.Engine = "pipeline"
+	same.Options.Workers = 7
+	same.Options.Shards = 32
+	same.DeadlineMillis = 12345
+	if keyOf(t, same) != k0 {
+		t.Error("perf knobs or deadline changed the cache key")
+	}
+
+	for name, mutate := range map[string]func(*VerifyRequest){
+		"max_states": func(r *VerifyRequest) { r.Options.MaxStates = 6000 },
+		"caches":     func(r *VerifyRequest) { r.Options.Caches = 4 },
+		"vn mode":    func(r *VerifyRequest) { r.Options.VN = "permsg" },
+		"strategy":   func(r *VerifyRequest) { r.Options.Strategy = "dfs" },
+		"invariants": func(r *VerifyRequest) { r.Options.Invariants = true },
+		"p2p":        func(r *VerifyRequest) { v := 1; r.Options.P2P = &v },
+	} {
+		req := base
+		mutate(&req)
+		if keyOf(t, req) == k0 {
+			t.Errorf("%s did not change the cache key", name)
+		}
+	}
+}
+
+// TestVerifyKeyClampsMaxStates pins that an unbounded request and an
+// explicit request at the server cap share one cache entry.
+func TestVerifyKeyClampsMaxStates(t *testing.T) {
+	const cap = 10_000
+	unbounded, err := prepareVerify(VerifyRequest{Protocol: "MSI_nonblocking_cache"}, cap, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	atCap, err := prepareVerify(VerifyRequest{Protocol: "MSI_nonblocking_cache",
+		Options: VerifyOptions{MaxStates: cap}}, cap, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	overCap, err := prepareVerify(VerifyRequest{Protocol: "MSI_nonblocking_cache",
+		Options: VerifyOptions{MaxStates: cap * 10}}, cap, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if unbounded.key != atCap.key || overCap.key != atCap.key {
+		t.Error("clamped max_states requests do not share a cache key")
+	}
+}
+
+func TestEffectiveDeadline(t *testing.T) {
+	const def, max time.Duration = 100, 1000
+	cases := []struct{ req, want time.Duration }{
+		{0, def},    // unset -> default
+		{50, 50},    // shorter than default is honored
+		{500, 500},  // between default and max is honored
+		{5000, max}, // beyond max is clamped
+	}
+	for _, tc := range cases {
+		if got := effectiveDeadline(tc.req, def, max); got != tc.want {
+			t.Errorf("effectiveDeadline(%d) = %d, want %d", tc.req, got, tc.want)
+		}
+	}
+}
+
+func TestRequestErrors(t *testing.T) {
+	cases := []AnalyzeRequest{
+		{},
+		{Protocol: "nope"},
+		{Protocol: "MSI", ProtocolSpec: []byte("{}")},
+		{ProtocolSpec: []byte("not json")},
+	}
+	for i, req := range cases {
+		_, err := prepareAnalyze(req)
+		var re *RequestError
+		if !asRequestError(err, &re) {
+			t.Errorf("case %d: err = %v, want *RequestError", i, err)
+		}
+	}
+}
+
+func asRequestError(err error, re **RequestError) bool { return errors.As(err, re) }
+
+func init() {
+	// Guard against cacheKey accidentally shrinking: the whole design
+	// assumes a collision-resistant address.
+	if len(cacheKey{}) != 32 {
+		panic(fmt.Sprintf("cacheKey is %d bytes", len(cacheKey{})))
+	}
+}

@@ -1,0 +1,208 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+
+	"minvn/internal/obs"
+)
+
+// Handler builds the service's HTTP API over the server:
+//
+//	POST /v1/analyze            static analysis + min-VN assignment
+//	POST /v1/verify             bounded model check (?wait=1 blocks)
+//	GET  /v1/jobs/{id}          job status + result
+//	GET  /v1/jobs/{id}/events   SSE progress stream (replay + live)
+//	GET  /v1/stats              pool occupancy + serve.* counters
+//	GET  /healthz               liveness
+//	GET  /metrics               Prometheus text format
+//	GET  /debug/pprof/          profiling
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
+	mux.HandleFunc("POST /v1/verify", s.handleVerify)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		_ = obs.WriteMetricsText(w, s.cfg.Registry.Snapshot())
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad request body: " + err.Error()})
+		return false
+	}
+	return true
+}
+
+// submit runs admission for a prepared task and writes the HTTP
+// response: 400 on request faults, 503 + Retry-After under
+// backpressure or drain, otherwise 200/202 with the job view.
+func (s *Server) submit(w http.ResponseWriter, r *http.Request, t *task, prepErr error) {
+	if prepErr != nil {
+		var re *RequestError
+		if errors.As(prepErr, &re) {
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: re.Error()})
+		} else {
+			writeJSON(w, http.StatusInternalServerError, errorBody{Error: prepErr.Error()})
+		}
+		return
+	}
+	view, err := s.Submit(t)
+	switch {
+	case errors.Is(err, ErrBusy), errors.Is(err, ErrDraining):
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
+		return
+	case err != nil:
+		writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
+		return
+	}
+	if r.URL.Query().Get("wait") == "1" {
+		view = s.wait(r, view.ID)
+	}
+	code := http.StatusAccepted
+	if view.Status == StatusDone || view.Status == StatusFailed || view.Status == StatusCanceled {
+		code = http.StatusOK
+	}
+	writeJSON(w, code, view)
+}
+
+// wait blocks until the job is terminal or the client goes away,
+// then returns the freshest view.
+func (s *Server) wait(r *http.Request, id string) *JobView {
+	for {
+		s.mu.Lock()
+		j, ok := s.jobs[id]
+		if !ok {
+			s.mu.Unlock()
+			return &JobView{ID: id, Status: StatusFailed, Error: "job disappeared"}
+		}
+		if j.terminal() {
+			view := j.view()
+			s.mu.Unlock()
+			return view
+		}
+		ch := j.updated
+		view := j.view()
+		s.mu.Unlock()
+		select {
+		case <-ch:
+		case <-r.Context().Done():
+			return view
+		}
+	}
+}
+
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	var req AnalyzeRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	t, err := prepareAnalyze(req)
+	s.submit(w, r, t, err)
+}
+
+func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
+	var req VerifyRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	t, err := prepareVerify(req, s.cfg.MaxStates, s.cfg.ProgressEvery)
+	s.submit(w, r, t, err)
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	view, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "no such job"})
+		return
+	}
+	writeJSON(w, http.StatusOK, view)
+}
+
+// handleEvents streams the job's event history and live updates as
+// Server-Sent Events. Every event is replayed from the start (or the
+// Last-Event-ID the client resumes from), so a subscriber attaching
+// after completion still sees the full sequence ending in "done".
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeJSON(w, http.StatusInternalServerError, errorBody{Error: "streaming unsupported"})
+		return
+	}
+	from := 0
+	if v := r.Header.Get("Last-Event-ID"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n >= 0 {
+			from = n + 1
+		}
+	}
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	for {
+		events, updated, ok := s.Events(id, from)
+		if !ok {
+			fmt.Fprintf(w, "event: error\ndata: {\"error\":\"no such job\"}\n\n")
+			flusher.Flush()
+			return
+		}
+		for _, e := range events {
+			data, err := json.Marshal(e)
+			if err != nil {
+				continue
+			}
+			fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", e.Seq, e.Type, data)
+			from = e.Seq + 1
+		}
+		if len(events) > 0 {
+			flusher.Flush()
+		}
+		if updated == nil {
+			return // terminal and fully replayed
+		}
+		select {
+		case <-updated:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}

@@ -1,0 +1,364 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"log"
+	"sync"
+	"time"
+
+	"minvn/internal/mc"
+	"minvn/internal/obs"
+)
+
+// Config tunes a Server. The zero value is usable: Defaults fills in
+// every unset field.
+type Config struct {
+	// Workers is the size of the checking pool: the number of jobs
+	// that run concurrently. Queued jobs beyond that wait.
+	Workers int
+	// QueueDepth bounds the admission queue. A submit that finds the
+	// queue full is refused (HTTP 503 + Retry-After) instead of
+	// waiting — backpressure, not buffering.
+	QueueDepth int
+	// CacheEntries caps the content-addressed result cache; 0 uses
+	// the default, negative disables caching.
+	CacheEntries int
+	// DefaultDeadline and MaxDeadline bound per-job runtimes.
+	// Requests may shorten below the default or lengthen up to the
+	// max.
+	DefaultDeadline time.Duration
+	MaxDeadline     time.Duration
+	// MaxBodyBytes caps request bodies at the HTTP layer.
+	MaxBodyBytes int64
+	// MaxStates bounds every verify job's state count; unbounded or
+	// larger requests are clamped to it.
+	MaxStates int
+	// ProgressEvery is the stored-state period between SSE snapshot
+	// events for running verify jobs.
+	ProgressEvery int
+	// Registry receives the server's metrics; a fresh one is created
+	// if nil.
+	Registry *obs.Registry
+	// BeforeRun, when non-nil, runs at the start of every job
+	// execution (after dequeue, before the task body). Tests use it to
+	// hold jobs in the running state deterministically.
+	BeforeRun func()
+	// Logf receives server lifecycle logs; log.Printf if nil.
+	Logf func(format string, args ...any)
+}
+
+// Defaults returns cfg with every unset field filled in.
+func (cfg Config) Defaults() Config {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 4
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 16
+	}
+	if cfg.CacheEntries == 0 {
+		cfg.CacheEntries = 256
+	}
+	if cfg.DefaultDeadline <= 0 {
+		cfg.DefaultDeadline = 2 * time.Minute
+	}
+	if cfg.MaxDeadline <= 0 {
+		cfg.MaxDeadline = 10 * time.Minute
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 2 << 20
+	}
+	if cfg.MaxStates <= 0 {
+		cfg.MaxStates = 2_000_000
+	}
+	if cfg.ProgressEvery <= 0 {
+		cfg.ProgressEvery = 50_000
+	}
+	if cfg.Registry == nil {
+		cfg.Registry = obs.NewRegistry()
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = log.Printf
+	}
+	return cfg
+}
+
+// Server is the analysis service: a bounded worker pool over an
+// admission-controlled queue, with singleflight deduplication and a
+// content-addressed result cache in front of it.
+type Server struct {
+	cfg Config
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	inflight map[cacheKey]*Job // queued/running job per key (singleflight)
+	cache    *lruCache
+	queue    chan *Job
+	nextID   uint64
+	draining bool
+
+	running    int // jobs currently executing
+	runningHWM int // high-water mark of running
+
+	runBase context.Context // canceled by Close to hard-stop runs
+	stopRun context.CancelFunc
+	workers sync.WaitGroup
+
+	// metric handles, resolved once
+	mRequests    *obs.Counter
+	mCacheHits   *obs.Counter
+	mCacheMisses *obs.Counter
+	mDedup       *obs.Counter
+	mRejected    *obs.Counter
+	mDone        *obs.Counter
+	mFailed      *obs.Counter
+	mCanceled    *obs.Counter
+	gRunning     *obs.Gauge
+	gQueued      *obs.Gauge
+	gCacheSize   *obs.Gauge
+}
+
+// ErrBusy is returned by Submit when the admission queue is full.
+var ErrBusy = errors.New("serve: queue full, retry later")
+
+// ErrDraining is returned by Submit once shutdown has begun.
+var ErrDraining = errors.New("serve: server is draining")
+
+// New starts a server's worker pool. Callers must Drain or Close it.
+func New(cfg Config) *Server {
+	cfg = cfg.Defaults()
+	s := &Server{
+		cfg:      cfg,
+		jobs:     make(map[string]*Job),
+		inflight: make(map[cacheKey]*Job),
+		cache:    newLRUCache(cfg.CacheEntries),
+		queue:    make(chan *Job, cfg.QueueDepth),
+	}
+	r := cfg.Registry
+	s.mRequests = r.Counter("serve.requests")
+	s.mCacheHits = r.Counter("serve.cache_hits")
+	s.mCacheMisses = r.Counter("serve.cache_misses")
+	s.mDedup = r.Counter("serve.singleflight_hits")
+	s.mRejected = r.Counter("serve.rejected_busy")
+	s.mDone = r.Counter("serve.jobs_done")
+	s.mFailed = r.Counter("serve.jobs_failed")
+	s.mCanceled = r.Counter("serve.jobs_canceled")
+	s.gRunning = r.Gauge("serve.running")
+	s.gQueued = r.Gauge("serve.queued")
+	s.gCacheSize = r.Gauge("serve.cache_entries")
+	s.runBase, s.stopRun = context.WithCancel(context.Background())
+	for i := 0; i < cfg.Workers; i++ {
+		s.workers.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Submit admits a prepared task. It returns the job serving it — a
+// fresh one, or (with cached/deduped true in the view) an existing
+// one when the result cache or the singleflight map already covers
+// the key. ErrBusy means the queue is full; ErrDraining means the
+// server is shutting down.
+func (s *Server) Submit(t *task) (*JobView, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.mRequests.Inc()
+
+	if s.draining {
+		return nil, ErrDraining
+	}
+
+	// Content-addressed cache: replay the first completed run's exact
+	// bytes as an immediately-done job.
+	if ent, ok := s.cache.get(t.key); ok {
+		s.mCacheHits.Inc()
+		job := newJob(jobID(s.bumpID()), t)
+		job.status = StatusDone
+		job.cached = true
+		job.result = ent.result
+		s.jobs[job.id] = job
+		job.appendEvent(Event{Type: "done", Job: job.view()})
+		return job.view(), nil
+	}
+	s.mCacheMisses.Inc()
+
+	// Singleflight: a queued or running job for the same key serves
+	// this request too.
+	if job, ok := s.inflight[t.key]; ok {
+		s.mDedup.Inc()
+		return job.view(), nil
+	}
+
+	job := newJob(jobID(s.bumpID()), t)
+	select {
+	case s.queue <- job:
+	default:
+		s.mRejected.Inc()
+		return nil, ErrBusy
+	}
+	s.jobs[job.id] = job
+	s.inflight[t.key] = job
+	s.gQueued.Set(int64(len(s.queue)))
+	return job.view(), nil
+}
+
+func (s *Server) bumpID() uint64 {
+	s.nextID++
+	return s.nextID
+}
+
+// Job returns the view of a job by id.
+func (s *Server) Job(id string) (*JobView, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, false
+	}
+	return j.view(), true
+}
+
+// Events returns the job's event history from seq onward plus a
+// channel that is closed on the next change (nil if the job is
+// terminal and fully replayed).
+func (s *Server) Events(id string, from int) ([]Event, <-chan struct{}, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, nil, false
+	}
+	var tail []Event
+	if from < len(j.events) {
+		tail = append(tail, j.events[from:]...)
+	}
+	if j.terminal() {
+		return tail, nil, true
+	}
+	return tail, j.updated, true
+}
+
+// Stats is the server's metric snapshot plus pool facts.
+type Stats struct {
+	Workers      int              `json:"workers"`
+	QueueDepth   int              `json:"queue_depth"`
+	Running      int              `json:"running"`
+	RunningHWM   int              `json:"running_hwm"`
+	Queued       int              `json:"queued"`
+	CacheEntries int              `json:"cache_entries"`
+	Counters     map[string]int64 `json:"counters"`
+}
+
+// Stats reports pool occupancy and the serve.* counters.
+func (s *Server) Stats() Stats {
+	snap := s.cfg.Registry.Snapshot()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		Workers:      s.cfg.Workers,
+		QueueDepth:   s.cfg.QueueDepth,
+		Running:      s.running,
+		RunningHWM:   s.runningHWM,
+		Queued:       len(s.queue),
+		CacheEntries: s.cache.len(),
+		Counters:     snap.Counters,
+	}
+}
+
+// Drain stops admission, waits for queued and running jobs to finish
+// (or ctx to expire, which hard-cancels the remainder), and releases
+// the pool.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.queue) // safe: sends also happen under s.mu
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.workers.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		s.stopRun()
+		return nil
+	case <-ctx.Done():
+		s.stopRun() // hard-stop in-flight checks via their contexts
+		<-done
+		return ctx.Err()
+	}
+}
+
+// Close hard-stops the server without waiting for jobs to finish.
+func (s *Server) Close() {
+	s.stopRun()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_ = s.Drain(ctx)
+}
+
+// worker drains the queue until it is closed.
+func (s *Server) worker() {
+	defer s.workers.Done()
+	for job := range s.queue {
+		s.runJob(job)
+	}
+}
+
+// runJob executes one job and publishes its terminal state.
+func (s *Server) runJob(job *Job) {
+	s.mu.Lock()
+	job.status = StatusRunning
+	s.running++
+	if s.running > s.runningHWM {
+		s.runningHWM = s.running
+	}
+	s.gRunning.Set(int64(s.running))
+	s.gQueued.Set(int64(len(s.queue)))
+	job.notify()
+	s.mu.Unlock()
+
+	if s.cfg.BeforeRun != nil {
+		s.cfg.BeforeRun()
+	}
+
+	deadline := effectiveDeadline(job.task.deadline, s.cfg.DefaultDeadline, s.cfg.MaxDeadline)
+	ctx, cancel := context.WithTimeout(s.runBase, deadline)
+	progress := func(snap mc.Snapshot) {
+		if snap.Final {
+			return // the terminal event carries the final state
+		}
+		c := snap
+		s.mu.Lock()
+		job.appendEvent(Event{Type: "snapshot", Snapshot: &c})
+		s.mu.Unlock()
+	}
+	result, err := job.task.run(ctx, progress)
+	cancel()
+
+	s.mu.Lock()
+	switch {
+	case err == nil:
+		job.status = StatusDone
+		job.result = result
+		s.cache.add(job.task.key, result, job.id)
+		s.gCacheSize.Set(int64(s.cache.len()))
+		s.mDone.Inc()
+	case errors.Is(err, errJobCanceled):
+		job.status = StatusCanceled
+		job.err = "canceled: deadline exceeded or server shutdown"
+		s.mCanceled.Inc()
+	default:
+		job.status = StatusFailed
+		job.err = err.Error()
+		s.mFailed.Inc()
+	}
+	delete(s.inflight, job.task.key)
+	s.running--
+	s.gRunning.Set(int64(s.running))
+	job.appendEvent(Event{Type: "done", Job: job.view()})
+	s.mu.Unlock()
+}

@@ -1,0 +1,414 @@
+package serve_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"minvn/internal/protocol"
+	"minvn/internal/protocols"
+	"minvn/internal/serve"
+	"minvn/internal/serve/client"
+)
+
+// testServer spins up a serve.Server behind httptest and returns a
+// typed client for it. Cleanup tears both down.
+func testServer(t *testing.T, cfg serve.Config) (*serve.Server, *client.Client) {
+	t.Helper()
+	srv := serve.New(cfg)
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		hs.Close()
+		srv.Close()
+	})
+	return srv, client.New(hs.URL, hs.Client())
+}
+
+func verifyMSI(maxStates int) serve.VerifyRequest {
+	return serve.VerifyRequest{
+		Protocol: "MSI_nonblocking_cache",
+		Options:  serve.VerifyOptions{MaxStates: maxStates},
+	}
+}
+
+func TestAnalyzeEndpoint(t *testing.T) {
+	_, cl := testServer(t, serve.Config{})
+	view, err := cl.Analyze(context.Background(), serve.AnalyzeRequest{Protocol: "MSI_nonblocking_cache"})
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	if view.Status != serve.StatusDone {
+		t.Fatalf("status = %s (%s)", view.Status, view.Error)
+	}
+	var res serve.AnalyzeResult
+	if err := jsonUnmarshal(view.Result, &res); err != nil {
+		t.Fatalf("result: %v", err)
+	}
+	if !strings.Contains(res.Class, "Class 3") {
+		t.Errorf("class = %q, want Class 3", res.Class)
+	}
+	if res.NumVNs < 2 || len(res.VN) == 0 {
+		t.Errorf("assignment missing: num_vns=%d vn=%v", res.NumVNs, res.VN)
+	}
+}
+
+func TestVerifyCacheHitByteIdentical(t *testing.T) {
+	_, cl := testServer(t, serve.Config{})
+	req := verifyMSI(3000)
+	cold, err := cl.Verify(context.Background(), req, true)
+	if err != nil {
+		t.Fatalf("cold: %v", err)
+	}
+	if cold.Status != serve.StatusDone || cold.Cached {
+		t.Fatalf("cold: status=%s cached=%v (%s)", cold.Status, cold.Cached, cold.Error)
+	}
+	hot, err := cl.Verify(context.Background(), req, true)
+	if err != nil {
+		t.Fatalf("hot: %v", err)
+	}
+	if !hot.Cached {
+		t.Fatalf("hot request missed the cache")
+	}
+	if !bytes.Equal(cold.Result, hot.Result) {
+		t.Fatalf("cached result not byte-identical:\n%s\nvs\n%s", cold.Result, hot.Result)
+	}
+	var res serve.VerifyResult
+	if err := jsonUnmarshal(hot.Result, &res); err != nil {
+		t.Fatalf("result: %v", err)
+	}
+	if res.Outcome == "" || res.States == 0 {
+		t.Errorf("empty verify result: %+v", res)
+	}
+}
+
+// TestSpecAndNameShareCacheEntry pins that an inline protocol_spec and
+// the built-in name it encodes hash to the same cache key: the spec is
+// decoded and re-encoded to the canonical form before hashing.
+func TestSpecAndNameShareCacheEntry(t *testing.T) {
+	p, err := protocols.Load("MSI_nonblocking_cache")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := protocol.Encode(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, cl := testServer(t, serve.Config{})
+	byName, err := cl.Verify(context.Background(),
+		serve.VerifyRequest{Protocol: p.Name, Options: serve.VerifyOptions{MaxStates: 2500}}, true)
+	if err != nil {
+		t.Fatalf("by name: %v", err)
+	}
+	bySpec, err := cl.Verify(context.Background(),
+		serve.VerifyRequest{ProtocolSpec: spec, Options: serve.VerifyOptions{MaxStates: 2500}}, true)
+	if err != nil {
+		t.Fatalf("by spec: %v", err)
+	}
+	if !bySpec.Cached {
+		t.Fatalf("inline spec of the same protocol missed the cache")
+	}
+	if !bytes.Equal(byName.Result, bySpec.Result) {
+		t.Fatalf("spec result differs from name result")
+	}
+}
+
+// TestSingleflightDedup holds the pool at the run gate and submits the
+// same request twice: the second must attach to the first's job
+// instead of queueing a duplicate.
+func TestSingleflightDedup(t *testing.T) {
+	gate := make(chan struct{})
+	srv, cl := testServer(t, serve.Config{
+		Workers:   1,
+		BeforeRun: func() { <-gate },
+	})
+	first, err := cl.Verify(context.Background(), verifyMSI(3000), false)
+	if err != nil {
+		t.Fatalf("first: %v", err)
+	}
+	second, err := cl.Verify(context.Background(), verifyMSI(3000), false)
+	if err != nil {
+		t.Fatalf("second: %v", err)
+	}
+	if second.ID != first.ID {
+		t.Fatalf("second submit got job %s, want dedup onto %s", second.ID, first.ID)
+	}
+	close(gate)
+	view, err := cl.WaitDone(context.Background(), first.ID, 0)
+	if err != nil || view.Status != serve.StatusDone {
+		t.Fatalf("job did not complete: %v %+v", err, view)
+	}
+	if st := srv.Stats(); st.Counters["serve.singleflight_hits"] != 1 {
+		t.Errorf("singleflight_hits = %d, want 1", st.Counters["serve.singleflight_hits"])
+	}
+}
+
+// TestBackpressure503 fills the pool and queue, then requires the next
+// distinct submit to be refused with 503 + Retry-After.
+func TestBackpressure503(t *testing.T) {
+	gate := make(chan struct{})
+	_, cl := testServer(t, serve.Config{
+		Workers:    1,
+		QueueDepth: 1,
+		BeforeRun:  func() { <-gate },
+	})
+	ctx := context.Background()
+	first, err := cl.Verify(ctx, verifyMSI(3000), false)
+	if err != nil {
+		t.Fatalf("first: %v", err)
+	}
+	// Wait until the single worker holds the first job so the queue
+	// slot is free for exactly one more.
+	waitForRunning(t, cl, 1)
+	if _, err := cl.Verify(ctx, verifyMSI(3001), false); err != nil {
+		t.Fatalf("second (queued): %v", err)
+	}
+	_, err = cl.Verify(ctx, verifyMSI(3002), false)
+	if !client.IsBusy(err) {
+		t.Fatalf("third submit: err = %v, want 503 busy", err)
+	}
+	var se *client.StatusError
+	if !asStatusError(err, &se) || se.RetryAfter == "" {
+		t.Errorf("503 missing Retry-After: %+v", se)
+	}
+	close(gate)
+	if _, err := cl.WaitDone(ctx, first.ID, 0); err != nil {
+		t.Fatalf("drain after gate: %v", err)
+	}
+}
+
+// TestSSEOrdering subscribes to a running job's event stream and
+// checks contiguous sequence numbers ending in one terminal event; a
+// second, late subscriber must replay the identical history.
+func TestSSEOrdering(t *testing.T) {
+	_, cl := testServer(t, serve.Config{ProgressEvery: 500})
+	ctx := context.Background()
+	view, err := cl.Verify(ctx, verifyMSI(50_000), false)
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	var live []serve.Event
+	if err := cl.Events(ctx, view.ID, func(e serve.Event) { live = append(live, e) }); err != nil {
+		t.Fatalf("live stream: %v", err)
+	}
+	if len(live) < 2 {
+		t.Fatalf("only %d events; want snapshots + done (ProgressEvery=500, MaxStates=50k)", len(live))
+	}
+	for i, e := range live {
+		if e.Seq != i {
+			t.Fatalf("event %d has seq %d", i, e.Seq)
+		}
+	}
+	last := live[len(live)-1]
+	if last.Type != "done" || last.Job == nil || last.Job.Status != serve.StatusDone {
+		t.Fatalf("terminal event = %+v", last)
+	}
+	for _, e := range live[:len(live)-1] {
+		if e.Type != "snapshot" || e.Snapshot == nil {
+			t.Fatalf("non-terminal event = %+v", e)
+		}
+	}
+	// Late subscriber: full replay, identical sequence.
+	var replay []serve.Event
+	if err := cl.Events(ctx, view.ID, func(e serve.Event) { replay = append(replay, e) }); err != nil {
+		t.Fatalf("replay stream: %v", err)
+	}
+	if len(replay) != len(live) {
+		t.Fatalf("replay has %d events, live had %d", len(replay), len(live))
+	}
+}
+
+// TestGracefulDrain pins the shutdown contract: Drain refuses new
+// work, lets the in-flight job finish, and returns.
+func TestGracefulDrain(t *testing.T) {
+	gate := make(chan struct{})
+	srv, cl := testServer(t, serve.Config{
+		Workers:   1,
+		BeforeRun: func() { <-gate },
+	})
+	ctx := context.Background()
+	view, err := cl.Verify(ctx, verifyMSI(3000), false)
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	waitForRunning(t, cl, 1)
+
+	drained := make(chan error, 1)
+	go func() { drained <- srv.Drain(context.Background()) }()
+
+	// Admission must refuse with 503 once draining.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		_, err := cl.Verify(ctx, verifyMSI(9999), false)
+		if client.IsBusy(err) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("submit during drain: err = %v, want 503", err)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	select {
+	case err := <-drained:
+		t.Fatalf("drain returned before the in-flight job finished: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(gate)
+	select {
+	case err := <-drained:
+		if err != nil {
+			t.Fatalf("drain: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("drain did not complete after the job finished")
+	}
+	got, ok := srv.Job(view.ID)
+	if !ok || got.Status != serve.StatusDone {
+		t.Fatalf("in-flight job after drain: %+v", got)
+	}
+}
+
+// TestDeadlineCancelsJob pins per-job deadlines: a tiny deadline on a
+// large search yields a canceled job, and canceled results are never
+// cached.
+func TestDeadlineCancelsJob(t *testing.T) {
+	_, cl := testServer(t, serve.Config{MaxStates: 5_000_000})
+	ctx := context.Background()
+	req := serve.VerifyRequest{
+		Protocol:       "MOESI_nonblocking_cache",
+		Options:        serve.VerifyOptions{MaxStates: 5_000_000},
+		DeadlineMillis: 30,
+	}
+	view, err := cl.Verify(ctx, req, true)
+	if err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	if view.Status != serve.StatusCanceled {
+		t.Fatalf("status = %s, want canceled", view.Status)
+	}
+	// The same request with a workable deadline must run fresh — the
+	// canceled attempt must not have poisoned the cache.
+	req.DeadlineMillis = 0
+	req.Options.MaxStates = 4000
+	again, err := cl.Verify(ctx, req, true)
+	if err != nil {
+		t.Fatalf("second verify: %v", err)
+	}
+	if again.Cached || again.Status != serve.StatusDone {
+		t.Fatalf("second run: cached=%v status=%s", again.Cached, again.Status)
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	_, cl := testServer(t, serve.Config{})
+	ctx := context.Background()
+	cases := []struct {
+		name string
+		req  serve.VerifyRequest
+	}{
+		{"unknown protocol", serve.VerifyRequest{Protocol: "NoSuchProtocol"}},
+		{"no protocol", serve.VerifyRequest{}},
+		{"bad vn mode", serve.VerifyRequest{Protocol: "MSI_nonblocking_cache",
+			Options: serve.VerifyOptions{VN: "bogus"}}},
+		{"bad engine", serve.VerifyRequest{Protocol: "MSI_nonblocking_cache",
+			Options: serve.VerifyOptions{Engine: "warp"}}},
+		{"class2 minimal", serve.VerifyRequest{Protocol: "MSI_blocking_cache"}},
+		{"oversized spec", serve.VerifyRequest{ProtocolSpec: append(append([]byte{'"'},
+			bytes.Repeat([]byte("x"), protocol.MaxDecodeBytes)...), '"')}},
+	}
+	for _, tc := range cases {
+		_, err := cl.Verify(ctx, tc.req, false)
+		var se *client.StatusError
+		if !asStatusError(err, &se) || se.Code != http.StatusBadRequest {
+			t.Errorf("%s: err = %v, want 400", tc.name, err)
+		}
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	_, cl := testServer(t, serve.Config{})
+	if _, err := cl.Analyze(context.Background(), serve.AnalyzeRequest{Protocol: "MSI_nonblocking_cache"}); err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	text, err := cl.Metrics(context.Background())
+	if err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	for _, want := range []string{"serve_requests 1", "serve_jobs_done 1", "# TYPE serve_requests counter"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics exposition missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestNoGoroutineLeak runs a full server lifecycle — jobs, SSE, drain
+// — and requires the goroutine count to return to its baseline. The
+// race detector build of this test is the acceptance check.
+func TestNoGoroutineLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	srv := serve.New(serve.Config{Workers: 4, ProgressEvery: 500})
+	hs := httptest.NewServer(srv.Handler())
+	cl := client.New(hs.URL, hs.Client())
+	ctx := context.Background()
+	view, err := cl.Verify(ctx, verifyMSI(20_000), false)
+	if err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	if err := cl.Events(ctx, view.ID, func(serve.Event) {}); err != nil {
+		t.Fatalf("events: %v", err)
+	}
+	if _, err := cl.Verify(ctx, verifyMSI(20_000), true); err != nil {
+		t.Fatalf("hot verify: %v", err)
+	}
+	if err := srv.Drain(context.Background()); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	hs.CloseClientConnections()
+	hs.Close()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines: %d before, %d after\n%s",
+				before, runtime.NumGoroutine(), buf[:n])
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func jsonUnmarshal(data []byte, v any) error { return json.Unmarshal(data, v) }
+
+func asStatusError(err error, se **client.StatusError) bool { return errors.As(err, se) }
+
+// waitForRunning polls /v1/stats until the running count reaches n.
+func waitForRunning(t *testing.T, cl *client.Client, n int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st, err := cl.Stats(context.Background())
+		if err != nil {
+			t.Fatalf("stats: %v", err)
+		}
+		if st.Running >= n {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("running never reached %d (at %d)", n, st.Running)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
