@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt check bench bench-smoke fuzz-smoke table serve serve-smoke
+.PHONY: build test race vet fmt check bench bench-smoke bench-gate fuzz-smoke table serve serve-smoke
 
 build:
 	$(GO) build ./...
@@ -29,6 +29,17 @@ bench:
 # end and emits the artifact, without the full paper-scale state count.
 bench-smoke:
 	$(GO) run ./cmd/vnbench -workers 4 -max-states 20000 -out BENCH_mc.json
+
+# Perf-regression gate: rerun the smoke bench into a fresh artifact
+# and diff it against the checked-in BENCH_mc.json baseline with
+# noise-aware thresholds (see cmd/vnbench/compare.go). Exits nonzero
+# on a >20% states/s or >50% heap regression, or when the baseline has
+# gone stale (search shape drifted — regenerate with `make bench-smoke`
+# and commit the result).
+bench-gate:
+	$(GO) run ./cmd/vnbench -workers 4 -max-states 20000 -out BENCH_gate.json
+	$(GO) run ./cmd/vnbench -compare -diff-out BENCH_diff.json \
+		BENCH_mc.json BENCH_gate.json
 
 # Bounded differential-fuzzing pass for CI: a fixed-seed campaign of
 # generated protocols through the full analysis → assignment → model

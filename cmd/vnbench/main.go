@@ -9,6 +9,11 @@
 // engines must agree on outcome, state count, depth, AND the full
 // occupancy aggregate — a disagreement is a checker bug and fails the
 // run.
+//
+// With -compare baseline.json candidate.json, vnbench instead diffs
+// two of its own artifacts as a perf-regression gate (see compare.go):
+// exit 1 on a states/s or heap regression beyond noise-aware
+// thresholds, exit 2 when the artifacts are not comparable.
 package main
 
 import (
@@ -71,10 +76,30 @@ func main() {
 		serveMaxStates = flag.Int("serve-max-states", 4000, "base per-job state bound for load-gen requests")
 		serveStats     = flag.String("serve-stats", "", "write the server's final /v1/stats document to this file")
 		serveProto     = flag.String("serve-protocol", "MSI_nonblocking_cache", "protocol the load-gen requests verify")
+
+		compareMode   = flag.Bool("compare", false, "diff two benchmark artifacts (baseline.json candidate.json) as a perf-regression gate instead of benchmarking")
+		cmpThreshold  = flag.Float64("threshold", 0.20, "-compare: fractional states/s drop that fails the gate")
+		cmpHeapThresh = flag.Float64("heap-threshold", 0.50, "-compare: fractional heap growth that fails the gate")
+		cmpNoiseFloor = flag.Float64("noise-floor", 0.05, "-compare: seconds below which a row is too noisy to gate on throughput")
+		cmpDiffOut    = flag.String("diff-out", "BENCH_diff.json", "-compare: write the diff artifact to this file (empty disables)")
 	)
 	tel := cliflag.Register(flag.CommandLine,
 		cliflag.FlagStatsJSON|cliflag.FlagPprof|cliflag.FlagTrace)
 	flag.Parse()
+
+	if *compareMode {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "vnbench: -compare needs exactly two artifact paths: baseline.json candidate.json")
+			os.Exit(2)
+		}
+		os.Exit(runCompare(flag.Arg(0), flag.Arg(1), compareOptions{
+			Threshold:      *cmpThreshold,
+			HeapThreshold:  *cmpHeapThresh,
+			NoiseFloorSecs: *cmpNoiseFloor,
+			HeapFloorBytes: 32 << 20,
+			DiffOut:        *cmpDiffOut,
+		}, os.Stdout, os.Stderr))
+	}
 
 	if err := tel.StartPprof(os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "vnbench: pprof:", err)
@@ -209,11 +234,15 @@ func main() {
 				}
 			}
 			gMean, lMean := occMeans(occ)
-			fmt.Printf("%-26s %-9s %-10s %9d states  depth %3d  %8.0f states/s  %5.2fx  dedup %.1f%%  heap %4dMB  occ g%d/l%d  %v\n",
+			skewCV := 0.0
+			if res.Stats.Health != nil {
+				skewCV = res.Stats.Health.OccCV
+			}
+			fmt.Printf("%-26s %-9s %-10s %9d states  depth %3d  %8.0f states/s  %5.2fx  dedup %.1f%%  heap %4dMB  occ g%d/l%d  skew %.2f  %v\n",
 				p.Name, eng, res.Outcome.Tag(), res.States, res.MaxDepth,
 				res.Stats.StatesPerSec, speedup, 100*res.Stats.DedupHitRate,
 				res.Stats.HeapBytes>>20, occ.GlobalHighWater, occ.LocalHighWater,
-				res.Duration.Round(1e6))
+				skewCV, res.Duration.Round(1e6))
 			run := map[string]any{
 				"protocol":        p.Name,
 				"engine":          eng.String(),
@@ -234,11 +263,26 @@ func main() {
 				"occ_global_mean": gMean,
 				"occ_local_mean":  lMean,
 			}
-			// The full per-VN histograms ride along once per protocol,
-			// on the baseline engine's row (the parity check guarantees
-			// the other engines' aggregates are identical).
+			// Contention-profile columns: visited-set stripe skew,
+			// per-worker expand vs. wait split, and (pipeline) shard
+			// lock-wait, arena footprint, and reorder-buffer stalls.
+			if h := res.Stats.Health; h != nil {
+				run["occ_skew_cv"] = h.OccCV
+				run["expand_ns"] = h.ExpandNS()
+				run["queue_wait_ns"] = h.QueueWaitNS()
+				run["lock_wait_ns"] = h.LockWaitNS
+				run["lock_wait_samples"] = h.LockWaitSamples
+				run["arena_bytes"] = h.ArenaBytes
+				run["reorder_stalls"] = h.ReorderStalls
+				run["reorder_max"] = h.ReorderMax
+			}
+			// The full per-VN histograms and the complete health report
+			// ride along once per protocol, on the baseline engine's row
+			// (the parity check guarantees the other engines' occupancy
+			// aggregates are identical).
 			if eng == engList[0] {
 				run["occupancy"] = occ
+				run["health"] = res.Stats.Health
 			}
 			runs = append(runs, run)
 		}

@@ -16,6 +16,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"os"
@@ -39,7 +40,30 @@ func main() {
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight jobs")
 	progressEvery := fs.Int("progress-every", 50_000, "SSE progress snapshot every N stored states")
 	statsJSON := fs.String("stats-json", "", "write final server stats as a JSON artifact to this file on shutdown")
+	jobLog := fs.String("job-log", "", "write the structured per-job JSONL event log to this file (\"-\" = stderr)")
+	jobLogLevel := fs.String("job-log-level", "info", "minimum job-log level: debug, info, warn, or error")
+	traceJobs := fs.Int("trace-jobs", 4, "keep per-job flight recorders for the N most recent jobs (GET /debug/trace; 0 disables)")
 	fs.Parse(os.Args[1:])
+
+	level, err := serve.ParseLogLevel(*jobLogLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vnserved:", err)
+		os.Exit(2)
+	}
+	var logW io.Writer
+	switch *jobLog {
+	case "":
+	case "-":
+		logW = os.Stderr
+	default:
+		f, err := os.OpenFile(*jobLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vnserved:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		logW = f
+	}
 
 	if err := run(*addr, serve.Config{
 		Workers:         *workers,
@@ -49,6 +73,9 @@ func main() {
 		DefaultDeadline: *defaultDeadline,
 		MaxDeadline:     *maxDeadline,
 		ProgressEvery:   *progressEvery,
+		JobLog:          logW,
+		JobLogLevel:     level,
+		TraceJobs:       *traceJobs,
 	}, *drainTimeout, *statsJSON); err != nil {
 		fmt.Fprintln(os.Stderr, "vnserved:", err)
 		os.Exit(1)

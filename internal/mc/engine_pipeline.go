@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"time"
 
+	"minvn/internal/obs/health"
 	"minvn/internal/obs/trace"
 )
 
@@ -95,14 +96,23 @@ func CheckPipelinedCtx(ctx context.Context, m Model, opts Options, workers, shar
 	start := time.Now()
 	canon, _ := m.(Canonicalizer)
 	named, _ := m.(NamedModel)
-	lane := opts.Trace.Lane("merge")
+	// Read the trace context before the local `trace` closure below
+	// shadows the package name.
+	tc, _ := trace.TraceContextFrom(ctx)
+	lane := opts.Trace.Lane(tc.LanePrefix() + "merge")
 	tr := newTracker(opts, start, named != nil)
 	tr.lane = lane
+	tr.workers = health.NewWorkerSet(workers)
 	wlanes := make([]*trace.Lane, workers)
 	for w := range wlanes {
-		wlanes[w] = opts.Trace.Lane(fmt.Sprintf("worker %d", w))
+		wlanes[w] = opts.Trace.Lane(fmt.Sprintf("%sworker %d", tc.LanePrefix(), w))
 	}
 	set := newShardedSet(shards)
+	tr.setHealth = func(r *health.Report) {
+		_, arena := set.stats()
+		r.ArenaBytes = int64(arena)
+		r.LockWaitNS, r.LockWaitSamples = set.lockWait()
+	}
 
 	var (
 		nodes []node
@@ -115,10 +125,10 @@ func CheckPipelinedCtx(ctx context.Context, m Model, opts Options, workers, shar
 	push := func(s, ckey []byte, fp uint64, parent, depth int32) (int32, bool) {
 		id := int32(len(nodes))
 		if got, fresh := set.insert(fp, ckey, id); !fresh {
-			tr.recordProbe(depth, false)
+			tr.recordProbe(fp, depth, false)
 			return got, false
 		}
-		tr.recordProbe(depth, true)
+		tr.recordProbe(fp, depth, true)
 		// The state is retained until dispatch (workers need it) and,
 		// when traces are enabled, for counterexample reconstruction.
 		nodes = append(nodes, node{state: s, parent: parent, depth: depth})
@@ -215,20 +225,27 @@ func CheckPipelinedCtx(ctx context.Context, m Model, opts Options, workers, shar
 
 	for w := 0; w < workers; w++ {
 		wl := wlanes[w]
+		prof := tr.workers.Worker(w)
 		go func() {
 			for {
+				tq := time.Now()
 				select {
 				case <-quit:
 					return
 				case batch := <-workCh:
+					queueWait := time.Since(tq)
 					sp := wl.Start("batch")
+					t0 := time.Now()
 					out := make([]pexp, 0, len(batch))
 					for _, w := range batch {
 						out = append(out, expandOne(w))
 					}
+					expand := time.Since(t0)
 					sp.EndArg("states", int64(len(batch)))
+					ts := time.Now()
 					select {
 					case resCh <- out:
+						prof.AddBatch(len(batch), expand, queueWait, time.Since(ts))
 					case <-quit:
 						return
 					}
@@ -321,7 +338,7 @@ func CheckPipelinedCtx(ctx context.Context, m Model, opts Options, workers, shar
 					tr.fire(sc.rule)
 				}
 				if sc.dup {
-					tr.recordProbe(depth+1, false)
+					tr.recordProbe(sc.fp, depth+1, false)
 					continue
 				}
 				_, fresh := push(sc.state, sc.ckey, sc.fp, id, depth+1)
@@ -358,6 +375,9 @@ func CheckPipelinedCtx(ctx context.Context, m Model, opts Options, workers, shar
 				for _, e := range rb {
 					reorder[e.id] = e
 				}
+				if n := int64(len(reorder)); n > tr.reorderMax {
+					tr.reorderMax = n
+				}
 			case <-ctx.Done():
 				res.Message = ctx.Err().Error()
 				return finish(Canceled)
@@ -369,11 +389,17 @@ func CheckPipelinedCtx(ctx context.Context, m Model, opts Options, workers, shar
 			if outstanding == 0 {
 				panic(fmt.Sprintf("mc: pipeline stalled at id %d with no work in flight", nextMerge))
 			}
+			// The merge is idle until the missing expansion arrives —
+			// the pipeline's only wait state, counted as a reorder stall.
+			tr.reorderStalls++
 			select {
 			case rb := <-resCh:
 				outstanding -= len(rb)
 				for _, e := range rb {
 					reorder[e.id] = e
+				}
+				if n := int64(len(reorder)); n > tr.reorderMax {
+					tr.reorderMax = n
 				}
 			case <-ctx.Done():
 				res.Message = ctx.Err().Error()

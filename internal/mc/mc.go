@@ -12,8 +12,14 @@ import (
 	"fmt"
 	"time"
 
+	"minvn/internal/obs/health"
 	"minvn/internal/obs/trace"
 )
+
+// seqExpandSample is the sequential engine's expansion-timing sample
+// period: 1-in-N expansions get their Successors call timed for the
+// worker profile, keeping the clock-read cost off the hot path.
+const seqExpandSample = 8
 
 // Model is an explicit-state transition system over opaque encoded
 // states. Implementations must produce deterministic encodings: two
@@ -243,9 +249,13 @@ func CheckCtx(ctx context.Context, m Model, opts Options) Result {
 	start := time.Now()
 	canon, _ := m.(Canonicalizer)
 	named, _ := m.(NamedModel)
-	lane := opts.Trace.Lane("search (" + opts.Strategy.String() + ")")
+	// The trace context must be read before the local `trace` closure
+	// below shadows the package name.
+	tc, _ := trace.TraceContextFrom(ctx)
+	lane := opts.Trace.Lane(tc.LanePrefix() + "search (" + opts.Strategy.String() + ")")
 	tr := newTracker(opts, start, named != nil)
 	tr.lane = lane
+	tr.workers = health.NewWorkerSet(1)
 	key := func(s []byte) string {
 		if canon != nil {
 			return string(canon.Canonicalize(s))
@@ -260,11 +270,12 @@ func CheckCtx(ctx context.Context, m Model, opts Options) Result {
 	)
 	push := func(s []byte, parent int32, depth int32) (int32, bool) {
 		k := key(s)
+		fp := fingerprintString(k)
 		if id, ok := seen[k]; ok {
-			tr.recordProbe(depth, false)
+			tr.recordProbe(fp, depth, false)
 			return id, false
 		}
-		tr.recordProbe(depth, true)
+		tr.recordProbe(fp, depth, true)
 		id := int32(len(nodes))
 		n := node{parent: parent, depth: depth}
 		if !opts.DisableTraces {
@@ -355,6 +366,11 @@ func CheckCtx(ctx context.Context, m Model, opts Options) Result {
 		var succs [][]byte
 		var ruleNames []string
 		var err error
+		sampled := res.Rules%seqExpandSample == 0
+		var t0 time.Time
+		if sampled {
+			t0 = time.Now()
+		}
 		sp := lane.Start("expand")
 		if named != nil {
 			succs, ruleNames, err = named.SuccessorsNamed(w.state)
@@ -362,6 +378,9 @@ func CheckCtx(ctx context.Context, m Model, opts Options) Result {
 			succs, err = m.Successors(w.state)
 		}
 		sp.EndArg("succs", int64(len(succs)))
+		if sampled {
+			tr.workers.Worker(0).AddBatch(1, time.Since(t0), 0, 0)
+		}
 		res.Rules++
 		if err != nil {
 			res.Message = err.Error()

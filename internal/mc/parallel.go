@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"minvn/internal/obs/health"
 	"minvn/internal/obs/trace"
 )
 
@@ -64,12 +65,16 @@ func CheckParallelCtx(ctx context.Context, m Model, opts Options, workers int) R
 	start := time.Now()
 	canon, _ := m.(Canonicalizer)
 	named, _ := m.(NamedModel)
-	lane := opts.Trace.Lane("merge")
+	// Read the trace context before the local `trace` closure below
+	// shadows the package name.
+	tc, _ := trace.TraceContextFrom(ctx)
+	lane := opts.Trace.Lane(tc.LanePrefix() + "merge")
 	tr := newTracker(opts, start, named != nil)
 	tr.lane = lane
+	tr.workers = health.NewWorkerSet(workers)
 	wlanes := make([]*trace.Lane, workers)
 	for w := range wlanes {
-		wlanes[w] = opts.Trace.Lane(fmt.Sprintf("worker %d", w))
+		wlanes[w] = opts.Trace.Lane(fmt.Sprintf("%sworker %d", tc.LanePrefix(), w))
 	}
 	key := func(s []byte) string {
 		if canon != nil {
@@ -85,11 +90,12 @@ func CheckParallelCtx(ctx context.Context, m Model, opts Options, workers int) R
 	)
 	push := func(s []byte, parent int32, depth int32) (int32, bool) {
 		k := key(s)
+		fp := fingerprintString(k)
 		if id, ok := seen[k]; ok {
-			tr.recordProbe(depth, false)
+			tr.recordProbe(fp, depth, false)
 			return id, false
 		}
-		tr.recordProbe(depth, true)
+		tr.recordProbe(fp, depth, true)
 		id := int32(len(nodes))
 		n := node{parent: parent, depth: depth}
 		if !opts.DisableTraces {
@@ -178,6 +184,13 @@ func CheckParallelCtx(ctx context.Context, m Model, opts Options, workers int) R
 			wg.Add(1)
 			go func(w, lo, hi int) {
 				defer wg.Done()
+				t0 := time.Now()
+				defer func() {
+					// One batch per level chunk. The level barrier makes
+					// queue/send waits structural, so only expand time is
+					// attributable per worker.
+					tr.workers.Worker(w).AddBatch(hi-lo, time.Since(t0), 0, 0)
+				}()
 				sp := wlanes[w].Start("level-chunk")
 				defer func() { sp.EndArg("states", int64(hi-lo)) }()
 				for i := lo; i < hi; i++ {

@@ -2,6 +2,8 @@ package mc
 
 import (
 	"sync"
+	"sync/atomic"
+	"time"
 )
 
 // The visited set is the model checker's dominant memory consumer: the
@@ -41,6 +43,29 @@ func fingerprint(b []byte) uint64 {
 	return h
 }
 
+// fingerprintString is fingerprint over a string key without copying.
+// The map-backed engines use it to attribute visited-set probes to the
+// same telemetry stripes the pipelined engine's set would use, so the
+// per-shard occupancy histograms agree across engines.
+func fingerprintString(s string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return h
+}
+
+// lockSampleMask selects which acquisitions get their lock-wait timed:
+// fingerprints with the low 6 bits clear, i.e. a deterministic 1-in-64
+// sample, so contention profiling costs two clock reads per 64 probes
+// rather than per probe.
+const lockSampleMask = 63
+
 // setEntry is one stored state: its node id plus the location of its
 // canonical bytes in the shard arena, chained on fingerprint collision.
 type setEntry struct {
@@ -55,6 +80,11 @@ type setShard struct {
 	m       map[uint64]int32 // fingerprint → index of chain head in entries
 	entries []setEntry
 	arena   []byte // canonical state bytes, contiguous
+	// Sampled lock-acquisition wait (see lockSampleMask): how long
+	// callers waited for this shard's lock, a direct read on stripe
+	// contention. Atomic because probes run from every worker.
+	lockWaitNS atomic.Int64
+	lockWaitN  atomic.Int64
 }
 
 type shardedSet struct {
@@ -92,7 +122,14 @@ func (s *shardedSet) shardFor(fp uint64) *setShard {
 // returning its node id. Read-only; safe from any goroutine.
 func (s *shardedSet) probe(fp uint64, key []byte) (int32, bool) {
 	sh := s.shardFor(fp)
-	sh.mu.RLock()
+	if fp&lockSampleMask == 0 {
+		t0 := time.Now()
+		sh.mu.RLock()
+		sh.lockWaitNS.Add(int64(time.Since(t0)))
+		sh.lockWaitN.Add(1)
+	} else {
+		sh.mu.RLock()
+	}
 	defer sh.mu.RUnlock()
 	idx, ok := sh.m[fp]
 	for ok {
@@ -110,7 +147,14 @@ func (s *shardedSet) probe(fp uint64, key []byte) (int32, bool) {
 // returning the surviving id and whether the insert was fresh.
 func (s *shardedSet) insert(fp uint64, key []byte, id int32) (int32, bool) {
 	sh := s.shardFor(fp)
-	sh.mu.Lock()
+	if fp&lockSampleMask == 0 {
+		t0 := time.Now()
+		sh.mu.Lock()
+		sh.lockWaitNS.Add(int64(time.Since(t0)))
+		sh.lockWaitN.Add(1)
+	} else {
+		sh.mu.Lock()
+	}
 	defer sh.mu.Unlock()
 	head, collision := sh.m[fp]
 	idx, ok := head, collision
@@ -144,4 +188,15 @@ func (s *shardedSet) stats() (entries int, arenaBytes int) {
 		sh.mu.RUnlock()
 	}
 	return entries, arenaBytes
+}
+
+// lockWait sums the sampled lock-acquisition wait across all shards:
+// total nanoseconds waited and the number of sampled acquisitions.
+func (s *shardedSet) lockWait() (ns, samples int64) {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		ns += sh.lockWaitNS.Load()
+		samples += sh.lockWaitN.Load()
+	}
+	return ns, samples
 }

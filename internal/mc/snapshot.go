@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"minvn/internal/obs"
+	"minvn/internal/obs/health"
 	"minvn/internal/obs/trace"
 )
 
@@ -43,6 +44,12 @@ type Snapshot struct {
 	// occupancy profiler, an *icn.OccupancyStats with per-VN queue
 	// depth histograms and high-water marks.
 	Occupancy any `json:"occupancy,omitempty"`
+	// Health is the run's contention profile: per-stripe visited-set
+	// occupancy and dedup-hit histograms (identical across engines by
+	// construction), per-worker expand/queue-wait/send-wait times, and
+	// — for the pipelined engine — shard lock-wait, arena footprint,
+	// and reorder-buffer stalls.
+	Health *health.Report `json:"health,omitempty"`
 	// Final marks the end-of-run snapshot stored in Result.Stats.
 	Final bool `json:"final"`
 }
@@ -93,6 +100,17 @@ type tracker struct {
 	// lane, when tracing, receives progress instants from the search
 	// goroutine; the engines set it to their main/merge lane.
 	lane *trace.Lane
+
+	// Contention profile. shardSamp and the reorder fields follow the
+	// single-threaded store/merge-path contract above; workers is
+	// internally atomic (the pool writes it while snapshots read).
+	shardSamp     health.ShardSampler
+	workers       *health.WorkerSet
+	reorderStalls int64
+	reorderMax    int64
+	// setHealth, when set by an engine, contributes engine-specific
+	// fields (arena bytes, lock wait) to each report.
+	setHealth func(*health.Report)
 }
 
 func newTracker(opts Options, start time.Time, named bool) *tracker {
@@ -112,17 +130,34 @@ func newTracker(opts Options, start time.Time, named bool) *tracker {
 }
 
 // recordProbe accounts one visited-set lookup; fresh means the state
-// was new and stored at the given depth.
-func (t *tracker) recordProbe(depth int32, fresh bool) {
+// was new and stored at the given depth. fp is the state's fingerprint,
+// attributing the probe to its telemetry stripe.
+func (t *tracker) recordProbe(fp uint64, depth int32, fresh bool) {
 	t.probes.Inc()
 	if !fresh {
 		t.dedupHits.Inc()
+		t.shardSamp.Dup(fp)
 		return
 	}
+	t.shardSamp.Store(fp)
 	for int(depth) >= len(t.depthHist) {
 		t.depthHist = append(t.depthHist, 0)
 	}
 	t.depthHist[depth]++
+}
+
+// health assembles the contention report for a snapshot. Called from
+// the single-threaded snapshot path.
+func (t *tracker) health() *health.Report {
+	r := new(health.Report)
+	t.shardSamp.Fill(r)
+	r.Workers = t.workers.Stats()
+	r.ReorderStalls = t.reorderStalls
+	r.ReorderMax = t.reorderMax
+	if t.setHealth != nil {
+		t.setHealth(r)
+	}
+	return r
 }
 
 // fire records a rule firing (one generated successor) by name.
@@ -185,6 +220,7 @@ func (t *tracker) snapshot(states, frontier, maxDepth, expansions int, final boo
 	if so, ok := t.opts.Observer.(SummarizingObserver); ok {
 		s.Occupancy = so.Summary()
 	}
+	s.Health = t.health()
 	return s
 }
 

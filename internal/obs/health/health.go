@@ -1,0 +1,298 @@
+// Package health is the model checker's contention profiler: per-shard
+// and per-worker hot-spot statistics cheap enough to collect on every
+// run. Where package obs answers "how fast is the search" and package
+// trace answers "what happened when", health answers "where does the
+// time go" — which visited-set shards are hot, whether workers spend
+// their time expanding states or waiting for work, how long the merge
+// loop stalls on out-of-order results, and how much lock-wait the
+// sharded set accumulates.
+//
+// Everything here is strictly passive. Collectors only count and time;
+// they never touch search state, so runs with and without them are
+// bit-identical (pinned by TestTraceAndObserverDoNotPerturb and the
+// engine-parity suite). The per-shard occupancy histogram is computed
+// over a fixed fingerprint partition (Stripes) rather than the
+// engine's physical visited-set layout, so sequential, level-parallel,
+// and pipelined runs of the same model produce the identical histogram
+// — cross-engine comparability is what makes a skew reading trustable.
+package health
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// Stripes is the fixed stripe count of the telemetry occupancy
+// histogram. It matches mc.DefaultShards so that for a default
+// pipeline run the telemetry stripes coincide with the physical
+// visited-set shards; for every other configuration (and for the
+// map-backed engines) the stripes are a virtual partition of
+// fingerprint space, identical across engines by construction.
+const Stripes = 64
+
+// stripeMask selects a stripe from a fingerprint exactly the way the
+// sharded visited set does: mix the high bits in, mask the low ones.
+const stripeMask = Stripes - 1
+
+// StripeOf maps a 64-bit state fingerprint to its telemetry stripe.
+func StripeOf(fp uint64) int { return int((fp ^ (fp >> 32)) & stripeMask) }
+
+// WorkerStats is one engine worker's contention profile. The three
+// engines fill it differently:
+//
+//   - pipeline: one entry per pool worker; Batches counts work-channel
+//     batches, ExpandNS the time inside Successors/canonicalize/probe,
+//     QueueWaitNS the time blocked receiving work, SendWaitNS the time
+//     blocked handing results to the merge loop.
+//   - levels: one entry per pool worker; Batches counts level chunks
+//     and ExpandNS the chunk expansion time (the level barrier makes
+//     queue/send waits structural, not observable per worker).
+//   - seq: a single entry; ExpandNS covers a 1-in-N sample of
+//     expansions, with Batches counting the sampled expansions.
+type WorkerStats struct {
+	Worker      int   `json:"worker"`
+	Batches     int64 `json:"batches"`
+	States      int64 `json:"states_expanded"`
+	ExpandNS    int64 `json:"expand_ns"`
+	QueueWaitNS int64 `json:"queue_wait_ns,omitempty"`
+	SendWaitNS  int64 `json:"send_wait_ns,omitempty"`
+}
+
+// Report is the serializable contention profile of one search run,
+// embedded in mc.Snapshot (and therefore in -stats-json artifacts and
+// the serving layer's SSE snapshots).
+type Report struct {
+	// Stripes is the length of the per-stripe slices (always the
+	// package constant today; carried so artifacts self-describe).
+	Stripes int `json:"stripes"`
+	// StripeOccupancy[i] counts stored states whose fingerprint maps
+	// to stripe i; StripeDedupHits[i] counts duplicate probes there.
+	// Together they expose occupancy and dedup-rate skew.
+	StripeOccupancy []int64 `json:"stripe_occupancy"`
+	StripeDedupHits []int64 `json:"stripe_dedup_hits"`
+	// Occupancy skew summary over StripeOccupancy: min, max, mean, and
+	// the coefficient of variation (stddev/mean; 0 = perfectly even).
+	OccMin  int64   `json:"occ_min"`
+	OccMax  int64   `json:"occ_max"`
+	OccMean float64 `json:"occ_mean"`
+	OccCV   float64 `json:"occ_cv"`
+
+	// ArenaBytes is the canonical-state arena footprint of the sharded
+	// visited set (pipeline engine only).
+	ArenaBytes int64 `json:"arena_bytes,omitempty"`
+	// LockWaitNS is the summed shard-lock acquisition wait over
+	// LockWaitSamples sampled acquisitions (1-in-N by fingerprint), so
+	// LockWaitNS/LockWaitSamples estimates the mean wait per
+	// acquisition. Pipeline engine only.
+	LockWaitNS      int64 `json:"lock_wait_ns,omitempty"`
+	LockWaitSamples int64 `json:"lock_wait_samples,omitempty"`
+
+	// ReorderStalls counts merge-loop blocks on an expansion that had
+	// not arrived yet (the in-order merge's only wait state);
+	// ReorderMax is the reorder buffer's high-water mark. Pipeline
+	// engine only.
+	ReorderStalls int64 `json:"reorder_stalls,omitempty"`
+	ReorderMax    int64 `json:"reorder_max,omitempty"`
+
+	// Workers is the per-worker breakdown (see WorkerStats).
+	Workers []WorkerStats `json:"workers,omitempty"`
+}
+
+// summarizeOccupancy fills the skew summary fields from
+// StripeOccupancy.
+func (r *Report) summarizeOccupancy() {
+	if len(r.StripeOccupancy) == 0 {
+		return
+	}
+	r.OccMin = r.StripeOccupancy[0]
+	var sum int64
+	for _, v := range r.StripeOccupancy {
+		if v < r.OccMin {
+			r.OccMin = v
+		}
+		if v > r.OccMax {
+			r.OccMax = v
+		}
+		sum += v
+	}
+	n := float64(len(r.StripeOccupancy))
+	r.OccMean = float64(sum) / n
+	if r.OccMean > 0 {
+		var ss float64
+		for _, v := range r.StripeOccupancy {
+			d := float64(v) - r.OccMean
+			ss += d * d
+		}
+		r.OccCV = math.Sqrt(ss/n) / r.OccMean
+	}
+}
+
+// ExpandNS sums worker expansion time across the pool.
+func (r *Report) ExpandNS() int64 {
+	var t int64
+	for _, w := range r.Workers {
+		t += w.ExpandNS
+	}
+	return t
+}
+
+// QueueWaitNS sums worker queue-wait time across the pool.
+func (r *Report) QueueWaitNS() int64 {
+	var t int64
+	for _, w := range r.Workers {
+		t += w.QueueWaitNS
+	}
+	return t
+}
+
+// ShardSampler accumulates the per-stripe occupancy and dedup-hit
+// histograms. It is deliberately not thread-safe: every engine calls
+// it only from its single-threaded store path (the sequential loop or
+// the merge goroutine), the same contract as mc.StateObserver.
+type ShardSampler struct {
+	occ [Stripes]int64
+	dup [Stripes]int64
+}
+
+// Store records one freshly stored state by fingerprint.
+func (s *ShardSampler) Store(fp uint64) { s.occ[StripeOf(fp)]++ }
+
+// Dup records one duplicate visited-set probe by fingerprint.
+func (s *ShardSampler) Dup(fp uint64) { s.dup[StripeOf(fp)]++ }
+
+// Fill copies the histograms into r and computes the skew summary.
+func (s *ShardSampler) Fill(r *Report) {
+	r.Stripes = Stripes
+	r.StripeOccupancy = append([]int64(nil), s.occ[:]...)
+	r.StripeDedupHits = append([]int64(nil), s.dup[:]...)
+	r.summarizeOccupancy()
+}
+
+// WorkerProfile is one worker's accumulator. Fields are atomic because
+// the pipelined engine's merge loop snapshots profiles while workers
+// are still expanding speculatively.
+type WorkerProfile struct {
+	batches  atomic.Int64
+	states   atomic.Int64
+	expandNS atomic.Int64
+	queueNS  atomic.Int64
+	sendNS   atomic.Int64
+}
+
+// AddBatch records one unit of worker work: states expanded, time
+// spent expanding, and (where observable) time blocked waiting for
+// work and handing off results.
+func (w *WorkerProfile) AddBatch(states int, expand, queueWait, sendWait time.Duration) {
+	w.batches.Add(1)
+	w.states.Add(int64(states))
+	w.expandNS.Add(int64(expand))
+	w.queueNS.Add(int64(queueWait))
+	w.sendNS.Add(int64(sendWait))
+}
+
+// WorkerSet is a fixed pool of worker profiles, one per worker index.
+type WorkerSet struct {
+	ws []WorkerProfile
+}
+
+// NewWorkerSet allocates profiles for n workers.
+func NewWorkerSet(n int) *WorkerSet {
+	if n < 1 {
+		n = 1
+	}
+	return &WorkerSet{ws: make([]WorkerProfile, n)}
+}
+
+// Worker returns the profile for worker i.
+func (s *WorkerSet) Worker(i int) *WorkerProfile { return &s.ws[i] }
+
+// Stats snapshots every worker's counters.
+func (s *WorkerSet) Stats() []WorkerStats {
+	if s == nil {
+		return nil
+	}
+	out := make([]WorkerStats, len(s.ws))
+	for i := range s.ws {
+		w := &s.ws[i]
+		out[i] = WorkerStats{
+			Worker:      i,
+			Batches:     w.batches.Load(),
+			States:      w.states.Load(),
+			ExpandNS:    w.expandNS.Load(),
+			QueueWaitNS: w.queueNS.Load(),
+			SendWaitNS:  w.sendNS.Load(),
+		}
+	}
+	return out
+}
+
+// WritePromText renders the report as Prometheus exposition text with
+// per-stripe and per-worker series, for the serving layer's /metrics
+// endpoint. Families:
+//
+//	mc_shard_occupancy{shard="i"}    stored states per stripe
+//	mc_shard_dedup_hits{shard="i"}   duplicate probes per stripe
+//	mc_shard_occ_cv_ppm              occupancy skew (CV × 1e6)
+//	mc_worker_expand_seconds{worker="i"}
+//	mc_worker_queue_wait_seconds{worker="i"}
+//	mc_worker_send_wait_seconds{worker="i"}
+//	mc_lock_wait_seconds, mc_arena_bytes, mc_reorder_stalls, mc_reorder_max
+//
+// A nil report writes nothing and returns nil.
+func (r *Report) WritePromText(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	emitSeries := func(family string, vals []int64, label string, f func(int64) string) error {
+		if len(vals) == 0 {
+			return nil
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n", family); err != nil {
+			return err
+		}
+		for i, v := range vals {
+			if _, err := fmt.Fprintf(w, "%s{%s=\"%d\"} %s\n", family, label, i, f(v)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	asInt := func(v int64) string { return fmt.Sprintf("%d", v) }
+	asSeconds := func(ns int64) string { return fmt.Sprintf("%g", float64(ns)/1e9) }
+
+	if err := emitSeries("mc_shard_occupancy", r.StripeOccupancy, "shard", asInt); err != nil {
+		return err
+	}
+	if err := emitSeries("mc_shard_dedup_hits", r.StripeDedupHits, "shard", asInt); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "# TYPE mc_shard_occ_cv_ppm gauge\nmc_shard_occ_cv_ppm %d\n",
+		int64(r.OccCV*1e6)); err != nil {
+		return err
+	}
+	var expand, queue, send []int64
+	for _, ws := range r.Workers {
+		expand = append(expand, ws.ExpandNS)
+		queue = append(queue, ws.QueueWaitNS)
+		send = append(send, ws.SendWaitNS)
+	}
+	if err := emitSeries("mc_worker_expand_seconds", expand, "worker", asSeconds); err != nil {
+		return err
+	}
+	if err := emitSeries("mc_worker_queue_wait_seconds", queue, "worker", asSeconds); err != nil {
+		return err
+	}
+	if err := emitSeries("mc_worker_send_wait_seconds", send, "worker", asSeconds); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w,
+		"# TYPE mc_lock_wait_seconds gauge\nmc_lock_wait_seconds %g\n"+
+			"# TYPE mc_arena_bytes gauge\nmc_arena_bytes %d\n"+
+			"# TYPE mc_reorder_stalls gauge\nmc_reorder_stalls %d\n"+
+			"# TYPE mc_reorder_max gauge\nmc_reorder_max %d\n",
+		float64(r.LockWaitNS)/1e9, r.ArenaBytes, r.ReorderStalls, r.ReorderMax)
+	return err
+}

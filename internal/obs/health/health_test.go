@@ -1,0 +1,134 @@
+package health
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestShardSamplerHistogramsAndSkew(t *testing.T) {
+	var s ShardSampler
+	// Three distinct fingerprints, two landing in the same stripe by
+	// construction (identical low+high mix).
+	fpA := uint64(5)
+	fpB := uint64(5) // same stripe as fpA
+	fpC := uint64(9)
+	if StripeOf(fpA) == StripeOf(fpC) {
+		t.Fatalf("test fingerprints collide, pick different ones")
+	}
+	s.Store(fpA)
+	s.Store(fpB)
+	s.Store(fpC)
+	s.Dup(fpC)
+
+	var r Report
+	s.Fill(&r)
+	if r.Stripes != Stripes || len(r.StripeOccupancy) != Stripes {
+		t.Fatalf("stripes = %d, len = %d", r.Stripes, len(r.StripeOccupancy))
+	}
+	if got := r.StripeOccupancy[StripeOf(fpA)]; got != 2 {
+		t.Fatalf("stripe for fpA holds %d, want 2", got)
+	}
+	if got := r.StripeDedupHits[StripeOf(fpC)]; got != 1 {
+		t.Fatalf("dedup stripe for fpC holds %d, want 1", got)
+	}
+	if r.OccMin != 0 || r.OccMax != 2 {
+		t.Fatalf("occ min/max = %d/%d, want 0/2", r.OccMin, r.OccMax)
+	}
+	if r.OccMean <= 0 || r.OccCV <= 0 {
+		t.Fatalf("skew summary not computed: mean=%g cv=%g", r.OccMean, r.OccCV)
+	}
+}
+
+func TestWorkerSetStats(t *testing.T) {
+	ws := NewWorkerSet(3)
+	ws.Worker(0).AddBatch(16, 5*time.Millisecond, time.Millisecond, 0)
+	ws.Worker(0).AddBatch(8, 3*time.Millisecond, 0, time.Millisecond)
+	ws.Worker(2).AddBatch(4, time.Millisecond, 0, 0)
+
+	st := ws.Stats()
+	if len(st) != 3 {
+		t.Fatalf("got %d workers, want 3", len(st))
+	}
+	if st[0].Batches != 2 || st[0].States != 24 {
+		t.Fatalf("worker 0 = %+v", st[0])
+	}
+	if st[0].ExpandNS != int64(8*time.Millisecond) {
+		t.Fatalf("worker 0 expand = %d", st[0].ExpandNS)
+	}
+	if st[0].QueueWaitNS != int64(time.Millisecond) || st[0].SendWaitNS != int64(time.Millisecond) {
+		t.Fatalf("worker 0 waits = %+v", st[0])
+	}
+	if st[1].Batches != 0 {
+		t.Fatalf("idle worker 1 = %+v", st[1])
+	}
+	if st[2].States != 4 {
+		t.Fatalf("worker 2 = %+v", st[2])
+	}
+	var nilSet *WorkerSet
+	if nilSet.Stats() != nil {
+		t.Fatal("nil WorkerSet must report no stats")
+	}
+}
+
+func TestReportAggregates(t *testing.T) {
+	r := Report{Workers: []WorkerStats{
+		{ExpandNS: 10, QueueWaitNS: 3},
+		{ExpandNS: 20, QueueWaitNS: 4},
+	}}
+	if r.ExpandNS() != 30 || r.QueueWaitNS() != 7 {
+		t.Fatalf("aggregates: expand=%d queue=%d", r.ExpandNS(), r.QueueWaitNS())
+	}
+}
+
+func TestWritePromText(t *testing.T) {
+	var s ShardSampler
+	s.Store(1)
+	s.Dup(1)
+	var r Report
+	s.Fill(&r)
+	r.Workers = []WorkerStats{{Worker: 0, ExpandNS: 2_000_000_000, QueueWaitNS: 500_000_000}}
+	r.LockWaitNS = 1_000_000
+	r.ArenaBytes = 4096
+	r.ReorderStalls = 7
+	r.ReorderMax = 12
+
+	var b strings.Builder
+	if err := r.WritePromText(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	for _, want := range []string{
+		"# TYPE mc_shard_occupancy gauge",
+		`mc_shard_occupancy{shard="` + itoa(StripeOf(1)) + `"} 1`,
+		"# TYPE mc_shard_dedup_hits gauge",
+		`mc_worker_expand_seconds{worker="0"} 2`,
+		`mc_worker_queue_wait_seconds{worker="0"} 0.5`,
+		"mc_lock_wait_seconds 0.001",
+		"mc_arena_bytes 4096",
+		"mc_reorder_stalls 7",
+		"mc_reorder_max 12",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("exposition missing %q:\n%s", want, got)
+		}
+	}
+
+	var nilReport *Report
+	var nb strings.Builder
+	if err := nilReport.WritePromText(&nb); err != nil || nb.Len() != 0 {
+		t.Fatalf("nil report must write nothing: err=%v out=%q", err, nb.String())
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var digits []byte
+	for n > 0 {
+		digits = append([]byte{byte('0' + n%10)}, digits...)
+		n /= 10
+	}
+	return string(digits)
+}

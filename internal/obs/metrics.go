@@ -24,7 +24,21 @@ func WriteMetricsText(w io.Writer, s Snapshot) error {
 	if err := emit("counter", SortedNames(s.Counters), func(n string) int64 { return s.Counters[n] }); err != nil {
 		return err
 	}
-	return emit("gauge", SortedNames(s.Gauges), func(n string) int64 { return s.Gauges[n] })
+	if err := emit("gauge", SortedNames(s.Gauges), func(n string) int64 { return s.Gauges[n] }); err != nil {
+		return err
+	}
+	// Stage timers render as Prometheus summaries (count + sum), plus a
+	// non-standard _max gauge for the slowest single run — the signal a
+	// mean hides.
+	for _, st := range s.StageSummaries {
+		mn := "stage_" + metricName(st.Name) + "_seconds"
+		if _, err := fmt.Fprintf(w,
+			"# TYPE %s summary\n%s_count %d\n%s_sum %g\n# TYPE %s_max gauge\n%s_max %g\n",
+			mn, mn, st.Count, mn, st.Seconds, mn, mn, st.Max); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // metricName maps a registry name onto the Prometheus metric charset

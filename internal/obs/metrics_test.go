@@ -31,6 +31,30 @@ func TestWriteMetricsText(t *testing.T) {
 	}
 }
 
+func TestWriteMetricsTextStageSummaries(t *testing.T) {
+	s := Snapshot{
+		StageSummaries: []StageSummary{
+			{Name: "check.engine", Count: 3, Seconds: 1.5, Max: 0.75},
+		},
+	}
+	var b strings.Builder
+	if err := WriteMetricsText(&b, s); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	for _, w := range []string{
+		"# TYPE stage_check_engine_seconds summary",
+		"stage_check_engine_seconds_count 3",
+		"stage_check_engine_seconds_sum 1.5",
+		"# TYPE stage_check_engine_seconds_max gauge",
+		"stage_check_engine_seconds_max 0.75",
+	} {
+		if !strings.Contains(got, w) {
+			t.Errorf("exposition missing %q:\n%s", w, got)
+		}
+	}
+}
+
 func TestMetricName(t *testing.T) {
 	cases := map[string]string{
 		"serve.cache_hits": "serve_cache_hits",

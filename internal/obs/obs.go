@@ -90,6 +90,45 @@ func (t *Timeline) Stages() []Stage {
 	return append([]Stage(nil), t.stages...)
 }
 
+// StageSummary aggregates every completion of one named stage: how
+// many times it ran, the total seconds across runs, and the slowest
+// single run. A stage that runs once has Count 1 and Max == Seconds.
+type StageSummary struct {
+	Name    string  `json:"name"`
+	Count   int64   `json:"count"`
+	Seconds float64 `json:"seconds"`
+	Max     float64 `json:"max_seconds"`
+}
+
+// Summaries aggregates the completed stages by name, sorted by name
+// for deterministic rendering. Repeated stages (a per-job pipeline
+// phase, a retried pass) collapse into one summary instead of one
+// entry per run.
+func (t *Timeline) Summaries() []StageSummary {
+	stages := t.Stages()
+	if len(stages) == 0 {
+		return nil
+	}
+	byName := make(map[string]*StageSummary)
+	for _, s := range stages {
+		sum, ok := byName[s.Name]
+		if !ok {
+			sum = &StageSummary{Name: s.Name}
+			byName[s.Name] = sum
+		}
+		sum.Count++
+		sum.Seconds += s.Seconds
+		if s.Seconds > sum.Max {
+			sum.Max = s.Seconds
+		}
+	}
+	out := make([]StageSummary, 0, len(byName))
+	for _, name := range SortedNames(byName) {
+		out = append(out, *byName[name])
+	}
+	return out
+}
+
 // Total sums the recorded stage durations in seconds.
 func (t *Timeline) Total() float64 {
 	var sum float64
@@ -104,6 +143,9 @@ type Snapshot struct {
 	Counters map[string]int64 `json:"counters,omitempty"`
 	Gauges   map[string]int64 `json:"gauges,omitempty"`
 	Stages   []Stage          `json:"stages,omitempty"`
+	// StageSummaries is the per-name aggregation of Stages (count,
+	// total, max); Stages keeps the raw completion order.
+	StageSummaries []StageSummary `json:"stage_summaries,omitempty"`
 }
 
 // Sink consumes snapshots (a progress printer, a JSON-lines writer, a
@@ -190,6 +232,7 @@ func (r *Registry) Snapshot() Snapshot {
 	}
 	r.mu.Unlock()
 	s.Stages = r.timeline.Stages()
+	s.StageSummaries = r.timeline.Summaries()
 	return s
 }
 

@@ -65,6 +65,36 @@ func TestNilTimelineIsSafe(t *testing.T) {
 	if tl.Stages() != nil || tl.Total() != 0 {
 		t.Fatal("nil timeline recorded something")
 	}
+	if tl.Summaries() != nil {
+		t.Fatal("nil timeline has summaries")
+	}
+}
+
+func TestTimelineSummaries(t *testing.T) {
+	tl := &Timeline{}
+	tl.Time("b", func() {})
+	tl.Time("a", func() { time.Sleep(2 * time.Millisecond) })
+	tl.Time("a", func() { time.Sleep(time.Millisecond) })
+
+	sums := tl.Summaries()
+	if len(sums) != 2 || sums[0].Name != "a" || sums[1].Name != "b" {
+		t.Fatalf("summaries = %+v", sums)
+	}
+	a := sums[0]
+	if a.Count != 2 {
+		t.Fatalf("stage a ran %d times, want 2", a.Count)
+	}
+	if a.Max <= 0 || a.Max > a.Seconds {
+		t.Fatalf("stage a max %g outside (0, sum %g]", a.Max, a.Seconds)
+	}
+	// Max is the slowest single run, not the latest: the 2ms run must
+	// dominate the 1ms one.
+	if a.Seconds-a.Max > a.Max {
+		t.Fatalf("stage a max %g is not the slowest run (sum %g)", a.Max, a.Seconds)
+	}
+	if sums[1].Count != 1 || sums[1].Max != sums[1].Seconds {
+		t.Fatalf("single-run stage b = %+v", sums[1])
+	}
 }
 
 func TestRegistrySnapshot(t *testing.T) {

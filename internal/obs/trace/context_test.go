@@ -1,0 +1,69 @@
+package trace
+
+import (
+	"context"
+	"testing"
+)
+
+func TestTraceContextIdentity(t *testing.T) {
+	tc := NewTraceContext("r-1", "job-7")
+	if !tc.Valid() {
+		t.Fatal("context with IDs must be valid")
+	}
+	if tc.TraceID == "" || len(tc.TraceID) != 16 {
+		t.Fatalf("trace ID = %q, want 16 hex chars", tc.TraceID)
+	}
+	// Stable derivation: same inputs, same trace ID.
+	if again := NewTraceContext("r-1", "job-7"); again.TraceID != tc.TraceID {
+		t.Fatalf("trace ID not stable: %q vs %q", tc.TraceID, again.TraceID)
+	}
+	// Distinct inputs diverge, including swapped halves.
+	if other := NewTraceContext("job-7", "r-1"); other.TraceID == tc.TraceID {
+		t.Fatal("swapped request/job IDs must not share a trace ID")
+	}
+	if got := tc.LanePrefix(); got != "job-7 req r-1/" {
+		t.Fatalf("lane prefix = %q", got)
+	}
+}
+
+func TestTraceContextZeroValueIsInert(t *testing.T) {
+	var tc TraceContext
+	if tc.Valid() {
+		t.Fatal("zero context must be invalid")
+	}
+	if tc.LanePrefix() != "" {
+		t.Fatalf("zero context lane prefix = %q", tc.LanePrefix())
+	}
+	if tc.NextSpanID() != 0 {
+		t.Fatal("zero context must not allocate span IDs")
+	}
+}
+
+func TestTraceContextSpanIDsShared(t *testing.T) {
+	tc := NewTraceContext("r", "")
+	if got := tc.LanePrefix(); got != "req r/" {
+		t.Fatalf("request-only prefix = %q", got)
+	}
+	copy := tc // span allocator is shared by value copies
+	if tc.NextSpanID() != 1 || copy.NextSpanID() != 2 || tc.NextSpanID() != 3 {
+		t.Fatal("span IDs must be unique across copies of one context")
+	}
+}
+
+func TestTraceContextRoundTrip(t *testing.T) {
+	tc := NewTraceContext("", "job-3")
+	if got := tc.LanePrefix(); got != "job-3/" {
+		t.Fatalf("job-only prefix = %q", got)
+	}
+	ctx := WithTraceContext(context.Background(), tc)
+	got, ok := TraceContextFrom(ctx)
+	if !ok || got.JobID != "job-3" || got.TraceID != tc.TraceID {
+		t.Fatalf("round trip lost identity: %+v ok=%v", got, ok)
+	}
+	if _, ok := TraceContextFrom(context.Background()); ok {
+		t.Fatal("bare context must carry no trace context")
+	}
+	if _, ok := TraceContextFrom(nil); ok {
+		t.Fatal("nil context must carry no trace context")
+	}
+}

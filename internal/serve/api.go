@@ -29,6 +29,7 @@ import (
 	"minvn/internal/analysis"
 	"minvn/internal/machine"
 	"minvn/internal/mc"
+	"minvn/internal/obs/trace"
 	"minvn/internal/protocol"
 	"minvn/internal/protocols"
 	"minvn/internal/relation"
@@ -261,10 +262,16 @@ type task struct {
 	key      cacheKey
 	protocol string
 	deadline time.Duration
+	// requestID is the caller's X-Request-ID (sanitized), set by the
+	// HTTP layer before Submit. It feeds the job's TraceContext and is
+	// deliberately excluded from the cache key.
+	requestID string
 	// run produces the result document. It must honor ctx (the
-	// per-job deadline and the server's hard-stop context) and report
-	// cancellation by returning errJobCanceled.
-	run func(ctx context.Context, progress func(mc.Snapshot)) (json.RawMessage, error)
+	// per-job deadline and the server's hard-stop context, which also
+	// carries the job's TraceContext) and report cancellation by
+	// returning errJobCanceled. rec, when non-nil, is the job's flight
+	// recorder — engine runs attach it via mc.Options.Trace.
+	run func(ctx context.Context, progress func(mc.Snapshot), rec *trace.Recorder) (json.RawMessage, error)
 }
 
 // errJobCanceled marks a run stopped by its deadline or the server's
@@ -290,7 +297,7 @@ func prepareAnalyze(req AnalyzeRequest) (*task, error) {
 		kind:     "analyze",
 		key:      requestKey("analyze", canon, nil),
 		protocol: p.Name,
-		run: func(ctx context.Context, _ func(mc.Snapshot)) (json.RawMessage, error) {
+		run: func(ctx context.Context, _ func(mc.Snapshot), _ *trace.Recorder) (json.RawMessage, error) {
 			if ctx.Err() != nil {
 				return nil, errJobCanceled
 			}
@@ -392,11 +399,12 @@ func prepareVerify(req VerifyRequest, maxStatesCap, progressEvery int) (*task, e
 		key:      requestKey("verify", canon, normBytes),
 		protocol: p.Name,
 		deadline: time.Duration(req.DeadlineMillis) * time.Millisecond,
-		run: func(ctx context.Context, progress func(mc.Snapshot)) (json.RawMessage, error) {
+		run: func(ctx context.Context, progress func(mc.Snapshot), rec *trace.Recorder) (json.RawMessage, error) {
 			mopts := opts
 			if progress != nil {
 				mopts.Progress = progress
 			}
+			mopts.Trace = rec
 			res := mc.CheckEngineCtx(ctx, sys, mopts, engine, workers, shards)
 			if res.Outcome == mc.Canceled {
 				return nil, errJobCanceled

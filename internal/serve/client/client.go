@@ -24,6 +24,10 @@ import (
 type Client struct {
 	base string
 	hc   *http.Client
+	// RequestID, when non-empty, is sent as X-Request-ID on every
+	// submit, tying the server's job log, SSE events, flight-recorder
+	// export, and job views back to this client's operation.
+	RequestID string
 }
 
 // New returns a client for the server at base (e.g.
@@ -69,6 +73,9 @@ func (c *Client) doJSON(ctx context.Context, method, path string, body, out any)
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	if c.RequestID != "" {
+		req.Header.Set("X-Request-ID", c.RequestID)
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {

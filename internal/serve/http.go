@@ -19,7 +19,8 @@ import (
 //	GET  /v1/jobs/{id}/events   SSE progress stream (replay + live)
 //	GET  /v1/stats              pool occupancy + serve.* counters
 //	GET  /healthz               liveness
-//	GET  /metrics               Prometheus text format
+//	GET  /metrics               Prometheus text format (incl. engine health)
+//	GET  /debug/trace           Chrome-trace JSON of a recent job (?job=<id>)
 //	GET  /debug/pprof/          profiling
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -34,7 +35,11 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 		_ = obs.WriteMetricsText(w, s.cfg.Registry.Snapshot())
+		// The last completed check's contention profile: per-shard
+		// occupancy/dedup series, per-worker timings, lock wait.
+		_ = s.LastHealth().WritePromText(w)
 	})
+	mux.HandleFunc("GET /debug/trace", s.handleDebugTrace)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -68,7 +73,9 @@ func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool 
 
 // submit runs admission for a prepared task and writes the HTTP
 // response: 400 on request faults, 503 + Retry-After under
-// backpressure or drain, otherwise 200/202 with the job view.
+// backpressure or drain, otherwise 200/202 with the job view. The
+// caller's X-Request-ID (sanitized) becomes the job's correlation
+// identity and is echoed back on the response.
 func (s *Server) submit(w http.ResponseWriter, r *http.Request, t *task, prepErr error) {
 	if prepErr != nil {
 		var re *RequestError
@@ -78,6 +85,10 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request, t *task, prepErr
 			writeJSON(w, http.StatusInternalServerError, errorBody{Error: prepErr.Error()})
 		}
 		return
+	}
+	t.requestID = sanitizeRequestID(r.Header.Get("X-Request-ID"))
+	if t.requestID != "" {
+		w.Header().Set("X-Request-ID", t.requestID)
 	}
 	view, err := s.Submit(t)
 	switch {
@@ -205,4 +216,38 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+// handleDebugTrace exports a job's flight recorder as Chrome trace
+// JSON (load it in chrome://tracing or Perfetto). ?job=<id> selects a
+// job; the default is the most recently started traced job. With
+// tracing off (or the job evicted) the export is an empty, valid
+// document rather than an error — the endpoint is always safe to curl.
+func (s *Server) handleDebugTrace(w http.ResponseWriter, r *http.Request) {
+	rec := s.TraceRecorder(r.URL.Query().Get("job"))
+	w.Header().Set("Content-Type", "application/json")
+	_ = rec.Export(w)
+}
+
+// requestIDMaxLen bounds the accepted X-Request-ID length.
+const requestIDMaxLen = 64
+
+// sanitizeRequestID restricts a caller-supplied request ID to a safe
+// charset ([A-Za-z0-9._-]) and length, so IDs can be embedded in log
+// lines, lane names, and headers verbatim. Offending characters are
+// dropped; an all-invalid ID becomes empty (treated as absent).
+func sanitizeRequestID(id string) string {
+	if len(id) > requestIDMaxLen {
+		id = id[:requestIDMaxLen]
+	}
+	var b []byte
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '-':
+			b = append(b, c)
+		}
+	}
+	return string(b)
 }

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"minvn/internal/mc"
+	"minvn/internal/obs/trace"
 )
 
 // JobStatus is the lifecycle of a submitted job.
@@ -21,30 +22,44 @@ const (
 
 // Event is one SSE payload: a live telemetry snapshot while the job
 // runs, then a terminal "done" event carrying the final job view.
+// Every event carries the job's correlation identity, so a consumer
+// holding only the SSE stream can join it against the job log and
+// flight-recorder export.
 type Event struct {
-	Type     string       `json:"type"` // snapshot | done
-	Seq      int          `json:"seq"`
-	Snapshot *mc.Snapshot `json:"snapshot,omitempty"`
-	Job      *JobView     `json:"job,omitempty"`
+	Type      string       `json:"type"` // snapshot | done
+	Seq       int          `json:"seq"`
+	JobID     string       `json:"job_id,omitempty"`
+	RequestID string       `json:"request_id,omitempty"`
+	TraceID   string       `json:"trace_id,omitempty"`
+	Snapshot  *mc.Snapshot `json:"snapshot,omitempty"`
+	Job       *JobView     `json:"job,omitempty"`
 }
 
 // JobView is the wire form of a job, returned by GET /v1/jobs/{id}
 // and embedded in terminal events. Result is the raw cached/produced
 // document so identical requests are served byte-identically.
 type JobView struct {
-	ID       string          `json:"id"`
-	Kind     string          `json:"kind"`
-	Protocol string          `json:"protocol"`
-	Status   JobStatus       `json:"status"`
-	Cached   bool            `json:"cached"`
-	Error    string          `json:"error,omitempty"`
-	Result   json.RawMessage `json:"result,omitempty"`
+	ID       string    `json:"id"`
+	Kind     string    `json:"kind"`
+	Protocol string    `json:"protocol"`
+	Status   JobStatus `json:"status"`
+	Cached   bool      `json:"cached"`
+	// RequestID is the caller-supplied X-Request-ID of the request that
+	// created this job; TraceID is derived from it and the job ID. The
+	// identity lives on the job, never inside Result — cached results
+	// must stay byte-identical across requests.
+	RequestID string          `json:"request_id,omitempty"`
+	TraceID   string          `json:"trace_id,omitempty"`
+	Error     string          `json:"error,omitempty"`
+	Result    json.RawMessage `json:"result,omitempty"`
 }
 
 // Job is one admitted request. All fields after the identity block
 // are guarded by the owning Server's mutex.
 type Job struct {
-	id   string
+	id string
+	tc trace.TraceContext // correlation identity; immutable after newJob
+
 	task *task
 
 	status  JobStatus
@@ -56,14 +71,22 @@ type Job struct {
 }
 
 func newJob(id string, t *task) *Job {
-	return &Job{id: id, task: t, status: StatusQueued, updated: make(chan struct{})}
+	return &Job{
+		id:      id,
+		tc:      trace.NewTraceContext(t.requestID, id),
+		task:    t,
+		status:  StatusQueued,
+		updated: make(chan struct{}),
+	}
 }
 
 // view renders the wire form. Caller holds the server mutex.
 func (j *Job) view() *JobView {
 	return &JobView{
 		ID: j.id, Kind: j.task.kind, Protocol: j.task.protocol,
-		Status: j.status, Cached: j.cached, Error: j.err, Result: j.result,
+		Status: j.status, Cached: j.cached,
+		RequestID: j.tc.RequestID, TraceID: j.tc.TraceID,
+		Error: j.err, Result: j.result,
 	}
 }
 
@@ -75,9 +98,13 @@ func (j *Job) notify() {
 }
 
 // appendEvent records an event in the replayable history and wakes
-// SSE subscribers. Caller holds the server mutex.
+// SSE subscribers, stamping the job's correlation identity. Caller
+// holds the server mutex.
 func (j *Job) appendEvent(e Event) {
 	e.Seq = len(j.events)
+	e.JobID = j.id
+	e.RequestID = j.tc.RequestID
+	e.TraceID = j.tc.TraceID
 	j.events = append(j.events, e)
 	j.notify()
 }

@@ -1,0 +1,139 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"minvn/internal/obs/trace"
+)
+
+// LogLevel orders job-log events by severity. The logger drops events
+// below its configured minimum, so a production server can run at info
+// while a debugging session turns on the per-snapshot debug firehose.
+type LogLevel int
+
+const (
+	LogDebug LogLevel = iota
+	LogInfo
+	LogWarn
+	LogError
+)
+
+func (l LogLevel) String() string {
+	switch l {
+	case LogDebug:
+		return "debug"
+	case LogInfo:
+		return "info"
+	case LogWarn:
+		return "warn"
+	case LogError:
+		return "error"
+	default:
+		return fmt.Sprintf("level-%d", int(l))
+	}
+}
+
+// ParseLogLevel maps a flag value onto a LogLevel.
+func ParseLogLevel(s string) (LogLevel, error) {
+	switch s {
+	case "", "info":
+		return LogInfo, nil
+	case "debug":
+		return LogDebug, nil
+	case "warn":
+		return LogWarn, nil
+	case "error":
+		return LogError, nil
+	default:
+		return LogInfo, fmt.Errorf("unknown log level %q (want debug, info, warn, or error)", s)
+	}
+}
+
+// JobLogger writes the server's structured per-job event log: one JSON
+// object per line, every line stamped with the job's correlation
+// identity (request ID, job ID, trace ID), so `grep <request-id>
+// joblog.jsonl` reconstructs one request's lifecycle and the same IDs
+// tie the log to the SSE stream, the flight-recorder export, and the
+// final job view.
+//
+// A nil *JobLogger is valid and logs nothing, so call sites never
+// branch on whether logging is configured.
+type JobLogger struct {
+	mu  sync.Mutex
+	w   io.Writer
+	min LogLevel
+	now func() time.Time // test hook; time.Now when nil
+}
+
+// NewJobLogger builds a logger writing JSONL to w, dropping events
+// below min. A nil w returns a nil (disabled) logger.
+func NewJobLogger(w io.Writer, min LogLevel) *JobLogger {
+	if w == nil {
+		return nil
+	}
+	return &JobLogger{w: w, min: min}
+}
+
+// jobLogLine fixes the field order of the shared prefix; extra fields
+// are flattened alongside via the map below.
+type jobLogLine struct {
+	TS        string         `json:"ts"`
+	Level     string         `json:"level"`
+	Event     string         `json:"event"`
+	JobID     string         `json:"job_id,omitempty"`
+	RequestID string         `json:"request_id,omitempty"`
+	TraceID   string         `json:"trace_id,omitempty"`
+	Fields    map[string]any `json:"-"`
+}
+
+func (l jobLogLine) MarshalJSON() ([]byte, error) {
+	type prefix jobLogLine
+	raw, err := json.Marshal(prefix(l))
+	if err != nil {
+		return nil, err
+	}
+	if len(l.Fields) == 0 {
+		return raw, nil
+	}
+	extra, err := json.Marshal(l.Fields)
+	if err != nil {
+		return nil, err
+	}
+	// Splice the extra object's members into the prefix object.
+	raw[len(raw)-1] = ','
+	return append(raw, extra[1:]...), nil
+}
+
+// Log writes one event line carrying tc's identity plus any extra
+// fields. Safe from any goroutine; no-op on a nil logger or an event
+// below the minimum level.
+func (l *JobLogger) Log(level LogLevel, event string, tc trace.TraceContext, fields map[string]any) {
+	if l == nil || level < l.min {
+		return
+	}
+	now := time.Now
+	if l.now != nil {
+		now = l.now
+	}
+	line := jobLogLine{
+		TS:        now().UTC().Format(time.RFC3339Nano),
+		Level:     level.String(),
+		Event:     event,
+		JobID:     tc.JobID,
+		RequestID: tc.RequestID,
+		TraceID:   tc.TraceID,
+		Fields:    fields,
+	}
+	raw, err := json.Marshal(line)
+	if err != nil {
+		return
+	}
+	raw = append(raw, '\n')
+	l.mu.Lock()
+	l.w.Write(raw)
+	l.mu.Unlock()
+}

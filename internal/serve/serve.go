@@ -3,12 +3,15 @@ package serve
 import (
 	"context"
 	"errors"
+	"io"
 	"log"
 	"sync"
 	"time"
 
 	"minvn/internal/mc"
 	"minvn/internal/obs"
+	"minvn/internal/obs/health"
+	"minvn/internal/obs/trace"
 )
 
 // Config tunes a Server. The zero value is usable: Defaults fills in
@@ -40,6 +43,17 @@ type Config struct {
 	// Registry receives the server's metrics; a fresh one is created
 	// if nil.
 	Registry *obs.Registry
+	// JobLog, when non-nil, receives the structured per-job JSONL
+	// event log (see JobLogger); JobLogLevel filters it.
+	JobLog      io.Writer
+	JobLogLevel LogLevel
+	// TraceJobs is how many recent jobs keep a per-job flight
+	// recorder, exported by GET /debug/trace. 0 disables job tracing
+	// (the endpoint then serves an empty, valid trace document).
+	TraceJobs int
+	// TraceLaneCap bounds each job recorder's per-lane ring; 0 uses
+	// DefaultTraceLaneCap.
+	TraceLaneCap int
 	// BeforeRun, when non-nil, runs at the start of every job
 	// execution (after dequeue, before the task body). Tests use it to
 	// hold jobs in the running state deterministically.
@@ -77,11 +91,18 @@ func (cfg Config) Defaults() Config {
 	if cfg.Registry == nil {
 		cfg.Registry = obs.NewRegistry()
 	}
+	if cfg.TraceLaneCap <= 0 {
+		cfg.TraceLaneCap = DefaultTraceLaneCap
+	}
 	if cfg.Logf == nil {
 		cfg.Logf = log.Printf
 	}
 	return cfg
 }
+
+// DefaultTraceLaneCap is the per-lane event capacity of per-job flight
+// recorders: small, because the server keeps TraceJobs of them alive.
+const DefaultTraceLaneCap = 512
 
 // Server is the analysis service: a bounded worker pool over an
 // admission-controlled queue, with singleflight deduplication and a
@@ -99,6 +120,18 @@ type Server struct {
 
 	running    int // jobs currently executing
 	runningHWM int // high-water mark of running
+
+	joblog *JobLogger
+
+	// Per-job flight recorders, newest last; bounded at cfg.TraceJobs.
+	// A job's recorder is installed when it starts running and survives
+	// completion until evicted, so /debug/trace covers recent history.
+	traces     map[string]*trace.Recorder
+	traceOrder []string
+
+	// lastHealth is the most recent engine contention report, captured
+	// from verify-job snapshots and appended to /metrics.
+	lastHealth *health.Report
 
 	runBase context.Context // canceled by Close to hard-stop runs
 	stopRun context.CancelFunc
@@ -133,6 +166,8 @@ func New(cfg Config) *Server {
 		inflight: make(map[cacheKey]*Job),
 		cache:    newLRUCache(cfg.CacheEntries),
 		queue:    make(chan *Job, cfg.QueueDepth),
+		joblog:   NewJobLogger(cfg.JobLog, cfg.JobLogLevel),
+		traces:   make(map[string]*trace.Recorder),
 	}
 	r := cfg.Registry
 	s.mRequests = r.Counter("serve.requests")
@@ -178,14 +213,23 @@ func (s *Server) Submit(t *task) (*JobView, error) {
 		job.result = ent.result
 		s.jobs[job.id] = job
 		job.appendEvent(Event{Type: "done", Job: job.view()})
+		s.joblog.Log(LogInfo, "cache_hit", job.tc, map[string]any{
+			"kind": t.kind, "protocol": t.protocol, "produced_by": ent.jobID,
+		})
 		return job.view(), nil
 	}
 	s.mCacheMisses.Inc()
 
 	// Singleflight: a queued or running job for the same key serves
-	// this request too.
+	// this request too. The joiner's own request ID gets its own log
+	// line, tied to the serving job's identity, so both requests stay
+	// traceable even though only one job runs.
 	if job, ok := s.inflight[t.key]; ok {
 		s.mDedup.Inc()
+		s.joblog.Log(LogInfo, "joined", trace.NewTraceContext(t.requestID, job.id), map[string]any{
+			"kind": t.kind, "protocol": t.protocol,
+			"job_request_id": job.tc.RequestID, "job_trace_id": job.tc.TraceID,
+		})
 		return job.view(), nil
 	}
 
@@ -194,11 +238,17 @@ func (s *Server) Submit(t *task) (*JobView, error) {
 	case s.queue <- job:
 	default:
 		s.mRejected.Inc()
+		s.joblog.Log(LogWarn, "rejected_busy", trace.NewTraceContext(t.requestID, ""), map[string]any{
+			"kind": t.kind, "protocol": t.protocol, "queued": len(s.queue),
+		})
 		return nil, ErrBusy
 	}
 	s.jobs[job.id] = job
 	s.inflight[t.key] = job
 	s.gQueued.Set(int64(len(s.queue)))
+	s.joblog.Log(LogInfo, "admitted", job.tc, map[string]any{
+		"kind": t.kind, "protocol": t.protocol, "queued": len(s.queue),
+	})
 	return job.view(), nil
 }
 
@@ -236,6 +286,30 @@ func (s *Server) Events(id string, from int) ([]Event, <-chan struct{}, bool) {
 		return tail, nil, true
 	}
 	return tail, j.updated, true
+}
+
+// TraceRecorder returns the flight recorder of the given job, or —
+// with an empty id — of the most recently started traced job. The
+// returned recorder may be nil (job unknown, evicted, or tracing off);
+// nil is directly exportable as an empty, valid trace document.
+func (s *Server) TraceRecorder(jobID string) *trace.Recorder {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if jobID == "" {
+		if len(s.traceOrder) == 0 {
+			return nil
+		}
+		jobID = s.traceOrder[len(s.traceOrder)-1]
+	}
+	return s.traces[jobID]
+}
+
+// LastHealth returns the most recent engine contention report (nil
+// until a verify job has produced a snapshot).
+func (s *Server) LastHealth() *health.Report {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastHealth
 }
 
 // Stats is the server's metric snapshot plus pool facts.
@@ -310,6 +384,13 @@ func (s *Server) worker() {
 
 // runJob executes one job and publishes its terminal state.
 func (s *Server) runJob(job *Job) {
+	// A per-job flight recorder, when tracing is on: registered before
+	// the run so /debug/trace can export a still-running job.
+	var rec *trace.Recorder
+	if s.cfg.TraceJobs > 0 {
+		rec = trace.New(trace.Config{LaneCapacity: s.cfg.TraceLaneCap})
+	}
+
 	s.mu.Lock()
 	job.status = StatusRunning
 	s.running++
@@ -318,25 +399,53 @@ func (s *Server) runJob(job *Job) {
 	}
 	s.gRunning.Set(int64(s.running))
 	s.gQueued.Set(int64(len(s.queue)))
+	if rec != nil {
+		s.traces[job.id] = rec
+		s.traceOrder = append(s.traceOrder, job.id)
+		for len(s.traceOrder) > s.cfg.TraceJobs {
+			delete(s.traces, s.traceOrder[0])
+			s.traceOrder = s.traceOrder[1:]
+		}
+	}
 	job.notify()
 	s.mu.Unlock()
 
 	if s.cfg.BeforeRun != nil {
 		s.cfg.BeforeRun()
 	}
+	s.joblog.Log(LogInfo, "started", job.tc, map[string]any{"kind": job.task.kind})
 
 	deadline := effectiveDeadline(job.task.deadline, s.cfg.DefaultDeadline, s.cfg.MaxDeadline)
 	ctx, cancel := context.WithTimeout(s.runBase, deadline)
+	// The TraceContext rides the run context into the engines, which
+	// prefix their recorder lanes with the job/request identity.
+	ctx = trace.WithTraceContext(ctx, job.tc)
 	progress := func(snap mc.Snapshot) {
+		if snap.Health != nil {
+			s.mu.Lock()
+			s.lastHealth = snap.Health
+			s.mu.Unlock()
+		}
 		if snap.Final {
 			return // the terminal event carries the final state
 		}
+		s.joblog.Log(LogDebug, "snapshot", job.tc, map[string]any{
+			"states": snap.States, "depth": snap.MaxDepth,
+			"states_per_sec": int64(snap.StatesPerSec),
+		})
 		c := snap
 		s.mu.Lock()
 		job.appendEvent(Event{Type: "snapshot", Snapshot: &c})
 		s.mu.Unlock()
 	}
-	result, err := job.task.run(ctx, progress)
+	// The job lane guarantees the correlation identity appears in the
+	// trace export even for jobs that never reach an engine.
+	jobSpan := rec.Lane(job.tc.LanePrefix() + "job").Start(job.task.kind)
+	stopStage := s.cfg.Registry.Timeline().Start("job." + job.task.kind)
+	start := time.Now()
+	result, err := job.task.run(ctx, progress, rec)
+	stopStage()
+	jobSpan.End()
 	cancel()
 
 	s.mu.Lock()
@@ -360,5 +469,21 @@ func (s *Server) runJob(job *Job) {
 	s.running--
 	s.gRunning.Set(int64(s.running))
 	job.appendEvent(Event{Type: "done", Job: job.view()})
+	status, errMsg := job.status, job.err
 	s.mu.Unlock()
+
+	level := LogInfo
+	if status == StatusFailed {
+		level = LogError
+	} else if status == StatusCanceled {
+		level = LogWarn
+	}
+	fields := map[string]any{
+		"kind": job.task.kind, "status": string(status),
+		"seconds": time.Since(start).Seconds(),
+	}
+	if errMsg != "" {
+		fields["error"] = errMsg
+	}
+	s.joblog.Log(level, "finished", job.tc, fields)
 }

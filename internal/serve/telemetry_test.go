@@ -1,0 +1,274 @@
+package serve_test
+
+// Correlation contract: a request ID submitted with a job must be
+// recoverable from every telemetry surface — the job view, the SSE
+// event stream, the structured JSONL job log, the flight-recorder
+// export, and /metrics must carry the run's health profile.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"minvn/internal/obs/trace"
+	"minvn/internal/serve"
+	"minvn/internal/serve/client"
+)
+
+// syncBuffer is a goroutine-safe job-log sink.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// waitFor polls until the buffer contains want (the job log is written
+// by the worker goroutine after the terminal event is published).
+func (s *syncBuffer) waitFor(t *testing.T, want string) string {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		got := s.String()
+		if strings.Contains(got, want) {
+			return got
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job log never contained %q:\n%s", want, got)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// telemetryServer is testServer plus the raw base URL for endpoints
+// the typed client does not wrap.
+func telemetryServer(t *testing.T, cfg serve.Config) (*serve.Server, *client.Client, string) {
+	t.Helper()
+	srv := serve.New(cfg)
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		hs.Close()
+		srv.Close()
+	})
+	return srv, client.New(hs.URL, hs.Client()), hs.URL
+}
+
+func httpGet(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(raw)
+}
+
+func TestRequestIDCorrelation(t *testing.T) {
+	var logBuf syncBuffer
+	_, cl, base := telemetryServer(t, serve.Config{
+		JobLog:        &logBuf,
+		JobLogLevel:   serve.LogDebug,
+		TraceJobs:     4,
+		ProgressEvery: 500,
+	})
+	cl.RequestID = "req-abc"
+
+	view, err := cl.Verify(context.Background(), verifyMSI(3000), true)
+	if err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	if view.Status != serve.StatusDone {
+		t.Fatalf("status = %s (%s)", view.Status, view.Error)
+	}
+
+	// 1. The final job view carries the identity.
+	if view.RequestID != "req-abc" || view.TraceID == "" {
+		t.Fatalf("job view identity: request_id=%q trace_id=%q", view.RequestID, view.TraceID)
+	}
+
+	// 2. Every SSE event carries it, snapshots included.
+	var events []serve.Event
+	if err := cl.Events(context.Background(), view.ID, func(e serve.Event) {
+		events = append(events, e)
+	}); err != nil {
+		t.Fatalf("events: %v", err)
+	}
+	if len(events) < 2 {
+		t.Fatalf("got %d events, want snapshots + done", len(events))
+	}
+	sawSnapshot := false
+	for _, e := range events {
+		if e.JobID != view.ID || e.RequestID != "req-abc" || e.TraceID != view.TraceID {
+			t.Fatalf("event %d identity mismatch: %+v", e.Seq, e)
+		}
+		if e.Type == "snapshot" {
+			sawSnapshot = true
+		}
+	}
+	if !sawSnapshot {
+		t.Fatal("no snapshot events in the stream")
+	}
+
+	// 3. The JSONL job log ties the whole lifecycle to the request ID.
+	logText := logBuf.waitFor(t, `"event":"finished"`)
+	for _, want := range []string{`"event":"admitted"`, `"event":"started"`, `"event":"snapshot"`} {
+		if !strings.Contains(logText, want) {
+			t.Errorf("job log missing %s:\n%s", want, logText)
+		}
+	}
+	for _, line := range strings.Split(strings.TrimSpace(logText), "\n") {
+		var rec struct {
+			Level     string `json:"level"`
+			Event     string `json:"event"`
+			JobID     string `json:"job_id"`
+			RequestID string `json:"request_id"`
+			TraceID   string `json:"trace_id"`
+		}
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("bad job-log line %q: %v", line, err)
+		}
+		if rec.JobID == view.ID && rec.RequestID != "req-abc" {
+			t.Fatalf("log line for %s lost the request ID: %s", view.ID, line)
+		}
+	}
+
+	// 4. The flight-recorder export names lanes with the identity.
+	code, body := httpGet(t, base+"/debug/trace?job="+view.ID)
+	if code != http.StatusOK {
+		t.Fatalf("debug/trace: HTTP %d", code)
+	}
+	if !strings.Contains(body, "req req-abc/") {
+		t.Fatalf("trace export lanes lack the request ID:\n%.400s", body)
+	}
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("trace export not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("trace export is empty")
+	}
+
+	// 5. /metrics carries the engine health profile and job stage
+	// summaries.
+	metrics, err := cl.Metrics(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`mc_shard_occupancy{shard="0"}`,
+		`mc_worker_expand_seconds{worker="0"}`,
+		"stage_job_verify_seconds_count",
+		"stage_job_verify_seconds_sum",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %s", want)
+		}
+	}
+}
+
+// TestDebugTraceNilSafe pins that the trace endpoint degrades to an
+// empty, valid document when job tracing is disabled or the job is
+// unknown — never an error.
+func TestDebugTraceNilSafe(t *testing.T) {
+	_, cl, base := telemetryServer(t, serve.Config{TraceJobs: 0})
+	if _, err := cl.Analyze(context.Background(), serve.AnalyzeRequest{Protocol: "MSI_nonblocking_cache"}); err != nil {
+		t.Fatal(err)
+	}
+	for _, url := range []string{base + "/debug/trace", base + "/debug/trace?job=job-999"} {
+		code, body := httpGet(t, url)
+		if code != http.StatusOK {
+			t.Fatalf("%s: HTTP %d", url, code)
+		}
+		var doc struct {
+			TraceEvents []json.RawMessage `json:"traceEvents"`
+		}
+		if err := json.Unmarshal([]byte(body), &doc); err != nil {
+			t.Fatalf("%s: invalid JSON: %v\n%s", url, err, body)
+		}
+		if len(doc.TraceEvents) != 0 {
+			t.Fatalf("%s: expected empty trace, got %d events", url, len(doc.TraceEvents))
+		}
+	}
+}
+
+// TestRequestIDSanitized pins the header hardening: hostile characters
+// are stripped before the ID reaches logs, lane names, or headers.
+func TestRequestIDSanitized(t *testing.T) {
+	_, _, base := telemetryServer(t, serve.Config{})
+	body := strings.NewReader(`{"protocol":"MSI_nonblocking_cache"}`)
+	req, err := http.NewRequest(http.MethodPost, base+"/v1/analyze?wait=1", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Request-ID", "ok-1.2_3//<bad>\tchars")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var view serve.JobView
+	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+		t.Fatal(err)
+	}
+	if view.RequestID != "ok-1.2_3badchars" {
+		t.Fatalf("request ID not sanitized: %q", view.RequestID)
+	}
+	if got := resp.Header.Get("X-Request-ID"); got != view.RequestID {
+		t.Fatalf("echoed header %q != view %q", got, view.RequestID)
+	}
+}
+
+func TestJobLoggerLevelsAndShape(t *testing.T) {
+	var buf syncBuffer
+	l := serve.NewJobLogger(&buf, serve.LogInfo)
+	tc := trace.NewTraceContext("r-1", "job-9")
+	l.Log(serve.LogDebug, "dropped", tc, nil)
+	l.Log(serve.LogWarn, "kept", tc, map[string]any{"states": 42})
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 1 {
+		t.Fatalf("got %d lines, want 1 (debug filtered):\n%s", len(lines), buf.String())
+	}
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &rec); err != nil {
+		t.Fatalf("bad line: %v", err)
+	}
+	if rec["level"] != "warn" || rec["event"] != "kept" ||
+		rec["job_id"] != "job-9" || rec["request_id"] != "r-1" ||
+		rec["trace_id"] != tc.TraceID || rec["states"] != float64(42) {
+		t.Fatalf("line = %v", rec)
+	}
+	if _, hasTS := rec["ts"]; !hasTS {
+		t.Fatal("line has no timestamp")
+	}
+
+	// Nil sinks and nil loggers are inert.
+	if serve.NewJobLogger(nil, serve.LogInfo) != nil {
+		t.Fatal("nil writer must yield a nil logger")
+	}
+	var nilLogger *serve.JobLogger
+	nilLogger.Log(serve.LogError, "x", tc, nil) // must not panic
+}
