@@ -49,7 +49,8 @@ bench-gate:
 fuzz-smoke:
 	$(GO) run ./cmd/vnfuzz -self-test
 	$(GO) run ./cmd/vnfuzz -seed 1 -count 40 -max-states 20000 \
-		-engines seq,levels,pipeline -repro-dir vnfuzz-repros \
+		-engines seq,levels,pipeline -stores exact,compact \
+		-repro-dir vnfuzz-repros \
 		-stats-json FUZZ_smoke.json
 
 table:

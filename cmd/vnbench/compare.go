@@ -55,6 +55,7 @@ type compareOptions struct {
 type compareRun struct {
 	Protocol     string  `json:"protocol"`
 	Engine       string  `json:"engine"`
+	Store        string  `json:"store"`
 	Outcome      string  `json:"outcome"`
 	States       int64   `json:"states"`
 	MaxDepth     int64   `json:"max_depth"`
@@ -80,6 +81,7 @@ type compareDoc struct {
 type diffRow struct {
 	Protocol  string  `json:"protocol"`
 	Engine    string  `json:"engine"`
+	Store     string  `json:"store,omitempty"`
 	Verdict   string  `json:"verdict"` // ok|improved|noisy|regression|heap-regression|search-changed|missing|new
 	Detail    string  `json:"detail,omitempty"`
 	OldSPS    float64 `json:"old_states_per_sec,omitempty"`
@@ -110,20 +112,46 @@ func loadCompareDoc(path string) (*compareDoc, error) {
 // anything. Engine coverage is checked per row instead, so an engine
 // added to the new run surfaces as "new" rather than blocking the gate.
 var comparabilityParams = []string{
-	"max_states", "caches", "dirs", "addrs", "workers", "shards",
+	"max_states", "caches", "dirs", "addrs", "workers", "shards", "stores",
+}
+
+func checkComparableParam(k, ov, nv string) error {
+	// Artifacts written before the store matrix carry no "stores"
+	// param; treat that as the old single-store behavior ("exact") so
+	// an old baseline still gates an exact-only candidate.
+	if k == "stores" {
+		if ov == "<nil>" {
+			ov = "exact"
+		}
+		if nv == "<nil>" {
+			nv = "exact"
+		}
+	}
+	if ov != nv {
+		return fmt.Errorf("param %q differs: baseline %s vs candidate %s", k, ov, nv)
+	}
+	return nil
 }
 
 func checkComparable(old, new *compareDoc) error {
 	for _, k := range comparabilityParams {
-		ov, nv := fmt.Sprint(old.Params[k]), fmt.Sprint(new.Params[k])
-		if ov != nv {
-			return fmt.Errorf("param %q differs: baseline %s vs candidate %s", k, ov, nv)
+		if err := checkComparableParam(k, fmt.Sprint(old.Params[k]), fmt.Sprint(new.Params[k])); err != nil {
+			return err
 		}
 	}
 	return nil
 }
 
-func runKey(r compareRun) string { return r.Protocol + "/" + r.Engine }
+// runKey identifies a row. Rows from pre-store-matrix artifacts carry
+// no store field and default to "exact", so old baselines keep
+// matching new exact rows.
+func runKey(r compareRun) string {
+	store := r.Store
+	if store == "" {
+		store = "exact"
+	}
+	return r.Protocol + "/" + r.Engine + "/" + store
+}
 
 // compareRows produces the per-row gate decisions. Rows are ordered by
 // the baseline's run order, with candidate-only rows appended.
@@ -143,7 +171,7 @@ func compareRows(old, new *compareDoc, opt compareOptions) []diffRow {
 		n, ok := newByKey[key]
 		if !ok {
 			rows = append(rows, diffRow{
-				Protocol: o.Protocol, Engine: o.Engine, Verdict: "missing",
+				Protocol: o.Protocol, Engine: o.Engine, Store: o.Store, Verdict: "missing",
 				Detail: "row present in baseline but absent from candidate",
 				OldSPS: o.StatesPerSec,
 			})
@@ -161,7 +189,7 @@ func compareRows(old, new *compareDoc, opt compareOptions) []diffRow {
 	for _, key := range extra {
 		n := newByKey[key]
 		rows = append(rows, diffRow{
-			Protocol: n.Protocol, Engine: n.Engine, Verdict: "new",
+			Protocol: n.Protocol, Engine: n.Engine, Store: n.Store, Verdict: "new",
 			Detail: "row absent from baseline", NewSPS: n.StatesPerSec,
 		})
 	}
@@ -170,7 +198,7 @@ func compareRows(old, new *compareDoc, opt compareOptions) []diffRow {
 
 func compareOne(o, n compareRun, opt compareOptions) diffRow {
 	row := diffRow{
-		Protocol: o.Protocol, Engine: o.Engine,
+		Protocol: o.Protocol, Engine: o.Engine, Store: o.Store,
 		OldSPS: o.StatesPerSec, NewSPS: n.StatesPerSec,
 		OldHeap: o.HeapBytes, NewHeap: n.HeapBytes,
 	}
@@ -262,8 +290,12 @@ func runCompare(oldPath, newPath string, opt compareOptions, stdout, stderr io.W
 			mark = "!"
 			failures++
 		}
-		fmt.Fprintf(stdout, "%s %-26s %-9s %-15s %9.0f -> %9.0f states/s (%+6.1f%%)  heap %+6.1f%%",
-			mark, row.Protocol, row.Engine, row.Verdict,
+		store := row.Store
+		if store == "" {
+			store = "exact"
+		}
+		fmt.Fprintf(stdout, "%s %-26s %-9s %-8s %-15s %9.0f -> %9.0f states/s (%+6.1f%%)  heap %+6.1f%%",
+			mark, row.Protocol, row.Engine, store, row.Verdict,
 			row.OldSPS, row.NewSPS, 100*row.SPSDelta, 100*row.HeapDelta)
 		if row.Detail != "" {
 			fmt.Fprintf(stdout, "  %s", row.Detail)

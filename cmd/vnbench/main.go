@@ -65,6 +65,7 @@ func main() {
 		workers   = flag.Int("workers", 0, "workers for the parallel engines (0 = GOMAXPROCS)")
 		shards    = flag.Int("shards", 0, "visited-set shards for the pipeline engine (0 = default)")
 		engines   = flag.String("engines", "seq,levels,pipeline", "comma-separated engines to compare")
+		stores    = flag.String("stores", "exact,compact", "comma-separated visited-set modes to compare")
 		seed      = flag.Int64("seed", 1, "base seed for the random-walk smoke pass (-walks)")
 		walks     = flag.Int("walks", 0, "seeded random-workload walks per protocol before the engine comparison")
 		walkSteps = flag.Int("walk-steps", 2000, "steps per random walk")
@@ -136,6 +137,15 @@ func main() {
 		}
 		engList = append(engList, e)
 	}
+	var storeList []mc.Store
+	for _, s := range strings.Split(*stores, ",") {
+		st, err := mc.ParseStore(strings.TrimSpace(s))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vnbench:", err)
+			os.Exit(2)
+		}
+		storeList = append(storeList, st)
+	}
 
 	benchProtos := []string{
 		"MSI_nonblocking_cache",
@@ -154,6 +164,7 @@ func main() {
 	art.Params["workers"] = *workers
 	art.Params["shards"] = *shards
 	art.Params["engines"] = *engines
+	art.Params["stores"] = *stores
 	art.Params["seed"] = *seed
 	art.Params["walks"] = *walks
 	art.Params["walk_steps"] = *walkSteps
@@ -180,8 +191,6 @@ func main() {
 			fmt.Fprintln(os.Stderr, "vnbench:", err)
 			os.Exit(1)
 		}
-		opts := mc.Options{MaxStates: *maxStates, DisableTraces: true}
-
 		// Seeded random-walk smoke pass: cheap wedge detection before
 		// the exhaustive engine comparison. The base seed is recorded
 		// in the artifact so any wedged walk replays exactly.
@@ -197,94 +206,132 @@ func main() {
 			}
 		}
 
-		var baseline *mc.Result
-		var baselineOcc *icn.OccupancyStats
-		for _, eng := range engList {
-			// Start every engine from a collected heap so HeapBytes
-			// reflects this run's live set, not the previous engine's
-			// garbage.
-			runtime.GC()
-			prof := sys.NewOccupancyProfiler()
-			opts.Observer = prof
-			opts.Trace = tel.Recorder()
-			res := mc.CheckEngine(sys, opts, eng, *workers, *shards)
-			occ := prof.Stats()
+		// The first store's first engine is the protocol's reference
+		// row: speedups are relative to it, and every other
+		// store/engine combination must reproduce its search shape.
+		var protoBase *mc.Result
+		var protoBaseOcc *icn.OccupancyStats
+		for _, store := range storeList {
+			opts := mc.Options{MaxStates: *maxStates, DisableTraces: true, Store: store}
+			var baseline *mc.Result
+			var baselineOcc *icn.OccupancyStats
+			for _, eng := range engList {
+				// Start every engine from a collected heap so HeapBytes
+				// reflects this run's live set, not the previous engine's
+				// garbage.
+				runtime.GC()
+				prof := sys.NewOccupancyProfiler()
+				opts.Observer = prof
+				opts.Trace = tel.Recorder()
+				res := mc.CheckEngine(sys, opts, eng, *workers, *shards)
+				occ := prof.Stats()
 
-			speedup := 1.0
-			if baseline == nil {
-				r := res
-				baseline = &r
-				baselineOcc = occ
-			} else {
-				if res.Outcome != baseline.Outcome || res.States != baseline.States ||
-					res.MaxDepth != baseline.MaxDepth {
-					fmt.Fprintf(os.Stderr,
-						"vnbench: %s: engine %v disagrees with %v: %v vs %v\n",
-						p.Name, eng, engList[0], res, *baseline)
-					exitCode = 1
+				speedup := 1.0
+				if baseline == nil {
+					r := res
+					baseline = &r
+					baselineOcc = occ
+				} else {
+					// Within-store parity is strict, occupancy included:
+					// the engines run the identical search.
+					if res.Outcome != baseline.Outcome || res.States != baseline.States ||
+						res.MaxDepth != baseline.MaxDepth {
+						fmt.Fprintf(os.Stderr,
+							"vnbench: %s/%v: engine %v disagrees with %v: %v vs %v\n",
+							p.Name, store, eng, engList[0], res, *baseline)
+						exitCode = 1
+					}
+					if !occ.Equal(baselineOcc) {
+						fmt.Fprintf(os.Stderr,
+							"vnbench: %s/%v: engine %v occupancy aggregate disagrees with %v\n",
+							p.Name, store, eng, engList[0])
+						exitCode = 1
+					}
 				}
-				if !occ.Equal(baselineOcc) {
-					fmt.Fprintf(os.Stderr,
-						"vnbench: %s: engine %v occupancy aggregate disagrees with %v\n",
-						p.Name, eng, engList[0])
-					exitCode = 1
+				if protoBase == nil {
+					r := res
+					protoBase = &r
+					protoBaseOcc = occ
+				} else {
+					// Cross-store differential: exact and compact must
+					// agree on the outcome class and the search shape. At
+					// bench scale a fingerprint conflation is a ~n²/2⁶⁵
+					// event, so a mismatch is a dedup bug, not bad luck.
+					if res.Outcome != protoBase.Outcome || res.States != protoBase.States ||
+						res.MaxDepth != protoBase.MaxDepth {
+						fmt.Fprintf(os.Stderr,
+							"vnbench: %s: store %v (engine %v) disagrees with %v/%v: %v vs %v\n",
+							p.Name, store, eng, storeList[0], engList[0], res, *protoBase)
+						exitCode = 1
+					}
+					if !occ.Equal(protoBaseOcc) {
+						fmt.Fprintf(os.Stderr,
+							"vnbench: %s: store %v (engine %v) occupancy aggregate disagrees with %v\n",
+							p.Name, store, eng, storeList[0])
+						exitCode = 1
+					}
+					if protoBase.Stats.StatesPerSec > 0 {
+						speedup = res.Stats.StatesPerSec / protoBase.Stats.StatesPerSec
+					}
 				}
-				if baseline.Stats.StatesPerSec > 0 {
-					speedup = res.Stats.StatesPerSec / baseline.Stats.StatesPerSec
+				gMean, lMean := occMeans(occ)
+				skewCV := 0.0
+				if res.Stats.Health != nil {
+					skewCV = res.Stats.Health.OccCV
 				}
+				fmt.Printf("%-26s %-9s %-8s %-10s %9d states  depth %3d  %8.0f states/s  %5.2fx  dedup %.1f%%  heap %4dMB  occ g%d/l%d  skew %.2f  %v\n",
+					p.Name, eng, store, res.Outcome.Tag(), res.States, res.MaxDepth,
+					res.Stats.StatesPerSec, speedup, 100*res.Stats.DedupHitRate,
+					res.Stats.HeapBytes>>20, occ.GlobalHighWater, occ.LocalHighWater,
+					skewCV, res.Duration.Round(1e6))
+				run := map[string]any{
+					"protocol":        p.Name,
+					"engine":          eng.String(),
+					"store":           store.String(),
+					"workers":         *workers,
+					"shards":          *shards,
+					"num_vns":         a.NumVNs,
+					"outcome":         res.Outcome.Tag(),
+					"states":          res.States,
+					"peak_states":     res.States,
+					"max_depth":       res.MaxDepth,
+					"states_per_sec":  res.Stats.StatesPerSec,
+					"speedup":         speedup,
+					"dedup_hit_rate":  res.Stats.DedupHitRate,
+					"heap_bytes":      res.Stats.HeapBytes,
+					"seconds":         res.Duration.Seconds(),
+					"occ_global_hwm":  occ.GlobalHighWater,
+					"occ_local_hwm":   occ.LocalHighWater,
+					"occ_global_mean": gMean,
+					"occ_local_mean":  lMean,
+				}
+				// Contention-profile columns: visited-set stripe skew,
+				// per-worker expand vs. wait split, visited-set footprint
+				// (set_bytes) and unverified (conflated) dedup hits, and
+				// (pipeline) shard lock-wait, arena footprint, and
+				// reorder-buffer stalls.
+				if h := res.Stats.Health; h != nil {
+					run["occ_skew_cv"] = h.OccCV
+					run["expand_ns"] = h.ExpandNS()
+					run["queue_wait_ns"] = h.QueueWaitNS()
+					run["lock_wait_ns"] = h.LockWaitNS
+					run["lock_wait_samples"] = h.LockWaitSamples
+					run["arena_bytes"] = h.ArenaBytes
+					run["set_bytes"] = h.SetBytes
+					run["unverified_hits"] = h.UnverifiedHits
+					run["reorder_stalls"] = h.ReorderStalls
+					run["reorder_max"] = h.ReorderMax
+				}
+				// The full per-VN histograms and the complete health report
+				// ride along once per protocol and store, on the baseline
+				// engine's row (the parity check guarantees the other
+				// engines' occupancy aggregates are identical).
+				if eng == engList[0] {
+					run["occupancy"] = occ
+					run["health"] = res.Stats.Health
+				}
+				runs = append(runs, run)
 			}
-			gMean, lMean := occMeans(occ)
-			skewCV := 0.0
-			if res.Stats.Health != nil {
-				skewCV = res.Stats.Health.OccCV
-			}
-			fmt.Printf("%-26s %-9s %-10s %9d states  depth %3d  %8.0f states/s  %5.2fx  dedup %.1f%%  heap %4dMB  occ g%d/l%d  skew %.2f  %v\n",
-				p.Name, eng, res.Outcome.Tag(), res.States, res.MaxDepth,
-				res.Stats.StatesPerSec, speedup, 100*res.Stats.DedupHitRate,
-				res.Stats.HeapBytes>>20, occ.GlobalHighWater, occ.LocalHighWater,
-				skewCV, res.Duration.Round(1e6))
-			run := map[string]any{
-				"protocol":        p.Name,
-				"engine":          eng.String(),
-				"workers":         *workers,
-				"shards":          *shards,
-				"num_vns":         a.NumVNs,
-				"outcome":         res.Outcome.Tag(),
-				"states":          res.States,
-				"peak_states":     res.States,
-				"max_depth":       res.MaxDepth,
-				"states_per_sec":  res.Stats.StatesPerSec,
-				"speedup":         speedup,
-				"dedup_hit_rate":  res.Stats.DedupHitRate,
-				"heap_bytes":      res.Stats.HeapBytes,
-				"seconds":         res.Duration.Seconds(),
-				"occ_global_hwm":  occ.GlobalHighWater,
-				"occ_local_hwm":   occ.LocalHighWater,
-				"occ_global_mean": gMean,
-				"occ_local_mean":  lMean,
-			}
-			// Contention-profile columns: visited-set stripe skew,
-			// per-worker expand vs. wait split, and (pipeline) shard
-			// lock-wait, arena footprint, and reorder-buffer stalls.
-			if h := res.Stats.Health; h != nil {
-				run["occ_skew_cv"] = h.OccCV
-				run["expand_ns"] = h.ExpandNS()
-				run["queue_wait_ns"] = h.QueueWaitNS()
-				run["lock_wait_ns"] = h.LockWaitNS
-				run["lock_wait_samples"] = h.LockWaitSamples
-				run["arena_bytes"] = h.ArenaBytes
-				run["reorder_stalls"] = h.ReorderStalls
-				run["reorder_max"] = h.ReorderMax
-			}
-			// The full per-VN histograms and the complete health report
-			// ride along once per protocol, on the baseline engine's row
-			// (the parity check guarantees the other engines' occupancy
-			// aggregates are identical).
-			if eng == engList[0] {
-				run["occupancy"] = occ
-				run["health"] = res.Stats.Health
-			}
-			runs = append(runs, run)
 		}
 	}
 	art.Outcome = "ok"

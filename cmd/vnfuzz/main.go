@@ -33,6 +33,7 @@ func run(args []string, stdout, stderr *os.File) int {
 		addrs      = fs.Int("addrs", 1, "addresses per checked system")
 		maxStates  = fs.Int("max-states", 50_000, "state bound per model-checking run")
 		engines    = fs.String("engines", "seq,levels,pipeline", "comma-separated engines to cross-check")
+		stores     = fs.String("stores", "exact", "comma-separated visited-set modes to cross-check (exact, compact)")
 		workers    = fs.Int("workers", 2, "workers for the parallel engines")
 		shards     = fs.Int("shards", 0, "visited-set shards for the pipeline engine (0 = default)")
 		mutateFrac = fs.Float64("mutate-frac", 0.5, "fraction of cases mutated from built-ins (rest synthesized)")
@@ -57,9 +58,14 @@ func run(args []string, stdout, stderr *os.File) int {
 		fmt.Fprintln(stderr, "vnfuzz:", err)
 		return 2
 	}
+	sts, err := parseStores(*stores)
+	if err != nil {
+		fmt.Fprintln(stderr, "vnfuzz:", err)
+		return 2
+	}
 	opts := ptest.Options{
 		Caches: *caches, Dirs: *dirs, Addrs: *addrs,
-		MaxStates: *maxStates, Engines: engs,
+		MaxStates: *maxStates, Engines: engs, Stores: sts,
 		Workers: *workers, Shards: *shards,
 	}
 
@@ -136,6 +142,7 @@ func run(args []string, stdout, stderr *os.File) int {
 		art.Params["addrs"] = *addrs
 		art.Params["max_states"] = *maxStates
 		art.Params["engines"] = *engines
+		art.Params["stores"] = *stores
 		art.Params["workers"] = *workers
 		art.Params["shards"] = *shards
 		art.Params["mutate_frac"] = *mutateFrac
@@ -180,6 +187,25 @@ func parseEngines(s string) ([]mc.Engine, error) {
 	}
 	if len(out) == 0 {
 		return nil, fmt.Errorf("no engines in %q", s)
+	}
+	return out, nil
+}
+
+func parseStores(s string) ([]mc.Store, error) {
+	var out []mc.Store
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		st, err := mc.ParseStore(part)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, st)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no stores in %q", s)
 	}
 	return out, nil
 }

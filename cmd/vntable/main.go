@@ -76,6 +76,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		dirs      = fs.Int("dirs", 2, "directories for model checking")
 		addrs     = fs.Int("addrs", 2, "addresses for model checking")
 		engine    = fs.String("engine", "auto", "search engine for BFS cells: auto | seq | levels | pipeline")
+		store     = fs.String("store", "exact", "visited-set mode: exact | compact (hash-compacted)")
 		workers   = fs.Int("workers", 1, "parallel BFS workers (0 = GOMAXPROCS; deadlock cells use DFS and stay sequential)")
 		shards    = fs.Int("shards", 0, "visited-set shards for the pipeline engine (0 = default)")
 	)
@@ -85,6 +86,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	eng, err := mc.ParseEngine(*engine)
+	if err != nil {
+		fmt.Fprintln(stderr, "vntable:", err)
+		return 2
+	}
+	st, err := mc.ParseStore(*store)
 	if err != nil {
 		fmt.Fprintln(stderr, "vntable:", err)
 		return 2
@@ -139,7 +145,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			if *runMC && r.mcMode != "" {
 				out, ok, mcRes := runModelCheck(p, a, r.mcMode,
 					*caches, *dirs, *addrs, *maxStates, tel,
-					eng, *workers, *shards, stderr)
+					eng, st, *workers, *shards, stderr)
 				mcCol = out
 				if !ok {
 					exitCode = 1
@@ -169,6 +175,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		art.Params["dirs"] = *dirs
 		art.Params["addrs"] = *addrs
 		art.Params["engine"] = eng.String()
+		art.Params["store"] = st.String()
 		art.Params["workers"] = *workers
 		art.Params["shards"] = *shards
 		art.Outcome = "ok"
@@ -193,12 +200,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 // computed minimal assignment must show no deadlock up to the bound.
 func runModelCheck(p *protocol.Protocol, a *vnassign.Assignment, mode string,
 	caches, dirs, addrs, maxStates int, tel *cliflag.Telemetry,
-	engine mc.Engine, workers, shards int, stderr io.Writer) (string, bool, mc.Result) {
+	engine mc.Engine, store mc.Store, workers, shards int, stderr io.Writer) (string, bool, mc.Result) {
 
 	cfg := machine.Config{
 		Protocol: p, Caches: caches, Dirs: dirs, Addrs: addrs,
 	}
-	opts := mc.Options{MaxStates: maxStates, DisableTraces: true}
+	opts := mc.Options{MaxStates: maxStates, DisableTraces: true, Store: store}
 	if tel.Progress {
 		opts.Progress = func(s mc.Snapshot) {
 			fmt.Fprintf(stderr, "[%s] %s\n", p.Name, s)

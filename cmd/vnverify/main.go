@@ -44,6 +44,7 @@ func main() {
 		noRepl    = flag.Bool("no-repl", false, "restrict the workload to loads and stores")
 		noSym     = flag.Bool("no-symmetry", false, "disable cache symmetry reduction")
 		engine    = flag.String("engine", "auto", "search engine: auto | seq | levels | pipeline (BFS only)")
+		store     = flag.String("store", "exact", "visited-set mode: exact | compact (hash-compacted)")
 		workers   = flag.Int("workers", 1, "parallel BFS workers (0 = GOMAXPROCS; BFS only)")
 		shards    = flag.Int("shards", 0, "visited-set shards for the pipeline engine (0 = default)")
 		walk      = flag.Int("walk", 0, "instead of exhaustive checking, run N random-workload walks")
@@ -60,6 +61,11 @@ func main() {
 		os.Exit(2)
 	}
 	eng, err := mc.ParseEngine(*engine)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vnverify:", err)
+		os.Exit(2)
+	}
+	st, err := mc.ParseStore(*store)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "vnverify:", err)
 		os.Exit(2)
@@ -162,6 +168,7 @@ func main() {
 		MaxStates:     *maxStates,
 		MaxDepth:      *maxDepth,
 		DisableTraces: !*trace,
+		Store:         st,
 	}
 	if strings.EqualFold(*strategy, "dfs") {
 		opts.Strategy = mc.DFS
@@ -250,6 +257,7 @@ func runArtifact(proto, vnMode string, numVNs int, vn map[string]int,
 	art.Params["symmetry"] = !cfg.NoSymmetry
 	art.Params["invariants"] = cfg.Invariants
 	art.Params["strategy"] = opts.Strategy.String()
+	art.Params["store"] = opts.Store.String()
 	art.Params["max_states"] = opts.MaxStates
 	art.Params["max_depth"] = opts.MaxDepth
 	art.Params["workers"] = workers

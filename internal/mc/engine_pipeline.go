@@ -53,6 +53,10 @@ type psucc struct {
 	fp    uint64
 	rule  string // rule name (NamedModels only)
 	dup   bool
+	// conflated carries a compact-store probe's unverified-hit verdict
+	// to the merge; the verdict is time-stable (compactShard.lookup),
+	// so recording it at merge time matches the sequential engine.
+	conflated bool
 }
 
 // pexp is one state's expansion result.
@@ -107,10 +111,11 @@ func CheckPipelinedCtx(ctx context.Context, m Model, opts Options, workers, shar
 	for w := range wlanes {
 		wlanes[w] = opts.Trace.Lane(fmt.Sprintf("%sworker %d", tc.LanePrefix(), w))
 	}
-	set := newShardedSet(shards)
+	set := newVisitedSet(opts.Store, shards)
 	tr.setHealth = func(r *health.Report) {
-		_, arena := set.stats()
-		r.ArenaBytes = int64(arena)
+		st := set.stats()
+		r.ArenaBytes = st.arenaBytes
+		r.SetBytes = st.setBytes
 		r.LockWaitNS, r.LockWaitSamples = set.lockWait()
 	}
 
@@ -118,28 +123,6 @@ func CheckPipelinedCtx(ctx context.Context, m Model, opts Options, workers, shar
 		nodes []node
 		res   Result
 	)
-
-	// push is the authoritative store, called only from the merge loop
-	// (this goroutine) in storage order — ids are assigned exactly as
-	// the sequential engine would assign them.
-	push := func(s, ckey []byte, fp uint64, parent, depth int32) (int32, bool) {
-		id := int32(len(nodes))
-		if got, fresh := set.insert(fp, ckey, id); !fresh {
-			tr.recordProbe(fp, depth, false)
-			return got, false
-		}
-		tr.recordProbe(fp, depth, true)
-		// The state is retained until dispatch (workers need it) and,
-		// when traces are enabled, for counterexample reconstruction.
-		nodes = append(nodes, node{state: s, parent: parent, depth: depth})
-		if int(depth) > res.MaxDepth {
-			res.MaxDepth = int(depth)
-		}
-		if opts.Observer != nil {
-			opts.Observer.Observe(s)
-		}
-		return id, true
-	}
 
 	trace := func(id int32, last []byte) [][]byte {
 		if opts.DisableTraces {
@@ -179,7 +162,25 @@ func CheckPipelinedCtx(ctx context.Context, m Model, opts Options, workers, shar
 			break
 		}
 		ck := canonKey(s)
-		push(s, ck, fingerprint(ck), -1, 0)
+		fp := fingerprint(ck)
+		if int64(len(nodes)) >= maxNodeID {
+			res.Message = (&CapacityError{Limit: "node ids", Max: maxNodeID}).Error()
+			return finish(Capacity)
+		}
+		_, fresh, conflated, err := set.insert(fp, ck, int32(len(nodes)))
+		if err != nil {
+			res.Message = err.Error()
+			return finish(Capacity)
+		}
+		if !fresh {
+			tr.recordProbe(fp, 0, false, conflated)
+			continue
+		}
+		tr.recordProbe(fp, 0, true, false)
+		nodes = append(nodes, node{state: s, parent: -1, depth: 0})
+		if opts.Observer != nil {
+			opts.Observer.Observe(s)
+		}
 	}
 
 	quit := make(chan struct{})
@@ -210,23 +211,59 @@ func CheckPipelinedCtx(ctx context.Context, m Model, opts Options, workers, shar
 			if named != nil {
 				rule = ruleNames[i]
 			}
-			ck := canonKey(s)
-			fp := fingerprint(ck)
-			// The set only grows, so a probe hit is conclusive: the
-			// merge need not ship or re-hash this state's bytes.
-			if _, hit := set.probe(fp, ck); hit {
-				e.succs[i] = psucc{fp: fp, rule: rule, dup: true}
-				continue
-			}
-			e.succs[i] = psucc{state: s, ckey: ck, fp: fp, rule: rule}
+			e.succs[i] = psucc{state: s, rule: rule}
 		}
 		return e
+	}
+
+	// expandBatch runs the whole work batch through three passes:
+	// expand every state, then canonicalize+fingerprint every generated
+	// successor in one sweep, then resolve all membership probes
+	// shard-grouped — each shard lock is taken once per batch instead
+	// of once per successor, which is where the per-state lock traffic
+	// of the old expandOne went. preqs/scratch are per-worker reusable
+	// buffers.
+	expandBatch := func(batch []pwork, preqs []probeReq, sc *setScratch) ([]pexp, []probeReq) {
+		out := make([]pexp, 0, len(batch))
+		for _, w := range batch {
+			out = append(out, expandOne(w))
+		}
+		preqs = preqs[:0]
+		for bi := range out {
+			succs := out[bi].succs
+			for si := range succs {
+				ck := canonKey(succs[si].state)
+				succs[si].ckey = ck
+				succs[si].fp = fingerprint(ck)
+				preqs = append(preqs, probeReq{fp: succs[si].fp, key: ck})
+			}
+		}
+		set.probeBatch(preqs, sc)
+		k := 0
+		for bi := range out {
+			succs := out[bi].succs
+			for si := range succs {
+				r := &preqs[k]
+				k++
+				if !r.hit {
+					continue
+				}
+				// The set only grows, so a probe hit is conclusive: the
+				// merge need not ship or re-hash this state's bytes.
+				succs[si].dup = true
+				succs[si].conflated = r.conflated
+				succs[si].state, succs[si].ckey = nil, nil
+			}
+		}
+		return out, preqs
 	}
 
 	for w := 0; w < workers; w++ {
 		wl := wlanes[w]
 		prof := tr.workers.Worker(w)
 		go func() {
+			var preqs []probeReq
+			var scratch setScratch
 			for {
 				tq := time.Now()
 				select {
@@ -236,10 +273,8 @@ func CheckPipelinedCtx(ctx context.Context, m Model, opts Options, workers, shar
 					queueWait := time.Since(tq)
 					sp := wl.Start("batch")
 					t0 := time.Now()
-					out := make([]pexp, 0, len(batch))
-					for _, w := range batch {
-						out = append(out, expandOne(w))
-					}
+					var out []pexp
+					out, preqs = expandBatch(batch, preqs, &scratch)
 					expand := time.Since(t0)
 					sp.EndArg("states", int64(len(batch)))
 					ts := time.Now()
@@ -269,6 +304,8 @@ func CheckPipelinedCtx(ctx context.Context, m Model, opts Options, workers, shar
 		outstanding  = 0 // dispatched states whose results have not arrived
 		popped       = 0 // merge-order counterpart of the sequential pop count
 		pending      []pwork
+		ireqs        []insertReq // reusable per-expansion insert batch
+		mscratch     setScratch
 	)
 
 	// nextBatch claims up to pipelineBatch dispatchable states.
@@ -333,22 +370,61 @@ func CheckPipelinedCtx(ctx context.Context, m Model, opts Options, workers, shar
 				return finish(Deadlock)
 			}
 			tr.generated.Add(int64(len(e.succs)))
-			for _, sc := range e.succs {
+			// Settle the whole successor batch against the set in one
+			// shard-grouped call (worker-proven duplicates pass through
+			// as skip entries), then replay the sequential engine's
+			// bookkeeping in successor order. insertBatch assigns ids
+			// baseID+0,1,… to fresh entries in that same order, so the
+			// nodes appended below land exactly on their ids; its limit
+			// stops processing where the sequential loop would break on
+			// the MaxStates bound.
+			ireqs = ireqs[:0]
+			for i := range e.succs {
+				sc := &e.succs[i]
+				ireqs = append(ireqs, insertReq{fp: sc.fp, key: sc.ckey, skip: sc.dup})
+			}
+			limit := -1
+			if opts.MaxStates > 0 {
+				limit = opts.MaxStates - len(nodes)
+			}
+			processed, _, insErr := set.insertBatch(ireqs, int32(len(nodes)), limit, &mscratch)
+			for i := 0; i < processed; i++ {
+				sc := &e.succs[i]
 				if named != nil {
 					tr.fire(sc.rule)
 				}
 				if sc.dup {
-					tr.recordProbe(sc.fp, depth+1, false)
+					tr.recordProbe(sc.fp, depth+1, false, sc.conflated)
 					continue
 				}
-				_, fresh := push(sc.state, sc.ckey, sc.fp, id, depth+1)
-				if !fresh {
+				r := &ireqs[i]
+				if !r.fresh {
+					tr.recordProbe(sc.fp, depth+1, false, r.conflated)
 					continue
 				}
-				if opts.MaxStates > 0 && len(nodes) >= opts.MaxStates {
-					bounded = true
-					break // the pre-merge check above ends the search
+				tr.recordProbe(sc.fp, depth+1, true, false)
+				// The state is retained until dispatch (workers need it)
+				// and, when traces are enabled, for counterexamples.
+				nodes = append(nodes, node{state: sc.state, parent: id, depth: depth + 1})
+				if int(depth+1) > res.MaxDepth {
+					res.MaxDepth = int(depth + 1)
 				}
+				if opts.Observer != nil {
+					opts.Observer.Observe(sc.state)
+				}
+			}
+			if insErr != nil {
+				// Match the sequential engine's fire-before-push order:
+				// the successor that tripped the capacity guard had its
+				// rule counted before push returned the error.
+				if named != nil && processed < len(e.succs) {
+					tr.fire(e.succs[processed].rule)
+				}
+				res.Message = insErr.Error()
+				return finish(Capacity)
+			}
+			if opts.MaxStates > 0 && len(nodes) >= opts.MaxStates {
+				bounded = true // the pre-merge check above ends the search
 			}
 			nextMerge++
 			tr.maybeProgress(len(nodes), len(nodes)-popped, res.MaxDepth, res.Rules)

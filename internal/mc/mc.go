@@ -107,6 +107,13 @@ type Options struct {
 	Strategy  Strategy
 	MaxStates int // stop after storing this many states (0 = unbounded)
 	MaxDepth  int // do not explore beyond this depth (0 = unbounded)
+	// Store selects the visited-set representation: StoreExact (the
+	// zero value) keeps full canonical bytes and exact results;
+	// StoreCompact keeps 64-bit fingerprints (hash compaction) for a
+	// fraction of the memory at a ~n²/2⁶⁵ state-omission probability.
+	// The choice can change the outcome class of a run, so callers
+	// that key caches on results must include it (internal/serve does).
+	Store Store
 	// DisableTraces saves the parent table's memory when
 	// counterexamples are not needed.
 	DisableTraces bool
@@ -166,6 +173,12 @@ const (
 	// was found in the states explored so far. Result.Message carries
 	// the context error.
 	Canceled
+	// Capacity: the visited set or node table reached a hard
+	// implementation limit (int32 node ids / entry indices, uint32
+	// arena offsets — see CapacityError) and the search stopped rather
+	// than wrap indices. No deadlock or violation was found in the
+	// states explored; Result.Message names the limit.
+	Capacity
 )
 
 // Tag returns a short stable identifier for machine-readable run
@@ -182,6 +195,8 @@ func (o Outcome) Tag() string {
 		return "violation"
 	case Canceled:
 		return "canceled"
+	case Capacity:
+		return "capacity"
 	default:
 		return fmt.Sprintf("outcome-%d", int(o))
 	}
@@ -199,6 +214,8 @@ func (o Outcome) String() string {
 		return "INVARIANT VIOLATION"
 	case Canceled:
 		return "canceled before completion"
+	case Capacity:
+		return "stopped at a visited-set capacity limit"
 	default:
 		return fmt.Sprintf("Outcome(%d)", int(o))
 	}
@@ -256,40 +273,80 @@ func CheckCtx(ctx context.Context, m Model, opts Options) Result {
 	tr := newTracker(opts, start, named != nil)
 	tr.lane = lane
 	tr.workers = health.NewWorkerSet(1)
-	key := func(s []byte) string {
+	canonKey := func(s []byte) []byte {
 		if canon != nil {
-			return string(canon.Canonicalize(s))
+			return canon.Canonicalize(s)
 		}
-		return string(s)
+		return s
 	}
 
 	var (
 		nodes []node
-		seen  = make(map[string]int32)
 		res   Result
 	)
-	push := func(s []byte, parent int32, depth int32) (int32, bool) {
-		k := key(s)
-		fp := fingerprintString(k)
-		if id, ok := seen[k]; ok {
-			tr.recordProbe(fp, depth, false)
-			return id, false
+	// The visited set: a plain map keyed by the full canonical bytes in
+	// exact mode, the hash-compacted set in compact mode (single shard —
+	// this engine has no concurrent probes, and the verified-bytes
+	// budget is global, so compact semantics are shard-independent).
+	var (
+		seen      map[string]int32
+		seenBytes int64 // canonical key bytes held by seen, for telemetry
+		cset      *compactSet
+	)
+	if opts.Store == StoreCompact {
+		cset = newCompactSet(1)
+		tr.setHealth = func(r *health.Report) {
+			st := cset.stats()
+			r.ArenaBytes = st.arenaBytes
+			r.SetBytes = st.setBytes
 		}
-		tr.recordProbe(fp, depth, true)
+	} else {
+		seen = make(map[string]int32)
+		tr.setHealth = func(r *health.Report) {
+			r.SetBytes = seenBytes + int64(len(seen))*stringMapSlotSize
+		}
+	}
+	push := func(s []byte, parent int32, depth int32) (int32, bool, error) {
+		ck := canonKey(s)
+		fp := fingerprint(ck)
+		if cset != nil {
+			if int64(len(nodes)) >= maxNodeID {
+				return 0, false, &CapacityError{Limit: "node ids", Max: maxNodeID}
+			}
+			got, fresh, conflated, err := cset.insert(fp, ck, int32(len(nodes)))
+			if err != nil {
+				return 0, false, err
+			}
+			if !fresh {
+				tr.recordProbe(fp, depth, false, conflated)
+				return got, false, nil
+			}
+			tr.recordProbe(fp, depth, true, false)
+		} else {
+			if id, ok := seen[string(ck)]; ok {
+				tr.recordProbe(fp, depth, false, false)
+				return id, false, nil
+			}
+			if int64(len(nodes)) >= maxNodeID {
+				return 0, false, &CapacityError{Limit: "node ids", Max: maxNodeID}
+			}
+			tr.recordProbe(fp, depth, true, false)
+			seen[string(ck)] = int32(len(nodes))
+			seenBytes += int64(len(ck))
+		}
 		id := int32(len(nodes))
 		n := node{parent: parent, depth: depth}
 		if !opts.DisableTraces {
 			n.state = s
 		}
 		nodes = append(nodes, n)
-		seen[k] = id
 		if int(depth) > res.MaxDepth {
 			res.MaxDepth = int(depth)
 		}
 		if opts.Observer != nil {
 			opts.Observer.Observe(s)
 		}
-		return id, true
+		return id, true, nil
 	}
 
 	trace := func(id int32, last []byte) [][]byte {
@@ -330,7 +387,12 @@ func CheckCtx(ctx context.Context, m Model, opts Options) Result {
 			bounded = true
 			break
 		}
-		if id, fresh := push(s, -1, 0); fresh {
+		id, fresh, err := push(s, -1, 0)
+		if err != nil {
+			res.Message = err.Error()
+			return finish(Capacity)
+		}
+		if fresh {
 			queue = append(queue, work{id, s})
 		}
 	}
@@ -397,7 +459,11 @@ func CheckCtx(ctx context.Context, m Model, opts Options) Result {
 			if named != nil {
 				tr.fire(ruleNames[i])
 			}
-			id, fresh := push(s, w.id, depth+1)
+			id, fresh, err := push(s, w.id, depth+1)
+			if err != nil {
+				res.Message = err.Error()
+				return finish(Capacity)
+			}
 			if !fresh {
 				continue
 			}

@@ -76,40 +76,79 @@ func CheckParallelCtx(ctx context.Context, m Model, opts Options, workers int) R
 	for w := range wlanes {
 		wlanes[w] = opts.Trace.Lane(fmt.Sprintf("%sworker %d", tc.LanePrefix(), w))
 	}
-	key := func(s []byte) string {
+	canonKey := func(s []byte) []byte {
 		if canon != nil {
-			return string(canon.Canonicalize(s))
+			return canon.Canonicalize(s)
 		}
-		return string(s)
+		return s
 	}
 
 	var (
 		nodes []node
-		seen  = make(map[string]int32)
 		res   Result
 	)
-	push := func(s []byte, parent int32, depth int32) (int32, bool) {
-		k := key(s)
-		fp := fingerprintString(k)
-		if id, ok := seen[k]; ok {
-			tr.recordProbe(fp, depth, false)
-			return id, false
+	// Visited set per Options.Store, mirroring the sequential engine
+	// (the merge is single-threaded here too, so one shard suffices and
+	// compact semantics stay engine-independent).
+	var (
+		seen      map[string]int32
+		seenBytes int64
+		cset      *compactSet
+	)
+	if opts.Store == StoreCompact {
+		cset = newCompactSet(1)
+		tr.setHealth = func(r *health.Report) {
+			st := cset.stats()
+			r.ArenaBytes = st.arenaBytes
+			r.SetBytes = st.setBytes
 		}
-		tr.recordProbe(fp, depth, true)
+	} else {
+		seen = make(map[string]int32)
+		tr.setHealth = func(r *health.Report) {
+			r.SetBytes = seenBytes + int64(len(seen))*stringMapSlotSize
+		}
+	}
+	push := func(s []byte, parent int32, depth int32) (int32, bool, error) {
+		ck := canonKey(s)
+		fp := fingerprint(ck)
+		if cset != nil {
+			if int64(len(nodes)) >= maxNodeID {
+				return 0, false, &CapacityError{Limit: "node ids", Max: maxNodeID}
+			}
+			got, fresh, conflated, err := cset.insert(fp, ck, int32(len(nodes)))
+			if err != nil {
+				return 0, false, err
+			}
+			if !fresh {
+				tr.recordProbe(fp, depth, false, conflated)
+				return got, false, nil
+			}
+			tr.recordProbe(fp, depth, true, false)
+		} else {
+			if id, ok := seen[string(ck)]; ok {
+				tr.recordProbe(fp, depth, false, false)
+				return id, false, nil
+			}
+			if int64(len(nodes)) >= maxNodeID {
+				return 0, false, &CapacityError{Limit: "node ids", Max: maxNodeID}
+			}
+			tr.recordProbe(fp, depth, true, false)
+			seen[string(ck)] = int32(len(nodes))
+			seenBytes += int64(len(ck))
+		}
 		id := int32(len(nodes))
 		n := node{parent: parent, depth: depth}
 		if !opts.DisableTraces {
 			n.state = s
 		}
 		nodes = append(nodes, n)
-		seen[k] = id
 		if int(depth) > res.MaxDepth {
 			res.MaxDepth = int(depth)
 		}
 		if opts.Observer != nil {
 			opts.Observer.Observe(s)
 		}
-		return id, true
+		return id, true, nil
 	}
 	trace := func(id int32, last []byte) [][]byte {
 		if opts.DisableTraces {
@@ -145,7 +184,12 @@ func CheckParallelCtx(ctx context.Context, m Model, opts Options, workers int) R
 			bounded = true
 			break
 		}
-		if id, fresh := push(s, -1, 0); fresh {
+		id, fresh, err := push(s, -1, 0)
+		if err != nil {
+			res.Message = err.Error()
+			return finish(Capacity)
+		}
+		if fresh {
 			frontier = append(frontier, work{id, s})
 		}
 	}
@@ -253,7 +297,11 @@ func CheckParallelCtx(ctx context.Context, m Model, opts Options, workers int) R
 				if named != nil {
 					tr.fire(e.rules[j])
 				}
-				id, fresh := push(s, frontier[i].id, depth+1)
+				id, fresh, err := push(s, frontier[i].id, depth+1)
+				if err != nil {
+					res.Message = err.Error()
+					return finish(Capacity)
+				}
 				if !fresh {
 					continue
 				}

@@ -15,26 +15,26 @@ func TestShardedSetBasic(t *testing.T) {
 	}
 	for i, k := range keys {
 		fp := fingerprint(k)
-		if _, hit := s.probe(fp, k); hit {
+		if _, hit, _ := s.probe(fp, k); hit {
 			t.Fatalf("key %d present before insert", i)
 		}
-		id, fresh := s.insert(fp, k, int32(i))
-		if !fresh || id != int32(i) {
-			t.Fatalf("insert %d: id=%d fresh=%v", i, id, fresh)
+		id, fresh, _, err := s.insert(fp, k, int32(i))
+		if err != nil || !fresh || id != int32(i) {
+			t.Fatalf("insert %d: id=%d fresh=%v err=%v", i, id, fresh, err)
 		}
 	}
 	for i, k := range keys {
 		fp := fingerprint(k)
-		if id, hit := s.probe(fp, k); !hit || id != int32(i) {
+		if id, hit, _ := s.probe(fp, k); !hit || id != int32(i) {
 			t.Fatalf("probe %d: id=%d hit=%v", i, id, hit)
 		}
 		// Re-insert must return the original id and report a duplicate.
-		if id, fresh := s.insert(fp, k, int32(1000+i)); fresh || id != int32(i) {
-			t.Fatalf("re-insert %d: id=%d fresh=%v", i, id, fresh)
+		if id, fresh, _, err := s.insert(fp, k, int32(1000+i)); err != nil || fresh || id != int32(i) {
+			t.Fatalf("re-insert %d: id=%d fresh=%v err=%v", i, id, fresh, err)
 		}
 	}
-	if entries, arena := s.stats(); entries != len(keys) || arena == 0 {
-		t.Fatalf("stats: entries=%d arena=%d", entries, arena)
+	if st := s.stats(); st.entries != len(keys) || st.arenaBytes == 0 {
+		t.Fatalf("stats: %+v", st)
 	}
 }
 
@@ -46,19 +46,19 @@ func TestShardedSetCollisions(t *testing.T) {
 	const fp = uint64(0xdeadbeefcafe)
 	keys := [][]byte{[]byte("alpha"), []byte("beta"), []byte("gamma"), []byte("")}
 	for i, k := range keys {
-		if id, fresh := s.insert(fp, k, int32(i)); !fresh || id != int32(i) {
-			t.Fatalf("colliding insert %d: id=%d fresh=%v", i, id, fresh)
+		if id, fresh, _, err := s.insert(fp, k, int32(i)); err != nil || !fresh || id != int32(i) {
+			t.Fatalf("colliding insert %d: id=%d fresh=%v err=%v", i, id, fresh, err)
 		}
 	}
 	for i, k := range keys {
-		if id, hit := s.probe(fp, k); !hit || id != int32(i) {
+		if id, hit, _ := s.probe(fp, k); !hit || id != int32(i) {
 			t.Fatalf("colliding probe %d: id=%d hit=%v", i, id, hit)
 		}
-		if id, fresh := s.insert(fp, k, 99); fresh || id != int32(i) {
-			t.Fatalf("colliding re-insert %d: id=%d fresh=%v", i, id, fresh)
+		if id, fresh, _, err := s.insert(fp, k, 99); err != nil || fresh || id != int32(i) {
+			t.Fatalf("colliding re-insert %d: id=%d fresh=%v err=%v", i, id, fresh, err)
 		}
 	}
-	if _, hit := s.probe(fp, []byte("delta")); hit {
+	if _, hit, _ := s.probe(fp, []byte("delta")); hit {
 		t.Fatal("unrelated key matched a collision chain")
 	}
 }

@@ -112,25 +112,15 @@ func newShardedSet(n int) *shardedSet {
 	return s
 }
 
-// shardFor picks the stripe. The shard index mixes in the high bits so
-// it stays independent of the map's use of the low bits.
-func (s *shardedSet) shardFor(fp uint64) *setShard {
-	return &s.shards[(fp^(fp>>32))&s.mask]
+// shardIdx picks the stripe. The index mixes in the high bits so it
+// stays independent of the map's use of the low bits.
+func (s *shardedSet) shardIdx(fp uint64) uint32 {
+	return uint32((fp ^ (fp >> 32)) & s.mask)
 }
 
-// probe reports whether key (with fingerprint fp) is already stored,
-// returning its node id. Read-only; safe from any goroutine.
-func (s *shardedSet) probe(fp uint64, key []byte) (int32, bool) {
-	sh := s.shardFor(fp)
-	if fp&lockSampleMask == 0 {
-		t0 := time.Now()
-		sh.mu.RLock()
-		sh.lockWaitNS.Add(int64(time.Since(t0)))
-		sh.lockWaitN.Add(1)
-	} else {
-		sh.mu.RLock()
-	}
-	defer sh.mu.RUnlock()
+// lookup walks fp's collision chain for key. The caller must hold the
+// shard lock, or be the store thread (the sole writer).
+func (sh *setShard) lookup(fp uint64, key []byte) (int32, bool) {
 	idx, ok := sh.m[fp]
 	for ok {
 		e := &sh.entries[idx]
@@ -143,10 +133,88 @@ func (s *shardedSet) probe(fp uint64, key []byte) (int32, bool) {
 	return 0, false
 }
 
+// capacity reports the guard error, if any, for storing one more
+// keyLen-byte entry. Checked before every append so the int32 entry
+// indices and uint32 arena offsets can never wrap (the silent-wrap bug
+// this guard replaced corrupted collision chains past 2^31 entries or
+// a 4 GiB per-shard arena).
+func (sh *setShard) capacity(keyLen int) error {
+	if int64(len(sh.entries)) >= maxShardEntries {
+		return &CapacityError{Limit: "shard entries", Max: maxShardEntries}
+	}
+	if int64(len(sh.arena))+int64(keyLen) > maxShardArena {
+		return &CapacityError{Limit: "shard arena bytes", Max: maxShardArena}
+	}
+	return nil
+}
+
+// append stores key unconditionally; the caller holds the write lock
+// and has already checked freshness and capacity. New entries are
+// prepended to the fingerprint's chain (next = old head), so chain
+// iteration runs newest-first — ids stay stable regardless because an
+// equal key is never inserted twice.
+func (sh *setShard) append(fp uint64, key []byte, id int32) {
+	off := uint32(len(sh.arena))
+	sh.arena = append(sh.arena, key...)
+	next := int32(-1)
+	if head, collision := sh.m[fp]; collision {
+		next = head
+	}
+	sh.entries = append(sh.entries, setEntry{id: id, next: next, off: off, n: uint32(len(key))})
+	sh.m[fp] = int32(len(sh.entries) - 1)
+}
+
+// probe reports whether key (with fingerprint fp) is already stored,
+// returning its node id. Read-only; safe from any goroutine. The third
+// result (conflated) is always false: exact-store hits are verified.
+func (s *shardedSet) probe(fp uint64, key []byte) (int32, bool, bool) {
+	sh := &s.shards[s.shardIdx(fp)]
+	if fp&lockSampleMask == 0 {
+		t0 := time.Now()
+		sh.mu.RLock()
+		sh.lockWaitNS.Add(int64(time.Since(t0)))
+		sh.lockWaitN.Add(1)
+	} else {
+		sh.mu.RLock()
+	}
+	defer sh.mu.RUnlock()
+	id, hit := sh.lookup(fp, key)
+	return id, hit, false
+}
+
+// probeBatch resolves all requests with one read-lock acquisition per
+// touched shard, in shard-grouped order (results land back in request
+// positions, so callers see request order).
+func (s *shardedSet) probeBatch(reqs []probeReq, sc *setScratch) {
+	sc.group(len(reqs), nil, func(i int) uint32 { return s.shardIdx(reqs[i].fp) })
+	for lo := 0; lo < len(sc.idx); {
+		hi := lo + 1
+		for hi < len(sc.idx) && sc.shards[hi] == sc.shards[lo] {
+			hi++
+		}
+		sh := &s.shards[sc.shards[lo]]
+		if reqs[sc.idx[lo]].fp&lockSampleMask == 0 {
+			t0 := time.Now()
+			sh.mu.RLock()
+			sh.lockWaitNS.Add(int64(time.Since(t0)))
+			sh.lockWaitN.Add(1)
+		} else {
+			sh.mu.RLock()
+		}
+		for _, i := range sc.idx[lo:hi] {
+			r := &reqs[i]
+			_, r.hit = sh.lookup(r.fp, r.key)
+		}
+		sh.mu.RUnlock()
+		lo = hi
+	}
+}
+
 // insert stores key with node id unless an equal key is present,
-// returning the surviving id and whether the insert was fresh.
-func (s *shardedSet) insert(fp uint64, key []byte, id int32) (int32, bool) {
-	sh := s.shardFor(fp)
+// returning the surviving id and whether the insert was fresh. Store
+// thread only.
+func (s *shardedSet) insert(fp uint64, key []byte, id int32) (int32, bool, bool, error) {
+	sh := &s.shards[s.shardIdx(fp)]
 	if fp&lockSampleMask == 0 {
 		t0 := time.Now()
 		sh.mu.Lock()
@@ -156,38 +224,128 @@ func (s *shardedSet) insert(fp uint64, key []byte, id int32) (int32, bool) {
 		sh.mu.Lock()
 	}
 	defer sh.mu.Unlock()
-	head, collision := sh.m[fp]
-	idx, ok := head, collision
-	for ok {
-		e := &sh.entries[idx]
-		if string(sh.arena[e.off:e.off+e.n]) == string(key) {
-			return e.id, false
-		}
-		idx = e.next
-		ok = idx >= 0
+	if got, ok := sh.lookup(fp, key); ok {
+		return got, false, false, nil
 	}
-	off := uint32(len(sh.arena))
-	sh.arena = append(sh.arena, key...)
-	next := int32(-1)
-	if collision {
-		next = head
+	if err := sh.capacity(len(key)); err != nil {
+		return 0, false, false, err
 	}
-	sh.entries = append(sh.entries, setEntry{id: id, next: next, off: off, n: uint32(len(key))})
-	sh.m[fp] = int32(len(sh.entries) - 1)
-	return id, true
+	sh.append(fp, key, id)
+	return id, true, false, nil
 }
 
-// stats reports the stored entry count and the canonical-bytes arena
-// footprint across all shards, for telemetry.
-func (s *shardedSet) stats() (entries int, arenaBytes int) {
+// insertBatch settles reqs per the visitedSet contract: a lock-free
+// pre-pass (this goroutine is the sole writer, so its unlocked reads
+// cannot race the write-locked appends it performs itself) decides
+// duplicate status, ids, and capacity in request order; the apply pass
+// then takes each touched shard's write lock once.
+func (s *shardedSet) insertBatch(reqs []insertReq, baseID int32, limit int, sc *setScratch) (int, int, error) {
+	sc.pend, sc.pendShard = sc.pend[:0], sc.pendShard[:0]
+	processed := len(reqs)
+	fresh := 0
+	var err error
+pre:
+	for i := range reqs {
+		r := &reqs[i]
+		if r.skip {
+			continue
+		}
+		r.fresh, r.id, r.conflated, r.retain = false, 0, false, false
+		shard := s.shardIdx(r.fp)
+		sh := &s.shards[shard]
+		if got, ok := sh.lookup(r.fp, r.key); ok {
+			r.id = got
+			continue
+		}
+		// Duplicate of an earlier fresh insert in this same batch?
+		dup := false
+		for _, j := range sc.pend {
+			p := &reqs[j]
+			if p.fp == r.fp && string(p.key) == string(r.key) {
+				r.id = p.id
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		// Capacity guards must count this batch's still-pending inserts
+		// into the same shard, or a batch could overshoot the caps.
+		pendEntries, pendArena := int64(0), int64(0)
+		for k, j := range sc.pend {
+			if sc.pendShard[k] == shard {
+				pendEntries++
+				pendArena += int64(len(reqs[j].key))
+			}
+		}
+		switch {
+		case int64(len(sh.entries))+pendEntries >= maxShardEntries:
+			err = &CapacityError{Limit: "shard entries", Max: maxShardEntries}
+		case int64(len(sh.arena))+pendArena+int64(len(r.key)) > maxShardArena:
+			err = &CapacityError{Limit: "shard arena bytes", Max: maxShardArena}
+		case int64(baseID)+int64(fresh) >= maxNodeID:
+			err = &CapacityError{Limit: "node ids", Max: maxNodeID}
+		}
+		if err != nil {
+			processed = i
+			break pre
+		}
+		r.fresh = true
+		r.id = baseID + int32(fresh)
+		fresh++
+		sc.pend = append(sc.pend, int32(i))
+		sc.pendShard = append(sc.pendShard, shard)
+		if limit >= 0 && fresh >= limit {
+			processed = i + 1
+			break pre
+		}
+	}
+
+	// Apply pass: one write lock per touched shard, appending in
+	// request order so collision chains match a one-at-a-time insert
+	// sequence exactly.
+	if len(sc.pend) > 0 {
+		sc.group(processed, func(i int) bool { return reqs[i].fresh }, func(i int) uint32 { return s.shardIdx(reqs[i].fp) })
+		for lo := 0; lo < len(sc.idx); {
+			hi := lo + 1
+			for hi < len(sc.idx) && sc.shards[hi] == sc.shards[lo] {
+				hi++
+			}
+			sh := &s.shards[sc.shards[lo]]
+			if reqs[sc.idx[lo]].fp&lockSampleMask == 0 {
+				t0 := time.Now()
+				sh.mu.Lock()
+				sh.lockWaitNS.Add(int64(time.Since(t0)))
+				sh.lockWaitN.Add(1)
+			} else {
+				sh.mu.Lock()
+			}
+			for _, i := range sc.idx[lo:hi] {
+				r := &reqs[i]
+				sh.append(r.fp, r.key, r.id)
+			}
+			sh.mu.Unlock()
+			lo = hi
+		}
+	}
+	return processed, fresh, err
+}
+
+// stats reports the stored entry count and footprint across all
+// shards, for telemetry.
+func (s *shardedSet) stats() setStats {
+	var st setStats
 	for i := range s.shards {
 		sh := &s.shards[i]
 		sh.mu.RLock()
-		entries += len(sh.entries)
-		arenaBytes += len(sh.arena)
+		st.entries += len(sh.entries)
+		st.arenaBytes += int64(len(sh.arena))
+		st.setBytes += int64(len(sh.arena)) +
+			int64(len(sh.entries))*setEntrySize + int64(len(sh.m))*mapSlotSize
 		sh.mu.RUnlock()
 	}
-	return entries, arenaBytes
+	return st
 }
 
 // lockWait sums the sampled lock-acquisition wait across all shards:

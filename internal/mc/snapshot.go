@@ -2,6 +2,7 @@ package mc
 
 import (
 	"fmt"
+	"math"
 	"time"
 
 	"minvn/internal/obs"
@@ -14,7 +15,11 @@ import (
 // fully serializable so CLI runs can persist it inside a JSON run
 // artifact (obs.Artifact).
 type Snapshot struct {
-	Strategy       string  `json:"strategy"`
+	Strategy string `json:"strategy"`
+	// Store names the visited-set mode the run used ("exact" or
+	// "compact"); compact runs carry an omission probability (see
+	// StoreCompact) that consumers of "complete" outcomes should know.
+	Store          string  `json:"store"`
 	ElapsedSeconds float64 `json:"elapsed_seconds"`
 	// States is the number of distinct states stored; Frontier the
 	// current work-list size (queue/stack for the sequential engine,
@@ -106,6 +111,7 @@ type tracker struct {
 	// internally atomic (the pool writes it while snapshots read).
 	shardSamp     health.ShardSampler
 	workers       *health.WorkerSet
+	unverified    int64 // conflated dedup hits (compact store)
 	reorderStalls int64
 	reorderMax    int64
 	// setHealth, when set by an engine, contributes engine-specific
@@ -131,11 +137,17 @@ func newTracker(opts Options, start time.Time, named bool) *tracker {
 
 // recordProbe accounts one visited-set lookup; fresh means the state
 // was new and stored at the given depth. fp is the state's fingerprint,
-// attributing the probe to its telemetry stripe.
-func (t *tracker) recordProbe(fp uint64, depth int32, fresh bool) {
+// attributing the probe to its telemetry stripe. conflated marks a
+// compact-store duplicate verdict that could not be byte-verified;
+// conflation verdicts are stable over a run (see compactShard.lookup),
+// so this count is deterministic and identical across engines.
+func (t *tracker) recordProbe(fp uint64, depth int32, fresh, conflated bool) {
 	t.probes.Inc()
 	if !fresh {
 		t.dedupHits.Inc()
+		if conflated {
+			t.unverified++
+		}
 		t.shardSamp.Dup(fp)
 		return
 	}
@@ -152,6 +164,7 @@ func (t *tracker) health() *health.Report {
 	r := new(health.Report)
 	t.shardSamp.Fill(r)
 	r.Workers = t.workers.Stats()
+	r.UnverifiedHits = t.unverified
 	r.ReorderStalls = t.reorderStalls
 	r.ReorderMax = t.reorderMax
 	if t.setHealth != nil {
@@ -190,10 +203,27 @@ func (t *tracker) maybeProgress(states, frontier, maxDepth, expansions int) {
 	}
 }
 
+// sanitizeRate guards the snapshot's derived rates against +Inf/NaN
+// (which encoding/json rejects, breaking -stats-json artifacts) and
+// negative values from clock weirdness: anything non-finite or
+// negative reports as 0.
+func sanitizeRate(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+		return 0
+	}
+	return v
+}
+
 func (t *tracker) snapshot(states, frontier, maxDepth, expansions int, final bool) Snapshot {
 	elapsed := time.Since(t.start).Seconds()
+	if elapsed < 0 || math.IsNaN(elapsed) {
+		// A start time in the future (clock step, bad injection) must
+		// not leak a negative duration into artifacts.
+		elapsed = 0
+	}
 	s := Snapshot{
 		Strategy:       t.strategy.String(),
+		Store:          t.opts.Store.String(),
 		ElapsedSeconds: elapsed,
 		States:         states,
 		Frontier:       frontier,
@@ -205,11 +235,14 @@ func (t *tracker) snapshot(states, frontier, maxDepth, expansions int, final boo
 		HeapBytes:      obs.HeapBytes(),
 		Final:          final,
 	}
+	// Both rates are division results on counters an engine bug (or a
+	// sub-resolution elapsed time) could zero out; sanitize so a tiny
+	// run can never emit +Inf/NaN and break JSON encoding.
 	if p := t.probes.Load(); p > 0 {
-		s.DedupHitRate = float64(s.DedupHits) / float64(p)
+		s.DedupHitRate = sanitizeRate(float64(s.DedupHits) / float64(p))
 	}
 	if elapsed > 0 {
-		s.StatesPerSec = float64(states) / elapsed
+		s.StatesPerSec = sanitizeRate(float64(states) / elapsed)
 	}
 	if t.rules != nil {
 		s.RuleFirings = make(map[string]int64, len(t.rules))

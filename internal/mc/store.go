@@ -1,0 +1,230 @@
+package mc
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Store selects how the visited set represents stored states — the
+// checker's dominant memory consumer and, on large runs, a first-order
+// throughput factor.
+type Store int
+
+const (
+	// StoreExact keeps every state's full canonical bytes, so a
+	// fingerprint hit is always byte-verified before it counts as a
+	// duplicate. Results are exact: the engines' parity contract pins
+	// them bit-identical across seq/levels/pipeline.
+	StoreExact Store = iota
+	// StoreCompact keeps only 64-bit fingerprints plus a small
+	// verified-bytes cache used to detect (and chain past) fingerprint
+	// collisions while the cache budget lasts. Past the budget the set
+	// degrades to classic Murphi-style hash compaction: a fingerprint
+	// hit that cannot be byte-verified is assumed to be a duplicate, so
+	// with probability ~n²/2⁶⁵ a distinct state (and its subtree) is
+	// omitted from the search. Deadlocks and violations found are still
+	// real; only "complete, no deadlock" claims carry the omission
+	// probability. Compact runs are deterministic and identical across
+	// engines — the conflation decisions depend only on the (identical)
+	// storage order — which is what the compact parity suite pins.
+	StoreCompact
+)
+
+func (s Store) String() string {
+	if s == StoreCompact {
+		return "compact"
+	}
+	return "exact"
+}
+
+// ParseStore maps a CLI flag value to a Store.
+func ParseStore(s string) (Store, error) {
+	switch s {
+	case "", "exact":
+		return StoreExact, nil
+	case "compact":
+		return StoreCompact, nil
+	}
+	return StoreExact, fmt.Errorf("unknown store %q (want exact or compact)", s)
+}
+
+// CapacityError is the typed error behind the Capacity outcome: the
+// visited set or the node table reached a hard implementation limit —
+// int32 node ids, int32 per-shard entry indices, or uint32 per-shard
+// arena offsets — and the search stopped instead of letting an index
+// silently wrap and corrupt collision chains.
+type CapacityError struct {
+	Limit string // which limit tripped ("node ids", "shard entries", "shard arena bytes")
+	Max   int64  // the limit's value
+}
+
+func (e *CapacityError) Error() string {
+	return fmt.Sprintf("visited-set capacity: %s limit (%d) reached; raise the bound or shard count, or stop the search earlier", e.Limit, e.Max)
+}
+
+// Capacity limits. Package vars rather than consts so the guard tests
+// can lower them to reachable values; the defaults are the exact
+// points past which the 32-bit indices would otherwise wrap.
+var (
+	// maxNodeID caps stored states: node ids (and therefore set entry
+	// ids) are int32 everywhere.
+	maxNodeID = int64(math.MaxInt32)
+	// maxShardEntries caps one shard's entry table: collision-chain
+	// links are int32 indices into it.
+	maxShardEntries = int64(math.MaxInt32)
+	// maxShardArena caps one shard's canonical-bytes arena: entry
+	// offsets and lengths are uint32.
+	maxShardArena = int64(math.MaxUint32)
+	// compactVerifiedBudget is the compact store's global verified-bytes
+	// budget: canonical bytes are retained for collision verification
+	// until this many bytes are cached, then new states keep only their
+	// fingerprint. The budget is consumed in storage order, which is
+	// identical across engines, so compact runs stay engine-independent.
+	// 64 KiB keeps the earliest (hottest, most re-probed) states
+	// byte-verified while the asymptotic footprint stays fingerprint-
+	// sized — the point of hash compaction; a large budget would quietly
+	// turn the compact store back into the exact one.
+	compactVerifiedBudget = int64(64 << 10)
+)
+
+// compactBudgetExhausted reports whether adding n bytes would exceed
+// the verified-bytes budget.
+func compactBudgetExhausted(retained int64, n int) bool {
+	return retained+int64(n) > compactVerifiedBudget
+}
+
+// probeReq is one membership test in a batched read-only probe.
+type probeReq struct {
+	fp  uint64
+	key []byte
+	// Outputs:
+	hit bool
+	// conflated marks a compact-store hit that could not be
+	// byte-verified (hash-compaction conflation).
+	conflated bool
+}
+
+// insertReq is one insert-or-get in a batched store operation. skip
+// marks successors whose duplicate status a worker probe already
+// proved (the set only grows, so the verdict is conclusive); they pass
+// through without touching the set but keep their position so the
+// engine's bookkeeping stays in successor order.
+type insertReq struct {
+	fp   uint64
+	key  []byte
+	skip bool
+	// Outputs (skip entries are left zero):
+	fresh     bool
+	id        int32
+	conflated bool
+	// retain is compact-store internal: whether this fresh entry's
+	// bytes fit the verified-bytes budget (decided in the pre-pass,
+	// applied under the shard lock).
+	retain bool
+}
+
+// Footprint approximation constants behind setStats.setBytes. Exact
+// per-entry map costs depend on the runtime; these are close enough
+// for the exact-vs-compact memory comparison the stats exist for.
+const (
+	setEntrySize    = 16 // setEntry: id, next, off, n
+	mapSlotSize     = 20 // map[uint64]int32 entry: key+value plus bucket overhead
+	sliceHeaderSize = 24 // []byte header
+	// stringMapSlotSize approximates one map[string]int32 entry of the
+	// exact map-backed engines: string header + value + bucket overhead
+	// (the key bytes are counted separately).
+	stringMapSlotSize = 32
+)
+
+// setStats is a visited set's footprint report.
+type setStats struct {
+	entries int
+	// arenaBytes counts full canonical bytes retained: everything for
+	// the exact store, only the verification cache for the compact one.
+	arenaBytes int64
+	// setBytes approximates the set's total footprint including index
+	// structures (entry tables and hash-map slots), the number the
+	// exact-vs-compact memory comparison is about.
+	setBytes int64
+}
+
+// visitedSet is the deduplication store shared by the engines: the
+// pipelined engine always uses one (exact or compact), and the
+// map-backed engines switch to the compact implementation when
+// Options.Store selects it, so conflation behavior is identical across
+// engines by construction.
+//
+// Concurrency contract: probe/probeBatch take read locks and may run
+// from any goroutine. insert/insertBatch are store-thread-only (the
+// merge loop, or the single search goroutine); because that thread is
+// the only writer, insertBatch may pre-compute duplicate status with
+// unlocked reads and then take each shard's write lock once per batch.
+type visitedSet interface {
+	// probe reports whether key (with fingerprint fp) is stored,
+	// returning its id and whether the hit was unverifiable (compact).
+	probe(fp uint64, key []byte) (id int32, hit, conflated bool)
+	// probeBatch resolves every request, taking each touched shard's
+	// read lock at most once. Request order is preserved.
+	probeBatch(reqs []probeReq, sc *setScratch)
+	// insert stores key under id unless present, returning the
+	// surviving id. A *CapacityError means nothing was stored.
+	insert(fp uint64, key []byte, id int32) (gotID int32, fresh, conflated bool, err error)
+	// insertBatch settles reqs in order with ids baseID, baseID+1, …
+	// assigned to fresh entries, taking each touched shard's write
+	// lock at most once. limit >= 0 stops processing after that many
+	// fresh inserts (the limiting request is still processed);
+	// processed reports how many leading requests were settled. A
+	// *CapacityError stops before the offending request, which is then
+	// reqs[processed]; everything before it is fully applied.
+	insertBatch(reqs []insertReq, baseID int32, limit int, sc *setScratch) (processed, fresh int, err error)
+	stats() setStats
+	lockWait() (ns, samples int64)
+}
+
+// newVisitedSet builds the store implementation for the mode.
+func newVisitedSet(store Store, shards int) visitedSet {
+	if store == StoreCompact {
+		return newCompactSet(shards)
+	}
+	return newShardedSet(shards)
+}
+
+// setScratch holds the reusable buffers behind batched probes and
+// inserts: the shard-grouping sort and the intra-batch pending-insert
+// bookkeeping. One scratch per goroutine; the zero value is ready.
+type setScratch struct {
+	idx    []int32  // request indices, sorted by (shard, index)
+	shards []uint32 // parallel to idx
+	// pending insert bookkeeping (store thread only):
+	pend       []int32 // request indices of this batch's fresh inserts
+	pendShard  []uint32
+	pendRetain []bool // compact store: whether the pending entry kept bytes
+}
+
+func (s *setScratch) Len() int { return len(s.idx) }
+func (s *setScratch) Less(i, j int) bool {
+	if s.shards[i] != s.shards[j] {
+		return s.shards[i] < s.shards[j]
+	}
+	return s.idx[i] < s.idx[j] // stable within a shard: request order
+}
+func (s *setScratch) Swap(i, j int) {
+	s.idx[i], s.idx[j] = s.idx[j], s.idx[i]
+	s.shards[i], s.shards[j] = s.shards[j], s.shards[i]
+}
+
+// group sorts request indices by shard so callers can walk runs of
+// equal shard and take each lock once. keep filters which requests
+// participate; shardOf maps a request index to its shard.
+func (s *setScratch) group(n int, keep func(int) bool, shardOf func(int) uint32) {
+	s.idx, s.shards = s.idx[:0], s.shards[:0]
+	for i := 0; i < n; i++ {
+		if keep != nil && !keep(i) {
+			continue
+		}
+		s.idx = append(s.idx, int32(i))
+		s.shards = append(s.shards, shardOf(i))
+	}
+	sort.Sort(s)
+}

@@ -1,0 +1,573 @@
+package mc
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// --- store knob ---
+
+func TestParseStore(t *testing.T) {
+	for s, want := range map[string]Store{
+		"": StoreExact, "exact": StoreExact, "compact": StoreCompact,
+	} {
+		got, err := ParseStore(s)
+		if err != nil || got != want {
+			t.Errorf("ParseStore(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseStore("bogus"); err == nil {
+		t.Error("ParseStore accepted a bogus store name")
+	}
+	if StoreExact.String() != "exact" || StoreCompact.String() != "compact" {
+		t.Error("Store.String mismatch")
+	}
+}
+
+// --- capacity guards (the int32/uint32 wrap bugfix) ---
+
+// withCap temporarily lowers one of the package capacity vars. The
+// guard tests must not run in parallel with anything that inserts.
+func withCap(t *testing.T, v *int64, n int64) {
+	t.Helper()
+	old := *v
+	*v = n
+	t.Cleanup(func() { *v = old })
+}
+
+func TestShardedSetEntryCapacityGuard(t *testing.T) {
+	withCap(t, &maxShardEntries, 3)
+	s := newShardedSet(1)
+	for i := 0; i < 3; i++ {
+		k := []byte(fmt.Sprintf("key-%d", i))
+		if _, fresh, _, err := s.insert(fingerprint(k), k, int32(i)); err != nil || !fresh {
+			t.Fatalf("insert %d: fresh=%v err=%v", i, fresh, err)
+		}
+	}
+	k := []byte("key-overflow")
+	_, _, _, err := s.insert(fingerprint(k), k, 3)
+	var ce *CapacityError
+	if !errors.As(err, &ce) || ce.Limit != "shard entries" || ce.Max != 3 {
+		t.Fatalf("overflow insert: err=%v", err)
+	}
+	// The failed insert must not have stored anything.
+	if st := s.stats(); st.entries != 3 {
+		t.Fatalf("entries after failed insert: %d", st.entries)
+	}
+	// Duplicates of stored keys still resolve (no capacity consumed).
+	k0 := []byte("key-0")
+	if id, fresh, _, err := s.insert(fingerprint(k0), k0, 9); err != nil || fresh || id != 0 {
+		t.Fatalf("dup insert at capacity: id=%d fresh=%v err=%v", id, fresh, err)
+	}
+}
+
+func TestShardedSetArenaCapacityGuard(t *testing.T) {
+	withCap(t, &maxShardArena, 10)
+	s := newShardedSet(1)
+	a, b := []byte("aaaa"), []byte("bbbb")
+	if _, _, _, err := s.insert(fingerprint(a), a, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := s.insert(fingerprint(b), b, 1); err != nil {
+		t.Fatal(err)
+	}
+	c := []byte("ccc") // 8+3 > 10
+	_, _, _, err := s.insert(fingerprint(c), c, 2)
+	var ce *CapacityError
+	if !errors.As(err, &ce) || ce.Limit != "shard arena bytes" {
+		t.Fatalf("arena overflow: err=%v", err)
+	}
+	d := []byte("dd") // 8+2 <= 10 still fits
+	if _, fresh, _, err := s.insert(fingerprint(d), d, 2); err != nil || !fresh {
+		t.Fatalf("fitting insert after overflow: fresh=%v err=%v", fresh, err)
+	}
+}
+
+func TestInsertBatchCapacityGuard(t *testing.T) {
+	withCap(t, &maxShardEntries, 4)
+	s := newShardedSet(1)
+	var sc setScratch
+	reqs := make([]insertReq, 7)
+	for i := range reqs {
+		k := []byte(fmt.Sprintf("bk-%d", i))
+		reqs[i] = insertReq{fp: fingerprint(k), key: k}
+	}
+	processed, fresh, err := s.insertBatch(reqs, 0, -1, &sc)
+	var ce *CapacityError
+	if !errors.As(err, &ce) || ce.Limit != "shard entries" {
+		t.Fatalf("batch overflow: err=%v", err)
+	}
+	if processed != 4 || fresh != 4 {
+		t.Fatalf("processed=%d fresh=%d, want 4/4", processed, fresh)
+	}
+	// The prefix before the overflowing request must be fully applied.
+	for i := 0; i < 4; i++ {
+		k := []byte(fmt.Sprintf("bk-%d", i))
+		if id, hit, _ := s.probe(fingerprint(k), k); !hit || id != int32(i) {
+			t.Fatalf("prefix key %d: id=%d hit=%v", i, id, hit)
+		}
+	}
+	if k := []byte("bk-4"); func() bool { _, hit, _ := s.probe(fingerprint(k), k); return hit }() {
+		t.Fatal("overflowing key was stored")
+	}
+}
+
+// TestCapacityOutcomeAllEngines pins the engine-level behavior: when a
+// capacity limit trips, every engine stops with Outcome Capacity, the
+// same stored-state count, and a message naming the limit — instead of
+// the silent index wrap the guards replaced.
+func TestCapacityOutcomeAllEngines(t *testing.T) {
+	withCap(t, &maxNodeID, 10)
+	m := &counter{n: 1000, branch: true, quiet: -1, bad: -1, errAt: -1}
+	for _, store := range []Store{StoreExact, StoreCompact} {
+		opts := Options{DisableTraces: true, Store: store}
+		seq := Check(m, opts)
+		if seq.Outcome != Capacity || seq.States != 10 {
+			t.Fatalf("store=%v seq: %v (states=%d)", store, seq, seq.States)
+		}
+		if !strings.Contains(seq.Message, "node ids") {
+			t.Fatalf("store=%v seq message: %q", store, seq.Message)
+		}
+		if seq.Outcome.Tag() != "capacity" {
+			t.Fatalf("tag = %q", seq.Outcome.Tag())
+		}
+		lev := CheckParallel(m, opts, 4)
+		pip := CheckPipelined(m, opts, 4, 8)
+		for name, r := range map[string]Result{"levels": lev, "pipeline": pip} {
+			if r.Outcome != seq.Outcome || r.States != seq.States ||
+				r.MaxDepth != seq.MaxDepth || r.Rules != seq.Rules || r.Message != seq.Message {
+				t.Fatalf("store=%v %s: %v (states=%d rules=%d) vs seq %v (states=%d rules=%d)",
+					store, name, r, r.States, r.Rules, seq, seq.States, seq.Rules)
+			}
+		}
+	}
+}
+
+func TestPipelineShardArenaCapacityOutcome(t *testing.T) {
+	withCap(t, &maxShardArena, 64)
+	m := &counter{n: 1000, branch: true, quiet: -1, bad: -1, errAt: -1}
+	res := CheckPipelined(m, Options{DisableTraces: true}, 4, 1)
+	if res.Outcome != Capacity || !strings.Contains(res.Message, "shard arena bytes") {
+		t.Fatalf("res = %v message %q", res, res.Message)
+	}
+	// 6-byte states into a 64-byte single-shard arena: exactly 10 fit.
+	if res.States != 10 {
+		t.Fatalf("states = %d, want 10", res.States)
+	}
+}
+
+// --- collision-chain id stability (the prepend-order pin) ---
+
+// TestCollisionChainFirstInsertedID pins that probe and insert return
+// the *first-inserted* id for a key even though insert prepends chain
+// entries (next = head, newest-first iteration). Node-id stability is
+// what the pipelined engine's reorder-buffer parity contract rests on:
+// a worker's early probe and the merge's authoritative insert must
+// name the same node.
+func TestCollisionChainFirstInsertedID(t *testing.T) {
+	const fp = uint64(0x42) // all keys forced through one chain
+	exact := newShardedSet(1)
+	compact := newCompactSet(1)
+	keys := [][]byte{[]byte("first"), []byte("second"), []byte("third")}
+	for i, k := range keys {
+		if id, fresh, _, err := exact.insert(fp, k, int32(10+i)); err != nil || !fresh || id != int32(10+i) {
+			t.Fatalf("exact insert %d: id=%d fresh=%v err=%v", i, id, fresh, err)
+		}
+		if id, fresh, _, err := compact.insert(fp, k, int32(10+i)); err != nil || !fresh || id != int32(10+i) {
+			t.Fatalf("compact insert %d: id=%d fresh=%v err=%v", i, id, fresh, err)
+		}
+	}
+	for i, k := range keys {
+		want := int32(10 + i)
+		if id, hit, _ := exact.probe(fp, k); !hit || id != want {
+			t.Errorf("exact probe %q: id=%d hit=%v, want %d", k, id, hit, want)
+		}
+		if id, hit, conf := compact.probe(fp, k); !hit || conf || id != want {
+			t.Errorf("compact probe %q: id=%d hit=%v conflated=%v, want %d", k, id, hit, conf, want)
+		}
+		// Re-inserting under a new id must return the first-inserted id,
+		// not the new one and not the newest chain entry's.
+		if id, fresh, _, _ := exact.insert(fp, k, 999); fresh || id != want {
+			t.Errorf("exact re-insert %q: id=%d fresh=%v, want %d", k, id, fresh, want)
+		}
+		if id, fresh, _, _ := compact.insert(fp, k, 999); fresh || id != want {
+			t.Errorf("compact re-insert %q: id=%d fresh=%v, want %d", k, id, fresh, want)
+		}
+	}
+	// Same stability through the batched path.
+	var sc setScratch
+	reqs := []insertReq{
+		{fp: fp, key: []byte("second")}, // dup of id 11
+		{fp: fp, key: []byte("fourth")}, // fresh
+		{fp: fp, key: []byte("first")},  // dup of id 10
+	}
+	processed, fresh, err := exact.insertBatch(reqs, 100, -1, &sc)
+	if err != nil || processed != 3 || fresh != 1 {
+		t.Fatalf("batch: processed=%d fresh=%d err=%v", processed, fresh, err)
+	}
+	if reqs[0].fresh || reqs[0].id != 11 || reqs[2].fresh || reqs[2].id != 10 {
+		t.Fatalf("batch dup ids: %+v %+v", reqs[0], reqs[2])
+	}
+	if !reqs[1].fresh || reqs[1].id != 100 {
+		t.Fatalf("batch fresh id: %+v", reqs[1])
+	}
+}
+
+// --- compact-store semantics ---
+
+func TestCompactConflationWhenBudgetExhausted(t *testing.T) {
+	withCap(t, &compactVerifiedBudget, 0)
+	s := newCompactSet(1)
+	const fp = uint64(7)
+	a, b := []byte("aaa"), []byte("bbb")
+	if id, fresh, conf, err := s.insert(fp, a, 5); err != nil || !fresh || conf || id != 5 {
+		t.Fatalf("first insert: id=%d fresh=%v conf=%v err=%v", id, fresh, conf, err)
+	}
+	// With no verified bytes, a distinct key with the same fingerprint
+	// conflates: reported as a duplicate of the first id.
+	if id, fresh, conf, err := s.insert(fp, b, 6); err != nil || fresh || !conf || id != 5 {
+		t.Fatalf("conflated insert: id=%d fresh=%v conf=%v err=%v", id, fresh, conf, err)
+	}
+	if id, hit, conf := s.probe(fp, b); !hit || !conf || id != 5 {
+		t.Fatalf("conflated probe: id=%d hit=%v conf=%v", id, hit, conf)
+	}
+	if st := s.stats(); st.entries != 1 || st.arenaBytes != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestCompactVerifiedChainUnderBudget(t *testing.T) {
+	s := newCompactSet(1)
+	const fp = uint64(7)
+	a, b := []byte("aaa"), []byte("bbb")
+	s.insert(fp, a, 5)
+	// Within budget the first entry kept its bytes, so the collision is
+	// detected and b stored (verified) on the chain.
+	if id, fresh, conf, _ := s.insert(fp, b, 6); !fresh || conf || id != 6 {
+		t.Fatalf("collider insert: id=%d fresh=%v conf=%v", id, fresh, conf)
+	}
+	if id, hit, conf := s.probe(fp, b); !hit || conf || id != 6 {
+		t.Fatalf("collider probe: id=%d hit=%v conf=%v", id, hit, conf)
+	}
+	if st := s.stats(); st.entries != 2 || st.arenaBytes != 6 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+// TestCompactConflationDeterministicAcrossEngines exhausts the
+// verified-bytes budget mid-run and requires all three engines to
+// report identical results and identical unverified-hit counts — the
+// determinism claim the compact parity contract rests on.
+func TestCompactConflationDeterministicAcrossEngines(t *testing.T) {
+	withCap(t, &compactVerifiedBudget, 128)
+	m := &counter{n: 20000, branch: true, quiet: 19999, bad: -1, errAt: -1}
+	opts := Options{DisableTraces: true, Store: StoreCompact}
+	seq := Check(m, opts)
+	if seq.Outcome != Complete {
+		t.Fatalf("seq = %v", seq)
+	}
+	if seq.Stats.Health.UnverifiedHits == 0 {
+		t.Fatal("budget 128 produced no unverified hits; test is vacuous")
+	}
+	for name, r := range map[string]Result{
+		"levels":   CheckParallel(m, opts, 4),
+		"pipeline": CheckPipelined(m, opts, 4, 8),
+	} {
+		if r.Outcome != seq.Outcome || r.States != seq.States ||
+			r.MaxDepth != seq.MaxDepth || r.Rules != seq.Rules {
+			t.Fatalf("%s: %v vs seq %v", name, r, seq)
+		}
+		if r.Stats.DedupHits != seq.Stats.DedupHits ||
+			r.Stats.Health.UnverifiedHits != seq.Stats.Health.UnverifiedHits {
+			t.Fatalf("%s: dedup=%d unverified=%d vs seq dedup=%d unverified=%d",
+				name, r.Stats.DedupHits, r.Stats.Health.UnverifiedHits,
+				seq.Stats.DedupHits, seq.Stats.Health.UnverifiedHits)
+		}
+	}
+}
+
+// --- batched vs one-at-a-time equivalence ---
+
+func TestInsertBatchMatchesSingleInserts(t *testing.T) {
+	for _, mode := range []Store{StoreExact, StoreCompact} {
+		t.Run(mode.String(), func(t *testing.T) {
+			batched := newVisitedSet(mode, 8)
+			single := newVisitedSet(mode, 8)
+			var sc setScratch
+			// Deterministic key stream with plenty of duplicates (small
+			// id space) hitting many shards.
+			keyOf := func(i int) []byte { return []byte(fmt.Sprintf("k-%03d", i%97)) }
+			nextB, nextS := int32(0), int32(0)
+			seen := make(map[string]bool)
+			for lo := 0; lo < 500; lo += 9 {
+				reqs := reqs500(keyOf, lo, 9, seen)
+				processed, fresh, err := batched.insertBatch(reqs, nextB, -1, &sc)
+				if err != nil || processed != len(reqs) {
+					t.Fatalf("batch @%d: processed=%d err=%v", lo, processed, err)
+				}
+				nextB += int32(fresh)
+				for _, r := range reqs {
+					if r.skip {
+						continue
+					}
+					id, fr, _, err := single.insert(r.fp, r.key, nextS)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if fr {
+						nextS++
+					}
+					if fr != r.fresh || id != r.id {
+						t.Fatalf("@%d key %q: batch (fresh=%v id=%d) vs single (fresh=%v id=%d)",
+							lo, r.key, r.fresh, r.id, fr, id)
+					}
+				}
+			}
+			if nextB != nextS {
+				t.Fatalf("fresh counts diverge: %d vs %d", nextB, nextS)
+			}
+			bs, ss := batched.stats(), single.stats()
+			if bs.entries != ss.entries || bs.arenaBytes != ss.arenaBytes {
+				t.Fatalf("stats diverge: %+v vs %+v", bs, ss)
+			}
+		})
+	}
+}
+
+// reqs500 builds one insert batch; keys already stored in earlier
+// batches are marked skip (the worker-proved-duplicate path).
+func reqs500(keyOf func(int) []byte, lo, n int, seen map[string]bool) []insertReq {
+	reqs := make([]insertReq, 0, n)
+	fresh := make(map[string]bool, n)
+	for i := lo; i < lo+n; i++ {
+		k := keyOf(i)
+		skip := seen[string(k)]
+		reqs = append(reqs, insertReq{fp: fingerprint(k), key: k, skip: skip})
+		fresh[string(k)] = true
+	}
+	for k := range fresh {
+		seen[k] = true
+	}
+	return reqs
+}
+
+func TestInsertBatchLimit(t *testing.T) {
+	s := newShardedSet(4)
+	var sc setScratch
+	reqs := make([]insertReq, 10)
+	for i := range reqs {
+		k := []byte(fmt.Sprintf("lim-%d", i))
+		reqs[i] = insertReq{fp: fingerprint(k), key: k}
+	}
+	processed, fresh, err := s.insertBatch(reqs, 0, 4, &sc)
+	if err != nil || processed != 4 || fresh != 4 {
+		t.Fatalf("processed=%d fresh=%d err=%v, want 4/4", processed, fresh, err)
+	}
+	if st := s.stats(); st.entries != 4 {
+		t.Fatalf("entries=%d, want 4 (limit must stop inserts too)", st.entries)
+	}
+}
+
+// --- concurrent probe during insert (the arena-append race) ---
+
+// TestConcurrentProbeDuringInsert drives probes (single and batched)
+// from several goroutines while the store thread keeps inserting —
+// including the arena/entry growth path, which reallocates the slices
+// a probe may be walking. Run under -race this pins the locking
+// contract; the id checks pin that published inserts are visible.
+func TestConcurrentProbeDuringInsert(t *testing.T) {
+	for _, mode := range []Store{StoreExact, StoreCompact} {
+		t.Run(mode.String(), func(t *testing.T) {
+			// 2 shards so thousands of inserts funnel into each shard's
+			// arena, forcing repeated growth while probes hold RLocks.
+			set := newVisitedSet(mode, 2)
+			const total = 20000
+			keys := make([][]byte, total)
+			fps := make([]uint64, total)
+			for i := range keys {
+				keys[i] = []byte(fmt.Sprintf("state-%08d-%s", i, strings.Repeat("x", i%13)))
+				fps[i] = fingerprint(keys[i])
+			}
+			var published atomic.Int32
+			var wg sync.WaitGroup
+			done := make(chan struct{})
+			for g := 0; g < 4; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					var sc setScratch
+					reqs := make([]probeReq, 0, 16)
+					for step := 0; ; step++ {
+						select {
+						case <-done:
+							return
+						default:
+						}
+						n := published.Load()
+						if n == 0 {
+							continue
+						}
+						i := (step*2654435761 + g) % int(n)
+						if id, hit, _ := set.probe(fps[i], keys[i]); !hit || id != int32(i) {
+							t.Errorf("probe %d: id=%d hit=%v", i, id, hit)
+							return
+						}
+						// Batched probe mixing stored and unseen keys.
+						reqs = reqs[:0]
+						for j := 0; j < 8; j++ {
+							k := (i + j) % int(n)
+							reqs = append(reqs, probeReq{fp: fps[k], key: keys[k]})
+						}
+						miss := []byte(fmt.Sprintf("unseen-%d-%d", g, step))
+						reqs = append(reqs, probeReq{fp: fingerprint(miss), key: miss})
+						set.probeBatch(reqs, &sc)
+						for j := 0; j < 8; j++ {
+							if !reqs[j].hit {
+								t.Errorf("batched probe missed stored key")
+								return
+							}
+						}
+						if reqs[8].hit {
+							t.Errorf("batched probe hit an unseen key")
+							return
+						}
+					}
+				}(g)
+			}
+			var sc setScratch
+			for i := 0; i < total; {
+				// Alternate single inserts and batches, as the engines do.
+				if i%3 == 0 {
+					if _, fresh, _, err := set.insert(fps[i], keys[i], int32(i)); err != nil || !fresh {
+						t.Fatalf("insert %d: fresh=%v err=%v", i, fresh, err)
+					}
+					i++
+				} else {
+					n := 8
+					if i+n > total {
+						n = total - i
+					}
+					reqs := make([]insertReq, n)
+					for j := 0; j < n; j++ {
+						reqs[j] = insertReq{fp: fps[i+j], key: keys[i+j]}
+					}
+					if _, fresh, err := set.insertBatch(reqs, int32(i), -1, &sc); err != nil || fresh != n {
+						t.Fatalf("insertBatch @%d: fresh=%d err=%v", i, fresh, err)
+					}
+					i += n
+				}
+				published.Store(int32(i))
+			}
+			close(done)
+			wg.Wait()
+		})
+	}
+}
+
+// --- dedup hot-path benchmarks ---
+
+// BenchmarkVisitedSet measures the canonicalize-free dedup hot path in
+// isolation — one insert plus two probes (one hit, one miss) per
+// 64-byte key, the mix a ~50% dedup-rate search produces. This is the
+// path hash compaction accelerates; end-to-end states/s gains are
+// bounded by the share of runtime the model's Successors leaves to it.
+func BenchmarkVisitedSet(b *testing.B) {
+	const n = 1 << 15
+	keys := make([][]byte, n)
+	fps := make([]uint64, n)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("%-64d", i))
+		fps[i] = fingerprint(keys[i])
+	}
+	for _, mode := range []Store{StoreExact, StoreCompact} {
+		b.Run(mode.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				set := newVisitedSet(mode, 1)
+				for j := 0; j < n; j++ {
+					if _, fresh, _, err := set.insert(fps[j], keys[j], int32(j)); err != nil || !fresh {
+						b.Fatal(fresh, err)
+					}
+					if _, hit, _ := set.probe(fps[j/2], keys[j/2]); !hit {
+						b.Fatal("miss on stored key")
+					}
+					miss := fps[j] ^ 0x9e3779b97f4a7c15
+					set.probe(miss, keys[j])
+				}
+			}
+			b.ReportMetric(float64(n), "states")
+		})
+	}
+}
+
+// BenchmarkCheckStore runs the full sequential engine on a model with
+// a near-free Successors, so the visited set dominates end to end.
+func BenchmarkCheckStore(b *testing.B) {
+	for _, mode := range []Store{StoreExact, StoreCompact} {
+		b.Run(mode.String(), func(b *testing.B) {
+			m := &counter{n: 200_000, branch: true, quiet: 199_999, bad: -1, errAt: -1}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res := Check(m, Options{DisableTraces: true, Store: mode})
+				if res.Outcome != Complete {
+					b.Fatal(res)
+				}
+			}
+			b.ReportMetric(200_000, "states")
+		})
+	}
+}
+
+// --- snapshot rate math (the +Inf/NaN bugfix) ---
+
+func TestSanitizeRate(t *testing.T) {
+	for _, v := range []float64{math.NaN(), math.Inf(1), math.Inf(-1), -1} {
+		if got := sanitizeRate(v); got != 0 {
+			t.Errorf("sanitizeRate(%v) = %v, want 0", v, got)
+		}
+	}
+	if got := sanitizeRate(12.5); got != 12.5 {
+		t.Errorf("sanitizeRate(12.5) = %v", got)
+	}
+}
+
+// TestSnapshotZeroElapsed pins that a snapshot taken at (or before)
+// zero elapsed time reports finite rates and survives JSON encoding —
+// encoding/json rejects +Inf/NaN, which would break -stats-json
+// artifacts on sub-resolution runs.
+func TestSnapshotZeroElapsed(t *testing.T) {
+	// A start time in the future forces elapsed <= 0, the degenerate
+	// case a sub-resolution clock read produces.
+	tr := newTracker(Options{}, time.Now().Add(time.Hour), false)
+	tr.recordProbe(1, 0, true, false)
+	tr.recordProbe(1, 0, false, false)
+	s := tr.snapshot(10, 2, 1, 5, true)
+	if s.ElapsedSeconds != 0 {
+		t.Errorf("ElapsedSeconds = %v, want 0", s.ElapsedSeconds)
+	}
+	if s.StatesPerSec != 0 {
+		t.Errorf("StatesPerSec = %v, want 0", s.StatesPerSec)
+	}
+	if math.IsNaN(s.DedupHitRate) || math.IsInf(s.DedupHitRate, 0) {
+		t.Errorf("DedupHitRate = %v", s.DedupHitRate)
+	}
+	raw, err := json.Marshal(s)
+	if err != nil {
+		t.Fatalf("snapshot does not JSON-encode: %v", err)
+	}
+	if strings.Contains(string(raw), "Inf") || strings.Contains(string(raw), "NaN") {
+		t.Fatalf("non-finite value leaked into JSON: %s", raw)
+	}
+	// Zero probes: DedupHitRate guard (0/0) must also hold.
+	tr2 := newTracker(Options{}, time.Now(), false)
+	if s2 := tr2.snapshot(0, 0, 0, 0, true); s2.DedupHitRate != 0 {
+		t.Errorf("zero-probe DedupHitRate = %v", s2.DedupHitRate)
+	}
+}

@@ -80,9 +80,20 @@ type Report struct {
 	OccMean float64 `json:"occ_mean"`
 	OccCV   float64 `json:"occ_cv"`
 
-	// ArenaBytes is the canonical-state arena footprint of the sharded
-	// visited set (pipeline engine only).
+	// ArenaBytes counts full canonical state bytes retained by the
+	// visited set: the whole arena for the exact sharded set, only the
+	// collision-verification cache for the compact one. Map-backed
+	// exact engines report 0 (their key bytes live inside SetBytes).
 	ArenaBytes int64 `json:"arena_bytes,omitempty"`
+	// SetBytes approximates the visited set's total footprint —
+	// canonical bytes plus index structures — the number the
+	// exact-vs-compact store comparison is about.
+	SetBytes int64 `json:"set_bytes,omitempty"`
+	// UnverifiedHits counts duplicate verdicts the compact store could
+	// not byte-verify (hash-compaction conflations). Always 0 for the
+	// exact store; deterministic and identical across engines for the
+	// compact one.
+	UnverifiedHits int64 `json:"unverified_hits,omitempty"`
 	// LockWaitNS is the summed shard-lock acquisition wait over
 	// LockWaitSamples sampled acquisitions (1-in-N by fingerprint), so
 	// LockWaitNS/LockWaitSamples estimates the mean wait per
@@ -239,7 +250,8 @@ func (s *WorkerSet) Stats() []WorkerStats {
 //	mc_worker_expand_seconds{worker="i"}
 //	mc_worker_queue_wait_seconds{worker="i"}
 //	mc_worker_send_wait_seconds{worker="i"}
-//	mc_lock_wait_seconds, mc_arena_bytes, mc_reorder_stalls, mc_reorder_max
+//	mc_lock_wait_seconds, mc_arena_bytes, mc_set_bytes,
+//	mc_unverified_hits, mc_reorder_stalls, mc_reorder_max
 //
 // A nil report writes nothing and returns nil.
 func (r *Report) WritePromText(w io.Writer) error {
@@ -291,8 +303,11 @@ func (r *Report) WritePromText(w io.Writer) error {
 	_, err := fmt.Fprintf(w,
 		"# TYPE mc_lock_wait_seconds gauge\nmc_lock_wait_seconds %g\n"+
 			"# TYPE mc_arena_bytes gauge\nmc_arena_bytes %d\n"+
+			"# TYPE mc_set_bytes gauge\nmc_set_bytes %d\n"+
+			"# TYPE mc_unverified_hits gauge\nmc_unverified_hits %d\n"+
 			"# TYPE mc_reorder_stalls gauge\nmc_reorder_stalls %d\n"+
 			"# TYPE mc_reorder_max gauge\nmc_reorder_max %d\n",
-		float64(r.LockWaitNS)/1e9, r.ArenaBytes, r.ReorderStalls, r.ReorderMax)
+		float64(r.LockWaitNS)/1e9, r.ArenaBytes, r.SetBytes, r.UnverifiedHits,
+		r.ReorderStalls, r.ReorderMax)
 	return err
 }

@@ -73,6 +73,10 @@ type Options struct {
 	MaxStates int
 	// Engines to cross-check (default seq, levels, pipeline).
 	Engines []mc.Engine
+	// Stores to cross-check (default exact only). With more than one,
+	// every engine runs under every store and all answers must agree —
+	// the exact-vs-compact differential applied to mutants.
+	Stores []mc.Store
 	// Workers/Shards for the parallel engines (default 2 workers).
 	Workers, Shards int
 	// AnalysisHook, when non-nil, runs on the analysis result before
@@ -96,6 +100,9 @@ func (o Options) normalized() Options {
 	if len(o.Engines) == 0 {
 		o.Engines = []mc.Engine{mc.EngineSeq, mc.EngineLevels, mc.EnginePipeline}
 	}
+	if len(o.Stores) == 0 {
+		o.Stores = []mc.Store{mc.StoreExact}
+	}
 	if o.Workers <= 0 {
 		o.Workers = 2
 	}
@@ -106,6 +113,7 @@ func (o Options) normalized() Options {
 type RunRecord struct {
 	Phase    string `json:"phase"` // "screen" or "assigned"
 	Engine   string `json:"engine"`
+	Store    string `json:"store"`
 	Outcome  string `json:"outcome"`
 	States   int    `json:"states"`
 	MaxDepth int    `json:"max_depth"`
@@ -210,25 +218,28 @@ func runAllEngines(p *protocol.Protocol, vn map[string]int, numVNs int,
 	if err != nil {
 		return mc.Result{}, VerdictDynInvalid, err.Error()
 	}
-	mopts := mc.Options{MaxStates: opts.MaxStates, DisableTraces: true}
-
 	var first mc.Result
-	var firstEng mc.Engine
-	for i, eng := range opts.Engines {
-		r := mc.CheckEngine(sys, mopts, eng, opts.Workers, opts.Shards)
-		res.Runs = append(res.Runs, RunRecord{
-			Phase: phase, Engine: eng.String(), Outcome: r.Outcome.Tag(),
-			States: r.States, MaxDepth: r.MaxDepth,
-		})
-		if i == 0 {
-			first, firstEng = r, eng
-			continue
-		}
-		if r.Outcome != first.Outcome || r.States != first.States || r.MaxDepth != first.MaxDepth {
-			detail := fmt.Sprintf("%s phase: %s=(%s,%d states,depth %d) vs %s=(%s,%d states,depth %d)",
-				phase, firstEng, first.Outcome.Tag(), first.States, first.MaxDepth,
-				eng, r.Outcome.Tag(), r.States, r.MaxDepth)
-			return first, VerdictParityBug, detail
+	var firstTag string
+	for _, st := range opts.Stores {
+		mopts := mc.Options{MaxStates: opts.MaxStates, DisableTraces: true, Store: st}
+		for _, eng := range opts.Engines {
+			r := mc.CheckEngine(sys, mopts, eng, opts.Workers, opts.Shards)
+			res.Runs = append(res.Runs, RunRecord{
+				Phase: phase, Engine: eng.String(), Store: st.String(),
+				Outcome: r.Outcome.Tag(),
+				States:  r.States, MaxDepth: r.MaxDepth,
+			})
+			tag := eng.String() + "/" + st.String()
+			if firstTag == "" {
+				first, firstTag = r, tag
+				continue
+			}
+			if r.Outcome != first.Outcome || r.States != first.States || r.MaxDepth != first.MaxDepth {
+				detail := fmt.Sprintf("%s phase: %s=(%s,%d states,depth %d) vs %s=(%s,%d states,depth %d)",
+					phase, firstTag, first.Outcome.Tag(), first.States, first.MaxDepth,
+					tag, r.Outcome.Tag(), r.States, r.MaxDepth)
+				return first, VerdictParityBug, detail
+			}
 		}
 	}
 	return first, VerdictOK, ""
@@ -242,7 +253,7 @@ func (c *CaseResult) Summary() string {
 		fmt.Fprintf(&b, " (%s)", c.Detail)
 	}
 	for _, r := range c.Runs {
-		fmt.Fprintf(&b, "\n  %-8s %-8s %-10s states=%-8d depth=%d", r.Phase, r.Engine, r.Outcome, r.States, r.MaxDepth)
+		fmt.Fprintf(&b, "\n  %-8s %-8s %-8s %-10s states=%-8d depth=%d", r.Phase, r.Engine, r.Store, r.Outcome, r.States, r.MaxDepth)
 	}
 	return b.String()
 }

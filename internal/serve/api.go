@@ -50,7 +50,11 @@ type AnalyzeRequest struct {
 // directories, 2 addresses, minimal VN assignment, BFS) under the
 // server's state bound. Engine, Workers, and Shards are performance
 // knobs: the engine-parity contract guarantees they cannot change the
-// result, so they are excluded from the cache key.
+// result, so they are excluded from the cache key. Store is NOT such
+// a knob: a hash-compacted visited set can (with ~n²/2⁶⁵ probability)
+// conflate distinct states and change the outcome class, so it is
+// part of the cache key — an exact result is never served for a
+// compact request or vice versa.
 type VerifyOptions struct {
 	VN        string `json:"vn,omitempty"` // minimal | permsg | uniform | type
 	Caches    int    `json:"caches,omitempty"`
@@ -68,6 +72,7 @@ type VerifyOptions struct {
 	NoSymmetry    bool   `json:"no_symmetry,omitempty"`
 	Invariants    bool   `json:"invariants,omitempty"`
 	Engine        string `json:"engine,omitempty"`
+	Store         string `json:"store,omitempty"` // exact | compact
 	Workers       int    `json:"workers,omitempty"`
 	Shards        int    `json:"shards,omitempty"`
 }
@@ -114,6 +119,7 @@ type VerifyResult struct {
 	Dirs            int            `json:"dirs"`
 	Addrs           int            `json:"addrs"`
 	Engine          string         `json:"engine"`
+	Store           string         `json:"store"`
 	Outcome         string         `json:"outcome"`
 	States          int            `json:"states"`
 	Rules           int            `json:"rules"`
@@ -188,6 +194,8 @@ type normVerifyOptions struct {
 	NoRepl    bool   `json:"no_repl"`
 	NoSym     bool   `json:"no_sym"`
 	Invar     bool   `json:"invariants"`
+	// Store is result-affecting (see VerifyOptions) and therefore keyed.
+	Store string `json:"store"`
 }
 
 func normalizeVerifyOptions(o VerifyOptions, maxStatesCap int) (normVerifyOptions, error) {
@@ -236,6 +244,11 @@ func normalizeVerifyOptions(o VerifyOptions, maxStatesCap int) (normVerifyOption
 		}
 		n.P2P = *o.P2P
 	}
+	st, err := mc.ParseStore(o.Store)
+	if err != nil {
+		return n, &RequestError{msg: err.Error()}
+	}
+	n.Store = st.String()
 	return n, nil
 }
 
@@ -383,11 +396,15 @@ func prepareVerify(req VerifyRequest, maxStatesCap, progressEvery int) (*task, e
 	if err != nil {
 		return nil, err
 	}
+	// norm.Store was validated by normalizeVerifyOptions; re-parse for
+	// the typed value.
+	storeMode, _ := mc.ParseStore(norm.Store)
 	opts := mc.Options{
 		MaxStates:     norm.MaxStates,
 		MaxDepth:      norm.MaxDepth,
 		DisableTraces: true,
 		ProgressEvery: progressEvery,
+		Store:         storeMode,
 	}
 	if norm.Strategy == "dfs" {
 		opts.Strategy = mc.DFS
@@ -414,6 +431,7 @@ func prepareVerify(req VerifyRequest, maxStatesCap, progressEvery int) (*task, e
 				VNMode:   norm.VN, NumVNs: numVNs, VN: vn,
 				Caches: norm.Caches, Dirs: norm.Dirs, Addrs: norm.Addrs,
 				Engine:          engine.String(),
+				Store:           norm.Store,
 				Outcome:         res.Outcome.Tag(),
 				States:          res.States,
 				Rules:           res.Rules,

@@ -92,6 +92,10 @@ func TestVerifyKeyIgnoresPerfKnobs(t *testing.T) {
 		"strategy":   func(r *VerifyRequest) { r.Options.Strategy = "dfs" },
 		"invariants": func(r *VerifyRequest) { r.Options.Invariants = true },
 		"p2p":        func(r *VerifyRequest) { v := 1; r.Options.P2P = &v },
+		// Store is deliberately NOT a perf knob: compact can change the
+		// outcome class, so exact and compact results must never share a
+		// cache entry.
+		"store": func(r *VerifyRequest) { r.Options.Store = "compact" },
 	} {
 		req := base
 		mutate(&req)
@@ -121,6 +125,30 @@ func TestVerifyKeyClampsMaxStates(t *testing.T) {
 	}
 	if unbounded.key != atCap.key || overCap.key != atCap.key {
 		t.Error("clamped max_states requests do not share a cache key")
+	}
+}
+
+// TestVerifyKeyNormalizesStore pins that the default and an explicit
+// "exact" share one cache entry, and that an unknown store is a 400.
+func TestVerifyKeyNormalizesStore(t *testing.T) {
+	const cap = 10_000
+	def, err := prepareVerify(VerifyRequest{Protocol: "MSI_nonblocking_cache"}, cap, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := prepareVerify(VerifyRequest{Protocol: "MSI_nonblocking_cache",
+		Options: VerifyOptions{Store: "exact"}}, cap, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if def.key != exact.key {
+		t.Error("default and explicit exact store do not share a cache key")
+	}
+	_, err = prepareVerify(VerifyRequest{Protocol: "MSI_nonblocking_cache",
+		Options: VerifyOptions{Store: "bogus"}}, cap, 0)
+	var re *RequestError
+	if !errors.As(err, &re) {
+		t.Errorf("bogus store: err = %v, want *RequestError", err)
 	}
 }
 
