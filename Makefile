@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt check bench bench-smoke bench-gate fuzz-smoke table serve serve-smoke
+.PHONY: build test race vet fmt check bench bench-smoke bench-gate fuzz-smoke table serve serve-smoke family family-smoke family-cover
 
 build:
 	$(GO) build ./...
@@ -55,6 +55,28 @@ fuzz-smoke:
 
 table:
 	$(GO) run ./cmd/vntable -extensions
+
+# Regenerate FAMILY_mc.json: every built-in in stalling and derived
+# non-stalling form plus the two-level composites, analyzed statically
+# and model checked on every engine × store combination (~30s).
+family:
+	$(GO) run ./cmd/vnsweep -out FAMILY_mc.json
+
+# CI gate for the family sweep: recompute the whole campaign and
+# compare classes, min-VN counts, and per-combination outcomes (plus
+# states/depth for completed runs) against the checked-in
+# FAMILY_mc.json. Cross-engine/cross-store disagreement fails the run
+# on its own; on any mismatch the recomputed table is left in
+# FAMILY_mc.json.fresh as the failure artifact.
+family-smoke:
+	$(GO) run ./cmd/vnsweep -check FAMILY_mc.json
+
+# Coverage summary for the synthesis stack: the transform/compose
+# pass, the property-test harness that differentially checks it, and
+# the commands that consume it.
+family-cover:
+	$(GO) test -short -cover ./internal/protocol/xform/ ./internal/ptest/ \
+		./cmd/vnsweep/ ./cmd/vntable/
 
 # Run the analysis service in the foreground (SIGINT/SIGTERM drains
 # gracefully and exits 0).

@@ -50,6 +50,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		caches    = fs.Int("caches", 3, "number of caches (paper: 3)")
 		dirs      = fs.Int("dirs", 2, "number of directories (paper: 2)")
 		addrs     = fs.Int("addrs", 2, "number of addresses (paper: 2)")
+		l2s       = fs.Int("l2s", 0, "L2 clusters for two-level protocols (0 = 1 when the protocol is two-level)")
 		strategy  = fs.String("strategy", "dfs", "search order: dfs | bfs (dfs finds deep deadlocks cheaply)")
 		maxStates = fs.Int("max-states", 600_000, "state limit for the deadlock hunt (0 = none)")
 		seedOwned = fs.Bool("seed-owned", true, "seed the search with the Fig. 3 ownership prefix")
@@ -76,6 +77,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "vnexplain:", err)
 		return 1
 	}
+	if p.TwoLevel() && *l2s == 0 {
+		*l2s = 1
+	}
 
 	var vn map[string]int
 	var numVNs int
@@ -98,7 +102,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	cfg := machine.Config{
-		Protocol: p, Caches: *caches, Dirs: *dirs, Addrs: *addrs,
+		Protocol: p, Caches: *caches, Dirs: *dirs, Addrs: *addrs, L2s: *l2s,
 		VN: vn, NumVNs: numVNs,
 	}
 	if *noRepl {
@@ -131,8 +135,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		opts.Observer = prof
 	}
 
-	fmt.Fprintf(stdout, "hunting a deadlock in %s: %d caches, %d dirs, %d addrs, %d VNs (%s), %v\n",
-		p.Name, *caches, *dirs, *addrs, numVNs, *vnMode, opts.Strategy)
+	if *l2s > 0 {
+		fmt.Fprintf(stdout, "hunting a deadlock in %s: %d caches, %d l2s, %d dirs, %d addrs, %d VNs (%s), %v\n",
+			p.Name, *caches, *l2s, *dirs, *addrs, numVNs, *vnMode, opts.Strategy)
+	} else {
+		fmt.Fprintf(stdout, "hunting a deadlock in %s: %d caches, %d dirs, %d addrs, %d VNs (%s), %v\n",
+			p.Name, *caches, *dirs, *addrs, numVNs, *vnMode, opts.Strategy)
+	}
 	res := mc.Check(model, opts)
 	if err := tel.WriteTrace(stdout); err != nil {
 		fmt.Fprintln(stderr, "vnexplain: trace-out:", err)

@@ -7,6 +7,10 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"minvn/internal/protocol"
+	"minvn/internal/protocol/xform"
+	"minvn/internal/protocols"
 )
 
 var update = flag.Bool("update", false, "rewrite golden files")
@@ -62,6 +66,60 @@ func TestGoldenMSIBlocking(t *testing.T) {
 	for _, want := range []string{"digraph deadlock", "\"Fwd-GetM\"", "color=red", "style=dashed", "queues C0.vn5"} {
 		if !strings.Contains(string(data), want) {
 			t.Errorf("dot output misses %q:\n%s", want, data)
+		}
+	}
+}
+
+// TestGoldenComposite pins the explanation of the two-level
+// MSI-under-MESI composite wedging under a single uniform VN: the
+// request the L1 re-queues behind its own launch shares the network
+// with the outer protocol's responses, and the sequential DFS finds
+// the resulting cycle in a handful of states. The composite is built
+// by the transform pass, so this golden also pins Compose's renaming
+// and pruning end to end. Regenerate with:
+//
+//	go test ./cmd/vnexplain -run TestGolden -update
+func TestGoldenComposite(t *testing.T) {
+	comp, err := xform.Compose(
+		protocols.MustLoad("MSI_blocking_cache"),
+		protocols.MustLoad("MESI_blocking_cache"), "MSI_under_MESI")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := protocol.Encode(comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	file := filepath.Join(t.TempDir(), "composite.json")
+	if err := os.WriteFile(file, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-file", "-vn", "uniform", "-caches", "2", "-dirs", "1",
+		"-addrs", "1", "-seed-owned=false", "-chart", "8", file}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("run = %d, stderr: %s", code, stderr.String())
+	}
+	got := stdout.String()
+	for _, want := range []string{"MSI_under_MESI", "2 caches, 1 l2s", "deadlock after"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("output misses %q:\n%s", want, got)
+		}
+	}
+
+	golden := filepath.Join("testdata", "composite.golden")
+	if *update {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		want, err := os.ReadFile(golden)
+		if err != nil {
+			t.Fatalf("missing golden file (run with -update): %v", err)
+		}
+		if got != string(want) {
+			t.Errorf("output changed; run with -update if intended.\n--- got ---\n%s--- want ---\n%s", got, want)
 		}
 	}
 }

@@ -1,0 +1,98 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestAgrees pins the cross-combination contract: outcomes must match
+// unconditionally, state and depth counts only for completed runs.
+func TestAgrees(t *testing.T) {
+	base := runRec{Engine: "seq", Store: "exact", Outcome: "complete", States: 100, Depth: 10}
+	cases := []struct {
+		name string
+		runs []runRec
+		want bool
+	}{
+		{"single", []runRec{base}, true},
+		{"identical", []runRec{base, base}, true},
+		{"outcome-drift", []runRec{base,
+			{Engine: "levels", Store: "exact", Outcome: "deadlock", States: 100, Depth: 10}}, false},
+		{"states-drift-complete", []runRec{base,
+			{Engine: "levels", Store: "exact", Outcome: "complete", States: 99, Depth: 10}}, false},
+		{"depth-drift-complete", []runRec{base,
+			{Engine: "levels", Store: "exact", Outcome: "complete", States: 100, Depth: 11}}, false},
+		{"counts-free-when-bounded", []runRec{
+			{Engine: "seq", Store: "exact", Outcome: "bounded", States: 100, Depth: 10},
+			{Engine: "levels", Store: "exact", Outcome: "bounded", States: 73, Depth: 14}}, true},
+		{"counts-free-when-deadlock", []runRec{
+			{Engine: "seq", Store: "exact", Outcome: "deadlock", States: 50, Depth: 9},
+			{Engine: "seq", Store: "compact", Outcome: "deadlock", States: 61, Depth: 12}}, true},
+	}
+	for _, tc := range cases {
+		if got := agrees(tc.runs); got != tc.want {
+			t.Errorf("%s: agrees = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestCheckAgainst covers the baseline comparison: a file round-trip
+// agrees with itself, and each guarded column drifts loudly.
+func TestCheckAgainst(t *testing.T) {
+	fresh := &familyFile{
+		Tool:    "vnsweep",
+		Config:  config{Caches: 2, Dirs: 1, Addrs: 1, L2s: 1, MaxStates: 1000},
+		Engines: "seq",
+		Stores:  "exact",
+		Rows: []row{{
+			Protocol: "MSI_blocking_cache", Family: "MSI_blocking_cache",
+			Variant: "stalling", Messages: 13, Class: "Class 2",
+			VNMode: "permsg", NumVNsUsed: 13,
+			Runs:  []runRec{{Engine: "seq", Store: "exact", Outcome: "complete", States: 500, Depth: 20}},
+			Agree: true,
+		}},
+	}
+	path := filepath.Join(t.TempDir(), "family.json")
+	if err := writeJSON(path, fresh); err != nil {
+		t.Fatal(err)
+	}
+	if err := checkAgainst(path, fresh); err != nil {
+		t.Fatalf("self-comparison failed: %v", err)
+	}
+
+	mutate := func(f func(*familyFile)) *familyFile {
+		clone := *fresh
+		clone.Rows = append([]row(nil), fresh.Rows...)
+		clone.Rows[0].Runs = append([]runRec(nil), fresh.Rows[0].Runs...)
+		f(&clone)
+		return &clone
+	}
+	drifts := []struct {
+		name string
+		ff   *familyFile
+		want string
+	}{
+		{"config", mutate(func(f *familyFile) { f.Config.Caches = 3 }), "configuration drift"},
+		{"row-count", mutate(func(f *familyFile) { f.Rows = append(f.Rows, row{Protocol: "extra"}) }), "row count drift"},
+		{"class", mutate(func(f *familyFile) { f.Rows[0].Class = "Class 3" }), "drifted"},
+		{"min-vn", mutate(func(f *familyFile) { f.Rows[0].MinVNs = 2 }), "drifted"},
+		{"outcome", mutate(func(f *familyFile) { f.Rows[0].Runs[0].Outcome = "deadlock" }), "outcome"},
+		{"states", mutate(func(f *familyFile) { f.Rows[0].Runs[0].States = 501 }), "states/depth drift"},
+	}
+	for _, tc := range drifts {
+		err := checkAgainst(path, tc.ff)
+		if err == nil {
+			t.Errorf("%s: drift not detected", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+
+	if err := checkAgainst(filepath.Join(t.TempDir(), "missing.json"), fresh); !os.IsNotExist(err) {
+		t.Errorf("missing baseline: err = %v, want not-exist", err)
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"minvn/internal/mc"
 	"minvn/internal/obs"
 	"minvn/internal/protocol"
+	"minvn/internal/protocol/xform"
 	"minvn/internal/protocols"
 	"minvn/internal/vnassign"
 )
@@ -72,6 +73,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		runMC     = fs.Bool("mc", false, "also run the model-checking verification per cell")
 		maxStates = fs.Int("max-states", 300_000, "state limit per model-checking run")
 		ext       = fs.Bool("extensions", false, "include the extension protocols (MESIF, TileLink, MSI_completion)")
+		family    = fs.Bool("family", false, "append the synthesized family rows (non-stalling variants and two-level composites)")
 		caches    = fs.Int("caches", 3, "caches for model checking")
 		dirs      = fs.Int("dirs", 2, "directories for model checking")
 		addrs     = fs.Int("addrs", 2, "addresses for model checking")
@@ -122,13 +124,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			a := vnassign.AssignFromAnalysis(res)
 			tb := vnassign.Textbook(res)
 
-			var static string
-			switch a.Class {
-			case vnassign.Class2:
-				static = "Class 2 (no finite assignment)"
-			default:
-				static = fmt.Sprintf("%d VN", a.NumVNs)
-			}
+			static := staticLabel(a)
 
 			ar := map[string]any{
 				"experiment":   r.experiment,
@@ -162,6 +158,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	w.Flush()
 
+	if *family {
+		if err := printFamily(stdout, &artRows); err != nil {
+			fmt.Fprintln(stderr, "vntable:", err)
+			return 1
+		}
+	}
+
 	if err := tel.WriteTrace(stdout); err != nil {
 		fmt.Fprintln(stderr, "vntable: trace-out:", err)
 		return 1
@@ -190,6 +193,72 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stdout, "wrote %s\n", tel.StatsJSON)
 	}
 	return exitCode
+}
+
+// printFamily appends the synthesized protocol family: every
+// built-in's non-stalling variant (stall-on-receive rewritten into
+// explicit replay messages) and the two-level composites the sweep in
+// cmd/vnsweep model checks. Static analysis only — FAMILY_mc.json
+// holds the model-checked half.
+func printFamily(stdout io.Writer, artRows *[]map[string]any) error {
+	fmt.Fprintln(stdout)
+	fmt.Fprintln(stdout, "family synthesis (static; model-checked sweep in FAMILY_mc.json):")
+	w := tabwriter.NewWriter(stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "derivation\tprotocol\tparent static\tderived static\tmessages")
+	fmt.Fprintln(w, "----------\t--------\t-------------\t--------------\t--------")
+
+	emit := func(derivation string, parent, derived *protocol.Protocol) {
+		parentStatic := "-"
+		var delta string
+		if parent != nil {
+			parentStatic = staticLabel(vnassign.Assign(parent))
+			delta = fmt.Sprintf("%d -> %d", len(parent.Messages), len(derived.Messages))
+		} else {
+			delta = fmt.Sprintf("%d", len(derived.Messages))
+		}
+		derivedStatic := staticLabel(vnassign.Assign(derived))
+		fmt.Fprintf(w, "%s\t%s\t%s\t%s\t%s\n",
+			derivation, derived.Name, parentStatic, derivedStatic, delta)
+		*artRows = append(*artRows, map[string]any{
+			"experiment": "family",
+			"derivation": derivation,
+			"protocol":   derived.Name,
+			"parent":     parentStatic,
+			"static":     derivedStatic,
+		})
+	}
+
+	for _, name := range protocols.Names() {
+		parent := protocols.MustLoad(name)
+		ns, err := xform.NonStalling(parent)
+		if err != nil {
+			return fmt.Errorf("non-stalling %s: %w", name, err)
+		}
+		kind := "non-stalling"
+		if len(ns.Messages) == len(parent.Messages) {
+			kind = "non-stalling (identity)"
+		}
+		emit(kind, parent, ns)
+	}
+	for _, c := range []struct{ name, inner, outer string }{
+		{"MSI_under_MESI", "MSI_blocking_cache", "MESI_blocking_cache"},
+		{"MESI_under_MESI", "MESI_blocking_cache", "MESI_blocking_cache"},
+		{"MSInb_under_MESI", "MSI_nonblocking_cache", "MESI_blocking_cache"},
+	} {
+		comp, err := xform.Compose(protocols.MustLoad(c.inner), protocols.MustLoad(c.outer), c.name)
+		if err != nil {
+			return fmt.Errorf("compose %s: %w", c.name, err)
+		}
+		emit(fmt.Sprintf("compose %s under %s", c.inner, c.outer), nil, comp)
+	}
+	return w.Flush()
+}
+
+func staticLabel(a *vnassign.Assignment) string {
+	if a.Class == vnassign.Class2 {
+		return "Class 2 (no finite assignment)"
+	}
+	return fmt.Sprintf("%d VN", a.NumVNs)
 }
 
 // runModelCheck verifies one cell. For "deadlock" cells, every message

@@ -20,6 +20,7 @@ func TestGolden(t *testing.T) {
 	}{
 		{"table", nil},
 		{"table_extensions", []string{"-extensions"}},
+		{"table_family", []string{"-extensions", "-family"}},
 	}
 	for _, tc := range cases {
 		tc := tc

@@ -71,6 +71,12 @@ func (s *System) decodeInto(st *state, raw []byte) {
 			i += 4
 		}
 	}
+	if s.cfg.L2s > 0 {
+		for a := 0; a < s.cfg.Addrs; a++ {
+			st.l2[a] = l2Entry{raw[i], raw[i+1], raw[i+2], bInt8(raw[i+3]), bInt8(raw[i+4])}
+			i += 5
+		}
+	}
 	for a := 0; a < s.cfg.Addrs; a++ {
 		st.dir[a] = dirEntry{raw[i], raw[i+1], raw[i+2], bInt8(raw[i+3])}
 		i += 4
@@ -99,19 +105,21 @@ func (s *System) permuteInto(dst, st *state, perm []int) {
 			}
 		}
 	}
+	copy(dst.l2, st.l2)
+	for a := range dst.l2 {
+		e := &dst.l2[a]
+		if e.owner != 0 {
+			e.owner = permuteEndpoint(perm, e.owner-1) + 1
+		}
+		e.sharers = permuteMask(perm, e.sharers)
+	}
 	copy(dst.dir, st.dir)
 	for a := range dst.dir {
 		e := &dst.dir[a]
 		if e.owner != 0 {
 			e.owner = permuteEndpoint(perm, e.owner-1) + 1
 		}
-		var sh uint8
-		for c := 0; c < s.cfg.Caches; c++ {
-			if e.sharers&(1<<uint(c)) != 0 {
-				sh |= 1 << uint(perm[c])
-			}
-		}
-		e.sharers = sh
+		e.sharers = permuteMask(perm, e.sharers)
 	}
 	permMsg := func(m icn.Message) icn.Message {
 		m.Src = permuteEndpoint(perm, m.Src)

@@ -4,8 +4,6 @@ import (
 	"fmt"
 	"sort"
 	"strings"
-
-	"minvn/internal/protocol"
 )
 
 // Deadlock explanation: given a wedged state, reconstruct the wait-for
@@ -61,15 +59,7 @@ func (s *System) Explain(raw []byte) *Explanation {
 				continue
 			}
 			m := q[0]
-			var ctrl *protocol.Controller
-			var stateName string
-			if s.isCache(ep) {
-				ctrl = s.p.Cache
-				stateName = s.cacheStates[st.cache[ep][m.Addr].state]
-			} else {
-				ctrl = s.p.Dir
-				stateName = s.dirStates[st.dir[m.Addr].state]
-			}
+			ctrl, stateName := s.ctrlAt(st, ep, int(m.Addr))
 			ev := s.resolveEvent(st, ep, m)
 			t := lookup(ctrl, stateName, ev)
 			if t == nil || !t.Stall {
@@ -104,6 +94,13 @@ func (s *System) Explain(raw []byte) *Explanation {
 				ex.PendingTransients = append(ex.PendingTransients,
 					fmt.Sprintf("cache %d a%d in %s", c, a, name))
 			}
+		}
+	}
+	for a := range st.l2 {
+		name := s.l2States[st.l2[a].state]
+		if s.p.L2.States[name].Transient {
+			ex.PendingTransients = append(ex.PendingTransients,
+				fmt.Sprintf("l2(a%d) in %s", a, name))
 		}
 	}
 	for a := 0; a < s.cfg.Addrs; a++ {
@@ -158,13 +155,7 @@ func (s *System) SequenceChart(trace [][]byte, maxRows int) string {
 	// Header.
 	fmt.Fprintf(&b, "%-6s", "step")
 	for ep := 0; ep < s.endpoints; ep++ {
-		kind := "C"
-		n := ep
-		if !s.isCache(ep) {
-			kind = "D"
-			n = ep - s.cfg.Caches
-		}
-		fmt.Fprintf(&b, " %-14s", fmt.Sprintf("%s%d", kind, n))
+		fmt.Fprintf(&b, " %-14s", s.epLabel(ep))
 	}
 	b.WriteString("\n")
 
@@ -178,13 +169,22 @@ func (s *System) SequenceChart(trace [][]byte, maxRows int) string {
 		fmt.Fprintf(&b, "%-6d", i)
 		for ep := 0; ep < s.endpoints; ep++ {
 			cell := ""
-			if s.isCache(ep) {
+			switch {
+			case s.isCache(ep):
 				var parts []string
 				for a := 0; a < s.cfg.Addrs; a++ {
 					parts = append(parts, s.cacheStates[st.cache[ep][a].state])
 				}
 				cell = strings.Join(parts, "/")
-			} else {
+			case s.isL2(ep):
+				var parts []string
+				for a := 0; a < s.cfg.Addrs; a++ {
+					if s.innerHome(a) == ep {
+						parts = append(parts, s.l2States[st.l2[a].state])
+					}
+				}
+				cell = strings.Join(parts, "/")
+			default:
 				var parts []string
 				for a := 0; a < s.cfg.Addrs; a++ {
 					if s.home(a) == ep {

@@ -23,6 +23,13 @@ type Config struct {
 	Caches   int
 	Dirs     int
 	Addrs    int
+	// L2s is the number of L2 home nodes for a two-level composite
+	// protocol (Protocol.L2 != nil); it must be 0 for flat protocols.
+	// Address a is homed at L2 a mod L2s on the inner tier and at
+	// directory a mod Dirs on the outer tier. Endpoint ids run caches,
+	// then L2 homes, then directories. Caches+L2s must stay ≤ 8 (the
+	// sharer bitmasks are bytes of absolute endpoint ids).
+	L2s int
 	// VN maps message names to virtual networks; NumVNs must exceed
 	// every value. Helpers in this package build common assignments.
 	VN     map[string]int
@@ -71,6 +78,8 @@ type System struct {
 	cacheStateIdx map[string]uint8
 	dirStates     []string
 	dirStateIdx   map[string]uint8
+	l2States      []string
+	l2StateIdx    map[string]uint8
 
 	endpoints int
 	net       icn.Config
@@ -94,7 +103,24 @@ func New(cfg Config) (*System, error) {
 	if cfg.Addrs < cfg.Dirs {
 		return nil, fmt.Errorf("machine: fewer addresses (%d) than directories (%d) leaves idle directories", cfg.Addrs, cfg.Dirs)
 	}
-	endpoints := cfg.Caches + cfg.Dirs
+	if cfg.Protocol.TwoLevel() != (cfg.L2s > 0) {
+		if cfg.Protocol.TwoLevel() {
+			return nil, fmt.Errorf("machine: two-level protocol %q needs L2s >= 1", cfg.Protocol.Name)
+		}
+		return nil, fmt.Errorf("machine: L2s set but protocol %q has no L2 controller", cfg.Protocol.Name)
+	}
+	if cfg.L2s > 0 {
+		if cfg.Caches+cfg.L2s > 8 {
+			return nil, fmt.Errorf("machine: caches+L2s (%d) beyond the sharer-bitmask limit of 8", cfg.Caches+cfg.L2s)
+		}
+		if cfg.Addrs < cfg.L2s {
+			return nil, fmt.Errorf("machine: fewer addresses (%d) than L2 homes (%d) leaves idle homes", cfg.Addrs, cfg.L2s)
+		}
+		if cfg.Invariants {
+			return nil, fmt.Errorf("machine: invariant checking is not supported for two-level protocols")
+		}
+	}
+	endpoints := cfg.Caches + cfg.L2s + cfg.Dirs
 	if cfg.GlobalCap == 0 {
 		cfg.GlobalCap = 2 * endpoints * (endpoints - 1)
 	}
@@ -114,7 +140,7 @@ func New(cfg Config) (*System, error) {
 		msgIdx:        make(map[string]uint8),
 		cacheStateIdx: make(map[string]uint8),
 		dirStateIdx:   make(map[string]uint8),
-		endpoints:     cfg.Caches + cfg.Dirs,
+		endpoints:     endpoints,
 	}
 	for _, name := range s.p.MessageNames() {
 		s.msgIdx[name] = uint8(len(s.msgNames))
@@ -136,6 +162,13 @@ func New(cfg Config) (*System, error) {
 	for _, st := range s.p.Dir.StateNames() {
 		s.dirStateIdx[st] = uint8(len(s.dirStates))
 		s.dirStates = append(s.dirStates, st)
+	}
+	if s.p.L2 != nil {
+		s.l2StateIdx = make(map[string]uint8)
+		for _, st := range s.p.L2.StateNames() {
+			s.l2StateIdx[st] = uint8(len(s.l2States))
+			s.l2States = append(s.l2States, st)
+		}
 	}
 
 	s.net = icn.Config{
@@ -162,11 +195,26 @@ func New(cfg Config) (*System, error) {
 // Config returns the configuration the system was built with.
 func (s *System) Config() Config { return s.cfg }
 
-// home returns the endpoint id of the directory owning addr.
-func (s *System) home(addr int) int { return s.cfg.Caches + addr%s.cfg.Dirs }
+// home returns the endpoint id of the directory owning addr — the one
+// and only home in a flat system, the outer home in a two-level one.
+func (s *System) home(addr int) int { return s.cfg.Caches + s.cfg.L2s + addr%s.cfg.Dirs }
 
-// isCache reports whether endpoint e is a cache.
+// innerHome returns the home the caches send inner requests to: the L2
+// home of addr in a two-level system, the directory otherwise.
+func (s *System) innerHome(addr int) int {
+	if s.cfg.L2s > 0 {
+		return s.cfg.Caches + addr%s.cfg.L2s
+	}
+	return s.home(addr)
+}
+
+// isCache reports whether endpoint e is an L1 cache.
 func (s *System) isCache(e int) bool { return e < s.cfg.Caches }
+
+// isL2 reports whether endpoint e is an L2 home.
+func (s *System) isL2(e int) bool {
+	return e >= s.cfg.Caches && e < s.cfg.Caches+s.cfg.L2s
+}
 
 // cacheEntry is one cache's per-address state.
 type cacheEntry struct {
@@ -176,17 +224,30 @@ type cacheEntry struct {
 	savedAcks int8
 }
 
-// dirEntry is the home directory's per-address state.
+// dirEntry is the home directory's per-address state. In a two-level
+// system the owner and sharers reference L2 endpoint ids.
 type dirEntry struct {
 	state   uint8
 	owner   uint8 // 0 = none, else endpoint id + 1
-	sharers uint8 // bitmask over cache ids
+	sharers uint8 // bitmask over client endpoint ids
 	acks    int8
 }
 
-// state is the decoded system state.
+// l2Entry is the L2 home's per-address state in a two-level system: a
+// directory book over the inner caches plus a cache-side ack counter
+// for its own outer transactions.
+type l2Entry struct {
+	state     uint8
+	owner     uint8 // inner owner: 0 = none, else cache id + 1
+	sharers   uint8 // inner sharers: bitmask over cache ids
+	acks      int8  // inner directory ack counter
+	cacheAcks int8  // outer (cache-role) ack counter
+}
+
+// state is the decoded system state. l2 is nil for flat systems.
 type state struct {
 	cache [][]cacheEntry // [cache][addr]
+	l2    []l2Entry      // [addr]
 	dir   []dirEntry     // [addr]
 	net   *icn.State
 }
@@ -208,6 +269,13 @@ func (s *System) newState() *state {
 	for a := range st.dir {
 		st.dir[a].state = di
 	}
+	if s.cfg.L2s > 0 {
+		st.l2 = make([]l2Entry, s.cfg.Addrs)
+		li := s.l2StateIdx[s.p.L2.Initial]
+		for a := range st.l2 {
+			st.l2[a].state = li
+		}
+	}
 	return st
 }
 
@@ -216,6 +284,9 @@ func (st *state) clone() *state {
 		cache: make([][]cacheEntry, len(st.cache)),
 		dir:   append([]dirEntry(nil), st.dir...),
 		net:   st.net.Clone(),
+	}
+	if st.l2 != nil {
+		c.l2 = append([]l2Entry(nil), st.l2...)
 	}
 	for i := range st.cache {
 		c.cache[i] = append([]cacheEntry(nil), st.cache[i]...)
@@ -229,7 +300,7 @@ func bInt8(b byte) int8 { return int8(b - 128) }
 // encode produces the deterministic byte form used for deduplication
 // and trace storage.
 func (s *System) encode(st *state) []byte {
-	size := len(st.cache)*s.cfg.Addrs*4 + s.cfg.Addrs*4
+	size := len(st.cache)*s.cfg.Addrs*4 + s.cfg.Addrs*4 + len(st.l2)*5
 	return s.appendEncode(make([]byte, 0, size+64), st)
 }
 
@@ -241,6 +312,11 @@ func (s *System) appendEncode(out []byte, st *state) []byte {
 		for _, e := range row {
 			out = append(out, e.state, int8b(e.acks), e.saved, int8b(e.savedAcks))
 		}
+	}
+	// The l2 section is only present in two-level systems, so flat
+	// encodings are byte-identical to the historical format.
+	for _, e := range st.l2 {
+		out = append(out, e.state, e.owner, e.sharers, int8b(e.acks), int8b(e.cacheAcks))
 	}
 	for _, e := range st.dir {
 		out = append(out, e.state, e.owner, e.sharers, int8b(e.acks))
@@ -258,7 +334,11 @@ func (s *System) decode(raw []byte) *state {
 		dir:   make([]dirEntry, s.cfg.Addrs),
 	}
 	i := 0
-	if len(raw) < (s.cfg.Caches+1)*s.cfg.Addrs*4 {
+	minSize := (s.cfg.Caches + 1) * s.cfg.Addrs * 4
+	if s.cfg.L2s > 0 {
+		minSize += s.cfg.Addrs * 5
+	}
+	if len(raw) < minSize {
 		panic(fmt.Sprintf("machine: state truncated: %d bytes for %d controllers",
 			len(raw), s.cfg.Caches+1))
 	}
@@ -267,6 +347,13 @@ func (s *System) decode(raw []byte) *state {
 		for a := 0; a < s.cfg.Addrs; a++ {
 			st.cache[c][a] = cacheEntry{raw[i], bInt8(raw[i+1]), raw[i+2], bInt8(raw[i+3])}
 			i += 4
+		}
+	}
+	if s.cfg.L2s > 0 {
+		st.l2 = make([]l2Entry, s.cfg.Addrs)
+		for a := 0; a < s.cfg.Addrs; a++ {
+			st.l2[a] = l2Entry{raw[i], raw[i+1], raw[i+2], bInt8(raw[i+3]), bInt8(raw[i+4])}
+			i += 5
 		}
 	}
 	for a := 0; a < s.cfg.Addrs; a++ {
@@ -308,12 +395,24 @@ func permutations(n int) [][]int {
 }
 
 // permuteEndpoint maps endpoint id e under cache permutation perm
-// (directories are fixed points).
+// (L2 homes and directories are fixed points).
 func permuteEndpoint(perm []int, e uint8) uint8 {
 	if int(e) < len(perm) {
 		return uint8(perm[e])
 	}
 	return e
+}
+
+// permuteMask relabels a sharer bitmask of endpoint ids under perm.
+// Bits at or beyond len(perm) (L2 homes, directories) stay in place.
+func permuteMask(perm []int, mask uint8) uint8 {
+	var out uint8
+	for b := 0; b < 8; b++ {
+		if mask&(1<<uint(b)) != 0 {
+			out |= 1 << uint(permuteEndpoint(perm, uint8(b)))
+		}
+	}
+	return out
 }
 
 // Canonicalize lives in canon.go (pooled, allocation-free scratch);
@@ -333,18 +432,19 @@ func (s *System) applyPerm(st *state, perm []int) *state {
 			}
 		}
 	}
+	for a := range out.l2 {
+		e := &out.l2[a]
+		if e.owner != 0 {
+			e.owner = permuteEndpoint(perm, e.owner-1) + 1
+		}
+		e.sharers = permuteMask(perm, e.sharers)
+	}
 	for a := range out.dir {
 		e := &out.dir[a]
 		if e.owner != 0 {
 			e.owner = permuteEndpoint(perm, e.owner-1) + 1
 		}
-		var sh uint8
-		for c := 0; c < s.cfg.Caches; c++ {
-			if e.sharers&(1<<uint(c)) != 0 {
-				sh |= 1 << uint(perm[c])
-			}
-		}
-		e.sharers = sh
+		e.sharers = permuteMask(perm, e.sharers)
 	}
 	permMsg := func(m icn.Message) icn.Message {
 		m.Src = permuteEndpoint(perm, m.Src)
@@ -420,10 +520,11 @@ func TypeVN(p *protocol.Protocol, mergeResponses bool) (map[string]int, int) {
 	return vn, len(used)
 }
 
-// sharersExcept lists the cache ids in mask excluding req, ascending.
-func sharersExcept(mask uint8, req uint8, caches int) []int {
+// sharersIn lists the endpoint ids in mask within [lo,hi) excluding
+// req, ascending.
+func sharersIn(mask uint8, req uint8, lo, hi int) []int {
 	var out []int
-	for c := 0; c < caches; c++ {
+	for c := lo; c < hi; c++ {
 		if mask&(1<<uint(c)) != 0 && uint8(c) != req {
 			out = append(out, c)
 		}
@@ -431,14 +532,23 @@ func sharersExcept(mask uint8, req uint8, caches int) []int {
 	return out
 }
 
-func countSharersExcept(mask uint8, req uint8, caches int) int {
+func countSharersIn(mask uint8, req uint8, lo, hi int) int {
 	n := 0
-	for c := 0; c < caches; c++ {
+	for c := lo; c < hi; c++ {
 		if mask&(1<<uint(c)) != 0 && uint8(c) != req {
 			n++
 		}
 	}
 	return n
+}
+
+// sharersExcept lists the cache ids in mask excluding req, ascending.
+func sharersExcept(mask uint8, req uint8, caches int) []int {
+	return sharersIn(mask, req, 0, caches)
+}
+
+func countSharersExcept(mask uint8, req uint8, caches int) int {
+	return countSharersIn(mask, req, 0, caches)
 }
 
 // sortedKeys is a tiny helper for deterministic map iteration.

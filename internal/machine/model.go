@@ -118,6 +118,11 @@ func (s *System) Quiescent(raw []byte) bool {
 			}
 		}
 	}
+	for a := range st.l2 {
+		if s.p.L2.States[s.l2States[st.l2[a].state]].Transient {
+			return false
+		}
+	}
 	for a := range st.dir {
 		if s.p.Dir.States[s.dirStates[st.dir[a].state]].Transient {
 			return false
@@ -148,6 +153,28 @@ func (s *System) Describe(raw []byte) string {
 		}
 		b.WriteByte('\n')
 	}
+	for a := range st.l2 {
+		e := st.l2[a]
+		fmt.Fprintf(&b, "  l2(a%d) ep%d: %s", a, s.innerHome(a), s.l2States[e.state])
+		if e.owner != 0 {
+			fmt.Fprintf(&b, " owner=ep%d", e.owner-1)
+		}
+		if e.sharers != 0 {
+			fmt.Fprintf(&b, " sharers=")
+			for c := 0; c < 8; c++ {
+				if e.sharers&(1<<uint(c)) != 0 {
+					fmt.Fprintf(&b, "c%d", c)
+				}
+			}
+		}
+		if e.acks != 0 {
+			fmt.Fprintf(&b, " acks=%d", e.acks)
+		}
+		if e.cacheAcks != 0 {
+			fmt.Fprintf(&b, " outer-acks=%d", e.cacheAcks)
+		}
+		b.WriteByte('\n')
+	}
 	for a := range st.dir {
 		e := st.dir[a]
 		fmt.Fprintf(&b, "  dir(a%d) ep%d: %s", a, s.home(a), s.dirStates[e.state])
@@ -156,7 +183,7 @@ func (s *System) Describe(raw []byte) string {
 		}
 		if e.sharers != 0 {
 			fmt.Fprintf(&b, " sharers=")
-			for c := 0; c < s.cfg.Caches; c++ {
+			for c := 0; c < 8; c++ {
 				if e.sharers&(1<<uint(c)) != 0 {
 					fmt.Fprintf(&b, "c%d", c)
 				}
@@ -196,6 +223,12 @@ func (s *System) CacheState(raw []byte, c, addr int) string {
 func (s *System) DirState(raw []byte, addr int) string {
 	st := s.decode(raw)
 	return s.dirStates[st.dir[addr].state]
+}
+
+// L2State returns the L2 home state name for addr (two-level systems).
+func (s *System) L2State(raw []byte, addr int) string {
+	st := s.decode(raw)
+	return s.l2States[st.l2[addr].state]
 }
 
 // InFlight counts in-flight messages in an encoded state.

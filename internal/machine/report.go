@@ -60,12 +60,16 @@ type DeadlockReport struct {
 }
 
 // epLabel names an endpoint the way SequenceChart does: C<n> for
-// caches, D<n> for directories.
+// caches, L<n> for L2 homes, D<n> for directories.
 func (s *System) epLabel(ep int) string {
-	if s.isCache(ep) {
+	switch {
+	case s.isCache(ep):
 		return fmt.Sprintf("C%d", ep)
+	case s.isL2(ep):
+		return fmt.Sprintf("L%d", ep-s.cfg.Caches)
+	default:
+		return fmt.Sprintf("D%d", ep-s.cfg.Caches-s.cfg.L2s)
 	}
-	return fmt.Sprintf("D%d", ep-s.cfg.Caches)
 }
 
 // DeadlockReport analyzes an encoded (wedged) state against the

@@ -75,6 +75,65 @@ type firing struct {
 	outs []icn.Message
 }
 
+// book is the directory-role bookkeeping an endpoint consults while
+// processing: pointers to the entry holding owner/sharers/acks plus
+// the endpoint-id range [lo,hi) of the clients that book tracks.
+type book struct {
+	owner   *uint8
+	sharers *uint8
+	acks    *int8
+	lo, hi  int
+}
+
+// book returns the directory book endpoint ep uses for addr: the L2
+// entry's inner fields at an L2 home (clients are the caches), the
+// directory entry otherwise — whose clients are the caches in a flat
+// system and the L2 homes in a two-level one.
+func (s *System) book(st *state, ep, addr int) book {
+	if s.isL2(ep) {
+		e := &st.l2[addr]
+		return book{&e.owner, &e.sharers, &e.acks, 0, s.cfg.Caches}
+	}
+	e := &st.dir[addr]
+	lo, hi := 0, s.cfg.Caches
+	if s.cfg.L2s > 0 {
+		lo, hi = s.cfg.Caches, s.cfg.Caches+s.cfg.L2s
+	}
+	return book{&e.owner, &e.sharers, &e.acks, lo, hi}
+}
+
+// ackCounter returns the ack counter a message at the given level
+// updates at endpoint ep: the cache entry's counter at a cache, the
+// directory entry's at a directory, and — at an L2 home — the inner
+// (directory-role) counter for inner traffic or the cache-role counter
+// for its own outer transactions.
+func (s *System) ackCounter(st *state, ep int, level protocol.MsgLevel, addr int) *int8 {
+	switch {
+	case s.isCache(ep):
+		return &st.cache[ep][addr].acks
+	case s.isL2(ep):
+		if level == protocol.LevelOuter {
+			return &st.l2[addr].cacheAcks
+		}
+		return &st.l2[addr].acks
+	default:
+		return &st.dir[addr].acks
+	}
+}
+
+// ctrlAt returns endpoint ep's controller and current state name for
+// addr.
+func (s *System) ctrlAt(st *state, ep, addr int) (*protocol.Controller, string) {
+	switch {
+	case s.isCache(ep):
+		return s.p.Cache, s.cacheStates[st.cache[ep][addr].state]
+	case s.isL2(ep):
+		return s.p.L2, s.l2States[st.l2[addr].state]
+	default:
+		return s.p.Dir, s.dirStates[st.dir[addr].state]
+	}
+}
+
 // resolveEvent computes the qualified reception event for message m at
 // endpoint ep (paper §II's table columns such as "Data from Dir
 // (ack>0)" or "PutM from Owner").
@@ -84,36 +143,26 @@ func (s *System) resolveEvent(st *state, ep int, m icn.Message) protocol.Event {
 	addr := int(m.Addr)
 	switch spec.Qual {
 	case protocol.QualDataSource:
-		var acks int8
-		if s.isCache(ep) {
-			acks = st.cache[ep][addr].acks
-		} else {
-			acks = st.dir[addr].acks
-		}
+		acks := *s.ackCounter(st, ep, spec.Level, addr)
 		if int(acks)+int(m.Acks) == 0 {
 			return protocol.MsgQualEv(name, protocol.QAckZero)
 		}
 		return protocol.MsgQualEv(name, protocol.QAckPositive)
 	case protocol.QualAckUnit:
-		var acks int8
-		if s.isCache(ep) {
-			acks = st.cache[ep][addr].acks
-		} else {
-			acks = st.dir[addr].acks
-		}
+		acks := *s.ackCounter(st, ep, spec.Level, addr)
 		if acks == 1 {
 			return protocol.MsgQualEv(name, protocol.QLastAck)
 		}
 		return protocol.MsgQualEv(name, protocol.QNotLastAck)
 	case protocol.QualOwnership:
-		e := st.dir[addr]
-		if e.owner != 0 && e.owner-1 == m.Src {
+		bk := s.book(st, ep, addr)
+		if *bk.owner != 0 && *bk.owner-1 == m.Src {
 			return protocol.MsgQualEv(name, protocol.QFromOwner)
 		}
 		return protocol.MsgQualEv(name, protocol.QFromNonOwner)
 	case protocol.QualLastSharer:
-		e := st.dir[addr]
-		if countSharersExcept(e.sharers, m.Req, s.cfg.Caches) == 0 {
+		bk := s.book(st, ep, addr)
+		if countSharersIn(*bk.sharers, m.Req, bk.lo, bk.hi) == 0 {
 			return protocol.MsgQualEv(name, protocol.QLastSharer)
 		}
 		return protocol.MsgQualEv(name, protocol.QNotLastSharer)
@@ -142,12 +191,6 @@ func (s *System) execute(st *state, ep, addr int, t *protocol.Transition,
 	trigger *icn.Message, requestor uint8) (firing, error) {
 
 	f := firing{next: st}
-	var ctrl *protocol.Controller
-	if s.isCache(ep) {
-		ctrl = s.p.Cache
-	} else {
-		ctrl = s.p.Dir
-	}
 
 	// Automatic ack arithmetic at reception (paper §II tables'
 	// "ack--"/"ack+=" semantics).
@@ -155,17 +198,9 @@ func (s *System) execute(st *state, ep, addr int, t *protocol.Transition,
 		spec := s.msgs[trigger.Name]
 		switch spec.Qual {
 		case protocol.QualDataSource:
-			if s.isCache(ep) {
-				st.cache[ep][addr].acks += trigger.Acks
-			} else {
-				st.dir[addr].acks += trigger.Acks
-			}
+			*s.ackCounter(st, ep, spec.Level, addr) += trigger.Acks
 		case protocol.QualAckUnit:
-			if s.isCache(ep) {
-				st.cache[ep][addr].acks--
-			} else {
-				st.dir[addr].acks--
-			}
+			*s.ackCounter(st, ep, spec.Level, addr)--
 		}
 	}
 
@@ -177,34 +212,40 @@ func (s *System) execute(st *state, ep, addr int, t *protocol.Transition,
 				return f, violation("endpoint %d sends undeclared message %q", ep, a.Msg)
 			}
 			var dsts []int
-			de := &st.dir[addr]
+			bk := s.book(st, ep, addr)
 			switch a.To {
 			case protocol.ToDir:
-				dsts = []int{s.home(addr)}
+				// Inner traffic targets the tier's home (the L2 in a
+				// two-level system), outer traffic the directory.
+				if msgSpec.Level == protocol.LevelOuter {
+					dsts = []int{s.home(addr)}
+				} else {
+					dsts = []int{s.innerHome(addr)}
+				}
 			case protocol.ToReq:
 				dsts = []int{int(requestor)}
 			case protocol.ToOwner:
-				if de.owner == 0 {
+				if *bk.owner == 0 {
 					return f, violation("directory for a%d sends %s to missing owner", addr, a.Msg)
 				}
-				dsts = []int{int(de.owner - 1)}
+				dsts = []int{int(*bk.owner - 1)}
 			case protocol.ToSharers:
-				for _, c := range sharersExcept(de.sharers, requestor, s.cfg.Caches) {
-					dsts = append(dsts, c)
-				}
+				dsts = append(dsts, sharersIn(*bk.sharers, requestor, bk.lo, bk.hi)...)
 			case protocol.ToSaved:
 				ce := &st.cache[ep][addr]
 				if ce.saved == 0 {
 					return f, violation("cache %d a%d sends %s to empty saved register", ep, addr, a.Msg)
 				}
 				dsts = []int{int(ce.saved - 1)}
+			case protocol.ToSelf:
+				dsts = []int{ep}
 			default:
 				return f, violation("unknown destination %v", a.To)
 			}
 			var acks int8
 			switch {
 			case a.WithAcks:
-				acks = int8(countSharersExcept(de.sharers, requestor, s.cfg.Caches))
+				acks = int8(countSharersIn(*bk.sharers, requestor, bk.lo, bk.hi))
 			case a.To == protocol.ToSaved && msgSpec.Ack == protocol.AckCarrier:
 				acks = st.cache[ep][addr].savedAcks
 			case a.Inherit && trigger != nil:
@@ -220,14 +261,27 @@ func (s *System) execute(st *state, ep, addr int, t *protocol.Transition,
 				}
 				req = ce.saved - 1
 			}
+			if msgSpec.Level == protocol.LevelOuter && s.isL2(ep) {
+				// The L2 home is the requestor of its own outer
+				// transactions, even when an inner request triggered
+				// the send (the composer's launch transitions).
+				req = uint8(ep)
+			}
+			src := uint8(ep)
+			if a.To == protocol.ToSelf && trigger != nil {
+				// A self-requeue re-enqueues the message it is
+				// processing, so the replay keeps the original sender
+				// and ownership qualifiers resolve identically.
+				src = trigger.Src
+			}
 			for _, d := range dsts {
-				if d == ep {
+				if d == ep && a.To != protocol.ToSelf {
 					return f, violation("endpoint %d sends %s to itself", ep, a.Msg)
 				}
 				f.outs = append(f.outs, icn.Message{
 					Name: s.msgIdx[a.Msg],
 					Addr: uint8(addr),
-					Src:  uint8(ep),
+					Src:  src,
 					Req:  req,
 					Dst:  uint8(d),
 					Acks: acks,
@@ -251,26 +305,27 @@ func (s *System) execute(st *state, ep, addr int, t *protocol.Transition,
 			ce.savedAcks = trigger.Acks
 
 		case protocol.ASetOwnerToReq:
-			st.dir[addr].owner = requestor + 1
+			*s.book(st, ep, addr).owner = requestor + 1
 		case protocol.AClearOwner:
-			st.dir[addr].owner = 0
+			*s.book(st, ep, addr).owner = 0
 		case protocol.AAddReqToSharers:
-			st.dir[addr].sharers |= 1 << uint(requestor)
+			*s.book(st, ep, addr).sharers |= 1 << uint(requestor)
 		case protocol.AAddOwnerToSharers:
-			de := &st.dir[addr]
-			if de.owner == 0 {
+			bk := s.book(st, ep, addr)
+			if *bk.owner == 0 {
 				return f, violation("AddOwnerToSharers with no owner (a%d)", addr)
 			}
-			if int(de.owner-1) >= s.cfg.Caches {
-				return f, violation("owner %d is not a cache (a%d)", de.owner-1, addr)
+			if int(*bk.owner-1) < bk.lo || int(*bk.owner-1) >= bk.hi {
+				return f, violation("owner %d is not a client (a%d)", *bk.owner-1, addr)
 			}
-			de.sharers |= 1 << uint(de.owner-1)
+			*bk.sharers |= 1 << uint(*bk.owner-1)
 		case protocol.ARemoveReqFromSharers:
-			st.dir[addr].sharers &^= 1 << uint(requestor)
+			*s.book(st, ep, addr).sharers &^= 1 << uint(requestor)
 		case protocol.AClearSharers:
-			st.dir[addr].sharers = 0
+			*s.book(st, ep, addr).sharers = 0
 		case protocol.AExpectAcks:
-			st.dir[addr].acks += int8(countSharersExcept(st.dir[addr].sharers, requestor, s.cfg.Caches))
+			bk := s.book(st, ep, addr)
+			*bk.acks += int8(countSharersIn(*bk.sharers, requestor, bk.lo, bk.hi))
 		case protocol.ACopyToMem:
 			// Memory contents are not modeled; deadlock behaviour is
 			// unaffected.
@@ -280,13 +335,20 @@ func (s *System) execute(st *state, ep, addr int, t *protocol.Transition,
 	}
 
 	if t.Next != "" {
-		if s.isCache(ep) {
+		switch {
+		case s.isCache(ep):
 			idx, ok := s.cacheStateIdx[t.Next]
 			if !ok {
 				return f, violation("cache next state %q undeclared", t.Next)
 			}
 			st.cache[ep][addr].state = idx
-		} else {
+		case s.isL2(ep):
+			idx, ok := s.l2StateIdx[t.Next]
+			if !ok {
+				return f, violation("l2 next state %q undeclared", t.Next)
+			}
+			st.l2[addr].state = idx
+		default:
 			idx, ok := s.dirStateIdx[t.Next]
 			if !ok {
 				return f, violation("directory next state %q undeclared", t.Next)
@@ -294,7 +356,6 @@ func (s *System) execute(st *state, ep, addr int, t *protocol.Transition,
 			st.dir[addr].state = idx
 		}
 	}
-	_ = ctrl
 	return f, nil
 }
 
@@ -379,16 +440,14 @@ func (s *System) applyProcess(st *state, r Rule) (*state, error) {
 		return nil, errBlocked
 	}
 	addr := int(m.Addr)
-	var ctrl *protocol.Controller
-	var stateName string
-	if s.isCache(r.Endpoint) {
-		ctrl = s.p.Cache
-		stateName = s.cacheStates[st.cache[r.Endpoint][addr].state]
-	} else {
-		ctrl = s.p.Dir
-		stateName = s.dirStates[st.dir[addr].state]
-		if s.home(addr) != r.Endpoint {
-			return nil, violation("message for a%d delivered to wrong directory ep%d", addr, r.Endpoint)
+	ctrl, stateName := s.ctrlAt(st, r.Endpoint, addr)
+	if !s.isCache(r.Endpoint) {
+		home := s.home(addr)
+		if s.isL2(r.Endpoint) {
+			home = s.innerHome(addr)
+		}
+		if home != r.Endpoint {
+			return nil, violation("message for a%d delivered to wrong home ep%d", addr, r.Endpoint)
 		}
 	}
 	ev := s.resolveEvent(st, r.Endpoint, m)
@@ -481,15 +540,7 @@ func (s *System) rules(st *state, emit func(Rule, *state)) error {
 				continue
 			}
 			addr := int(m.Addr)
-			var ctrl *protocol.Controller
-			var stateName string
-			if s.isCache(ep) {
-				ctrl = s.p.Cache
-				stateName = s.cacheStates[st.cache[ep][addr].state]
-			} else {
-				ctrl = s.p.Dir
-				stateName = s.dirStates[st.dir[addr].state]
-			}
+			ctrl, stateName := s.ctrlAt(st, ep, addr)
 			ev := s.resolveEvent(st, ep, m)
 			t := lookup(ctrl, stateName, ev)
 			if t == nil {

@@ -202,15 +202,7 @@ func (sc *Scenario) StalledHeads() []string {
 			if !ok {
 				continue
 			}
-			var ctrl *protocol.Controller
-			var stateName string
-			if sc.sys.isCache(ep) {
-				ctrl = sc.sys.p.Cache
-				stateName = sc.sys.cacheStates[st.cache[ep][m.Addr].state]
-			} else {
-				ctrl = sc.sys.p.Dir
-				stateName = sc.sys.dirStates[st.dir[m.Addr].state]
-			}
+			ctrl, stateName := sc.sys.ctrlAt(st, ep, int(m.Addr))
 			ev := sc.sys.resolveEvent(st, ep, m)
 			t := lookup(ctrl, stateName, ev)
 			if t != nil && t.Stall {

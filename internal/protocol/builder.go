@@ -42,6 +42,9 @@ func WithAckRole(r AckRole) MsgOption { return func(m *Message) { m.Ack = r } }
 // WithQual sets the message's qualifier dimension.
 func WithQual(k QualKind) MsgOption { return func(m *Message) { m.Qual = k } }
 
+// WithLevel sets the message's traffic tier (two-level composites).
+func WithLevel(l MsgLevel) MsgOption { return func(m *Message) { m.Level = l } }
+
 // Message declares a static message name.
 func (b *Builder) Message(name string, t MsgType, opts ...MsgOption) {
 	if _, dup := b.p.Messages[name]; dup {
@@ -72,6 +75,17 @@ func (b *Builder) Dir(initial string) *ControllerBuilder {
 		b.p.Dir = newController(DirCtrl, initial)
 	}
 	return &ControllerBuilder{b: b, c: b.p.Dir}
+}
+
+// L2 returns the L2 home-controller builder for a two-level
+// composite, creating the controller with the given initial state on
+// first call. The L2 controller is optional; flat protocols never
+// call this.
+func (b *Builder) L2(initial string) *ControllerBuilder {
+	if b.p.L2 == nil {
+		b.p.L2 = newController(L2Ctrl, initial)
+	}
+	return &ControllerBuilder{b: b, c: b.p.L2}
 }
 
 func newController(kind ControllerKind, initial string) *Controller {

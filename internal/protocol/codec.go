@@ -50,13 +50,15 @@ type jsonProtocol struct {
 	Messages []jsonMessage   `json:"messages"`
 	Cache    *jsonController `json:"cache"`
 	Dir      *jsonController `json:"directory"`
+	L2       *jsonController `json:"l2,omitempty"`
 }
 
 type jsonMessage struct {
-	Name string `json:"name"`
-	Type string `json:"type"`           // request | fwd | data | ctrl
-	Ack  string `json:"ack,omitempty"`  // carrier | unit
-	Qual string `json:"qual,omitempty"` // datasource | ackunit | ownership | lastsharer
+	Name  string `json:"name"`
+	Type  string `json:"type"`            // request | fwd | data | ctrl
+	Ack   string `json:"ack,omitempty"`   // carrier | unit
+	Qual  string `json:"qual,omitempty"`  // datasource | ackunit | ownership | lastsharer
+	Level string `json:"level,omitempty"` // outer (inner is the default)
 }
 
 type jsonController struct {
@@ -111,10 +113,12 @@ var qualKindJSONName = map[QualKind]string{
 
 var destByName = map[string]Dest{
 	"dir": ToDir, "req": ToReq, "owner": ToOwner, "sharers": ToSharers, "saved": ToSaved,
+	"self": ToSelf,
 }
 
 var destJSONName = map[Dest]string{
 	ToDir: "dir", ToReq: "req", ToOwner: "owner", ToSharers: "sharers", ToSaved: "saved",
+	ToSelf: "self",
 }
 
 var actionByName = map[string]ActionKind{
@@ -138,6 +142,9 @@ func Encode(p *Protocol) ([]byte, error) {
 	for _, name := range p.MessageNames() {
 		m := p.Messages[name]
 		jm := jsonMessage{Name: name, Type: msgTypeJSONName[m.Type], Qual: qualKindJSONName[m.Qual]}
+		if m.Level == LevelOuter {
+			jm.Level = "outer"
+		}
 		switch m.Ack {
 		case AckCarrier:
 			jm.Ack = "carrier"
@@ -187,6 +194,9 @@ func Encode(p *Protocol) ([]byte, error) {
 	}
 	jp.Cache = encodeCtrl(p.Cache)
 	jp.Dir = encodeCtrl(p.Dir)
+	if p.L2 != nil {
+		jp.L2 = encodeCtrl(p.L2)
+	}
 	return json.MarshalIndent(jp, "", "  ")
 }
 
@@ -206,7 +216,7 @@ func Decode(data []byte) (*Protocol, error) {
 	for _, side := range []struct {
 		name string
 		jc   *jsonController
-	}{{"cache", jp.Cache}, {"directory", jp.Dir}} {
+	}{{"cache", jp.Cache}, {"directory", jp.Dir}, {"l2", jp.L2}} {
 		if side.jc == nil {
 			continue
 		}
@@ -247,6 +257,13 @@ func Decode(data []byte) (*Protocol, error) {
 				return nil, fmt.Errorf("protocol: message %q: unknown qual kind %q", jm.Name, jm.Qual)
 			}
 			opts = append(opts, WithQual(k))
+		}
+		switch jm.Level {
+		case "", "inner":
+		case "outer":
+			opts = append(opts, WithLevel(LevelOuter))
+		default:
+			return nil, fmt.Errorf("protocol: message %q: unknown level %q", jm.Name, jm.Level)
 		}
 		b.Message(jm.Name, t, opts...)
 	}
@@ -308,6 +325,11 @@ func Decode(data []byte) (*Protocol, error) {
 	}
 	if err := decodeCtrl(jp.Dir, b.Dir(jp.Dir.Initial)); err != nil {
 		return nil, err
+	}
+	if jp.L2 != nil {
+		if err := decodeCtrl(jp.L2, b.L2(jp.L2.Initial)); err != nil {
+			return nil, err
+		}
 	}
 	return b.Build()
 }

@@ -101,6 +101,9 @@ func FormatProtocol(p *Protocol) string {
 		b.WriteByte('\n')
 	}
 	fmt.Fprintf(&b, "\nCache controller (initial %s):\n%s", p.Cache.Initial, FormatController(p.Cache))
+	if p.L2 != nil {
+		fmt.Fprintf(&b, "\nL2 home controller (initial %s):\n%s", p.L2.Initial, FormatController(p.L2))
+	}
 	fmt.Fprintf(&b, "\nDirectory controller (initial %s):\n%s", p.Dir.Initial, FormatController(p.Dir))
 	return b.String()
 }

@@ -119,12 +119,34 @@ func (k QualKind) Qualifiers() []Qualifier {
 	}
 }
 
+// MsgLevel identifies the traffic tier a message travels on. Flat
+// one-level protocols use LevelInner for everything. In a two-level
+// composite (Protocol.L2 != nil), inner messages flow between the L1
+// caches and the L2 home, outer messages between the L2 home and the
+// outer directory; the machine package routes ToDir by level.
+type MsgLevel int
+
+const (
+	// LevelInner: cache ↔ (inner) home traffic; the default.
+	LevelInner MsgLevel = iota
+	// LevelOuter: L2 home ↔ outer directory traffic.
+	LevelOuter
+)
+
+func (l MsgLevel) String() string {
+	if l == LevelOuter {
+		return "outer"
+	}
+	return "inner"
+}
+
 // Message is a static message name with its classification.
 type Message struct {
-	Name string
-	Type MsgType
-	Ack  AckRole
-	Qual QualKind
+	Name  string
+	Type  MsgType
+	Ack   AckRole
+	Qual  QualKind
+	Level MsgLevel
 }
 
 // CoreEvent is a processor-initiated event at a cache controller.
@@ -192,9 +214,15 @@ const (
 	// that arrived while their own transaction was still in flight.
 	// Sending to ToSaved clears the register.
 	ToSaved
+	// ToSelf: the sending endpoint itself. The message re-enters the
+	// sender's own input queue through the network, which is how a
+	// non-stalling controller requeues a message it cannot process yet
+	// (the xform package's stall-split) — reception is deferred without
+	// blocking the queue head.
+	ToSelf
 )
 
-var destNames = [...]string{"Dir", "Req", "Owner", "Sharers", "Saved"}
+var destNames = [...]string{"Dir", "Req", "Owner", "Sharers", "Saved", "Self"}
 
 func (d Dest) String() string {
 	if d < 0 || int(d) >= len(destNames) {
@@ -301,19 +329,28 @@ func (t *Transition) Sends() []string {
 	return out
 }
 
-// ControllerKind distinguishes cache from directory controllers.
+// ControllerKind distinguishes cache, directory, and (for two-level
+// composites) L2 home controllers.
 type ControllerKind int
 
 const (
 	CacheCtrl ControllerKind = iota
 	DirCtrl
+	// L2Ctrl is the home node of a two-level composite: it acts as a
+	// directory toward the inner (L1) caches and as a cache toward the
+	// outer directory, so both action vocabularies are legal on it.
+	L2Ctrl
 )
 
 func (k ControllerKind) String() string {
-	if k == CacheCtrl {
+	switch k {
+	case CacheCtrl:
 		return "cache"
+	case L2Ctrl:
+		return "l2"
+	default:
+		return "directory"
 	}
-	return "directory"
 }
 
 // State is a row of a controller table.
@@ -356,14 +393,21 @@ func (c *Controller) Lookup(state string, ev Event) *Transition {
 	return c.Transitions[TransKey{state, ev}]
 }
 
-// Protocol is a complete protocol specification.
+// Protocol is a complete protocol specification. L2 is nil for flat
+// one-level protocols; a non-nil L2 makes the protocol a two-level
+// composite (see the xform package) where Cache speaks inner messages
+// to the L2 home and the L2 home speaks outer messages to Dir.
 type Protocol struct {
 	Name     string
 	Messages map[string]*Message
 	Cache    *Controller
 	Dir      *Controller
+	L2       *Controller
 	msgOrder []string
 }
+
+// TwoLevel reports whether the protocol is a two-level composite.
+func (p *Protocol) TwoLevel() bool { return p.L2 != nil }
 
 // MessageNames returns message names in declaration order.
 func (p *Protocol) MessageNames() []string {
@@ -382,7 +426,12 @@ func (p *Protocol) MessagesOfType(t MsgType) []string {
 	return out
 }
 
-// Controllers returns the cache and directory controllers.
+// Controllers returns the cache and directory controllers, plus the
+// L2 controller when the protocol is a two-level composite.
 func (p *Protocol) Controllers() []*Controller {
-	return []*Controller{p.Cache, p.Dir}
+	cs := []*Controller{p.Cache, p.Dir}
+	if p.L2 != nil {
+		cs = append(cs, p.L2)
+	}
+	return cs
 }

@@ -23,6 +23,25 @@ func Validate(p *Protocol) error {
 		report("protocol declares no messages")
 	}
 
+	// levelLegal reports whether a controller kind is attached to a
+	// message tier: caches speak inner, the L2 home speaks both, and
+	// the directory speaks outer in a two-level composite but inner in
+	// a flat protocol (where it is the one and only home).
+	twoLevel := p.L2 != nil
+	levelLegal := func(k ControllerKind, l MsgLevel) bool {
+		switch k {
+		case CacheCtrl:
+			return l == LevelInner
+		case L2Ctrl:
+			return true
+		default:
+			if twoLevel {
+				return l == LevelOuter
+			}
+			return l == LevelInner
+		}
+	}
+
 	for _, c := range p.Controllers() {
 		if c == nil {
 			continue
@@ -42,8 +61,8 @@ func Validate(p *Protocol) error {
 			}
 			ev := key.Event
 			if ev.IsCore() {
-				if c.Kind == DirCtrl {
-					report("%s: directories do not receive core events", cell)
+				if c.Kind != CacheCtrl {
+					report("%s: only caches receive core events", cell)
 				}
 				switch ev.Core {
 				case Load, Store, Replacement:
@@ -54,6 +73,9 @@ func Validate(p *Protocol) error {
 				m, ok := p.Messages[ev.Msg]
 				if !ok {
 					report("%s: message %q not declared", cell, ev.Msg)
+				} else if !levelLegal(c.Kind, m.Level) {
+					report("%s: %s controller cannot receive %s-level message %q",
+						cell, c.Kind, m.Level, ev.Msg)
 				} else if ev.Qual != QNone {
 					legal := false
 					for _, q := range m.Qual.Qualifiers() {
@@ -92,13 +114,16 @@ func Validate(p *Protocol) error {
 			}
 			for _, a := range t.Actions {
 				if a.Kind == ASend {
-					if _, ok := p.Messages[a.Msg]; !ok {
+					if m, ok := p.Messages[a.Msg]; !ok {
 						report("%s: sends undeclared message %q", cell, a.Msg)
+					} else if !levelLegal(c.Kind, m.Level) {
+						report("%s: %s controller cannot send %s-level message %q",
+							cell, c.Kind, m.Level, a.Msg)
 					}
-					if a.WithAcks && c.Kind != DirCtrl {
+					if a.WithAcks && c.Kind == CacheCtrl {
 						report("%s: WithAcks send outside directory", cell)
 					}
-					if (a.To == ToOwner || a.To == ToSharers) && c.Kind != DirCtrl {
+					if (a.To == ToOwner || a.To == ToSharers) && c.Kind == CacheCtrl {
 						report("%s: destination %s only resolvable at directory", cell, a.To)
 					}
 					if a.To == ToSaved && c.Kind != CacheCtrl {
@@ -110,10 +135,10 @@ func Validate(p *Protocol) error {
 				} else {
 					switch {
 					case a.Kind == ACopyToMem:
-						// Legal in both controllers.
+						// Legal in every controller.
 					case a.Kind == ARecordSaved && c.Kind != CacheCtrl:
 						report("%s: %s is a cache action", cell, a.Kind)
-					case a.Kind != ARecordSaved && c.Kind != DirCtrl:
+					case a.Kind != ARecordSaved && c.Kind == CacheCtrl:
 						report("%s: bookkeeping action %s outside directory", cell, a.Kind)
 					}
 				}
@@ -144,6 +169,9 @@ func Validate(p *Protocol) error {
 		}
 		if !received[name] {
 			report("message %q is never received", name)
+		}
+		if p.Messages[name].Level == LevelOuter && !twoLevel {
+			report("message %q is outer-level but the protocol has no L2 controller", name)
 		}
 	}
 

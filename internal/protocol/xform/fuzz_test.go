@@ -1,0 +1,82 @@
+package xform
+
+import (
+	"testing"
+
+	"minvn/internal/analysis"
+	"minvn/internal/protocol"
+	"minvn/internal/protocols"
+)
+
+// FuzzTransformRoundTrip feeds arbitrary protocol JSON through the
+// non-stalling transform: any input the codec accepts must either be
+// rejected by the transform with an error (never a panic) or produce a
+// validated protocol that (a) has no message stalls left, (b) round
+// trips through the codec, and (c) is a fixpoint — transforming again
+// adds nothing. Seeds are the encoded built-ins and composites; the
+// checked-in corpus under testdata/fuzz adds mutated raw forms on top.
+func FuzzTransformRoundTrip(f *testing.F) {
+	for _, seed := range transformSeeds() {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := protocol.Decode(data)
+		if err != nil {
+			return // only codec-valid protocols are in scope
+		}
+		ns, err := NonStalling(p)
+		if err != nil {
+			return // rejection (ack-arithmetic stall, name clash) is fine
+		}
+		for _, c := range ns.Controllers() {
+			for key, tr := range c.Transitions {
+				if tr.Stall && !key.Event.IsCore() {
+					t.Fatalf("message stall survived: %v/%s/%s", c.Kind, key.State, key.Event)
+				}
+			}
+		}
+		if got := analysis.Analyze(ns).Stalls.Pairs(); len(got) != 0 {
+			t.Fatalf("stalls relation nonempty after transform: %v", got)
+		}
+		enc, err := protocol.Encode(ns)
+		if err != nil {
+			t.Fatalf("transformed protocol does not encode: %v", err)
+		}
+		back, err := protocol.Decode(enc)
+		if err != nil {
+			t.Fatalf("transformed protocol does not decode: %v\n%s", err, enc)
+		}
+		again, err := NonStalling(back)
+		if err != nil {
+			t.Fatalf("transform is not re-applicable: %v", err)
+		}
+		if len(again.Messages) != len(ns.Messages) {
+			t.Fatalf("transform not a fixpoint: %d messages became %d",
+				len(ns.Messages), len(again.Messages))
+		}
+	})
+}
+
+// transformSeeds encodes every built-in and the campaign composites as
+// the structured half of the corpus.
+func transformSeeds() [][]byte {
+	var out [][]byte
+	add := func(p *protocol.Protocol, err error) {
+		if err != nil {
+			panic(err)
+		}
+		data, err := protocol.Encode(p)
+		if err != nil {
+			panic(err)
+		}
+		out = append(out, data)
+	}
+	for _, name := range protocols.Names() {
+		add(protocols.MustLoad(name), nil)
+	}
+	add(Compose(protocols.MustLoad("MSI_blocking_cache"),
+		protocols.MustLoad("MESI_blocking_cache"), "MSI_under_MESI"))
+	add(Compose(protocols.MustLoad("MESI_blocking_cache"),
+		protocols.MustLoad("MESI_blocking_cache"), "MESI_under_MESI"))
+	return out
+}

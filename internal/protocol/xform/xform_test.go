@@ -1,0 +1,269 @@
+package xform
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"minvn/internal/analysis"
+	"minvn/internal/machine"
+	"minvn/internal/mc"
+	"minvn/internal/protocol"
+	"minvn/internal/protocols"
+	"minvn/internal/vnassign"
+)
+
+// TestNonStallingAllBuiltins: every registered protocol transforms,
+// validates, loses its stalls relation, and lands at one VN — the
+// "add message types" column of the paper's trade-off in mechanical
+// form.
+func TestNonStallingAllBuiltins(t *testing.T) {
+	for _, name := range protocols.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			p := protocols.MustLoad(name)
+			ns, err := NonStalling(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ns.Name != name+NonStallingSuffix {
+				t.Errorf("name = %q", ns.Name)
+			}
+			parentStalls := false
+			for _, c := range p.Controllers() {
+				for key, tr := range c.Transitions {
+					if tr.Stall && !key.Event.IsCore() {
+						parentStalls = true
+					}
+				}
+			}
+			if parentStalls && len(ns.Messages) <= len(p.Messages) {
+				t.Errorf("no replay messages added (%d -> %d)", len(p.Messages), len(ns.Messages))
+			}
+			if !parentStalls && len(ns.Messages) != len(p.Messages) {
+				t.Errorf("identity transform added messages (%d -> %d)", len(p.Messages), len(ns.Messages))
+			}
+			// No message-stall cells anywhere.
+			for _, c := range ns.Controllers() {
+				for key, tr := range c.Transitions {
+					if tr.Stall && !key.Event.IsCore() {
+						t.Errorf("%v/%s/%s still stalls", c.Kind, key.State, key.Event)
+					}
+				}
+			}
+			r := analysis.Analyze(ns)
+			if got := r.Stalls.Pairs(); len(got) != 0 {
+				t.Errorf("stalls relation nonempty: %v", got)
+			}
+			a := vnassign.Assign(ns)
+			if a.Class != vnassign.Class3 || a.NumVNs != 1 {
+				t.Errorf("want Class 3 / 1 VN, got %v", a)
+			}
+			if ok, cyc := analysis.DeadlockFree(r, a.VN); !ok {
+				t.Errorf("Eq. 4 fails: %v", cyc)
+			}
+		})
+	}
+}
+
+// TestNonStallingDeterministic: the transform is a function — two runs
+// encode to identical bytes, so goldens and the fuzz round-trip are
+// stable.
+func TestNonStallingDeterministic(t *testing.T) {
+	p := protocols.MustLoad("MESIF_blocking_cache")
+	a, err := NonStalling(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NonStalling(protocols.MustLoad("MESIF_blocking_cache"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ea, err := protocol.Encode(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eb, err := protocol.Encode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ea, eb) {
+		t.Error("transform not deterministic")
+	}
+}
+
+// TestNonStallingPreservesNonStallCells: every non-stall cell of the
+// parent survives verbatim, and each stalled message's cells are
+// mirrored under its replay name.
+func TestNonStallingPreservesNonStallCells(t *testing.T) {
+	p := protocols.MustLoad("MSI_blocking_cache")
+	ns, err := NonStalling(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ci, c := range p.Controllers() {
+		nc := ns.Controllers()[ci]
+		for key, tr := range c.Transitions {
+			got := nc.Transitions[key]
+			if got == nil {
+				t.Fatalf("%v/%s/%s missing in transform", c.Kind, key.State, key.Event)
+			}
+			if tr.Stall && !key.Event.IsCore() {
+				if got.Stall {
+					t.Errorf("%v/%s/%s not converted", c.Kind, key.State, key.Event)
+				}
+				continue
+			}
+			if got.Stall != tr.Stall || got.Next != tr.Next || len(got.Actions) != len(tr.Actions) {
+				t.Errorf("%v/%s/%s altered: %+v vs %+v", c.Kind, key.State, key.Event, got, tr)
+			}
+			if !key.Event.IsCore() {
+				mirror := protocol.TransKey{State: key.State,
+					Event: protocol.Event{Msg: ReplayPrefix + key.Event.Msg, Qual: key.Event.Qual}}
+				if _, hasReplay := ns.Messages[ReplayPrefix+key.Event.Msg]; hasReplay {
+					if nc.Transitions[mirror] == nil {
+						t.Errorf("%v/%s: no mirror cell for %s", c.Kind, key.State, mirror.Event)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestNonStallingMachineComplete: the transformed blocking protocols
+// explore completely on a single VN — the dynamic confirmation that
+// replays removed the need for queue separation. The stalling parents
+// are Class 2: no VN count fixes them.
+func TestNonStallingMachineComplete(t *testing.T) {
+	for _, name := range []string{"MSI_blocking_cache", "MESI_blocking_cache"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			ns, err := NonStalling(protocols.MustLoad(name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			vn, n := machine.UniformVN(ns)
+			sys, err := machine.New(machine.Config{
+				Protocol: ns, Caches: 2, Dirs: 1, Addrs: 1, VN: vn, NumVNs: n})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res := mc.Check(sys, mc.Options{MaxStates: 4_000_000, DisableTraces: true})
+			if res.Outcome != mc.Complete {
+				t.Fatalf("want complete on 1 VN, got %v: %s", res, res.Message)
+			}
+		})
+	}
+}
+
+// TestComposeBuilds: the two campaign composites build, validate, and
+// carry the expected two-level shape.
+func TestComposeBuilds(t *testing.T) {
+	for _, tc := range []struct{ inner, outer string }{
+		{"MSI_blocking_cache", "MESI_blocking_cache"},
+		{"MESI_blocking_cache", "MESI_blocking_cache"},
+	} {
+		tc := tc
+		t.Run(ComposeName(tc.inner, tc.outer), func(t *testing.T) {
+			p, err := Compose(protocols.MustLoad(tc.inner), protocols.MustLoad(tc.outer),
+				ComposeName(tc.inner, tc.outer))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !p.TwoLevel() || p.L2 == nil {
+				t.Fatal("composite is not two-level")
+			}
+			if err := protocol.Validate(p); err != nil {
+				t.Fatal(err)
+			}
+			// Tiers are disjoint and complete.
+			for name, m := range p.Messages {
+				switch {
+				case strings.HasPrefix(name, InnerPrefix):
+					if m.Level != protocol.LevelInner {
+						t.Errorf("%s at level %v", name, m.Level)
+					}
+				case strings.HasPrefix(name, OuterPrefix):
+					if m.Level != protocol.LevelOuter {
+						t.Errorf("%s at level %v", name, m.Level)
+					}
+				default:
+					t.Errorf("unprefixed message %s", name)
+				}
+			}
+			// The L2 never evicts, so the outer eviction vocabulary is
+			// pruned.
+			for _, dead := range []string{"o.PutS", "o.PutM"} {
+				if _, ok := p.Messages[dead]; ok {
+					t.Errorf("%s survived the prune", dead)
+				}
+			}
+			// Cross-level waits exist: the analysis accepts the
+			// composite and sees inner requests wait on outer traffic.
+			r := analysis.Analyze(p)
+			crossLevel := false
+			for _, pr := range r.Waits.Pairs() {
+				if strings.HasPrefix(pr.From, InnerPrefix) && strings.HasPrefix(pr.To, OuterPrefix) {
+					crossLevel = true
+					break
+				}
+			}
+			if !crossLevel {
+				t.Errorf("no inner-waits-on-outer edge; waits = %v", r.Waits.Pairs())
+			}
+			if _, err := protocol.Encode(p); err != nil {
+				t.Errorf("composite does not encode: %v", err)
+			}
+		})
+	}
+}
+
+// TestComposeMachineComplete: the composite runs under the machine
+// with an L2 tier and explores completely under per-message VNs at the
+// paper's small configuration.
+func TestComposeMachineComplete(t *testing.T) {
+	for _, tc := range []struct{ inner, outer string }{
+		{"MSI_blocking_cache", "MESI_blocking_cache"},
+		{"MESI_blocking_cache", "MESI_blocking_cache"},
+	} {
+		tc := tc
+		t.Run(ComposeName(tc.inner, tc.outer), func(t *testing.T) {
+			p, err := Compose(protocols.MustLoad(tc.inner), protocols.MustLoad(tc.outer),
+				ComposeName(tc.inner, tc.outer))
+			if err != nil {
+				t.Fatal(err)
+			}
+			vn, n := machine.PerMessageVN(p)
+			sys, err := machine.New(machine.Config{
+				Protocol: p, Caches: 2, L2s: 1, Dirs: 1, Addrs: 1, VN: vn, NumVNs: n})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res := mc.Check(sys, mc.Options{MaxStates: 4_000_000, DisableTraces: true})
+			if res.Outcome != mc.Complete {
+				t.Fatalf("want complete, got %v: %s", res, res.Message)
+			}
+		})
+	}
+}
+
+// TestComposeRejects: guard rails.
+func TestComposeRejects(t *testing.T) {
+	msi := protocols.MustLoad("MSI_blocking_cache")
+	mesi := protocols.MustLoad("MESI_blocking_cache")
+	comp, err := Compose(msi, mesi, "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Compose(comp, mesi, "cc"); err == nil {
+		t.Error("composed an already two-level inner")
+	}
+	if _, err := Compose(msi, comp, "cc"); err == nil {
+		t.Error("composed an already two-level outer")
+	}
+	// Non-blocking outer caches park the requestor in the saved
+	// register — unavailable at an L2 home.
+	if _, err := Compose(msi, protocols.MustLoad("MSI_nonblocking_cache"), "x"); err == nil {
+		t.Error("accepted a saved-register outer base")
+	}
+}

@@ -3,8 +3,10 @@ package ptest
 import (
 	"fmt"
 	"math/rand"
+	"strings"
 
 	"minvn/internal/protocol"
+	"minvn/internal/protocol/xform"
 	"minvn/internal/protocols"
 )
 
@@ -24,6 +26,11 @@ type GenConfig struct {
 	// MaxMutations bounds the mutation count per mutated case
 	// (default 4).
 	MaxMutations int
+	// XformFrac is the fraction of cases produced by the xform
+	// derivations — the non-stalling transform of a built-in, or a
+	// two-level composite of two built-ins — optionally mutated.
+	// Negative disables; the zero value means the default 0.25.
+	XformFrac float64
 }
 
 func (c GenConfig) normalized() GenConfig {
@@ -38,6 +45,12 @@ func (c GenConfig) normalized() GenConfig {
 	}
 	if c.MaxMutations <= 0 {
 		c.MaxMutations = 4
+	}
+	if c.XformFrac == 0 {
+		c.XformFrac = 0.25
+	}
+	if c.XformFrac < 0 || c.XformFrac > 1 {
+		c.XformFrac = 0
 	}
 	return c
 }
@@ -57,11 +70,27 @@ type Case struct {
 type Generator struct {
 	cfg      GenConfig
 	builtins []string
+	// pairs are the (inner, outer) built-in combinations the composer
+	// accepts — outers are the blocking-cache variants (the saved
+	// register and directory-book qualifiers rule the rest out).
+	pairs [][2]string
 }
 
 // NewGenerator returns a generator over the built-in protocol corpus.
 func NewGenerator(cfg GenConfig) *Generator {
-	return &Generator{cfg: cfg.normalized(), builtins: protocols.Names()}
+	g := &Generator{cfg: cfg.normalized(), builtins: protocols.Names()}
+	for _, outer := range g.builtins {
+		if !strings.Contains(outer, "_blocking_cache") {
+			continue
+		}
+		for _, inner := range g.builtins {
+			if _, err := xform.Compose(
+				protocols.MustLoad(inner), protocols.MustLoad(outer), "probe"); err == nil {
+				g.pairs = append(g.pairs, [2]string{inner, outer})
+			}
+		}
+	}
+	return g
 }
 
 // caseSeed decorrelates per-case streams from (campaign seed, index)
@@ -79,6 +108,11 @@ func caseSeed(seed int64, index int) int64 {
 // synthesis, so the result is always a valid protocol.
 func (g *Generator) Generate(seed int64) *Case {
 	r := rand.New(rand.NewSource(seed))
+	if r.Float64() < g.cfg.XformFrac {
+		if c := g.xformCase(r, seed); c != nil {
+			return c
+		}
+	}
 	if r.Float64() < g.cfg.MutateFrac {
 		base := g.builtins[r.Intn(len(g.builtins))]
 		for attempt := 0; attempt < 24; attempt++ {
@@ -102,6 +136,52 @@ func (g *Generator) Generate(seed int64) *Case {
 		panic(fmt.Sprintf("ptest: synthesized spec invalid (seed %d): %v", seed, err))
 	}
 	return &Case{Spec: spec, Proto: p, Seed: seed, Origin: "synthesized"}
+}
+
+// xformCase derives a case through the xform package: a non-stalling
+// variant of a random built-in, or a two-level composite of an
+// accepted pair, lifted into a Spec and optionally mutated (falling
+// back to the unmutated derivation when mutation breaks validity).
+// Returns nil when no derivation applies — the caller falls through to
+// mutation/synthesis.
+func (g *Generator) xformCase(r *rand.Rand, seed int64) *Case {
+	var p *protocol.Protocol
+	var origin string
+	if len(g.pairs) == 0 || r.Intn(2) == 0 {
+		base := g.builtins[r.Intn(len(g.builtins))]
+		ns, err := xform.NonStalling(protocols.MustLoad(base))
+		if err != nil {
+			return nil
+		}
+		p, origin = ns, "xform:nonstalling:"+base
+	} else {
+		pair := g.pairs[r.Intn(len(g.pairs))]
+		comp, err := xform.Compose(protocols.MustLoad(pair[0]), protocols.MustLoad(pair[1]),
+			fmt.Sprintf("compose_%d", seed&0xffff))
+		if err != nil {
+			return nil
+		}
+		p, origin = comp, "xform:compose:"+pair[0]+"+"+pair[1]
+	}
+	spec := FromProtocol(p)
+	if r.Intn(2) == 0 {
+		n := 1 + r.Intn(g.cfg.MaxMutations)
+		cand := spec.Clone()
+		for i := 0; i < n; i++ {
+			mutateOnce(r, cand)
+		}
+		cand.normalize()
+		if mp, err := cand.Build(); err == nil {
+			return &Case{Spec: cand, Proto: mp, Seed: seed, Origin: origin + ":mutated"}
+		}
+	}
+	built, err := spec.Build()
+	if err != nil {
+		// The derivation validated once already; a lift that cannot
+		// rebuild is a Spec/FromProtocol bug and must be loud.
+		panic(fmt.Sprintf("ptest: xform case does not rebuild (seed %d, %s): %v", seed, origin, err))
+	}
+	return &Case{Spec: spec, Proto: built, Seed: seed, Origin: origin}
 }
 
 // synthesize builds a random request/response protocol from scratch.
@@ -281,10 +361,7 @@ func mutateOnce(r *rand.Rand, s *Spec) {
 	case 3: // redirect a next-state
 		i := r.Intn(len(s.Trans))
 		t := &s.Trans[i]
-		states := s.Cache.States
-		if t.Ctrl == protocol.DirCtrl {
-			states = s.Dir.States
-		}
+		states := s.ctrl(t.Ctrl).States
 		if !t.Stall && len(states) > 0 {
 			t.Next = states[r.Intn(len(states))].Name
 		}
@@ -297,11 +374,8 @@ func mutateOnce(r *rand.Rand, s *Spec) {
 		}
 	case 5: // add a stall for a random message in a transient state
 		var transients []TransSpec
-		for _, kind := range []protocol.ControllerKind{protocol.CacheCtrl, protocol.DirCtrl} {
-			cs := s.Cache
-			if kind == protocol.DirCtrl {
-				cs = s.Dir
-			}
+		for _, kind := range s.ctrlKinds() {
+			cs := *s.ctrl(kind)
 			for _, st := range cs.States {
 				if st.Transient {
 					transients = append(transients, TransSpec{Ctrl: kind, State: st.Name})

@@ -211,10 +211,14 @@ func RunCase(p *protocol.Protocol, opts Options) *CaseResult {
 func runAllEngines(p *protocol.Protocol, vn map[string]int, numVNs int,
 	phase string, opts Options, res *CaseResult) (mc.Result, Verdict, string) {
 
-	sys, err := machine.New(machine.Config{
+	mcfg := machine.Config{
 		Protocol: p, Caches: opts.Caches, Dirs: opts.Dirs, Addrs: opts.Addrs,
 		VN: vn, NumVNs: numVNs,
-	})
+	}
+	if p.TwoLevel() {
+		mcfg.L2s = 1
+	}
+	sys, err := machine.New(mcfg)
 	if err != nil {
 		return mc.Result{}, VerdictDynInvalid, err.Error()
 	}

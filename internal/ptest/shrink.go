@@ -71,11 +71,8 @@ func Shrink(s *Spec, repro func(*protocol.Protocol) bool, maxAttempts int) *Shri
 				changed = true
 			}
 		}
-		for _, kind := range []protocol.ControllerKind{protocol.CacheCtrl, protocol.DirCtrl} {
-			cs := cur.Cache
-			if kind == protocol.DirCtrl {
-				cs = cur.Dir
-			}
+		for _, kind := range cur.ctrlKinds() {
+			cs := *cur.ctrl(kind)
 			for _, st := range append([]StateSpec(nil), cs.States...) {
 				if st.Name == cs.Initial {
 					continue

@@ -26,10 +26,11 @@ import (
 
 // MsgSpec mirrors protocol.Message in a mutable, value-typed form.
 type MsgSpec struct {
-	Name string
-	Type protocol.MsgType
-	Ack  protocol.AckRole
-	Qual protocol.QualKind
+	Name  string
+	Type  protocol.MsgType
+	Ack   protocol.AckRole
+	Qual  protocol.QualKind
+	Level protocol.MsgLevel
 }
 
 // StateSpec is one declared controller state.
@@ -67,7 +68,33 @@ type Spec struct {
 	Msgs  []MsgSpec
 	Cache CtrlSpec
 	Dir   CtrlSpec
+	// L2 is present (non-empty States) only for two-level composites.
+	L2    CtrlSpec
 	Trans []TransSpec
+}
+
+// TwoLevel reports whether the spec carries an L2 controller.
+func (s *Spec) TwoLevel() bool { return len(s.L2.States) > 0 }
+
+// ctrl returns the controller spec for a kind.
+func (s *Spec) ctrl(kind protocol.ControllerKind) *CtrlSpec {
+	switch kind {
+	case protocol.DirCtrl:
+		return &s.Dir
+	case protocol.L2Ctrl:
+		return &s.L2
+	default:
+		return &s.Cache
+	}
+}
+
+// ctrlKinds lists the controller kinds present in the spec.
+func (s *Spec) ctrlKinds() []protocol.ControllerKind {
+	kinds := []protocol.ControllerKind{protocol.CacheCtrl, protocol.DirCtrl}
+	if s.TwoLevel() {
+		kinds = append(kinds, protocol.L2Ctrl)
+	}
+	return kinds
 }
 
 // FromProtocol lifts a built protocol into an editable Spec, visiting
@@ -76,7 +103,7 @@ func FromProtocol(p *protocol.Protocol) *Spec {
 	s := &Spec{Name: p.Name}
 	for _, name := range p.MessageNames() {
 		m := p.Messages[name]
-		s.Msgs = append(s.Msgs, MsgSpec{Name: name, Type: m.Type, Ack: m.Ack, Qual: m.Qual})
+		s.Msgs = append(s.Msgs, MsgSpec{Name: name, Type: m.Type, Ack: m.Ack, Qual: m.Qual, Level: m.Level})
 	}
 	lift := func(c *protocol.Controller, cs *CtrlSpec) {
 		cs.Initial = c.Initial
@@ -103,6 +130,9 @@ func FromProtocol(p *protocol.Protocol) *Spec {
 	}
 	lift(p.Cache, &s.Cache)
 	lift(p.Dir, &s.Dir)
+	if p.L2 != nil {
+		lift(p.L2, &s.L2)
+	}
 	return s
 }
 
@@ -119,6 +149,11 @@ func (s *Spec) Clone() *Spec {
 		Initial: s.Dir.Initial,
 		States:  append([]StateSpec(nil), s.Dir.States...),
 		Events:  append([]protocol.Event(nil), s.Dir.Events...),
+	}
+	out.L2 = CtrlSpec{
+		Initial: s.L2.Initial,
+		States:  append([]StateSpec(nil), s.L2.States...),
+		Events:  append([]protocol.Event(nil), s.L2.Events...),
 	}
 	out.Trans = make([]TransSpec, len(s.Trans))
 	for i, t := range s.Trans {
@@ -148,6 +183,9 @@ func (s *Spec) Build() (*protocol.Protocol, error) {
 		if m.Qual != protocol.QualNone {
 			opts = append(opts, protocol.WithQual(m.Qual))
 		}
+		if m.Level != protocol.LevelInner {
+			opts = append(opts, protocol.WithLevel(m.Level))
+		}
 		b.Message(m.Name, m.Type, opts...)
 	}
 	declare := func(cb *protocol.ControllerBuilder, cs CtrlSpec) {
@@ -165,11 +203,23 @@ func (s *Spec) Build() (*protocol.Protocol, error) {
 	dir := b.Dir(s.Dir.Initial)
 	declare(dir, s.Dir)
 	dir.Columns(s.Dir.Events...)
+	var l2 *protocol.ControllerBuilder
+	if s.TwoLevel() {
+		l2 = b.L2(s.L2.Initial)
+		declare(l2, s.L2)
+		l2.Columns(s.L2.Events...)
+	}
 
 	for _, t := range s.Trans {
 		cb := cache
-		if t.Ctrl == protocol.DirCtrl {
+		switch t.Ctrl {
+		case protocol.DirCtrl:
 			cb = dir
+		case protocol.L2Ctrl:
+			if l2 == nil {
+				return nil, fmt.Errorf("ptest: spec %q has L2 cells but no L2 states", s.Name)
+			}
+			cb = l2
 		}
 		if t.Stall {
 			cb.StallOn(t.State, t.Event)
@@ -244,10 +294,7 @@ func (s *Spec) dropMessage(name string) {
 // away and transitions targeting it become stay-transitions. The
 // initial state is never dropped (the caller guards, but be safe).
 func (s *Spec) dropState(kind protocol.ControllerKind, name string) {
-	cs := &s.Cache
-	if kind == protocol.DirCtrl {
-		cs = &s.Dir
-	}
+	cs := s.ctrl(kind)
 	if cs.Initial == name {
 		return
 	}
@@ -301,11 +348,8 @@ func (s *Spec) normalize() {
 		if changed {
 			continue
 		}
-		for _, kind := range []protocol.ControllerKind{protocol.CacheCtrl, protocol.DirCtrl} {
-			cs := s.Cache
-			if kind == protocol.DirCtrl {
-				cs = s.Dir
-			}
+		for _, kind := range s.ctrlKinds() {
+			cs := *s.ctrl(kind)
 			referenced := map[string]bool{cs.Initial: true}
 			for _, t := range s.Trans {
 				if t.Ctrl != kind {
