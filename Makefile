@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt check bench bench-smoke bench-gate fuzz-smoke table serve serve-smoke family family-smoke family-cover
+.PHONY: build test race vet fmt check bench bench-smoke bench-gate fuzz-smoke table serve serve-smoke family family-smoke family-cover ledger-smoke
 
 build:
 	$(GO) build ./...
@@ -92,3 +92,22 @@ serve:
 serve-smoke:
 	$(GO) run ./cmd/vnbench -serve -serve-stats SERVE_stats.json \
 		-out BENCH_serve.json
+
+# End-to-end check of the run ledger and regression attribution: record
+# a real (bounded) verification, append a synthetically perturbed copy
+# of it with vnstats inject, and require vnstats compare to attribute
+# the regression to exactly the injected stage, rule, and stripe range
+# (-expect exits nonzero on a miss). list and trend then read the same
+# ledger back, proving the query side parses what the record side
+# wrote. Leaves LEDGER_smoke.jsonl behind as the artifact.
+ledger-smoke:
+	rm -f LEDGER_smoke.jsonl
+	$(GO) run ./cmd/vnverify -workers 4 -store compact -max-states 30000 \
+		-ledger LEDGER_smoke.jsonl MSI_nonblocking_cache
+	$(GO) run ./cmd/vnstats inject -ledger LEDGER_smoke.jsonl -slow 1.6 \
+		-stage mc/check=2.0 -rule deliver/vn0=2.5 -stripes 12-19=2.0
+	$(GO) run ./cmd/vnstats compare -ledger LEDGER_smoke.jsonl -top 5 \
+		-json LEDGER_attr.json \
+		-expect stage:mc/check,rule:deliver/vn0,stripes:12-19
+	$(GO) run ./cmd/vnstats list -ledger LEDGER_smoke.jsonl
+	$(GO) run ./cmd/vnstats trend -ledger LEDGER_smoke.jsonl

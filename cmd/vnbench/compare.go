@@ -35,7 +35,10 @@ import (
 	"os"
 	"sort"
 
+	"minvn/internal/mc"
 	"minvn/internal/obs"
+	"minvn/internal/obs/health"
+	"minvn/internal/obs/ledger"
 )
 
 type compareOptions struct {
@@ -66,6 +69,12 @@ type compareRun struct {
 	OccLocalHWM  int64   `json:"occ_local_hwm"`
 	OccGlobal    float64 `json:"occ_global_mean"`
 	OccLocal     float64 `json:"occ_local_mean"`
+	// RuleFirings and Health ride on each protocol/store's baseline-
+	// engine row; when present on both sides of a regression they feed
+	// the attribution (which rule, which stripe range, which worker
+	// phase absorbed the lost throughput).
+	RuleFirings map[string]int64 `json:"rule_firings,omitempty"`
+	Health      *health.Report   `json:"health,omitempty"`
 }
 
 type compareDoc struct {
@@ -90,6 +99,11 @@ type diffRow struct {
 	OldHeap   float64 `json:"old_heap_bytes,omitempty"`
 	NewHeap   float64 `json:"new_heap_bytes,omitempty"`
 	HeapDelta float64 `json:"heap_bytes_delta,omitempty"`
+	// Attribution names the top contributors behind a regression
+	// verdict (per-rule firing excess, worker-phase time, stripe skew),
+	// computed with the same engine vnstats compare uses. Present only
+	// when the row regressed and either side carried profile data.
+	Attribution *ledger.Attribution `json:"attribution,omitempty"`
 }
 
 func loadCompareDoc(path string) (*compareDoc, error) {
@@ -237,12 +251,14 @@ func compareOne(o, n compareRun, opt compareOptions) diffRow {
 	if row.SPSDelta < -opt.Threshold {
 		row.Verdict = "regression"
 		row.Detail = fmt.Sprintf("states/s fell %.1f%% (gate: %.0f%%)", -100*row.SPSDelta, 100*opt.Threshold)
+		row.Attribution = rowAttribution(o, n)
 		return row
 	}
 	if row.HeapDelta > opt.HeapThreshold &&
 		o.HeapBytes >= opt.HeapFloorBytes && n.HeapBytes >= opt.HeapFloorBytes {
 		row.Verdict = "heap-regression"
 		row.Detail = fmt.Sprintf("heap grew %.1f%% (gate: %.0f%%)", 100*row.HeapDelta, 100*opt.HeapThreshold)
+		row.Attribution = rowAttribution(o, n)
 		return row
 	}
 	if row.SPSDelta > opt.Threshold {
@@ -251,6 +267,27 @@ func compareOne(o, n compareRun, opt compareOptions) diffRow {
 	}
 	row.Verdict = "ok"
 	return row
+}
+
+// rowAttribution runs the ledger attribution engine over a regressed
+// row pair by lifting each row into a synthetic record. Rows that
+// carry no profile data (non-baseline engines) attribute to nothing;
+// the verdict stands on its own either way.
+func rowAttribution(o, n compareRun) *ledger.Attribution {
+	a := ledger.Attribute(recordFromRun(o), recordFromRun(n), 5)
+	if len(a.Contributors) == 0 {
+		return nil
+	}
+	return &a
+}
+
+func recordFromRun(r compareRun) *ledger.Record {
+	return &ledger.Record{Snapshot: &mc.Snapshot{
+		ElapsedSeconds: r.Seconds,
+		StatesPerSec:   r.StatesPerSec,
+		RuleFirings:    r.RuleFirings,
+		Health:         r.Health,
+	}}
 }
 
 // gateFailure reports whether a verdict fails the gate. "new" and
@@ -301,6 +338,11 @@ func runCompare(oldPath, newPath string, opt compareOptions, stdout, stderr io.W
 			fmt.Fprintf(stdout, "  %s", row.Detail)
 		}
 		fmt.Fprintln(stdout)
+		if row.Attribution != nil {
+			for _, c := range row.Attribution.Contributors {
+				fmt.Fprintf(stdout, "      due to %s\n", c)
+			}
+		}
 	}
 
 	outcome := "ok"

@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"minvn/internal/obs"
+	"minvn/internal/obs/health"
 )
 
 func gateOpts() compareOptions {
@@ -197,5 +198,101 @@ func TestCompareMissingRowFails(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "missing") {
 		t.Fatalf("no missing verdict:\n%s", out.String())
+	}
+}
+
+// TestCompareRegressionAttribution: a regressed row that carries the
+// baseline-engine profile (rule firings + health) gets its slowdown
+// attributed — the diff artifact and the console both name the rule
+// whose firings grew beyond uniform scale and the stripe range that
+// absorbed the excess state mass.
+func TestCompareRegressionAttribution(t *testing.T) {
+	dir := t.TempDir()
+
+	profiledRow := func(sps, seconds float64, firings map[string]int64, stripes []int64, cv float64) map[string]any {
+		row := benchRow("seq", sps, 64<<20, seconds)
+		row["rule_firings"] = firings
+		row["health"] = &health.Report{
+			Stripes:         len(stripes),
+			StripeOccupancy: stripes,
+			OccCV:           cv,
+		}
+		return row
+	}
+	uniform := func(n int, v int64) []int64 {
+		out := make([]int64, n)
+		for i := range out {
+			out[i] = v
+		}
+		return out
+	}
+
+	old := benchDoc(t, dir, "old.json", []map[string]any{profiledRow(
+		60000, 0.33,
+		map[string]int64{"core/load": 10000, "deliver/vn0": 20000, "process/Ack": 10000},
+		uniform(8, 1000), 0.02,
+	)})
+	// Candidate: 50% slower; deliver/vn0 fired 2.5x while the others
+	// stayed flat, and stripes 2-3 tripled their occupancy.
+	hotStripes := uniform(8, 1000)
+	hotStripes[2], hotStripes[3] = 3000, 3000
+	new := benchDoc(t, dir, "new.json", []map[string]any{profiledRow(
+		30000, 0.66,
+		map[string]int64{"core/load": 10000, "deliver/vn0": 50000, "process/Ack": 10000},
+		hotStripes, 0.41,
+	)})
+
+	diffOut := filepath.Join(dir, "diff.json")
+	opt := gateOpts()
+	opt.DiffOut = diffOut
+	var out, errw bytes.Buffer
+	if code := runCompare(old, new, opt, &out, &errw); code != 1 {
+		t.Fatalf("regression: exit %d, want 1\n%s%s", code, out.String(), errw.String())
+	}
+	for _, want := range []string{"due to", "[rule] deliver/vn0", "[stripes] 2-3"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("console attribution misses %q:\n%s", want, out.String())
+		}
+	}
+
+	raw, err := os.ReadFile(diffOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var diff struct {
+		Metrics struct {
+			Rows []diffRow `json:"rows"`
+		} `json:"metrics"`
+	}
+	if err := json.Unmarshal(raw, &diff); err != nil {
+		t.Fatal(err)
+	}
+	attr := diff.Metrics.Rows[0].Attribution
+	if attr == nil {
+		t.Fatal("diff artifact row carries no attribution")
+	}
+	kinds := map[string]string{}
+	for _, c := range attr.Contributors {
+		if _, ok := kinds[c.Kind]; !ok {
+			kinds[c.Kind] = c.Name // top contributor per kind (sorted by share)
+		}
+	}
+	if kinds["rule"] != "deliver/vn0" || kinds["stripes"] != "2-3" {
+		t.Fatalf("top contributors = %v, want rule deliver/vn0 and stripes 2-3", kinds)
+	}
+}
+
+// A regressed row with no profile data still gates — it just carries
+// no attribution.
+func TestCompareRegressionWithoutProfile(t *testing.T) {
+	dir := t.TempDir()
+	old := benchDoc(t, dir, "old.json", []map[string]any{benchRow("seq", 60000, 64<<20, 0.33)})
+	new := benchDoc(t, dir, "new.json", []map[string]any{benchRow("seq", 30000, 64<<20, 0.66)})
+	var out, errw bytes.Buffer
+	if code := runCompare(old, new, gateOpts(), &out, &errw); code != 1 {
+		t.Fatalf("regression: exit %d, want 1\n%s%s", code, out.String(), errw.String())
+	}
+	if strings.Contains(out.String(), "due to") {
+		t.Fatalf("attribution invented contributors from nothing:\n%s", out.String())
 	}
 }

@@ -85,7 +85,7 @@ func main() {
 		cmpDiffOut    = flag.String("diff-out", "BENCH_diff.json", "-compare: write the diff artifact to this file (empty disables)")
 	)
 	tel := cliflag.Register(flag.CommandLine,
-		cliflag.FlagStatsJSON|cliflag.FlagPprof|cliflag.FlagTrace)
+		cliflag.FlagStatsJSON|cliflag.FlagPprof|cliflag.FlagTrace|cliflag.FlagLedger)
 	flag.Parse()
 
 	if *compareMode {
@@ -329,6 +329,7 @@ func main() {
 				if eng == engList[0] {
 					run["occupancy"] = occ
 					run["health"] = res.Stats.Health
+					run["rule_firings"] = res.Stats.RuleFirings
 				}
 				runs = append(runs, run)
 			}
@@ -350,13 +351,13 @@ func main() {
 	fmt.Printf("wrote %s\n", *out)
 	// -stats-json writes a second copy of the artifact, so pipelines
 	// that collect stats-json from every tool need not special-case the
-	// benchmark's -out.
-	if tel.StatsJSON != "" && tel.StatsJSON != *out {
-		if err := art.WriteFile(tel.StatsJSON); err != nil {
-			fmt.Fprintln(os.Stderr, "vnbench: stats-json:", err)
-			os.Exit(1)
-		}
-		fmt.Printf("wrote %s\n", tel.StatsJSON)
+	// benchmark's -out; -ledger records the whole matrix as one run.
+	if tel.StatsJSON == *out {
+		tel.StatsJSON = ""
+	}
+	if err := tel.Finish(art, nil, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "vnbench:", err)
+		os.Exit(1)
 	}
 	os.Exit(exitCode)
 }

@@ -180,7 +180,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		fmt.Fprintf(stdout, "wrote %s\n", *dotOut)
 	}
-	if tel.StatsJSON != "" {
+	if tel.WantArtifact() {
 		art := newArtifact(p.Name, *vnMode, numVNs, cfg, opts)
 		art.Outcome = res.Outcome.Tag()
 		art.Metrics = res.Stats
@@ -188,11 +188,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if prof != nil {
 			art.Extra["occupancy"] = prof.Stats()
 		}
-		if err := art.WriteFile(tel.StatsJSON); err != nil {
-			fmt.Fprintln(stderr, "vnexplain: stats-json:", err)
+		if err := tel.Finish(art, &res.Stats, stdout); err != nil {
+			fmt.Fprintln(stderr, "vnexplain:", err)
 			return 1
 		}
-		fmt.Fprintf(stdout, "wrote %s\n", tel.StatsJSON)
 	}
 	return 0
 }

@@ -43,7 +43,7 @@ func run(args []string, stdout, stderr *os.File) int {
 		selfTest   = fs.Bool("self-test", false, "run the fault-injection self-test instead of a campaign")
 	)
 	tel := cliflag.Register(fs,
-		cliflag.FlagProgress|cliflag.FlagStatsJSON|cliflag.FlagPprof|cliflag.FlagTrace)
+		cliflag.FlagProgress|cliflag.FlagStatsJSON|cliflag.FlagPprof|cliflag.FlagTrace|cliflag.FlagLedger)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -133,7 +133,7 @@ func run(args []string, stdout, stderr *os.File) int {
 		fmt.Fprintln(stderr, "vnfuzz: trace-out:", err)
 		return 1
 	}
-	if tel.StatsJSON != "" {
+	if tel.WantArtifact() {
 		art := obs.NewArtifact("vnfuzz")
 		art.Params["seed"] = *seed
 		art.Params["count"] = *count
@@ -160,11 +160,10 @@ func run(args []string, stdout, stderr *os.File) int {
 		if len(reproPaths) > 0 {
 			art.Extra = map[string]any{"repros": reproPaths}
 		}
-		if err := art.WriteFile(tel.StatsJSON); err != nil {
-			fmt.Fprintln(stderr, "vnfuzz: stats-json:", err)
+		if err := tel.Finish(art, nil, stdout); err != nil {
+			fmt.Fprintln(stderr, "vnfuzz:", err)
 			return 1
 		}
-		fmt.Fprintf(stdout, "wrote %s\n", tel.StatsJSON)
 	}
 	if len(res.Violations) > 0 {
 		return 1

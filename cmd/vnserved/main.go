@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"minvn/internal/obs"
+	"minvn/internal/obs/ledger"
 	"minvn/internal/serve"
 )
 
@@ -42,7 +43,10 @@ func main() {
 	statsJSON := fs.String("stats-json", "", "write final server stats as a JSON artifact to this file on shutdown")
 	jobLog := fs.String("job-log", "", "write the structured per-job JSONL event log to this file (\"-\" = stderr)")
 	jobLogLevel := fs.String("job-log-level", "info", "minimum job-log level: debug, info, warn, or error")
+	jobLogMaxBytes := fs.Int64("job-log-max-bytes", 0, "rotate the -job-log file when it would exceed this size (0 = never)")
+	jobLogKeep := fs.Int("job-log-keep", 3, "rotated -job-log generations to keep (file.1 .. file.N)")
 	traceJobs := fs.Int("trace-jobs", 4, "keep per-job flight recorders for the N most recent jobs (GET /debug/trace; 0 disables)")
+	ledgerPath := fs.String("ledger", "", "append one content-addressed record per completed job to this run-ledger file (GET /v1/runs pages it)")
 	fs.Parse(os.Args[1:])
 
 	level, err := serve.ParseLogLevel(*jobLogLevel)
@@ -51,18 +55,31 @@ func main() {
 		os.Exit(2)
 	}
 	var logW io.Writer
+	var logFile *serve.RotatingWriter
 	switch *jobLog {
 	case "":
 	case "-":
 		logW = os.Stderr
 	default:
-		f, err := os.OpenFile(*jobLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		f, err := serve.NewRotatingWriter(*jobLog, *jobLogMaxBytes, *jobLogKeep)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "vnserved:", err)
 			os.Exit(1)
 		}
 		defer f.Close()
 		logW = f
+		logFile = f
+	}
+
+	var led *ledger.Ledger
+	if *ledgerPath != "" {
+		l, err := ledger.Open(*ledgerPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vnserved:", err)
+			os.Exit(1)
+		}
+		defer l.Close()
+		led = l
 	}
 
 	if err := run(*addr, serve.Config{
@@ -76,13 +93,14 @@ func main() {
 		JobLog:          logW,
 		JobLogLevel:     level,
 		TraceJobs:       *traceJobs,
-	}, *drainTimeout, *statsJSON); err != nil {
+		Ledger:          led,
+	}, *drainTimeout, *statsJSON, logFile, led); err != nil {
 		fmt.Fprintln(os.Stderr, "vnserved:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, cfg serve.Config, drainTimeout time.Duration, statsJSON string) error {
+func run(addr string, cfg serve.Config, drainTimeout time.Duration, statsJSON string, logFile *serve.RotatingWriter, led *ledger.Ledger) error {
 	srv := serve.New(cfg)
 
 	ln, err := net.Listen("tcp", addr)
@@ -114,6 +132,19 @@ func run(addr string, cfg serve.Config, drainTimeout time.Duration, statsJSON st
 	}
 	if err := hs.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		fmt.Fprintf(os.Stderr, "vnserved: http shutdown: %v\n", err)
+	}
+	// The drain is the last moment this process owns its on-disk
+	// telemetry: fsync the job log and run ledger so both survive a
+	// power cut right after exit.
+	if logFile != nil {
+		if err := logFile.Sync(); err != nil {
+			fmt.Fprintf(os.Stderr, "vnserved: job-log sync: %v\n", err)
+		}
+	}
+	if led != nil {
+		if err := led.Sync(); err != nil {
+			fmt.Fprintf(os.Stderr, "vnserved: ledger sync: %v\n", err)
+		}
 	}
 
 	if statsJSON != "" {

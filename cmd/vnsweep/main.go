@@ -22,6 +22,8 @@ import (
 
 	"minvn/internal/machine"
 	"minvn/internal/mc"
+	"minvn/internal/obs"
+	"minvn/internal/obs/ledger"
 	"minvn/internal/protocol"
 	"minvn/internal/protocol/xform"
 	"minvn/internal/protocols"
@@ -125,6 +127,7 @@ func main() {
 		engines   = flag.String("engines", "seq,levels,pipeline", "comma-separated engines")
 		stores    = flag.String("stores", "exact,compact", "comma-separated visited-set modes")
 		workers   = flag.Int("workers", 1, "workers for parallel engines")
+		ledgerOut = flag.String("ledger", "", "append the sweep's outcome to the content-addressed run ledger at this path")
 	)
 	flag.Parse()
 	if *out == "" && *check == "" {
@@ -167,10 +170,59 @@ func main() {
 		}
 		fmt.Printf("%s agrees with recomputed family (%d rows)\n", *check, len(ff.Rows))
 	}
+	if *ledgerOut != "" {
+		if err := recordSweep(*ledgerOut, ff, disagree); err != nil {
+			fmt.Fprintln(os.Stderr, "vnsweep: ledger:", err)
+			os.Exit(1)
+		}
+	}
 	if disagree > 0 {
 		fmt.Fprintf(os.Stderr, "vnsweep: %d rows with engine/store disagreement\n", disagree)
 		os.Exit(1)
 	}
+}
+
+// recordSweep appends one ledger record summarizing the whole campaign:
+// the sweep config, row count, and per-row class/minVN/outcome — enough
+// for vnstats to track family drift across commits without replaying
+// FAMILY_mc.json.
+func recordSweep(path string, ff *familyFile, disagree int) error {
+	art := obs.NewArtifact("vnsweep")
+	art.Params["caches"] = ff.Config.Caches
+	art.Params["dirs"] = ff.Config.Dirs
+	art.Params["addrs"] = ff.Config.Addrs
+	art.Params["max_states"] = ff.Config.MaxStates
+	art.Params["engines"] = ff.Engines
+	art.Params["stores"] = ff.Stores
+	art.Outcome = "ok"
+	if disagree > 0 {
+		art.Outcome = "disagree"
+	}
+	rows := make([]map[string]any, 0, len(ff.Rows))
+	for _, r := range ff.Rows {
+		rows = append(rows, map[string]any{
+			"protocol": r.Protocol, "variant": r.Variant,
+			"class": r.Class, "min_vns": r.MinVNs, "agree": r.Agree,
+		})
+	}
+	art.Metrics = map[string]any{"rows": len(ff.Rows), "disagree": disagree}
+	art.Extra = map[string]any{"family": rows}
+
+	l, err := ledger.Open(path)
+	if err != nil {
+		return err
+	}
+	defer l.Close()
+	id, dup, err := l.Append(ledger.FromArtifact(art))
+	if err != nil {
+		return err
+	}
+	if dup {
+		fmt.Printf("ledger: %s already recorded (%s)\n", id[:12], path)
+	} else {
+		fmt.Printf("ledger: recorded %s (%s)\n", id[:12], path)
+	}
+	return nil
 }
 
 // sweep computes the full family table.

@@ -82,7 +82,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		workers   = fs.Int("workers", 1, "parallel BFS workers (0 = GOMAXPROCS; deadlock cells use DFS and stay sequential)")
 		shards    = fs.Int("shards", 0, "visited-set shards for the pipeline engine (0 = default)")
 	)
-	tel := cliflag.Register(fs, cliflag.FlagProgress|cliflag.FlagStatsJSON|cliflag.FlagPprof|cliflag.FlagTrace)
+	tel := cliflag.Register(fs, cliflag.FlagProgress|cliflag.FlagStatsJSON|cliflag.FlagPprof|cliflag.FlagTrace|cliflag.FlagLedger)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -169,7 +169,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "vntable: trace-out:", err)
 		return 1
 	}
-	if tel.StatsJSON != "" {
+	if tel.WantArtifact() {
 		art := obs.NewArtifact("vntable")
 		art.Params["mc"] = *runMC
 		art.Params["extensions"] = *ext
@@ -186,11 +186,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 			art.Outcome = "mismatch"
 		}
 		art.Metrics = map[string]any{"rows": artRows}
-		if err := art.WriteFile(tel.StatsJSON); err != nil {
-			fmt.Fprintln(stderr, "vntable: stats-json:", err)
+		if err := tel.Finish(art, nil, stdout); err != nil {
+			fmt.Fprintln(stderr, "vntable:", err)
 			return 1
 		}
-		fmt.Fprintf(stdout, "wrote %s\n", tel.StatsJSON)
 	}
 	return exitCode
 }

@@ -134,7 +134,7 @@ func main() {
 				bad++
 			}
 		}
-		if tel.StatsJSON != "" {
+		if tel.WantArtifact() {
 			art := runArtifact(p.Name, *vnMode, numVNs, vn, cfg, mc.Options{}, 0)
 			art.Outcome = "walks-ok"
 			if bad > 0 {
@@ -142,8 +142,8 @@ func main() {
 			}
 			art.Metrics = map[string]any{"walks": *walk, "walk_steps": *walkSteps, "bad": bad}
 			art.Stages = tl.Stages()
-			if err := art.WriteFile(tel.StatsJSON); err != nil {
-				fmt.Fprintln(os.Stderr, "vnverify: stats-json:", err)
+			if err := tel.Finish(art, nil, os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, "vnverify:", err)
 				os.Exit(1)
 			}
 		}
@@ -200,7 +200,7 @@ func main() {
 			st.GlobalHighWater, capLabel(st.GlobalCap),
 			st.LocalHighWater, capLabel(st.LocalCap))
 	}
-	if tel.StatsJSON != "" {
+	if tel.WantArtifact() {
 		art := runArtifact(p.Name, *vnMode, numVNs, vn, cfg, opts, *workers)
 		art.Params["engine"] = eng.String()
 		art.Params["shards"] = *shards
@@ -216,11 +216,10 @@ func main() {
 			}
 			art.Extra["occupancy"] = prof.Stats()
 		}
-		if err := art.WriteFile(tel.StatsJSON); err != nil {
-			fmt.Fprintln(os.Stderr, "vnverify: stats-json:", err)
+		if err := tel.Finish(art, &res.Stats, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "vnverify:", err)
 			os.Exit(1)
 		}
-		fmt.Printf("wrote %s\n", tel.StatsJSON)
 	}
 	if *trace && len(res.Trace) > 0 {
 		last := res.Trace[len(res.Trace)-1]

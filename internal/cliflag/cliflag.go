@@ -14,6 +14,7 @@ import (
 
 	"minvn/internal/mc"
 	"minvn/internal/obs"
+	"minvn/internal/obs/ledger"
 	"minvn/internal/obs/trace"
 )
 
@@ -32,9 +33,11 @@ const (
 	FlagTrace
 	// FlagOccupancy defines -occupancy.
 	FlagOccupancy
+	// FlagLedger defines -ledger.
+	FlagLedger
 
 	// FlagAll registers the whole set.
-	FlagAll = FlagProgress | FlagStatsJSON | FlagPprof | FlagTrace | FlagOccupancy
+	FlagAll = FlagProgress | FlagStatsJSON | FlagPprof | FlagTrace | FlagOccupancy | FlagLedger
 )
 
 // Telemetry carries the parsed telemetry knobs for one command.
@@ -44,6 +47,7 @@ type Telemetry struct {
 	ProgressInterval time.Duration
 
 	StatsJSON string
+	Ledger    string
 	PprofAddr string
 
 	TraceOut     string
@@ -78,7 +82,69 @@ func Register(fs *flag.FlagSet, which Flags) *Telemetry {
 	if which&FlagOccupancy != 0 {
 		fs.BoolVar(&t.Occupancy, "occupancy", false, "aggregate per-VN queue-depth histograms across stored states")
 	}
+	if which&FlagLedger != 0 {
+		fs.StringVar(&t.Ledger, "ledger", "", "append this run's artifact to the content-addressed run ledger at this path")
+	}
 	return t
+}
+
+// WantArtifact reports whether the command should build a run artifact
+// at all: either surface (-stats-json file, -ledger history) needs one.
+func (t *Telemetry) WantArtifact() bool {
+	return t.StatsJSON != "" || t.Ledger != ""
+}
+
+// WriteStats writes the run artifact to -stats-json, announcing the
+// path on stdout — the write/error path every CLI used to duplicate.
+// A no-op when the flag is unset.
+func (t *Telemetry) WriteStats(art *obs.Artifact, stdout io.Writer) error {
+	if t.StatsJSON == "" || art == nil {
+		return nil
+	}
+	if err := art.WriteFile(t.StatsJSON); err != nil {
+		return fmt.Errorf("stats-json: %w", err)
+	}
+	fmt.Fprintf(stdout, "wrote %s\n", t.StatsJSON)
+	return nil
+}
+
+// AppendLedger appends the run artifact to the -ledger history,
+// overriding the artifact's generic metrics with the typed final
+// snapshot when the caller has one. Dedup is announced rather than
+// hidden: re-recording an identical run is normal across replicas.
+// A no-op when the flag is unset.
+func (t *Telemetry) AppendLedger(art *obs.Artifact, snap *mc.Snapshot, stdout io.Writer) error {
+	if t.Ledger == "" || art == nil {
+		return nil
+	}
+	l, err := ledger.Open(t.Ledger)
+	if err != nil {
+		return fmt.Errorf("ledger: %w", err)
+	}
+	defer l.Close()
+	rec := ledger.FromArtifact(art)
+	if snap != nil {
+		rec.Snapshot = snap
+	}
+	id, dup, err := l.Append(rec)
+	if err != nil {
+		return fmt.Errorf("ledger: %w", err)
+	}
+	if dup {
+		fmt.Fprintf(stdout, "ledger: %s already recorded (%s)\n", id[:12], t.Ledger)
+	} else {
+		fmt.Fprintf(stdout, "ledger: recorded %s (%s)\n", id[:12], t.Ledger)
+	}
+	return nil
+}
+
+// Finish runs both artifact sinks: the -stats-json file and the
+// -ledger run history.
+func (t *Telemetry) Finish(art *obs.Artifact, snap *mc.Snapshot, stdout io.Writer) error {
+	if err := t.WriteStats(art, stdout); err != nil {
+		return err
+	}
+	return t.AppendLedger(art, snap, stdout)
 }
 
 // StartPprof serves net/http/pprof when -pprof was given, announcing

@@ -1,0 +1,77 @@
+package obs_test
+
+// External test package: obs cannot import mc in-package (mc depends
+// on obs), but the artifact contract that matters to every CLI is that
+// a final mc.Snapshot — engine health report included — survives the
+// write-to-disk / read-back round trip losslessly. vnstats trend and
+// compare both reason over snapshots recovered this way.
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"minvn/internal/mc"
+	"minvn/internal/obs"
+	"minvn/internal/obs/health"
+)
+
+func TestArtifactSnapshotHealthRoundTrip(t *testing.T) {
+	snap := mc.Snapshot{
+		Strategy: "pipeline", Store: "compact",
+		ElapsedSeconds: 1.25, States: 20000, Frontier: 12, MaxDepth: 7,
+		Expansions: 41000, Generated: 120000, DedupHits: 79000,
+		DedupHitRate: 0.65, StatesPerSec: 16000,
+		DepthHistogram: []int64{1, 8, 64, 512},
+		RuleFirings:    map[string]int64{"core/load": 9000, "deliver/vn0": 15000},
+		HeapBytes:      64 << 20,
+		Health: &health.Report{
+			Stripes:         4,
+			StripeOccupancy: []int64{5000, 5001, 4999, 5000},
+			StripeDedupHits: []int64{100, 90, 110, 95},
+			OccMin:          4999, OccMax: 5001, OccMean: 5000, OccCV: 0.00014,
+			ArenaBytes: 1 << 20, SetBytes: 2 << 20, UnverifiedHits: 3,
+			LockWaitNS: 12345, LockWaitSamples: 17,
+			ReorderStalls: 2, ReorderMax: 9,
+			Workers: []health.WorkerStats{
+				{Worker: 0, Batches: 10, States: 10000, ExpandNS: 600_000_000, QueueWaitNS: 50_000_000, SendWaitNS: 1_000_000},
+				{Worker: 1, Batches: 11, States: 10000, ExpandNS: 610_000_000, QueueWaitNS: 40_000_000, SendWaitNS: 2_000_000},
+			},
+		},
+		Final: true,
+	}
+
+	art := obs.NewArtifact("vnverify")
+	art.Params["protocol"] = "MSI"
+	art.Outcome = "ok"
+	art.Metrics = snap
+
+	path := filepath.Join(t.TempDir(), "stats.json")
+	if err := art.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got struct {
+		Tool    string      `json:"tool"`
+		Metrics mc.Snapshot `json:"metrics"`
+	}
+	if err := json.Unmarshal(raw, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Tool != "vnverify" {
+		t.Errorf("tool = %q", got.Tool)
+	}
+	// Occupancy is declared `any` and irrelevant here; everything else,
+	// the health report above all, must survive bit-exactly.
+	if !reflect.DeepEqual(got.Metrics, snap) {
+		t.Fatalf("snapshot did not round-trip:\ngot  %+v\nwant %+v", got.Metrics, snap)
+	}
+	if got.Metrics.Health == nil || !reflect.DeepEqual(*got.Metrics.Health, *snap.Health) {
+		t.Fatalf("health report did not round-trip:\ngot  %+v\nwant %+v", got.Metrics.Health, snap.Health)
+	}
+}

@@ -141,6 +141,15 @@ func (r *Report) summarizeOccupancy() {
 	}
 }
 
+// Resummarize recomputes the occupancy skew summary (OccMin, OccMax,
+// OccMean, OccCV) after StripeOccupancy has been edited — for tooling
+// that perturbs a finished report (vnstats inject); engines never call
+// it.
+func (r *Report) Resummarize() {
+	r.OccMin, r.OccMax, r.OccMean, r.OccCV = 0, 0, 0, 0
+	r.summarizeOccupancy()
+}
+
 // ExpandNS sums worker expansion time across the pool.
 func (r *Report) ExpandNS() int64 {
 	var t int64

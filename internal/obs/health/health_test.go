@@ -132,3 +132,73 @@ func itoa(n int) string {
 	}
 	return string(digits)
 }
+
+// TestWritePromTextZeroReport: a zero-value report (no stripes, no
+// workers — an engine that never filled it) still renders valid
+// exposition text: the scalar families with zero samples, no labeled
+// series, and no panic.
+func TestWritePromTextZeroReport(t *testing.T) {
+	var r Report
+	var b strings.Builder
+	if err := r.WritePromText(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	for _, want := range []string{
+		"mc_shard_occ_cv_ppm 0",
+		"mc_lock_wait_seconds 0",
+		"mc_arena_bytes 0",
+		"mc_set_bytes 0",
+		"mc_unverified_hits 0",
+		"mc_reorder_stalls 0",
+		"mc_reorder_max 0",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("zero report missing %q:\n%s", want, got)
+		}
+	}
+	for _, absent := range []string{"mc_shard_occupancy{", "mc_worker_expand_seconds{"} {
+		if strings.Contains(got, absent) {
+			t.Errorf("zero report emitted empty labeled series %q:\n%s", absent, got)
+		}
+	}
+	// Exposition-format shape: every non-comment line is "name value"
+	// and every family is typed before its first sample.
+	typed := map[string]bool{}
+	for _, line := range strings.Split(strings.TrimSpace(got), "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			typed[strings.Fields(line)[2]] = true
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			t.Errorf("malformed sample line %q", line)
+			continue
+		}
+		if !typed[fields[0]] {
+			t.Errorf("sample %q precedes its # TYPE line", fields[0])
+		}
+	}
+}
+
+// TestResummarize: perturbing a finished report's stripes and calling
+// Resummarize recomputes the occupancy aggregates exactly as the
+// engine-side summarization would have.
+func TestResummarize(t *testing.T) {
+	var s ShardSampler
+	for i := 0; i < 1000; i++ {
+		s.Store(uint64(i) * 0x9e3779b97f4a7c15)
+	}
+	var want Report
+	s.Fill(&want)
+
+	got := want // copy, then wreck the aggregates
+	got.OccMin, got.OccMax, got.OccMean, got.OccCV = -1, -1, -1, -1
+	got.Resummarize()
+	if got.OccMin != want.OccMin || got.OccMax != want.OccMax ||
+		got.OccMean != want.OccMean || got.OccCV != want.OccCV {
+		t.Fatalf("Resummarize drifted from Fill: got min=%d max=%d mean=%g cv=%g, want min=%d max=%d mean=%g cv=%g",
+			got.OccMin, got.OccMax, got.OccMean, got.OccCV,
+			want.OccMin, want.OccMax, want.OccMean, want.OccCV)
+	}
+}

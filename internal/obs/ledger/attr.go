@@ -1,0 +1,309 @@
+package ledger
+
+import (
+	"fmt"
+	"sort"
+
+	"minvn/internal/obs"
+	"minvn/internal/obs/health"
+)
+
+// Attribution noise floors. Deltas below these are indistinguishable
+// from run-to-run jitter at smoke scale and are never reported; the
+// methodology (and why these values) is documented in EXPERIMENTS.md.
+const (
+	// attrStageNoiseSec: stage and worker time deltas under 5 ms.
+	attrStageNoiseSec = 0.005
+	// attrCountNoiseFrac: rule-firing / stripe-occupancy excess under
+	// 1% of the run's total (with a small absolute floor).
+	attrCountNoiseFrac = 0.01
+	attrCountNoiseMin  = 8
+)
+
+// Contributor is one ranked cause of a performance delta between two
+// ledger records. Share is the fraction of its own kind's total drift
+// this contributor explains (shares are normalized within a kind, not
+// across kinds — seconds and firing counts have no common unit).
+type Contributor struct {
+	Kind   string  `json:"kind"` // "stage" | "worker" | "rule" | "stripes"
+	Name   string  `json:"name"`
+	Old    float64 `json:"old"`
+	New    float64 `json:"new"`
+	Share  float64 `json:"share"`
+	Detail string  `json:"detail"`
+}
+
+// String renders a contributor the way vnstats prints it.
+func (c Contributor) String() string {
+	return fmt.Sprintf("[%s] %s — %s (explains %.0f%% of %s drift)",
+		c.Kind, c.Name, c.Detail, c.Share*100, c.Kind)
+}
+
+// Attribution is the result of diffing two ledger records: a headline
+// throughput move plus the top-k contributors explaining it.
+type Attribution struct {
+	OldID           string        `json:"old_id,omitempty"`
+	NewID           string        `json:"new_id,omitempty"`
+	OldStatesPerSec float64       `json:"old_states_per_sec,omitempty"`
+	NewStatesPerSec float64       `json:"new_states_per_sec,omitempty"`
+	Contributors    []Contributor `json:"contributors,omitempty"`
+}
+
+// Headline summarizes the throughput move, or reports that none was
+// measurable.
+func (a Attribution) Headline() string {
+	if a.OldStatesPerSec <= 0 || a.NewStatesPerSec <= 0 {
+		return "throughput: not comparable (missing states/s)"
+	}
+	pct := (a.NewStatesPerSec - a.OldStatesPerSec) / a.OldStatesPerSec * 100
+	return fmt.Sprintf("throughput: %.0f -> %.0f states/s (%+.1f%%)",
+		a.OldStatesPerSec, a.NewStatesPerSec, pct)
+}
+
+// Attribute diffs two records and ranks the top-k contributors to the
+// change: stage-timer summaries (seconds), worker expand / queue-wait /
+// send-wait profiles (seconds), per-rule firing counts (excess over
+// uniform growth), and health stripe occupancy skew (the contiguous
+// stripe range with the largest excess, plus the occ_cv move). The
+// ranking is observational — it names where the time and state mass
+// moved, not a proven cause. Either record may lack any dimension; only
+// dimensions present on both sides are diffed. k <= 0 keeps every
+// contributor that clears a noise floor.
+func Attribute(oldRec, newRec *Record, k int) Attribution {
+	var a Attribution
+	if oldRec == nil || newRec == nil {
+		return a
+	}
+	if oldRec.Snapshot != nil && newRec.Snapshot != nil {
+		a.OldStatesPerSec = oldRec.Snapshot.StatesPerSec
+		a.NewStatesPerSec = newRec.Snapshot.StatesPerSec
+	}
+	var cs []Contributor
+	cs = append(cs, secondsContributors("stage", stageSeconds(oldRec.Stages), stageSeconds(newRec.Stages))...)
+	if oldRec.Snapshot != nil && newRec.Snapshot != nil {
+		cs = append(cs, secondsContributors("worker",
+			workerSeconds(oldRec.Snapshot.Health), workerSeconds(newRec.Snapshot.Health))...)
+		cs = append(cs, countContributors("rule",
+			oldRec.Snapshot.RuleFirings, newRec.Snapshot.RuleFirings)...)
+		cs = append(cs, stripeContributors(oldRec.Snapshot.Health, newRec.Snapshot.Health)...)
+	}
+	sort.SliceStable(cs, func(i, j int) bool {
+		if cs[i].Share != cs[j].Share {
+			return cs[i].Share > cs[j].Share
+		}
+		if cs[i].Kind != cs[j].Kind {
+			return cs[i].Kind < cs[j].Kind
+		}
+		return cs[i].Name < cs[j].Name
+	})
+	if k > 0 && len(cs) > k {
+		cs = cs[:k]
+	}
+	a.Contributors = cs
+	return a
+}
+
+func stageSeconds(stages []obs.StageSummary) map[string]float64 {
+	if len(stages) == 0 {
+		return nil
+	}
+	out := make(map[string]float64, len(stages))
+	for _, s := range stages {
+		out[s.Name] = s.Seconds
+	}
+	return out
+}
+
+// workerSeconds reduces the per-worker health profile to the three
+// fleet-wide phases the attribution diffs: expand, queue-wait,
+// send-wait.
+func workerSeconds(r *health.Report) map[string]float64 {
+	if r == nil || len(r.Workers) == 0 {
+		return nil
+	}
+	var send int64
+	for _, w := range r.Workers {
+		send += w.SendWaitNS
+	}
+	return map[string]float64{
+		"expand":     float64(r.ExpandNS()) / 1e9,
+		"queue-wait": float64(r.QueueWaitNS()) / 1e9,
+		"send-wait":  float64(send) / 1e9,
+	}
+}
+
+// secondsContributors ranks named time series (stages or worker
+// phases): each entry whose delta clears the noise floor gets a share
+// of the total absolute drift.
+func secondsContributors(kind string, oldS, newS map[string]float64) []Contributor {
+	names := map[string]bool{}
+	for n := range oldS {
+		names[n] = true
+	}
+	for n := range newS {
+		names[n] = true
+	}
+	var total float64
+	for n := range names {
+		d := newS[n] - oldS[n]
+		if d < 0 {
+			d = -d
+		}
+		if d >= attrStageNoiseSec {
+			total += d
+		}
+	}
+	if total <= 0 {
+		return nil
+	}
+	var out []Contributor
+	for n := range names {
+		o, w := oldS[n], newS[n]
+		d := w - o
+		ad := d
+		if ad < 0 {
+			ad = -ad
+		}
+		if ad < attrStageNoiseSec {
+			continue
+		}
+		detail := fmt.Sprintf("%.3fs -> %.3fs", o, w)
+		if o > 0 {
+			detail += fmt.Sprintf(" (%+.1f%%)", d/o*100)
+		}
+		out = append(out, Contributor{
+			Kind: kind, Name: n, Old: o, New: w,
+			Share: ad / total, Detail: detail,
+		})
+	}
+	return out
+}
+
+// countContributors ranks count maps (rule firings) by *excess over
+// uniform growth*: if the new run fired 2% more rules overall, a rule
+// that also grew 2% explains nothing — only growth beyond (or below)
+// the uniform scale counts toward a share.
+func countContributors(kind string, oldC, newC map[string]int64) []Contributor {
+	var oldTotal, newTotal int64
+	for _, n := range oldC {
+		oldTotal += n
+	}
+	for _, n := range newC {
+		newTotal += n
+	}
+	if oldTotal <= 0 || newTotal <= 0 {
+		return nil
+	}
+	scale := float64(newTotal) / float64(oldTotal)
+	floor := float64(newTotal) * attrCountNoiseFrac
+	if floor < attrCountNoiseMin {
+		floor = attrCountNoiseMin
+	}
+	names := map[string]bool{}
+	for n := range oldC {
+		names[n] = true
+	}
+	for n := range newC {
+		names[n] = true
+	}
+	excess := make(map[string]float64, len(names))
+	var total float64
+	for n := range names {
+		e := float64(newC[n]) - float64(oldC[n])*scale
+		ae := e
+		if ae < 0 {
+			ae = -ae
+		}
+		if ae < floor {
+			continue
+		}
+		excess[n] = e
+		total += ae
+	}
+	if total <= 0 {
+		return nil
+	}
+	var out []Contributor
+	for n, e := range excess {
+		o, w := oldC[n], newC[n]
+		detail := fmt.Sprintf("%d -> %d firings", o, w)
+		if o > 0 {
+			detail += fmt.Sprintf(" (%+.1f%% vs %+.1f%% overall)",
+				(float64(w)-float64(o))/float64(o)*100, (scale-1)*100)
+		}
+		ae := e
+		if ae < 0 {
+			ae = -ae
+		}
+		out = append(out, Contributor{
+			Kind: kind, Name: n, Old: float64(o), New: float64(w),
+			Share: ae / total, Detail: detail,
+		})
+	}
+	return out
+}
+
+// stripeContributors finds the contiguous visited-set stripe range with
+// the largest occupancy excess over uniform growth (max-sum subarray)
+// and reports it as one contributor, alongside the occ_cv move. A
+// single skewed range is the signature of a hash-distribution or
+// workload-locality regression.
+func stripeContributors(oldR, newR *health.Report) []Contributor {
+	if oldR == nil || newR == nil {
+		return nil
+	}
+	if len(oldR.StripeOccupancy) == 0 || len(oldR.StripeOccupancy) != len(newR.StripeOccupancy) {
+		return nil
+	}
+	var oldTotal, newTotal int64
+	for _, n := range oldR.StripeOccupancy {
+		oldTotal += n
+	}
+	for _, n := range newR.StripeOccupancy {
+		newTotal += n
+	}
+	if oldTotal <= 0 || newTotal <= 0 {
+		return nil
+	}
+	scale := float64(newTotal) / float64(oldTotal)
+	// Kadane's max-sum subarray over per-stripe excess: the contiguous
+	// range that absorbed the most unexpected state mass.
+	var best, cur float64
+	bestLo, bestHi, curLo := -1, -1, 0
+	var totalPos float64
+	for i := range newR.StripeOccupancy {
+		e := float64(newR.StripeOccupancy[i]) - float64(oldR.StripeOccupancy[i])*scale
+		if e > 0 {
+			totalPos += e
+		}
+		if cur <= 0 {
+			cur, curLo = e, i
+		} else {
+			cur += e
+		}
+		if cur > best {
+			best, bestLo, bestHi = cur, curLo, i
+		}
+	}
+	floor := float64(newTotal) * attrCountNoiseFrac
+	if floor < attrCountNoiseMin {
+		floor = attrCountNoiseMin
+	}
+	if best < floor || bestLo < 0 {
+		return nil
+	}
+	share := 1.0
+	if totalPos > 0 {
+		share = best / totalPos
+	}
+	name := fmt.Sprintf("%d-%d", bestLo, bestHi)
+	if bestLo == bestHi {
+		name = fmt.Sprintf("%d", bestLo)
+	}
+	return []Contributor{{
+		Kind: "stripes", Name: name,
+		Old: oldR.OccCV, New: newR.OccCV, Share: share,
+		Detail: fmt.Sprintf("occupancy excess %.0f states over uniform growth; occ_cv %.3f -> %.3f",
+			best, oldR.OccCV, newR.OccCV),
+	}}
+}

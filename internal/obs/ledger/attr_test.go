@@ -1,0 +1,155 @@
+package ledger
+
+import (
+	"strings"
+	"testing"
+
+	"minvn/internal/mc"
+	"minvn/internal/obs"
+	"minvn/internal/obs/health"
+)
+
+// baselineRecord builds a record shaped like a real pipelined run: flat
+// stripe occupancy, three rules, one dominant stage, a worker profile.
+func baselineRecord() *Record {
+	occ := make([]int64, health.Stripes)
+	for i := range occ {
+		occ[i] = 1000
+	}
+	return &Record{
+		Tool:    "vnverify",
+		Outcome: "ok",
+		Snapshot: &mc.Snapshot{
+			Strategy:     "pipeline",
+			States:       64000,
+			StatesPerSec: 100000,
+			RuleFirings: map[string]int64{
+				"core/load":   20000,
+				"deliver/vn0": 30000,
+				"process/Ack": 14000,
+			},
+			Health: &health.Report{
+				Stripes:         health.Stripes,
+				StripeOccupancy: occ,
+				OccCV:           0.02,
+				Workers: []health.WorkerStats{
+					{Worker: 0, ExpandNS: 400e6, QueueWaitNS: 50e6, SendWaitNS: 20e6},
+					{Worker: 1, ExpandNS: 400e6, QueueWaitNS: 50e6, SendWaitNS: 20e6},
+				},
+			},
+		},
+		Stages: []obs.StageSummary{
+			{Name: "mc/check", Count: 1, Seconds: 0.640, Max: 0.640},
+			{Name: "vn/assign", Count: 1, Seconds: 0.010, Max: 0.010},
+		},
+	}
+}
+
+// TestAttributePerturbed is the deterministic attribution contract: a
+// synthetically perturbed record — one stage inflated, one rule's
+// firings inflated, one contiguous stripe range skewed, worker expand
+// time doubled — must be attributed to exactly that stage, rule, and
+// stripe range in the top-k.
+func TestAttributePerturbed(t *testing.T) {
+	old := baselineRecord()
+	perturbed := baselineRecord()
+	perturbed.Snapshot.StatesPerSec = 62000
+	// Inflate one stage...
+	perturbed.Stages[0].Seconds = 1.280
+	perturbed.Stages[0].Max = 1.280
+	// ...one rule's firings...
+	perturbed.Snapshot.RuleFirings["deliver/vn0"] = 75000
+	// ...one contiguous stripe range (12-19)...
+	for i := 12; i <= 19; i++ {
+		perturbed.Snapshot.Health.StripeOccupancy[i] = 3000
+	}
+	perturbed.Snapshot.Health.OccCV = 0.31
+	// ...and the workers' expand phase.
+	for i := range perturbed.Snapshot.Health.Workers {
+		perturbed.Snapshot.Health.Workers[i].ExpandNS *= 2
+	}
+
+	a := Attribute(old, perturbed, 10)
+	if !strings.Contains(a.Headline(), "-38.0%") {
+		t.Fatalf("headline = %q", a.Headline())
+	}
+	got := map[string]string{}
+	for _, c := range a.Contributors {
+		if _, ok := got[c.Kind]; !ok {
+			got[c.Kind] = c.Name // highest-ranked contributor per kind
+		}
+	}
+	want := map[string]string{
+		"stage":   "mc/check",
+		"rule":    "deliver/vn0",
+		"stripes": "12-19",
+		"worker":  "expand",
+	}
+	for kind, name := range want {
+		if got[kind] != name {
+			t.Errorf("top %s contributor = %q, want %q (all: %+v)", kind, got[kind], name, a.Contributors)
+		}
+	}
+	// The top contributor overall must carry a dominant share of its kind.
+	if len(a.Contributors) == 0 || a.Contributors[0].Share < 0.5 {
+		t.Fatalf("top contributor share too low: %+v", a.Contributors)
+	}
+}
+
+// Deltas below the noise floors must not produce contributors: jitter
+// is not a finding.
+func TestAttributeNoiseFloor(t *testing.T) {
+	old := baselineRecord()
+	jitter := baselineRecord()
+	jitter.Stages[0].Seconds += 0.001 // < 5ms stage floor
+	jitter.Snapshot.RuleFirings["core/load"] += 3
+	jitter.Snapshot.Health.StripeOccupancy[5] += 2
+	a := Attribute(old, jitter, 10)
+	if len(a.Contributors) != 0 {
+		t.Fatalf("jitter attributed: %+v", a.Contributors)
+	}
+}
+
+// Uniform growth is not a rule-level finding: every rule scaling by the
+// same factor explains nothing beyond "the run was bigger".
+func TestAttributeUniformGrowth(t *testing.T) {
+	old := baselineRecord()
+	bigger := baselineRecord()
+	for k := range bigger.Snapshot.RuleFirings {
+		bigger.Snapshot.RuleFirings[k] *= 2
+	}
+	a := Attribute(old, bigger, 10)
+	for _, c := range a.Contributors {
+		if c.Kind == "rule" {
+			t.Fatalf("uniform growth attributed to rule %s", c.Name)
+		}
+	}
+}
+
+func TestAttributeNilSafe(t *testing.T) {
+	if a := Attribute(nil, nil, 3); len(a.Contributors) != 0 {
+		t.Fatal("nil records produced contributors")
+	}
+	// Records without snapshots still diff stages.
+	old := &Record{Stages: []obs.StageSummary{{Name: "x", Seconds: 0.1}}}
+	neu := &Record{Stages: []obs.StageSummary{{Name: "x", Seconds: 0.3}}}
+	a := Attribute(old, neu, 3)
+	if len(a.Contributors) != 1 || a.Contributors[0].Kind != "stage" {
+		t.Fatalf("stage-only diff: %+v", a.Contributors)
+	}
+	if a.Headline() != "throughput: not comparable (missing states/s)" {
+		t.Fatalf("headline = %q", a.Headline())
+	}
+}
+
+func TestAttributeTopK(t *testing.T) {
+	old := baselineRecord()
+	perturbed := baselineRecord()
+	perturbed.Stages[0].Seconds = 2
+	perturbed.Stages[1].Seconds = 1
+	perturbed.Snapshot.RuleFirings["core/load"] = 60000
+	a := Attribute(old, perturbed, 2)
+	if len(a.Contributors) != 2 {
+		t.Fatalf("top-2 returned %d contributors", len(a.Contributors))
+	}
+}

@@ -31,6 +31,54 @@ func TestWriteMetricsText(t *testing.T) {
 	}
 }
 
+// TestWriteMetricsTextHelpAndOrder pins the full exposition byte-for-
+// byte: every metric carries a # HELP line (registered metrics a real
+// description, unknown ones a generated fallback), and the order is
+// deterministic — sorted counters, then sorted gauges.
+func TestWriteMetricsTextHelpAndOrder(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("serve.requests").Add(3)
+	r.Counter("serve.cache_hits").Inc()
+	r.Gauge("serve.running").Set(2)
+	r.Counter("custom.thing").Inc()
+
+	var b strings.Builder
+	if err := WriteMetricsText(&b, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	want := "# HELP custom_thing counter \"custom.thing\" (no registered description).\n" +
+		"# TYPE custom_thing counter\n" +
+		"custom_thing 1\n" +
+		"# HELP serve_cache_hits Submissions answered byte-identically from the content-addressed result cache.\n" +
+		"# TYPE serve_cache_hits counter\n" +
+		"serve_cache_hits 1\n" +
+		"# HELP serve_requests Analyze/verify submissions accepted at the HTTP layer, cache hits and singleflight joins included.\n" +
+		"# TYPE serve_requests counter\n" +
+		"serve_requests 3\n" +
+		"# HELP serve_running Jobs executing right now (bounded by the worker pool size).\n" +
+		"# TYPE serve_running gauge\n" +
+		"serve_running 2\n"
+	if got := b.String(); got != want {
+		t.Errorf("exposition drifted:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+
+	// Rendering the same snapshot twice is byte-identical.
+	var b2 strings.Builder
+	if err := WriteMetricsText(&b2, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != b2.String() {
+		t.Error("two renders of the same snapshot differ")
+	}
+
+	// Every serve.* metric the server registers has a real description.
+	for name, help := range metricHelp {
+		if help == "" || strings.Contains(help, "no registered description") {
+			t.Errorf("metric %q has a placeholder description", name)
+		}
+	}
+}
+
 func TestWriteMetricsTextStageSummaries(t *testing.T) {
 	s := Snapshot{
 		StageSummaries: []StageSummary{
@@ -43,9 +91,11 @@ func TestWriteMetricsTextStageSummaries(t *testing.T) {
 	}
 	got := b.String()
 	for _, w := range []string{
+		"# HELP stage_check_engine_seconds Wall-clock time spent in the \"check.engine\" pipeline stage.",
 		"# TYPE stage_check_engine_seconds summary",
 		"stage_check_engine_seconds_count 3",
 		"stage_check_engine_seconds_sum 1.5",
+		"# HELP stage_check_engine_seconds_max Slowest single run of the \"check.engine\" stage, in seconds.",
 		"# TYPE stage_check_engine_seconds_max gauge",
 		"stage_check_engine_seconds_max 0.75",
 	} {

@@ -105,7 +105,14 @@ type StageSummary struct {
 // phase, a retried pass) collapse into one summary instead of one
 // entry per run.
 func (t *Timeline) Summaries() []StageSummary {
-	stages := t.Stages()
+	return Summarize(t.Stages())
+}
+
+// Summarize aggregates raw stage records by name into per-stage
+// count/total/max summaries, sorted by stage name. It is the shared
+// reduction behind Timeline.Summaries and the run ledger's stage
+// columns.
+func Summarize(stages []Stage) []StageSummary {
 	if len(stages) == 0 {
 		return nil
 	}

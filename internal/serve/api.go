@@ -422,6 +422,12 @@ func prepareVerify(req VerifyRequest, maxStatesCap, progressEvery int) (*task, e
 				mopts.Progress = progress
 			}
 			mopts.Trace = rec
+			// Per-VN queue-depth histograms for the dashboard's occupancy
+			// panel and the job's ledger record. Passive and engine-
+			// invariant (pinned by the occupancy parity tests), so it
+			// cannot affect the cached result beyond adding the summary.
+			// Fresh per run: the profiler is single-use state.
+			mopts.Observer = sys.NewOccupancyProfiler()
 			res := mc.CheckEngineCtx(ctx, sys, mopts, engine, workers, shards)
 			if res.Outcome == mc.Canceled {
 				return nil, errJobCanceled

@@ -1,0 +1,274 @@
+package serve_test
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"minvn/internal/obs/ledger"
+	"minvn/internal/serve"
+	"minvn/internal/serve/client"
+)
+
+// ledgerServer is testServer plus a run ledger backed by a temp file.
+func ledgerServer(t *testing.T) (*serve.Server, *httptest.Server, *client.Client, *ledger.Ledger) {
+	t.Helper()
+	led, err := ledger.Open(filepath.Join(t.TempDir(), "runs.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := serve.New(serve.Config{Ledger: led})
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		hs.Close()
+		srv.Close()
+		led.Close()
+	})
+	return srv, hs, client.New(hs.URL, hs.Client()), led
+}
+
+// TestRunsEndpoint: completed jobs land in the ledger and GET /v1/runs
+// pages them newest-first; cache hits replay results without minting
+// ghost runs.
+func TestRunsEndpoint(t *testing.T) {
+	_, hs, cl, led := ledgerServer(t)
+
+	req := verifyMSI(2000)
+	if _, err := cl.Verify(context.Background(), req, true); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	// Same request again: served from the result cache, so the run
+	// history must not grow.
+	if view, err := cl.Verify(context.Background(), req, true); err != nil || !view.Cached {
+		t.Fatalf("hot verify: err=%v cached=%v", err, view != nil && view.Cached)
+	}
+	if _, err := cl.Analyze(context.Background(), serve.AnalyzeRequest{Protocol: "MSI_nonblocking_cache"}); err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	if led.Len() != 2 {
+		t.Fatalf("ledger has %d records, want 2 (verify + analyze, no cache-hit ghost)", led.Len())
+	}
+
+	var page serve.RunsPage
+	getJSON(t, hs, "/v1/runs", &page)
+	if page.Total != 2 || len(page.Runs) != 2 {
+		t.Fatalf("page = total %d, %d runs; want 2/2", page.Total, len(page.Runs))
+	}
+	// Newest first: the analyze job finished last.
+	if page.Runs[0].Kind != "analyze" || page.Runs[1].Kind != "verify" {
+		t.Errorf("order = %s, %s; want analyze, verify", page.Runs[0].Kind, page.Runs[1].Kind)
+	}
+	v := page.Runs[1]
+	if v.Tool != "vnserved" || v.Protocol != "MSI_nonblocking_cache" ||
+		v.Outcome != string(serve.StatusDone) || v.States == 0 || v.ID == "" {
+		t.Errorf("verify run view incomplete: %+v", v)
+	}
+	if v.Record != nil {
+		t.Errorf("summary view unexpectedly carries the full record")
+	}
+
+	// Filters + paging + full documents.
+	getJSON(t, hs, "/v1/runs?kind=none&tool=vnstats", &page)
+	if page.Total != 0 || len(page.Runs) != 0 {
+		t.Errorf("tool filter leaked: %+v", page)
+	}
+	getJSON(t, hs, "/v1/runs?limit=1&offset=1", &page)
+	if page.Total != 2 || len(page.Runs) != 1 || page.Runs[0].Kind != "verify" {
+		t.Errorf("offset paging wrong: %+v", page)
+	}
+	getJSON(t, hs, "/v1/runs?full=1&limit=1&offset=1", &page)
+	if len(page.Runs) != 1 || page.Runs[0].Record == nil || page.Runs[0].Record.Snapshot == nil {
+		t.Fatalf("full=1 run lacks the record: %+v", page.Runs)
+	}
+	if !page.Runs[0].Record.Snapshot.Final {
+		t.Errorf("recorded snapshot is not the final one")
+	}
+	// The dashboard's per-VN bars and stripe-heat panels read these off
+	// the job snapshots; the ledger record must carry both.
+	if page.Runs[0].Record.Snapshot.Occupancy == nil {
+		t.Errorf("recorded snapshot lacks per-VN occupancy")
+	}
+	if page.Runs[0].Record.Snapshot.Health == nil {
+		t.Errorf("recorded snapshot lacks the health report")
+	}
+}
+
+// Without a ledger the endpoint says so instead of faking emptiness.
+func TestRunsEndpointNoLedger(t *testing.T) {
+	srv := serve.New(serve.Config{})
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() { hs.Close(); srv.Close() })
+	resp, err := hs.Client().Get(hs.URL + "/v1/runs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status = %d, want 404", resp.StatusCode)
+	}
+}
+
+func getJSON(t *testing.T, hs *httptest.Server, path string, v any) {
+	t.Helper()
+	resp, err := hs.Client().Get(hs.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s = %d", path, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+}
+
+// TestDashPage: the dashboard is one self-contained HTML document.
+func TestDashPage(t *testing.T) {
+	srv := serve.New(serve.Config{})
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() { hs.Close(); srv.Close() })
+
+	resp, err := hs.Client().Get(hs.URL + "/debug/dash")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/html") {
+		t.Fatalf("content-type = %q", ct)
+	}
+	var body bytes.Buffer
+	if _, err := body.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	html := body.String()
+	for _, want := range []string{
+		"minvn fleet", "/debug/dash/events", "/v1/runs",
+		"prefers-color-scheme", "EventSource",
+	} {
+		if !strings.Contains(html, want) {
+			t.Errorf("dashboard HTML misses %q", want)
+		}
+	}
+	if strings.Contains(html, "src=\"http") || strings.Contains(html, "href=\"http") {
+		t.Errorf("dashboard references external assets")
+	}
+}
+
+// TestFleetFeed: jobs publish started/done onto the server-wide ring,
+// and the SSE endpoint replays it with fleet-global sequence ids.
+func TestFleetFeed(t *testing.T) {
+	srv, hs, cl, _ := ledgerServer(t)
+
+	if _, err := cl.Verify(context.Background(), verifyMSI(2000), true); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+
+	events, _ := srv.FleetEvents(0)
+	var types []string
+	for _, e := range events {
+		types = append(types, e.Type)
+		if e.JobID == "" {
+			t.Errorf("fleet event %d lacks a job id", e.Seq)
+		}
+	}
+	if len(events) < 2 || types[0] != "started" || types[len(types)-1] != "done" {
+		t.Fatalf("fleet ring = %v, want started..done", types)
+	}
+	for i, e := range events {
+		if e.Seq != i {
+			t.Fatalf("fleet seq not dense: %d at index %d", e.Seq, i)
+		}
+	}
+
+	// The SSE endpoint replays the same ring. The stream never ends, so
+	// read until the done event and hang up.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, "GET", hs.URL+"/debug/dash/events", nil)
+	resp, err := hs.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content-type = %q", ct)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	var sawStarted, sawDone bool
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "event: started" {
+			sawStarted = true
+		}
+		if line == "event: done" {
+			sawDone = true
+			break
+		}
+	}
+	if !sawStarted || !sawDone {
+		t.Fatalf("SSE replay incomplete: started=%v done=%v", sawStarted, sawDone)
+	}
+}
+
+// TestRotatingWriter: size-based rotation keeps the newest generations
+// and never splits a write across files.
+func TestRotatingWriter(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "job.log")
+	w, err := serve.NewRotatingWriter(path, 100, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	line := strings.Repeat("x", 39) + "\n" // 40 bytes: 2 per generation
+	for i := 0; i < 7; i++ {
+		if _, err := w.Write([]byte(line)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, f := range []string{path, path + ".1", path + ".2"} {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+		// Whole lines only: every generation ends exactly on a boundary.
+		if len(data)%40 != 0 || len(data) == 0 {
+			t.Errorf("%s holds %d bytes, not whole lines", f, len(data))
+		}
+	}
+	if _, err := os.Stat(path + ".3"); err == nil {
+		t.Errorf("generation beyond keep=2 survived rotation")
+	}
+
+	// maxBytes=0 disables rotation entirely.
+	p2 := filepath.Join(dir, "norotate.log")
+	w2, err := serve.NewRotatingWriter(p2, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		w2.Write([]byte(line))
+	}
+	w2.Close()
+	if _, err := os.Stat(p2 + ".1"); err == nil {
+		t.Errorf("unbounded writer rotated")
+	}
+}

@@ -18,8 +18,11 @@ import (
 //	GET  /v1/jobs/{id}          job status + result
 //	GET  /v1/jobs/{id}/events   SSE progress stream (replay + live)
 //	GET  /v1/stats              pool occupancy + serve.* counters
+//	GET  /v1/runs               run-ledger history (paged, filterable)
 //	GET  /healthz               liveness
 //	GET  /metrics               Prometheus text format (incl. engine health)
+//	GET  /debug/dash            live fleet dashboard (self-contained HTML)
+//	GET  /debug/dash/events     server-wide SSE activity feed for the dashboard
 //	GET  /debug/trace           Chrome-trace JSON of a recent job (?job=<id>)
 //	GET  /debug/pprof/          profiling
 func (s *Server) Handler() http.Handler {
@@ -29,6 +32,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /v1/runs", s.handleRuns)
+	mux.HandleFunc("GET /debug/dash", s.handleDash)
+	mux.HandleFunc("GET /debug/dash/events", s.handleDashEvents)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})

@@ -1,0 +1,106 @@
+package serve
+
+import (
+	"fmt"
+	"os"
+	"sync"
+)
+
+// RotatingWriter is a size-rotated file sink for the job log. When the
+// live file would exceed MaxBytes, it is renamed to <path>.1 (prior
+// generations shifting to .2, .3, …, the oldest beyond Keep deleted)
+// and a fresh file is opened. Rotation happens on whole-write
+// boundaries, so a JSONL line is never split across generations.
+//
+// The zero MaxBytes means "never rotate": the writer is then a plain
+// append-only file with a Sync method.
+type RotatingWriter struct {
+	mu       sync.Mutex
+	path     string
+	maxBytes int64
+	keep     int
+	f        *os.File
+	size     int64
+}
+
+// NewRotatingWriter opens (or creates) path for appending. maxBytes <= 0
+// disables rotation; keep <= 0 keeps one rotated generation.
+func NewRotatingWriter(path string, maxBytes int64, keep int) (*RotatingWriter, error) {
+	if keep <= 0 {
+		keep = 1
+	}
+	w := &RotatingWriter{path: path, maxBytes: maxBytes, keep: keep}
+	if err := w.open(); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+func (w *RotatingWriter) open() error {
+	f, err := os.OpenFile(w.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return err
+	}
+	w.f = f
+	w.size = st.Size()
+	return nil
+}
+
+// Write appends p, rotating first if the write would push the live
+// file past MaxBytes. A single write larger than MaxBytes still goes
+// through (into its own fresh generation) rather than being dropped.
+func (w *RotatingWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.maxBytes > 0 && w.size > 0 && w.size+int64(len(p)) > w.maxBytes {
+		if err := w.rotateLocked(); err != nil {
+			return 0, err
+		}
+	}
+	n, err := w.f.Write(p)
+	w.size += int64(n)
+	return n, err
+}
+
+// rotateLocked shifts generations path.keep-1 -> path.keep (dropped),
+// …, path.1 -> path.2, path -> path.1, then reopens a fresh live file.
+func (w *RotatingWriter) rotateLocked() error {
+	if err := w.f.Close(); err != nil {
+		return err
+	}
+	_ = os.Remove(fmt.Sprintf("%s.%d", w.path, w.keep))
+	for i := w.keep - 1; i >= 1; i-- {
+		from := fmt.Sprintf("%s.%d", w.path, i)
+		if _, err := os.Stat(from); err == nil {
+			_ = os.Rename(from, fmt.Sprintf("%s.%d", w.path, i+1))
+		}
+	}
+	if err := os.Rename(w.path, w.path+".1"); err != nil {
+		return err
+	}
+	return w.open()
+}
+
+// Sync flushes the live file to stable storage. The daemon calls this
+// on drain so the job log survives a power cut right after shutdown.
+func (w *RotatingWriter) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.f.Sync()
+}
+
+// Close syncs and closes the live file.
+func (w *RotatingWriter) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.f.Sync(); err != nil {
+		w.f.Close()
+		return err
+	}
+	return w.f.Close()
+}

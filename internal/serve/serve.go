@@ -11,6 +11,7 @@ import (
 	"minvn/internal/mc"
 	"minvn/internal/obs"
 	"minvn/internal/obs/health"
+	"minvn/internal/obs/ledger"
 	"minvn/internal/obs/trace"
 )
 
@@ -47,6 +48,12 @@ type Config struct {
 	// event log (see JobLogger); JobLogLevel filters it.
 	JobLog      io.Writer
 	JobLogLevel LogLevel
+	// Ledger, when non-nil, receives one content-addressed record per
+	// completed (non-cached) job — the run history behind GET /v1/runs
+	// and the dashboard. Recording is strictly passive: appends happen
+	// after the job's terminal state is published, off the pool's
+	// locked sections.
+	Ledger *ledger.Ledger
 	// TraceJobs is how many recent jobs keep a per-job flight
 	// recorder, exported by GET /debug/trace. 0 disables job tracing
 	// (the endpoint then serves an empty, valid trace document).
@@ -133,6 +140,14 @@ type Server struct {
 	// from verify-job snapshots and appended to /metrics.
 	lastHealth *health.Report
 
+	// fleet is the server-wide activity ring feeding the dashboard's
+	// SSE stream: started/snapshot/done events across all jobs, with a
+	// fleet-wide sequence so reconnects resume via Last-Event-ID.
+	fleet     []Event
+	fleetBase int // Seq of fleet[0]
+	fleetSeq  int
+	fleetCh   chan struct{} // closed and replaced on every append
+
 	runBase context.Context // canceled by Close to hard-stop runs
 	stopRun context.CancelFunc
 	workers sync.WaitGroup
@@ -168,6 +183,7 @@ func New(cfg Config) *Server {
 		queue:    make(chan *Job, cfg.QueueDepth),
 		joblog:   NewJobLogger(cfg.JobLog, cfg.JobLogLevel),
 		traces:   make(map[string]*trace.Recorder),
+		fleetCh:  make(chan struct{}),
 	}
 	r := cfg.Registry
 	s.mRequests = r.Counter("serve.requests")
@@ -213,6 +229,7 @@ func (s *Server) Submit(t *task) (*JobView, error) {
 		job.result = ent.result
 		s.jobs[job.id] = job
 		job.appendEvent(Event{Type: "done", Job: job.view()})
+		s.appendFleetLocked(fleetEvent("done", job, nil, job.view()))
 		s.joblog.Log(LogInfo, "cache_hit", job.tc, map[string]any{
 			"kind": t.kind, "protocol": t.protocol, "produced_by": ent.jobID,
 		})
@@ -408,6 +425,7 @@ func (s *Server) runJob(job *Job) {
 		}
 	}
 	job.notify()
+	s.appendFleetLocked(fleetEvent("started", job, nil, job.view()))
 	s.mu.Unlock()
 
 	if s.cfg.BeforeRun != nil {
@@ -427,7 +445,13 @@ func (s *Server) runJob(job *Job) {
 			s.mu.Unlock()
 		}
 		if snap.Final {
-			return // the terminal event carries the final state
+			// The terminal event carries the final state; keep it for
+			// the job's ledger record.
+			c := snap
+			s.mu.Lock()
+			job.finalSnap = &c
+			s.mu.Unlock()
+			return
 		}
 		s.joblog.Log(LogDebug, "snapshot", job.tc, map[string]any{
 			"states": snap.States, "depth": snap.MaxDepth,
@@ -436,6 +460,7 @@ func (s *Server) runJob(job *Job) {
 		c := snap
 		s.mu.Lock()
 		job.appendEvent(Event{Type: "snapshot", Snapshot: &c})
+		s.appendFleetLocked(fleetEvent("snapshot", job, &c, nil))
 		s.mu.Unlock()
 	}
 	// The job lane guarantees the correlation identity appears in the
@@ -469,7 +494,9 @@ func (s *Server) runJob(job *Job) {
 	s.running--
 	s.gRunning.Set(int64(s.running))
 	job.appendEvent(Event{Type: "done", Job: job.view()})
+	s.appendFleetLocked(fleetEvent("done", job, nil, job.view()))
 	status, errMsg := job.status, job.err
+	finalSnap := job.finalSnap
 	s.mu.Unlock()
 
 	level := LogInfo
@@ -486,4 +513,5 @@ func (s *Server) runJob(job *Job) {
 		fields["error"] = errMsg
 	}
 	s.joblog.Log(level, "finished", job.tc, fields)
+	s.recordJob(job, status, errMsg, finalSnap, time.Since(start).Seconds())
 }
