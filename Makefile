@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt check bench bench-smoke bench-gate fuzz-smoke table serve serve-smoke family family-smoke family-cover ledger-smoke
+.PHONY: build test race vet fmt check bench bench-smoke bench-gate fuzz-smoke table serve serve-smoke family family-smoke family-cover ledger-smoke dist-smoke
 
 build:
 	$(GO) build ./...
@@ -9,7 +9,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/mc/...
+	$(GO) test -race ./internal/mc/... ./internal/dist/...
 
 vet:
 	$(GO) vet ./...
@@ -92,6 +92,28 @@ serve:
 serve-smoke:
 	$(GO) run ./cmd/vnbench -serve -serve-stats SERVE_stats.json \
 		-out BENCH_serve.json
+
+# Distributed-engine smoke, in three parts. First the agreement check:
+# the pipelined and distributed (coordinator + 2 loopback workers)
+# engines must agree byte-for-byte — outcome, state count, depth, and
+# the full per-VN occupancy aggregate — on an exhaustively-checkable
+# configuration; vnbench exits nonzero on any disagreement. (-max-states
+# 0 because dist applies the state bound at level granularity.) Second,
+# failure recovery under the race detector: a worker killed mid-run and
+# a worker whose frontier endpoint blackholes must both fail the job
+# cleanly (typed WorkerLostError, no hang, no partial result). Third, a
+# dist run is recorded to a ledger and read back, proving dist runs
+# carry the "dist" engine tag through the query side.
+dist-smoke:
+	$(GO) run ./cmd/vnbench -engines pipeline,dist -max-states 0 \
+		-caches 2 -dirs 1 -addrs 1 -workers 2 \
+		-out BENCH_dist.json MSI_nonblocking_cache
+	$(GO) test -race -run 'TestDistWorkerLoss|TestDistSendFailure' ./internal/dist/
+	rm -f LEDGER_dist.jsonl
+	$(GO) run ./cmd/vnverify -engine dist -workers 2 -max-states 30000 \
+		-ledger LEDGER_dist.jsonl MSI_nonblocking_cache
+	grep -q '"engine":"dist"' LEDGER_dist.jsonl
+	$(GO) run ./cmd/vnstats list -ledger LEDGER_dist.jsonl
 
 # End-to-end check of the run ledger and regression attribution: record
 # a real (bounded) verification, append a synthetically perturbed copy

@@ -17,6 +17,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -24,6 +25,7 @@ import (
 	"strings"
 
 	"minvn/internal/cliflag"
+	"minvn/internal/dist"
 	"minvn/internal/icn"
 	"minvn/internal/machine"
 	"minvn/internal/mc"
@@ -64,7 +66,7 @@ func main() {
 		addrs     = flag.Int("addrs", 2, "number of addresses (paper: 2)")
 		workers   = flag.Int("workers", 0, "workers for the parallel engines (0 = GOMAXPROCS)")
 		shards    = flag.Int("shards", 0, "visited-set shards for the pipeline engine (0 = default)")
-		engines   = flag.String("engines", "seq,levels,pipeline", "comma-separated engines to compare")
+		engines   = flag.String("engines", "seq,levels,pipeline", "comma-separated engines to compare (seq, levels, pipeline, dist; dist applies -max-states at level granularity, so compare it with -max-states 0)")
 		stores    = flag.String("stores", "exact,compact", "comma-separated visited-set modes to compare")
 		seed      = flag.Int64("seed", 1, "base seed for the random-walk smoke pass (-walks)")
 		walks     = flag.Int("walks", 0, "seeded random-workload walks per protocol before the engine comparison")
@@ -85,7 +87,7 @@ func main() {
 		cmpDiffOut    = flag.String("diff-out", "BENCH_diff.json", "-compare: write the diff artifact to this file (empty disables)")
 	)
 	tel := cliflag.Register(flag.CommandLine,
-		cliflag.FlagStatsJSON|cliflag.FlagPprof|cliflag.FlagTrace|cliflag.FlagLedger)
+		cliflag.FlagStatsJSON|cliflag.FlagPprof|cliflag.FlagTrace|cliflag.FlagLedger|cliflag.FlagDist)
 	flag.Parse()
 
 	if *compareMode {
@@ -183,10 +185,11 @@ func main() {
 				p.Name, a.Class)
 			os.Exit(1)
 		}
-		sys, err := machine.New(machine.Config{
+		cfg := machine.Config{
 			Protocol: p, Caches: *caches, Dirs: *dirs, Addrs: *addrs,
 			VN: a.VN, NumVNs: a.NumVNs,
-		})
+		}
+		sys, err := machine.New(cfg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "vnbench:", err)
 			os.Exit(1)
@@ -220,11 +223,32 @@ func main() {
 				// reflects this run's live set, not the previous engine's
 				// garbage.
 				runtime.GC()
-				prof := sys.NewOccupancyProfiler()
-				opts.Observer = prof
 				opts.Trace = tel.Recorder()
-				res := mc.CheckEngine(sys, opts, eng, *workers, *shards)
-				occ := prof.Stats()
+				var res mc.Result
+				var occ *icn.OccupancyStats
+				if eng == mc.EngineDist {
+					// Dist workers profile occupancy themselves; the
+					// coordinator's merge lands in Stats.Occupancy, so the
+					// parity checks below compare it like any other engine.
+					dopts := opts
+					dopts.Observer = nil
+					var derr error
+					res, derr = dist.Check(context.Background(), dist.Job{
+						Config: cfg, Options: dopts,
+						Workers: *workers, Peers: tel.Peers(),
+						Occupancy: true,
+					})
+					if derr != nil {
+						fmt.Fprintln(os.Stderr, "vnbench: dist:", derr)
+						os.Exit(1)
+					}
+					occ, _ = res.Stats.Occupancy.(*icn.OccupancyStats)
+				} else {
+					prof := sys.NewOccupancyProfiler()
+					opts.Observer = prof
+					res = mc.CheckEngine(sys, opts, eng, *workers, *shards)
+					occ = prof.Stats()
+				}
 
 				speedup := 1.0
 				if baseline == nil {

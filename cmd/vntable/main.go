@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -19,6 +20,7 @@ import (
 
 	"minvn/internal/analysis"
 	"minvn/internal/cliflag"
+	"minvn/internal/dist"
 	"minvn/internal/machine"
 	"minvn/internal/mc"
 	"minvn/internal/obs"
@@ -77,12 +79,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		caches    = fs.Int("caches", 3, "caches for model checking")
 		dirs      = fs.Int("dirs", 2, "directories for model checking")
 		addrs     = fs.Int("addrs", 2, "addresses for model checking")
-		engine    = fs.String("engine", "auto", "search engine for BFS cells: auto | seq | levels | pipeline")
+		engine    = fs.String("engine", "auto", "search engine for BFS cells: auto | seq | levels | pipeline | dist")
 		store     = fs.String("store", "exact", "visited-set mode: exact | compact (hash-compacted)")
 		workers   = fs.Int("workers", 1, "parallel BFS workers (0 = GOMAXPROCS; deadlock cells use DFS and stay sequential)")
 		shards    = fs.Int("shards", 0, "visited-set shards for the pipeline engine (0 = default)")
 	)
-	tel := cliflag.Register(fs, cliflag.FlagProgress|cliflag.FlagStatsJSON|cliflag.FlagPprof|cliflag.FlagTrace|cliflag.FlagLedger)
+	tel := cliflag.Register(fs, cliflag.FlagProgress|cliflag.FlagStatsJSON|cliflag.FlagPprof|cliflag.FlagTrace|cliflag.FlagLedger|cliflag.FlagDist)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -308,9 +310,22 @@ func runModelCheck(p *protocol.Protocol, a *vnassign.Assignment, mode string,
 		}
 		model = &machine.Seeded{System: sys, Seeds: [][]byte{seed}}
 	}
-	// Deadlock cells run DFS, which every engine hands to the
-	// sequential checker; verify cells honor the engine selection.
-	res := mc.CheckEngine(model, opts, engine, workers, shards)
+	// Deadlock cells run DFS, which every engine — including dist —
+	// hands to the sequential checker (they also need seeding, which
+	// dist does not support); verify cells honor the engine selection.
+	var res mc.Result
+	if engine == mc.EngineDist && mode == "verify" {
+		var derr error
+		res, derr = dist.Check(context.Background(), dist.Job{
+			Config: cfg, Options: opts,
+			Workers: workers, Peers: tel.Peers(),
+		})
+		if derr != nil {
+			return "dist error: " + derr.Error(), false, res
+		}
+	} else {
+		res = mc.CheckEngine(model, opts, engine, workers, shards)
+	}
 
 	switch mode {
 	case "deadlock":

@@ -6,12 +6,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
 	"minvn/internal/cliflag"
+	"minvn/internal/dist"
+	"minvn/internal/icn"
 	"minvn/internal/machine"
 	"minvn/internal/mc"
 	"minvn/internal/obs"
@@ -43,7 +46,7 @@ func main() {
 		p2p       = flag.Int("p2p", -1, "point-to-point ordered mode with mapping variant 0-3 (-1 = unordered)")
 		noRepl    = flag.Bool("no-repl", false, "restrict the workload to loads and stores")
 		noSym     = flag.Bool("no-symmetry", false, "disable cache symmetry reduction")
-		engine    = flag.String("engine", "auto", "search engine: auto | seq | levels | pipeline (BFS only)")
+		engine    = flag.String("engine", "auto", "search engine: auto | seq | levels | pipeline | dist (parallel/distributed are BFS only)")
 		store     = flag.String("store", "exact", "visited-set mode: exact | compact (hash-compacted)")
 		workers   = flag.Int("workers", 1, "parallel BFS workers (0 = GOMAXPROCS; BFS only)")
 		shards    = flag.Int("shards", 0, "visited-set shards for the pipeline engine (0 = default)")
@@ -175,7 +178,9 @@ func main() {
 	}
 	tel.Configure(&opts, os.Stderr)
 	var prof *machine.OccupancyProfiler
-	if tel.Occupancy {
+	if tel.Occupancy && eng != mc.EngineDist {
+		// Dist workers run their own profilers; the coordinator merges
+		// them into the final snapshot's Occupancy.
 		prof = sys.NewOccupancyProfiler()
 		opts.Observer = prof
 	}
@@ -183,7 +188,28 @@ func main() {
 	fmt.Printf("model checking %s: %d caches, %d dirs, %d addrs, %d VNs (%s), %v\n",
 		p.Name, *caches, *dirs, *addrs, numVNs, *vnMode, opts.Strategy)
 	stop := tl.Start("mc/check")
-	res := mc.CheckEngine(model, opts, eng, *workers, *shards)
+	var res mc.Result
+	if eng == mc.EngineDist {
+		if *seedOwned {
+			fmt.Fprintln(os.Stderr, "vnverify: -seed-owned is not supported by -engine dist (workers rebuild the model from its spec)")
+			os.Exit(2)
+		}
+		dopts := opts
+		dopts.Observer = nil // occupancy runs inside the workers
+		var derr error
+		res, derr = dist.Check(context.Background(), dist.Job{
+			Config: cfg, Options: dopts,
+			Workers: *workers, Peers: tel.Peers(),
+			Occupancy: tel.Occupancy,
+		})
+		if derr != nil {
+			stop()
+			fmt.Fprintln(os.Stderr, "vnverify: dist:", derr)
+			os.Exit(1)
+		}
+	} else {
+		res = mc.CheckEngine(model, opts, eng, *workers, *shards)
+	}
 	stop()
 	fmt.Println(res)
 	if res.Message != "" {
@@ -193,12 +219,17 @@ func main() {
 		fmt.Fprintln(os.Stderr, "vnverify: trace-out:", err)
 		os.Exit(1)
 	}
+	var occStats *icn.OccupancyStats
 	if prof != nil {
-		st := prof.Stats()
+		occStats = prof.Stats()
+	} else if o, ok := res.Stats.Occupancy.(*icn.OccupancyStats); ok {
+		occStats = o // dist runs profile inside the workers and merge
+	}
+	if occStats != nil {
 		fmt.Printf("occupancy over %d states: global high water %d/%s, local high water %d/%s\n",
-			st.StatesObserved,
-			st.GlobalHighWater, capLabel(st.GlobalCap),
-			st.LocalHighWater, capLabel(st.LocalCap))
+			occStats.StatesObserved,
+			occStats.GlobalHighWater, capLabel(occStats.GlobalCap),
+			occStats.LocalHighWater, capLabel(occStats.LocalCap))
 	}
 	if tel.WantArtifact() {
 		art := runArtifact(p.Name, *vnMode, numVNs, vn, cfg, opts, *workers)
@@ -210,11 +241,11 @@ func main() {
 		if res.Message != "" {
 			art.Extra = map[string]any{"message": res.Message}
 		}
-		if prof != nil {
+		if occStats != nil {
 			if art.Extra == nil {
 				art.Extra = map[string]any{}
 			}
-			art.Extra["occupancy"] = prof.Stats()
+			art.Extra["occupancy"] = occStats
 		}
 		if err := tel.Finish(art, &res.Stats, os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "vnverify:", err)

@@ -10,6 +10,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"strings"
 	"time"
 
 	"minvn/internal/mc"
@@ -35,9 +36,11 @@ const (
 	FlagOccupancy
 	// FlagLedger defines -ledger.
 	FlagLedger
+	// FlagDist defines -peers, the worker fleet for -engine dist.
+	FlagDist
 
 	// FlagAll registers the whole set.
-	FlagAll = FlagProgress | FlagStatsJSON | FlagPprof | FlagTrace | FlagOccupancy | FlagLedger
+	FlagAll = FlagProgress | FlagStatsJSON | FlagPprof | FlagTrace | FlagOccupancy | FlagLedger | FlagDist
 )
 
 // Telemetry carries the parsed telemetry knobs for one command.
@@ -55,6 +58,10 @@ type Telemetry struct {
 	TraceSample  int
 
 	Occupancy bool
+
+	// PeerList is the raw -peers value (comma-separated base URLs of
+	// vnworkerd daemons); see Peers.
+	PeerList string
 
 	rec *trace.Recorder
 }
@@ -85,7 +92,23 @@ func Register(fs *flag.FlagSet, which Flags) *Telemetry {
 	if which&FlagLedger != 0 {
 		fs.StringVar(&t.Ledger, "ledger", "", "append this run's artifact to the content-addressed run ledger at this path")
 	}
+	if which&FlagDist != 0 {
+		fs.StringVar(&t.PeerList, "peers", "", "comma-separated worker URLs for -engine dist (e.g. http://h1:9410,http://h2:9410); empty spawns -workers loopback workers")
+	}
 	return t
+}
+
+// Peers splits -peers into worker base URLs, dropping empty elements
+// so trailing commas are harmless. Nil when the flag is unset, which
+// tells the distributed coordinator to spawn loopback workers.
+func (t *Telemetry) Peers() []string {
+	var out []string
+	for _, p := range strings.Split(t.PeerList, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 // WantArtifact reports whether the command should build a run artifact

@@ -1,0 +1,134 @@
+package dist_test
+
+// Failure recovery: a worker that dies mid-run must fail the job
+// cleanly — prompt return, Canceled-style outcome, a typed
+// *dist.WorkerLostError, and no partial result passed off as sound.
+// Run under -race (the CI dist-smoke step does) to also pin that the
+// teardown path is data-race free.
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/http"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"minvn/internal/dist"
+	"minvn/internal/mc"
+)
+
+// flakyWorker hosts a real dist worker whose server kills itself after
+// serving a fixed number of settle requests — a deterministic stand-in
+// for a crashed process.
+type flakyWorker struct {
+	srv     *http.Server
+	ln      net.Listener
+	settles atomic.Int32
+}
+
+func startWorker(t *testing.T, settlesBeforeDeath int32) (url string, fw *flakyWorker) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fw = &flakyWorker{ln: ln}
+	inner := dist.NewWorker().Handler()
+	fw.srv = &http.Server{Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		inner.ServeHTTP(w, r)
+		if r.URL.Path == "/dist/v1/settle" && fw.settles.Add(1) == settlesBeforeDeath {
+			// Die after the response is written: the coordinator saw a
+			// healthy settle, then the worker vanishes before the next
+			// level — the classic mid-run crash.
+			go fw.srv.Close()
+		}
+	})}
+	go fw.srv.Serve(ln)
+	t.Cleanup(func() { fw.srv.Close() })
+	return "http://" + ln.Addr().String(), fw
+}
+
+func TestDistWorkerLoss(t *testing.T) {
+	u0, _ := startWorker(t, 0) // never dies
+	u1, _ := startWorker(t, 1) // dies after its first settle
+
+	cfg := permsgConfig(t, "MSI_blocking_cache", 2, 1, 1)
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	done := make(chan struct{})
+	var res mc.Result
+	var err error
+	go func() {
+		defer close(done)
+		res, err = dist.Check(ctx, dist.Job{
+			Config:  cfg,
+			Options: mc.Options{DisableTraces: true},
+			Peers:   []string{u0, u1},
+		})
+	}()
+	select {
+	case <-done:
+	case <-time.After(90 * time.Second):
+		t.Fatal("distributed check hung after worker loss")
+	}
+
+	if err == nil {
+		t.Fatalf("worker loss must surface an error (got outcome %v)", res.Outcome)
+	}
+	var lost *dist.WorkerLostError
+	if !errors.As(err, &lost) {
+		t.Fatalf("want *WorkerLostError, got %T: %v", err, err)
+	}
+	if res.Outcome != mc.Canceled {
+		t.Fatalf("outcome %v, want Canceled (no partial result may look sound)", res.Outcome)
+	}
+	if res.Message == "" {
+		t.Fatal("result must carry the failure message")
+	}
+}
+
+// TestDistSendFailure exercises the other loss path: the coordinator's
+// control requests succeed but a peer's frontier sends cannot be
+// delivered (the batches' destination owner is gone). The sender
+// reports the exhausted retries and the coordinator fails the job.
+func TestDistSendFailure(t *testing.T) {
+	u0, _ := startWorker(t, 0)
+	// A worker that accepts control traffic but whose frontier endpoint
+	// always refuses: simulates an owner whose data plane is gone.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner := dist.NewWorker().Handler()
+	srv := &http.Server{Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/dist/v1/frontier" {
+			http.Error(w, "synthetic data-plane outage", http.StatusServiceUnavailable)
+			return
+		}
+		inner.ServeHTTP(w, r)
+	})}
+	go srv.Serve(ln)
+	t.Cleanup(func() { srv.Close() })
+
+	cfg := permsgConfig(t, "MSI_blocking_cache", 2, 1, 1)
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	res, err := dist.Check(ctx, dist.Job{
+		Config:  cfg,
+		Options: mc.Options{DisableTraces: true},
+		Peers:   []string{u0, "http://" + ln.Addr().String()},
+	})
+	if err == nil {
+		t.Fatalf("undeliverable frontier sends must fail the job (outcome %v)", res.Outcome)
+	}
+	var lost *dist.WorkerLostError
+	if !errors.As(err, &lost) || lost.Op != "frontier-send" {
+		t.Fatalf("want frontier-send WorkerLostError, got %v", err)
+	}
+	if res.Outcome != mc.Canceled {
+		t.Fatalf("outcome %v, want Canceled", res.Outcome)
+	}
+}

@@ -1,0 +1,82 @@
+package dist
+
+import (
+	"minvn/internal/icn"
+	"minvn/internal/mc"
+	"minvn/internal/obs"
+	"minvn/internal/obs/health"
+)
+
+// mergeBlocks folds every worker's latest cumulative block into one
+// mc.Snapshot. Each block is cumulative, so the merge is a plain sum
+// of the latest block per worker — a block reported twice replaces
+// itself rather than double-counting — and the derived rates are
+// recomputed from the summed counters over the coordinator's own
+// elapsed clock (never by averaging per-worker rates, whose elapsed
+// denominators differ), with mc.SanitizeRate guarding the zero-elapsed
+// and zero-probe corners so a merged snapshot can never carry NaN or
+// ±Inf into JSON artifacts.
+func mergeBlocks(blocks []statsBlock, elapsed float64, opts mc.Options, frontier int, final bool) mc.Snapshot {
+	if elapsed < 0 {
+		elapsed = 0
+	}
+	s := mc.Snapshot{
+		Strategy:       mc.BFS.String(),
+		Store:          opts.Store.String(),
+		ElapsedSeconds: elapsed,
+		Frontier:       frontier,
+		HeapBytes:      obs.HeapBytes(),
+		Final:          final,
+	}
+	var probes int64
+	var hr *health.Report
+	var occ *icn.OccupancyStats
+	for i := range blocks {
+		b := &blocks[i]
+		s.States += b.States
+		s.Expansions += b.Expansions
+		s.Generated += b.Generated
+		s.DedupHits += b.DedupHits
+		probes += b.Probes
+		if b.MaxDepth > s.MaxDepth {
+			s.MaxDepth = b.MaxDepth
+		}
+		for len(s.DepthHistogram) < len(b.DepthHist) {
+			s.DepthHistogram = append(s.DepthHistogram, 0)
+		}
+		for d, v := range b.DepthHist {
+			s.DepthHistogram[d] += v
+		}
+		if len(b.Rules) > 0 {
+			if s.RuleFirings == nil {
+				s.RuleFirings = make(map[string]int64, len(b.Rules))
+			}
+			for k, v := range b.Rules {
+				s.RuleFirings[k] += v
+			}
+		}
+		if b.Health != nil {
+			if hr == nil {
+				hr = new(health.Report)
+			}
+			hr.Merge(b.Health)
+		}
+		if b.Occupancy != nil {
+			if occ == nil {
+				occ = new(icn.OccupancyStats)
+			}
+			occ.Merge(b.Occupancy)
+		}
+	}
+	if probes > 0 {
+		s.DedupHitRate = mc.SanitizeRate(float64(s.DedupHits) / float64(probes))
+	}
+	if elapsed > 0 {
+		s.StatesPerSec = mc.SanitizeRate(float64(s.States) / elapsed)
+	}
+	s.Health = hr
+	if occ != nil {
+		s.Occupancy = occ
+	}
+	return s
+}

@@ -1,0 +1,118 @@
+package dist
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+
+	"minvn/internal/mc"
+	"minvn/internal/obs/health"
+)
+
+func finite(t *testing.T, name string, v float64) {
+	t.Helper()
+	if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+		t.Fatalf("%s = %v, want finite non-negative", name, v)
+	}
+}
+
+// TestMergeBlocksDegenerate is the zero-worker / one-worker regression
+// for the merged-snapshot guard: merging no blocks, or one block at
+// zero elapsed time, must produce finite rates (no NaN/Inf from 0/0 or
+// n/0) and a snapshot encoding/json accepts.
+func TestMergeBlocksDegenerate(t *testing.T) {
+	t.Run("zero-workers", func(t *testing.T) {
+		s := mergeBlocks(nil, 0, mc.Options{}, 0, true)
+		finite(t, "StatesPerSec", s.StatesPerSec)
+		finite(t, "DedupHitRate", s.DedupHitRate)
+		if s.States != 0 || s.Expansions != 0 || s.Health != nil || s.Occupancy != nil {
+			t.Fatalf("zero-worker merge not empty: %+v", s)
+		}
+		if _, err := json.Marshal(s); err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+	})
+
+	t.Run("one-worker-zero-elapsed", func(t *testing.T) {
+		b := statsBlock{
+			States: 10, Expansions: 9, Generated: 30, Probes: 31, DedupHits: 21,
+			MaxDepth: 3, DepthHist: []int64{1, 2, 3, 4},
+			Rules:  map[string]int64{"r": 30},
+			Health: &health.Report{Stripes: health.Stripes},
+		}
+		s := mergeBlocks([]statsBlock{b}, 0, mc.Options{}, 5, false)
+		finite(t, "StatesPerSec", s.StatesPerSec)
+		finite(t, "DedupHitRate", s.DedupHitRate)
+		if s.StatesPerSec != 0 {
+			t.Fatalf("zero elapsed must give 0 rate, got %v", s.StatesPerSec)
+		}
+		if s.States != 10 || s.DedupHits != 21 || s.RuleFirings["r"] != 30 {
+			t.Fatalf("one-worker merge lost counters: %+v", s)
+		}
+		if want := 21.0 / 31.0; s.DedupHitRate != want {
+			t.Fatalf("DedupHitRate = %v, want %v", s.DedupHitRate, want)
+		}
+		if _, err := json.Marshal(s); err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+	})
+
+	t.Run("negative-elapsed", func(t *testing.T) {
+		s := mergeBlocks([]statsBlock{{States: 5}}, -1, mc.Options{}, 0, true)
+		if s.ElapsedSeconds != 0 || s.StatesPerSec != 0 {
+			t.Fatalf("negative elapsed leaked: %+v", s)
+		}
+	})
+}
+
+// TestMergeBlocksSums pins the multi-worker semantics: counters and
+// histograms sum, depths max, rates are recomputed from the sums over
+// the coordinator clock (never averaged per-worker rates), and worker
+// health lanes concatenate with renumbered indices.
+func TestMergeBlocksSums(t *testing.T) {
+	h := func(occ ...int64) *health.Report {
+		r := &health.Report{Stripes: health.Stripes}
+		r.StripeOccupancy = make([]int64, health.Stripes)
+		copy(r.StripeOccupancy, occ)
+		r.StripeDedupHits = make([]int64, health.Stripes)
+		r.Workers = []health.WorkerStats{{Worker: 0, Batches: 1}}
+		return r
+	}
+	a := statsBlock{
+		States: 4, Expansions: 3, Generated: 8, Probes: 8, DedupHits: 4,
+		MaxDepth: 2, DepthHist: []int64{1, 2, 1}, Rules: map[string]int64{"x": 5, "y": 3},
+		Health: h(3, 1),
+	}
+	b := statsBlock{
+		States: 6, Expansions: 5, Generated: 12, Probes: 12, DedupHits: 6,
+		MaxDepth: 3, DepthHist: []int64{0, 2, 2, 2}, Rules: map[string]int64{"x": 7},
+		Health: h(2, 4),
+	}
+	s := mergeBlocks([]statsBlock{a, b}, 2.0, mc.Options{Store: mc.StoreCompact}, 7, true)
+	if s.States != 10 || s.Expansions != 8 || s.Generated != 20 || s.DedupHits != 10 {
+		t.Fatalf("sums wrong: %+v", s)
+	}
+	if s.MaxDepth != 3 || s.Frontier != 7 || s.Store != "compact" || !s.Final {
+		t.Fatalf("metadata wrong: %+v", s)
+	}
+	for i, want := range []int64{1, 4, 3, 2} {
+		if s.DepthHistogram[i] != want {
+			t.Fatalf("depth hist[%d] = %d, want %d", i, s.DepthHistogram[i], want)
+		}
+	}
+	if s.RuleFirings["x"] != 12 || s.RuleFirings["y"] != 3 {
+		t.Fatalf("rule firings wrong: %v", s.RuleFirings)
+	}
+	if s.StatesPerSec != 5.0 {
+		t.Fatalf("StatesPerSec = %v, want 5 (10 states / 2s)", s.StatesPerSec)
+	}
+	if s.DedupHitRate != 0.5 {
+		t.Fatalf("DedupHitRate = %v, want 0.5", s.DedupHitRate)
+	}
+	if s.Health == nil || s.Health.StripeOccupancy[0] != 5 || s.Health.StripeOccupancy[1] != 5 {
+		t.Fatalf("stripe merge wrong: %+v", s.Health)
+	}
+	if len(s.Health.Workers) != 2 || s.Health.Workers[1].Worker != 1 {
+		t.Fatalf("worker lanes not renumbered: %+v", s.Health.Workers)
+	}
+}

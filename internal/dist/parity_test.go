@@ -1,0 +1,290 @@
+package dist_test
+
+// Distributed parity suite: the dist engine must agree with the
+// pipelined engine — itself pinned to the sequential reference — on
+// outcome, stored-state count, max depth, expansion (Rules) count,
+// generated/dedup counters, depth histogram, per-rule firings, stripe
+// histograms, and per-VN occupancy aggregates, for every built-in
+// protocol, both visited-set stores, and 1, 2, and 4 loopback workers.
+//
+// The compared runs are Complete or depth-bounded: those quantities
+// are order-independent (each distinct state is probed and stored at
+// exactly one owner), so the level-synchronized distributed order must
+// reproduce them exactly. MaxStates runs are excluded by design — the
+// dist engine applies that bound at level granularity — and terminal
+// (deadlock/violation) runs compare outcome only, since the engines
+// legitimately stop at different points mid-level.
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"minvn/internal/dist"
+	"minvn/internal/icn"
+	"minvn/internal/machine"
+	"minvn/internal/mc"
+	"minvn/internal/protocols"
+	"minvn/internal/vnassign"
+)
+
+func permsgConfig(t testing.TB, proto string, caches, dirs, addrs int) machine.Config {
+	t.Helper()
+	p := protocols.MustLoad(proto)
+	vn, n := machine.PerMessageVN(p)
+	return machine.Config{Protocol: p, Caches: caches, Dirs: dirs, Addrs: addrs, VN: vn, NumVNs: n}
+}
+
+func minimalConfig(t testing.TB, proto string, caches, dirs, addrs int) machine.Config {
+	t.Helper()
+	p := protocols.MustLoad(proto)
+	a := vnassign.Assign(p)
+	if a.Class != vnassign.Class3 {
+		t.Fatalf("%s is %s", proto, a.Class)
+	}
+	return machine.Config{Protocol: p, Caches: caches, Dirs: dirs, Addrs: addrs, VN: a.VN, NumVNs: a.NumVNs}
+}
+
+// pipelineBaseline runs the in-process oracle with the occupancy
+// profiler attached.
+func pipelineBaseline(t testing.TB, cfg machine.Config, opts mc.Options) (mc.Result, *icn.OccupancyStats) {
+	t.Helper()
+	sys, err := machine.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := sys.NewOccupancyProfiler()
+	opts.Observer = prof
+	res := mc.CheckPipelined(sys, opts, 4, 0)
+	return res, prof.Stats()
+}
+
+func assertParity(t *testing.T, want mc.Result, wantOcc *icn.OccupancyStats, got mc.Result) {
+	t.Helper()
+	if want.Outcome != got.Outcome {
+		t.Fatalf("outcome: pipeline %v vs dist %v (%s)", want.Outcome, got.Outcome, got.Message)
+	}
+	if want.Outcome == mc.Deadlock || want.Outcome == mc.Violation {
+		return // terminal runs stop mid-level; only the verdict is pinned
+	}
+	if want.States != got.States {
+		t.Fatalf("states: pipeline %d vs dist %d", want.States, got.States)
+	}
+	if want.MaxDepth != got.MaxDepth {
+		t.Fatalf("depth: pipeline %d vs dist %d", want.MaxDepth, got.MaxDepth)
+	}
+	if want.Rules != got.Rules {
+		t.Fatalf("rules: pipeline %d vs dist %d", want.Rules, got.Rules)
+	}
+	if want.Stats.Generated != got.Stats.Generated {
+		t.Fatalf("generated: pipeline %d vs dist %d", want.Stats.Generated, got.Stats.Generated)
+	}
+	if want.Stats.DedupHits != got.Stats.DedupHits {
+		t.Fatalf("dedup hits: pipeline %d vs dist %d", want.Stats.DedupHits, got.Stats.DedupHits)
+	}
+	if !reflect.DeepEqual(want.Stats.DepthHistogram, got.Stats.DepthHistogram) {
+		t.Fatalf("depth histogram: pipeline %v vs dist %v", want.Stats.DepthHistogram, got.Stats.DepthHistogram)
+	}
+	if !reflect.DeepEqual(want.Stats.RuleFirings, got.Stats.RuleFirings) {
+		t.Fatalf("rule firings: pipeline %v vs dist %v", want.Stats.RuleFirings, got.Stats.RuleFirings)
+	}
+	// Stripe histograms are computed over the same fixed fingerprint
+	// partition by every engine; the ownership partition means the
+	// merged per-worker histograms must reproduce them exactly.
+	wh, gh := want.Stats.Health, got.Stats.Health
+	if wh == nil || gh == nil {
+		t.Fatalf("missing health report: pipeline %v dist %v", wh != nil, gh != nil)
+	}
+	if !reflect.DeepEqual(wh.StripeOccupancy, gh.StripeOccupancy) {
+		t.Fatalf("stripe occupancy: pipeline %v vs dist %v", wh.StripeOccupancy, gh.StripeOccupancy)
+	}
+	if !reflect.DeepEqual(wh.StripeDedupHits, gh.StripeDedupHits) {
+		t.Fatalf("stripe dedup hits: pipeline %v vs dist %v", wh.StripeDedupHits, gh.StripeDedupHits)
+	}
+	if wh.UnverifiedHits != gh.UnverifiedHits {
+		t.Fatalf("unverified hits: pipeline %d vs dist %d", wh.UnverifiedHits, gh.UnverifiedHits)
+	}
+	occ, ok := got.Stats.Occupancy.(*icn.OccupancyStats)
+	if !ok {
+		t.Fatalf("dist occupancy missing (got %T)", got.Stats.Occupancy)
+	}
+	if !wantOcc.Equal(occ) {
+		t.Fatalf("occupancy aggregates differ:\npipeline %+v\ndist     %+v", wantOcc, occ)
+	}
+}
+
+var parityWorkerCounts = []int{1, 2, 4}
+
+// TestDistParityAllProtocols sweeps every built-in protocol × both
+// stores × 1/2/4 workers on a depth-bounded per-message-VN config.
+func TestDistParityAllProtocols(t *testing.T) {
+	for _, proto := range protocols.Names() {
+		proto := proto
+		t.Run(proto, func(t *testing.T) {
+			t.Parallel()
+			cfg := permsgConfig(t, proto, 2, 1, 1)
+			for _, store := range []mc.Store{mc.StoreExact, mc.StoreCompact} {
+				store := store
+				t.Run(store.String(), func(t *testing.T) {
+					opts := mc.Options{MaxDepth: 4, Store: store, DisableTraces: true}
+					want, wantOcc := pipelineBaseline(t, cfg, opts)
+					for _, workers := range parityWorkerCounts {
+						workers := workers
+						t.Run(fmt.Sprintf("w%d", workers), func(t *testing.T) {
+							got, err := dist.Check(context.Background(), dist.Job{
+								Config: cfg, Options: opts, Workers: workers, Occupancy: true,
+							})
+							if err != nil {
+								t.Fatal(err)
+							}
+							assertParity(t, want, wantOcc, got)
+						})
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestDistParityComplete exhausts a state space so the Complete
+// outcome — termination detection finding a genuinely empty global
+// frontier — is compared too, not just bounded prefixes.
+func TestDistParityComplete(t *testing.T) {
+	t.Parallel()
+	cfg := minimalConfig(t, "MSI_nonblocking_cache", 2, 1, 1)
+	opts := mc.Options{DisableTraces: true}
+	want, wantOcc := pipelineBaseline(t, cfg, opts)
+	if want.Outcome != mc.Complete {
+		t.Fatalf("baseline did not complete: %v", want.Outcome)
+	}
+	for _, workers := range parityWorkerCounts {
+		got, err := dist.Check(context.Background(), dist.Job{
+			Config: cfg, Options: opts, Workers: workers, Occupancy: true,
+		})
+		if err != nil {
+			t.Fatalf("workers %d: %v", workers, err)
+		}
+		assertParity(t, want, wantOcc, got)
+	}
+}
+
+// TestDistMaxStatesLevelGranular pins the documented MaxStates
+// semantics: the run stops Bounded at the first level boundary at or
+// past the bound, so the state count is a full level's, not the
+// sequential engine's mid-level cut.
+func TestDistMaxStatesLevelGranular(t *testing.T) {
+	t.Parallel()
+	cfg := permsgConfig(t, "MSI_blocking_cache", 2, 1, 1)
+	unbounded, _ := pipelineBaseline(t, cfg, mc.Options{MaxDepth: 5, DisableTraces: true})
+	bound := unbounded.States / 2
+	if bound < 2 {
+		t.Fatalf("state space too small: %d", unbounded.States)
+	}
+	got, err := dist.Check(context.Background(), dist.Job{
+		Config:  cfg,
+		Options: mc.Options{MaxStates: bound, DisableTraces: true},
+		Workers: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Outcome != mc.Bounded {
+		t.Fatalf("outcome %v, want Bounded", got.Outcome)
+	}
+	if got.States < bound {
+		t.Fatalf("stopped below the bound: %d < %d", got.States, bound)
+	}
+	// Level granularity: the cumulative depth histogram must account
+	// for every stored state (whole levels, nothing abandoned mid-way).
+	var sum int64
+	for _, v := range got.Stats.DepthHistogram {
+		sum += v
+	}
+	if int(sum) != got.States {
+		t.Fatalf("depth histogram sums to %d, want %d", sum, got.States)
+	}
+}
+
+// TestDistDeadlock runs the contrived Class-1 protocol to its genuine
+// protocol deadlock and checks the verdict and single-state trace.
+func TestDistDeadlock(t *testing.T) {
+	t.Parallel()
+	cfg := permsgConfig(t, "MSI_class1", 2, 1, 1)
+	sys, err := machine.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := mc.Check(sys, mc.Options{DisableTraces: true})
+	if want.Outcome != mc.Deadlock {
+		t.Skipf("reference run did not deadlock (%v); config drifted", want.Outcome)
+	}
+	got, err := dist.Check(context.Background(), dist.Job{
+		Config: cfg, Options: mc.Options{DisableTraces: true}, Workers: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Outcome != mc.Deadlock {
+		t.Fatalf("outcome %v, want Deadlock", got.Outcome)
+	}
+	if len(got.Trace) != 1 || len(got.Trace[0]) == 0 {
+		t.Fatalf("want single-state trace, got %d states", len(got.Trace))
+	}
+}
+
+// TestDistCancel pins the cancellation contract: a canceled context
+// yields Outcome Canceled with a nil error (the user stopped it; the
+// fleet did not break).
+func TestDistCancel(t *testing.T) {
+	t.Parallel()
+	cfg := permsgConfig(t, "MSI_blocking_cache", 2, 1, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := dist.Check(ctx, dist.Job{
+		Config: cfg, Options: mc.Options{DisableTraces: true}, Workers: 2,
+	})
+	if err != nil {
+		t.Fatalf("canceled context must not be an infra error: %v", err)
+	}
+	if res.Outcome != mc.Canceled {
+		t.Fatalf("outcome %v, want Canceled", res.Outcome)
+	}
+}
+
+// TestDistProgress checks the coordinator delivers merged per-level
+// snapshots with monotonically non-decreasing state counts and a
+// final snapshot matching the result.
+func TestDistProgress(t *testing.T) {
+	t.Parallel()
+	cfg := permsgConfig(t, "MSI_blocking_cache", 2, 1, 1)
+	var snaps []mc.Snapshot
+	res, err := dist.Check(context.Background(), dist.Job{
+		Config: cfg,
+		Options: mc.Options{
+			MaxDepth: 4, DisableTraces: true,
+			Progress: func(s mc.Snapshot) { snaps = append(snaps, s) },
+		},
+		Workers: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) < 2 {
+		t.Fatalf("want per-level snapshots plus a final one, got %d", len(snaps))
+	}
+	last := snaps[len(snaps)-1]
+	if !last.Final || last.States != res.States {
+		t.Fatalf("final snapshot inconsistent: %+v vs %d states", last, res.States)
+	}
+	for i := 1; i < len(snaps); i++ {
+		if snaps[i].States < snaps[i-1].States {
+			t.Fatalf("state count regressed between snapshots: %d then %d",
+				snaps[i-1].States, snaps[i].States)
+		}
+	}
+	if time.Duration(last.ElapsedSeconds*float64(time.Second)) > time.Minute {
+		t.Fatalf("implausible elapsed: %v", last.ElapsedSeconds)
+	}
+}

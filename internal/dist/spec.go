@@ -1,0 +1,132 @@
+// Package dist is the distributed explicit-state search engine: a
+// coordinator drives a fleet of worker processes, each of which owns a
+// deterministic hash range of state-fingerprint space (mc.OwnerOf),
+// expands the states it owns, and ships non-owned successors to their
+// owners as batched frontier messages over a length-prefixed HTTP wire
+// codec. It is the process-level promotion of the thread-level
+// partition in mc's sharded visited set — the step the ROADMAP names
+// from single-node search to fleet-scale runs.
+//
+// # Search structure
+//
+// The search is a level-synchronized distributed BFS. For each depth d
+// the coordinator tells every worker to expand its depth-d frontier
+// (workers forward each non-owned successor to its owner as they go),
+// then to settle: deduplicate the accumulated depth-d+1 candidates
+// against the worker's visited store and report cumulative statistics.
+// Termination detection is distributed quiescence with in-flight
+// accounting — every frontier batch is acknowledged before a worker
+// reports its expansion done, expand responses carry per-peer sent
+// counts, and the settle request carries the entry count each worker
+// must have received, so a lost or duplicated delivery is detected at
+// the level boundary rather than silently corrupting the search. The
+// run completes when every worker's next frontier is empty.
+//
+// # Parity
+//
+// For runs that end Complete, or bounded only by MaxDepth, every
+// pinned quantity — outcome, state count, max depth, expansion count,
+// rule firings, depth histogram, dedup counters, stripe histograms,
+// and per-VN occupancy aggregates — is independent of the order states
+// are stored in, because each distinct state is probed and stored at
+// exactly one owner and each stored state below the bound is expanded
+// exactly once. The distributed parity suite therefore pins them
+// bit-identical to the pipelined engine. MaxStates is the exception:
+// it applies at level granularity (the run stops at the first level
+// boundary at or past the bound), so state-bounded distributed runs
+// are reproducible but not comparable to the sequential engine's
+// mid-level cut — which is why the serving layer keys its result cache
+// on engine=dist while every other engine remains a pure perf knob.
+package dist
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"minvn/internal/machine"
+	"minvn/internal/protocol"
+)
+
+// ModelSpec is a transportable machine.Config: everything a worker
+// needs to rebuild the identical transition system, with the compiled
+// protocol carried as its canonical protocol.Encode document. Workers
+// rebuild through the hardened protocol.Decode, so an oversized or
+// malformed spec is rejected at the wire with a *protocol.LimitError
+// rather than trusted.
+type ModelSpec struct {
+	Protocol     json.RawMessage `json:"protocol"`
+	Caches       int             `json:"caches"`
+	Dirs         int             `json:"dirs"`
+	Addrs        int             `json:"addrs"`
+	L2s          int             `json:"l2s,omitempty"`
+	VN           map[string]int  `json:"vn"`
+	NumVNs       int             `json:"num_vns"`
+	GlobalCap    int             `json:"global_cap,omitempty"`
+	LocalCap     int             `json:"local_cap,omitempty"`
+	PointToPoint bool            `json:"point_to_point,omitempty"`
+	P2PVariant   int             `json:"p2p_variant,omitempty"`
+	NoSymmetry   bool            `json:"no_symmetry,omitempty"`
+	CoreEvents   []string        `json:"core_events,omitempty"`
+	Invariants   bool            `json:"invariants,omitempty"`
+	Permissions  map[string]int  `json:"permissions,omitempty"`
+}
+
+// SpecFromConfig captures cfg as a wire spec. The protocol is
+// re-encoded canonically, so two configs over the same protocol
+// produce byte-identical specs regardless of how the protocol was
+// built.
+func SpecFromConfig(cfg machine.Config) (*ModelSpec, error) {
+	if cfg.Protocol == nil {
+		return nil, fmt.Errorf("dist: no protocol in config")
+	}
+	canon, err := protocol.Encode(cfg.Protocol)
+	if err != nil {
+		return nil, fmt.Errorf("dist: encode protocol: %w", err)
+	}
+	s := &ModelSpec{
+		Protocol: canon,
+		Caches:   cfg.Caches, Dirs: cfg.Dirs, Addrs: cfg.Addrs, L2s: cfg.L2s,
+		VN: cfg.VN, NumVNs: cfg.NumVNs,
+		GlobalCap: cfg.GlobalCap, LocalCap: cfg.LocalCap,
+		PointToPoint: cfg.PointToPoint, P2PVariant: cfg.P2PVariant,
+		NoSymmetry: cfg.NoSymmetry, Invariants: cfg.Invariants,
+	}
+	for _, ev := range cfg.CoreEvents {
+		s.CoreEvents = append(s.CoreEvents, string(ev))
+	}
+	if cfg.Permissions != nil {
+		s.Permissions = make(map[string]int, len(cfg.Permissions))
+		for k, v := range cfg.Permissions {
+			s.Permissions[k] = int(v)
+		}
+	}
+	return s, nil
+}
+
+// Build rebuilds the executable system. Every worker calling Build on
+// the same spec gets the same transition system, canonicalizer, and
+// state encoding — the property the whole ownership scheme rests on.
+func (s *ModelSpec) Build() (*machine.System, error) {
+	p, err := protocol.Decode(s.Protocol)
+	if err != nil {
+		return nil, fmt.Errorf("dist: decode protocol: %w", err)
+	}
+	cfg := machine.Config{
+		Protocol: p,
+		Caches:   s.Caches, Dirs: s.Dirs, Addrs: s.Addrs, L2s: s.L2s,
+		VN: s.VN, NumVNs: s.NumVNs,
+		GlobalCap: s.GlobalCap, LocalCap: s.LocalCap,
+		PointToPoint: s.PointToPoint, P2PVariant: s.P2PVariant,
+		NoSymmetry: s.NoSymmetry, Invariants: s.Invariants,
+	}
+	for _, ev := range s.CoreEvents {
+		cfg.CoreEvents = append(cfg.CoreEvents, protocol.CoreEvent(ev))
+	}
+	if s.Permissions != nil {
+		cfg.Permissions = make(map[string]machine.Permission, len(s.Permissions))
+		for k, v := range s.Permissions {
+			cfg.Permissions[k] = machine.Permission(v)
+		}
+	}
+	return machine.New(cfg)
+}

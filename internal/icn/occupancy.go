@@ -189,3 +189,63 @@ func (p *OccupancyProfiler) Stats() *OccupancyStats {
 func (p *OccupancyProfiler) SetMessages(vn int, names []string) {
 	p.stats.PerVN[vn].Messages = append([]string(nil), names...)
 }
+
+// Merge folds another aggregate into o, for coordinators that combine
+// per-worker profilers over a partitioned state space (internal/dist):
+// histograms add element-wise (padded to the longer), high-water marks
+// take the maximum, and StatesObserved sums. Because the distributed
+// engine partitions states by fingerprint owner, each state is
+// observed by exactly one worker and the merged aggregate equals a
+// single profiler observing the whole set — which the distributed
+// parity suite pins against the pipelined engine. Both aggregates must
+// describe the same network shape (VN count and capacities); Merge
+// panics on a shape mismatch, which can only be a coordinator bug.
+func (o *OccupancyStats) Merge(p *OccupancyStats) {
+	if p == nil {
+		return
+	}
+	if o.StatesObserved == 0 && len(o.PerVN) == 0 {
+		// Merging into a zero aggregate adopts p's shape.
+		o.GlobalCap, o.LocalCap = p.GlobalCap, p.LocalCap
+		o.PerVN = make([]VNOccupancy, len(p.PerVN))
+		for i, v := range p.PerVN {
+			c := v
+			c.Messages = append([]string(nil), v.Messages...)
+			c.GlobalHist = make([]int64, len(v.GlobalHist))
+			c.LocalHist = make([]int64, len(v.LocalHist))
+			o.PerVN[i] = c
+		}
+	}
+	if o.GlobalCap != p.GlobalCap || o.LocalCap != p.LocalCap || len(o.PerVN) != len(p.PerVN) {
+		panic("icn: merging occupancy aggregates of different network shapes")
+	}
+	addHist := func(dst *[]int64, src []int64) {
+		for len(*dst) < len(src) {
+			*dst = append(*dst, 0)
+		}
+		for i, v := range src {
+			(*dst)[i] += v
+		}
+	}
+	o.StatesObserved += p.StatesObserved
+	for i := range p.PerVN {
+		a, b := &o.PerVN[i], &p.PerVN[i]
+		addHist(&a.GlobalHist, b.GlobalHist)
+		addHist(&a.LocalHist, b.LocalHist)
+		if b.GlobalHighWater > a.GlobalHighWater {
+			a.GlobalHighWater = b.GlobalHighWater
+		}
+		if b.LocalHighWater > a.LocalHighWater {
+			a.LocalHighWater = b.LocalHighWater
+		}
+		if len(a.Messages) == 0 {
+			a.Messages = append([]string(nil), b.Messages...)
+		}
+	}
+	if p.GlobalHighWater > o.GlobalHighWater {
+		o.GlobalHighWater = p.GlobalHighWater
+	}
+	if p.LocalHighWater > o.LocalHighWater {
+		o.LocalHighWater = p.LocalHighWater
+	}
+}

@@ -130,7 +130,7 @@ func newCompactSet(n int) *compactSet {
 }
 
 func (s *compactSet) shardIdx(fp uint64) uint32 {
-	return uint32((fp ^ (fp >> 32)) & s.mask)
+	return uint32(FingerprintMix(fp) & s.mask)
 }
 
 func (s *compactSet) probe(fp uint64, key []byte) (int32, bool, bool) {

@@ -22,6 +22,15 @@ const (
 	// EnginePipeline is the pipelined parallel engine with the sharded
 	// fingerprint visited set (CheckPipelined).
 	EnginePipeline
+	// EngineDist is the distributed engine (internal/dist): hash-owned
+	// state shards across worker processes with batched frontier
+	// exchange. Dispatch is caller-level — the distributed coordinator
+	// needs a transportable model specification, which a bare mc.Model
+	// cannot provide — so the CLIs and the serving layer special-case
+	// it; CheckEngineCtx falls back to the pipelined engine, which is
+	// parity-identical for every bound except MaxStates (the
+	// distributed engine applies MaxStates at level granularity).
+	EngineDist
 )
 
 func (e Engine) String() string {
@@ -34,6 +43,8 @@ func (e Engine) String() string {
 		return "levels"
 	case EnginePipeline:
 		return "pipeline"
+	case EngineDist:
+		return "dist"
 	}
 	return fmt.Sprintf("Engine(%d)", int(e))
 }
@@ -49,8 +60,10 @@ func ParseEngine(s string) (Engine, error) {
 		return EngineLevels, nil
 	case "pipeline", "pipelined":
 		return EnginePipeline, nil
+	case "dist", "distributed":
+		return EngineDist, nil
 	}
-	return EngineAuto, fmt.Errorf("unknown engine %q (want auto, seq, levels, or pipeline)", s)
+	return EngineAuto, fmt.Errorf("unknown engine %q (want auto, seq, levels, pipeline, or dist)", s)
 }
 
 // CheckEngine dispatches to the selected engine. workers and shards
@@ -68,6 +81,10 @@ func CheckEngineCtx(ctx context.Context, m Model, opts Options, engine Engine, w
 	case EngineLevels:
 		return CheckParallelCtx(ctx, m, opts, workers)
 	case EnginePipeline:
+		return CheckPipelinedCtx(ctx, m, opts, workers, shards)
+	case EngineDist:
+		// See the EngineDist comment: distributed dispatch needs a model
+		// spec, so generic callers get the pipelined engine instead.
 		return CheckPipelinedCtx(ctx, m, opts, workers, shards)
 	default:
 		if workers == 1 {

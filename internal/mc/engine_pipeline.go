@@ -162,7 +162,7 @@ func CheckPipelinedCtx(ctx context.Context, m Model, opts Options, workers, shar
 			break
 		}
 		ck := canonKey(s)
-		fp := fingerprint(ck)
+		fp := Fingerprint(ck)
 		if int64(len(nodes)) >= maxNodeID {
 			res.Message = (&CapacityError{Limit: "node ids", Max: maxNodeID}).Error()
 			return finish(Capacity)
@@ -234,7 +234,7 @@ func CheckPipelinedCtx(ctx context.Context, m Model, opts Options, workers, shar
 			for si := range succs {
 				ck := canonKey(succs[si].state)
 				succs[si].ckey = ck
-				succs[si].fp = fingerprint(ck)
+				succs[si].fp = Fingerprint(ck)
 				preqs = append(preqs, probeReq{fp: succs[si].fp, key: ck})
 			}
 		}

@@ -308,7 +308,7 @@ func CheckCtx(ctx context.Context, m Model, opts Options) Result {
 	}
 	push := func(s []byte, parent int32, depth int32) (int32, bool, error) {
 		ck := canonKey(s)
-		fp := fingerprint(ck)
+		fp := Fingerprint(ck)
 		if cset != nil {
 			if int64(len(nodes)) >= maxNodeID {
 				return 0, false, &CapacityError{Limit: "node ids", Max: maxNodeID}

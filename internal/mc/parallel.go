@@ -110,7 +110,7 @@ func CheckParallelCtx(ctx context.Context, m Model, opts Options, workers int) R
 	}
 	push := func(s []byte, parent int32, depth int32) (int32, bool, error) {
 		ck := canonKey(s)
-		fp := fingerprint(ck)
+		fp := Fingerprint(ck)
 		if cset != nil {
 			if int64(len(nodes)) >= maxNodeID {
 				return 0, false, &CapacityError{Limit: "node ids", Max: maxNodeID}

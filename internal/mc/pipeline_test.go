@@ -14,7 +14,7 @@ func TestShardedSetBasic(t *testing.T) {
 		keys[i] = []byte(fmt.Sprintf("state-%03d", i))
 	}
 	for i, k := range keys {
-		fp := fingerprint(k)
+		fp := Fingerprint(k)
 		if _, hit, _ := s.probe(fp, k); hit {
 			t.Fatalf("key %d present before insert", i)
 		}
@@ -24,7 +24,7 @@ func TestShardedSetBasic(t *testing.T) {
 		}
 	}
 	for i, k := range keys {
-		fp := fingerprint(k)
+		fp := Fingerprint(k)
 		if id, hit, _ := s.probe(fp, k); !hit || id != int32(i) {
 			t.Fatalf("probe %d: id=%d hit=%v", i, id, hit)
 		}

@@ -29,37 +29,6 @@ import (
 // keeps per-shard maps dense at paper-scale state counts.
 const DefaultShards = 64
 
-// fingerprint is FNV-1a over the canonical state bytes.
-func fingerprint(b []byte) uint64 {
-	const (
-		offset64 = 14695981039346656037
-		prime64  = 1099511628211
-	)
-	h := uint64(offset64)
-	for _, c := range b {
-		h ^= uint64(c)
-		h *= prime64
-	}
-	return h
-}
-
-// fingerprintString is fingerprint over a string key without copying.
-// The map-backed engines use it to attribute visited-set probes to the
-// same telemetry stripes the pipelined engine's set would use, so the
-// per-shard occupancy histograms agree across engines.
-func fingerprintString(s string) uint64 {
-	const (
-		offset64 = 14695981039346656037
-		prime64  = 1099511628211
-	)
-	h := uint64(offset64)
-	for i := 0; i < len(s); i++ {
-		h ^= uint64(s[i])
-		h *= prime64
-	}
-	return h
-}
-
 // lockSampleMask selects which acquisitions get their lock-wait timed:
 // fingerprints with the low 6 bits clear, i.e. a deterministic 1-in-64
 // sample, so contention profiling costs two clock reads per 64 probes
@@ -112,10 +81,10 @@ func newShardedSet(n int) *shardedSet {
 	return s
 }
 
-// shardIdx picks the stripe. The index mixes in the high bits so it
-// stays independent of the map's use of the low bits.
+// shardIdx picks the stripe: the shared mix (fphash.go) keeps the
+// index independent of the map's use of the low bits.
 func (s *shardedSet) shardIdx(fp uint64) uint32 {
-	return uint32((fp ^ (fp >> 32)) & s.mask)
+	return uint32(FingerprintMix(fp) & s.mask)
 }
 
 // lookup walks fp's collision chain for key. The caller must hold the

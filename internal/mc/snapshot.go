@@ -203,11 +203,14 @@ func (t *tracker) maybeProgress(states, frontier, maxDepth, expansions int) {
 	}
 }
 
-// sanitizeRate guards the snapshot's derived rates against +Inf/NaN
-// (which encoding/json rejects, breaking -stats-json artifacts) and
-// negative values from clock weirdness: anything non-finite or
-// negative reports as 0.
-func sanitizeRate(v float64) float64 {
+// SanitizeRate guards a derived rate against +Inf/NaN (which
+// encoding/json rejects, breaking -stats-json artifacts) and negative
+// values from clock weirdness: anything non-finite or negative reports
+// as 0. Exported for out-of-package snapshot producers — the
+// distributed coordinator (internal/dist) recomputes merged rates from
+// summed counters over its own elapsed clock and must apply the same
+// guard, or a zero-elapsed merge of worker snapshots would ship +Inf.
+func SanitizeRate(v float64) float64 {
 	if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
 		return 0
 	}
@@ -239,10 +242,10 @@ func (t *tracker) snapshot(states, frontier, maxDepth, expansions int, final boo
 	// sub-resolution elapsed time) could zero out; sanitize so a tiny
 	// run can never emit +Inf/NaN and break JSON encoding.
 	if p := t.probes.Load(); p > 0 {
-		s.DedupHitRate = sanitizeRate(float64(s.DedupHits) / float64(p))
+		s.DedupHitRate = SanitizeRate(float64(s.DedupHits) / float64(p))
 	}
 	if elapsed > 0 {
-		s.StatesPerSec = sanitizeRate(float64(states) / elapsed)
+		s.StatesPerSec = SanitizeRate(float64(states) / elapsed)
 	}
 	if t.rules != nil {
 		s.RuleFirings = make(map[string]int64, len(t.rules))

@@ -47,12 +47,12 @@ func TestShardedSetEntryCapacityGuard(t *testing.T) {
 	s := newShardedSet(1)
 	for i := 0; i < 3; i++ {
 		k := []byte(fmt.Sprintf("key-%d", i))
-		if _, fresh, _, err := s.insert(fingerprint(k), k, int32(i)); err != nil || !fresh {
+		if _, fresh, _, err := s.insert(Fingerprint(k), k, int32(i)); err != nil || !fresh {
 			t.Fatalf("insert %d: fresh=%v err=%v", i, fresh, err)
 		}
 	}
 	k := []byte("key-overflow")
-	_, _, _, err := s.insert(fingerprint(k), k, 3)
+	_, _, _, err := s.insert(Fingerprint(k), k, 3)
 	var ce *CapacityError
 	if !errors.As(err, &ce) || ce.Limit != "shard entries" || ce.Max != 3 {
 		t.Fatalf("overflow insert: err=%v", err)
@@ -63,7 +63,7 @@ func TestShardedSetEntryCapacityGuard(t *testing.T) {
 	}
 	// Duplicates of stored keys still resolve (no capacity consumed).
 	k0 := []byte("key-0")
-	if id, fresh, _, err := s.insert(fingerprint(k0), k0, 9); err != nil || fresh || id != 0 {
+	if id, fresh, _, err := s.insert(Fingerprint(k0), k0, 9); err != nil || fresh || id != 0 {
 		t.Fatalf("dup insert at capacity: id=%d fresh=%v err=%v", id, fresh, err)
 	}
 }
@@ -72,20 +72,20 @@ func TestShardedSetArenaCapacityGuard(t *testing.T) {
 	withCap(t, &maxShardArena, 10)
 	s := newShardedSet(1)
 	a, b := []byte("aaaa"), []byte("bbbb")
-	if _, _, _, err := s.insert(fingerprint(a), a, 0); err != nil {
+	if _, _, _, err := s.insert(Fingerprint(a), a, 0); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, _, err := s.insert(fingerprint(b), b, 1); err != nil {
+	if _, _, _, err := s.insert(Fingerprint(b), b, 1); err != nil {
 		t.Fatal(err)
 	}
 	c := []byte("ccc") // 8+3 > 10
-	_, _, _, err := s.insert(fingerprint(c), c, 2)
+	_, _, _, err := s.insert(Fingerprint(c), c, 2)
 	var ce *CapacityError
 	if !errors.As(err, &ce) || ce.Limit != "shard arena bytes" {
 		t.Fatalf("arena overflow: err=%v", err)
 	}
 	d := []byte("dd") // 8+2 <= 10 still fits
-	if _, fresh, _, err := s.insert(fingerprint(d), d, 2); err != nil || !fresh {
+	if _, fresh, _, err := s.insert(Fingerprint(d), d, 2); err != nil || !fresh {
 		t.Fatalf("fitting insert after overflow: fresh=%v err=%v", fresh, err)
 	}
 }
@@ -97,7 +97,7 @@ func TestInsertBatchCapacityGuard(t *testing.T) {
 	reqs := make([]insertReq, 7)
 	for i := range reqs {
 		k := []byte(fmt.Sprintf("bk-%d", i))
-		reqs[i] = insertReq{fp: fingerprint(k), key: k}
+		reqs[i] = insertReq{fp: Fingerprint(k), key: k}
 	}
 	processed, fresh, err := s.insertBatch(reqs, 0, -1, &sc)
 	var ce *CapacityError
@@ -110,11 +110,11 @@ func TestInsertBatchCapacityGuard(t *testing.T) {
 	// The prefix before the overflowing request must be fully applied.
 	for i := 0; i < 4; i++ {
 		k := []byte(fmt.Sprintf("bk-%d", i))
-		if id, hit, _ := s.probe(fingerprint(k), k); !hit || id != int32(i) {
+		if id, hit, _ := s.probe(Fingerprint(k), k); !hit || id != int32(i) {
 			t.Fatalf("prefix key %d: id=%d hit=%v", i, id, hit)
 		}
 	}
-	if k := []byte("bk-4"); func() bool { _, hit, _ := s.probe(fingerprint(k), k); return hit }() {
+	if k := []byte("bk-4"); func() bool { _, hit, _ := s.probe(Fingerprint(k), k); return hit }() {
 		t.Fatal("overflowing key was stored")
 	}
 }
@@ -349,7 +349,7 @@ func reqs500(keyOf func(int) []byte, lo, n int, seen map[string]bool) []insertRe
 	for i := lo; i < lo+n; i++ {
 		k := keyOf(i)
 		skip := seen[string(k)]
-		reqs = append(reqs, insertReq{fp: fingerprint(k), key: k, skip: skip})
+		reqs = append(reqs, insertReq{fp: Fingerprint(k), key: k, skip: skip})
 		fresh[string(k)] = true
 	}
 	for k := range fresh {
@@ -364,7 +364,7 @@ func TestInsertBatchLimit(t *testing.T) {
 	reqs := make([]insertReq, 10)
 	for i := range reqs {
 		k := []byte(fmt.Sprintf("lim-%d", i))
-		reqs[i] = insertReq{fp: fingerprint(k), key: k}
+		reqs[i] = insertReq{fp: Fingerprint(k), key: k}
 	}
 	processed, fresh, err := s.insertBatch(reqs, 0, 4, &sc)
 	if err != nil || processed != 4 || fresh != 4 {
@@ -393,7 +393,7 @@ func TestConcurrentProbeDuringInsert(t *testing.T) {
 			fps := make([]uint64, total)
 			for i := range keys {
 				keys[i] = []byte(fmt.Sprintf("state-%08d-%s", i, strings.Repeat("x", i%13)))
-				fps[i] = fingerprint(keys[i])
+				fps[i] = Fingerprint(keys[i])
 			}
 			var published atomic.Int32
 			var wg sync.WaitGroup
@@ -426,7 +426,7 @@ func TestConcurrentProbeDuringInsert(t *testing.T) {
 							reqs = append(reqs, probeReq{fp: fps[k], key: keys[k]})
 						}
 						miss := []byte(fmt.Sprintf("unseen-%d-%d", g, step))
-						reqs = append(reqs, probeReq{fp: fingerprint(miss), key: miss})
+						reqs = append(reqs, probeReq{fp: Fingerprint(miss), key: miss})
 						set.probeBatch(reqs, &sc)
 						for j := 0; j < 8; j++ {
 							if !reqs[j].hit {
@@ -484,7 +484,7 @@ func BenchmarkVisitedSet(b *testing.B) {
 	fps := make([]uint64, n)
 	for i := range keys {
 		keys[i] = []byte(fmt.Sprintf("%-64d", i))
-		fps[i] = fingerprint(keys[i])
+		fps[i] = Fingerprint(keys[i])
 	}
 	for _, mode := range []Store{StoreExact, StoreCompact} {
 		b.Run(mode.String(), func(b *testing.B) {
@@ -529,12 +529,12 @@ func BenchmarkCheckStore(b *testing.B) {
 
 func TestSanitizeRate(t *testing.T) {
 	for _, v := range []float64{math.NaN(), math.Inf(1), math.Inf(-1), -1} {
-		if got := sanitizeRate(v); got != 0 {
-			t.Errorf("sanitizeRate(%v) = %v, want 0", v, got)
+		if got := SanitizeRate(v); got != 0 {
+			t.Errorf("SanitizeRate(%v) = %v, want 0", v, got)
 		}
 	}
-	if got := sanitizeRate(12.5); got != 12.5 {
-		t.Errorf("sanitizeRate(12.5) = %v", got)
+	if got := SanitizeRate(12.5); got != 12.5 {
+		t.Errorf("SanitizeRate(12.5) = %v", got)
 	}
 }
 

@@ -1,0 +1,43 @@
+package mc
+
+// VisitedStore exposes the engines' visited-set implementations to
+// out-of-package engines — the distributed workers (internal/dist)
+// store their owned slice of fingerprint space in one of these, so
+// exact and compact dedup semantics (byte verification, collision
+// chaining, the hash-compaction verified-bytes budget) are shared with
+// the in-process engines by construction rather than re-implemented.
+//
+// The wrapper deliberately exposes only the single-threaded
+// insert-or-get path: a distributed worker settles its candidates from
+// one goroutine, the same contract as the sequential engine's push
+// loop. In compact mode the verified-bytes budget is per store — and
+// therefore per worker — rather than global across the fleet; see the
+// distributed engine's docs for the (tiny) omission-probability
+// consequence.
+type VisitedStore struct {
+	set visitedSet
+}
+
+// NewVisitedStore builds a store of the given mode. shards <= 0
+// selects a single shard, the right choice for a single-threaded
+// owner (striping only pays off under concurrent probes).
+func NewVisitedStore(store Store, shards int) *VisitedStore {
+	if shards <= 0 {
+		shards = 1
+	}
+	return &VisitedStore{set: newVisitedSet(store, shards)}
+}
+
+// Insert stores key (with fingerprint fp) under id unless an equal key
+// is present, returning the surviving id, whether the insert was
+// fresh, and whether a duplicate verdict was unverifiable (compact
+// conflation). A *CapacityError means nothing was stored.
+func (v *VisitedStore) Insert(fp uint64, key []byte, id int32) (gotID int32, fresh, conflated bool, err error) {
+	return v.set.insert(fp, key, id)
+}
+
+// Stats reports the stored entry count and approximate footprint.
+func (v *VisitedStore) Stats() (entries int, arenaBytes, setBytes int64) {
+	st := v.set.stats()
+	return st.entries, st.arenaBytes, st.setBytes
+}

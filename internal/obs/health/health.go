@@ -320,3 +320,46 @@ func (r *Report) WritePromText(w io.Writer) error {
 		r.ReorderStalls, r.ReorderMax)
 	return err
 }
+
+// Merge folds another run's report into r, for coordinators that
+// combine per-worker reports over a partitioned fingerprint space
+// (internal/dist). The stripe histograms add element-wise — ownership
+// partitions fingerprints, so each stored state and each duplicate
+// probe is counted by exactly one worker and the merged histograms
+// equal a single-process run's (the distributed parity suite pins
+// this). Worker entries concatenate with renumbered indices, giving
+// the merged report one lane per process; footprint and conflation
+// counters sum; ReorderMax takes the maximum. The skew summary is
+// recomputed over the merged histogram.
+func (r *Report) Merge(o *Report) {
+	if o == nil {
+		return
+	}
+	if r.Stripes == 0 {
+		r.Stripes = o.Stripes
+	}
+	addHist := func(dst *[]int64, src []int64) {
+		for len(*dst) < len(src) {
+			*dst = append(*dst, 0)
+		}
+		for i, v := range src {
+			(*dst)[i] += v
+		}
+	}
+	addHist(&r.StripeOccupancy, o.StripeOccupancy)
+	addHist(&r.StripeDedupHits, o.StripeDedupHits)
+	for _, w := range o.Workers {
+		w.Worker = len(r.Workers)
+		r.Workers = append(r.Workers, w)
+	}
+	r.ArenaBytes += o.ArenaBytes
+	r.SetBytes += o.SetBytes
+	r.UnverifiedHits += o.UnverifiedHits
+	r.LockWaitNS += o.LockWaitNS
+	r.LockWaitSamples += o.LockWaitSamples
+	r.ReorderStalls += o.ReorderStalls
+	if o.ReorderMax > r.ReorderMax {
+		r.ReorderMax = o.ReorderMax
+	}
+	r.Resummarize()
+}

@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"minvn/internal/analysis"
+	"minvn/internal/dist"
 	"minvn/internal/machine"
 	"minvn/internal/mc"
 	"minvn/internal/obs/trace"
@@ -50,7 +51,10 @@ type AnalyzeRequest struct {
 // directories, 2 addresses, minimal VN assignment, BFS) under the
 // server's state bound. Engine, Workers, and Shards are performance
 // knobs: the engine-parity contract guarantees they cannot change the
-// result, so they are excluded from the cache key. Store is NOT such
+// result, so they are excluded from the cache key — with one
+// exception: engine "dist" applies max_states at level granularity,
+// so its bounded results can legitimately differ from the in-process
+// engines' and it gets its own cache entries. Store is NOT such
 // a knob: a hash-compacted visited set can (with ~n²/2⁶⁵ probability)
 // conflate distinct states and change the outcome class, so it is
 // part of the cache key — an exact result is never served for a
@@ -196,6 +200,11 @@ type normVerifyOptions struct {
 	Invar     bool   `json:"invariants"`
 	// Store is result-affecting (see VerifyOptions) and therefore keyed.
 	Store string `json:"store"`
+	// Engine is "" for every in-process engine (the parity suite pins
+	// them bit-identical) and "dist" for the distributed engine, whose
+	// level-granular max_states makes bounded results its own (see
+	// VerifyOptions).
+	Engine string `json:"engine"`
 }
 
 func normalizeVerifyOptions(o VerifyOptions, maxStatesCap int) (normVerifyOptions, error) {
@@ -274,6 +283,9 @@ type task struct {
 	kind     string
 	key      cacheKey
 	protocol string
+	// engine is the verify job's engine name for the run-ledger record
+	// ("" for analyze jobs).
+	engine   string
 	deadline time.Duration
 	// requestID is the caller's X-Request-ID (sanitized), set by the
 	// HTTP layer before Submit. It feeds the job's TraceContext and is
@@ -355,6 +367,12 @@ func prepareVerify(req VerifyRequest, maxStatesCap, progressEvery int) (*task, e
 	if err != nil {
 		return nil, &RequestError{msg: err.Error()}
 	}
+	if engine == mc.EngineDist {
+		if norm.Strategy != "bfs" {
+			return nil, reqErrf("engine dist supports only strategy bfs")
+		}
+		norm.Engine = "dist"
+	}
 
 	var vn map[string]int
 	var numVNs int
@@ -415,6 +433,7 @@ func prepareVerify(req VerifyRequest, maxStatesCap, progressEvery int) (*task, e
 		kind:     "verify",
 		key:      requestKey("verify", canon, normBytes),
 		protocol: p.Name,
+		engine:   engine.String(),
 		deadline: time.Duration(req.DeadlineMillis) * time.Millisecond,
 		run: func(ctx context.Context, progress func(mc.Snapshot), rec *trace.Recorder) (json.RawMessage, error) {
 			mopts := opts
@@ -422,13 +441,30 @@ func prepareVerify(req VerifyRequest, maxStatesCap, progressEvery int) (*task, e
 				mopts.Progress = progress
 			}
 			mopts.Trace = rec
-			// Per-VN queue-depth histograms for the dashboard's occupancy
-			// panel and the job's ledger record. Passive and engine-
-			// invariant (pinned by the occupancy parity tests), so it
-			// cannot affect the cached result beyond adding the summary.
-			// Fresh per run: the profiler is single-use state.
-			mopts.Observer = sys.NewOccupancyProfiler()
-			res := mc.CheckEngineCtx(ctx, sys, mopts, engine, workers, shards)
+			var res mc.Result
+			if engine == mc.EngineDist {
+				// The coordinator spawns loopback workers (serve has no
+				// -peers surface); they profile occupancy themselves and
+				// the merge lands in Stats.Occupancy. Infra failures
+				// (worker loss) fail the job; cancellation surfaces as
+				// Outcome Canceled with a nil error.
+				res2, derr := dist.Check(ctx, dist.Job{
+					Config: cfg, Options: mopts,
+					Workers: workers, Occupancy: true,
+				})
+				if derr != nil && ctx.Err() == nil {
+					return nil, fmt.Errorf("dist: %w", derr)
+				}
+				res = res2
+			} else {
+				// Per-VN queue-depth histograms for the dashboard's occupancy
+				// panel and the job's ledger record. Passive and engine-
+				// invariant (pinned by the occupancy parity tests), so it
+				// cannot affect the cached result beyond adding the summary.
+				// Fresh per run: the profiler is single-use state.
+				mopts.Observer = sys.NewOccupancyProfiler()
+				res = mc.CheckEngineCtx(ctx, sys, mopts, engine, workers, shards)
+			}
 			if res.Outcome == mc.Canceled {
 				return nil, errJobCanceled
 			}

@@ -80,6 +80,9 @@ func (s *Server) recordJob(job *Job, status JobStatus, errMsg string, snap *mc.S
 			"seconds": seconds,
 		},
 	}
+	if job.task.engine != "" {
+		rec.Params["engine"] = job.task.engine
+	}
 	if errMsg != "" {
 		rec.Extra["error"] = errMsg
 	}

@@ -390,6 +390,62 @@ func TestNoGoroutineLeak(t *testing.T) {
 	}
 }
 
+// TestVerifyDistEngine pins the distributed engine's serve wiring: a
+// dist job (loopback workers) reproduces the pipeline engine's result
+// on an exhaustible configuration, but does NOT share its cache entry
+// — dist applies max_states at level granularity, so its bounded
+// results are keyed separately from the in-process engines'. DFS
+// under dist is rejected at admission.
+func TestVerifyDistEngine(t *testing.T) {
+	_, cl := testServer(t, serve.Config{})
+	ctx := context.Background()
+	opts := serve.VerifyOptions{Caches: 2, Dirs: 1, Addrs: 1, MaxStates: 50_000, Workers: 2}
+
+	popts := opts
+	popts.Engine = "pipeline"
+	pipe, err := cl.Verify(ctx, serve.VerifyRequest{Protocol: "MSI_nonblocking_cache", Options: popts}, true)
+	if err != nil {
+		t.Fatalf("pipeline: %v", err)
+	}
+	if pipe.Status != serve.StatusDone {
+		t.Fatalf("pipeline: status=%s (%s)", pipe.Status, pipe.Error)
+	}
+	dopts := opts
+	dopts.Engine = "dist"
+	dv, err := cl.Verify(ctx, serve.VerifyRequest{Protocol: "MSI_nonblocking_cache", Options: dopts}, true)
+	if err != nil {
+		t.Fatalf("dist: %v", err)
+	}
+	if dv.Status != serve.StatusDone {
+		t.Fatalf("dist: status=%s (%s)", dv.Status, dv.Error)
+	}
+	if dv.Cached {
+		t.Fatalf("dist request hit an in-process engine's cache entry")
+	}
+	var pr, dr serve.VerifyResult
+	if err := jsonUnmarshal(pipe.Result, &pr); err != nil {
+		t.Fatalf("pipeline result: %v", err)
+	}
+	if err := jsonUnmarshal(dv.Result, &dr); err != nil {
+		t.Fatalf("dist result: %v", err)
+	}
+	if dr.Engine != "dist" {
+		t.Errorf("engine = %q, want dist", dr.Engine)
+	}
+	if dr.Outcome != pr.Outcome || dr.States != pr.States || dr.MaxDepth != pr.MaxDepth {
+		t.Errorf("dist disagrees with pipeline: outcome %s/%s states %d/%d depth %d/%d",
+			dr.Outcome, pr.Outcome, dr.States, pr.States, dr.MaxDepth, pr.MaxDepth)
+	}
+
+	bad := dopts
+	bad.Strategy = "dfs"
+	_, err = cl.Verify(ctx, serve.VerifyRequest{Protocol: "MSI_nonblocking_cache", Options: bad}, false)
+	var se *client.StatusError
+	if !asStatusError(err, &se) || se.Code != http.StatusBadRequest {
+		t.Errorf("dfs+dist: err = %v, want 400", err)
+	}
+}
+
 func jsonUnmarshal(data []byte, v any) error { return json.Unmarshal(data, v) }
 
 func asStatusError(err error, se **client.StatusError) bool { return errors.As(err, se) }
